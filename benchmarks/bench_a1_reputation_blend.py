@@ -1,0 +1,91 @@
+"""Ablation A1 — the reputation blend (design choice in repro.reputation).
+
+DESIGN.md commits to blending local beta reputation with global
+EigenTrust.  This ablation shows why: pure local counting (blend=1) is
+trivially inflated by Sybil cliques, pure EigenTrust (blend=0) ignores
+useful local evidence for honest-score separation, and the blend keeps
+both properties.
+
+Table: post-attack score of a known-bad actor and the honest/dishonest
+separation, across blends and Sybil army sizes.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.reputation import ReputationSystem, SybilAttack, run_sybil_attack
+
+BLENDS = (1.0, 0.7, 0.3, 0.0)
+SYBIL_COUNTS = (5, 20, 50)
+
+
+def build_system(blend):
+    system = ReputationSystem(pretrusted=["op1", "op2"], blend=blend)
+    for t in range(6):
+        system.record("op1", "honest", True, time=t)
+        system.record("op2", "honest", True, time=t)
+    for t in range(3):
+        system.record("op1", "scammer", False, time=t)
+    return system
+
+
+@pytest.fixture(scope="module")
+def results(harness_rngs):
+    rows = []
+    for blend in BLENDS:
+        for sybil_count in SYBIL_COUNTS:
+            system = build_system(blend)
+            outcome = run_sybil_attack(
+                system,
+                SybilAttack("scammer", sybil_count=sybil_count),
+                harness_rngs.fresh(f"a1-{blend}-{sybil_count}"),
+            )
+            rows.append(
+                dict(
+                    blend=blend,
+                    sybils=sybil_count,
+                    scammer_before=outcome.score_before,
+                    scammer_after=outcome.score_after,
+                    inflation=outcome.inflation,
+                    honest=system.score("honest"),
+                )
+            )
+    return rows
+
+
+def test_a1_table_and_shape(results):
+    table = ResultTable(
+        "A1: Sybil inflation vs reputation blend "
+        "(blend=1: pure beta, blend=0: pure EigenTrust)",
+        columns=[
+            "blend", "sybils", "scammer_before", "scammer_after",
+            "inflation", "honest",
+        ],
+    )
+    for row in results:
+        table.add_row(**row)
+    table.print()
+
+    by_key = {(r["blend"], r["sybils"]): r for r in results}
+    for sybils in SYBIL_COUNTS:
+        pure_beta = by_key[(1.0, sybils)]
+        blended = by_key[(0.3, sybils)]
+        # Pure local counting is badly inflated by a large Sybil army...
+        if sybils >= 20:
+            assert pure_beta["scammer_after"] > 0.7
+        # ...while the EigenTrust-weighted blend stays well below it.
+        assert blended["scammer_after"] < pure_beta["scammer_after"] - 0.2
+        # And the blend preserves honest/dishonest separation.
+        assert blended["honest"] > blended["scammer_after"]
+
+
+def test_a1_kernel_blended_attack(benchmark, harness_rngs):
+    def attack():
+        system = build_system(0.3)
+        return run_sybil_attack(
+            system,
+            SybilAttack("scammer", sybil_count=20),
+            harness_rngs.fresh("a1-kernel"),
+        )
+
+    benchmark(attack)

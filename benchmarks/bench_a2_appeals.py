@@ -1,0 +1,161 @@
+"""Ablation A2 — appeals repair automation's false positives (§III-D).
+
+E6 shows automated moderation trades precision for recall: innocents
+get sanctioned.  The appeals court (community juries re-reviewing
+sanctions) is the design answer.  This ablation runs the same
+auto-moderated society with and without an appeals court and measures
+wrongful standing sanctions.
+
+Table: wrongful/rightful standing sanctions, with and without appeals.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.governance import (
+    AbuseClassifier,
+    AppealsCourt,
+    GraduatedSanctionPolicy,
+    ModerationService,
+)
+from repro.sim import RngRegistry
+from repro.social import Archetype, BehaviorSimulator, standard_mix
+from repro.world import World
+
+N_AVATARS = 60
+EPOCHS = 8
+FPR = 0.08  # a deliberately sloppy classifier
+
+
+def run_society(with_appeals: bool):
+    rngs = RngRegistry(seed=808)
+    world = World("a2", size=50.0)
+    mix = standard_mix(N_AVATARS, rngs.stream("mix"), harasser_fraction=0.1)
+    archetypes = {}
+    position_rng = rngs.stream("pos")
+    for i, archetype in enumerate(mix.values()):
+        avatar_id = f"av{i:03d}"
+        world.spawn(
+            avatar_id,
+            (
+                float(position_rng.uniform(0, 50)),
+                float(position_rng.uniform(0, 50)),
+            ),
+        )
+        archetypes[avatar_id] = archetype
+    simulator = BehaviorSimulator(world, archetypes, rngs.stream("behavior"))
+    sanctions = GraduatedSanctionPolicy(world)
+    service = ModerationService(
+        sanctions,
+        classifier=AbuseClassifier(
+            rngs.stream("clf"), true_positive_rate=0.85, false_positive_rate=FPR
+        ),
+    )
+    court = (
+        AppealsCourt(
+            world, sanctions, rngs.stream("court"),
+            juror_accuracy=0.9, jury_size=5,
+        )
+        if with_appeals
+        else None
+    )
+
+    # Ground truth per sanction: did the sanctioned interaction's case
+    # actually involve abuse?  We track via the case records.
+    case_truth = {}
+    for epoch in range(EPOCHS):
+        interactions = simulator.run_epoch(time=float(epoch))
+        service.process_epoch(interactions, time=float(epoch))
+        for case in service.cases:
+            case_truth[case.case_id] = case.interaction.abusive
+        if court is not None:
+            # Every newly sanctioned member appeals automatic sanctions.
+            appealed = {a.sanction.case_id for a in court.appeals}
+            for record in sanctions.records:
+                if record.case_id not in appealed:
+                    court.file_appeal(record, time=float(epoch))
+            court.review_pending(
+                ground_truth=lambda s: case_truth.get(s.case_id, True),
+                time=float(epoch),
+                capacity=50,
+            )
+
+    # Standing sanctions = applied minus reversed (offence counts).
+    wrongful = rightful = 0
+    for record in sanctions.records:
+        truth = case_truth.get(record.case_id, True)
+        if truth:
+            rightful += 1
+        else:
+            wrongful += 1
+    reversed_count = 0
+    if court is not None:
+        reversed_count = int(court.stats()["granted"])
+    standing_wrongful = wrongful
+    if court is not None:
+        # Count reversals that targeted wrongful sanctions.
+        standing_wrongful = wrongful - sum(
+            1
+            for appeal in court.appeals
+            if appeal.granted and not case_truth.get(appeal.sanction.case_id, True)
+        )
+    return dict(
+        config="with appeals" if with_appeals else "no appeals",
+        sanctions=len(sanctions.records),
+        wrongful=wrongful,
+        standing_wrongful=standing_wrongful,
+        rightful=rightful,
+        reversed=reversed_count,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [run_society(False), run_society(True)]
+
+
+def test_a2_table_and_shape(results):
+    table = ResultTable(
+        f"A2: appeals vs automated moderation's false positives "
+        f"(classifier FPR {FPR:.0%}, {EPOCHS} epochs)",
+        columns=[
+            "config", "sanctions", "wrongful", "standing_wrongful",
+            "rightful", "reversed",
+        ],
+    )
+    for row in results:
+        table.add_row(**row)
+    table.print()
+
+    without, with_appeals = results
+    # The sloppy classifier does sanction innocents.
+    assert without["wrongful"] > 0
+    # Appeals reverse most wrongful sanctions...
+    assert with_appeals["standing_wrongful"] < with_appeals["wrongful"]
+    assert (
+        with_appeals["standing_wrongful"]
+        <= without["wrongful"] * 0.5
+    )
+    # ...without mass-reversing rightful ones (reversals bounded by
+    # wrongful count plus jury noise).
+    assert with_appeals["reversed"] <= with_appeals["wrongful"] + (
+        0.3 * with_appeals["rightful"]
+    )
+
+
+def test_a2_kernel_appeal_review(benchmark, harness_rngs):
+    world = World("a2k", size=10.0)
+    world.spawn("member", (1.0, 1.0))
+    sanctions = GraduatedSanctionPolicy(world)
+    court = AppealsCourt(
+        world, sanctions, harness_rngs.fresh("a2-kernel"), juror_accuracy=0.9
+    )
+    counter = iter(range(1_000_000))
+
+    def one_cycle():
+        time = float(next(counter))
+        record = sanctions.apply("member", time=time)
+        appeal = court.file_appeal(record, time=time)
+        court.review(appeal, was_actually_abusive=False, time=time)
+
+    benchmark(one_cycle)

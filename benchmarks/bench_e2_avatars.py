@@ -1,0 +1,57 @@
+"""E2 — secondary avatars stop behavioural linkage (paper §II-B, [9]).
+
+Claim: "other avatars in the metaverse cannot recognise the real owner
+of this secondary avatar and, therefore, cannot infer any behavioural
+information" — re-identification accuracy must fall as clone usage
+rises, approaching chance at full clone usage.
+
+Table: linkage-attack accuracy vs clone-usage rate.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable, is_monotonic_decreasing
+from repro.workloads import evaluate_linkage, linkage_workload
+
+CLONE_RATES = (0.0, 0.25, 0.5, 0.75, 1.0)
+N_USERS = 60
+SESSIONS_PER_USER = 4
+
+
+@pytest.fixture(scope="module")
+def results(harness_rngs):
+    rows = []
+    for rate in CLONE_RATES:
+        workload = linkage_workload(
+            N_USERS, SESSIONS_PER_USER, rate, harness_rngs.fresh(f"e2-{rate}")
+        )
+        rows.append(
+            dict(clone_rate=rate, accuracy=evaluate_linkage(workload))
+        )
+    return rows
+
+
+def test_e2_table_and_shape(results):
+    table = ResultTable(
+        f"E2: re-identification accuracy vs clone usage "
+        f"({N_USERS} users, {SESSIONS_PER_USER} sessions each; "
+        f"chance = {1 / N_USERS:.3f})",
+        columns=["clone_rate", "linkage_accuracy"],
+    )
+    for row in results:
+        table.add_row(
+            clone_rate=row["clone_rate"], linkage_accuracy=row["accuracy"]
+        )
+    table.print()
+
+    accuracies = [r["accuracy"] for r in results]
+    assert accuracies[0] == 1.0, "primary-only sessions are fully linkable"
+    assert is_monotonic_decreasing(accuracies, tolerance=0.05)
+    assert accuracies[-1] < 0.35, "full clone usage should approach chance"
+
+
+def test_e2_kernel_linkage_attack(benchmark, harness_rngs):
+    workload = linkage_workload(
+        N_USERS, SESSIONS_PER_USER, 0.5, harness_rngs.fresh("e2-kernel")
+    )
+    benchmark(lambda: evaluate_linkage(workload))

@@ -1,0 +1,90 @@
+"""E4 — shadow avatars and redirected walking reduce collisions (§II-C).
+
+Claim: shadow avatars ([12]) avoid user-user collisions; artificial-
+potential-field redirected walking ([13]) avoids obstacle and wall
+strikes; combining both nearly eliminates collisions at the price of
+immersion disruption.
+
+Table: collision breakdown per safety config across user densities.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.world import Obstacle, RoomSimulation, SafetyConfig
+
+DENSITIES = (2, 4, 8)
+STEPS = 2000
+CONFIGS = (
+    SafetyConfig.none(),
+    SafetyConfig.shadows_only(),
+    SafetyConfig.rdw_only(),
+    SafetyConfig.combined(),
+)
+
+
+@pytest.fixture(scope="module")
+def results(harness_rngs):
+    obstacles = [Obstacle(2.5, 2.5, 0.5)]
+    rows = []
+    for n_users in DENSITIES:
+        for config in CONFIGS:
+            simulation = RoomSimulation(
+                room_size=5.0,
+                n_users=n_users,
+                config=config,
+                rng=harness_rngs.fresh(f"e4-{n_users}-{config.label}"),
+                obstacles=obstacles,
+            )
+            report = simulation.run(STEPS)
+            rows.append(
+                dict(
+                    users=n_users,
+                    config=config.label,
+                    user_collisions=report.user_collisions,
+                    obstacle_collisions=report.obstacle_collisions,
+                    wall_strikes=report.wall_strikes,
+                    per_100m=report.collisions_per_100m,
+                    disruption=report.disruption_per_meter,
+                )
+            )
+    return rows
+
+
+def test_e4_table_and_shape(results):
+    table = ResultTable(
+        f"E4: collisions by safety config (5m room, 1 obstacle, "
+        f"{STEPS} steps)",
+        columns=[
+            "users", "config", "user_collisions", "obstacle_collisions",
+            "wall_strikes", "per_100m", "disruption",
+        ],
+    )
+    for row in results:
+        table.add_row(**row)
+    table.print()
+
+    by_key = {(r["users"], r["config"]): r for r in results}
+    for n_users in DENSITIES:
+        none = by_key[(n_users, "none")]
+        shadow = by_key[(n_users, "shadow")]
+        rdw = by_key[(n_users, "rdw")]
+        combined = by_key[(n_users, "shadow+rdw")]
+        # Shadow avatars target the user-user failure mode.
+        assert shadow["user_collisions"] < max(1, none["user_collisions"])
+        # RDW targets the static-hazard failure mode.
+        assert rdw["obstacle_collisions"] < max(1, none["obstacle_collisions"])
+        # The combination wins overall, but pays in disruption.
+        assert combined["per_100m"] < none["per_100m"]
+        assert combined["disruption"] > none["disruption"]
+
+
+def test_e4_kernel_simulation_steps(benchmark, harness_rngs):
+    simulation = RoomSimulation(
+        room_size=5.0,
+        n_users=4,
+        config=SafetyConfig.combined(),
+        rng=harness_rngs.fresh("e4-kernel"),
+        obstacles=[Obstacle(2.5, 2.5, 0.5)],
+    )
+    benchmark(lambda: simulation.run(50))

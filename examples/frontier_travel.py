@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The metaverse with frontiers (paper §III-E).
+
+Three platforms run under three jurisdictions: a GDPR-like world, a
+CCPA-like world, and a permissive 'wild' world.  The bridge shows:
+
+1. an avatar travelling between worlds, carrying a reputation passport
+   (discounted by the destination's trust in the issuer) but NOT their
+   consent grants — the new jurisdiction starts default-deny;
+2. the data-transfer adequacy rule: GDPR-collected data may move to the
+   CCPA world (adequate protection) but not to the wild world;
+3. how each jurisdiction scores on policy compliance.
+
+Run:  python examples/frontier_travel.py
+"""
+
+from repro.core import (
+    CCPA_LIKE,
+    FrameworkConfig,
+    GDPR_LIKE,
+    MetaverseFramework,
+    PERMISSIVE,
+    PlatformBridge,
+)
+from repro.errors import PolicyViolation
+
+
+def main() -> None:
+    bridge = PlatformBridge()
+    worlds = {
+        "eu-world": MetaverseFramework(
+            FrameworkConfig(seed=1, n_users=20, policy_profile=GDPR_LIKE,
+                            user_id_prefix="eu")
+        ),
+        "us-world": MetaverseFramework(
+            FrameworkConfig(seed=2, n_users=20, policy_profile=CCPA_LIKE,
+                            user_id_prefix="us")
+        ),
+        # The wild world HAS the technical pipeline but a permissive
+        # jurisdiction — so transfers to it fail on adequacy, not tech.
+        "wild-world": MetaverseFramework(
+            FrameworkConfig(seed=3, n_users=20, policy_profile=PERMISSIVE,
+                            user_id_prefix="wild")
+        ),
+    }
+    for name, framework in worlds.items():
+        bridge.register_platform(name, framework)
+    bridge.set_issuer_trust("us-world", "eu-world", 0.8)
+
+    print("jurisdictions and compliance:")
+    for name, framework in worlds.items():
+        issues = framework.policy_engine.compliance_report(
+            framework.capabilities()
+        )
+        profile = framework.policy_engine.profile.name
+        print(f"  {name:<11} profile={profile:<11} "
+              f"compliance issues: {len(issues)}")
+
+    # Platform life: the EU world collects some data.
+    worlds["eu-world"].run(epochs=4)
+    eu = worlds["eu-world"]
+    us = worlds["us-world"]
+
+    traveller = max(eu.user_ids, key=lambda u: eu.retained_data.count(u))
+    for t in range(5):
+        eu.reputation.record("operator", traveller, True, time=t)
+
+    print(f"\ntraveller {traveller}:")
+    print(f"  home reputation (eu-world):     "
+          f"{eu.reputation.score(traveller):.2f}")
+    print(f"  retained frames at home:        "
+          f"{eu.retained_data.count(traveller)}")
+
+    record = bridge.travel(traveller, "eu-world", "us-world", time=5.0)
+    print(f"\nafter travelling eu-world -> us-world:")
+    print(f"  present in us-world:            {traveller in us.world}")
+    print(f"  reputation passport carried:    {record.reputation_carried:.2f}")
+    print(f"  us-world reputation now:        "
+          f"{us.reputation.local_score(traveller):.2f}")
+    print(f"  consent grants in us-world:     "
+          f"{sorted(us.pipeline.consent.channels_granted(traveller)) or 'none (default-deny)'}")
+
+    moved = bridge.transfer_data(traveller, "eu-world", "us-world")
+    print(f"\ndata transfer eu-world -> us-world (adequate): "
+          f"{moved} frames moved")
+    try:
+        bridge.transfer_data(traveller, "us-world", "wild-world")
+    except (PolicyViolation, Exception) as exc:
+        print(f"data transfer us-world -> wild-world: BLOCKED\n  ({exc})")
+
+
+if __name__ == "__main__":
+    main()

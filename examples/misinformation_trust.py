@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Trust and misinformation: reputation gating of rumour cascades (§IV-B).
+
+Five known liars seed a rumour in a 1000-member scale-free community.
+We compare cascade reach when listeners ignore source reputation ("the
+bad internet") versus when sharing is weighted by the sharer's earned
+credibility — the paper's proposed incentive/trust system.  The liars'
+low credibility comes from prior fact-check feedback recorded in the
+reputation system, not from labels.
+
+Run:  python examples/misinformation_trust.py
+"""
+
+from repro.analysis import ResultTable
+from repro.reputation import ReputationSystem
+from repro.sim import RngRegistry
+from repro.social import MisinformationModel, SocialGraph
+
+
+def main() -> None:
+    rngs = RngRegistry(seed=404)
+    graph = SocialGraph.scale_free(1000, 3, rngs.stream("graph"))
+    members = graph.members()
+    liars = members[:5]
+
+    # Build earned credibility: fact-checkers rated the liars down and a
+    # random honest crowd up, through the ordinary reputation system.
+    reputation = ReputationSystem(blend=1.0)
+    rng = rngs.stream("feedback")
+    for liar in liars:
+        for _ in range(8):
+            reputation.record("fact-checker", liar, positive=False)
+    for member in members[5:105]:
+        if rng.random() < 0.5:
+            reputation.record("peer", member, positive=True)
+
+    table = ResultTable(
+        "Rumour reach from 5 liar seeds (mean of 20 cascades)",
+        columns=["share_prob", "ungated_reach", "gated_reach", "reduction"],
+    )
+    for share_prob in (0.15, 0.25, 0.35, 0.5):
+        ungated = MisinformationModel(
+            graph, rngs.fresh(f"off-{share_prob}"), base_share_prob=share_prob
+        )
+        gated = MisinformationModel(
+            graph,
+            rngs.fresh(f"on-{share_prob}"),
+            base_share_prob=share_prob,
+            credibility=reputation.local_score,
+        )
+        reach_off = ungated.mean_reach(liars, repetitions=20)
+        reach_on = gated.mean_reach(liars, repetitions=20)
+        table.add_row(
+            share_prob=share_prob,
+            ungated_reach=reach_off,
+            gated_reach=reach_on,
+            reduction=(reach_off - reach_on) / reach_off if reach_off else 0.0,
+        )
+    table.print()
+    print("liar credibility after fact-check feedback:",
+          f"{reputation.local_score(liars[0]):.2f}",
+          "(honest prior is 0.50)")
+    print("credibility gating bites hardest near the cascade threshold —")
+    print("exactly where platform interventions matter.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""NFT economies: minting-policy trade-offs and play-to-earn (paper §IV-A).
+
+1. Runs one create-to-earn market season under each minting policy
+   (open / invite-only / reputation-vetted) and prints the scam-rate vs
+   openness table — the paper's "blessing and a curse" trade-off.
+2. Runs a small play-to-earn tournament: creatures battle, winners earn
+   and improve, and an improved creature sells for more than a starter.
+
+Run:  python examples/nft_market.py
+"""
+
+from repro.analysis import ResultTable
+from repro.nft import NFTCollection, NFTMarketplace, PlayToEarnGame
+from repro.reputation import ReputationSystem
+from repro.sim import RngRegistry
+from repro.workloads import run_market_season
+
+
+def policy_comparison(rngs: RngRegistry) -> None:
+    table = ResultTable(
+        "Minting policies: 40 creators (30% scammers), 12 market epochs",
+        columns=[
+            "policy", "sales", "scam_sale_fraction", "volume",
+            "honest_locked_out", "scammers_locked_out",
+        ],
+    )
+    for policy in ("open", "invite-only", "reputation-vetted"):
+        result = run_market_season(
+            policy_name=policy,
+            n_creators=40,
+            scammer_fraction=0.3,
+            rng=rngs.fresh(f"season-{policy}"),
+            epochs=12,
+        )
+        table.add_row(
+            policy=policy,
+            sales=result.stats["sales"],
+            scam_sale_fraction=result.stats["scam_sale_fraction"],
+            volume=result.stats["volume"],
+            honest_locked_out=result.honest_creators_locked_out,
+            scammers_locked_out=result.scammers_locked_out,
+        )
+    table.print()
+    print("the paper's claim: reputation-vetting approaches invite-only scam")
+    print("rates without locking out honest creators.\n")
+
+
+def play_to_earn(rngs: RngRegistry) -> None:
+    print("play-to-earn tournament:")
+    market = NFTMarketplace(
+        NFTCollection("creatures"), reputation=ReputationSystem(blend=1.0)
+    )
+    game = PlayToEarnGame(market, rngs.stream("game"), reward=5.0)
+    roster = {}
+    for player in ("ash", "misty", "brock", "gary"):
+        creature = game.adopt_creature(player, f"{player}-mon", time=0.0)
+        roster[player] = creature.token_id
+
+    players = sorted(roster)
+    time = 1.0
+    for round_index in range(30):
+        for i in range(len(players)):
+            for j in range(i + 1, len(players)):
+                game.battle(roster[players[i]], roster[players[j]], time)
+                time += 1.0
+
+    standings = sorted(
+        players, key=lambda p: game.player_earnings(p), reverse=True
+    )
+    for player in standings:
+        creature = market.collection.token(roster[player])
+        print(f"  {player:>6}: earned {game.player_earnings(player):6.1f}, "
+              f"creature quality {creature.quality:.2f}")
+
+    champion = standings[0]
+    champion_creature = market.collection.token(roster[champion])
+    sale_price = 10.0 * champion_creature.quality + 1.0
+    listing = market.list_token(champion, roster[champion], sale_price, time)
+    market.deposit("collector", 100.0)
+    sale = market.buy("collector", listing.listing_id, time + 1.0)
+    print(f"\n  {champion} sells the improved creature for {sale.price:.2f} "
+          f"(a starter lists around {10.0 * 0.4 + 1.0:.2f}) — "
+          "the paper's 'sell their improved monster' loop.")
+
+
+def main() -> None:
+    rngs = RngRegistry(seed=151)
+    policy_comparison(rngs)
+    play_to_earn(rngs)
+
+
+if __name__ == "__main__":
+    main()

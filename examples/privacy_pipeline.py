@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""The Fig.-2 privacy pipeline, end to end.
+
+Demonstrates §II-A/§II-D of the paper on synthetic XR sensor data:
+
+1. Raw gaze data leaks content preferences almost perfectly (the
+   Renaud-et-al. threat the paper cites).
+2. A Laplace PET at the sensor boundary trades attack accuracy against
+   signal utility — the sweep prints a privacy/utility table.
+3. Consent switches, the privacy budget, bystander scrubbing, and the
+   disclosure LED all operate on the flow.
+4. Every released frame is registered on a blockchain; an auditor
+   replays and cryptographically verifies the collection record, and a
+   monopoly report checks collection concentration.
+
+Run:  python examples/privacy_pipeline.py
+"""
+
+from repro.analysis import ResultTable
+from repro.ledger import Blockchain, DataCollectionAuditor, PoAConsensus, Wallet
+from repro.privacy import (
+    CentroidAttacker,
+    ConsentRegistry,
+    LaplaceMechanism,
+    PrivacyBudget,
+    PrivacyPipeline,
+    SensorRig,
+    utility_loss,
+)
+from repro.sim import RngRegistry
+from repro.workloads import sensor_corpus
+
+
+def main() -> None:
+    rngs = RngRegistry(seed=7)
+
+    # ------------------------------------------------------------------
+    # 1-2. Attack accuracy vs PET strength
+    # ------------------------------------------------------------------
+    corpus = sensor_corpus("gaze", n_users=400, rng=rngs.stream("corpus"))
+    attacker = CentroidAttacker("preference")
+    attacker.train(corpus.train_frames, corpus.profiles)
+
+    table = ResultTable(
+        "Privacy/utility trade-off: preference inference from gaze",
+        columns=["pet", "epsilon", "attack_accuracy", "utility_loss"],
+    )
+    raw_accuracy = attacker.accuracy(corpus.eval_frames, corpus.profiles)
+    table.add_row(pet="none (raw)", epsilon="-", attack_accuracy=raw_accuracy,
+                  utility_loss=0.0)
+    for epsilon in (5.0, 2.0, 1.0, 0.5, 0.2):
+        pet = LaplaceMechanism(epsilon, rngs.fresh(f"pet-{epsilon}"))
+        protected = [pet.apply(f) for f in corpus.eval_frames]
+        table.add_row(
+            pet="laplace",
+            epsilon=epsilon,
+            attack_accuracy=attacker.accuracy(protected, corpus.profiles),
+            utility_loss=utility_loss(corpus.eval_frames, protected),
+        )
+    table.print()
+    print("chance level is 0.25 (four preference classes)\n")
+
+    # ------------------------------------------------------------------
+    # 3-4. The live pipeline with consent, budget, LED, and chain audit
+    # ------------------------------------------------------------------
+    validator = Wallet(seed=b"example-validator")
+    collector = Wallet(seed=b"example-collector", height=10)
+    chain = Blockchain(
+        PoAConsensus([validator.address]),
+        genesis_balances={collector.address: 100_000},
+    )
+    auditor = DataCollectionAuditor(chain)
+
+    users = list(corpus.profiles.values())[:6]
+    rig = SensorRig.default(rngs.stream("rig"), bystanders_nearby=2)
+    consent = ConsentRegistry()
+    for user in users[:4]:  # two users never consent
+        for channel in rig.channels:
+            consent.grant(user.user_id, channel)
+
+    pipeline = PrivacyPipeline(
+        consent=consent,
+        budget=PrivacyBudget(default_cap=6.0),
+        audit_hook=lambda frame, pet: auditor.register_activity(
+            collector,
+            subject=frame.subject,
+            category=frame.channel,
+            purpose="personalisation",
+            pet_applied=pet,
+        ),
+    )
+    for channel in rig.channels:
+        pipeline.set_pet(channel, LaplaceMechanism(1.0, rngs.stream("live-pet")))
+
+    for t in range(3):
+        for user in users:
+            pipeline.ingest_all(rig.sample_all(user, float(t)))
+    chain.propose_block(validator.address, timestamp=10.0, max_txs=500)
+
+    stats = pipeline.stats
+    print("pipeline flow accounting:")
+    print(f"  frames offered:        {stats.offered}")
+    print(f"  released:              {stats.released}")
+    print(f"  blocked (no consent):  {stats.blocked_consent}")
+    print(f"  blocked (budget):      {stats.blocked_budget}")
+    print(f"  bystander scrubs:      {stats.bystander_scrubbed}")
+    print(f"  LED transitions:       {len(pipeline.indicator.transitions)}")
+
+    activities = auditor.activities()
+    print(f"\non-chain registrations:  {len(activities)} "
+          f"(coverage {len(activities) / max(1, stats.released):.0%})")
+    sample = activities[0]
+    print(f"  sample record: party={sample.party[:12]}... subject={sample.subject} "
+          f"channel={sample.category} pet={sample.pet_applied}")
+    print(f"  cryptographic proof verifies: {auditor.prove_activity(sample.tx_id)}")
+    report = auditor.monopoly_report()
+    print(f"  collection concentration: max share "
+          f"{report.dominant_share:.0%}, HHI {report.herfindahl_index:.2f}, "
+          f"monopoly detected: {report.monopoly_detected}")
+
+
+if __name__ == "__main__":
+    main()

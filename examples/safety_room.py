@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Room-scale VR safety: shadow avatars and redirected walking (§II-C).
+
+Four co-located HMD users free-walk a 5 m room with a sofa in the
+middle.  The table compares the four safety configurations on collision
+rate and immersion disruption — the trade-off the paper describes
+("redirecting users' walking while disrupting their immersion").
+
+Run:  python examples/safety_room.py
+"""
+
+from repro.analysis import ResultTable
+from repro.sim import RngRegistry
+from repro.world import Obstacle, RoomSimulation, SafetyConfig
+
+
+def main() -> None:
+    rngs = RngRegistry(seed=360)
+    obstacles = [Obstacle(2.5, 2.5, 0.5)]
+    configs = [
+        SafetyConfig.none(),
+        SafetyConfig.shadows_only(),
+        SafetyConfig.rdw_only(),
+        SafetyConfig.combined(),
+    ]
+
+    table = ResultTable(
+        "Safety mitigations: 4 users, 5m room, one obstacle, 3000 steps",
+        columns=[
+            "config", "user_collisions", "obstacle_collisions",
+            "wall_strikes", "collisions_per_100m", "disruption_per_m",
+        ],
+    )
+    for config in configs:
+        simulation = RoomSimulation(
+            room_size=5.0,
+            n_users=4,
+            config=config,
+            rng=rngs.fresh(f"room-{config.label}"),
+            obstacles=obstacles,
+        )
+        report = simulation.run(3000)
+        table.add_row(
+            config=config.label,
+            user_collisions=report.user_collisions,
+            obstacle_collisions=report.obstacle_collisions,
+            wall_strikes=report.wall_strikes,
+            collisions_per_100m=report.collisions_per_100m,
+            disruption_per_m=report.disruption_per_meter,
+        )
+    table.print()
+    print("shadow avatars remove user-user collisions; potential-field")
+    print("redirected walking removes obstacle/wall collisions; combining")
+    print("them removes (nearly) all collisions at the highest immersion cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` on environments whose
+setuptools lacks PEP 660 editable-wheel support (no `wheel` package).
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro - reproduction of "Life, the Metaverse and Everything: An
+Overview of Privacy, Ethics, and Governance in Metaverse" (Bermejo
+Fernandez & Hui, ICDCS 2022).
+
+The paper is a position paper; its concrete proposal is a **modular,
+stakeholder-involving, ethically-scored metaverse architecture**
+(Fig. 3).  This library implements that architecture end to end, plus
+every substrate the paper leans on, all from scratch:
+
+* ``repro.core`` - the modular framework, decision pipeline, policy
+  profiles, ethics scorecard, transparency auditor (the contribution);
+* ``repro.ledger`` - hash-based-signature blockchain with contracts;
+* ``repro.dao`` - DAOs: voting schemes, delegation, federation;
+* ``repro.nft`` - NFTs, minting policies, marketplace, economies;
+* ``repro.reputation`` - beta + EigenTrust with Sybil attack models;
+* ``repro.privacy`` - XR sensors, PETs, consent, budgets, bubbles,
+  secondary avatars, inference attackers;
+* ``repro.world`` - spatial worlds, interactions, VR room safety;
+* ``repro.social`` - social graphs, behaviour, misinformation, twins;
+* ``repro.governance`` - rules-as-code, moderation, sanctions, norms;
+* ``repro.sim`` - the deterministic discrete-event substrate.
+
+Quickstart::
+
+    from repro import FrameworkConfig, MetaverseFramework
+
+    framework = MetaverseFramework(FrameworkConfig(seed=42))
+    framework.run(epochs=10)
+    print(framework.ethics_scorecard().render())
+"""
+
+from repro.core import (
+    FrameworkConfig,
+    MetaverseFramework,
+    TransparencyAuditor,
+    score_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FrameworkConfig",
+    "MetaverseFramework",
+    "TransparencyAuditor",
+    "score_platform",
+    "__version__",
+]

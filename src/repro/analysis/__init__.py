@@ -1,0 +1,19 @@
+"""Result tables and statistical shape checks for the bench harness."""
+
+from repro.analysis.stats import (
+    dominates,
+    is_monotonic_decreasing,
+    is_monotonic_increasing,
+    mean_and_ci,
+    relative_change,
+)
+from repro.analysis.tables import ResultTable
+
+__all__ = [
+    "dominates",
+    "is_monotonic_decreasing",
+    "is_monotonic_increasing",
+    "mean_and_ci",
+    "relative_change",
+    "ResultTable",
+]

@@ -1,0 +1,62 @@
+"""Statistical helpers for experiment shape checks.
+
+Benchmarks assert the *shape* of results (who wins, which way the trend
+goes), not absolute numbers; these helpers make those assertions
+explicit and reusable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "mean_and_ci",
+    "is_monotonic_decreasing",
+    "is_monotonic_increasing",
+    "dominates",
+    "relative_change",
+]
+
+
+def mean_and_ci(samples: Sequence[float], confidence: float = 0.95) -> Tuple[float, float]:
+    """Sample mean and half-width of a normal-approximation CI."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        return 0.0, 0.0
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, 0.0
+    z = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(confidence, 1.96)
+    half_width = z * float(data.std(ddof=1)) / math.sqrt(data.size)
+    return mean, half_width
+
+
+def is_monotonic_decreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """True if each value is ≤ its predecessor + tolerance (noise slack)."""
+    values = list(values)
+    return all(b <= a + tolerance for a, b in zip(values, values[1:]))
+
+
+def is_monotonic_increasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    values = list(values)
+    return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+
+def dominates(winner: Sequence[float], loser: Sequence[float], margin: float = 0.0) -> bool:
+    """True if ``winner`` beats ``loser`` pointwise by at least ``margin``
+    (higher-is-better metrics)."""
+    winner = list(winner)
+    loser = list(loser)
+    if len(winner) != len(loser):
+        raise ValueError("sequences must have equal length")
+    return all(w >= l + margin for w, l in zip(winner, loser))
+
+
+def relative_change(baseline: float, treated: float) -> float:
+    """(treated - baseline) / |baseline|; 0 when baseline is 0."""
+    if baseline == 0:
+        return 0.0
+    return (treated - baseline) / abs(baseline)

@@ -1,0 +1,96 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every benchmark prints one paper-style table: rows are parameter-sweep
+points, columns are metrics per configuration.  :class:`ResultTable`
+keeps the data queryable (the shape assertions read it back) and renders
+aligned text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+__all__ = ["ResultTable"]
+
+Number = Union[int, float]
+
+
+class ResultTable:
+    """A column-ordered results table.
+
+    Examples
+    --------
+    >>> table = ResultTable("demo", columns=["n", "score"])
+    >>> table.add_row(n=10, score=0.5)
+    >>> table.value(0, "score")
+    0.5
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self._columns: List[str] = list(columns)
+        self._rows: List[Dict[str, Any]] = []
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        return [dict(r) for r in self._rows]
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self._columns)
+        if unknown:
+            raise ValueError(f"unknown columns: {sorted(unknown)}")
+        self._rows.append({c: values.get(c, "") for c in self._columns})
+
+    def value(self, row: int, column: str) -> Any:
+        return self._rows[row][column]
+
+    def column(self, column: str) -> List[Any]:
+        if column not in self._columns:
+            raise ValueError(f"no column {column!r}")
+        return [r[column] for r in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 1:
+                return f"{value:.3g}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self) -> str:
+        header = list(self._columns)
+        body = [[self._format(row[c]) for c in header] for row in self._rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in body:
+            lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors rich API
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,73 @@
+"""The paper's contribution: the modular ethical-design framework (§IV-C).
+
+``MetaverseFramework`` composes every substrate behind interchangeable,
+self-describing modules; decisions about the platform flow through
+stakeholder-representative DAO votes; policy profiles swap per
+jurisdiction; the ethics scorecard measures the result against the
+Ethical Hierarchy of Needs; and the transparency auditor verifies the
+paper's §II-D duties against the live system.
+"""
+
+from repro.core.audit import AuditFinding, TransparencyAuditor
+from repro.core.config import FrameworkConfig
+from repro.core.decisions import ChangeRequest, DecisionPipeline, DecisionRecord
+from repro.core.ethics import EthicsScorecard, LayerScore, score_platform
+from repro.core.events import EventBus, FrameworkEvent
+from repro.core.federation import (
+    PlatformBridge,
+    TravelRecord,
+    offers_adequate_protection,
+)
+from repro.core.framework import MetaverseFramework
+from repro.core.modules import (
+    FrameworkModule,
+    ModuleRegistry,
+    ModuleSlot,
+    SwapRecord,
+)
+from repro.core.policy import (
+    CCPA_LIKE,
+    GDPR_LIKE,
+    PERMISSIVE,
+    ComplianceIssue,
+    PolicyEngine,
+    PolicyProfile,
+)
+from repro.core.stakeholders import (
+    RepresentationRequirement,
+    Stakeholder,
+    StakeholderRegistry,
+    StakeholderRole,
+)
+
+__all__ = [
+    "AuditFinding",
+    "TransparencyAuditor",
+    "FrameworkConfig",
+    "ChangeRequest",
+    "DecisionPipeline",
+    "DecisionRecord",
+    "EthicsScorecard",
+    "LayerScore",
+    "score_platform",
+    "EventBus",
+    "FrameworkEvent",
+    "PlatformBridge",
+    "TravelRecord",
+    "offers_adequate_protection",
+    "MetaverseFramework",
+    "FrameworkModule",
+    "ModuleRegistry",
+    "ModuleSlot",
+    "SwapRecord",
+    "CCPA_LIKE",
+    "GDPR_LIKE",
+    "PERMISSIVE",
+    "ComplianceIssue",
+    "PolicyEngine",
+    "PolicyProfile",
+    "RepresentationRequirement",
+    "Stakeholder",
+    "StakeholderRegistry",
+    "StakeholderRole",
+]

@@ -1,0 +1,221 @@
+"""Transparency auditing of a running framework.
+
+§II-D asks for auditable data practices; §IV-C for transparent,
+understandable active parts.  :class:`TransparencyAuditor` verifies both
+against a live :class:`~repro.core.framework.MetaverseFramework`:
+
+* every module slot is described (and descriptions are non-empty),
+* every module swap is in the public history,
+* every released collection has a matching on-chain registration
+  (coverage ratio), each cryptographically provable,
+* every platform decision is anchored,
+* data-collection concentration stays below the monopoly threshold.
+
+The report is a plain dict so external tools (and the EXPERIMENTS.md
+harness) can snapshot it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.core.framework import MetaverseFramework
+from repro.ledger.transactions import TxKind
+
+__all__ = ["AuditFinding", "TransparencyAuditor"]
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One audit observation; severity is 'ok', 'warning', or 'violation'."""
+
+    check: str
+    severity: str
+    detail: str
+
+
+class TransparencyAuditor:
+    """Audits a framework instance for the paper's transparency duties."""
+
+    def __init__(self, framework: MetaverseFramework, monopoly_threshold: float = 0.5):
+        self._fw = framework
+        self._monopoly_threshold = monopoly_threshold
+
+    # ------------------------------------------------------------------
+    # Individual checks
+    # ------------------------------------------------------------------
+    def check_module_transparency(self) -> List[AuditFinding]:
+        findings: List[AuditFinding] = []
+        descriptions = self._fw.modules.describe_all()
+        if not descriptions:
+            findings.append(
+                AuditFinding(
+                    "module-transparency",
+                    "violation",
+                    "no modules are publicly described "
+                    "(opaque/monolithic operation)",
+                )
+            )
+            return findings
+        for description in descriptions:
+            if not description.get("detail"):
+                findings.append(
+                    AuditFinding(
+                        "module-transparency",
+                        "warning",
+                        f"module {description.get('name')} has no detail text",
+                    )
+                )
+        findings.append(
+            AuditFinding(
+                "module-transparency",
+                "ok",
+                f"{len(descriptions)} modules publicly described",
+            )
+        )
+        return findings
+
+    def check_collection_registration(self) -> List[AuditFinding]:
+        """Released frames vs on-chain registrations (coverage)."""
+        findings: List[AuditFinding] = []
+        pipeline = self._fw.pipeline
+        auditor = self._fw.auditor
+        if pipeline is None:
+            findings.append(
+                AuditFinding(
+                    "collection-registration",
+                    "violation",
+                    "no privacy pipeline: collection is unmediated",
+                )
+            )
+            return findings
+        released = pipeline.stats.released
+        if auditor is None:
+            severity = "violation" if released else "warning"
+            findings.append(
+                AuditFinding(
+                    "collection-registration",
+                    severity,
+                    f"{released} releases with no audit ledger",
+                )
+            )
+            return findings
+        registered = len(auditor.activities())
+        coverage = registered / released if released else 1.0
+        severity = "ok" if coverage >= 0.99 else "violation"
+        findings.append(
+            AuditFinding(
+                "collection-registration",
+                severity,
+                f"{registered}/{released} releases registered "
+                f"(coverage {coverage:.1%})",
+            )
+        )
+        return findings
+
+    def check_registration_proofs(self, sample: int = 5) -> List[AuditFinding]:
+        """Spot-check Merkle inclusion proofs of registrations."""
+        auditor = self._fw.auditor
+        if auditor is None:
+            return [
+                AuditFinding(
+                    "registration-proofs", "warning", "no ledger to prove against"
+                )
+            ]
+        activities = auditor.activities()
+        checked = activities[:sample] + activities[-sample:]
+        for record in checked:
+            if not auditor.prove_activity(record.tx_id):
+                return [
+                    AuditFinding(
+                        "registration-proofs",
+                        "violation",
+                        f"tx {record.tx_id[:12]} failed inclusion proof",
+                    )
+                ]
+        return [
+            AuditFinding(
+                "registration-proofs",
+                "ok",
+                f"{len(checked)} sampled registrations cryptographically verified",
+            )
+        ]
+
+    def check_data_monopoly(self) -> List[AuditFinding]:
+        auditor = self._fw.auditor
+        if auditor is None:
+            return [
+                AuditFinding(
+                    "data-monopoly",
+                    "warning",
+                    "collection shares unobservable without a ledger",
+                )
+            ]
+        report = auditor.monopoly_report(threshold=self._monopoly_threshold)
+        if report.monopoly_detected:
+            return [
+                AuditFinding(
+                    "data-monopoly",
+                    "violation",
+                    f"{report.dominant_party[:12]} holds "
+                    f"{report.dominant_share:.1%} of collection activity",
+                )
+            ]
+        return [
+            AuditFinding(
+                "data-monopoly",
+                "ok",
+                f"max share {report.dominant_share:.1%}, "
+                f"HHI {report.herfindahl_index:.3f}",
+            )
+        ]
+
+    def check_decision_anchoring(self) -> List[AuditFinding]:
+        records = self._fw.decisions.records
+        if not records:
+            return [
+                AuditFinding("decision-anchoring", "ok", "no decisions yet")
+            ]
+        if self._fw.chain is None:
+            return [
+                AuditFinding(
+                    "decision-anchoring",
+                    "violation",
+                    f"{len(records)} decisions with no ledger anchor",
+                )
+            ]
+        anchored = sum(
+            1
+            for _, stx in self._fw.chain.iter_transactions()
+            if stx.tx.kind == TxKind.RECORD
+            and stx.tx.payload.get("activity") == "platform_decision"
+        )
+        severity = "ok" if anchored >= len(records) else "warning"
+        return [
+            AuditFinding(
+                "decision-anchoring",
+                severity,
+                f"{anchored}/{len(records)} decisions anchored on-chain",
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Full report
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        findings = (
+            self.check_module_transparency()
+            + self.check_collection_registration()
+            + self.check_registration_proofs()
+            + self.check_data_monopoly()
+            + self.check_decision_anchoring()
+        )
+        violations = [f for f in findings if f.severity == "violation"]
+        warnings = [f for f in findings if f.severity == "warning"]
+        return {
+            "findings": findings,
+            "violations": len(violations),
+            "warnings": len(warnings),
+            "passed": not violations,
+        }

@@ -1,0 +1,234 @@
+"""The default module set mounted by a modular framework.
+
+Each module owns one Fig.-3 slot and drives the matching epoch step of
+the framework it is attached to.  They are deliberately thin: the
+mechanics live in the substrates; a module contributes the three things
+the paper demands of the architecture — a *slot* it can be swapped out
+of, a public *description*, and a *hook* connecting it to the rest.
+
+Swappability is real: e.g. replacing :class:`PrivacyModule` with one
+built at a different epsilon re-targets the pipeline's PETs the moment
+it attaches (see the module-swap integration tests and the quickstart
+example).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.framework import MetaverseFramework
+from repro.core.modules import FrameworkModule, ModuleSlot
+from repro.core.policy import PolicyProfile
+from repro.privacy import LaplaceMechanism
+
+__all__ = [
+    "BehaviorGovernanceModule",
+    "PrivacyModule",
+    "DecisionModule",
+    "ReputationModule",
+    "EconomyModule",
+    "SafetyModule",
+    "PolicyModule",
+    "default_modules",
+]
+
+_SENSOR_CHANNELS = ("gaze", "gait", "heart_rate", "spatial_map")
+
+
+class BehaviorGovernanceModule(FrameworkModule):
+    """Governance slot: behaviour epoch + moderation pipeline."""
+
+    slot = ModuleSlot.GOVERNANCE
+    name = "hybrid-moderation"
+
+    def on_epoch(self, framework: MetaverseFramework, time: float) -> None:
+        framework.step_behavior(time)
+        framework.step_moderation(time)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "slot": self.slot.value,
+            "detail": (
+                "world interaction gates (rate limits, bubbles) plus the "
+                "configured moderation pipeline with graduated sanctions"
+            ),
+        }
+
+
+class PrivacyModule(FrameworkModule):
+    """Privacy slot: the Fig.-2 pipeline with configurable PETs.
+
+    Swapping in a module with a different ``epsilon`` retunes every
+    channel's mechanism on attach — a live demonstration of module
+    interchangeability.
+    """
+
+    slot = ModuleSlot.PRIVACY
+    name = "pet-pipeline"
+
+    def __init__(self, epsilon: Optional[float] = None):
+        super().__init__()
+        self._epsilon = epsilon
+
+    def on_attach(self, framework: MetaverseFramework) -> None:
+        if self._epsilon is None or framework.pipeline is None:
+            return
+        rng = framework.rngs.stream("pets")
+        for channel in _SENSOR_CHANNELS:
+            framework.pipeline.set_pet(
+                channel, LaplaceMechanism(self._epsilon, rng)
+            )
+
+    def on_epoch(self, framework: MetaverseFramework, time: float) -> None:
+        framework.step_privacy(time)
+
+    def describe(self) -> Dict[str, Any]:
+        epsilon = (
+            self._epsilon
+            if self._epsilon is not None
+            else (
+                self.framework.config.pet_epsilon if self.is_attached else None
+            )
+        )
+        return {
+            "name": self.name,
+            "slot": self.slot.value,
+            "detail": "consent-gated sensor pipeline with Laplace PETs and "
+            "on-chain collection registration",
+            "epsilon": epsilon,
+        }
+
+
+class DecisionModule(FrameworkModule):
+    """Decision slot: DAO participation and proposal lifecycle."""
+
+    slot = ModuleSlot.DECISION
+    name = "modular-dao-federation"
+
+    def on_epoch(self, framework: MetaverseFramework, time: float) -> None:
+        framework.step_decisions(time)
+
+    def describe(self) -> Dict[str, Any]:
+        topics = (
+            self.framework.federation.topics()
+            if self.is_attached and self.framework.federation is not None
+            else {}
+        )
+        return {
+            "name": self.name,
+            "slot": self.slot.value,
+            "detail": "topic-routed sub-DAOs with root ratification for "
+            "constitutional changes",
+            "topics": topics,
+        }
+
+
+class ReputationModule(FrameworkModule):
+    """Reputation slot: decay upkeep (feedback arrives via hooks)."""
+
+    slot = ModuleSlot.REPUTATION
+    name = "blended-reputation"
+
+    def on_epoch(self, framework: MetaverseFramework, time: float) -> None:
+        framework.step_upkeep(time)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "slot": self.slot.value,
+            "detail": "beta + EigenTrust blend with ledger-anchored feedback "
+            "and epoch decay",
+        }
+
+
+class EconomyModule(FrameworkModule):
+    """Economy slot: NFT market epoch."""
+
+    slot = ModuleSlot.ECONOMY
+    name = "reputation-vetted-market"
+
+    def on_epoch(self, framework: MetaverseFramework, time: float) -> None:
+        framework.step_economy(time)
+
+    def describe(self) -> Dict[str, Any]:
+        policy = (
+            self.framework.market.policy.name
+            if self.is_attached and self.framework.market is not None
+            else None
+        )
+        return {
+            "name": self.name,
+            "slot": self.slot.value,
+            "detail": "create-to-earn market with royalties and scam reports "
+            "feeding reputation",
+            "minting_policy": policy,
+        }
+
+
+class SafetyModule(FrameworkModule):
+    """Safety slot: advertises the active physical-safety mitigations.
+
+    Room-scale safety runs per physical space (see
+    :class:`repro.world.RoomSimulation`); at the platform level this
+    module declares which mitigations headsets must enable.
+    """
+
+    slot = ModuleSlot.SAFETY
+    name = "hmd-safety"
+
+    def describe(self) -> Dict[str, Any]:
+        cfg = self.framework.config if self.is_attached else None
+        return {
+            "name": self.name,
+            "slot": self.slot.value,
+            "detail": "shadow avatars + potential-field redirected walking",
+            "shadow_avatars": cfg.safety_shadow_avatars if cfg else None,
+            "redirected_walking": cfg.safety_redirected_walking if cfg else None,
+        }
+
+
+class PolicyModule(FrameworkModule):
+    """Policy slot: the jurisdiction profile; ledger step piggybacks here
+    (the policy layer owns the audit trail requirement)."""
+
+    slot = ModuleSlot.POLICY
+    name = "jurisdiction-policy"
+
+    def __init__(self, profile: Optional[PolicyProfile] = None):
+        super().__init__()
+        self._profile = profile
+
+    def on_attach(self, framework: MetaverseFramework) -> None:
+        if self._profile is not None:
+            framework.policy_engine.swap_profile(self._profile)
+
+    def on_epoch(self, framework: MetaverseFramework, time: float) -> None:
+        framework.step_ledger(time)
+
+    def describe(self) -> Dict[str, Any]:
+        profile = (
+            self.framework.policy_engine.profile.name
+            if self.is_attached
+            else (self._profile.name if self._profile else None)
+        )
+        return {
+            "name": self.name,
+            "slot": self.slot.value,
+            "detail": "swappable jurisdiction profile (GDPR/CCPA/permissive) "
+            "with compliance reporting",
+            "profile": profile,
+        }
+
+
+def default_modules() -> List[FrameworkModule]:
+    """The standard Fig.-3 module set, in mount order."""
+    return [
+        BehaviorGovernanceModule(),
+        PrivacyModule(),
+        EconomyModule(),
+        DecisionModule(),
+        PolicyModule(),
+        ReputationModule(),
+        SafetyModule(),
+    ]

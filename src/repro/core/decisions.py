@@ -1,0 +1,263 @@
+"""The decision pipeline: how the metaverse changes itself.
+
+§IV-C: "the decision-making module will involve members, regulators,
+and software developers ... The changes in the metaverse will also
+involve code and hardware implementations."
+
+A :class:`ChangeRequest` describes a proposed platform change (module
+swap, policy swap, rule change, treasury grant).  The pipeline routes
+it through the configured decision mechanism:
+
+* ``"dao"`` mode — the request becomes a proposal in the topic-owning
+  DAO of a :class:`~repro.dao.modular.ModularDaoFederation`; if passed,
+  the attached executor runs and the outcome is anchored.
+* ``"operator"`` mode — the monolithic baseline of experiment E9: a
+  central operator decides instantly, with no vote and no
+  representation.
+
+Either way, the pipeline measures what the paper cares about:
+representation (were users, developers, and regulators present?),
+latency, and participation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.stakeholders import RepresentationRequirement, StakeholderRegistry
+from repro.dao.modular import ModularDaoFederation
+from repro.dao.proposals import Proposal, ProposalStatus
+from repro.errors import FrameworkError
+
+__all__ = ["ChangeRequest", "DecisionRecord", "DecisionPipeline"]
+
+# Executes the approved change; receives the request.
+ChangeExecutor = Callable[["ChangeRequest"], Any]
+# Anchor for decided outcomes (ledger registration).
+DecisionAnchor = Callable[[Dict[str, Any]], None]
+
+
+@dataclass
+class ChangeRequest:
+    """A proposed change to the platform itself."""
+
+    request_id: str
+    title: str
+    kind: str  # "swap_module" | "policy_change" | "rule_change" | "grant" | ...
+    topic: str
+    proposer: str
+    executor: Optional[ChangeExecutor] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class DecisionRecord:
+    """The audited outcome of one change request."""
+
+    request: ChangeRequest
+    mechanism: str  # "dao" | "operator"
+    approved: bool
+    executed: bool
+    representative: bool
+    participants: List[str]
+    submitted_at: float
+    decided_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.decided_at - self.submitted_at
+
+
+class DecisionPipeline:
+    """Routes change requests through DAO or operator decision-making."""
+
+    def __init__(
+        self,
+        stakeholders: StakeholderRegistry,
+        federation: Optional[ModularDaoFederation] = None,
+        representation: Optional[RepresentationRequirement] = None,
+        mode: str = "dao",
+        anchor: Optional[DecisionAnchor] = None,
+        operator_id: str = "operator",
+    ):
+        if mode not in ("dao", "operator"):
+            raise FrameworkError(f"mode must be 'dao' or 'operator', got {mode!r}")
+        if mode == "dao" and federation is None:
+            raise FrameworkError("dao mode requires a federation")
+        self._stakeholders = stakeholders
+        self._federation = federation
+        self._representation = representation or RepresentationRequirement()
+        self._mode = mode
+        self._anchor = anchor
+        self._operator_id = operator_id
+        self._counter = itertools.count()
+        self._pending: Dict[str, ChangeRequest] = {}  # proposal_id → request
+        self._records: List[DecisionRecord] = []
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def make_request(
+        self,
+        title: str,
+        kind: str,
+        topic: str,
+        proposer: str,
+        executor: Optional[ChangeExecutor] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> ChangeRequest:
+        return ChangeRequest(
+            request_id=f"chg-{next(self._counter):05d}",
+            title=title,
+            kind=kind,
+            topic=topic,
+            proposer=proposer,
+            executor=executor,
+            payload=dict(payload or {}),
+        )
+
+    def submit(
+        self, request: ChangeRequest, time: float, voting_period: float = 10.0
+    ) -> Optional[Proposal]:
+        """Enter the request into the decision mechanism.
+
+        In operator mode the decision happens immediately (approve
+        everything the operator proposes — that is the point of the
+        baseline) and None is returned.  In DAO mode the routed
+        proposal is returned; call :meth:`finalize` after its vote
+        closes.
+        """
+        if self._mode == "operator":
+            self._decide_operator(request, time)
+            return None
+        assert self._federation is not None
+        dao, proposal = self._federation.submit_proposal(
+            title=request.title,
+            proposer=request.proposer,
+            topic=request.topic,
+            created_at=time,
+            voting_period=voting_period,
+            metadata={"request_id": request.request_id, "kind": request.kind},
+        )
+        self._pending[proposal.proposal_id] = request
+        return proposal
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self, proposal_id: str, time: float) -> DecisionRecord:
+        """Close the DAO vote for ``proposal_id`` and execute on pass."""
+        if self._mode != "dao":
+            raise FrameworkError("finalize() only applies in dao mode")
+        request = self._pending.pop(proposal_id, None)
+        if request is None:
+            raise FrameworkError(f"no pending request for proposal {proposal_id}")
+        assert self._federation is not None
+        dao = self._federation.dao_for_topic(request.topic)
+        proposal = dao.proposal(proposal_id)
+        if proposal.is_open:
+            self._federation.close_and_escalate(dao, proposal_id, time)
+        approved = proposal.status in (ProposalStatus.PASSED, ProposalStatus.EXECUTED)
+        participants = [b.voter for b in dao.ballots_of(proposal_id)]
+        representative = self._representation.satisfied_by(
+            participants, self._stakeholders
+        )
+        executed = False
+        if approved and request.executor is not None:
+            request.executor(request)
+            executed = True
+        record = DecisionRecord(
+            request=request,
+            mechanism="dao",
+            approved=approved,
+            executed=executed,
+            representative=representative,
+            participants=participants,
+            submitted_at=proposal.created_at,
+            decided_at=time,
+        )
+        self._finish(record, time)
+        return record
+
+    def finalize_due(self, time: float) -> List[DecisionRecord]:
+        """Finalize every pending request whose vote deadline passed."""
+        if self._mode != "dao":
+            return []
+        records = []
+        assert self._federation is not None
+        for proposal_id, request in list(self._pending.items()):
+            dao = self._federation.dao_for_topic(request.topic)
+            proposal = dao.proposal(proposal_id)
+            if time >= proposal.voting_deadline:
+                records.append(self.finalize(proposal_id, time))
+        return records
+
+    def _decide_operator(self, request: ChangeRequest, time: float) -> None:
+        executed = False
+        if request.executor is not None:
+            request.executor(request)
+            executed = True
+        record = DecisionRecord(
+            request=request,
+            mechanism="operator",
+            approved=True,
+            executed=executed,
+            representative=self._representation.satisfied_by(
+                [self._operator_id], self._stakeholders
+            ),
+            participants=[self._operator_id],
+            submitted_at=time,
+            decided_at=time,
+        )
+        self._finish(record, time)
+
+    def _finish(self, record: DecisionRecord, time: float) -> None:
+        self._records.append(record)
+        if self._anchor is not None:
+            self._anchor(
+                {
+                    "activity": "platform_decision",
+                    "request_id": record.request.request_id,
+                    "kind": record.request.kind,
+                    "mechanism": record.mechanism,
+                    "approved": record.approved,
+                    "representative": record.representative,
+                    "participants": len(record.participants),
+                    "time": time,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[DecisionRecord]:
+        return list(self._records)
+
+    def stats(self) -> Dict[str, float]:
+        if not self._records:
+            return {
+                "decisions": 0.0,
+                "approved_fraction": 0.0,
+                "representative_fraction": 0.0,
+                "mean_latency": 0.0,
+                "mean_participants": 0.0,
+            }
+        n = len(self._records)
+        return {
+            "decisions": float(n),
+            "approved_fraction": sum(r.approved for r in self._records) / n,
+            "representative_fraction": sum(
+                r.representative for r in self._records
+            ) / n,
+            "mean_latency": sum(r.latency for r in self._records) / n,
+            "mean_participants": sum(
+                len(r.participants) for r in self._records
+            ) / n,
+        }

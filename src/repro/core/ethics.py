@@ -1,0 +1,162 @@
+"""Ethical Hierarchy of Needs scoring (paper §IV-C, Fig. 3).
+
+The paper aligns its architecture with the 'Ethical Hierarchy of Needs'
+(Balkan, CC BY 4.0): **human rights** at the base, **human effort**
+above it, **human experience** at the top.  This module turns each layer
+into concrete, measurable checks against a live platform, so that
+experiment E9 can *score* architectures instead of asserting virtue:
+
+Human rights     — privacy defaults (default-deny consent, PET coverage,
+                   budget caps), transparency (module descriptions, audit
+                   ledger, anchored decisions), no data monopoly.
+Human effort     — decision participation (turnout), stakeholder
+                   representation, reputation/feedback activity,
+                   moderation effectiveness (abuse actually addressed).
+Human experience — benign interactions delivered (not over-blocked),
+                   low harassment exposure, safety mitigations active.
+
+Each check yields [0, 1]; a layer is the mean of its checks; the overall
+score is the mean of layers *weighted by the hierarchy* (rights count
+double — a delightful experience on a rights-violating platform is not
+ethical design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["LayerScore", "EthicsScorecard", "score_platform"]
+
+
+@dataclass(frozen=True)
+class LayerScore:
+    """One hierarchy layer's score with its per-check breakdown."""
+
+    layer: str
+    checks: Dict[str, float]
+
+    @property
+    def score(self) -> float:
+        if not self.checks:
+            return 0.0
+        return sum(self.checks.values()) / len(self.checks)
+
+
+@dataclass(frozen=True)
+class EthicsScorecard:
+    """The full three-layer scorecard."""
+
+    human_rights: LayerScore
+    human_effort: LayerScore
+    human_experience: LayerScore
+
+    @property
+    def overall(self) -> float:
+        """Hierarchy-weighted mean: rights ×2, effort ×1.5, experience ×1."""
+        weighted = (
+            2.0 * self.human_rights.score
+            + 1.5 * self.human_effort.score
+            + 1.0 * self.human_experience.score
+        )
+        return weighted / 4.5
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "overall": self.overall,
+            "human_rights": {
+                "score": self.human_rights.score,
+                "checks": dict(self.human_rights.checks),
+            },
+            "human_effort": {
+                "score": self.human_effort.score,
+                "checks": dict(self.human_effort.checks),
+            },
+            "human_experience": {
+                "score": self.human_experience.score,
+                "checks": dict(self.human_experience.checks),
+            },
+        }
+
+    def render(self) -> str:
+        lines = [f"overall ethics score: {self.overall:.3f}"]
+        for layer in (self.human_rights, self.human_effort, self.human_experience):
+            lines.append(f"  {layer.layer}: {layer.score:.3f}")
+            for check, value in sorted(layer.checks.items()):
+                lines.append(f"    {check:<36s} {value:.3f}")
+        return "\n".join(lines)
+
+
+def _clamp(value: float) -> float:
+    return max(0.0, min(1.0, float(value)))
+
+
+def score_platform(observations: Mapping[str, Any]) -> EthicsScorecard:
+    """Score a platform from an observation dict.
+
+    The framework assembles ``observations`` from live components (see
+    :meth:`MetaverseFramework.ethics_observations`); scoring from a
+    plain mapping keeps this module independently testable and usable
+    on external platforms.
+
+    Recognised keys (all optional; missing = worst case for that check):
+
+    rights: ``consent_default_deny`` (bool), ``pet_coverage`` [0,1],
+    ``budget_capped`` (bool), ``audit_ledger`` (bool),
+    ``transparency_described_modules`` [0,1], ``decisions_anchored``
+    (bool), ``data_monopoly_hhi`` [0,1] (lower is better),
+    ``bystander_protection`` (bool).
+
+    effort: ``mean_turnout`` [0,1], ``representative_fraction`` [0,1],
+    ``reputation_active`` (bool), ``moderation_recall`` [0,1],
+    ``moderation_precision`` [0,1].
+
+    experience: ``benign_delivery_rate`` [0,1],
+    ``harassment_exposure`` [0,1] (lower is better),
+    ``safety_mitigations`` [0,1], ``creation_openness`` [0,1].
+    """
+    obs = dict(observations)
+
+    rights = LayerScore(
+        layer="human_rights",
+        checks={
+            "consent_default_deny": 1.0 if obs.get("consent_default_deny") else 0.0,
+            "pet_coverage": _clamp(obs.get("pet_coverage", 0.0)),
+            "budget_capped": 1.0 if obs.get("budget_capped") else 0.0,
+            "audit_ledger": 1.0 if obs.get("audit_ledger") else 0.0,
+            "module_transparency": _clamp(
+                obs.get("transparency_described_modules", 0.0)
+            ),
+            "decisions_anchored": 1.0 if obs.get("decisions_anchored") else 0.0,
+            "no_data_monopoly": _clamp(1.0 - obs.get("data_monopoly_hhi", 1.0)),
+            "bystander_protection": 1.0 if obs.get("bystander_protection") else 0.0,
+        },
+    )
+    effort = LayerScore(
+        layer="human_effort",
+        checks={
+            "decision_turnout": _clamp(obs.get("mean_turnout", 0.0)),
+            "stakeholder_representation": _clamp(
+                obs.get("representative_fraction", 0.0)
+            ),
+            "reputation_active": 1.0 if obs.get("reputation_active") else 0.0,
+            "moderation_recall": _clamp(obs.get("moderation_recall", 0.0)),
+            "moderation_precision": _clamp(obs.get("moderation_precision", 0.0)),
+        },
+    )
+    experience = LayerScore(
+        layer="human_experience",
+        checks={
+            "benign_delivery": _clamp(obs.get("benign_delivery_rate", 0.0)),
+            "low_harassment_exposure": _clamp(
+                1.0 - obs.get("harassment_exposure", 1.0)
+            ),
+            "safety_mitigations": _clamp(obs.get("safety_mitigations", 0.0)),
+            "creation_openness": _clamp(obs.get("creation_openness", 0.0)),
+        },
+    )
+    return EthicsScorecard(
+        human_rights=rights,
+        human_effort=effort,
+        human_experience=experience,
+    )

@@ -1,0 +1,79 @@
+"""Event bus: the connective tissue between framework modules.
+
+Fig. 3 shows modules that "can take independent decisions ... but are
+still connected to other decision modules, resources, and policies".
+The bus is that connection: modules publish typed events and subscribe
+to topics without importing each other, keeping the architecture
+modular (swap a module, its subscriptions go with it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import FrameworkError
+
+__all__ = ["FrameworkEvent", "EventBus"]
+
+
+@dataclass(frozen=True)
+class FrameworkEvent:
+    """One published event."""
+
+    topic: str
+    time: float
+    source: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+Subscriber = Callable[[FrameworkEvent], None]
+
+
+class EventBus:
+    """Topic-based publish/subscribe with a retained history.
+
+    History retention serves the transparency requirement: auditors can
+    replay everything that ever crossed the bus.
+    """
+
+    def __init__(self, history_capacity: int = 100_000):
+        if history_capacity < 0:
+            raise FrameworkError("history_capacity must be >= 0")
+        self._subscribers: Dict[str, List[Subscriber]] = {}
+        self._history: List[FrameworkEvent] = []
+        self._capacity = history_capacity
+
+    def subscribe(self, topic: str, subscriber: Subscriber) -> None:
+        """Register ``subscriber`` for all events on ``topic``."""
+        if not topic:
+            raise FrameworkError("topic must be non-empty")
+        self._subscribers.setdefault(topic, []).append(subscriber)
+
+    def unsubscribe(self, topic: str, subscriber: Subscriber) -> bool:
+        subs = self._subscribers.get(topic, [])
+        if subscriber in subs:
+            subs.remove(subscriber)
+            return True
+        return False
+
+    def publish(
+        self, topic: str, time: float, source: str, **payload: Any
+    ) -> FrameworkEvent:
+        """Deliver an event to all current subscribers of ``topic``."""
+        event = FrameworkEvent(topic=topic, time=time, source=source, payload=payload)
+        if self._capacity:
+            self._history.append(event)
+            if len(self._history) > self._capacity:
+                del self._history[: len(self._history) - self._capacity]
+        for subscriber in list(self._subscribers.get(topic, [])):
+            subscriber(event)
+        return event
+
+    def history(self, topic: Optional[str] = None) -> List[FrameworkEvent]:
+        if topic is None:
+            return list(self._history)
+        return [e for e in self._history if e.topic == topic]
+
+    def topics(self) -> List[str]:
+        return sorted(self._subscribers)

@@ -1,0 +1,223 @@
+"""Inter-platform federation: the "metaverse with frontiers" (§III-E).
+
+"We could end up with a version of the metaverse with frontiers, in
+which the regulations are applied differently."  This module makes that
+scenario executable:
+
+* :class:`PlatformBridge` connects multiple :class:`MetaverseFramework`
+  instances (each its own jurisdiction).
+* :meth:`travel` moves a user's avatar between platforms, carrying a
+  **reputation passport** (an attested summary of the home platform's
+  score, discounted by the destination's trust in the issuer) while
+  consent explicitly does *not* travel — the visitor starts default-deny
+  in the new jurisdiction.
+* :meth:`transfer_data` moves retained sensor data between platforms
+  only when the destination offers **adequate protection** (the
+  GDPR-adequacy analogue): an opt-in/opt-out destination with erasure
+  support may receive data from a stricter origin; a permissive
+  destination may not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.framework import MetaverseFramework
+from repro.core.policy import PolicyProfile
+from repro.errors import FrameworkError, PolicyViolation
+
+__all__ = ["TravelRecord", "offers_adequate_protection", "PlatformBridge"]
+
+
+@dataclass(frozen=True)
+class TravelRecord:
+    """One completed inter-platform move."""
+
+    user_id: str
+    origin: str
+    destination: str
+    time: float
+    reputation_carried: float
+
+
+def offers_adequate_protection(
+    destination: PolicyProfile, origin: PolicyProfile
+) -> bool:
+    """GDPR-adequacy analogue: is ``destination`` protective enough to
+    receive personal data collected under ``origin``?
+
+    Rules (simplified but directionally faithful):
+
+    * data collected under ``consent_model="none"`` may go anywhere
+      (the origin promised its subjects nothing);
+    * otherwise the destination must (a) have a consent model at all,
+      (b) honour erasure if the origin did, and (c) cap DP budgets at
+      least as tightly *if the origin capped them* (within 4x slack,
+      mirroring how adequacy decisions tolerate similar-not-identical
+      regimes).
+    """
+    if origin.consent_model == "none":
+        return True
+    if destination.consent_model == "none":
+        return False
+    if origin.right_to_erasure and not destination.right_to_erasure:
+        return False
+    if origin.max_epsilon_per_subject is not None:
+        if destination.max_epsilon_per_subject is None:
+            return False
+        if destination.max_epsilon_per_subject > 4 * origin.max_epsilon_per_subject:
+            return False
+    return True
+
+
+class PlatformBridge:
+    """Connects platforms into a federated (frontier-ed) metaverse."""
+
+    def __init__(self) -> None:
+        self._platforms: Dict[str, MetaverseFramework] = {}
+        self._travels: List[TravelRecord] = []
+        # Cross-platform issuer trust: (destination, origin) → weight in
+        # [0, 1] applied to imported reputation passports.
+        self._issuer_trust: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register_platform(self, name: str, framework: MetaverseFramework) -> None:
+        if name in self._platforms:
+            raise FrameworkError(f"platform {name!r} already registered")
+        self._platforms[name] = framework
+
+    def platform(self, name: str) -> MetaverseFramework:
+        if name not in self._platforms:
+            raise FrameworkError(f"no platform {name!r}")
+        return self._platforms[name]
+
+    def platforms(self) -> List[str]:
+        return sorted(self._platforms)
+
+    def set_issuer_trust(self, destination: str, origin: str, weight: float) -> None:
+        """How much ``destination`` trusts reputation attested by
+        ``origin`` (default 0.5)."""
+        if not 0 <= weight <= 1:
+            raise FrameworkError(f"weight must be in [0, 1], got {weight}")
+        self.platform(destination)
+        self.platform(origin)
+        self._issuer_trust[(destination, origin)] = weight
+
+    def issuer_trust(self, destination: str, origin: str) -> float:
+        return self._issuer_trust.get((destination, origin), 0.5)
+
+    # ------------------------------------------------------------------
+    # Travel
+    # ------------------------------------------------------------------
+    def travel(
+        self, user_id: str, origin: str, destination: str, time: float = 0.0
+    ) -> TravelRecord:
+        """Move ``user_id``'s avatar from ``origin`` to ``destination``.
+
+        Effects:
+
+        * the avatar despawns at the origin and spawns at the
+          destination (deterministic entry-portal position);
+        * the user's profile (latent attributes) is shared so the
+          destination's sensors behave consistently;
+        * a reputation passport imports a discounted version of the
+          origin score as a single weighted feedback event;
+        * consent does NOT travel — the visitor starts default-deny in
+          the new jurisdiction (checked by tests).
+        """
+        src = self.platform(origin)
+        dst = self.platform(destination)
+        if origin == destination:
+            raise FrameworkError("origin and destination are the same platform")
+        if user_id not in src.world:
+            raise FrameworkError(
+                f"{user_id} is not present on platform {origin!r}"
+            )
+        if user_id in dst.world:
+            raise FrameworkError(
+                f"{user_id} is already present on platform {destination!r}"
+            )
+
+        # 1. Physical move.
+        src.world.despawn(user_id)
+        portal = (dst.config.world_size / 2.0, dst.config.world_size / 2.0)
+        dst.world.spawn(user_id, portal, time=time)
+        if dst.config.default_bubble_radius > 0:
+            dst.world.bubbles.enable(
+                user_id, radius=dst.config.default_bubble_radius
+            )
+
+        # 2. Profile continuity (the human is the same human).
+        if user_id in src.profiles and user_id not in dst.profiles:
+            dst.profiles[user_id] = src.profiles[user_id]
+            dst.user_ids.append(user_id)
+            dst.user_ids.sort()
+            dst.archetypes[user_id] = src.archetypes.get(user_id)
+
+        # 3. Reputation passport, discounted by issuer trust.
+        home_score = src.reputation.score(user_id)
+        weight = self.issuer_trust(destination, origin)
+        carried = home_score * weight
+        if carried > 0:
+            dst.reputation.record(
+                rater=f"passport:{origin}",
+                target=user_id,
+                positive=home_score >= 0.5,
+                weight=max(0.1, abs(home_score - 0.5) * 4 * weight),
+                time=time,
+                context=f"passport from {origin}",
+            )
+
+        record = TravelRecord(
+            user_id=user_id,
+            origin=origin,
+            destination=destination,
+            time=time,
+            reputation_carried=carried,
+        )
+        self._travels.append(record)
+        return record
+
+    @property
+    def travels(self) -> List[TravelRecord]:
+        return list(self._travels)
+
+    # ------------------------------------------------------------------
+    # Data transfer (adequacy)
+    # ------------------------------------------------------------------
+    def transfer_data(
+        self, subject: str, origin: str, destination: str
+    ) -> int:
+        """Move ``subject``'s retained sensor data between platforms.
+
+        Returns the number of frames transferred.
+
+        Raises
+        ------
+        PolicyViolation
+            If the destination's jurisdiction does not offer adequate
+            protection relative to the origin's.
+        FrameworkError
+            If either platform runs without a retention store.
+        """
+        src = self.platform(origin)
+        dst = self.platform(destination)
+        if src.retained_data is None or dst.retained_data is None:
+            raise FrameworkError(
+                "both platforms need privacy pipelines to transfer data"
+            )
+        src_profile = src.policy_engine.profile
+        dst_profile = dst.policy_engine.profile
+        if not offers_adequate_protection(dst_profile, src_profile):
+            raise PolicyViolation(
+                f"jurisdiction {dst_profile.name!r} does not offer adequate "
+                f"protection for data collected under {src_profile.name!r}"
+            )
+        frames = src.retained_data.frames_of(subject)
+        for frame in frames:
+            dst.retained_data.retain(frame)
+        src.retained_data.purge(subject)
+        return len(frames)

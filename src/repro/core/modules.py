@@ -1,0 +1,193 @@
+"""The module abstraction: interchangeable framework components.
+
+The paper's central design statement (§IV-C): "Figure 3 illustrates
+several examples of modules that will realize a specific task ... All
+the modules are interchangeable."
+
+A :class:`FrameworkModule` fills one *slot* (privacy, governance,
+decision-making, reputation, economy, safety, policy); the
+:class:`ModuleRegistry` enforces one module per slot, supports hot
+swapping (the old module detaches, the new one attaches), and keeps a
+swap history — itself part of the transparency story, since module
+changes are exactly the "changes in the metaverse" the paper says must
+be collectively decided and visible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import FrameworkError, ModuleNotFound
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.framework import MetaverseFramework
+
+__all__ = ["ModuleSlot", "FrameworkModule", "ModuleRegistry", "SwapRecord"]
+
+
+class ModuleSlot(str, enum.Enum):
+    """The module slots of Fig. 3."""
+
+    PRIVACY = "privacy"
+    GOVERNANCE = "governance"
+    DECISION = "decision"
+    REPUTATION = "reputation"
+    ECONOMY = "economy"
+    SAFETY = "safety"
+    POLICY = "policy"
+
+
+class FrameworkModule:
+    """Base class for swappable modules.
+
+    Subclasses override :meth:`on_attach` / :meth:`on_detach` to wire
+    and unwire themselves (bus subscriptions, world hooks), and
+    :meth:`describe` to satisfy the transparency requirement — a
+    description any member can read.
+    """
+
+    slot: ModuleSlot = ModuleSlot.POLICY
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._attached_to: Optional["MetaverseFramework"] = None
+
+    @property
+    def is_attached(self) -> bool:
+        return self._attached_to is not None
+
+    @property
+    def framework(self) -> "MetaverseFramework":
+        if self._attached_to is None:
+            raise FrameworkError(f"module {self.name!r} is not attached")
+        return self._attached_to
+
+    def attach(self, framework: "MetaverseFramework") -> None:
+        if self._attached_to is not None:
+            raise FrameworkError(f"module {self.name!r} already attached")
+        self._attached_to = framework
+        self.on_attach(framework)
+
+    def detach(self) -> None:
+        if self._attached_to is None:
+            raise FrameworkError(f"module {self.name!r} is not attached")
+        framework = self._attached_to
+        self.on_detach(framework)
+        self._attached_to = None
+
+    # Hooks -------------------------------------------------------------
+    def on_attach(self, framework: "MetaverseFramework") -> None:
+        """Wire the module into the framework (override)."""
+
+    def on_detach(self, framework: "MetaverseFramework") -> None:
+        """Unwire the module (override)."""
+
+    def on_epoch(self, framework: "MetaverseFramework", time: float) -> None:
+        """Called once per scenario epoch while attached (override)."""
+
+    def describe(self) -> Dict[str, Any]:
+        """Human-readable, machine-queryable self-description."""
+        return {"name": self.name, "slot": self.slot.value}
+
+
+@dataclass(frozen=True)
+class SwapRecord:
+    """One module change, for the public swap history."""
+
+    slot: str
+    old_module: Optional[str]
+    new_module: str
+    time: float
+    authorized_by: str
+
+
+class ModuleRegistry:
+    """One module per slot, hot-swappable, with public history."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[ModuleSlot, FrameworkModule] = {}
+        self._history: List[SwapRecord] = []
+
+    def mount(
+        self,
+        module: FrameworkModule,
+        framework: "MetaverseFramework",
+        time: float = 0.0,
+        authorized_by: str = "operator",
+    ) -> None:
+        """Attach ``module`` into its slot, detaching any incumbent."""
+        incumbent = self._modules.get(module.slot)
+        if incumbent is not None:
+            incumbent.detach()
+        module.attach(framework)
+        self._modules[module.slot] = module
+        self._history.append(
+            SwapRecord(
+                slot=module.slot.value,
+                old_module=incumbent.name if incumbent else None,
+                new_module=module.name,
+                time=time,
+                authorized_by=authorized_by,
+            )
+        )
+
+    def unmount(self, slot: ModuleSlot, time: float = 0.0, authorized_by: str = "operator") -> None:
+        module = self._modules.pop(slot, None)
+        if module is None:
+            raise ModuleNotFound(f"no module mounted in slot {slot.value!r}")
+        module.detach()
+        self._history.append(
+            SwapRecord(
+                slot=slot.value,
+                old_module=module.name,
+                new_module="(none)",
+                time=time,
+                authorized_by=authorized_by,
+            )
+        )
+
+    def get(self, slot: ModuleSlot) -> FrameworkModule:
+        module = self._modules.get(slot)
+        if module is None:
+            raise ModuleNotFound(f"no module mounted in slot {slot.value!r}")
+        return module
+
+    def has(self, slot: ModuleSlot) -> bool:
+        return slot in self._modules
+
+    def mounted(self) -> Dict[str, str]:
+        """slot → module name for everything mounted."""
+        return {slot.value: m.name for slot, m in sorted(
+            self._modules.items(), key=lambda kv: kv[0].value
+        )}
+
+    def describe_all(self) -> List[Dict[str, Any]]:
+        """The public, transparent description of every active module."""
+        return [m.describe() for _, m in sorted(
+            self._modules.items(), key=lambda kv: kv[0].value
+        )]
+
+    @property
+    def swap_history(self) -> List[SwapRecord]:
+        return list(self._history)
+
+    # Epoch tick order: behaviour/moderation first, then data collection,
+    # the economy, collective decisions, the ledger seal, and upkeep.
+    EPOCH_ORDER = (
+        ModuleSlot.GOVERNANCE,
+        ModuleSlot.PRIVACY,
+        ModuleSlot.ECONOMY,
+        ModuleSlot.DECISION,
+        ModuleSlot.POLICY,
+        ModuleSlot.REPUTATION,
+        ModuleSlot.SAFETY,
+    )
+
+    def run_epoch(self, framework: "MetaverseFramework", time: float) -> None:
+        """Give every mounted module its epoch tick in EPOCH_ORDER."""
+        for slot in self.EPOCH_ORDER:
+            module = self._modules.get(slot)
+            if module is not None:
+                module.on_epoch(framework, time)

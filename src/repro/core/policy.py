@@ -1,0 +1,201 @@
+"""Jurisdiction policy profiles: the swappable regulation module.
+
+§II-D: "Using a modular-based framework to construct the privacy
+regulation protections will allow the metaverse to adapt to local
+authorities' specifications and provide a homogeneous policy to protect
+users' privacy."  §III-E: "if the metaverse is required to follow the
+local rules, the modules will swap accordingly."
+
+A :class:`PolicyProfile` captures a jurisdiction's requirements as
+checkable knobs; the :class:`PolicyEngine` validates a framework's
+configuration against the active profile (compliance report) and hot
+swaps profiles — the "metaverse with frontiers" scenario of §III-E made
+executable.  GDPR-like, CCPA-like, and permissive profiles ship
+built in; they are deliberately simplified but directionally faithful
+(e.g. GDPR: opt-in consent + erasure + DP budget caps + mandatory audit
+trail; CCPA: opt-out + sale transparency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import FrameworkError, PolicyViolation
+
+__all__ = ["PolicyProfile", "ComplianceIssue", "PolicyEngine", "GDPR_LIKE", "CCPA_LIKE", "PERMISSIVE"]
+
+
+@dataclass(frozen=True)
+class PolicyProfile:
+    """One jurisdiction's requirements.
+
+    Attributes
+    ----------
+    consent_model:
+        ``"opt-in"`` (collection needs prior consent), ``"opt-out"``
+        (lawful until refused), or ``"none"``.
+    requires_audit_ledger:
+        Whether data-collection activities must be ledger-registered.
+    max_epsilon_per_subject:
+        Mandatory DP budget cap (None = no cap).
+    right_to_erasure:
+        Whether subjects can demand deletion of collected data.
+    requires_disclosure_indicator:
+        Whether active collection must be visibly disclosed (the LED).
+    allows_biometric_channels:
+        Channels collectible at all; empty tuple = all allowed.
+    """
+
+    name: str
+    consent_model: str = "opt-in"
+    requires_audit_ledger: bool = True
+    max_epsilon_per_subject: Optional[float] = None
+    right_to_erasure: bool = True
+    requires_disclosure_indicator: bool = True
+    forbidden_channels: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.consent_model not in ("opt-in", "opt-out", "none"):
+            raise FrameworkError(
+                f"consent_model must be opt-in/opt-out/none, "
+                f"got {self.consent_model!r}"
+            )
+
+
+GDPR_LIKE = PolicyProfile(
+    name="gdpr-like",
+    consent_model="opt-in",
+    requires_audit_ledger=True,
+    max_epsilon_per_subject=2.0,
+    right_to_erasure=True,
+    requires_disclosure_indicator=True,
+)
+
+CCPA_LIKE = PolicyProfile(
+    name="ccpa-like",
+    consent_model="opt-out",
+    requires_audit_ledger=True,
+    max_epsilon_per_subject=8.0,
+    right_to_erasure=True,
+    requires_disclosure_indicator=False,
+)
+
+PERMISSIVE = PolicyProfile(
+    name="permissive",
+    consent_model="none",
+    requires_audit_ledger=False,
+    max_epsilon_per_subject=None,
+    right_to_erasure=False,
+    requires_disclosure_indicator=False,
+)
+
+
+@dataclass(frozen=True)
+class ComplianceIssue:
+    """One detected gap between configuration and profile."""
+
+    requirement: str
+    detail: str
+
+
+class PolicyEngine:
+    """Holds the active profile and checks compliance.
+
+    The engine inspects a *capability description* of the platform (a
+    plain dict the framework assembles from its live components) rather
+    than the components themselves, so any deployment — including
+    non-``MetaverseFramework`` ones — can be audited.
+    """
+
+    def __init__(self, profile: PolicyProfile):
+        self._profile = profile
+        self._swap_history: List[str] = [profile.name]
+
+    @property
+    def profile(self) -> PolicyProfile:
+        return self._profile
+
+    @property
+    def swap_history(self) -> List[str]:
+        return list(self._swap_history)
+
+    def swap_profile(self, profile: PolicyProfile) -> None:
+        """Jurisdiction change: "the modules will swap accordingly"."""
+        self._profile = profile
+        self._swap_history.append(profile.name)
+
+    # ------------------------------------------------------------------
+    # Compliance
+    # ------------------------------------------------------------------
+    def compliance_report(self, capabilities: Dict[str, Any]) -> List[ComplianceIssue]:
+        """Check ``capabilities`` against the active profile.
+
+        Expected capability keys (missing keys are treated as absent
+        capabilities):
+
+        * ``consent_default_deny`` (bool)
+        * ``audit_ledger`` (bool)
+        * ``budget_default_cap`` (float or None)
+        * ``supports_erasure`` (bool)
+        * ``disclosure_indicator`` (bool)
+        * ``channels`` (list of collected channel names)
+        """
+        issues: List[ComplianceIssue] = []
+        p = self._profile
+        if p.consent_model == "opt-in" and not capabilities.get("consent_default_deny"):
+            issues.append(
+                ComplianceIssue(
+                    "consent",
+                    "profile requires opt-in consent but platform does not "
+                    "default-deny collection",
+                )
+            )
+        if p.requires_audit_ledger and not capabilities.get("audit_ledger"):
+            issues.append(
+                ComplianceIssue(
+                    "audit",
+                    "profile requires ledger-registered collection activities",
+                )
+            )
+        if p.max_epsilon_per_subject is not None:
+            cap = capabilities.get("budget_default_cap")
+            if cap is None or cap > p.max_epsilon_per_subject:
+                issues.append(
+                    ComplianceIssue(
+                        "privacy-budget",
+                        f"profile caps ε at {p.max_epsilon_per_subject}, "
+                        f"platform default is {cap}",
+                    )
+                )
+        if p.right_to_erasure and not capabilities.get("supports_erasure"):
+            issues.append(
+                ComplianceIssue("erasure", "profile grants right to erasure")
+            )
+        if p.requires_disclosure_indicator and not capabilities.get(
+            "disclosure_indicator"
+        ):
+            issues.append(
+                ComplianceIssue(
+                    "disclosure",
+                    "profile requires a visible collection indicator",
+                )
+            )
+        for channel in capabilities.get("channels", []):
+            if channel in p.forbidden_channels:
+                issues.append(
+                    ComplianceIssue(
+                        "forbidden-channel",
+                        f"profile forbids collecting {channel!r}",
+                    )
+                )
+        return issues
+
+    def require_compliance(self, capabilities: Dict[str, Any]) -> None:
+        """Raise :class:`PolicyViolation` listing every gap."""
+        issues = self.compliance_report(capabilities)
+        if issues:
+            summary = "; ".join(f"{i.requirement}: {i.detail}" for i in issues)
+            raise PolicyViolation(
+                f"profile {self._profile.name!r} violations: {summary}"
+            )

@@ -1,0 +1,118 @@
+"""Stakeholders: who must be involved in framework decisions.
+
+Human-Centered Design, as the paper adopts it (§IV-C): "our preliminary
+approach aims to involve every necessary member (developers, regulators,
+users, content creators) in the design and implementation of the
+metaverse."  The registry tracks each member's roles, and
+:class:`RepresentationRequirement` lets the decision pipeline *verify*
+— not merely hope — that a decision's electorate covered the required
+roles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import FrameworkError
+
+__all__ = ["StakeholderRole", "Stakeholder", "StakeholderRegistry", "RepresentationRequirement"]
+
+
+class StakeholderRole(str, enum.Enum):
+    """The roles the paper names."""
+
+    USER = "user"
+    DEVELOPER = "developer"
+    REGULATOR = "regulator"
+    CREATOR = "creator"
+    MODERATOR = "moderator"
+
+
+@dataclass
+class Stakeholder:
+    """One platform member with one or more roles."""
+
+    member_id: str
+    roles: Set[StakeholderRole] = field(default_factory=set)
+
+    def has_role(self, role: StakeholderRole) -> bool:
+        return role in self.roles
+
+
+class StakeholderRegistry:
+    """Role-indexed membership."""
+
+    def __init__(self) -> None:
+        self._members: Dict[str, Stakeholder] = {}
+
+    def register(self, member_id: str, roles: Iterable[StakeholderRole]) -> Stakeholder:
+        roles = set(roles)
+        if not roles:
+            raise FrameworkError(f"{member_id} must have at least one role")
+        if member_id in self._members:
+            self._members[member_id].roles |= roles
+        else:
+            self._members[member_id] = Stakeholder(member_id=member_id, roles=roles)
+        return self._members[member_id]
+
+    def get(self, member_id: str) -> Stakeholder:
+        if member_id not in self._members:
+            raise FrameworkError(f"unknown stakeholder {member_id}")
+        return self._members[member_id]
+
+    def __contains__(self, member_id: str) -> bool:
+        return member_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def with_role(self, role: StakeholderRole) -> List[str]:
+        return sorted(
+            m.member_id for m in self._members.values() if m.has_role(role)
+        )
+
+    def roles_of(self, member_id: str) -> Set[StakeholderRole]:
+        return set(self.get(member_id).roles)
+
+    def all_members(self) -> List[str]:
+        return sorted(self._members)
+
+
+@dataclass(frozen=True)
+class RepresentationRequirement:
+    """Roles that must appear among a decision's participants.
+
+    ``min_roles_present`` of the listed roles must have at least one
+    participating member for the decision to count as representative.
+    """
+
+    required_roles: frozenset = frozenset(
+        {StakeholderRole.USER, StakeholderRole.DEVELOPER, StakeholderRole.REGULATOR}
+    )
+    min_roles_present: Optional[int] = None  # None = all required roles
+
+    def satisfied_by(
+        self, participants: Iterable[str], registry: StakeholderRegistry
+    ) -> bool:
+        present: Set[StakeholderRole] = set()
+        for member_id in participants:
+            if member_id in registry:
+                present |= registry.roles_of(member_id)
+        covered = len(self.required_roles & present)
+        needed = (
+            len(self.required_roles)
+            if self.min_roles_present is None
+            else self.min_roles_present
+        )
+        return covered >= needed
+
+    def missing_roles(
+        self, participants: Iterable[str], registry: StakeholderRegistry
+    ) -> Set[StakeholderRole]:
+        present: Set[StakeholderRole] = set()
+        for member_id in participants:
+            if member_id in registry:
+                present |= registry.roles_of(member_id)
+        return set(self.required_roles) - present

@@ -1,0 +1,62 @@
+"""DAO substrate: decentralized autonomous organizations (paper §III-B/C).
+
+Proposals with lifecycle and executable actions, four voting schemes
+(1p1v, token-weighted, quadratic, reputation-weighted), composable
+quorum/threshold rules, liquid-democracy delegation with cycle safety,
+a proposal-gated treasury, an attention-based participation model, and
+the modular (federated) topology the paper argues solves DAO scalability.
+"""
+
+from repro.dao.dao import DAO, LedgerAnchor
+from repro.dao.delegation import DelegationGraph
+from repro.dao.members import Member, MemberRegistry
+from repro.dao.modular import ModularDaoFederation
+from repro.dao.participation import EpochReport, ParticipationModel
+from repro.dao.proposals import Proposal, ProposalFactory, ProposalStatus
+from repro.dao.quorum import (
+    AbsoluteMajority,
+    AllOf,
+    ApprovalThreshold,
+    Decision,
+    DecisionRule,
+    TurnoutQuorum,
+)
+from repro.dao.treasury import Grant, Treasury
+from repro.dao.voting import (
+    Ballot,
+    OneMemberOneVote,
+    QuadraticVoting,
+    ReputationWeighted,
+    Tally,
+    TokenWeighted,
+    VotingScheme,
+)
+
+__all__ = [
+    "DAO",
+    "LedgerAnchor",
+    "DelegationGraph",
+    "Member",
+    "MemberRegistry",
+    "ModularDaoFederation",
+    "EpochReport",
+    "ParticipationModel",
+    "Proposal",
+    "ProposalFactory",
+    "ProposalStatus",
+    "AbsoluteMajority",
+    "AllOf",
+    "ApprovalThreshold",
+    "Decision",
+    "DecisionRule",
+    "TurnoutQuorum",
+    "Grant",
+    "Treasury",
+    "Ballot",
+    "OneMemberOneVote",
+    "QuadraticVoting",
+    "ReputationWeighted",
+    "Tally",
+    "TokenWeighted",
+    "VotingScheme",
+]

@@ -1,0 +1,205 @@
+"""Modular (federated) DAO topology — the paper's §III-C.
+
+"The modularity can enable the development of portable tools that can be
+adapted to different platforms and use cases... We believe that DAOs can
+solve the scalability problems when those are spread across (modular
+approach) different features of the metaverse."
+
+:class:`ModularDaoFederation` spreads governance across *topic-scoped*
+sub-DAOs plus one root DAO:
+
+* proposals route to the sub-DAO owning their topic, so only members who
+  subscribed to that concern spend attention on them;
+* topics listed as *constitutional* escalate: the sub-DAO decides first,
+  and a passing decision must then be ratified by the root DAO;
+* unrouted topics fall through to the root.
+
+A flat DAO is the degenerate federation with no sub-DAOs — benchmark E5
+compares the two shapes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dao.dao import DAO
+from repro.dao.members import Member
+from repro.dao.proposals import Proposal, ProposalStatus
+from repro.dao.quorum import Decision
+from repro.errors import DaoError, ProposalError
+
+__all__ = ["ModularDaoFederation"]
+
+
+@dataclass
+class _Escalation:
+    """A sub-DAO-passed constitutional proposal awaiting root ratification."""
+
+    sub_dao: str
+    sub_proposal_id: str
+    root_proposal_id: str
+
+
+class ModularDaoFederation:
+    """Root DAO + topic-scoped sub-DAOs.
+
+    Parameters
+    ----------
+    root:
+        The federation-wide DAO (constitutional ratification, fallback
+        routing).
+    constitutional_topics:
+        Topics whose sub-DAO decisions need root ratification.
+    """
+
+    def __init__(self, root: DAO, constitutional_topics: Optional[List[str]] = None):
+        self.root = root
+        self._sub_daos: Dict[str, DAO] = {}
+        self._topic_to_dao: Dict[str, str] = {}
+        self._constitutional = set(constitutional_topics or [])
+        self._escalations: List[_Escalation] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_sub_dao(self, dao: DAO, topics: List[str]) -> None:
+        """Mount ``dao`` as the owner of ``topics``."""
+        if dao.name in self._sub_daos:
+            raise DaoError(f"sub-DAO {dao.name!r} already mounted")
+        if not topics:
+            raise DaoError(f"sub-DAO {dao.name!r} needs at least one topic")
+        for topic in topics:
+            if topic in self._topic_to_dao:
+                raise DaoError(
+                    f"topic {topic!r} already owned by "
+                    f"{self._topic_to_dao[topic]!r}"
+                )
+        self._sub_daos[dao.name] = dao
+        for topic in topics:
+            self._topic_to_dao[topic] = dao.name
+
+    def sub_dao(self, name: str) -> DAO:
+        if name not in self._sub_daos:
+            raise DaoError(f"no sub-DAO {name!r}")
+        return self._sub_daos[name]
+
+    def sub_daos(self) -> List[DAO]:
+        return list(self._sub_daos.values())
+
+    def all_daos(self) -> List[DAO]:
+        return [self.root] + self.sub_daos()
+
+    def dao_for_topic(self, topic: str) -> DAO:
+        """The DAO that owns ``topic`` (root if unrouted)."""
+        name = self._topic_to_dao.get(topic)
+        return self.root if name is None else self._sub_daos[name]
+
+    def topics(self) -> Dict[str, str]:
+        """Topic → owning sub-DAO name."""
+        return dict(self._topic_to_dao)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def submit_proposal(
+        self,
+        title: str,
+        proposer: str,
+        topic: str,
+        created_at: float,
+        voting_period: float,
+        **kwargs: Any,
+    ) -> Tuple[DAO, Proposal]:
+        """Route a proposal to the owning DAO and open it there.
+
+        The proposer must be a member of the target DAO (membership in
+        the federation is per-concern, which is precisely what caps each
+        member's proposal load).
+        """
+        dao = self.dao_for_topic(topic)
+        proposal = dao.submit_proposal(
+            title=title,
+            proposer=proposer,
+            topic=topic,
+            created_at=created_at,
+            voting_period=voting_period,
+            **kwargs,
+        )
+        return dao, proposal
+
+    # ------------------------------------------------------------------
+    # Escalation
+    # ------------------------------------------------------------------
+    def close_and_escalate(
+        self, dao: DAO, proposal_id: str, time: float, ratification_period: float = 10.0
+    ) -> Decision:
+        """Close a proposal in ``dao``; if it passed, belongs to a
+        constitutional topic, and was decided by a sub-DAO, open a
+        ratification proposal in the root DAO."""
+        decision = dao.close(proposal_id, time)
+        proposal = dao.proposal(proposal_id)
+        needs_ratification = (
+            decision.accepted
+            and dao is not self.root
+            and proposal.topic in self._constitutional
+        )
+        if needs_ratification:
+            ratifier = proposal.proposer
+            if ratifier not in self.root.members:
+                # fall back to any root member as the formal sponsor
+                addresses = self.root.members.addresses()
+                if not addresses:
+                    raise ProposalError(
+                        "root DAO has no members to sponsor ratification"
+                    )
+                ratifier = addresses[0]
+            root_proposal = self.root.submit_proposal(
+                title=f"Ratify: {proposal.title}",
+                proposer=ratifier,
+                topic=proposal.topic,
+                created_at=time,
+                voting_period=ratification_period,
+                metadata={"ratifies": proposal_id, "sub_dao": dao.name},
+            )
+            self._escalations.append(
+                _Escalation(
+                    sub_dao=dao.name,
+                    sub_proposal_id=proposal_id,
+                    root_proposal_id=root_proposal.proposal_id,
+                )
+            )
+        return decision
+
+    def pending_ratifications(self) -> List[Proposal]:
+        """Root proposals that ratify sub-DAO decisions and are open."""
+        out = []
+        for esc in self._escalations:
+            proposal = self.root.proposal(esc.root_proposal_id)
+            if proposal.is_open:
+                out.append(proposal)
+        return out
+
+    def ratified(self, sub_proposal_id: str) -> Optional[bool]:
+        """Ratification outcome for a sub-DAO proposal: True/False once
+        the root decided, None while pending or never escalated."""
+        for esc in self._escalations:
+            if esc.sub_proposal_id == sub_proposal_id:
+                proposal = self.root.proposal(esc.root_proposal_id)
+                if proposal.is_open:
+                    return None
+                return proposal.status in (
+                    ProposalStatus.PASSED,
+                    ProposalStatus.EXECUTED,
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Aggregate stats
+    # ------------------------------------------------------------------
+    def federation_stats(self) -> Dict[str, Dict[str, float]]:
+        """Participation stats per DAO, keyed by DAO name."""
+        stats = {self.root.name: self.root.participation_stats()}
+        for dao in self.sub_daos():
+            stats[dao.name] = dao.participation_stats()
+        return stats

@@ -1,0 +1,169 @@
+"""Proposals: the unit of collective decision-making in a DAO.
+
+The paper (§III-B) describes DAOs where "each member can participate in
+the voting system to implement any changes in the platform".  A proposal
+carries a *topic* so that modular federations (§III-C) can route it to
+the sub-DAO whose members subscribed to that concern, and an *action*
+descriptor so that passed proposals can be executed automatically
+("the system can also automatically handle services").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ProposalError
+
+__all__ = ["ProposalStatus", "Proposal", "ProposalFactory"]
+
+
+class ProposalStatus(str, enum.Enum):
+    """Lifecycle of a proposal."""
+
+    OPEN = "open"
+    PASSED = "passed"
+    REJECTED = "rejected"
+    EXPIRED = "expired"  # deadline hit without reaching quorum
+    EXECUTED = "executed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self is not ProposalStatus.OPEN
+
+
+# Executed when a proposal passes; receives the proposal itself.
+ProposalAction = Callable[["Proposal"], Any]
+
+
+@dataclass
+class Proposal:
+    """A proposal under (or after) deliberation.
+
+    Attributes
+    ----------
+    proposal_id:
+        Unique id assigned by the :class:`ProposalFactory`.
+    topic:
+        Governance concern this proposal belongs to (e.g. ``"privacy"``,
+        ``"moderation"``, ``"treasury"``); used for modular routing.
+    options:
+        Ballot options; binary yes/no by default.  ``"yes"`` is the
+        approval option checked by threshold rules.
+    voting_deadline:
+        Simulated time after which the proposal can no longer accept
+        ballots and must be closed.
+    action:
+        Optional callable run on execution.
+    metadata:
+        Free-form annotations (cost estimates, affected modules, ...).
+    """
+
+    proposal_id: str
+    title: str
+    description: str
+    proposer: str
+    topic: str
+    created_at: float
+    voting_deadline: float
+    options: List[str] = field(default_factory=lambda: ["yes", "no", "abstain"])
+    action: Optional[ProposalAction] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    status: ProposalStatus = ProposalStatus.OPEN
+    closed_at: Optional[float] = None
+    result: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.voting_deadline < self.created_at:
+            raise ProposalError(
+                f"proposal {self.proposal_id}: deadline {self.voting_deadline} "
+                f"before creation {self.created_at}"
+            )
+        if len(self.options) < 2:
+            raise ProposalError(
+                f"proposal {self.proposal_id}: needs at least two options"
+            )
+        if len(set(self.options)) != len(self.options):
+            raise ProposalError(
+                f"proposal {self.proposal_id}: duplicate options"
+            )
+
+    @property
+    def is_open(self) -> bool:
+        return self.status is ProposalStatus.OPEN
+
+    @property
+    def decision_latency(self) -> Optional[float]:
+        """Time from creation to closure (None while open)."""
+        if self.closed_at is None:
+            return None
+        return self.closed_at - self.created_at
+
+    def mark(self, status: ProposalStatus, time: float, result: Optional[Dict[str, float]] = None) -> None:
+        """Transition to a terminal status exactly once."""
+        if self.status.is_terminal and not (
+            self.status is ProposalStatus.PASSED and status is ProposalStatus.EXECUTED
+        ):
+            raise ProposalError(
+                f"proposal {self.proposal_id} already {self.status.value}, "
+                f"cannot mark {status.value}"
+            )
+        self.status = status
+        if self.closed_at is None:
+            self.closed_at = time
+        if result is not None:
+            self.result = result
+
+    def execute(self) -> Any:
+        """Run the attached action; only PASSED proposals may execute."""
+        if self.status is not ProposalStatus.PASSED:
+            raise ProposalError(
+                f"proposal {self.proposal_id} is {self.status.value}, "
+                "only passed proposals execute"
+            )
+        outcome = self.action(self) if self.action is not None else None
+        self.status = ProposalStatus.EXECUTED
+        return outcome
+
+
+class ProposalFactory:
+    """Mints proposals with unique, deterministic ids."""
+
+    def __init__(self, prefix: str = "prop"):
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def create(
+        self,
+        title: str,
+        proposer: str,
+        topic: str,
+        created_at: float,
+        voting_period: float,
+        description: str = "",
+        options: Optional[List[str]] = None,
+        action: Optional[ProposalAction] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> Proposal:
+        """Create an OPEN proposal whose deadline is
+        ``created_at + voting_period``."""
+        if voting_period <= 0:
+            raise ProposalError(f"voting_period must be positive, got {voting_period}")
+        proposal_id = f"{self._prefix}-{next(self._counter):06d}"
+        kwargs: Dict[str, Any] = {}
+        if options is not None:
+            kwargs["options"] = list(options)
+        return Proposal(
+            proposal_id=proposal_id,
+            title=title,
+            description=description,
+            proposer=proposer,
+            topic=topic,
+            created_at=created_at,
+            voting_deadline=created_at + voting_period,
+            action=action,
+            metadata=dict(metadata or {}),
+            **kwargs,
+        )

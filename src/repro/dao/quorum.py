@@ -1,0 +1,130 @@
+"""Quorum and acceptance rules.
+
+A :class:`DecisionRule` inspects a :class:`~repro.dao.voting.Tally` and
+answers two questions: *is the vote valid* (quorum) and *did it pass*
+(threshold).  Rules compose with :class:`AllOf`, so a DAO can require,
+say, 20% turnout AND two-thirds approval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dao.voting import Tally
+from repro.errors import VotingError
+
+__all__ = [
+    "Decision",
+    "DecisionRule",
+    "TurnoutQuorum",
+    "ApprovalThreshold",
+    "AbsoluteMajority",
+    "AllOf",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of applying a rule to a tally."""
+
+    quorum_met: bool
+    passed: bool
+    reason: str
+
+    @property
+    def accepted(self) -> bool:
+        return self.quorum_met and self.passed
+
+
+class DecisionRule:
+    """Base class; subclasses implement :meth:`decide`."""
+
+    def decide(self, tally: Tally, approval_option: str = "yes") -> Decision:
+        raise NotImplementedError
+
+
+class TurnoutQuorum(DecisionRule):
+    """Valid only if turnout reaches ``min_turnout``; passes when the
+    approval option wins a plurality of cast weight."""
+
+    def __init__(self, min_turnout: float):
+        if not 0 <= min_turnout <= 1:
+            raise VotingError(f"min_turnout must be in [0, 1], got {min_turnout}")
+        self.min_turnout = min_turnout
+
+    def decide(self, tally: Tally, approval_option: str = "yes") -> Decision:
+        if tally.turnout < self.min_turnout:
+            return Decision(
+                quorum_met=False,
+                passed=False,
+                reason=(
+                    f"turnout {tally.turnout:.2%} below quorum "
+                    f"{self.min_turnout:.2%}"
+                ),
+            )
+        winner = tally.winner()
+        passed = winner == approval_option
+        return Decision(
+            quorum_met=True,
+            passed=passed,
+            reason=f"winner={winner!r} at turnout {tally.turnout:.2%}",
+        )
+
+
+class ApprovalThreshold(DecisionRule):
+    """Passes when the approval option holds at least ``threshold`` of
+    cast weight (quorum always met — combine with TurnoutQuorum to add
+    a turnout floor)."""
+
+    def __init__(self, threshold: float = 0.5):
+        if not 0 < threshold <= 1:
+            raise VotingError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+
+    def decide(self, tally: Tally, approval_option: str = "yes") -> Decision:
+        support = tally.support(approval_option)
+        passed = support >= self.threshold and tally.total_weight > 0
+        return Decision(
+            quorum_met=True,
+            passed=passed,
+            reason=f"support {support:.2%} vs threshold {self.threshold:.2%}",
+        )
+
+
+class AbsoluteMajority(DecisionRule):
+    """Passes only if the approval option's weight exceeds half the
+    weight of the *entire electorate* (not just those who voted).
+
+    Only meaningful for schemes where electorate weight is countable as
+    one-per-member, so it computes against ``tally.eligible``.
+    """
+
+    def decide(self, tally: Tally, approval_option: str = "yes") -> Decision:
+        if tally.eligible == 0:
+            return Decision(False, False, "empty electorate")
+        approval = tally.weights.get(approval_option, 0.0)
+        needed = tally.eligible / 2.0
+        passed = approval > needed
+        return Decision(
+            quorum_met=True,
+            passed=passed,
+            reason=f"approval weight {approval:g} vs majority bar {needed:g}",
+        )
+
+
+class AllOf(DecisionRule):
+    """Conjunction: quorum requires every rule's quorum; passing
+    requires every rule to pass."""
+
+    def __init__(self, rules: Sequence[DecisionRule]):
+        if not rules:
+            raise VotingError("AllOf requires at least one rule")
+        self._rules: List[DecisionRule] = list(rules)
+
+    def decide(self, tally: Tally, approval_option: str = "yes") -> Decision:
+        decisions = [rule.decide(tally, approval_option) for rule in self._rules]
+        quorum = all(d.quorum_met for d in decisions)
+        passed = quorum and all(d.passed for d in decisions)
+        reason = "; ".join(d.reason for d in decisions)
+        return Decision(quorum_met=quorum, passed=passed, reason=reason)

@@ -1,0 +1,118 @@
+"""DAO treasury: collectively-owned funds spent by proposal.
+
+Decentraland's DAO famously controls a treasury that grants builders
+funds; the paper's create-to-earn economy (§IV-A) needs the same
+primitive.  :class:`Treasury` enforces that funds only move through
+passed proposals (wired as proposal actions) and keeps a full grant
+ledger for transparency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dao.proposals import Proposal
+from repro.errors import DaoError
+
+__all__ = ["Grant", "Treasury"]
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One disbursement from the treasury."""
+
+    grant_id: int
+    recipient: str
+    amount: float
+    purpose: str
+    proposal_id: Optional[str]
+    time: float
+
+
+class Treasury:
+    """Funds governed by a DAO.
+
+    Direct spending is deliberately impossible: :meth:`spend` demands
+    the authorising proposal id, and :meth:`make_grant_action` builds a
+    proposal action so disbursement happens exactly when the proposal
+    executes.
+    """
+
+    def __init__(self, initial_funds: float = 0.0):
+        if initial_funds < 0:
+            raise DaoError(f"initial funds must be >= 0, got {initial_funds}")
+        self._balance = float(initial_funds)
+        self._grants: List[Grant] = []
+        self._next_id = 0
+
+    @property
+    def balance(self) -> float:
+        return self._balance
+
+    @property
+    def grants(self) -> List[Grant]:
+        return list(self._grants)
+
+    @property
+    def total_granted(self) -> float:
+        return sum(grant.amount for grant in self._grants)
+
+    def deposit(self, amount: float) -> None:
+        """Add funds (marketplace fees, membership dues, ...)."""
+        if amount < 0:
+            raise DaoError(f"deposit must be >= 0, got {amount}")
+        self._balance += amount
+
+    def spend(
+        self,
+        recipient: str,
+        amount: float,
+        purpose: str,
+        proposal_id: str,
+        time: float = 0.0,
+    ) -> Grant:
+        """Disburse ``amount`` under the authority of ``proposal_id``.
+
+        Raises
+        ------
+        DaoError
+            On overdraft or a non-positive amount.
+        """
+        if amount <= 0:
+            raise DaoError(f"grant amount must be positive, got {amount}")
+        if amount > self._balance:
+            raise DaoError(
+                f"treasury holds {self._balance:g}, cannot grant {amount:g}"
+            )
+        self._balance -= amount
+        grant = Grant(
+            grant_id=self._next_id,
+            recipient=recipient,
+            amount=amount,
+            purpose=purpose,
+            proposal_id=proposal_id,
+            time=time,
+        )
+        self._next_id += 1
+        self._grants.append(grant)
+        return grant
+
+    def make_grant_action(
+        self, recipient: str, amount: float, purpose: str
+    ) -> Callable[[Proposal], Grant]:
+        """Build a proposal action that disburses on execution."""
+
+        def action(proposal: Proposal) -> Grant:
+            return self.spend(
+                recipient=recipient,
+                amount=amount,
+                purpose=purpose,
+                proposal_id=proposal.proposal_id,
+                time=proposal.closed_at or 0.0,
+            )
+
+        return action
+
+    def grants_to(self, recipient: str) -> List[Grant]:
+        return [g for g in self._grants if g.recipient == recipient]

@@ -1,0 +1,183 @@
+"""Voting schemes: how ballots aggregate into a decision.
+
+The paper notes DAOs are "usually flat and fully democratized" (§III-B)
+but leaves the aggregation rule open, so the library ships the schemes
+used by the platforms it cites plus the standard alternatives debated in
+the governance literature:
+
+* :class:`OneMemberOneVote` — flat democratic counting.
+* :class:`TokenWeighted` — Decentraland/Sandbox-style plutocratic voting.
+* :class:`QuadraticVoting` — weight grows with the square root of
+  tokens, damping whales while preserving stake signal.
+* :class:`ReputationWeighted` — ballots weighted by a reputation lookup,
+  the paper's own suggestion for counterbalancing attacks (§IV-C).
+
+A scheme maps ballots → :class:`Tally`; quorum/threshold rules live in
+``repro.dao.quorum`` so schemes and acceptance criteria compose freely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.errors import VotingError
+
+__all__ = [
+    "Ballot",
+    "Tally",
+    "VotingScheme",
+    "OneMemberOneVote",
+    "TokenWeighted",
+    "QuadraticVoting",
+    "ReputationWeighted",
+]
+
+
+@dataclass(frozen=True)
+class Ballot:
+    """One member's vote on one proposal."""
+
+    voter: str
+    option: str
+    cast_at: float
+
+
+@dataclass
+class Tally:
+    """Aggregated outcome of a vote.
+
+    ``weights`` maps option → aggregated weight; ``voters`` is the count
+    of distinct ballots; ``eligible`` the electorate size used for
+    turnout computations.
+    """
+
+    weights: Dict[str, float] = field(default_factory=dict)
+    voters: int = 0
+    eligible: int = 0
+
+    @property
+    def total_weight(self) -> float:
+        return sum(self.weights.values())
+
+    @property
+    def turnout(self) -> float:
+        """Fraction of the eligible electorate that cast a ballot."""
+        if self.eligible == 0:
+            return 0.0
+        return self.voters / self.eligible
+
+    def winner(self) -> Optional[str]:
+        """Option with the highest weight (ties broken alphabetically so
+        results are deterministic); None if no weight was cast."""
+        if not self.weights or self.total_weight == 0:
+            return None
+        return max(sorted(self.weights), key=lambda o: self.weights[o])
+
+    def support(self, option: str) -> float:
+        """Weight share of ``option`` among all cast weight."""
+        total = self.total_weight
+        if total == 0:
+            return 0.0
+        return self.weights.get(option, 0.0) / total
+
+
+class VotingScheme:
+    """Base: subclasses define each voter's weight."""
+
+    name = "abstract"
+
+    def weight_of(self, voter: str) -> float:
+        raise NotImplementedError
+
+    def tally(
+        self,
+        ballots: List[Ballot],
+        options: List[str],
+        eligible: int,
+    ) -> Tally:
+        """Aggregate ``ballots`` over ``options``.
+
+        Raises
+        ------
+        VotingError
+            On duplicate voters or unknown options — by the time ballots
+            reach a tally they must already be deduplicated/validated,
+            so violations indicate a bug upstream.
+        """
+        seen: set = set()
+        weights: Dict[str, float] = {option: 0.0 for option in options}
+        for ballot in ballots:
+            if ballot.voter in seen:
+                raise VotingError(f"duplicate ballot from {ballot.voter}")
+            if ballot.option not in weights:
+                raise VotingError(
+                    f"ballot option {ballot.option!r} not in {options}"
+                )
+            seen.add(ballot.voter)
+            weights[ballot.option] += self.weight_of(ballot.voter)
+        return Tally(weights=weights, voters=len(ballots), eligible=eligible)
+
+
+class OneMemberOneVote(VotingScheme):
+    """Flat democratic counting: every member weighs 1."""
+
+    name = "1p1v"
+
+    def weight_of(self, voter: str) -> float:
+        return 1.0
+
+
+class TokenWeighted(VotingScheme):
+    """Weight equals the voter's token holdings at tally time."""
+
+    name = "token"
+
+    def __init__(self, balance_lookup: Callable[[str], float]):
+        self._balance_lookup = balance_lookup
+
+    def weight_of(self, voter: str) -> float:
+        balance = float(self._balance_lookup(voter))
+        if balance < 0:
+            raise VotingError(f"negative balance for voter {voter}")
+        return balance
+
+
+class QuadraticVoting(VotingScheme):
+    """Weight equals the square root of holdings (Lalley–Weyl).
+
+    Damps plutocracy: a 100× whale gets 10× the voice.
+    """
+
+    name = "quadratic"
+
+    def __init__(self, balance_lookup: Callable[[str], float]):
+        self._balance_lookup = balance_lookup
+
+    def weight_of(self, voter: str) -> float:
+        balance = float(self._balance_lookup(voter))
+        if balance < 0:
+            raise VotingError(f"negative balance for voter {voter}")
+        return math.sqrt(balance)
+
+
+class ReputationWeighted(VotingScheme):
+    """Weight from a reputation system (see ``repro.reputation``).
+
+    The paper's §IV-C: "a reputation-based system under the Blockchain
+    will enable the metaverse with a tool to counterbalance attacks
+    during decision-making processes."  ``floor`` keeps brand-new (or
+    slandered) members from being silenced entirely.
+    """
+
+    name = "reputation"
+
+    def __init__(self, reputation_lookup: Callable[[str], float], floor: float = 0.05):
+        if floor < 0:
+            raise VotingError(f"floor must be >= 0, got {floor}")
+        self._reputation_lookup = reputation_lookup
+        self._floor = floor
+
+    def weight_of(self, voter: str) -> float:
+        return max(self._floor, float(self._reputation_lookup(voter)))

@@ -1,0 +1,72 @@
+"""Governance substrate (paper §III).
+
+Code-as-law rule engine with spam/content/block rules, the moderation
+pipeline (noisy automated classifier, user reports, human moderators,
+community juries) scored against ground truth, graduated sanctions with
+a preventive incentive system, formal debates, and bottom-up community
+norm adoption.
+"""
+
+from repro.governance.appeals import Appeal, AppealsCourt
+from repro.governance.community import (
+    CommunityNorm,
+    DebateRound,
+    FormalDebate,
+    SelfGovernanceBoard,
+)
+from repro.governance.moderation import (
+    AbuseClassifier,
+    CaseSource,
+    CaseStatus,
+    HumanModeratorPool,
+    Jury,
+    ModerationCase,
+    ModerationScore,
+    ModerationService,
+    ReportDesk,
+)
+from repro.governance.portability import export_rules, import_rules
+from repro.governance.rules import (
+    BlockListRule,
+    ContentFilterRule,
+    KindRestrictionRule,
+    RateLimitRule,
+    Rule,
+    RuleEngine,
+)
+from repro.governance.sanctions import (
+    GraduatedSanctionPolicy,
+    IncentiveSystem,
+    SanctionLevel,
+    SanctionRecord,
+)
+
+__all__ = [
+    "Appeal",
+    "AppealsCourt",
+    "CommunityNorm",
+    "DebateRound",
+    "FormalDebate",
+    "SelfGovernanceBoard",
+    "AbuseClassifier",
+    "CaseSource",
+    "CaseStatus",
+    "HumanModeratorPool",
+    "Jury",
+    "ModerationCase",
+    "ModerationScore",
+    "ModerationService",
+    "ReportDesk",
+    "export_rules",
+    "import_rules",
+    "BlockListRule",
+    "ContentFilterRule",
+    "KindRestrictionRule",
+    "RateLimitRule",
+    "Rule",
+    "RuleEngine",
+    "GraduatedSanctionPolicy",
+    "IncentiveSystem",
+    "SanctionLevel",
+    "SanctionRecord",
+]

@@ -1,0 +1,206 @@
+"""Appeals: due process for sanctions (paper §III-D).
+
+The Minecraft community study the paper cites found that punitive tools
+need legitimacy mechanisms; automated moderation especially (E6 shows
+its precision problem) wrongly sanctions innocents.  The appeals court
+closes the loop:
+
+* a sanctioned member files an appeal against a specific sanction;
+* a community jury re-examines the underlying interaction (with fresh
+  eyes — an independent accuracy draw);
+* an upheld appeal reverses the sanction: the offence is expunged, the
+  avatar's status is recomputed from the remaining offence count, and a
+  reputation repair hook undoes the damage.
+
+:class:`AppealsCourt` wraps a :class:`GraduatedSanctionPolicy` and the
+world it sanctions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import GovernanceError
+from repro.governance.sanctions import GraduatedSanctionPolicy, SanctionRecord
+from repro.world.world import World
+
+__all__ = ["Appeal", "AppealsCourt"]
+
+
+@dataclass
+class Appeal:
+    """One appeal against one sanction."""
+
+    appeal_id: str
+    appellant: str
+    sanction: SanctionRecord
+    filed_at: float
+    decided_at: Optional[float] = None
+    granted: Optional[bool] = None
+
+    @property
+    def is_pending(self) -> bool:
+        return self.granted is None
+
+
+class AppealsCourt:
+    """Community review of applied sanctions.
+
+    Parameters
+    ----------
+    world:
+        The world whose avatar statuses get corrected.
+    sanctions:
+        The policy whose records are appealable.
+    rng:
+        Randomness for the jury draw.
+    juror_accuracy:
+        Probability each juror judges the underlying ground truth
+        correctly (the court sees the case afresh).
+    jury_size:
+        Odd panel size.
+    reputation_repair:
+        Optional hook called with (member, amount) to restore reputation
+        lost to a reversed sanction.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        sanctions: GraduatedSanctionPolicy,
+        rng: np.random.Generator,
+        juror_accuracy: float = 0.85,
+        jury_size: int = 5,
+        reputation_repair: Optional[Callable[[str, float], None]] = None,
+    ):
+        if jury_size < 1 or jury_size % 2 == 0:
+            raise GovernanceError(f"jury_size must be odd, got {jury_size}")
+        if not 0 <= juror_accuracy <= 1:
+            raise GovernanceError(
+                f"juror_accuracy must be in [0, 1], got {juror_accuracy}"
+            )
+        self._world = world
+        self._sanctions = sanctions
+        self._rng = rng
+        self._accuracy = juror_accuracy
+        self._jury_size = jury_size
+        self._repair = reputation_repair
+        self._appeals: List[Appeal] = []
+        self._counter = itertools.count()
+        self._appealed_sanctions: set = set()
+
+    # ------------------------------------------------------------------
+    # Filing
+    # ------------------------------------------------------------------
+    def file_appeal(self, sanction: SanctionRecord, time: float) -> Appeal:
+        """File an appeal; one appeal per sanction record.
+
+        Raises
+        ------
+        GovernanceError
+            On double appeals of the same sanction.
+        """
+        key = (
+            sanction.case_id
+            if sanction.case_id is not None
+            else (sanction.offender, sanction.time, sanction.level)
+        )
+        if key in self._appealed_sanctions:
+            raise GovernanceError(
+                f"sanction of {sanction.offender[:12]} at t={sanction.time} "
+                "already appealed"
+            )
+        self._appealed_sanctions.add(key)
+        appeal = Appeal(
+            appeal_id=f"appeal-{next(self._counter):05d}",
+            appellant=sanction.offender,
+            sanction=sanction,
+            filed_at=time,
+        )
+        self._appeals.append(appeal)
+        return appeal
+
+    def pending(self) -> List[Appeal]:
+        return [a for a in self._appeals if a.is_pending]
+
+    @property
+    def appeals(self) -> List[Appeal]:
+        return list(self._appeals)
+
+    # ------------------------------------------------------------------
+    # Review
+    # ------------------------------------------------------------------
+    def review(self, appeal: Appeal, was_actually_abusive: bool, time: float) -> bool:
+        """Jury re-examination; returns True if the appeal is granted.
+
+        ``was_actually_abusive`` is the ground truth of the underlying
+        interaction (the experiment harness supplies it; jurors only see
+        it through their noisy accuracy).
+        """
+        if not appeal.is_pending:
+            raise GovernanceError(f"appeal {appeal.appeal_id} already decided")
+        correct_votes = int(
+            (self._rng.random(self._jury_size) < self._accuracy).sum()
+        )
+        jury_sees_truth = correct_votes > self._jury_size // 2
+        # The jury grants the appeal iff it concludes the interaction
+        # was NOT abusive.
+        verdict_abusive = (
+            was_actually_abusive if jury_sees_truth else not was_actually_abusive
+        )
+        granted = not verdict_abusive
+        appeal.granted = granted
+        appeal.decided_at = time
+        if granted:
+            self._reverse(appeal.sanction)
+        return granted
+
+    def review_pending(
+        self,
+        ground_truth: Callable[[SanctionRecord], bool],
+        time: float,
+        capacity: int = 20,
+    ) -> List[Appeal]:
+        """Review up to ``capacity`` pending appeals, oldest first."""
+        reviewed = []
+        for appeal in self.pending()[:capacity]:
+            self.review(appeal, ground_truth(appeal.sanction), time)
+            reviewed.append(appeal)
+        return reviewed
+
+    # ------------------------------------------------------------------
+    # Reversal
+    # ------------------------------------------------------------------
+    def _reverse(self, sanction: SanctionRecord) -> None:
+        """Expunge one offence and recompute the offender's status."""
+        offender = sanction.offender
+        current = self._sanctions.offence_count(offender)
+        new_count = max(0, current - 1)
+        self._sanctions._offences[offender] = new_count
+        if offender in self._world:
+            if new_count == 0:
+                from repro.world.avatar import AvatarStatus
+
+                self._world.set_status(offender, AvatarStatus.ACTIVE)
+            else:
+                level = self._sanctions.level_for(new_count)
+                self._world.set_status(offender, level.avatar_status)
+        if self._repair is not None:
+            self._repair(offender, 1.0 + sanction.level.value)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        decided = [a for a in self._appeals if not a.is_pending]
+        granted = [a for a in decided if a.granted]
+        return {
+            "filed": float(len(self._appeals)),
+            "decided": float(len(decided)),
+            "granted": float(len(granted)),
+            "grant_rate": len(granted) / len(decided) if decided else 0.0,
+        }

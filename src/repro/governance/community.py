@@ -1,0 +1,194 @@
+"""Community governance processes beyond case review (paper §III-C/D).
+
+"The governance layer should include a broad spectrum of processes
+(juries, formal debates) and interact with other governance systems."
+
+* :class:`FormalDebate` — a structured pro/con debate whose rounds move
+  undecided participants, producing a documented collective position
+  (the deliberative input a DAO vote can follow).
+* :class:`SelfGovernanceBoard` — MMOG-style community self-rule
+  (Humphreys [18]): members propose norms, second them, and adopted
+  norms are exported as rule-engine rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GovernanceError
+from repro.governance.rules import Rule, RuleEngine
+
+__all__ = ["DebateRound", "FormalDebate", "CommunityNorm", "SelfGovernanceBoard"]
+
+
+@dataclass(frozen=True)
+class DebateRound:
+    """One round's state: counts after arguments were heard."""
+
+    round_index: int
+    pro: int
+    contra: int
+    undecided: int
+
+
+class FormalDebate:
+    """A multi-round structured debate.
+
+    Participants start with a stance (pro/contra/undecided).  Each round,
+    the side with more supporters sways each undecided participant with
+    probability proportional to its margin (social-proof dynamics);
+    participants never flip sides outright, matching the empirical
+    stickiness of expressed positions.
+    """
+
+    def __init__(
+        self,
+        topic: str,
+        participants: List[str],
+        rng: np.random.Generator,
+        initial_pro: float = 0.3,
+        initial_contra: float = 0.3,
+    ):
+        if not participants:
+            raise GovernanceError("a debate needs participants")
+        if initial_pro + initial_contra > 1:
+            raise GovernanceError("initial stance fractions exceed 1")
+        self.topic = topic
+        self._rng = rng
+        self._stances: Dict[str, str] = {}
+        for participant in participants:
+            draw = rng.random()
+            if draw < initial_pro:
+                self._stances[participant] = "pro"
+            elif draw < initial_pro + initial_contra:
+                self._stances[participant] = "contra"
+            else:
+                self._stances[participant] = "undecided"
+        self.rounds: List[DebateRound] = [self._snapshot(0)]
+
+    def _snapshot(self, index: int) -> DebateRound:
+        values = list(self._stances.values())
+        return DebateRound(
+            round_index=index,
+            pro=values.count("pro"),
+            contra=values.count("contra"),
+            undecided=values.count("undecided"),
+        )
+
+    def run_round(self) -> DebateRound:
+        """One round of arguments; returns the new state."""
+        current = self.rounds[-1]
+        decided = current.pro + current.contra
+        if decided == 0:
+            snapshot = self._snapshot(len(self.rounds))
+            self.rounds.append(snapshot)
+            return snapshot
+        pro_pull = current.pro / decided
+        for participant, stance in sorted(self._stances.items()):
+            if stance != "undecided":
+                continue
+            if self._rng.random() < 0.4:  # listens this round
+                self._stances[participant] = (
+                    "pro" if self._rng.random() < pro_pull else "contra"
+                )
+        snapshot = self._snapshot(len(self.rounds))
+        self.rounds.append(snapshot)
+        return snapshot
+
+    def run(self, rounds: int) -> DebateRound:
+        for _ in range(rounds):
+            self.run_round()
+        return self.rounds[-1]
+
+    @property
+    def outcome(self) -> str:
+        """'pro', 'contra', or 'tied' by final counts."""
+        final = self.rounds[-1]
+        if final.pro > final.contra:
+            return "pro"
+        if final.contra > final.pro:
+            return "contra"
+        return "tied"
+
+    def stance_of(self, participant: str) -> str:
+        if participant not in self._stances:
+            raise GovernanceError(f"{participant} not in debate")
+        return self._stances[participant]
+
+
+@dataclass
+class CommunityNorm:
+    """A member-proposed rule of conduct."""
+
+    norm_id: str
+    proposer: str
+    description: str
+    rule_factory: Callable[[], Rule]
+    seconds: int = 0
+    adopted: bool = False
+
+
+class SelfGovernanceBoard:
+    """Bottom-up norm adoption: propose → second → adopt → enforce.
+
+    Norms reaching ``seconds_required`` seconds are adopted and their
+    rule is installed into the community's rule engine — community
+    consensus becoming code, the §III-A loop closed from below.
+    """
+
+    def __init__(self, rule_engine: RuleEngine, seconds_required: int = 3):
+        if seconds_required < 1:
+            raise GovernanceError(
+                f"seconds_required must be >= 1, got {seconds_required}"
+            )
+        self._engine = rule_engine
+        self._required = seconds_required
+        self._norms: Dict[str, CommunityNorm] = {}
+        self._seconded_by: Dict[str, set] = {}
+        self._counter = 0
+
+    def propose_norm(
+        self, proposer: str, description: str, rule_factory: Callable[[], Rule]
+    ) -> CommunityNorm:
+        norm = CommunityNorm(
+            norm_id=f"norm-{self._counter:04d}",
+            proposer=proposer,
+            description=description,
+            rule_factory=rule_factory,
+        )
+        self._counter += 1
+        self._norms[norm.norm_id] = norm
+        self._seconded_by[norm.norm_id] = set()
+        return norm
+
+    def second(self, norm_id: str, member: str) -> bool:
+        """Support a norm; returns True if this second adopted it."""
+        norm = self._norm(norm_id)
+        if norm.adopted:
+            raise GovernanceError(f"norm {norm_id} already adopted")
+        if member == norm.proposer:
+            raise GovernanceError("proposers cannot second their own norm")
+        supporters = self._seconded_by[norm_id]
+        if member in supporters:
+            return False
+        supporters.add(member)
+        norm.seconds = len(supporters)
+        if norm.seconds >= self._required:
+            norm.adopted = True
+            self._engine.add_rule(norm.rule_factory())
+            return True
+        return False
+
+    def norms(self, adopted_only: bool = False) -> List[CommunityNorm]:
+        out = list(self._norms.values())
+        if adopted_only:
+            out = [n for n in out if n.adopted]
+        return out
+
+    def _norm(self, norm_id: str) -> CommunityNorm:
+        if norm_id not in self._norms:
+            raise GovernanceError(f"no norm {norm_id}")
+        return self._norms[norm_id]

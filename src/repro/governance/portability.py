@@ -1,0 +1,116 @@
+"""Portable governance modules (paper §III-C, after Schneider et al. [17]).
+
+"This modularity can enable the development of portable tools that can
+be adapted to different platforms and use cases."  Portability needs a
+platform-independent representation: :func:`export_rules` serialises a
+rule engine's built-in rules to a plain-dict **spec**, and
+:func:`import_rules` instantiates the same governance on another
+platform.  Block lists are deliberately *not* exported by default —
+they are personal data, and porting them across platforms would be a
+§II transfer requiring its own lawful basis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import GovernanceError
+from repro.governance.rules import (
+    BlockListRule,
+    ContentFilterRule,
+    KindRestrictionRule,
+    RateLimitRule,
+    Rule,
+    RuleEngine,
+)
+
+__all__ = ["export_rules", "import_rules", "rule_to_spec", "rule_from_spec"]
+
+SPEC_VERSION = 1
+
+
+def rule_to_spec(rule: Rule) -> Optional[Dict[str, Any]]:
+    """Serialise one built-in rule to a spec dict.
+
+    Returns None for rules that must not travel (block lists carry
+    personal data) or for unknown custom rules (the caller must handle
+    those explicitly).
+    """
+    if isinstance(rule, RateLimitRule):
+        return {
+            "kind": "rate-limit",
+            "max_events": rule._max,
+            "window": rule._window,
+        }
+    if isinstance(rule, KindRestrictionRule):
+        return {
+            "kind": "kind-restriction",
+            "forbidden_kinds": sorted(rule._forbidden),
+        }
+    if isinstance(rule, ContentFilterRule):
+        return {
+            "kind": "content-filter",
+            "banned_tokens": sorted(rule._banned),
+        }
+    if isinstance(rule, BlockListRule):
+        return None  # personal data: never exported by default
+    return None
+
+
+def rule_from_spec(spec: Dict[str, Any]) -> Rule:
+    """Instantiate one rule from its spec.
+
+    Raises
+    ------
+    GovernanceError
+        On unknown kinds or malformed specs.
+    """
+    kind = spec.get("kind")
+    try:
+        if kind == "rate-limit":
+            return RateLimitRule(
+                max_events=int(spec["max_events"]),
+                window=float(spec["window"]),
+            )
+        if kind == "kind-restriction":
+            return KindRestrictionRule(list(spec["forbidden_kinds"]))
+        if kind == "content-filter":
+            return ContentFilterRule(list(spec["banned_tokens"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GovernanceError(f"malformed rule spec {spec!r}: {exc}") from exc
+    raise GovernanceError(f"unknown rule kind {kind!r}")
+
+
+def export_rules(engine: RuleEngine) -> Dict[str, Any]:
+    """Serialise an engine's portable rules into a versioned bundle."""
+    specs: List[Dict[str, Any]] = []
+    skipped: List[str] = []
+    for rule in engine._rules:
+        spec = rule_to_spec(rule)
+        if spec is None:
+            skipped.append(rule.name)
+        else:
+            specs.append(spec)
+    return {"version": SPEC_VERSION, "rules": specs, "not_exported": skipped}
+
+
+def import_rules(bundle: Dict[str, Any], engine: Optional[RuleEngine] = None) -> RuleEngine:
+    """Install a bundle's rules into ``engine`` (or a fresh one).
+
+    Raises
+    ------
+    GovernanceError
+        On version mismatch, malformed bundles, or rule-name clashes
+        with the target engine.
+    """
+    if bundle.get("version") != SPEC_VERSION:
+        raise GovernanceError(
+            f"unsupported governance bundle version {bundle.get('version')!r}"
+        )
+    rules = bundle.get("rules")
+    if not isinstance(rules, list):
+        raise GovernanceError("bundle has no rule list")
+    target = engine if engine is not None else RuleEngine()
+    for spec in rules:
+        target.add_rule(rule_from_spec(spec))
+    return target

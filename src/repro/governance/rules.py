@@ -1,0 +1,160 @@
+"""Code-as-law: the rule engine (paper §III-A, after Lessig [19]).
+
+"We can see the software code of the metaverse as an analogy to our
+physical laws of nature, where code can constrain the shape of the
+metaverse."  A :class:`RuleEngine` is a prioritized list of
+:class:`Rule` objects consulted by the world before delivering any
+interaction; the first refusing rule blocks it.  Rules are *code*: they
+act on observable interaction fields only (never on the hidden
+ground-truth ``abusive`` flag — inferring abuse is moderation's job).
+
+Built-in rules cover the platform policies the paper mentions:
+
+* :class:`RateLimitRule` — spam control by per-initiator token bucket.
+* :class:`KindRestrictionRule` — globally disabled interaction kinds
+  (e.g. a world where ``touch`` simply does not exist).
+* :class:`BlockListRule` — per-member "never contact me again" lists.
+* :class:`ContentFilterRule` — banned-token content filter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import GovernanceError
+from repro.world.interactions import Interaction
+
+__all__ = [
+    "Rule",
+    "RuleEngine",
+    "RateLimitRule",
+    "KindRestrictionRule",
+    "BlockListRule",
+    "ContentFilterRule",
+]
+
+
+class Rule:
+    """Base rule: :meth:`permits` returns True to allow."""
+
+    name = "abstract"
+
+    def permits(self, interaction: Interaction) -> bool:
+        raise NotImplementedError
+
+
+class RuleEngine:
+    """Ordered rule list implementing the world's ``rule_check`` hook."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None):
+        self._rules: List[Rule] = list(rules or [])
+        self.blocked_by_rule: Dict[str, int] = {}
+
+    def add_rule(self, rule: Rule) -> None:
+        if any(r.name == rule.name for r in self._rules):
+            raise GovernanceError(f"rule {rule.name!r} already installed")
+        self._rules.append(rule)
+
+    def remove_rule(self, name: str) -> bool:
+        """Uninstall by name (module swap in the modular framework)."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.name != name]
+        return len(self._rules) != before
+
+    def rules(self) -> List[str]:
+        return [r.name for r in self._rules]
+
+    def check(self, interaction: Interaction) -> Tuple[bool, Optional[str]]:
+        """The world's gate: (allowed, blocking_rule_name)."""
+        for rule in self._rules:
+            if not rule.permits(interaction):
+                self.blocked_by_rule[rule.name] = (
+                    self.blocked_by_rule.get(rule.name, 0) + 1
+                )
+                return False, rule.name
+        return True, None
+
+    # Convenience so a RuleEngine can be passed directly as rule_check.
+    __call__ = check
+
+
+class RateLimitRule(Rule):
+    """At most ``max_events`` interactions per initiator per ``window``
+    time units (sliding window)."""
+
+    name = "rate-limit"
+
+    def __init__(self, max_events: int, window: float):
+        if max_events < 1:
+            raise GovernanceError(f"max_events must be >= 1, got {max_events}")
+        if window <= 0:
+            raise GovernanceError(f"window must be positive, got {window}")
+        self._max = max_events
+        self._window = window
+        self._history: Dict[str, Deque[float]] = {}
+
+    def permits(self, interaction: Interaction) -> bool:
+        history = self._history.setdefault(interaction.initiator, deque())
+        cutoff = interaction.time - self._window
+        while history and history[0] < cutoff:
+            history.popleft()
+        if len(history) >= self._max:
+            return False
+        history.append(interaction.time)
+        return True
+
+
+class KindRestrictionRule(Rule):
+    """Globally forbidden interaction kinds."""
+
+    name = "kind-restriction"
+
+    def __init__(self, forbidden_kinds: Iterable[str]):
+        self._forbidden: Set[str] = set(forbidden_kinds)
+        if not self._forbidden:
+            raise GovernanceError("forbidden_kinds must be non-empty")
+
+    def permits(self, interaction: Interaction) -> bool:
+        return interaction.kind not in self._forbidden
+
+
+class BlockListRule(Rule):
+    """Per-member block lists: a blocked initiator never reaches the
+    member who blocked them."""
+
+    name = "block-list"
+
+    def __init__(self) -> None:
+        self._blocked: Dict[str, Set[str]] = {}
+
+    def block(self, member: str, blocked: str) -> None:
+        if member == blocked:
+            raise GovernanceError(f"{member} cannot block themselves")
+        self._blocked.setdefault(member, set()).add(blocked)
+
+    def unblock(self, member: str, blocked: str) -> None:
+        self._blocked.get(member, set()).discard(blocked)
+
+    def is_blocked(self, member: str, initiator: str) -> bool:
+        return initiator in self._blocked.get(member, set())
+
+    def permits(self, interaction: Interaction) -> bool:
+        return not self.is_blocked(interaction.target, interaction.initiator)
+
+
+class ContentFilterRule(Rule):
+    """Banned-token filter over interaction content (word lists are the
+    crude automation Facebook/Twitter-style platforms deploy, §III)."""
+
+    name = "content-filter"
+
+    def __init__(self, banned_tokens: Iterable[str]):
+        self._banned = {token.lower() for token in banned_tokens}
+        if not self._banned:
+            raise GovernanceError("banned_tokens must be non-empty")
+
+    def permits(self, interaction: Interaction) -> bool:
+        content = interaction.content.lower()
+        return not any(token in content for token in self._banned)

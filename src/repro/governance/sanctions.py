@@ -1,0 +1,199 @@
+"""Sanctions and incentives (paper §III-D).
+
+"Online platforms should consider tools to deal with players'
+misbehaviour (i.e., punitive approaches) and tools for encouraging
+positive behaviours (i.e., preventive approaches)."
+
+* :class:`GraduatedSanctionPolicy` — the punitive ladder: upheld cases
+  escalate warn → mute → suspend → ban, applied to the world and
+  (optionally) mirrored into reputation.
+* :class:`IncentiveSystem` — the preventive side: positive behaviour
+  earns points redeemable as tokens/reputation, with streak bonuses for
+  sustained good conduct.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import GovernanceError
+from repro.world.avatar import AvatarStatus
+from repro.world.world import World
+
+__all__ = ["SanctionLevel", "SanctionRecord", "GraduatedSanctionPolicy", "IncentiveSystem"]
+
+
+class SanctionLevel(int, enum.Enum):
+    """The punitive ladder, in escalation order."""
+
+    WARNING = 0
+    MUTE = 1
+    SUSPENSION = 2
+    BAN = 3
+
+    @property
+    def avatar_status(self) -> AvatarStatus:
+        return {
+            SanctionLevel.WARNING: AvatarStatus.ACTIVE,
+            SanctionLevel.MUTE: AvatarStatus.MUTED,
+            SanctionLevel.SUSPENSION: AvatarStatus.SUSPENDED,
+            SanctionLevel.BAN: AvatarStatus.BANNED,
+        }[self]
+
+
+@dataclass(frozen=True)
+class SanctionRecord:
+    """One applied sanction."""
+
+    offender: str
+    level: SanctionLevel
+    time: float
+    case_id: Optional[str]
+    reason: str
+
+
+class GraduatedSanctionPolicy:
+    """Escalating sanctions per offender.
+
+    ``thresholds`` maps upheld-offence counts to levels; the default
+    ladder is 1 → warning, 2 → mute, 3 → suspension, 4+ → ban.
+
+    The policy is the single writer of avatar status (governance owns
+    sanctions; the world merely enforces them).
+    """
+
+    DEFAULT_THRESHOLDS: Tuple[Tuple[int, SanctionLevel], ...] = (
+        (1, SanctionLevel.WARNING),
+        (2, SanctionLevel.MUTE),
+        (3, SanctionLevel.SUSPENSION),
+        (4, SanctionLevel.BAN),
+    )
+
+    def __init__(
+        self,
+        world: World,
+        thresholds: Optional[Tuple[Tuple[int, SanctionLevel], ...]] = None,
+        reputation_hook: Optional[Callable[[str, float], None]] = None,
+    ):
+        self._world = world
+        self._thresholds = (
+            self.DEFAULT_THRESHOLDS if thresholds is None else thresholds
+        )
+        if not self._thresholds:
+            raise GovernanceError("thresholds must be non-empty")
+        self._offences: Dict[str, int] = {}
+        self._records: List[SanctionRecord] = []
+        self._reputation_hook = reputation_hook
+
+    def offence_count(self, offender: str) -> int:
+        return self._offences.get(offender, 0)
+
+    def level_for(self, offence_count: int) -> SanctionLevel:
+        """The ladder rung for the given upheld-offence count."""
+        level = self._thresholds[0][1]
+        for threshold, candidate in self._thresholds:
+            if offence_count >= threshold:
+                level = candidate
+        return level
+
+    def apply(
+        self,
+        offender: str,
+        time: float,
+        case_id: Optional[str] = None,
+        reason: str = "",
+    ) -> SanctionRecord:
+        """Record an upheld offence and apply the resulting sanction."""
+        count = self.offence_count(offender) + 1
+        self._offences[offender] = count
+        level = self.level_for(count)
+        if offender in self._world:
+            self._world.set_status(offender, level.avatar_status)
+        record = SanctionRecord(
+            offender=offender, level=level, time=time, case_id=case_id, reason=reason
+        )
+        self._records.append(record)
+        if self._reputation_hook is not None:
+            # Harsher rungs cost more reputation.
+            self._reputation_hook(offender, -(1.0 + level.value))
+        return record
+
+    @property
+    def records(self) -> List[SanctionRecord]:
+        return list(self._records)
+
+    def sanctions_of(self, offender: str) -> List[SanctionRecord]:
+        return [r for r in self._records if r.offender == offender]
+
+    def banned(self) -> List[str]:
+        return sorted(
+            {
+                r.offender
+                for r in self._records
+                if r.level is SanctionLevel.BAN
+            }
+        )
+
+
+class IncentiveSystem:
+    """Preventive governance: reward positive behaviour.
+
+    Members accrue points for positive acts (helpful interactions,
+    upheld-report filing, content contributions); consecutive active
+    epochs build a streak multiplier.  Points are read by experiments
+    and can be redeemed through a payout hook (e.g. token mints).
+    """
+
+    def __init__(
+        self,
+        base_reward: float = 1.0,
+        streak_bonus: float = 0.1,
+        max_multiplier: float = 2.0,
+        payout_hook: Optional[Callable[[str, float], None]] = None,
+    ):
+        if base_reward < 0 or streak_bonus < 0:
+            raise GovernanceError("rewards must be >= 0")
+        if max_multiplier < 1:
+            raise GovernanceError(
+                f"max_multiplier must be >= 1, got {max_multiplier}"
+            )
+        self._base = base_reward
+        self._bonus = streak_bonus
+        self._cap = max_multiplier
+        self._points: Dict[str, float] = {}
+        self._streaks: Dict[str, int] = {}
+        self._active_this_epoch: Dict[str, bool] = {}
+        self._payout_hook = payout_hook
+
+    def reward(self, member: str, kind: str = "positive-act", weight: float = 1.0) -> float:
+        """Grant points for one positive act; returns points granted."""
+        if weight < 0:
+            raise GovernanceError(f"weight must be >= 0, got {weight}")
+        multiplier = min(self._cap, 1.0 + self._bonus * self._streaks.get(member, 0))
+        granted = self._base * weight * multiplier
+        self._points[member] = self._points.get(member, 0.0) + granted
+        self._active_this_epoch[member] = True
+        if self._payout_hook is not None:
+            self._payout_hook(member, granted)
+        return granted
+
+    def end_epoch(self) -> None:
+        """Advance streaks: active members extend, inactive reset."""
+        for member in set(self._streaks) | set(self._active_this_epoch):
+            if self._active_this_epoch.get(member):
+                self._streaks[member] = self._streaks.get(member, 0) + 1
+            else:
+                self._streaks[member] = 0
+        self._active_this_epoch = {}
+
+    def points_of(self, member: str) -> float:
+        return self._points.get(member, 0.0)
+
+    def streak_of(self, member: str) -> int:
+        return self._streaks.get(member, 0)
+
+    def leaderboard(self, top_n: int = 10) -> List[Tuple[str, float]]:
+        ordered = sorted(self._points.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ordered[:top_n]

@@ -1,0 +1,72 @@
+"""Blockchain substrate: the trust and audit layer of the metaverse.
+
+Implements, from scratch on ``hashlib`` alone: Lamport/Merkle hash-based
+signatures, Merkle trees with inclusion proofs, canonically-hashed
+transactions and blocks, an account state machine, a fee-prioritised
+mempool, PoA and PoS consensus, a deterministic smart-contract VM with
+built-in token/registry/escrow/voting contracts, a fork-choosing chain,
+and the data-collection auditor the paper calls for in §II-D.
+"""
+
+from repro.ledger.audit import ActivityRecord, DataCollectionAuditor, MonopolyReport
+from repro.ledger.block import Block, build_block
+from repro.ledger.chain import Blockchain
+from repro.ledger.consensus import PoAConsensus, PoSConsensus
+from repro.ledger.contracts import (
+    ContractContext,
+    ContractRegistry,
+    EscrowContract,
+    RegistryContract,
+    SmartContract,
+    TokenContract,
+    VotingContract,
+)
+from repro.ledger.crypto import (
+    LamportKeyPair,
+    LamportSignature,
+    generate_lamport_keypair,
+    lamport_sign,
+    lamport_verify,
+    sha256,
+)
+from repro.ledger.encoding import EncodingError, canonical_encode
+from repro.ledger.mempool import Mempool
+from repro.ledger.merkle import EMPTY_ROOT, MerkleProof, MerkleTree
+from repro.ledger.state import LedgerState
+from repro.ledger.transactions import SignedTransaction, Transaction, TxKind
+from repro.ledger.wallet import Wallet
+
+__all__ = [
+    "ActivityRecord",
+    "DataCollectionAuditor",
+    "MonopolyReport",
+    "Block",
+    "build_block",
+    "Blockchain",
+    "PoAConsensus",
+    "PoSConsensus",
+    "ContractContext",
+    "ContractRegistry",
+    "EscrowContract",
+    "RegistryContract",
+    "SmartContract",
+    "TokenContract",
+    "VotingContract",
+    "LamportKeyPair",
+    "LamportSignature",
+    "generate_lamport_keypair",
+    "lamport_sign",
+    "lamport_verify",
+    "sha256",
+    "EncodingError",
+    "canonical_encode",
+    "Mempool",
+    "EMPTY_ROOT",
+    "MerkleProof",
+    "MerkleTree",
+    "LedgerState",
+    "SignedTransaction",
+    "Transaction",
+    "TxKind",
+    "Wallet",
+]

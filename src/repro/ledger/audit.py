@@ -1,0 +1,192 @@
+"""On-chain audit of data-collection and processing activities.
+
+§II-D of the paper: "A distributed ledger (Blockchain) can register any
+party's data collection and processing activities in the metaverse.
+Finally, the metaverse should guarantee no data monopoly from any
+parties in the data collection practices."
+
+:class:`DataCollectionAuditor` implements both halves:
+
+* :meth:`register_activity` writes a RECORD transaction describing who
+  collected what, from whom, for which purpose, and with which PET
+  applied; the chain timestamps and Merkle-commits it.
+* :meth:`activities` / :meth:`prove_activity` let auditors enumerate and
+  cryptographically verify registrations.
+* :meth:`monopoly_report` measures each party's share of collection
+  activity and flags shares above a configurable threshold — the "no
+  data monopoly" guarantee made checkable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as CollectionsCounter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import LedgerError
+from repro.ledger.chain import Blockchain
+from repro.ledger.transactions import SignedTransaction, TxKind
+from repro.ledger.wallet import Wallet
+
+__all__ = ["ActivityRecord", "MonopolyReport", "DataCollectionAuditor"]
+
+
+@dataclass(frozen=True)
+class ActivityRecord:
+    """One registered data-collection activity, as read back from chain."""
+
+    tx_id: str
+    block_height: int
+    timestamp: float
+    party: str
+    subject: str
+    category: str
+    purpose: str
+    pet_applied: str
+
+
+@dataclass(frozen=True)
+class MonopolyReport:
+    """Concentration analysis of collection activity."""
+
+    shares: Dict[str, float]
+    herfindahl_index: float
+    dominant_party: Optional[str]
+    dominant_share: float
+    threshold: float
+
+    @property
+    def monopoly_detected(self) -> bool:
+        return self.dominant_share > self.threshold
+
+
+class DataCollectionAuditor:
+    """Registers and audits data-collection activities on a chain."""
+
+    def __init__(self, chain: Blockchain):
+        self._chain = chain
+        # Per-party next-nonce cache so bulk registration is O(n), not
+        # O(n^2) (scanning the mempool per record).
+        self._nonce_cache: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_activity(
+        self,
+        wallet: Wallet,
+        subject: str,
+        category: str,
+        purpose: str,
+        pet_applied: str = "none",
+        fee: int = 0,
+    ) -> SignedTransaction:
+        """Build, sign, and submit a RECORD transaction to the mempool.
+
+        The caller (or a consensus driver) must still produce a block for
+        the record to become final.
+        """
+        nonce = self._next_nonce(wallet.address)
+        stx = wallet.record(
+            nonce=nonce,
+            fee=fee,
+            record_payload={
+                "activity": "data_collection",
+                "subject": subject,
+                "category": category,
+                "purpose": purpose,
+                "pet_applied": pet_applied,
+            },
+        )
+        if not self._chain.mempool.submit(stx, state=self._chain.state):
+            self._nonce_cache[wallet.address] = nonce  # roll back
+            raise LedgerError(
+                f"audit record from {wallet.address[:12]} rejected by mempool"
+            )
+        return stx
+
+    def _next_nonce(self, address: str) -> int:
+        """Next usable nonce, cached per party for O(1) bulk registration."""
+        base = self._chain.state.nonce_of(address)
+        nonce = max(base, self._nonce_cache.get(address, 0))
+        self._nonce_cache[address] = nonce + 1
+        return nonce
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def activities(
+        self,
+        party: Optional[str] = None,
+        subject: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> List[ActivityRecord]:
+        """All finalized activities matching the filters, chain order."""
+        out: List[ActivityRecord] = []
+        for block, stx in self._chain.iter_transactions():
+            if stx.tx.kind != TxKind.RECORD:
+                continue
+            payload = stx.tx.payload
+            if payload.get("activity") != "data_collection":
+                continue
+            record = ActivityRecord(
+                tx_id=stx.tx_id,
+                block_height=block.height,
+                timestamp=block.timestamp,
+                party=stx.tx.sender,
+                subject=payload.get("subject", ""),
+                category=payload.get("category", ""),
+                purpose=payload.get("purpose", ""),
+                pet_applied=payload.get("pet_applied", "none"),
+            )
+            if party is not None and record.party != party:
+                continue
+            if subject is not None and record.subject != subject:
+                continue
+            if category is not None and record.category != category:
+                continue
+            out.append(record)
+        return out
+
+    def prove_activity(self, tx_id: str) -> bool:
+        """Cryptographically verify a registration: the transaction's
+        signature must hold and its Merkle proof must bind it to its
+        block header on the canonical chain."""
+        located = self._chain.find_transaction(tx_id)
+        if located is None:
+            return False
+        block, stx = located
+        if not stx.verify():
+            return False
+        proof = block.inclusion_proof(tx_id)
+        return proof.verify(bytes.fromhex(tx_id), bytes.fromhex(block.merkle_root))
+
+    # ------------------------------------------------------------------
+    # Monopoly analysis
+    # ------------------------------------------------------------------
+    def monopoly_report(self, threshold: float = 0.5) -> MonopolyReport:
+        """Share of collection activity per party, plus the
+        Herfindahl–Hirschman concentration index (sum of squared
+        shares; 1.0 = single collector, →0 = perfectly dispersed)."""
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        counts = CollectionsCounter(record.party for record in self.activities())
+        total = sum(counts.values())
+        if total == 0:
+            return MonopolyReport(
+                shares={},
+                herfindahl_index=0.0,
+                dominant_party=None,
+                dominant_share=0.0,
+                threshold=threshold,
+            )
+        shares = {party: count / total for party, count in counts.items()}
+        hhi = sum(share ** 2 for share in shares.values())
+        dominant_party = max(shares, key=lambda p: (shares[p], p))
+        return MonopolyReport(
+            shares=shares,
+            herfindahl_index=hhi,
+            dominant_party=dominant_party,
+            dominant_share=shares[dominant_party],
+            threshold=threshold,
+        )

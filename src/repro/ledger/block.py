@@ -1,0 +1,132 @@
+"""Blocks: headers committing to ordered transaction lists.
+
+A block header carries ``(height, prev_hash, merkle_root, timestamp,
+proposer)``; the body is the ordered list of signed transactions.  The
+Merkle root commits to transaction ids, so light audit clients can check
+inclusion with a :class:`~repro.ledger.merkle.MerkleProof` and the header
+alone (used by ``repro.ledger.audit``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import InvalidBlockError
+from repro.ledger.crypto import sha256
+from repro.ledger.encoding import canonical_encode
+from repro.ledger.merkle import MerkleProof, MerkleTree
+from repro.ledger.transactions import SignedTransaction
+
+__all__ = ["Block", "build_block"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block.
+
+    The genesis block has ``height == 0``, ``prev_hash == "00" * 32``,
+    an empty body, and proposer ``"genesis"``.
+    """
+
+    height: int
+    prev_hash: str
+    merkle_root: str
+    timestamp: float
+    proposer: str
+    transactions: Tuple[SignedTransaction, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise InvalidBlockError(f"height must be >= 0, got {self.height}")
+
+    def header_dict(self) -> Dict[str, Any]:
+        return {
+            "height": self.height,
+            "prev_hash": self.prev_hash,
+            "merkle_root": self.merkle_root,
+            "timestamp": self.timestamp,
+            "proposer": self.proposer,
+        }
+
+    @property
+    def block_hash(self) -> str:
+        """Hex hash over the canonical header encoding."""
+        return sha256(canonical_encode(self.header_dict())).hex()
+
+    @property
+    def tx_ids(self) -> List[str]:
+        return [stx.tx_id for stx in self.transactions]
+
+    @property
+    def total_fees(self) -> int:
+        return sum(stx.tx.fee for stx in self.transactions)
+
+    def compute_merkle_root(self) -> str:
+        """Recompute the Merkle root over the body's transaction ids."""
+        leaves = [bytes.fromhex(tx_id) for tx_id in self.tx_ids]
+        return MerkleTree(leaves).root.hex()
+
+    def validate_structure(self) -> None:
+        """Structural checks independent of chain context.
+
+        Raises
+        ------
+        InvalidBlockError
+            If the Merkle root does not match the body, a transaction id
+            is duplicated, or any signature fails.
+        """
+        if self.compute_merkle_root() != self.merkle_root:
+            raise InvalidBlockError(
+                f"block {self.block_hash[:12]}: merkle root mismatch"
+            )
+        ids = self.tx_ids
+        if len(set(ids)) != len(ids):
+            raise InvalidBlockError(
+                f"block {self.block_hash[:12]}: duplicate transaction in body"
+            )
+        for stx in self.transactions:
+            if not stx.verify():
+                raise InvalidBlockError(
+                    f"block {self.block_hash[:12]}: invalid signature on "
+                    f"tx {stx.tx_id[:12]}"
+                )
+
+    def inclusion_proof(self, tx_id: str) -> MerkleProof:
+        """Merkle proof that ``tx_id`` is in this block.
+
+        Raises
+        ------
+        InvalidBlockError
+            If the transaction is not in the body.
+        """
+        ids = self.tx_ids
+        try:
+            index = ids.index(tx_id)
+        except ValueError:
+            raise InvalidBlockError(
+                f"tx {tx_id[:12]} not in block {self.block_hash[:12]}"
+            ) from None
+        leaves = [bytes.fromhex(i) for i in ids]
+        return MerkleTree(leaves).proof(index)
+
+
+def build_block(
+    height: int,
+    prev_hash: str,
+    timestamp: float,
+    proposer: str,
+    transactions: Sequence[SignedTransaction],
+) -> Block:
+    """Assemble a block, computing the Merkle root from the body."""
+    txs = tuple(transactions)
+    leaves = [bytes.fromhex(stx.tx_id) for stx in txs]
+    root = MerkleTree(leaves).root.hex()
+    return Block(
+        height=height,
+        prev_hash=prev_hash,
+        merkle_root=root,
+        timestamp=float(timestamp),
+        proposer=proposer,
+        transactions=txs,
+    )

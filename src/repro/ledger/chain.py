@@ -1,0 +1,244 @@
+"""The blockchain: block storage, validation, fork choice, and queries.
+
+``Blockchain`` keeps every received block in a block-tree, applies each
+block's transactions to a copy of its parent's state, and selects the
+canonical head by *longest chain* (tie broken by lowest block hash so
+every node agrees).  Because states are kept per block, reorgs are
+instant — the head pointer just moves.
+
+The chain is the audit substrate of the reproduction: the paper's §II-D
+asks that "a distributed ledger can register any party's data collection
+and processing activities"; :meth:`find_transaction` plus
+:meth:`Block.inclusion_proof` give auditors exact, cryptographic answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ContractError, InvalidBlockError, InvalidTransactionError
+from repro.ledger.block import Block, build_block
+from repro.ledger.consensus import ConsensusStrategy
+from repro.ledger.contracts import ContractRegistry
+from repro.ledger.mempool import Mempool
+from repro.ledger.state import LedgerState
+from repro.ledger.transactions import SignedTransaction
+
+__all__ = ["Blockchain"]
+
+GENESIS_PREV_HASH = "00" * 32
+
+
+class Blockchain:
+    """A single logical chain (all simulated nodes share one instance;
+    network partitions are modelled by feeding conflicting blocks).
+
+    Parameters
+    ----------
+    consensus:
+        Proposer-eligibility strategy (PoA or PoS).
+    genesis_balances:
+        Initial token allocation.
+    contracts:
+        Registry executing CONTRACT/MINT transactions; a fresh empty
+        registry is created if omitted.
+    """
+
+    def __init__(
+        self,
+        consensus: ConsensusStrategy,
+        genesis_balances: Optional[Dict[str, int]] = None,
+        contracts: Optional[ContractRegistry] = None,
+    ):
+        self.consensus = consensus
+        self.contracts = contracts if contracts is not None else ContractRegistry()
+        genesis_state = LedgerState(genesis_balances or {})
+        self._genesis = Block(
+            height=0,
+            prev_hash=GENESIS_PREV_HASH,
+            merkle_root="",
+            timestamp=0.0,
+            proposer="genesis",
+        )
+        genesis_hash = self._genesis.block_hash
+        self._blocks: Dict[str, Block] = {genesis_hash: self._genesis}
+        self._states: Dict[str, LedgerState] = {genesis_hash: genesis_state}
+        self._head_hash = genesis_hash
+        self.mempool = Mempool()
+        self.rejected_blocks = 0
+        self.reorg_count = 0
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def genesis(self) -> Block:
+        return self._genesis
+
+    @property
+    def head(self) -> Block:
+        """The canonical tip."""
+        return self._blocks[self._head_hash]
+
+    @property
+    def height(self) -> int:
+        return self.head.height
+
+    @property
+    def state(self) -> LedgerState:
+        """State after applying the canonical chain (do not mutate)."""
+        return self._states[self._head_hash]
+
+    def block_by_hash(self, block_hash: str) -> Optional[Block]:
+        return self._blocks.get(block_hash)
+
+    def state_at(self, block_hash: str) -> Optional[LedgerState]:
+        return self._states.get(block_hash)
+
+    def main_chain(self) -> List[Block]:
+        """Genesis→head block list along the canonical chain."""
+        chain: List[Block] = []
+        cursor: Optional[Block] = self.head
+        while cursor is not None:
+            chain.append(cursor)
+            if cursor.height == 0:
+                break
+            cursor = self._blocks.get(cursor.prev_hash)
+        chain.reverse()
+        return chain
+
+    def iter_transactions(self) -> Iterator[Tuple[Block, SignedTransaction]]:
+        """Yield ``(block, signed_tx)`` along the canonical chain."""
+        for block in self.main_chain():
+            for stx in block.transactions:
+                yield block, stx
+
+    def find_transaction(self, tx_id: str) -> Optional[Tuple[Block, SignedTransaction]]:
+        """Locate a transaction on the canonical chain."""
+        for block, stx in self.iter_transactions():
+            if stx.tx_id == tx_id:
+                return block, stx
+        return None
+
+    # ------------------------------------------------------------------
+    # Block production
+    # ------------------------------------------------------------------
+    def propose_block(
+        self,
+        proposer: str,
+        timestamp: float,
+        transactions: Optional[Sequence[SignedTransaction]] = None,
+        max_txs: int = 100,
+    ) -> Block:
+        """Assemble, validate, and append the next canonical block.
+
+        If ``transactions`` is omitted, the block is filled from the
+        mempool.  Raises :class:`InvalidBlockError` if ``proposer`` is
+        not the consensus-expected proposer for the next height.
+        """
+        parent = self.head
+        if transactions is None:
+            # Pre-execute candidates speculatively so one reverting
+            # contract call cannot poison every subsequent proposal.
+            candidates = self.mempool.select(self.state, max_count=max_txs)
+            speculative = self.state.copy()
+            executable = []
+            for stx in candidates:
+                try:
+                    speculative.apply(stx, contract_executor=self.contracts)
+                except (InvalidTransactionError, ContractError):
+                    self.mempool.prune_included([stx.tx_id])
+                else:
+                    executable.append(stx)
+            transactions = executable
+        block = build_block(
+            height=parent.height + 1,
+            prev_hash=parent.block_hash,
+            timestamp=timestamp,
+            proposer=proposer,
+            transactions=transactions,
+        )
+        self.add_block(block)
+        return block
+
+    def add_block(self, block: Block) -> None:
+        """Validate ``block`` against its parent and store it.
+
+        Validation: structure (Merkle root, signatures, duplicates),
+        parent linkage, height, monotonic timestamp, consensus proposer
+        rule, and clean application of every transaction to the parent
+        state.  Accepting a block may move the head (fork choice).
+        """
+        if block.block_hash in self._blocks:
+            raise InvalidBlockError(f"block {block.block_hash[:12]} already known")
+        parent = self._blocks.get(block.prev_hash)
+        if parent is None:
+            self.rejected_blocks += 1
+            raise InvalidBlockError(
+                f"block {block.block_hash[:12]}: unknown parent "
+                f"{block.prev_hash[:12]}"
+            )
+        if block.height != parent.height + 1:
+            self.rejected_blocks += 1
+            raise InvalidBlockError(
+                f"block {block.block_hash[:12]}: height {block.height} does not "
+                f"extend parent height {parent.height}"
+            )
+        if block.timestamp < parent.timestamp:
+            self.rejected_blocks += 1
+            raise InvalidBlockError(
+                f"block {block.block_hash[:12]}: timestamp {block.timestamp} "
+                f"before parent {parent.timestamp}"
+            )
+        try:
+            block.validate_structure()
+        except InvalidBlockError:
+            self.rejected_blocks += 1
+            raise
+
+        parent_state = self._states[block.prev_hash]
+        self.consensus.validate(block, parent_state)
+
+        new_state = parent_state.copy()
+        try:
+            for stx in block.transactions:
+                new_state.apply(stx, contract_executor=self.contracts)
+        except (InvalidTransactionError, ContractError) as exc:
+            self.rejected_blocks += 1
+            raise InvalidBlockError(
+                f"block {block.block_hash[:12]}: transaction failed ({exc})"
+            ) from exc
+        new_state.credit_fees(block.proposer, block.total_fees)
+
+        self._blocks[block.block_hash] = block
+        self._states[block.block_hash] = new_state
+        self._update_head(block)
+        self.mempool.prune_included(block.tx_ids)
+
+    def _update_head(self, candidate: Block) -> None:
+        head = self.head
+        # Longest chain wins; equal heights break ties by *lowest* hash so
+        # every node converges on the same head deterministically.
+        better_height = candidate.height > head.height
+        same_height_lower_hash = (
+            candidate.height == head.height
+            and candidate.block_hash < head.block_hash
+        )
+        if better_height or same_height_lower_hash:
+            if candidate.prev_hash != head.block_hash:
+                self.reorg_count += 1
+            self._head_hash = candidate.block_hash
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def verify_chain(self) -> bool:
+        """Re-validate linkage and Merkle roots along the whole canonical
+        chain (used by auditors and property tests)."""
+        chain = self.main_chain()
+        for prev, block in zip(chain, chain[1:]):
+            if block.prev_hash != prev.block_hash:
+                return False
+            if block.compute_merkle_root() != block.merkle_root:
+                return False
+        return True

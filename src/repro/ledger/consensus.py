@@ -1,0 +1,128 @@
+"""Consensus strategies: who may propose each block.
+
+The paper treats the blockchain as a trust substrate without prescribing
+a consensus algorithm, so the ledger supports the two schemes actually
+used by the platforms it cites (Decentraland-style chains run on
+proof-of-stake networks; permissioned pilots use proof-of-authority):
+
+* :class:`PoAConsensus` — a fixed validator set takes deterministic
+  round-robin turns.
+* :class:`PoSConsensus` — the proposer is drawn stake-weighted from the
+  bonded accounts, using a hash of ``(prev_hash, height)`` as the
+  deterministic lottery ticket, so every node agrees on the winner
+  without communication.
+
+Both implement the same two-method protocol consumed by
+:class:`~repro.ledger.chain.Blockchain`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+from repro.errors import InvalidBlockError
+from repro.ledger.block import Block
+from repro.ledger.crypto import sha256
+from repro.ledger.state import LedgerState
+
+__all__ = ["ConsensusStrategy", "PoAConsensus", "PoSConsensus"]
+
+
+class ConsensusStrategy(Protocol):
+    """Protocol every consensus scheme implements."""
+
+    def expected_proposer(
+        self, height: int, prev_hash: str, state: LedgerState
+    ) -> Optional[str]:
+        """Who must propose the block at ``height`` on top of
+        ``prev_hash`` (None if anyone may)."""
+
+    def validate(self, block: Block, state: LedgerState) -> None:
+        """Raise :class:`InvalidBlockError` if ``block`` violates the
+        scheme's proposer rule."""
+
+
+class PoAConsensus:
+    """Proof-of-authority: a fixed, ordered validator set rotates.
+
+    The proposer for height ``h`` is ``validators[h % len(validators)]``,
+    which gives liveness (every slot has exactly one eligible proposer)
+    and trivial auditability.
+    """
+
+    def __init__(self, validators: Sequence[str]):
+        if not validators:
+            raise ValueError("PoA requires at least one validator")
+        if len(set(validators)) != len(validators):
+            raise ValueError("validator addresses must be unique")
+        self._validators: List[str] = list(validators)
+
+    @property
+    def validators(self) -> List[str]:
+        return list(self._validators)
+
+    def expected_proposer(
+        self, height: int, prev_hash: str, state: LedgerState
+    ) -> Optional[str]:
+        return self._validators[height % len(self._validators)]
+
+    def validate(self, block: Block, state: LedgerState) -> None:
+        expected = self.expected_proposer(block.height, block.prev_hash, state)
+        if block.proposer != expected:
+            raise InvalidBlockError(
+                f"PoA: block {block.height} proposed by "
+                f"{block.proposer[:12]}, expected {expected[:12]}"
+            )
+
+
+class PoSConsensus:
+    """Proof-of-stake: stake-weighted deterministic proposer lottery.
+
+    The lottery ticket is ``sha256(prev_hash || height)`` reduced modulo
+    total stake; accounts are laid out on the stake line in sorted
+    address order, and the ticket picks the account whose interval it
+    lands in.  Determinism means every honest node computes the same
+    proposer; stake-weighting means proposal frequency is proportional
+    to bonded stake (verified statistically in the test suite).
+
+    ``min_stake`` excludes dust accounts from eligibility.
+    """
+
+    def __init__(self, min_stake: int = 1):
+        if min_stake < 1:
+            raise ValueError(f"min_stake must be >= 1, got {min_stake}")
+        self._min_stake = min_stake
+
+    def eligible(self, state: LedgerState) -> List[str]:
+        """Eligible validator addresses, in deterministic sorted order."""
+        return sorted(
+            addr for addr, stake in state.stakes.items() if stake >= self._min_stake
+        )
+
+    def expected_proposer(
+        self, height: int, prev_hash: str, state: LedgerState
+    ) -> Optional[str]:
+        eligible = self.eligible(state)
+        if not eligible:
+            return None
+        total = sum(state.stakes[addr] for addr in eligible)
+        seed = sha256(bytes.fromhex(prev_hash) + height.to_bytes(8, "big"))
+        ticket = int.from_bytes(seed[:8], "big") % total
+        cursor = 0
+        for addr in eligible:
+            cursor += state.stakes[addr]
+            if ticket < cursor:
+                return addr
+        return eligible[-1]  # pragma: no cover - unreachable by construction
+
+    def validate(self, block: Block, state: LedgerState) -> None:
+        expected = self.expected_proposer(block.height, block.prev_hash, state)
+        if expected is None:
+            raise InvalidBlockError(
+                f"PoS: no eligible validators for block {block.height}"
+            )
+        if block.proposer != expected:
+            raise InvalidBlockError(
+                f"PoS: block {block.height} proposed by "
+                f"{block.proposer[:12]}, expected {expected[:12]}"
+            )

@@ -1,0 +1,329 @@
+"""Smart contracts: deterministic on-chain programs.
+
+The paper relies on smart contracts for DAOs, asset registries, and
+automated services ("the system can also automatically handle services,
+such as selling a property asset in the metaverse", §III-B).  This module
+provides the minimal VM those uses need:
+
+* :class:`SmartContract` — base class; subclasses expose ``method_*``
+  handlers that read/write their own storage namespace.
+* :class:`ContractRegistry` — deploys contracts to deterministic
+  addresses and acts as the ``contract_executor`` the ledger state
+  machine delegates CONTRACT/MINT transactions to.
+* Built-ins: :class:`TokenContract` (fungible sub-token),
+  :class:`RegistryContract` (owned key→value store, used for digital-twin
+  and NFT provenance anchoring), :class:`EscrowContract` (two-party
+  conditional payment), and :class:`VotingContract` (on-chain ballot box
+  used to anchor DAO outcomes).
+
+Contracts are deterministic by construction: they may only touch their
+storage dict and the call context — no I/O, no wall clock, no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ContractError
+from repro.ledger.crypto import sha256
+from repro.ledger.state import LedgerState
+from repro.ledger.transactions import SignedTransaction, TxKind
+
+__all__ = [
+    "ContractContext",
+    "SmartContract",
+    "ContractRegistry",
+    "TokenContract",
+    "RegistryContract",
+    "EscrowContract",
+    "VotingContract",
+]
+
+
+@dataclass
+class ContractContext:
+    """Everything a contract method may observe.
+
+    Attributes
+    ----------
+    sender:
+        Address that signed the calling transaction.
+    amount:
+        Value attached to the call (already credited to the contract
+        account by the state machine).
+    storage:
+        This contract's private storage namespace.
+    state:
+        The full ledger state — provided so contracts can *pay out*
+        via :meth:`transfer_out`; direct reads of other accounts are
+        allowed (they are public on a chain) but writes must go through
+        the helper to preserve balance accounting.
+    contract_address:
+        The called contract's own address.
+    """
+
+    sender: str
+    amount: int
+    storage: Dict[str, Any]
+    state: LedgerState
+    contract_address: str
+
+    def transfer_out(self, recipient: str, amount: int) -> None:
+        """Move tokens from the contract's account to ``recipient``."""
+        if amount < 0:
+            raise ContractError(f"cannot transfer negative amount {amount}")
+        balance = self.state.balance_of(self.contract_address)
+        if balance < amount:
+            raise ContractError(
+                f"contract {self.contract_address[:12]} holds {balance}, "
+                f"cannot pay {amount}"
+            )
+        self.state.balances[self.contract_address] = balance - amount
+        self.state.balances[recipient] = self.state.balance_of(recipient) + amount
+
+
+class SmartContract:
+    """Base class for contracts.
+
+    A method call ``{"method": "mint", "args": {...}}`` dispatches to
+    ``self.method_mint(ctx, **args)``.  Handlers raise
+    :class:`ContractError` to revert (the chain discards the whole block
+    state on failure, so reverts are atomic at block granularity).
+    """
+
+    name = "contract"
+
+    def call(self, method: str, args: Dict[str, Any], ctx: ContractContext) -> Dict[str, Any]:
+        handler: Optional[Callable[..., Dict[str, Any]]] = getattr(
+            self, f"method_{method}", None
+        )
+        if handler is None:
+            raise ContractError(f"{self.name}: unknown method {method!r}")
+        try:
+            result = handler(ctx, **args)
+        except TypeError as exc:
+            raise ContractError(f"{self.name}.{method}: bad arguments ({exc})") from exc
+        return result or {}
+
+
+class ContractRegistry:
+    """Deploys contracts and executes CONTRACT/MINT transactions.
+
+    Deployment is an operator action (off-chain in this simulation, as
+    in permissioned pilots); addresses are deterministic hashes of
+    ``(name, deploy_index)`` so scenarios are reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._contracts: Dict[str, SmartContract] = {}
+        self._deploy_count = 0
+
+    def deploy(self, contract: SmartContract) -> str:
+        """Register ``contract`` and return its hex address."""
+        address = sha256(
+            f"contract:{contract.name}:{self._deploy_count}".encode("utf-8")
+        ).hex()
+        self._deploy_count += 1
+        self._contracts[address] = contract
+        return address
+
+    def get(self, address: str) -> SmartContract:
+        if address not in self._contracts:
+            raise ContractError(f"no contract deployed at {address[:12]}")
+        return self._contracts[address]
+
+    def addresses(self) -> Dict[str, str]:
+        """Map of deployed address → contract name."""
+        return {addr: c.name for addr, c in self._contracts.items()}
+
+    # The ContractExecutor protocol consumed by LedgerState.apply():
+    def __call__(
+        self, state: LedgerState, stx: SignedTransaction
+    ) -> Optional[Dict[str, Any]]:
+        tx = stx.tx
+        if tx.kind not in (TxKind.CONTRACT, TxKind.MINT):
+            raise ContractError(f"executor invoked for non-contract tx {tx.kind}")
+        contract = self.get(tx.recipient)
+        storage = state.contract_storage.setdefault(tx.recipient, {})
+        ctx = ContractContext(
+            sender=tx.sender,
+            amount=tx.amount,
+            storage=storage,
+            state=state,
+            contract_address=tx.recipient,
+        )
+        method = tx.payload.get("method", "")
+        args = tx.payload.get("args", {})
+        if not isinstance(args, dict):
+            raise ContractError(f"{contract.name}: args must be a dict")
+        return contract.call(method, args, ctx)
+
+
+class TokenContract(SmartContract):
+    """A fungible sub-token (e.g. a world's local currency).
+
+    Methods: ``mint`` (owner only), ``transfer``, ``balance``.
+    """
+
+    name = "token"
+
+    def __init__(self, owner: str):
+        self._owner = owner
+
+    def method_mint(self, ctx: ContractContext, to: str, value: int) -> Dict[str, Any]:
+        if ctx.sender != self._owner:
+            raise ContractError("token: only the owner may mint")
+        if value <= 0:
+            raise ContractError(f"token: mint value must be positive, got {value}")
+        balances = ctx.storage.setdefault("balances", {})
+        balances[to] = balances.get(to, 0) + value
+        ctx.storage["supply"] = ctx.storage.get("supply", 0) + value
+        return {"minted": value, "to": to}
+
+    def method_transfer(self, ctx: ContractContext, to: str, value: int) -> Dict[str, Any]:
+        if value <= 0:
+            raise ContractError(f"token: transfer value must be positive, got {value}")
+        balances = ctx.storage.setdefault("balances", {})
+        if balances.get(ctx.sender, 0) < value:
+            raise ContractError(
+                f"token: {ctx.sender[:12]} holds {balances.get(ctx.sender, 0)}, "
+                f"cannot send {value}"
+            )
+        balances[ctx.sender] -= value
+        balances[to] = balances.get(to, 0) + value
+        return {"from": ctx.sender, "to": to, "value": value}
+
+    def method_balance(self, ctx: ContractContext, of: str) -> Dict[str, Any]:
+        balances = ctx.storage.get("balances", {})
+        return {"of": of, "balance": balances.get(of, 0)}
+
+
+class RegistryContract(SmartContract):
+    """Owned key→value registry.
+
+    First writer of a key becomes its owner; only the owner may update.
+    Used to anchor digital-twin provenance and NFT metadata (§IV-A:
+    "the most straightforward approach to protecting digital twins'
+    authenticity and origin is using a digital ledger").
+    """
+
+    name = "registry"
+
+    def method_register(self, ctx: ContractContext, key: str, value: Any) -> Dict[str, Any]:
+        entries = ctx.storage.setdefault("entries", {})
+        if key in entries and entries[key]["owner"] != ctx.sender:
+            raise ContractError(
+                f"registry: key {key!r} owned by {entries[key]['owner'][:12]}"
+            )
+        entries[key] = {"owner": ctx.sender, "value": value}
+        return {"key": key, "owner": ctx.sender}
+
+    def method_lookup(self, ctx: ContractContext, key: str) -> Dict[str, Any]:
+        entries = ctx.storage.get("entries", {})
+        if key not in entries:
+            raise ContractError(f"registry: key {key!r} not registered")
+        return dict(entries[key], key=key)
+
+    def method_transfer_ownership(
+        self, ctx: ContractContext, key: str, to: str
+    ) -> Dict[str, Any]:
+        entries = ctx.storage.get("entries", {})
+        if key not in entries:
+            raise ContractError(f"registry: key {key!r} not registered")
+        if entries[key]["owner"] != ctx.sender:
+            raise ContractError(f"registry: {ctx.sender[:12]} does not own {key!r}")
+        entries[key]["owner"] = to
+        return {"key": key, "owner": to}
+
+
+class EscrowContract(SmartContract):
+    """Two-party escrow: buyer deposits, then releases to the seller or
+    refunds themselves.  One open deal per (buyer, seller, deal_id)."""
+
+    name = "escrow"
+
+    def method_deposit(
+        self, ctx: ContractContext, seller: str, deal_id: str
+    ) -> Dict[str, Any]:
+        if ctx.amount <= 0:
+            raise ContractError("escrow: deposit requires attached value")
+        deals = ctx.storage.setdefault("deals", {})
+        key = f"{ctx.sender}:{seller}:{deal_id}"
+        if key in deals:
+            raise ContractError(f"escrow: deal {deal_id!r} already open")
+        deals[key] = {"buyer": ctx.sender, "seller": seller, "amount": ctx.amount}
+        return {"deal": key, "amount": ctx.amount}
+
+    def _pop_deal(self, ctx: ContractContext, seller: str, deal_id: str) -> Dict[str, Any]:
+        deals = ctx.storage.get("deals", {})
+        key = f"{ctx.sender}:{seller}:{deal_id}"
+        if key not in deals:
+            raise ContractError(f"escrow: no open deal {deal_id!r}")
+        return deals.pop(key)
+
+    def method_release(
+        self, ctx: ContractContext, seller: str, deal_id: str
+    ) -> Dict[str, Any]:
+        deal = self._pop_deal(ctx, seller, deal_id)
+        ctx.transfer_out(deal["seller"], deal["amount"])
+        return {"released": deal["amount"], "to": deal["seller"]}
+
+    def method_refund(
+        self, ctx: ContractContext, seller: str, deal_id: str
+    ) -> Dict[str, Any]:
+        deal = self._pop_deal(ctx, seller, deal_id)
+        ctx.transfer_out(deal["buyer"], deal["amount"])
+        return {"refunded": deal["amount"], "to": deal["buyer"]}
+
+
+class VotingContract(SmartContract):
+    """On-chain ballot box for anchoring DAO outcomes.
+
+    ``open`` a poll, ``vote`` once per address, ``close`` and read the
+    tally.  The richer voting semantics (weights, delegation, quorum)
+    live in ``repro.dao``; this contract is the immutable audit record.
+    """
+
+    name = "voting"
+
+    def method_open(self, ctx: ContractContext, poll_id: str, options: list) -> Dict[str, Any]:
+        polls = ctx.storage.setdefault("polls", {})
+        if poll_id in polls:
+            raise ContractError(f"voting: poll {poll_id!r} already exists")
+        if not options:
+            raise ContractError("voting: a poll needs at least one option")
+        polls[poll_id] = {
+            "creator": ctx.sender,
+            "options": list(options),
+            "votes": {},
+            "open": True,
+        }
+        return {"poll": poll_id, "options": list(options)}
+
+    def method_vote(self, ctx: ContractContext, poll_id: str, option: str) -> Dict[str, Any]:
+        polls = ctx.storage.get("polls", {})
+        if poll_id not in polls:
+            raise ContractError(f"voting: no poll {poll_id!r}")
+        poll = polls[poll_id]
+        if not poll["open"]:
+            raise ContractError(f"voting: poll {poll_id!r} is closed")
+        if option not in poll["options"]:
+            raise ContractError(f"voting: {option!r} is not an option of {poll_id!r}")
+        if ctx.sender in poll["votes"]:
+            raise ContractError(f"voting: {ctx.sender[:12]} already voted in {poll_id!r}")
+        poll["votes"][ctx.sender] = option
+        return {"poll": poll_id, "voter": ctx.sender, "option": option}
+
+    def method_close(self, ctx: ContractContext, poll_id: str) -> Dict[str, Any]:
+        polls = ctx.storage.get("polls", {})
+        if poll_id not in polls:
+            raise ContractError(f"voting: no poll {poll_id!r}")
+        poll = polls[poll_id]
+        if poll["creator"] != ctx.sender:
+            raise ContractError("voting: only the creator may close a poll")
+        poll["open"] = False
+        tally: Dict[str, int] = {option: 0 for option in poll["options"]}
+        for option in poll["votes"].values():
+            tally[option] += 1
+        return {"poll": poll_id, "tally": tally}

@@ -1,0 +1,127 @@
+"""Hash-based cryptography for the ledger substrate.
+
+The reproduction environment has no third-party crypto libraries, so the
+ledger uses a genuinely verifiable **Lamport one-time signature** scheme
+built from SHA-256, extended to a multi-use **Merkle signature scheme**
+(MSS): a wallet pre-generates ``2**height`` one-time key pairs, publishes
+the Merkle root of their public keys as its address, and each signature
+carries the Merkle authentication path proving the one-time key belongs
+to the address.
+
+This is real, self-contained public-key cryptography (Lamport 1979,
+Merkle 1989) — not a mock: verification uses only public information.
+Parameters are tunable; the default signs 128-bit message digests so that
+simulations with thousands of transactions stay fast.  Security of the
+toy parameters is irrelevant here — the *code path* (sign, verify,
+reject-on-tamper) is what the reproduction exercises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "sha256",
+    "digest_bits",
+    "LamportKeyPair",
+    "LamportSignature",
+    "generate_lamport_keypair",
+    "lamport_sign",
+    "lamport_verify",
+]
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_bits(message: bytes, bits: int) -> List[int]:
+    """Hash ``message`` and return its first ``bits`` bits as a 0/1 list."""
+    if bits <= 0 or bits > 256:
+        raise ValueError(f"bits must be in (0, 256], got {bits}")
+    digest = sha256(message)
+    out: List[int] = []
+    for i in range(bits):
+        byte = digest[i // 8]
+        out.append((byte >> (7 - (i % 8))) & 1)
+    return out
+
+
+@dataclass(frozen=True)
+class LamportKeyPair:
+    """One Lamport one-time key pair.
+
+    ``private`` holds ``bits`` pairs of secret preimages; ``public`` holds
+    their hashes in the same layout.  ``public_digest`` is the single
+    hash that commits to the whole public key (used as a Merkle leaf).
+    """
+
+    bits: int
+    private: Tuple[Tuple[bytes, bytes], ...]
+    public: Tuple[Tuple[bytes, bytes], ...]
+
+    @property
+    def public_digest(self) -> bytes:
+        parts = b"".join(h0 + h1 for h0, h1 in self.public)
+        return sha256(parts)
+
+
+@dataclass(frozen=True)
+class LamportSignature:
+    """A Lamport signature: one revealed preimage per message bit, plus
+    the full public key needed to verify it."""
+
+    bits: int
+    revealed: Tuple[bytes, ...]
+    public: Tuple[Tuple[bytes, bytes], ...]
+
+    @property
+    def public_digest(self) -> bytes:
+        parts = b"".join(h0 + h1 for h0, h1 in self.public)
+        return sha256(parts)
+
+
+def _prf(seed: bytes, index: int, which: int) -> bytes:
+    """Deterministic pseudo-random secret derivation from a wallet seed."""
+    return sha256(seed + index.to_bytes(4, "big") + bytes([which]))
+
+
+def generate_lamport_keypair(seed: bytes, bits: int = 128) -> LamportKeyPair:
+    """Deterministically generate a Lamport key pair from ``seed``.
+
+    Deriving secrets from a seed keeps wallets reproducible from the
+    scenario's root seed while remaining a faithful Lamport construction.
+    """
+    if not seed:
+        raise ValueError("seed must be non-empty")
+    private: List[Tuple[bytes, bytes]] = []
+    public: List[Tuple[bytes, bytes]] = []
+    for i in range(bits):
+        s0 = _prf(seed, i, 0)
+        s1 = _prf(seed, i, 1)
+        private.append((s0, s1))
+        public.append((sha256(s0), sha256(s1)))
+    return LamportKeyPair(bits=bits, private=tuple(private), public=tuple(public))
+
+
+def lamport_sign(keypair: LamportKeyPair, message: bytes) -> LamportSignature:
+    """Sign ``message`` by revealing one preimage per digest bit."""
+    bit_list = digest_bits(message, keypair.bits)
+    revealed = tuple(keypair.private[i][bit] for i, bit in enumerate(bit_list))
+    return LamportSignature(bits=keypair.bits, revealed=revealed, public=keypair.public)
+
+
+def lamport_verify(signature: LamportSignature, message: bytes) -> bool:
+    """Check each revealed preimage hashes to the committed public hash."""
+    if len(signature.revealed) != signature.bits:
+        return False
+    if len(signature.public) != signature.bits:
+        return False
+    bit_list = digest_bits(message, signature.bits)
+    for i, bit in enumerate(bit_list):
+        if sha256(signature.revealed[i]) != signature.public[i][bit]:
+            return False
+    return True

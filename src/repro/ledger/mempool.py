@@ -1,0 +1,154 @@
+"""Mempool: pending transactions awaiting inclusion in a block.
+
+Orders candidates by fee (highest first) while respecting per-sender
+nonce order, rejects duplicates and obviously-invalid transactions at
+admission, and evicts the lowest-fee entries when full.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import InvalidTransactionError
+from repro.ledger.state import LedgerState
+from repro.ledger.transactions import SignedTransaction
+
+__all__ = ["Mempool"]
+
+
+class Mempool:
+    """Fee-prioritised, nonce-ordered transaction pool.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident transactions; admission beyond this evicts the
+        cheapest entry (or rejects the newcomer if it is the cheapest).
+    """
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._by_id: Dict[str, SignedTransaction] = {}
+        self._by_sender: Dict[str, List[SignedTransaction]] = {}
+        self.rejected_count = 0
+        self.evicted_count = 0
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._by_id
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, stx: SignedTransaction, state: Optional[LedgerState] = None) -> bool:
+        """Admit ``stx`` if valid and not a duplicate.
+
+        If ``state`` is provided, stale nonces (already consumed on
+        chain) are rejected at admission.  Returns True on admission.
+        """
+        if stx.tx_id in self._by_id:
+            self.rejected_count += 1
+            return False
+        if not stx.verify():
+            self.rejected_count += 1
+            return False
+        if state is not None and stx.tx.nonce < state.nonce_of(stx.tx.sender):
+            self.rejected_count += 1
+            return False
+        if len(self._by_id) >= self._capacity and not self._evict_for(stx):
+            self.rejected_count += 1
+            return False
+        self._by_id[stx.tx_id] = stx
+        self._by_sender.setdefault(stx.tx.sender, []).append(stx)
+        self._by_sender[stx.tx.sender].sort(key=lambda s: s.tx.nonce)
+        return True
+
+    def _evict_for(self, newcomer: SignedTransaction) -> bool:
+        """Evict the cheapest resident if the newcomer pays more."""
+        cheapest = min(self._by_id.values(), key=lambda s: (s.tx.fee, s.tx_id))
+        if cheapest.tx.fee >= newcomer.tx.fee:
+            return False
+        self._remove(cheapest.tx_id)
+        self.evicted_count += 1
+        return True
+
+    def _remove(self, tx_id: str) -> None:
+        stx = self._by_id.pop(tx_id)
+        sender_list = self._by_sender.get(stx.tx.sender, [])
+        self._by_sender[stx.tx.sender] = [s for s in sender_list if s.tx_id != tx_id]
+        if not self._by_sender[stx.tx.sender]:
+            del self._by_sender[stx.tx.sender]
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(self, state: LedgerState, max_count: int = 100) -> List[SignedTransaction]:
+        """Pick up to ``max_count`` executable transactions.
+
+        Greedy by fee, but a sender's transactions are only eligible in
+        nonce order starting from the sender's current on-chain nonce,
+        so the returned list always applies cleanly in order.
+        """
+        if max_count <= 0:
+            return []
+        next_nonce: Dict[str, int] = {}
+        pointer: Dict[str, int] = {}
+        for sender in self._by_sender:
+            next_nonce[sender] = state.nonce_of(sender)
+            pointer[sender] = 0
+        selected: List[SignedTransaction] = []
+        while len(selected) < max_count:
+            best: Optional[SignedTransaction] = None
+            for sender, queue in self._by_sender.items():
+                idx = pointer[sender]
+                # advance past stale nonces
+                while idx < len(queue) and queue[idx].tx.nonce < next_nonce[sender]:
+                    idx += 1
+                pointer[sender] = idx
+                if idx >= len(queue):
+                    continue
+                candidate = queue[idx]
+                if candidate.tx.nonce != next_nonce[sender]:
+                    continue  # gap: later nonces are not yet executable
+                if best is None or (candidate.tx.fee, candidate.tx_id) > (
+                    best.tx.fee,
+                    best.tx_id,
+                ):
+                    best = candidate
+            if best is None:
+                break
+            selected.append(best)
+            next_nonce[best.tx.sender] += 1
+            pointer[best.tx.sender] += 1
+        return selected
+
+    def prune_included(self, included_ids: List[str]) -> int:
+        """Drop transactions that made it into a block; returns count.
+
+        Batched: senders' queues are filtered once, so pruning a whole
+        block is O(pool size) rather than O(block x pool).
+        """
+        targets = {tx_id for tx_id in included_ids if tx_id in self._by_id}
+        if not targets:
+            return 0
+        touched_senders = set()
+        for tx_id in targets:
+            stx = self._by_id.pop(tx_id)
+            touched_senders.add(stx.tx.sender)
+        for sender in touched_senders:
+            remaining = [
+                s for s in self._by_sender.get(sender, []) if s.tx_id not in targets
+            ]
+            if remaining:
+                self._by_sender[sender] = remaining
+            else:
+                self._by_sender.pop(sender, None)
+        return len(targets)
+
+    def pending(self) -> List[SignedTransaction]:
+        """All resident transactions (no particular order)."""
+        return list(self._by_id.values())

@@ -1,0 +1,131 @@
+"""Merkle trees with inclusion proofs.
+
+Used in three places: block headers commit to their transaction list,
+wallets commit to their one-time public keys (Merkle signature scheme),
+and the audit registry proves that a recorded data-collection event is
+included in the chain without revealing siblings' payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.ledger.crypto import sha256
+
+__all__ = ["MerkleTree", "MerkleProof", "EMPTY_ROOT"]
+
+# Root of a tree over zero leaves; a fixed domain-separated constant.
+EMPTY_ROOT = sha256(b"repro:merkle:empty")
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return sha256(_LEAF_PREFIX + data)
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof: the leaf index and the sibling path bottom-up.
+
+    Each path element is ``(sibling_hash, sibling_is_right)``.
+    """
+
+    leaf_index: int
+    path: Tuple[Tuple[bytes, bool], ...]
+
+    def compute_root(self, leaf_data: bytes) -> bytes:
+        """Fold the path over the leaf to recover the implied root."""
+        node = _hash_leaf(leaf_data)
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                node = _hash_node(node, sibling)
+            else:
+                node = _hash_node(sibling, node)
+        return node
+
+    def verify(self, leaf_data: bytes, root: bytes) -> bool:
+        """True if ``leaf_data`` is proven to be under ``root``."""
+        return self.compute_root(leaf_data) == root
+
+
+class MerkleTree:
+    """Binary Merkle tree over a fixed sequence of byte-string leaves.
+
+    Odd levels duplicate their last node (Bitcoin-style padding).  Leaf
+    and interior hashes are domain-separated to rule out second-preimage
+    tricks that splice interior nodes in as leaves.
+
+    Examples
+    --------
+    >>> tree = MerkleTree([b"a", b"b", b"c"])
+    >>> proof = tree.proof(2)
+    >>> proof.verify(b"c", tree.root)
+    True
+    >>> proof.verify(b"x", tree.root)
+    False
+    """
+
+    def __init__(self, leaves: Sequence[bytes]):
+        self._leaves: List[bytes] = [bytes(leaf) for leaf in leaves]
+        self._levels: List[List[bytes]] = self._build()
+
+    def _build(self) -> List[List[bytes]]:
+        if not self._leaves:
+            return [[EMPTY_ROOT]]
+        level = [_hash_leaf(leaf) for leaf in self._leaves]
+        levels = [level]
+        while len(level) > 1:
+            if len(level) % 2 == 1:
+                level = level + [level[-1]]
+                levels[-1] = level
+            nxt = [
+                _hash_node(level[i], level[i + 1])
+                for i in range(0, len(level), 2)
+            ]
+            levels.append(nxt)
+            level = nxt
+        return levels
+
+    @property
+    def root(self) -> bytes:
+        """The Merkle root (constant ``EMPTY_ROOT`` for an empty tree)."""
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at ``index``.
+
+        Raises
+        ------
+        IndexError
+            If ``index`` is out of range (including any index on an
+            empty tree).
+        """
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range 0..{len(self._leaves) - 1}")
+        path: List[Tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                sibling_index = position + 1
+                sibling_is_right = True
+            else:
+                sibling_index = position - 1
+                sibling_is_right = False
+            # levels were padded during build, so the sibling always exists
+            path.append((level[sibling_index], sibling_is_right))
+            position //= 2
+        return MerkleProof(leaf_index=index, path=tuple(path))
+
+    def __len__(self) -> int:
+        return len(self._leaves)

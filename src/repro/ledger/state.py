@@ -1,0 +1,177 @@
+"""Account state machine: balances, nonces, and stakes.
+
+``LedgerState`` is a pure state container with an ``apply`` method that
+validates and executes one signed transaction.  The blockchain replays
+blocks through it; the mempool uses throwaway copies to pre-validate.
+
+Validation rules (all raise :class:`InvalidTransactionError`):
+
+* the signature and key proof must verify,
+* the nonce must equal the sender's next expected nonce (replay guard),
+* the sender must cover ``amount + fee``,
+* stake operations must respect bonded balances.
+
+Contract calls are delegated to an executor callable so the state module
+does not depend on the contract VM (dependencies stay one-directional).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import InvalidTransactionError
+from repro.ledger.transactions import SignedTransaction, TxKind
+
+__all__ = ["LedgerState"]
+
+# Executor signature: (state, signed_tx) -> result payload (or None).
+ContractExecutor = Callable[["LedgerState", SignedTransaction], Optional[Dict[str, Any]]]
+
+
+class LedgerState:
+    """Mutable account state: balances, nonces, stakes, contract storage.
+
+    ``contract_storage`` is a two-level dict
+    ``{contract_address: {key: value}}`` that the contract VM reads and
+    writes through; keeping it here means a state copy captures contract
+    state too, so fork replays are exact.
+    """
+
+    def __init__(self, initial_balances: Optional[Dict[str, int]] = None):
+        self.balances: Dict[str, int] = dict(initial_balances or {})
+        for address, balance in self.balances.items():
+            if balance < 0:
+                raise ValueError(f"negative initial balance for {address[:12]}")
+        self.nonces: Dict[str, int] = {}
+        self.stakes: Dict[str, int] = {}
+        self.contract_storage: Dict[str, Dict[str, Any]] = {}
+        self.records: list = []  # applied RECORD payloads, in order
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def balance_of(self, address: str) -> int:
+        return self.balances.get(address, 0)
+
+    def nonce_of(self, address: str) -> int:
+        """Next expected nonce for ``address``."""
+        return self.nonces.get(address, 0)
+
+    def stake_of(self, address: str) -> int:
+        return self.stakes.get(address, 0)
+
+    @property
+    def total_supply(self) -> int:
+        """Total tokens across balances and stakes (fees are paid to
+        proposers via :meth:`credit_fees`, so supply is conserved)."""
+        return sum(self.balances.values()) + sum(self.stakes.values())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        stx: SignedTransaction,
+        contract_executor: Optional[ContractExecutor] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Validate and execute ``stx``; returns the contract result (if
+        any).  State is unchanged when an exception is raised *before*
+        any mutation; contract executors must enforce their own atomicity
+        (the chain applies blocks to a copy, so a failed block never
+        corrupts committed state)."""
+        stx.require_valid()
+        tx = stx.tx
+        expected_nonce = self.nonce_of(tx.sender)
+        if tx.nonce != expected_nonce:
+            raise InvalidTransactionError(
+                f"bad nonce for {tx.sender[:12]}: got {tx.nonce}, "
+                f"expected {expected_nonce}"
+            )
+        cost = tx.amount + tx.fee
+        if self.balance_of(tx.sender) < cost:
+            raise InvalidTransactionError(
+                f"insufficient balance for {tx.sender[:12]}: "
+                f"have {self.balance_of(tx.sender)}, need {cost}"
+            )
+
+        result: Optional[Dict[str, Any]] = None
+        if tx.kind == TxKind.TRANSFER:
+            self._debit(tx.sender, tx.amount)
+            self._credit(tx.recipient, tx.amount)
+        elif tx.kind == TxKind.RECORD:
+            self.records.append({"sender": tx.sender, **tx.payload})
+        elif tx.kind == TxKind.STAKE:
+            self._debit(tx.sender, tx.amount)
+            self.stakes[tx.sender] = self.stake_of(tx.sender) + tx.amount
+        elif tx.kind == TxKind.UNSTAKE:
+            if self.stake_of(tx.sender) < tx.amount:
+                raise InvalidTransactionError(
+                    f"cannot unstake {tx.amount}, only "
+                    f"{self.stake_of(tx.sender)} bonded"
+                )
+            self.stakes[tx.sender] = self.stake_of(tx.sender) - tx.amount
+            self._credit(tx.sender, tx.amount)
+        elif tx.kind in (TxKind.CONTRACT, TxKind.MINT):
+            if contract_executor is None:
+                raise InvalidTransactionError(
+                    f"no contract executor available for {tx.kind.value} tx"
+                )
+            # Value sent to a contract moves before execution, matching
+            # the usual smart-contract model.
+            self._debit(tx.sender, tx.amount)
+            self._credit(tx.recipient, tx.amount)
+            result = contract_executor(self, stx)
+        else:  # pragma: no cover - enum is exhaustive
+            raise InvalidTransactionError(f"unknown tx kind {tx.kind}")
+
+        # Fee is burned from the sender here and credited to the block
+        # proposer by the chain via credit_fees().
+        if tx.fee:
+            self._debit(tx.sender, tx.fee)
+        self.nonces[tx.sender] = expected_nonce + 1
+        return result
+
+    def credit_fees(self, proposer: str, total_fees: int) -> None:
+        """Pay collected block fees to the proposer."""
+        if total_fees < 0:
+            raise ValueError("total_fees must be >= 0")
+        if total_fees:
+            self._credit(proposer, total_fees)
+
+    def _debit(self, address: str, amount: int) -> None:
+        balance = self.balance_of(address)
+        if balance < amount:
+            raise InvalidTransactionError(
+                f"debit of {amount} exceeds balance {balance} of {address[:12]}"
+            )
+        self.balances[address] = balance - amount
+
+    def _credit(self, address: str, amount: int) -> None:
+        if not address:
+            return  # burns (empty recipient) are allowed
+        self.balances[address] = self.balance_of(address) + amount
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def copy(self) -> "LedgerState":
+        """Deep-enough copy for speculative execution (contract storage
+        values are assumed canonical-encodable, i.e. tree-shaped)."""
+        clone = LedgerState()
+        clone.balances = dict(self.balances)
+        clone.nonces = dict(self.nonces)
+        clone.stakes = dict(self.stakes)
+        clone.contract_storage = {
+            addr: _deep_copy_storage(storage)
+            for addr, storage in self.contract_storage.items()
+        }
+        clone.records = list(self.records)
+        return clone
+
+
+def _deep_copy_storage(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {k: _deep_copy_storage(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_deep_copy_storage(v) for v in value]
+    return value

@@ -1,0 +1,202 @@
+"""Wallets: Merkle-signature-scheme key management and transaction signing.
+
+A wallet deterministically derives ``2**height`` Lamport one-time key
+pairs from its seed, builds a Merkle tree over their public-key digests,
+and uses the tree root (hex) as its **address**.  Each signature consumes
+the next one-time key and ships the Merkle path proving that key belongs
+to the address — so validators can verify with public data only.
+
+One-time keys are finite.  By default the wallet *wraps around* when all
+keys are used (``allow_reuse=True``) because long simulations may sign
+thousands of transactions; reuse is counted in ``reused_signatures`` so
+experiments can report it.  Set ``allow_reuse=False`` for strict
+one-time semantics (signing then raises after exhaustion).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.errors import LedgerError
+from repro.ledger.crypto import (
+    LamportKeyPair,
+    generate_lamport_keypair,
+    lamport_sign,
+    sha256,
+)
+from repro.ledger.merkle import MerkleTree
+from repro.ledger.transactions import SignedTransaction, Transaction, TxKind
+
+__all__ = ["Wallet"]
+
+
+class Wallet:
+    """A deterministic MSS wallet.
+
+    Parameters
+    ----------
+    seed:
+        Bytes (or str, UTF-8 encoded) from which all key material derives.
+        The same seed always produces the same address.
+    height:
+        Key-tree height; the wallet owns ``2**height`` one-time keys.
+    bits:
+        Lamport parameter: number of message-digest bits signed.  Smaller
+        is faster; 32 is plenty for simulation integrity checks.
+    allow_reuse:
+        Whether signing may wrap around to already-used one-time keys
+        once all are consumed.
+
+    Examples
+    --------
+    >>> w = Wallet(seed=b"alice")
+    >>> tx = w.build_transaction(recipient="ff" * 32, amount=5, nonce=0)
+    >>> stx = w.sign(tx)
+    >>> stx.verify()
+    True
+    """
+
+    def __init__(
+        self,
+        seed: bytes,
+        height: int = 5,
+        bits: int = 32,
+        allow_reuse: bool = True,
+    ):
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        if not seed:
+            raise ValueError("wallet seed must be non-empty")
+        if height < 0 or height > 16:
+            raise ValueError(f"height must be in [0, 16], got {height}")
+        self._seed = bytes(seed)
+        self._height = height
+        self._bits = bits
+        self._allow_reuse = allow_reuse
+        self._key_count = 2 ** height
+        self._keys = [
+            generate_lamport_keypair(self._derive_key_seed(i), bits=bits)
+            for i in range(self._key_count)
+        ]
+        self._tree = MerkleTree([kp.public_digest for kp in self._keys])
+        self._next_key = 0
+        self.reused_signatures = 0
+        self._nonce_counter = itertools.count()
+
+    def _derive_key_seed(self, index: int) -> bytes:
+        return sha256(self._seed + b":ots:" + index.to_bytes(4, "big"))
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """Hex address: the Merkle root of the one-time public keys."""
+        return self._tree.root.hex()
+
+    @property
+    def keys_remaining(self) -> int:
+        """One-time keys never used so far (0 once wrapped)."""
+        return max(0, self._key_count - self._next_key)
+
+    @property
+    def signatures_issued(self) -> int:
+        return self._next_key
+
+    # ------------------------------------------------------------------
+    # Signing
+    # ------------------------------------------------------------------
+    def sign(self, tx: Transaction) -> SignedTransaction:
+        """Sign ``tx`` with the next one-time key.
+
+        Raises
+        ------
+        LedgerError
+            If the wallet address does not match ``tx.sender``, or keys
+            are exhausted and reuse is disabled.
+        """
+        if tx.sender != self.address:
+            raise LedgerError(
+                f"wallet {self.address[:12]} cannot sign for sender {tx.sender[:12]}"
+            )
+        index = self._next_key
+        if index >= self._key_count:
+            if not self._allow_reuse:
+                raise LedgerError(
+                    f"wallet {self.address[:12]} exhausted its "
+                    f"{self._key_count} one-time keys"
+                )
+            self.reused_signatures += 1
+            index = self._next_key % self._key_count
+        self._next_key += 1
+        keypair = self._keys[index]
+        signature = lamport_sign(keypair, tx.signing_bytes)
+        proof = self._tree.proof(index)
+        return SignedTransaction(tx=tx, signature=signature, key_proof=proof)
+
+    # ------------------------------------------------------------------
+    # Convenience builders
+    # ------------------------------------------------------------------
+    def build_transaction(
+        self,
+        recipient: str,
+        amount: int,
+        nonce: int,
+        fee: int = 0,
+        kind: TxKind = TxKind.TRANSFER,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Transaction:
+        """Build (but do not sign) a transaction from this wallet."""
+        return Transaction(
+            sender=self.address,
+            recipient=recipient,
+            amount=amount,
+            fee=fee,
+            nonce=nonce,
+            kind=kind,
+            payload=payload or {},
+        )
+
+    def transfer(
+        self, recipient: str, amount: int, nonce: int, fee: int = 0
+    ) -> SignedTransaction:
+        """Build and sign a plain transfer."""
+        return self.sign(self.build_transaction(recipient, amount, nonce, fee=fee))
+
+    def record(
+        self, nonce: int, record_payload: Dict[str, Any], fee: int = 0
+    ) -> SignedTransaction:
+        """Build and sign a data-collection RECORD transaction (§II-D)."""
+        tx = self.build_transaction(
+            recipient="",
+            amount=0,
+            nonce=nonce,
+            fee=fee,
+            kind=TxKind.RECORD,
+            payload=record_payload,
+        )
+        return self.sign(tx)
+
+    def call_contract(
+        self,
+        contract_address: str,
+        method: str,
+        args: Dict[str, Any],
+        nonce: int,
+        amount: int = 0,
+        fee: int = 0,
+    ) -> SignedTransaction:
+        """Build and sign a smart-contract call."""
+        tx = self.build_transaction(
+            recipient=contract_address,
+            amount=amount,
+            nonce=nonce,
+            fee=fee,
+            kind=TxKind.CONTRACT,
+            payload={"method": method, "args": args},
+        )
+        return self.sign(tx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Wallet(address={self.address[:12]}..., keys={self._key_count})"

@@ -1,0 +1,44 @@
+"""NFT substrate (paper §IV-A).
+
+Unique tokens with provenance, three minting policies spanning the
+openness/scam trade-off the paper describes, a marketplace with
+royalties + platform fees + scam reports feeding reputation, and
+play-to-earn / create-to-earn economy engines.
+"""
+
+from repro.nft.auctions import Auction, AuctionHouse, Bid
+from repro.nft.economy import (
+    BattleResult,
+    CreateToEarnStudio,
+    CreatorProfile,
+    PlayToEarnGame,
+)
+from repro.nft.marketplace import Listing, NFTMarketplace, Sale, ScamReport
+from repro.nft.policies import (
+    InviteOnlyMinting,
+    MintingPolicy,
+    OpenMinting,
+    ReputationVetted,
+)
+from repro.nft.token import NFTCollection, NFToken, TransferRecord
+
+__all__ = [
+    "Auction",
+    "AuctionHouse",
+    "Bid",
+    "BattleResult",
+    "CreateToEarnStudio",
+    "CreatorProfile",
+    "PlayToEarnGame",
+    "Listing",
+    "NFTMarketplace",
+    "Sale",
+    "ScamReport",
+    "InviteOnlyMinting",
+    "MintingPolicy",
+    "OpenMinting",
+    "ReputationVetted",
+    "NFTCollection",
+    "NFToken",
+    "TransferRecord",
+]

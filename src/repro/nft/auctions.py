@@ -1,0 +1,205 @@
+"""English auctions for NFTs.
+
+Decentraland sold its LAND parcels by auction; create-to-earn studios
+auction one-of-a-kind pieces.  :class:`AuctionHouse` runs ascending
+(English) auctions on top of an :class:`~repro.nft.marketplace.NFTMarketplace`'s
+balance accounting: bids escrow the bidder's funds, outbid bidders are
+refunded instantly, and settlement reuses the marketplace's price split
+(royalties + platform fee + seller take).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MarketError
+from repro.nft.marketplace import NFTMarketplace, Sale
+
+__all__ = ["Bid", "Auction", "AuctionHouse"]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One accepted bid."""
+
+    bidder: str
+    amount: float
+    time: float
+
+
+@dataclass
+class Auction:
+    """One English auction."""
+
+    auction_id: int
+    token_id: str
+    seller: str
+    reserve_price: float
+    opened_at: float
+    closes_at: float
+    min_increment: float
+    bids: List[Bid] = field(default_factory=list)
+    settled: bool = False
+
+    @property
+    def leading_bid(self) -> Optional[Bid]:
+        return self.bids[-1] if self.bids else None
+
+    @property
+    def is_open(self) -> bool:
+        return not self.settled
+
+    def minimum_acceptable(self) -> float:
+        leader = self.leading_bid
+        if leader is None:
+            return self.reserve_price
+        return leader.amount + self.min_increment
+
+
+class AuctionHouse:
+    """Runs auctions against a marketplace's collection and balances."""
+
+    def __init__(self, market: NFTMarketplace):
+        self._market = market
+        self._auctions: Dict[int, Auction] = {}
+        self._counter = itertools.count()
+        # Funds escrowed per auction for the current leader.
+        self._escrow: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open_auction(
+        self,
+        seller: str,
+        token_id: str,
+        reserve_price: float,
+        time: float,
+        duration: float = 10.0,
+        min_increment: float = 1.0,
+    ) -> Auction:
+        """Open an auction for an owned, unlisted token."""
+        if reserve_price <= 0:
+            raise MarketError(f"reserve must be positive, got {reserve_price}")
+        if duration <= 0 or min_increment <= 0:
+            raise MarketError("duration and min_increment must be positive")
+        if self._market.collection.owner_of(token_id) != seller:
+            raise MarketError(f"{seller} does not own {token_id}")
+        if any(
+            a.is_open and a.token_id == token_id for a in self._auctions.values()
+        ):
+            raise MarketError(f"{token_id} is already being auctioned")
+        auction = Auction(
+            auction_id=next(self._counter),
+            token_id=token_id,
+            seller=seller,
+            reserve_price=reserve_price,
+            opened_at=time,
+            closes_at=time + duration,
+            min_increment=min_increment,
+        )
+        self._auctions[auction.auction_id] = auction
+        return auction
+
+    def place_bid(self, auction_id: int, bidder: str, amount: float, time: float) -> Bid:
+        """Bid; escrows funds and refunds the displaced leader.
+
+        Raises
+        ------
+        MarketError
+            On closed auctions, late bids, self-bids, lowball bids, or
+            insufficient funds.
+        """
+        auction = self._auction(auction_id)
+        if not auction.is_open:
+            raise MarketError(f"auction {auction_id} already settled")
+        if time > auction.closes_at:
+            raise MarketError(
+                f"auction {auction_id} closed at {auction.closes_at} (t={time})"
+            )
+        if bidder == auction.seller:
+            raise MarketError("sellers cannot bid on their own auctions")
+        minimum = auction.minimum_acceptable()
+        if amount < minimum:
+            raise MarketError(
+                f"bid {amount:g} below minimum acceptable {minimum:g}"
+            )
+        if self._market.balance_of(bidder) < amount:
+            raise MarketError(
+                f"{bidder} holds {self._market.balance_of(bidder):g}, "
+                f"cannot bid {amount:g}"
+            )
+        # Refund the displaced leader, escrow the new bid.
+        previous = auction.leading_bid
+        if previous is not None:
+            self._market.deposit(previous.bidder, self._escrow[auction_id])
+        self._market._balances[bidder] -= amount  # escrow out of balance
+        self._escrow[auction_id] = amount
+        bid = Bid(bidder=bidder, amount=amount, time=time)
+        auction.bids.append(bid)
+        return bid
+
+    def settle(self, auction_id: int, time: float) -> Optional[Sale]:
+        """Settle after close: transfer token and split the winning bid.
+
+        Returns the Sale, or None if the reserve was never met (escrow
+        is empty in that case; the token stays with the seller).
+        """
+        auction = self._auction(auction_id)
+        if not auction.is_open:
+            raise MarketError(f"auction {auction_id} already settled")
+        if time < auction.closes_at:
+            raise MarketError(
+                f"auction {auction_id} closes at {auction.closes_at}, "
+                f"cannot settle at {time}"
+            )
+        auction.settled = True
+        winner = auction.leading_bid
+        if winner is None:
+            return None
+        amount = self._escrow.pop(auction.auction_id)
+        token = self._market.collection.token(auction.token_id)
+        is_secondary = auction.seller != token.creator
+        royalty = token.royalty_fraction * amount if is_secondary else 0.0
+        fee = self._market._fee_fraction * amount
+        seller_take = amount - royalty - fee
+        self._market.deposit(auction.seller, seller_take)
+        if royalty > 0:
+            self._market.deposit(token.creator, royalty)
+        if self._market._fee_sink is not None:
+            self._market._fee_sink(fee)
+        else:
+            self._market.deposit("__platform__", fee)
+        self._market.collection.transfer(
+            auction.token_id, auction.seller, winner.bidder, time, price=amount
+        )
+        sale = Sale(
+            token_id=auction.token_id,
+            seller=auction.seller,
+            buyer=winner.bidder,
+            price=amount,
+            royalty_paid=royalty,
+            fee_paid=fee,
+            time=time,
+        )
+        self._market.sales.append(sale)
+        return sale
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def auction(self, auction_id: int) -> Auction:
+        return self._auction(auction_id)
+
+    def open_auctions(self) -> List[Auction]:
+        return sorted(
+            (a for a in self._auctions.values() if a.is_open),
+            key=lambda a: a.auction_id,
+        )
+
+    def _auction(self, auction_id: int) -> Auction:
+        if auction_id not in self._auctions:
+            raise MarketError(f"no auction {auction_id}")
+        return self._auctions[auction_id]

@@ -1,0 +1,179 @@
+"""Play-to-earn and create-to-earn economies (paper §IV-A).
+
+"Play-to-earn games such as Axie Infinity allow players to earn money
+while they play; they can sell their improved monster.  Other models
+... create-to-earn where users of the platform can contribute to its
+construction while selling their created digital assets."
+
+Two small economy engines exercise those loops on top of the
+marketplace:
+
+* :class:`PlayToEarnGame` — players own creature NFTs that battle;
+  winning pays a reward and improves the creature's quality, raising
+  its resale value.
+* :class:`CreateToEarnStudio` — creators produce assets whose quality
+  reflects their skill, list them, and earn primary sales plus
+  royalties forever after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import NftError
+from repro.nft.marketplace import NFTMarketplace
+from repro.nft.token import NFToken
+
+__all__ = ["BattleResult", "PlayToEarnGame", "CreateToEarnStudio"]
+
+
+@dataclass(frozen=True)
+class BattleResult:
+    """Outcome of one battle."""
+
+    winner: str
+    loser: str
+    winner_token: str
+    loser_token: str
+    reward: float
+    time: float
+
+
+class PlayToEarnGame:
+    """A monster-battling economy over creature NFTs.
+
+    Win probability follows the creatures' quality gap via a logistic
+    curve; the winner earns ``reward`` (minted into their market
+    balance, modelling game-emission) and the winning creature gains
+    ``improvement`` quality, capped at 1.
+    """
+
+    def __init__(
+        self,
+        market: NFTMarketplace,
+        rng: np.random.Generator,
+        reward: float = 5.0,
+        improvement: float = 0.02,
+    ):
+        if reward < 0:
+            raise NftError(f"reward must be >= 0, got {reward}")
+        if not 0 <= improvement <= 1:
+            raise NftError(f"improvement must be in [0, 1], got {improvement}")
+        self._market = market
+        self._rng = rng
+        self._reward = reward
+        self._improvement = improvement
+        self.battles: List[BattleResult] = []
+
+    def adopt_creature(self, player: str, name: str, time: float) -> NFToken:
+        """Mint a starter creature for ``player``."""
+        quality = float(np.clip(self._rng.normal(0.4, 0.1), 0.05, 0.95))
+        return self._market.mint(
+            creator=player,
+            uri=f"creature://{name}",
+            time=time,
+            quality=quality,
+        )
+
+    def battle(self, token_a: str, token_b: str, time: float) -> BattleResult:
+        """Fight two creatures; pays and improves the winner."""
+        a = self._market.collection.token(token_a)
+        b = self._market.collection.token(token_b)
+        if a.owner == b.owner:
+            raise NftError("a player cannot battle themselves")
+        gap = a.quality - b.quality
+        p_a_wins = 1.0 / (1.0 + np.exp(-6.0 * gap))
+        a_wins = self._rng.random() < p_a_wins
+        winner_token, loser_token = (a, b) if a_wins else (b, a)
+        winner_token.quality = min(1.0, winner_token.quality + self._improvement)
+        self._market.deposit(winner_token.owner, self._reward)
+        result = BattleResult(
+            winner=winner_token.owner,
+            loser=loser_token.owner,
+            winner_token=winner_token.token_id,
+            loser_token=loser_token.token_id,
+            reward=self._reward,
+            time=time,
+        )
+        self.battles.append(result)
+        return result
+
+    def player_earnings(self, player: str) -> float:
+        """Total battle rewards earned by ``player``."""
+        return sum(b.reward for b in self.battles if b.winner == player)
+
+
+@dataclass
+class CreatorProfile:
+    """A create-to-earn participant."""
+
+    name: str
+    skill: float  # mean quality of their output, in [0, 1]
+    is_scammer: bool = False
+    minted: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.skill <= 1:
+            raise NftError(f"skill must be in [0, 1], got {self.skill}")
+
+
+class CreateToEarnStudio:
+    """Creators producing and listing assets.
+
+    Honest creators emit assets with quality ~ N(skill, 0.1); scammers
+    emit low-quality copies flagged ``is_scam`` (ground truth for the
+    experiments — policies never see the flag).
+    """
+
+    def __init__(self, market: NFTMarketplace, rng: np.random.Generator):
+        self._market = market
+        self._rng = rng
+        self._creators: Dict[str, CreatorProfile] = {}
+
+    def register_creator(
+        self, name: str, skill: float, is_scammer: bool = False
+    ) -> CreatorProfile:
+        if name in self._creators:
+            raise NftError(f"creator {name!r} already registered")
+        profile = CreatorProfile(name=name, skill=skill, is_scammer=is_scammer)
+        self._creators[name] = profile
+        return profile
+
+    def creators(self) -> List[CreatorProfile]:
+        return list(self._creators.values())
+
+    def produce_and_list(
+        self, creator: str, time: float, price: Optional[float] = None
+    ) -> Optional[NFToken]:
+        """One production step: mint (if the policy admits) and list.
+
+        Returns None when the minting policy refuses — the lockout that
+        the openness metrics count.
+        """
+        profile = self._creators.get(creator)
+        if profile is None:
+            raise NftError(f"unknown creator {creator!r}")
+        if profile.is_scammer:
+            quality = float(np.clip(self._rng.normal(0.1, 0.05), 0.0, 0.3))
+            is_scam = True
+        else:
+            quality = float(np.clip(self._rng.normal(profile.skill, 0.1), 0.0, 1.0))
+            is_scam = False
+        uri = f"asset://{creator}/{profile.minted}"
+        try:
+            token = self._market.mint(
+                creator=creator,
+                uri=uri,
+                time=time,
+                quality=quality,
+                is_scam=is_scam,
+            )
+        except Exception:
+            return None
+        profile.minted += 1
+        list_price = price if price is not None else max(1.0, 10.0 * quality + 1.0)
+        self._market.list_token(creator, token.token_id, list_price, time)
+        return token

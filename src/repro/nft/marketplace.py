@@ -1,0 +1,283 @@
+"""The NFT marketplace: listings, sales, royalties, and scam reports.
+
+Implements the market loop of §IV-A: creators mint under a
+:class:`~repro.nft.policies.MintingPolicy`, list tokens, buyers purchase
+(price split between seller, creator royalty, and a platform fee that
+can feed a DAO treasury), and buyers who discover they bought a scam
+file reports that feed the reputation system — closing the loop that
+makes :class:`~repro.nft.policies.ReputationVetted` adaptive.
+
+Funds are internal account balances (the ledger-anchored variant wires
+``fee_sink`` and reputation anchoring; the market itself stays
+substrate-agnostic).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import MarketError, MintingError
+from repro.nft.policies import MintingPolicy, OpenMinting
+from repro.nft.token import NFTCollection, NFToken
+from repro.reputation.system import ReputationSystem
+
+__all__ = ["Listing", "Sale", "ScamReport", "NFTMarketplace"]
+
+
+@dataclass
+class Listing:
+    """An active sale offer."""
+
+    listing_id: int
+    token_id: str
+    seller: str
+    price: float
+    listed_at: float
+    active: bool = True
+
+
+@dataclass(frozen=True)
+class Sale:
+    """A completed purchase with its price split."""
+
+    token_id: str
+    seller: str
+    buyer: str
+    price: float
+    royalty_paid: float
+    fee_paid: float
+    time: float
+
+
+@dataclass(frozen=True)
+class ScamReport:
+    """A buyer's claim that a token is a scam."""
+
+    reporter: str
+    token_id: str
+    creator: str
+    time: float
+
+
+class NFTMarketplace:
+    """One market over one collection.
+
+    Parameters
+    ----------
+    collection:
+        The NFT registry traded here.
+    policy:
+        Minting policy gating :meth:`mint`.
+    reputation:
+        Optional reputation system that receives buyer feedback
+        (positive on honest purchases, negative on scam reports).
+    fee_fraction:
+        Platform cut of every sale.
+    fee_sink:
+        Callback receiving platform fees (e.g. ``treasury.deposit``).
+    """
+
+    def __init__(
+        self,
+        collection: NFTCollection,
+        policy: Optional[MintingPolicy] = None,
+        reputation: Optional[ReputationSystem] = None,
+        fee_fraction: float = 0.02,
+        fee_sink: Optional[Callable[[float], None]] = None,
+    ):
+        if not 0 <= fee_fraction <= 0.2:
+            raise MarketError(
+                f"fee_fraction must be in [0, 0.2], got {fee_fraction}"
+            )
+        self.collection = collection
+        self.policy = policy if policy is not None else OpenMinting()
+        self.reputation = reputation
+        self._fee_fraction = fee_fraction
+        self._fee_sink = fee_sink
+        self._balances: Dict[str, float] = {}
+        self._listings: Dict[int, Listing] = {}
+        self._listing_counter = itertools.count()
+        self.sales: List[Sale] = []
+        self.scam_reports: List[ScamReport] = []
+
+    # ------------------------------------------------------------------
+    # Funds
+    # ------------------------------------------------------------------
+    def deposit(self, account: str, amount: float) -> None:
+        if amount < 0:
+            raise MarketError(f"deposit must be >= 0, got {amount}")
+        self._balances[account] = self.balance_of(account) + amount
+
+    def balance_of(self, account: str) -> float:
+        return self._balances.get(account, 0.0)
+
+    # ------------------------------------------------------------------
+    # Minting and listing
+    # ------------------------------------------------------------------
+    def mint(
+        self,
+        creator: str,
+        uri: str,
+        time: float,
+        quality: float = 0.5,
+        is_scam: bool = False,
+        royalty_fraction: float = 0.05,
+    ) -> NFToken:
+        """Mint under the active policy (raises MintingError on refusal)."""
+        self.policy.check(creator)
+        return self.collection.mint(
+            creator=creator,
+            uri=uri,
+            time=time,
+            quality=quality,
+            is_scam=is_scam,
+            royalty_fraction=royalty_fraction,
+        )
+
+    def list_token(self, seller: str, token_id: str, price: float, time: float) -> Listing:
+        """Offer an owned token for sale at ``price``."""
+        if price <= 0:
+            raise MarketError(f"price must be positive, got {price}")
+        if self.collection.owner_of(token_id) != seller:
+            raise MarketError(f"{seller} does not own {token_id}")
+        if any(
+            l.active and l.token_id == token_id for l in self._listings.values()
+        ):
+            raise MarketError(f"{token_id} is already listed")
+        listing = Listing(
+            listing_id=next(self._listing_counter),
+            token_id=token_id,
+            seller=seller,
+            price=price,
+            listed_at=time,
+        )
+        self._listings[listing.listing_id] = listing
+        return listing
+
+    def delist(self, listing_id: int) -> None:
+        listing = self._listing(listing_id)
+        listing.active = False
+
+    def active_listings(self, seller: Optional[str] = None) -> List[Listing]:
+        out = [l for l in self._listings.values() if l.active]
+        if seller is not None:
+            out = [l for l in out if l.seller == seller]
+        return sorted(out, key=lambda l: l.listing_id)
+
+    # ------------------------------------------------------------------
+    # Buying
+    # ------------------------------------------------------------------
+    def buy(self, buyer: str, listing_id: int, time: float) -> Sale:
+        """Settle a purchase: funds split, token transferred.
+
+        Split: royalty to the creator (secondary sales only), platform
+        fee to the sink, remainder to the seller.
+        """
+        listing = self._listing(listing_id)
+        if not listing.active:
+            raise MarketError(f"listing {listing_id} is no longer active")
+        if buyer == listing.seller:
+            raise MarketError("buyer cannot be the seller")
+        if self.balance_of(buyer) < listing.price:
+            raise MarketError(
+                f"{buyer} holds {self.balance_of(buyer):g}, "
+                f"needs {listing.price:g}"
+            )
+        token = self.collection.token(listing.token_id)
+        is_secondary = listing.seller != token.creator
+        royalty = token.royalty_fraction * listing.price if is_secondary else 0.0
+        fee = self._fee_fraction * listing.price
+        seller_take = listing.price - royalty - fee
+
+        self._balances[buyer] -= listing.price
+        self._balances[listing.seller] = self.balance_of(listing.seller) + seller_take
+        if royalty > 0:
+            self._balances[token.creator] = self.balance_of(token.creator) + royalty
+        if self._fee_sink is not None:
+            self._fee_sink(fee)
+        else:
+            self._balances["__platform__"] = self.balance_of("__platform__") + fee
+
+        self.collection.transfer(
+            listing.token_id, listing.seller, buyer, time, price=listing.price
+        )
+        listing.active = False
+        sale = Sale(
+            token_id=listing.token_id,
+            seller=listing.seller,
+            buyer=buyer,
+            price=listing.price,
+            royalty_paid=royalty,
+            fee_paid=fee,
+            time=time,
+        )
+        self.sales.append(sale)
+        return sale
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def report_scam(self, reporter: str, token_id: str, time: float) -> ScamReport:
+        """File a scam report; only the current owner (the burned buyer)
+        may report, and the creator takes the reputation hit."""
+        token = self.collection.token(token_id)
+        if token.owner != reporter:
+            raise MarketError(
+                f"only the current owner may report {token_id} "
+                f"(owner is {token.owner})"
+            )
+        report = ScamReport(
+            reporter=reporter,
+            token_id=token_id,
+            creator=token.creator,
+            time=time,
+        )
+        self.scam_reports.append(report)
+        if self.reputation is not None and reporter != token.creator:
+            self.reputation.record(
+                rater=reporter,
+                target=token.creator,
+                positive=False,
+                time=time,
+                context="scam-report",
+            )
+        return report
+
+    def praise(self, buyer: str, token_id: str, time: float) -> None:
+        """Positive feedback from a satisfied buyer to the creator."""
+        token = self.collection.token(token_id)
+        if self.reputation is not None and buyer != token.creator:
+            self.reputation.record(
+                rater=buyer,
+                target=token.creator,
+                positive=True,
+                time=time,
+                context="purchase-praise",
+            )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def market_stats(self) -> Dict[str, float]:
+        """Volume, scam exposure, and openness in one snapshot."""
+        scam_sales = sum(
+            1 for s in self.sales if self.collection.token(s.token_id).is_scam
+        )
+        return {
+            "sales": float(len(self.sales)),
+            "volume": sum(s.price for s in self.sales),
+            "scam_sales": float(scam_sales),
+            "scam_sale_fraction": scam_sales / len(self.sales) if self.sales else 0.0,
+            "royalties_paid": sum(s.royalty_paid for s in self.sales),
+            "fees_paid": sum(s.fee_paid for s in self.sales),
+            "mints_admitted": float(self.policy.admitted_count),
+            "mints_refused": float(self.policy.refused_count),
+            "creators_locked_out": float(len(self.policy.refused_creators)),
+        }
+
+    def _listing(self, listing_id: int) -> Listing:
+        if listing_id not in self._listings:
+            raise MarketError(f"no listing {listing_id}")
+        return self._listings[listing_id]

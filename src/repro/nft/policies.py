@@ -1,0 +1,127 @@
+"""Minting policies: who may create NFTs (paper §IV-A).
+
+The paper describes the tension directly: open minting "allows scammers
+and malicious content creators to take advantage of the system", while
+"'invite-only' policies ... diminish the advantages of NFTs as an
+open-access content creation tool", and proposes "using DAOs and users
+of the platform to implement a reputation-based system where everyone
+can vote and enforce norms".  Three policies make the trade-off
+measurable:
+
+* :class:`OpenMinting` — everyone mints (max openness, max scams).
+* :class:`InviteOnlyMinting` — a fixed allowlist (min scams, min
+  openness; late-arriving honest creators are locked out).
+* :class:`ReputationVetted` — mint iff current reputation clears a
+  threshold; scam reports feed reputation, so scammers lose access
+  after being caught while honest newcomers earn access.
+
+Each policy answers :meth:`allows` and records its refusals for the
+openness metrics used by benchmark E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.errors import MintingError
+from repro.reputation.system import ReputationSystem
+
+__all__ = [
+    "MintingPolicy",
+    "OpenMinting",
+    "InviteOnlyMinting",
+    "ReputationVetted",
+]
+
+
+class MintingPolicy:
+    """Base policy: tracks admissions and refusals."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.admitted_count = 0
+        self.refused_count = 0
+        self._refused_creators: Set[str] = set()
+
+    def allows(self, creator: str) -> bool:
+        """Policy decision for ``creator`` right now."""
+        raise NotImplementedError
+
+    def check(self, creator: str) -> None:
+        """Record and enforce; raises :class:`MintingError` on refusal."""
+        if self.allows(creator):
+            self.admitted_count += 1
+            return
+        self.refused_count += 1
+        self._refused_creators.add(creator)
+        raise MintingError(
+            f"policy {self.name!r} refuses minting by {creator}"
+        )
+
+    @property
+    def refused_creators(self) -> Set[str]:
+        """Distinct creators ever refused (openness metric)."""
+        return set(self._refused_creators)
+
+
+class OpenMinting(MintingPolicy):
+    """Everyone may mint."""
+
+    name = "open"
+
+    def allows(self, creator: str) -> bool:
+        return True
+
+
+class InviteOnlyMinting(MintingPolicy):
+    """Only allowlisted creators may mint.
+
+    The allowlist is fixed at construction (platforms typically seed it
+    with established artists); :meth:`invite` models occasional manual
+    additions.
+    """
+
+    name = "invite-only"
+
+    def __init__(self, invited: Iterable[str]):
+        super().__init__()
+        self._invited: Set[str] = set(invited)
+
+    def allows(self, creator: str) -> bool:
+        return creator in self._invited
+
+    def invite(self, creator: str) -> None:
+        self._invited.add(creator)
+
+    @property
+    def invited(self) -> Set[str]:
+        return set(self._invited)
+
+
+class ReputationVetted(MintingPolicy):
+    """Mint iff blended reputation ≥ threshold.
+
+    New creators start at the beta prior (0.5), so a threshold at or
+    below 0.5 admits newcomers and then expels creators whose mints get
+    reported as scams — the adaptive middle ground the paper advocates.
+    """
+
+    name = "reputation-vetted"
+
+    def __init__(self, reputation: ReputationSystem, threshold: float = 0.45):
+        super().__init__()
+        if not 0 <= threshold <= 1:
+            raise MintingError(
+                f"threshold must be in [0, 1], got {threshold}"
+            )
+        self._reputation = reputation
+        self._threshold = threshold
+
+    def allows(self, creator: str) -> bool:
+        return self._reputation.local_score(creator) >= self._threshold
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold

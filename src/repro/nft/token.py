@@ -1,0 +1,191 @@
+"""Non-fungible tokens: unique assets with provenance (paper §IV-A).
+
+"NFTs are a one-to-one mapping between an owner (represented by a
+crypto wallet address) and the asset referencing the NFT (usually by a
+uniform resource identifier, URI).  NFTs replicate the properties of
+physical objects such as scarcity and uniqueness."
+
+:class:`NFToken` carries that mapping plus two simulation-only latent
+fields used by the marketplace experiments: ``quality`` (how good the
+underlying asset actually is) and ``is_scam`` (ground truth: a copied or
+deliberately worthless asset).  Ground truth never leaks to policies —
+they must infer it from reputation and reports, exactly like a real
+platform.
+
+:class:`NFTCollection` is the registry: it enforces uniqueness, records
+the full ownership chain, and exposes provenance queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NftError
+
+__all__ = ["NFToken", "TransferRecord", "NFTCollection"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One ownership change."""
+
+    token_id: str
+    from_owner: str
+    to_owner: str
+    time: float
+    price: Optional[float]
+
+
+@dataclass
+class NFToken:
+    """One unique token.
+
+    ``royalty_fraction`` of every secondary sale is paid to the creator
+    (the create-to-earn mechanism).
+    """
+
+    token_id: str
+    creator: str
+    owner: str
+    uri: str
+    minted_at: float
+    royalty_fraction: float = 0.05
+    quality: float = 0.5
+    is_scam: bool = False
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.royalty_fraction <= 0.5:
+            raise NftError(
+                f"royalty_fraction must be in [0, 0.5], got {self.royalty_fraction}"
+            )
+        if not 0 <= self.quality <= 1:
+            raise NftError(f"quality must be in [0, 1], got {self.quality}")
+
+
+class NFTCollection:
+    """A named collection enforcing uniqueness and provenance.
+
+    Examples
+    --------
+    >>> col = NFTCollection("land")
+    >>> token = col.mint(creator="alice", uri="land://0,0", time=0.0)
+    >>> col.owner_of(token.token_id)
+    'alice'
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise NftError("collection name must be non-empty")
+        self.name = name
+        self._tokens: Dict[str, NFToken] = {}
+        self._by_uri: Dict[str, str] = {}
+        self._transfers: List[TransferRecord] = []
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Minting
+    # ------------------------------------------------------------------
+    def mint(
+        self,
+        creator: str,
+        uri: str,
+        time: float,
+        royalty_fraction: float = 0.05,
+        quality: float = 0.5,
+        is_scam: bool = False,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> NFToken:
+        """Create a token; URIs are unique within the collection
+        (scarcity), token ids are deterministic.
+
+        Raises
+        ------
+        NftError
+            If the URI is already minted (the "copies" scam the paper
+            mentions must forge a *different* URI, e.g. a lookalike).
+        """
+        if uri in self._by_uri:
+            raise NftError(
+                f"collection {self.name!r}: URI {uri!r} already minted as "
+                f"{self._by_uri[uri]}"
+            )
+        token_id = f"{self.name}-{next(self._counter):06d}"
+        token = NFToken(
+            token_id=token_id,
+            creator=creator,
+            owner=creator,
+            uri=uri,
+            minted_at=time,
+            royalty_fraction=royalty_fraction,
+            quality=quality,
+            is_scam=is_scam,
+            metadata=dict(metadata or {}),
+        )
+        self._tokens[token_id] = token
+        self._by_uri[uri] = token_id
+        return token
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    def token(self, token_id: str) -> NFToken:
+        if token_id not in self._tokens:
+            raise NftError(f"no token {token_id} in collection {self.name!r}")
+        return self._tokens[token_id]
+
+    def owner_of(self, token_id: str) -> str:
+        return self.token(token_id).owner
+
+    def transfer(
+        self, token_id: str, from_owner: str, to_owner: str, time: float,
+        price: Optional[float] = None,
+    ) -> TransferRecord:
+        """Move ownership; only the current owner can transfer."""
+        token = self.token(token_id)
+        if token.owner != from_owner:
+            raise NftError(
+                f"{from_owner} does not own {token_id} "
+                f"(owner is {token.owner})"
+            )
+        if from_owner == to_owner:
+            raise NftError(f"self-transfer of {token_id}")
+        token.owner = to_owner
+        record = TransferRecord(
+            token_id=token_id,
+            from_owner=from_owner,
+            to_owner=to_owner,
+            time=time,
+            price=price,
+        )
+        self._transfers.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+    def provenance(self, token_id: str) -> List[TransferRecord]:
+        """Full ownership chain of ``token_id`` (mint excluded)."""
+        self.token(token_id)  # raise early on unknown id
+        return [t for t in self._transfers if t.token_id == token_id]
+
+    def tokens_of(self, owner: str) -> List[NFToken]:
+        return [t for t in self._tokens.values() if t.owner == owner]
+
+    def tokens_by(self, creator: str) -> List[NFToken]:
+        return [t for t in self._tokens.values() if t.creator == creator]
+
+    def all_tokens(self) -> List[NFToken]:
+        return list(self._tokens.values())
+
+    def by_uri(self, uri: str) -> Optional[NFToken]:
+        token_id = self._by_uri.get(uri)
+        return self._tokens[token_id] if token_id is not None else None
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token_id: str) -> bool:
+        return token_id in self._tokens

@@ -1,0 +1,147 @@
+"""Secondary avatars: behavioural unlinkability (paper §II-B, after
+Falchuk et al. [9]).
+
+"Users can use secondary avatars to obfuscate their real avatar ...
+Other avatars in the metaverse cannot recognise the real owner of this
+secondary avatar and, therefore, cannot infer any behavioural
+information about the users."
+
+* :class:`AvatarIdentityManager` — maps each user to a primary avatar
+  plus on-demand secondary ("clone") avatars; sessions are conducted
+  under one avatar, and the mapping is the platform secret.
+* :class:`SessionObservation` — what an observer sees: an avatar id and
+  a behavioural feature vector (the user's habits bleed through with
+  noise).
+* :class:`LinkageAttacker` — the §II-B adversary: clusters observed
+  sessions by behavioural similarity to re-identify which avatar ids
+  belong to the same human.  Secondary avatars defeat id-equality
+  linking; only behaviour remains, and the attacker's accuracy over
+  clone-usage rates is exactly experiment E2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import PrivacyError
+
+__all__ = ["AvatarIdentityManager", "SessionObservation", "LinkageAttacker"]
+
+
+class AvatarIdentityManager:
+    """User → avatar mappings with clone support.
+
+    The manager is the platform-side secret table; experiments use
+    :meth:`owner_of` as ground truth and must never hand it to the
+    attacker.
+    """
+
+    def __init__(self) -> None:
+        self._primary: Dict[str, str] = {}
+        self._owner_of: Dict[str, str] = {}
+        self._clones: Dict[str, List[str]] = {}
+        self._counter = itertools.count()
+
+    def register_user(self, user_id: str) -> str:
+        """Create the user's primary avatar; returns the avatar id."""
+        if user_id in self._primary:
+            raise PrivacyError(f"user {user_id} already registered")
+        avatar_id = f"avatar-{next(self._counter):06d}"
+        self._primary[user_id] = avatar_id
+        self._owner_of[avatar_id] = user_id
+        self._clones[user_id] = []
+        return avatar_id
+
+    def primary_of(self, user_id: str) -> str:
+        if user_id not in self._primary:
+            raise PrivacyError(f"user {user_id} not registered")
+        return self._primary[user_id]
+
+    def spawn_clone(self, user_id: str) -> str:
+        """Mint a fresh secondary avatar for ``user_id``."""
+        if user_id not in self._primary:
+            raise PrivacyError(f"user {user_id} not registered")
+        avatar_id = f"avatar-{next(self._counter):06d}"
+        self._owner_of[avatar_id] = user_id
+        self._clones[user_id].append(avatar_id)
+        return avatar_id
+
+    def clones_of(self, user_id: str) -> List[str]:
+        return list(self._clones.get(user_id, []))
+
+    def owner_of(self, avatar_id: str) -> str:
+        """Ground truth — platform-internal only."""
+        if avatar_id not in self._owner_of:
+            raise PrivacyError(f"unknown avatar {avatar_id}")
+        return self._owner_of[avatar_id]
+
+    def avatars_of(self, user_id: str) -> List[str]:
+        return [self.primary_of(user_id)] + self.clones_of(user_id)
+
+
+@dataclass(frozen=True)
+class SessionObservation:
+    """One session as seen by an observer: the avatar id in use and a
+    behavioural signature (activity-pattern features with noise)."""
+
+    avatar_id: str
+    behaviour: np.ndarray
+    time: float
+
+
+class LinkageAttacker:
+    """Re-identification by behavioural clustering.
+
+    The attacker holds *labelled* reference sessions (avatar ids they
+    already associate with known humans — e.g. sessions under primary
+    avatars that users linked to public profiles) and tries to attribute
+    anonymous sessions to those humans by nearest-behaviour matching.
+
+    :meth:`link_accuracy` = fraction of anonymous sessions attributed to
+    the correct human.
+    """
+
+    def __init__(self) -> None:
+        self._reference: List[Tuple[str, np.ndarray]] = []  # (human, behaviour)
+
+    def observe_reference(self, human_id: str, behaviour: np.ndarray) -> None:
+        """Add a session the attacker can already attribute."""
+        self._reference.append((human_id, np.asarray(behaviour, dtype=float)))
+
+    @property
+    def reference_count(self) -> int:
+        return len(self._reference)
+
+    def attribute(self, observation: SessionObservation) -> Optional[str]:
+        """Best-guess human for an anonymous session (None if the
+        attacker has no reference data)."""
+        if not self._reference:
+            return None
+        target = np.asarray(observation.behaviour, dtype=float)
+        best_human, best_dist = None, float("inf")
+        for human_id, behaviour in self._reference:
+            n = min(target.size, behaviour.size)
+            dist = float(np.linalg.norm(target[:n] - behaviour[:n]))
+            if dist < best_dist:
+                best_human, best_dist = human_id, dist
+        return best_human
+
+    def link_accuracy(
+        self,
+        observations: Sequence[SessionObservation],
+        truth: Dict[str, str],
+    ) -> float:
+        """Attribution accuracy given ``truth``: avatar id → human id."""
+        if not observations:
+            return 0.0
+        hits = 0
+        for observation in observations:
+            guess = self.attribute(observation)
+            actual = truth.get(observation.avatar_id)
+            if guess is not None and guess == actual:
+                hits += 1
+        return hits / len(observations)

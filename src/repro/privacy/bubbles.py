@@ -1,0 +1,140 @@
+"""Privacy bubbles: configurable personal space in the virtual world.
+
+§II-B: "privacy bubbles restrict visual access with other avatars
+outside the bubble.  Facebook (current 'Meta') implemented similar
+options in their social platform Horizons."
+
+A bubble is a circle around its owner; interactions of restricted kinds
+initiated by avatars outside the owner's allowlist are blocked while
+the initiator is inside the bubble.  The manager is pure geometry +
+policy: the world substrate calls :meth:`permits` before delivering any
+interaction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.errors import PrivacyError
+
+__all__ = ["PrivacyBubble", "BubbleManager"]
+
+Position = Tuple[float, float]
+
+# Interaction kinds a bubble can restrict.  "approach" covers proximity
+# itself (being rendered close-up); the rest are explicit interactions.
+DEFAULT_RESTRICTED = frozenset({"touch", "whisper", "approach"})
+
+
+@dataclass
+class PrivacyBubble:
+    """One avatar's personal-space configuration.
+
+    Attributes
+    ----------
+    owner:
+        The protected avatar id.
+    radius:
+        Bubble radius in world units; 0 disables the bubble.
+    restricted_kinds:
+        Interaction kinds blocked from inside the bubble.
+    allowlist:
+        Avatars exempt from the bubble (friends).
+    """
+
+    owner: str
+    radius: float = 1.5
+    restricted_kinds: Set[str] = field(default_factory=lambda: set(DEFAULT_RESTRICTED))
+    allowlist: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise PrivacyError(f"bubble radius must be >= 0, got {self.radius}")
+
+    def allow(self, avatar_id: str) -> None:
+        self.allowlist.add(avatar_id)
+
+    def disallow(self, avatar_id: str) -> None:
+        self.allowlist.discard(avatar_id)
+
+
+class BubbleManager:
+    """All bubbles in a world, with the permit check the world calls.
+
+    Examples
+    --------
+    >>> mgr = BubbleManager()
+    >>> _ = mgr.enable("alice", radius=2.0)
+    >>> mgr.permits("stalker", "alice", "touch", (0.0, 0.0), (1.0, 0.0))
+    False
+    >>> mgr.permits("stalker", "alice", "touch", (0.0, 0.0), (5.0, 0.0))
+    True
+    """
+
+    def __init__(self) -> None:
+        self._bubbles: Dict[str, PrivacyBubble] = {}
+        self.blocked_count = 0
+        self.permitted_count = 0
+
+    def enable(
+        self,
+        owner: str,
+        radius: float = 1.5,
+        restricted_kinds: Optional[Iterable[str]] = None,
+    ) -> PrivacyBubble:
+        """Create or reconfigure ``owner``'s bubble."""
+        bubble = PrivacyBubble(
+            owner=owner,
+            radius=radius,
+            restricted_kinds=(
+                set(restricted_kinds)
+                if restricted_kinds is not None
+                else set(DEFAULT_RESTRICTED)
+            ),
+        )
+        self._bubbles[owner] = bubble
+        return bubble
+
+    def disable(self, owner: str) -> None:
+        self._bubbles.pop(owner, None)
+
+    def bubble_of(self, owner: str) -> Optional[PrivacyBubble]:
+        return self._bubbles.get(owner)
+
+    def permits(
+        self,
+        initiator: str,
+        target: str,
+        kind: str,
+        target_position: Position,
+        initiator_position: Position,
+    ) -> bool:
+        """Does the target's bubble allow this interaction?
+
+        An interaction is blocked iff the target has a bubble, the kind
+        is restricted, the initiator is not allowlisted, and the
+        initiator stands within the bubble radius.
+        """
+        bubble = self._bubbles.get(target)
+        if bubble is None or bubble.radius == 0:
+            self.permitted_count += 1
+            return True
+        if kind not in bubble.restricted_kinds:
+            self.permitted_count += 1
+            return True
+        if initiator in bubble.allowlist or initiator == target:
+            self.permitted_count += 1
+            return True
+        distance = math.dist(target_position, initiator_position)
+        if distance <= bubble.radius:
+            self.blocked_count += 1
+            return False
+        self.permitted_count += 1
+        return True
+
+    @property
+    def block_rate(self) -> float:
+        total = self.blocked_count + self.permitted_count
+        return self.blocked_count / total if total else 0.0

@@ -1,0 +1,93 @@
+"""Differential-privacy budget accounting.
+
+Per-subject epsilon metering with hard caps: once a subject's budget is
+spent, further DP releases about them raise
+:class:`~repro.errors.PrivacyBudgetExceeded` — the enforcement half of
+"granular control to manage the input data flows" (§II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import PrivacyBudgetExceeded, PrivacyError
+
+__all__ = ["BudgetLedgerEntry", "PrivacyBudget"]
+
+
+@dataclass(frozen=True)
+class BudgetLedgerEntry:
+    """One metered release."""
+
+    subject: str
+    epsilon: float
+    channel: str
+    time: float
+
+
+class PrivacyBudget:
+    """Hard per-subject epsilon caps with a spend ledger.
+
+    Examples
+    --------
+    >>> budget = PrivacyBudget(default_cap=1.0)
+    >>> budget.charge("u1", 0.6, channel="gaze", time=0.0)
+    >>> budget.remaining("u1")
+    0.4
+    """
+
+    def __init__(self, default_cap: float = 10.0):
+        if default_cap <= 0:
+            raise PrivacyError(f"default_cap must be positive, got {default_cap}")
+        self._default_cap = float(default_cap)
+        self._caps: Dict[str, float] = {}
+        self._spent: Dict[str, float] = {}
+        self._ledger: List[BudgetLedgerEntry] = []
+
+    def set_cap(self, subject: str, cap: float) -> None:
+        """Give ``subject`` a personal cap (their privacy preference)."""
+        if cap <= 0:
+            raise PrivacyError(f"cap must be positive, got {cap}")
+        self._caps[subject] = float(cap)
+
+    def cap_of(self, subject: str) -> float:
+        return self._caps.get(subject, self._default_cap)
+
+    def spent(self, subject: str) -> float:
+        return self._spent.get(subject, 0.0)
+
+    def remaining(self, subject: str) -> float:
+        return max(0.0, self.cap_of(subject) - self.spent(subject))
+
+    def can_afford(self, subject: str, epsilon: float) -> bool:
+        return epsilon <= self.remaining(subject) + 1e-12
+
+    def charge(self, subject: str, epsilon: float, channel: str = "", time: float = 0.0) -> None:
+        """Meter a release.
+
+        Raises
+        ------
+        PrivacyBudgetExceeded
+            If the charge would push the subject over their cap.  The
+            ledger is not written on refusal (no partial spends).
+        """
+        if epsilon < 0:
+            raise PrivacyError(f"epsilon must be >= 0, got {epsilon}")
+        if not self.can_afford(subject, epsilon):
+            raise PrivacyBudgetExceeded(
+                f"subject {subject}: charge ε={epsilon:g} exceeds remaining "
+                f"ε={self.remaining(subject):g} (cap {self.cap_of(subject):g})"
+            )
+        self._spent[subject] = self.spent(subject) + epsilon
+        self._ledger.append(
+            BudgetLedgerEntry(subject=subject, epsilon=epsilon, channel=channel, time=time)
+        )
+
+    @property
+    def ledger(self) -> List[BudgetLedgerEntry]:
+        return list(self._ledger)
+
+    def reset(self, subject: str) -> None:
+        """New accounting period for ``subject``."""
+        self._spent.pop(subject, None)

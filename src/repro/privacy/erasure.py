@@ -1,0 +1,159 @@
+"""Right to erasure ("right to be forgotten", GDPR art. 17).
+
+§II-D of the paper puts GDPR-style regulation next to an immutable
+audit ledger, which creates the classic tension: *collected data* must
+be erasable, but *the record that collection happened* must not be.
+This module implements the standard resolution:
+
+* every consumer that retains subject data registers a purge callback
+  with the :class:`ErasureService`;
+* an erasure request (a) revokes all the subject's consent so no new
+  data flows, (b) invokes every purge callback and counts destroyed
+  records, and (c) writes an on-chain **tombstone** documenting that
+  erasure was executed — the audit trail keeps *that data existed and
+  was erased*, not the data itself;
+* :class:`RetainedDataStore` is a reference consumer-side store that
+  pipelines can subscribe to and that honours purges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import PrivacyError
+from repro.privacy.consent import ConsentRegistry
+from repro.privacy.sensors import SensorFrame
+
+__all__ = ["RetainedDataStore", "ErasureReceipt", "ErasureService"]
+
+# Purge callback: subject → number of records destroyed.
+PurgeFn = Callable[[str], int]
+# Tombstone anchor: payload → None (e.g. a ledger RECORD).
+TombstoneAnchor = Callable[[Dict[str, object]], None]
+
+
+class RetainedDataStore:
+    """A consumer-side retention store with purge support.
+
+    Subscribe its :meth:`retain` to pipeline channels; frames accumulate
+    per subject until erased.
+    """
+
+    def __init__(self, name: str = "store"):
+        self.name = name
+        self._frames: Dict[str, List[SensorFrame]] = {}
+        self.purged_total = 0
+
+    def retain(self, frame: SensorFrame) -> None:
+        self._frames.setdefault(frame.subject, []).append(frame)
+
+    def frames_of(self, subject: str) -> List[SensorFrame]:
+        return list(self._frames.get(subject, []))
+
+    def count(self, subject: Optional[str] = None) -> int:
+        if subject is not None:
+            return len(self._frames.get(subject, []))
+        return sum(len(frames) for frames in self._frames.values())
+
+    def purge(self, subject: str) -> int:
+        """Destroy everything retained about ``subject``."""
+        destroyed = len(self._frames.pop(subject, []))
+        self.purged_total += destroyed
+        return destroyed
+
+
+@dataclass(frozen=True)
+class ErasureReceipt:
+    """Proof-of-execution for one erasure request."""
+
+    subject: str
+    time: float
+    records_destroyed: int
+    stores_purged: int
+    consent_revoked: bool
+    tombstone_written: bool
+
+
+class ErasureService:
+    """Executes right-to-erasure requests across the platform.
+
+    Parameters
+    ----------
+    consent:
+        The registry whose grants are revoked on erasure.
+    tombstone_anchor:
+        Optional callback writing the erasure tombstone (typically a
+        ledger RECORD transaction).
+    """
+
+    def __init__(
+        self,
+        consent: Optional[ConsentRegistry] = None,
+        tombstone_anchor: Optional[TombstoneAnchor] = None,
+    ):
+        self._consent = consent
+        self._anchor = tombstone_anchor
+        self._purge_fns: List[PurgeFn] = []
+        self._receipts: List[ErasureReceipt] = []
+
+    def register_store(self, purge_fn: PurgeFn) -> None:
+        """Register a data holder's purge callback."""
+        self._purge_fns.append(purge_fn)
+
+    @property
+    def store_count(self) -> int:
+        return len(self._purge_fns)
+
+    def request_erasure(self, subject: str, time: float = 0.0) -> ErasureReceipt:
+        """Execute erasure for ``subject``.
+
+        Raises
+        ------
+        PrivacyError
+            If no stores are registered — an erasure service that purges
+            nothing is a compliance lie, so the misconfiguration is loud.
+        """
+        if not self._purge_fns:
+            raise PrivacyError(
+                "no data stores registered with the erasure service"
+            )
+        destroyed = 0
+        purged_stores = 0
+        for purge in self._purge_fns:
+            count = purge(subject)
+            destroyed += count
+            if count:
+                purged_stores += 1
+        consent_revoked = False
+        if self._consent is not None:
+            self._consent.revoke_all(subject)
+            consent_revoked = True
+        tombstone_written = False
+        if self._anchor is not None:
+            self._anchor(
+                {
+                    "activity": "erasure_executed",
+                    "subject": subject,
+                    "records_destroyed": destroyed,
+                    "time": time,
+                }
+            )
+            tombstone_written = True
+        receipt = ErasureReceipt(
+            subject=subject,
+            time=time,
+            records_destroyed=destroyed,
+            stores_purged=purged_stores,
+            consent_revoked=consent_revoked,
+            tombstone_written=tombstone_written,
+        )
+        self._receipts.append(receipt)
+        return receipt
+
+    @property
+    def receipts(self) -> List[ErasureReceipt]:
+        return list(self._receipts)
+
+    def was_erased(self, subject: str) -> bool:
+        return any(r.subject == subject for r in self._receipts)

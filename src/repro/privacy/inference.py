@@ -1,0 +1,201 @@
+"""Inference attackers: measuring what sensor streams leak.
+
+The adversary of §II-A — a cloud service (or eavesdropping platform)
+that receives sensor frames and tries to recover the subject's latent
+attributes.  Two standard attackers:
+
+* :class:`CentroidAttacker` — nearest-class-centroid classifier for
+  categorical attributes (preference from gaze).
+* :class:`RegressionAttacker` — ordinary least squares for scalar
+  attributes (fitness from gait, stress from heart rate), scored by R².
+
+Both train on a labelled corpus (the adversary's background knowledge —
+e.g. data bought from a less scrupulous platform) and are evaluated on
+PET-processed frames, giving the privacy/utility curves of benchmark E1.
+
+Frames may have heterogeneous lengths after PETs like downsampling;
+:func:`featurize` pads/truncates to the attacker's expected width, which
+is how a real adversary would normalise its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PrivacyError
+from repro.privacy.profiles import UserProfile
+from repro.privacy.sensors import SensorFrame
+
+__all__ = ["featurize", "CentroidAttacker", "RegressionAttacker", "utility_loss"]
+
+
+def featurize(frame: SensorFrame, width: int) -> np.ndarray:
+    """Fixed-width feature vector from a frame (pad with the frame mean,
+    truncate from the end)."""
+    values = np.asarray(frame.values, dtype=float).ravel()
+    if values.size == 0:
+        return np.zeros(width)
+    if values.size >= width:
+        return values[:width]
+    pad_value = float(values.mean())
+    return np.concatenate([values, np.full(width - values.size, pad_value)])
+
+
+class CentroidAttacker:
+    """Nearest-centroid classification of a categorical attribute."""
+
+    def __init__(self, attribute: str = "preference"):
+        self._attribute = attribute
+        self._centroids: Dict[int, np.ndarray] = {}
+        self._width: Optional[int] = None
+
+    @property
+    def is_trained(self) -> bool:
+        return bool(self._centroids)
+
+    def train(
+        self, frames: Sequence[SensorFrame], profiles: Dict[str, UserProfile]
+    ) -> None:
+        """Fit class centroids from labelled frames."""
+        if not frames:
+            raise PrivacyError("cannot train attacker on an empty corpus")
+        self._width = max(f.values.size for f in frames)
+        sums: Dict[int, np.ndarray] = {}
+        counts: Dict[int, int] = {}
+        for frame in frames:
+            profile = profiles.get(frame.subject)
+            if profile is None:
+                continue
+            label = int(profile.attribute(self._attribute))
+            vec = featurize(frame, self._width)
+            if label not in sums:
+                sums[label] = np.zeros(self._width)
+                counts[label] = 0
+            sums[label] += vec
+            counts[label] += 1
+        if not sums:
+            raise PrivacyError("no labelled frames matched known profiles")
+        self._centroids = {
+            label: sums[label] / counts[label] for label in sums
+        }
+
+    def predict(self, frame: SensorFrame) -> int:
+        if not self.is_trained or self._width is None:
+            raise PrivacyError("attacker not trained")
+        vec = featurize(frame, self._width)
+        best_label, best_dist = -1, float("inf")
+        for label in sorted(self._centroids):
+            dist = float(np.linalg.norm(vec - self._centroids[label]))
+            if dist < best_dist:
+                best_label, best_dist = label, dist
+        return best_label
+
+    def accuracy(
+        self, frames: Sequence[SensorFrame], profiles: Dict[str, UserProfile]
+    ) -> float:
+        """Attack accuracy over labelled evaluation frames."""
+        pairs = [
+            (frame, profiles[frame.subject])
+            for frame in frames
+            if frame.subject in profiles
+        ]
+        if not pairs:
+            return 0.0
+        hits = sum(
+            1
+            for frame, profile in pairs
+            if self.predict(frame) == int(profile.attribute(self._attribute))
+        )
+        return hits / len(pairs)
+
+
+class RegressionAttacker:
+    """OLS recovery of a scalar attribute, scored by out-of-sample R²."""
+
+    def __init__(self, attribute: str):
+        self._attribute = attribute
+        self._weights: Optional[np.ndarray] = None
+        self._width: Optional[int] = None
+
+    @property
+    def is_trained(self) -> bool:
+        return self._weights is not None
+
+    def train(
+        self, frames: Sequence[SensorFrame], profiles: Dict[str, UserProfile]
+    ) -> None:
+        if not frames:
+            raise PrivacyError("cannot train attacker on an empty corpus")
+        self._width = max(f.values.size for f in frames)
+        rows, targets = [], []
+        for frame in frames:
+            profile = profiles.get(frame.subject)
+            if profile is None:
+                continue
+            rows.append(featurize(frame, self._width))
+            targets.append(profile.attribute(self._attribute))
+        if not rows:
+            raise PrivacyError("no labelled frames matched known profiles")
+        design = np.column_stack([np.asarray(rows), np.ones(len(rows))])
+        solution, *_ = np.linalg.lstsq(design, np.asarray(targets), rcond=None)
+        self._weights = solution
+
+    def predict(self, frame: SensorFrame) -> float:
+        if self._weights is None or self._width is None:
+            raise PrivacyError("attacker not trained")
+        vec = featurize(frame, self._width)
+        return float(np.append(vec, 1.0).dot(self._weights))
+
+    def r_squared(
+        self, frames: Sequence[SensorFrame], profiles: Dict[str, UserProfile]
+    ) -> float:
+        """Coefficient of determination on evaluation frames (can be
+        negative when the attack is worse than predicting the mean —
+        i.e., the PET fully defeated it)."""
+        pairs = [
+            (frame, profiles[frame.subject])
+            for frame in frames
+            if frame.subject in profiles
+        ]
+        if not pairs:
+            return 0.0
+        predictions = np.array([self.predict(f) for f, _ in pairs])
+        truth = np.array([p.attribute(self._attribute) for _, p in pairs])
+        ss_res = float(((truth - predictions) ** 2).sum())
+        ss_tot = float(((truth - truth.mean()) ** 2).sum())
+        if ss_tot == 0:
+            return 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+def utility_loss(
+    raw_frames: Sequence[SensorFrame], protected_frames: Sequence[SensorFrame]
+) -> float:
+    """Mean relative L2 distortion introduced by a PET (0 = lossless).
+
+    Pairs frames positionally; heterogeneous lengths are compared over
+    the shared prefix (downsampling's information loss shows up through
+    the attacker metrics instead).
+    """
+    if len(raw_frames) != len(protected_frames):
+        raise PrivacyError(
+            f"frame count mismatch: {len(raw_frames)} raw vs "
+            f"{len(protected_frames)} protected"
+        )
+    if not raw_frames:
+        return 0.0
+    losses = []
+    for raw, protected in zip(raw_frames, protected_frames):
+        n = min(raw.values.size, protected.values.size)
+        if n == 0:
+            continue
+        a = raw.values.ravel()[:n]
+        b = protected.values.ravel()[:n]
+        denom = float(np.linalg.norm(a))
+        if denom == 0:
+            continue
+        losses.append(float(np.linalg.norm(a - b)) / denom)
+    return float(np.mean(losses)) if losses else 0.0

@@ -1,0 +1,209 @@
+"""Privacy-enhancing technologies: frame-level obfuscation mechanisms.
+
+§II-A: "fine-control of collected data can be managed by
+privacy-enhancing technologies (PETs) that obfuscate any sensible data
+from the sensors before being shared with cloud services."
+
+Every PET maps a :class:`~repro.privacy.sensors.SensorFrame` to a new
+frame (never mutating the input) and appends its name to the frame's
+PET provenance.  Differential-privacy mechanisms report an ``epsilon``
+consumed per frame so the budget accountant can meter them.
+
+Mechanisms:
+
+* :class:`LaplaceMechanism` — ε-DP additive noise for bounded signals.
+* :class:`GaussianMechanism` — (ε, δ)-DP additive noise.
+* :class:`TemporalDownsampler` — keeps every k-th sample of a window.
+* :class:`SpatialGeneralizer` — snaps coordinates to a grid cell.
+* :class:`Aggregator` — replaces a vector by its mean (k-anonymity-style
+  generalisation within a frame).
+* :class:`Suppressor` — drops the frame entirely (the "switch off").
+* :class:`Passthrough` — identity, for baselines.
+* :class:`PETChain` — ordered composition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PrivacyError
+from repro.privacy.sensors import SensorFrame
+
+__all__ = [
+    "PET",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "TemporalDownsampler",
+    "SpatialGeneralizer",
+    "Aggregator",
+    "Suppressor",
+    "Passthrough",
+    "PETChain",
+]
+
+
+class PET:
+    """Base mechanism.
+
+    ``epsilon`` is the differential-privacy cost charged per processed
+    frame (0 for non-DP mechanisms — they still transform, but consume
+    no formal budget).
+    """
+
+    name = "abstract"
+    epsilon = 0.0
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        """Transform ``frame``; None means the frame is suppressed."""
+        raise NotImplementedError
+
+
+class Passthrough(PET):
+    """Identity transform (the no-protection baseline)."""
+
+    name = "passthrough"
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        return frame.copy_with(frame.values, pet_name=self.name)
+
+
+class LaplaceMechanism(PET):
+    """ε-differentially-private Laplace noise.
+
+    Noise scale is ``sensitivity / epsilon`` per coordinate.  For the
+    simulated channels, sensitivity defaults to the signal's natural
+    range so epsilon values are comparable across channels.
+    """
+
+    name = "laplace"
+
+    def __init__(
+        self, epsilon: float, rng: np.random.Generator, sensitivity: float = 1.0
+    ):
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        if sensitivity <= 0:
+            raise PrivacyError(f"sensitivity must be positive, got {sensitivity}")
+        self.epsilon = float(epsilon)
+        self._sensitivity = float(sensitivity)
+        self._rng = rng
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        scale = self._sensitivity / self.epsilon
+        noise = self._rng.laplace(0.0, scale, size=frame.values.shape)
+        return frame.copy_with(frame.values + noise, pet_name=self.name)
+
+
+class GaussianMechanism(PET):
+    """(ε, δ)-differentially-private Gaussian noise (analytic calibration
+    σ = sensitivity · sqrt(2 ln(1.25/δ)) / ε)."""
+
+    name = "gaussian"
+
+    def __init__(
+        self,
+        epsilon: float,
+        rng: np.random.Generator,
+        delta: float = 1e-5,
+        sensitivity: float = 1.0,
+    ):
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        if not 0 < delta < 1:
+            raise PrivacyError(f"delta must be in (0, 1), got {delta}")
+        self.epsilon = float(epsilon)
+        self._sigma = sensitivity * np.sqrt(2.0 * np.log(1.25 / delta)) / epsilon
+        self._rng = rng
+
+    @property
+    def sigma(self) -> float:
+        return float(self._sigma)
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        noise = self._rng.normal(0.0, self._sigma, size=frame.values.shape)
+        return frame.copy_with(frame.values + noise, pet_name=self.name)
+
+
+class TemporalDownsampler(PET):
+    """Keep every ``factor``-th element of the frame (coarser sampling =
+    less behavioural detail)."""
+
+    name = "downsample"
+
+    def __init__(self, factor: int):
+        if factor < 1:
+            raise PrivacyError(f"factor must be >= 1, got {factor}")
+        self._factor = factor
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        kept = frame.values[:: self._factor]
+        if kept.size == 0:
+            kept = frame.values[:1]
+        return frame.copy_with(kept, pet_name=self.name)
+
+
+class SpatialGeneralizer(PET):
+    """Snap values to a grid of ``cell_size`` — location generalisation
+    for spatial scans (a point is only known to its cell)."""
+
+    name = "spatial-generalize"
+
+    def __init__(self, cell_size: float):
+        if cell_size <= 0:
+            raise PrivacyError(f"cell_size must be positive, got {cell_size}")
+        self._cell = float(cell_size)
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        snapped = np.floor(frame.values / self._cell) * self._cell + self._cell / 2.0
+        return frame.copy_with(snapped, pet_name=self.name)
+
+
+class Aggregator(PET):
+    """Collapse the frame to its mean — maximal within-frame
+    generalisation (one number leaves the device)."""
+
+    name = "aggregate"
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        return frame.copy_with(
+            np.array([float(frame.values.mean())]), pet_name=self.name
+        )
+
+
+class Suppressor(PET):
+    """Drop the frame — the per-channel hardware switch §II-D asks for."""
+
+    name = "suppress"
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        return None
+
+
+class PETChain(PET):
+    """Ordered composition of mechanisms.
+
+    The chain's ``epsilon`` is the sum of its members' (sequential
+    composition theorem).  Suppression anywhere short-circuits.
+    """
+
+    name = "chain"
+
+    def __init__(self, pets: Sequence[PET]):
+        if not pets:
+            raise PrivacyError("a PET chain needs at least one mechanism")
+        self._pets: List[PET] = list(pets)
+        self.epsilon = float(sum(p.epsilon for p in self._pets))
+
+    @property
+    def members(self) -> List[PET]:
+        return list(self._pets)
+
+    def apply(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        current: Optional[SensorFrame] = frame
+        for pet in self._pets:
+            if current is None:
+                return None
+            current = pet.apply(current)
+        return current

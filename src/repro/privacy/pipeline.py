@@ -1,0 +1,178 @@
+"""The data-centric privacy pipeline — an executable version of the
+paper's Fig. 2 (after De Guzman et al. [5]).
+
+Raw sensor frames flow through four stages before reaching any consumer:
+
+1. **Consent gate** — the subject must have granted the channel
+   (:class:`~repro.privacy.consent.ConsentRegistry`); bystander-tainted
+   frames are additionally scrubbed.
+2. **PET stage** — the per-channel mechanism chain obfuscates the frame
+   (:mod:`repro.privacy.pets`); suppression drops it.
+3. **Budget meter** — DP epsilon is charged against the subject's cap
+   (:class:`~repro.privacy.budget.PrivacyBudget`); an exhausted budget
+   blocks release.
+4. **Disclosure** — the device LED is lit for the duration of the
+   release and the activity is registered with the audit hook
+   (:mod:`repro.ledger.audit` in the wired framework).
+
+Consumers subscribe per channel and only ever see sanitised frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConsentError, PrivacyBudgetExceeded, PrivacyError
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.consent import ConsentRegistry, DisclosureIndicator
+from repro.privacy.pets import PET, Passthrough
+from repro.privacy.sensors import SensorFrame
+
+__all__ = ["PipelineStats", "PrivacyPipeline"]
+
+# Consumers receive sanitised frames.
+FrameConsumer = Callable[[SensorFrame], None]
+# Audit hook: (frame, pet_name) → None; typically registers on a ledger.
+AuditHook = Callable[[SensorFrame, str], None]
+
+
+@dataclass
+class PipelineStats:
+    """Release accounting for transparency reports."""
+
+    offered: int = 0
+    released: int = 0
+    blocked_consent: int = 0
+    blocked_budget: int = 0
+    suppressed: int = 0
+    bystander_scrubbed: int = 0
+
+    @property
+    def release_rate(self) -> float:
+        return self.released / self.offered if self.offered else 0.0
+
+
+class PrivacyPipeline:
+    """Per-channel sanitisation between sensors and consumers.
+
+    Parameters
+    ----------
+    consent:
+        The opt-in switch registry (a fresh default-deny one if omitted).
+    budget:
+        DP budget accountant (unlimited-ish default cap if omitted).
+    indicator:
+        Disclosure LED (a fresh one if omitted).
+    audit_hook:
+        Called once per *released* frame — wire this to
+        :meth:`repro.ledger.audit.DataCollectionAuditor.register_activity`
+        for on-chain registration.
+    """
+
+    def __init__(
+        self,
+        consent: Optional[ConsentRegistry] = None,
+        budget: Optional[PrivacyBudget] = None,
+        indicator: Optional[DisclosureIndicator] = None,
+        audit_hook: Optional[AuditHook] = None,
+    ):
+        self.consent = consent if consent is not None else ConsentRegistry()
+        self.budget = budget if budget is not None else PrivacyBudget(default_cap=1e9)
+        self.indicator = indicator if indicator is not None else DisclosureIndicator()
+        self._audit_hook = audit_hook
+        self._pets: Dict[str, PET] = {}
+        self._consumers: Dict[str, List[FrameConsumer]] = {}
+        self.stats = PipelineStats()
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_pet(self, channel: str, pet: PET) -> None:
+        """Install the mechanism (or chain) protecting ``channel``."""
+        self._pets[channel] = pet
+
+    def pet_for(self, channel: str) -> PET:
+        """Active mechanism for ``channel`` (Passthrough if unset)."""
+        return self._pets.get(channel, _PASSTHROUGH)
+
+    def subscribe(self, channel: str, consumer: FrameConsumer) -> None:
+        """Register a downstream consumer of sanitised ``channel`` frames."""
+        self._consumers.setdefault(channel, []).append(consumer)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, frame: SensorFrame) -> Optional[SensorFrame]:
+        """Run one frame through the pipeline.
+
+        Returns the released (sanitised) frame, or None if the frame was
+        blocked by consent, suppressed by the PET, or refused by the
+        budget.  Never raises for policy blocks — blocking is the normal
+        operation of a privacy layer; programming errors still raise.
+        """
+        self.stats.offered += 1
+
+        # Stage 1: consent gate.
+        try:
+            self.consent.check(frame.subject, frame.channel)
+        except ConsentError:
+            self.stats.blocked_consent += 1
+            return None
+        sanitized_input = self._scrub_bystanders(frame)
+
+        # Stage 2: PET.
+        pet = self.pet_for(frame.channel)
+        protected = pet.apply(sanitized_input)
+        if protected is None:
+            self.stats.suppressed += 1
+            return None
+
+        # Stage 3: budget.
+        if pet.epsilon > 0:
+            try:
+                self.budget.charge(
+                    frame.subject, pet.epsilon, channel=frame.channel, time=frame.time
+                )
+            except PrivacyBudgetExceeded:
+                self.stats.blocked_budget += 1
+                return None
+
+        # Stage 4: disclosure + audit + delivery.
+        self.indicator.collection_started(frame.channel, frame.time)
+        try:
+            if self._audit_hook is not None:
+                self._audit_hook(protected, pet.name)
+            for consumer in self._consumers.get(frame.channel, []):
+                consumer(protected)
+        finally:
+            self.indicator.collection_stopped(frame.channel, frame.time)
+        self.stats.released += 1
+        return protected
+
+    def ingest_all(self, frames: List[SensorFrame]) -> List[SensorFrame]:
+        """Ingest a batch; returns only the released frames."""
+        released = []
+        for frame in frames:
+            out = self.ingest(frame)
+            if out is not None:
+                released.append(out)
+        return released
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _scrub_bystanders(self, frame: SensorFrame) -> SensorFrame:
+        """Remove bystander captures from spatial scans before any
+        release (bystanders cannot consent, so their data never leaves
+        the device)."""
+        if frame.metadata.get("bystanders_captured", 0):
+            scrubbed = frame.copy_with(frame.values, pet_name=None)
+            scrubbed.metadata["bystanders_captured"] = 0
+            scrubbed.metadata["bystanders_scrubbed"] = True
+            self.stats.bystander_scrubbed += 1
+            return scrubbed
+        return frame
+
+
+_PASSTHROUGH = Passthrough()

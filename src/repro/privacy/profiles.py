@@ -1,0 +1,103 @@
+"""Latent user attributes that sensor data leaks (paper §II-A).
+
+"The biometrical information such as gaze, gait, heart rate shows
+important aspects of users' psyche" — to measure that leak we need
+ground-truth psyches.  A :class:`UserProfile` holds the latent
+attributes; sensors emit signals *correlated* with them; inference
+attackers try to recover them.  The attributes mirror the paper's
+examples: a content **preference** (the gaze-leaked attribute, after
+Renaud et al. [3]), a **fitness** level (gait-leaked), and a **stress**
+level (heart-rate-leaked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["UserProfile", "generate_population", "PREFERENCE_CATEGORIES"]
+
+# Content categories a user's gaze can dwell on.
+PREFERENCE_CATEGORIES = 4
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Ground-truth latent attributes of one simulated user.
+
+    Attributes
+    ----------
+    user_id:
+        Stable identifier.
+    preference:
+        Content-preference class in ``[0, PREFERENCE_CATEGORIES)``;
+        the sensitive categorical attribute gaze leaks.
+    fitness:
+        Physical-condition scalar in [0, 1]; gait leaks it.
+    stress:
+        Baseline arousal scalar in [0, 1]; heart rate leaks it.
+    bystander:
+        Whether this person is a *bystander* (present in the sensing
+        zone without using the platform) — bystanders never consented
+        to anything.
+    """
+
+    user_id: str
+    preference: int
+    fitness: float
+    stress: float
+    bystander: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.preference < PREFERENCE_CATEGORIES:
+            raise ValueError(
+                f"preference must be in [0, {PREFERENCE_CATEGORIES}), "
+                f"got {self.preference}"
+            )
+        if not 0 <= self.fitness <= 1:
+            raise ValueError(f"fitness must be in [0, 1], got {self.fitness}")
+        if not 0 <= self.stress <= 1:
+            raise ValueError(f"stress must be in [0, 1], got {self.stress}")
+
+    def attribute(self, name: str) -> float:
+        """Generic accessor used by inference attackers."""
+        if name == "preference":
+            return float(self.preference)
+        if name == "fitness":
+            return self.fitness
+        if name == "stress":
+            return self.stress
+        raise KeyError(f"unknown attribute {name!r}")
+
+
+def generate_population(
+    count: int,
+    rng: np.random.Generator,
+    bystander_fraction: float = 0.0,
+    prefix: str = "user",
+) -> List[UserProfile]:
+    """Draw ``count`` users with independent latent attributes.
+
+    Preferences are uniform over categories; fitness and stress are
+    Beta(2, 2) (mass away from the extremes, like real populations).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if not 0 <= bystander_fraction <= 1:
+        raise ValueError(
+            f"bystander_fraction must be in [0, 1], got {bystander_fraction}"
+        )
+    users = []
+    for i in range(count):
+        users.append(
+            UserProfile(
+                user_id=f"{prefix}-{i:05d}",
+                preference=int(rng.integers(PREFERENCE_CATEGORIES)),
+                fitness=float(rng.beta(2, 2)),
+                stress=float(rng.beta(2, 2)),
+                bystander=bool(rng.random() < bystander_fraction),
+            )
+        )
+    return users

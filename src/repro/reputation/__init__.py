@@ -1,0 +1,22 @@
+"""Reputation substrate (paper §IV-C).
+
+Beta reputation (local evidence), EigenTrust (global collusion-resistant
+propagation), a blended facade with optional ledger anchoring, and Sybil
+attack generators for resistance experiments.
+"""
+
+from repro.reputation.beta import BetaReputation, BetaScore
+from repro.reputation.eigentrust import EigenTrust
+from repro.reputation.sybil import SybilAttack, SybilOutcome, run_sybil_attack
+from repro.reputation.system import FeedbackEvent, ReputationSystem
+
+__all__ = [
+    "BetaReputation",
+    "BetaScore",
+    "EigenTrust",
+    "SybilAttack",
+    "SybilOutcome",
+    "run_sybil_attack",
+    "FeedbackEvent",
+    "ReputationSystem",
+]

@@ -1,0 +1,110 @@
+"""Beta reputation (Jøsang & Ismail 2002).
+
+Each entity's reputation is the expectation of a Beta(α, β) posterior
+over "behaves well", where α counts positive and β negative feedback
+(both starting at 1 — the uniform prior).  Scores live in (0, 1) and
+new entities start at exactly 0.5, which matches the paper's need for a
+system "inherently attached to users" that newcomers neither game nor
+are crushed by.
+
+Feedback ages: :meth:`decay` exponentially forgets old evidence so that
+reformed users can recover and old merit does not shield new abuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ReputationError
+
+__all__ = ["BetaScore", "BetaReputation"]
+
+
+@dataclass
+class BetaScore:
+    """Posterior evidence for one entity."""
+
+    positive: float = 0.0
+    negative: float = 0.0
+
+    @property
+    def alpha(self) -> float:
+        return self.positive + 1.0
+
+    @property
+    def beta(self) -> float:
+        return self.negative + 1.0
+
+    @property
+    def expectation(self) -> float:
+        """E[Beta(α, β)] = α / (α + β); the reputation score."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def evidence(self) -> float:
+        """Total observed feedback mass (confidence proxy)."""
+        return self.positive + self.negative
+
+    def observe(self, positive: bool, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ReputationError(f"feedback weight must be >= 0, got {weight}")
+        if positive:
+            self.positive += weight
+        else:
+            self.negative += weight
+
+    def decay(self, factor: float) -> None:
+        if not 0 <= factor <= 1:
+            raise ReputationError(f"decay factor must be in [0, 1], got {factor}")
+        self.positive *= factor
+        self.negative *= factor
+
+
+class BetaReputation:
+    """Registry of beta scores keyed by entity id.
+
+    Examples
+    --------
+    >>> rep = BetaReputation()
+    >>> rep.record("avatar-1", positive=True)
+    >>> rep.score("avatar-1") > rep.score("stranger")
+    True
+    """
+
+    def __init__(self, decay_factor: float = 0.95):
+        if not 0 <= decay_factor <= 1:
+            raise ReputationError(
+                f"decay_factor must be in [0, 1], got {decay_factor}"
+            )
+        self._scores: Dict[str, BetaScore] = {}
+        self._decay_factor = decay_factor
+
+    def record(self, entity: str, positive: bool, weight: float = 1.0) -> None:
+        """Add one piece of feedback about ``entity``."""
+        self._scores.setdefault(entity, BetaScore()).observe(positive, weight)
+
+    def score(self, entity: str) -> float:
+        """Reputation in (0, 1); unknown entities score the prior 0.5."""
+        record = self._scores.get(entity)
+        return record.expectation if record is not None else 0.5
+
+    def evidence(self, entity: str) -> float:
+        record = self._scores.get(entity)
+        return record.evidence if record is not None else 0.0
+
+    def decay_all(self, factor: Optional[float] = None) -> None:
+        """Age every score by ``factor`` (default: configured factor)."""
+        f = self._decay_factor if factor is None else factor
+        for record in self._scores.values():
+            record.decay(f)
+
+    def entities(self) -> Dict[str, float]:
+        """Snapshot of entity → score."""
+        return {entity: record.expectation for entity, record in self._scores.items()}
+
+    def __contains__(self, entity: str) -> bool:
+        return entity in self._scores
+
+    def __len__(self) -> int:
+        return len(self._scores)

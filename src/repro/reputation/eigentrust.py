@@ -1,0 +1,125 @@
+"""EigenTrust (Kamvar, Schlosser & Garcia-Molina, WWW 2003).
+
+Global trust as the stationary distribution of a walk over normalised
+local trust: peers who are trusted by trusted peers become trusted.
+The pre-trusted set both seeds the walk and damps Sybil clusters —
+fake identities that only endorse each other receive no inbound trust
+from the pre-trusted core, so their global trust stays near zero.  This
+is exactly the "counterbalance attacks during decision-making" property
+the paper wants from a reputation layer (§IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ReputationError
+
+__all__ = ["EigenTrust"]
+
+
+class EigenTrust:
+    """Accumulates pairwise trust observations and computes global trust.
+
+    Parameters
+    ----------
+    pretrusted:
+        Identities assumed honest (platform founders, audited operators).
+    alpha:
+        Probability mass teleported to the pre-trusted set each step
+        (the damping that bounds Sybil influence).
+    """
+
+    def __init__(self, pretrusted: Optional[Iterable[str]] = None, alpha: float = 0.15):
+        if not 0 <= alpha <= 1:
+            raise ReputationError(f"alpha must be in [0, 1], got {alpha}")
+        self._alpha = alpha
+        self._pretrusted: Set[str] = set(pretrusted or [])
+        # local[(i, j)] = accumulated satisfaction of i with j (>= 0)
+        self._local: Dict[Tuple[str, str], float] = {}
+        self._identities: Set[str] = set(self._pretrusted)
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def record_interaction(self, truster: str, trustee: str, satisfaction: float) -> None:
+        """Record that ``truster`` rated an interaction with ``trustee``.
+
+        ``satisfaction`` is clamped at 0 from below (EigenTrust local
+        trust is non-negative; negative experiences simply add nothing,
+        per the original paper's ``max(sat, 0)`` rule).
+        """
+        if truster == trustee:
+            raise ReputationError("self-trust is not recordable")
+        self._identities.add(truster)
+        self._identities.add(trustee)
+        if satisfaction > 0:
+            key = (truster, trustee)
+            self._local[key] = self._local.get(key, 0.0) + satisfaction
+
+    def add_identity(self, identity: str) -> None:
+        """Make an identity known even before any interactions."""
+        self._identities.add(identity)
+
+    @property
+    def identities(self) -> List[str]:
+        return sorted(self._identities)
+
+    # ------------------------------------------------------------------
+    # Global trust
+    # ------------------------------------------------------------------
+    def compute(
+        self, max_iterations: int = 100, tolerance: float = 1e-9
+    ) -> Dict[str, float]:
+        """Power-iterate to the global trust vector.
+
+        Returns identity → trust, summing to 1 over all identities.
+        With no identities the result is empty; with no pre-trusted
+        identities the teleport distribution is uniform.
+        """
+        ids = self.identities
+        if not ids:
+            return {}
+        index = {identity: i for i, identity in enumerate(ids)}
+        n = len(ids)
+
+        # Row-normalised local trust matrix C (row i = who i trusts).
+        matrix = np.zeros((n, n))
+        for (truster, trustee), value in self._local.items():
+            matrix[index[truster], index[trustee]] = value
+        row_sums = matrix.sum(axis=1)
+
+        # Teleport vector p: uniform over pre-trusted, else uniform.
+        p = np.zeros(n)
+        pretrusted = [i for i in self._pretrusted if i in index]
+        if pretrusted:
+            for identity in pretrusted:
+                p[index[identity]] = 1.0 / len(pretrusted)
+        else:
+            p[:] = 1.0 / n
+
+        # Rows with no outgoing trust fall back to the teleport vector.
+        stochastic = np.empty((n, n))
+        for i in range(n):
+            if row_sums[i] > 0:
+                stochastic[i] = matrix[i] / row_sums[i]
+            else:
+                stochastic[i] = p
+
+        trust = p.copy()
+        for _ in range(max_iterations):
+            updated = (1 - self._alpha) * stochastic.T.dot(trust) + self._alpha * p
+            if np.abs(updated - trust).sum() < tolerance:
+                trust = updated
+                break
+            trust = updated
+        total = trust.sum()
+        if total > 0:
+            trust = trust / total
+        return {identity: float(trust[index[identity]]) for identity in ids}
+
+    def trust_of(self, identity: str, **kwargs) -> float:
+        """Convenience single lookup (recomputes the full vector)."""
+        return self.compute(**kwargs).get(identity, 0.0)

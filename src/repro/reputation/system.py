@@ -1,0 +1,170 @@
+"""The reputation system facade — §IV-C's "reputation-based system under
+the Blockchain ... inherently attached to users".
+
+Combines two estimators:
+
+* **beta reputation** — fast, local, per-entity evidence counting; and
+* **EigenTrust** — global, collusion-resistant trust propagation;
+
+into a single ``score()`` in [0, 1] (a configurable convex blend), with
+optional ledger anchoring: every feedback event can be registered as a
+RECORD transaction, so reputations are auditable and tamper-evident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ReputationError
+from repro.reputation.beta import BetaReputation
+from repro.reputation.eigentrust import EigenTrust
+
+__all__ = ["FeedbackEvent", "ReputationSystem"]
+
+
+# Anchor callback: receives one canonical-encodable feedback payload.
+ReputationAnchor = Callable[[Dict[str, object]], None]
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One rating of ``target`` by ``rater``."""
+
+    time: float
+    rater: str
+    target: str
+    positive: bool
+    weight: float
+    context: str
+
+
+class ReputationSystem:
+    """Blended local + global reputation with optional ledger anchoring.
+
+    Parameters
+    ----------
+    pretrusted:
+        Identities seeding EigenTrust (e.g. platform-audited operators).
+    blend:
+        Weight of the beta (local) estimate in the final score; the
+        remaining weight goes to normalised EigenTrust.  ``blend=1``
+        degrades to pure beta reputation (cheap, Sybil-prone);
+        ``blend=0`` to pure EigenTrust.
+    decay_factor:
+        Per-epoch forgetting applied by :meth:`decay`.
+    anchor:
+        Optional callback that registers feedback on a ledger.
+    """
+
+    def __init__(
+        self,
+        pretrusted: Optional[Iterable[str]] = None,
+        blend: float = 0.5,
+        decay_factor: float = 0.95,
+        anchor: Optional[ReputationAnchor] = None,
+    ):
+        if not 0 <= blend <= 1:
+            raise ReputationError(f"blend must be in [0, 1], got {blend}")
+        self._beta = BetaReputation(decay_factor=decay_factor)
+        self._eigentrust = EigenTrust(pretrusted=pretrusted)
+        self._blend = blend
+        self._anchor = anchor
+        self._events: List[FeedbackEvent] = []
+        self._global_cache: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        rater: str,
+        target: str,
+        positive: bool,
+        time: float = 0.0,
+        weight: float = 1.0,
+        context: str = "",
+    ) -> FeedbackEvent:
+        """Record one rating; updates both estimators and the anchor."""
+        if rater == target:
+            raise ReputationError(f"{rater} cannot rate themselves")
+        event = FeedbackEvent(
+            time=time,
+            rater=rater,
+            target=target,
+            positive=positive,
+            weight=weight,
+            context=context,
+        )
+        self._events.append(event)
+        self._beta.record(target, positive, weight)
+        self._eigentrust.record_interaction(
+            rater, target, weight if positive else -weight
+        )
+        self._global_cache = None
+        if self._anchor is not None:
+            self._anchor(
+                {
+                    "activity": "reputation_feedback",
+                    "rater": rater,
+                    "target": target,
+                    "positive": positive,
+                    "weight": weight,
+                    "context": context,
+                    "time": time,
+                }
+            )
+        return event
+
+    def register_identity(self, identity: str) -> None:
+        """Make an identity visible to EigenTrust before any feedback."""
+        self._eigentrust.add_identity(identity)
+
+    # ------------------------------------------------------------------
+    # Scores
+    # ------------------------------------------------------------------
+    def local_score(self, entity: str) -> float:
+        """Beta-reputation estimate in (0, 1)."""
+        return self._beta.score(entity)
+
+    def global_trust(self) -> Dict[str, float]:
+        """EigenTrust vector (cached until new feedback arrives)."""
+        if self._global_cache is None:
+            self._global_cache = self._eigentrust.compute()
+        return self._global_cache
+
+    def score(self, entity: str) -> float:
+        """Blended reputation in [0, 1].
+
+        EigenTrust values sum to 1 over identities, so they are rescaled
+        by the max before blending to be comparable with beta scores.
+        """
+        local = self.local_score(entity)
+        trust = self.global_trust()
+        if not trust:
+            return local
+        top = max(trust.values())
+        normalised = trust.get(entity, 0.0) / top if top > 0 else 0.0
+        return self._blend * local + (1 - self._blend) * normalised
+
+    def ranking(self, top_n: Optional[int] = None) -> List[str]:
+        """Entities ordered by blended score, best first."""
+        entities = set(self._beta.entities()) | set(self.global_trust())
+        ordered = sorted(entities, key=lambda e: (-self.score(e), e))
+        return ordered[:top_n] if top_n is not None else ordered
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def decay(self) -> None:
+        """Age the local evidence one epoch."""
+        self._beta.decay_all()
+
+    @property
+    def events(self) -> List[FeedbackEvent]:
+        return list(self._events)
+
+    def feedback_count(self, target: Optional[str] = None) -> int:
+        if target is None:
+            return len(self._events)
+        return sum(1 for event in self._events if event.target == target)

@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation substrate.
+
+Everything stochastic or time-dependent in the library runs on this
+package: a simulated clock with FIFO-tie-breaking event queue
+(:class:`Simulator`), named deterministic random streams
+(:class:`RngRegistry`), metrics (:class:`MetricsRegistry`), and a
+structured trace log (:class:`TraceLog`).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.tracing import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RngRegistry",
+    "derive_seed",
+    "TraceLog",
+    "TraceRecord",
+]

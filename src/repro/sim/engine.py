@@ -1,0 +1,233 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the substrate every scenario runs on.  It provides:
+
+* a simulated clock (no wall-clock time anywhere in the library),
+* an event queue with deterministic FIFO tie-breaking at equal timestamps,
+* recurring events, cancellation, and run-until / run-for execution, and
+* lifecycle hooks so substrates (world, governance, ledger) can observe
+  the passage of simulated time.
+
+Determinism contract: given the same sequence of ``schedule`` calls, the
+engine fires callbacks in exactly the same order on every run.  Equal-time
+events fire in schedule order (a monotonically increasing sequence number
+breaks ties), which is what makes scenario replays byte-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry; ordering is (time, seq) only."""
+
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated timestamp at which the callback fires.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    name:
+        Optional label used in traces and error messages.
+    interval:
+        If set, the event reschedules itself every ``interval`` time units
+        after firing, until cancelled.
+    """
+
+    time: float
+    callback: Callable[[], Any]
+    name: str = ""
+    interval: Optional[float] = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent this event (and, for recurring events, all future
+        occurrences) from firing."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run_until(10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._fired_count = 0
+        self._tick_hooks: List[Callable[[float], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def fired_count(self) -> int:
+        """Number of events that have fired so far."""
+        return self._fired_count
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for entry in self._queue if not entry.event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        name: str = "",
+        interval: Optional[float] = None,
+    ) -> Event:
+        """Schedule ``callback`` to fire at absolute simulated ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is before the current clock, or ``interval`` is
+            not strictly positive.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at t={time} before now={self._now}"
+            )
+        if interval is not None and interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        event = Event(time=float(time), callback=callback, name=name, interval=interval)
+        heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        name: str = "",
+        interval: Optional[float] = None,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, name=name, interval=interval)
+
+    def every(self, interval: float, callback: Callable[[], Any], name: str = "") -> Event:
+        """Schedule a recurring event firing every ``interval`` units,
+        starting one interval from now."""
+        return self.schedule_in(interval, callback, name=name, interval=interval)
+
+    def add_tick_hook(self, hook: Callable[[float], None]) -> None:
+        """Register ``hook(now)`` to be called after every fired event."""
+        self._tick_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now = entry.time
+            self._fire(event)
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Fire every event with ``time <= end_time``; clock ends at
+        ``end_time`` even if the queue drains early."""
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) is before now={self._now}"
+            )
+        self._running = True
+        try:
+            while self._running and self._queue:
+                entry = self._queue[0]
+                if entry.time > end_time:
+                    break
+                heapq.heappop(self._queue)
+                if entry.event.cancelled:
+                    continue
+                self._now = entry.time
+                self._fire(entry.event)
+            self._now = max(self._now, end_time)
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Advance the clock by ``duration``, firing due events."""
+        self.run_until(self._now + duration)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue entirely (bounded by ``max_events`` as a
+        runaway-loop backstop)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"run_all exceeded max_events={max_events}; "
+                    "likely a self-rescheduling loop"
+                )
+
+    def stop(self) -> None:
+        """Stop a ``run_until`` loop after the current event completes."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fire(self, event: Event) -> None:
+        self._fired_count += 1
+        event.callback()
+        if event.interval is not None and not event.cancelled:
+            event.time = self._now + event.interval
+            heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        for hook in self._tick_hooks:
+            hook(self._now)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a summary of engine state (for traces and debugging)."""
+        return {
+            "now": self._now,
+            "pending": self.pending_count,
+            "fired": self._fired_count,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Simulator(now={self._now}, pending={self.pending_count})"

@@ -1,0 +1,180 @@
+"""Lightweight metrics for simulations and benchmarks.
+
+Counters, gauges, and streaming histograms, grouped in a registry that can
+render a plain-text summary table.  The benchmark harness uses these to
+print paper-style result rows; the framework uses them for transparency
+reporting (every module's activity is observable, per the paper's
+"all the active parts of the metaverse should be transparent").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can move up and down."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Streaming histogram keeping exact samples (simulations are small
+    enough that reservoir sampling is unnecessary)."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile by linear interpolation; ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = (q / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Namespace of counters, gauges, and histograms.
+
+    Metric names are hierarchical by convention (``"moderation.removed"``).
+    Accessors create metrics on first use so instrumented code does not
+    need registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self) -> Mapping[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Mapping[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> Mapping[str, Dict[str, float]]:
+        return {name: h.summary() for name, h in sorted(self._histograms.items())}
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten everything into one JSON-friendly dict."""
+        return {
+            "counters": dict(self.counters()),
+            "gauges": dict(self.gauges()),
+            "histograms": {k: dict(v) for k, v in self.histograms().items()},
+        }
+
+    def render(self) -> str:
+        """Render a plain-text summary table (used by example scripts)."""
+        lines: List[str] = []
+        if self._counters:
+            lines.append("counters:")
+            for name, value in self.counters().items():
+                lines.append(f"  {name:<40s} {value:>12g}")
+        if self._gauges:
+            lines.append("gauges:")
+            for name, value in self.gauges().items():
+                lines.append(f"  {name:<40s} {value:>12g}")
+        if self._histograms:
+            lines.append("histograms:")
+            for name, summ in self.histograms().items():
+                rendered = ", ".join(f"{k}={v:g}" for k, v in summ.items())
+                lines.append(f"  {name:<40s} {rendered}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop all metrics (used between benchmark repetitions)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,103 @@
+"""Named deterministic random streams.
+
+Every stochastic component in the library draws from a named stream owned
+by an :class:`RngRegistry`.  Streams are derived from a single root seed
+via ``numpy.random.SeedSequence.spawn``-style keyed derivation, so:
+
+* the same ``(seed, stream_name)`` pair always yields the same sequence,
+* adding a new stream never perturbs existing ones, and
+* two components never share a generator by accident.
+
+This is what makes whole scenarios reproducible from ``(seed, config)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator
+
+import numpy as np
+
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name.
+
+    The derivation hashes ``root_seed || name`` with SHA-256 so that
+    stream seeds are uncorrelated even for adjacent root seeds, and are
+    stable across platforms and Python hash randomisation.
+    """
+    payload = f"{root_seed}:{name}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """A factory of named, independent ``numpy.random.Generator`` streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole registry.  Two registries with the same
+        seed produce identical streams for identical names.
+
+    Examples
+    --------
+    >>> rngs = RngRegistry(seed=7)
+    >>> a = rngs.stream("misinfo")
+    >>> b = RngRegistry(seed=7).stream("misinfo")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this registry was constructed with."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The same registry returns the *same generator object* for the
+        same name, so sequential draws advance a single stream.
+        """
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        if name not in self._streams:
+            child_seed = derive_seed(self._seed, name)
+            self._streams[name] = np.random.default_rng(child_seed)
+        return self._streams[name]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a brand-new generator for ``name`` from its initial state.
+
+        Unlike :meth:`stream`, this does not share state with previous
+        callers; use it to replay a component's randomness in isolation.
+        """
+        return np.random.default_rng(derive_seed(self._seed, name))
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Create a child registry rooted under ``name``.
+
+        Child registries give whole subsystems their own namespace so a
+        subsystem can create internal streams without colliding with the
+        parent's names.
+        """
+        return RngRegistry(derive_seed(self._seed, f"spawn:{name}"))
+
+    def names(self) -> Iterator[str]:
+        """Iterate over names of streams created so far (insertion order)."""
+        return iter(tuple(self._streams))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RngRegistry(seed={self._seed}, streams={len(self._streams)})"

@@ -1,0 +1,117 @@
+"""Structured trace log.
+
+The paper argues that "all the active parts of the metaverse (including
+code) should be transparent and understandable to any platform member"
+(§IV-C).  The trace log is the library's mechanism for that: every
+substrate can append structured records, and auditors (see
+``repro.core.audit``) can replay or query them.
+
+Records are plain dicts with a mandatory ``(time, source, kind)`` triple;
+payload keys are free-form.  The log preserves append order, which equals
+simulated-time order because the engine is single-threaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace entry."""
+
+    time: float
+    source: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(
+        self,
+        source: Optional[str] = None,
+        kind: Optional[str] = None,
+        predicate: Optional[Callable[["TraceRecord"], bool]] = None,
+    ) -> bool:
+        """True if this record satisfies every provided filter."""
+        if source is not None and self.source != source:
+            return False
+        if kind is not None and self.kind != kind:
+            return False
+        if predicate is not None and not predicate(self):
+            return False
+        return True
+
+
+class TraceLog:
+    """Append-only structured log with query helpers.
+
+    Examples
+    --------
+    >>> log = TraceLog()
+    >>> log.emit(1.0, "moderation", "report", user="u1")
+    >>> [r.kind for r in log.query(source="moderation")]
+    ['report']
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+        self._dropped = 0
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, source: str, kind: str, **payload: Any) -> TraceRecord:
+        """Append a record and notify subscribers."""
+        record = TraceRecord(time=float(time), source=source, kind=kind, payload=payload)
+        self._records.append(record)
+        if self._capacity is not None and len(self._records) > self._capacity:
+            overflow = len(self._records) - self._capacity
+            del self._records[:overflow]
+            self._dropped += overflow
+        for subscriber in self._subscribers:
+            subscriber(record)
+        return record
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record."""
+        self._subscribers.append(callback)
+
+    def query(
+        self,
+        source: Optional[str] = None,
+        kind: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> Iterator[TraceRecord]:
+        """Yield records matching all the given filters, in append order."""
+        for record in self._records:
+            if since is not None and record.time < since:
+                continue
+            if until is not None and record.time > until:
+                continue
+            if record.matches(source=source, kind=kind, predicate=predicate):
+                yield record
+
+    def count(self, **filters: Any) -> int:
+        """Number of records matching :meth:`query` filters."""
+        return sum(1 for _ in self.query(**filters))
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All retained records (oldest first)."""
+        return list(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted due to the capacity bound."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)

@@ -1,0 +1,36 @@
+"""Social substrate: graphs, behaviour, misinformation, digital twins.
+
+Trust-weighted social graphs with standard topology generators,
+archetype-driven behaviour simulation with ground-truth misconduct,
+the ISR misinformation cascade with reputation-gated credibility
+(paper §IV-B "Trust"), and physical–virtual digital twins with
+ledger-anchorable provenance (§IV-A).
+"""
+
+from repro.social.behavior import (
+    Archetype,
+    BehaviorProfile,
+    BehaviorSimulator,
+    standard_mix,
+)
+from repro.social.graph import SocialGraph
+from repro.social.misinformation import (
+    MisinformationModel,
+    SpreadResult,
+    SpreadState,
+)
+from repro.social.twins import DigitalTwin, PhysicalObject, TwinRegistry
+
+__all__ = [
+    "Archetype",
+    "BehaviorProfile",
+    "BehaviorSimulator",
+    "standard_mix",
+    "SocialGraph",
+    "MisinformationModel",
+    "SpreadResult",
+    "SpreadState",
+    "DigitalTwin",
+    "PhysicalObject",
+    "TwinRegistry",
+]

@@ -1,0 +1,195 @@
+"""Behaviour models: how simulated members act in a world.
+
+The governance experiments need a population with ground-truth conduct:
+most members are civil, some harass, spam, or troll ("users of these
+platforms face issues of misbehaviour, spam, harassment, and conflicts",
+§III).  :class:`BehaviorSimulator` drives a :class:`~repro.world.World`
+one epoch at a time, emitting interactions whose ``abusive`` flag is the
+ground truth that moderation precision/recall is scored against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.world.interactions import Interaction, InteractionKind
+from repro.world.world import World
+
+__all__ = ["Archetype", "BehaviorProfile", "BehaviorSimulator", "standard_mix"]
+
+
+class Archetype(str, enum.Enum):
+    """Conduct archetypes."""
+
+    CIVIL = "civil"
+    HARASSER = "harasser"
+    SPAMMER = "spammer"
+    TROLL = "troll"
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Interaction rates for one archetype.
+
+    ``interactions_per_epoch`` is the Poisson mean of attempts;
+    ``abusive_fraction`` the probability an attempt is abusive;
+    ``proximity_seeking`` the probability the member targets the
+    nearest avatar rather than a random one (harassers stalk).
+    """
+
+    archetype: Archetype
+    interactions_per_epoch: float
+    abusive_fraction: float
+    proximity_seeking: float
+
+    def __post_init__(self) -> None:
+        if self.interactions_per_epoch < 0:
+            raise ReproError("interactions_per_epoch must be >= 0")
+        if not 0 <= self.abusive_fraction <= 1:
+            raise ReproError("abusive_fraction must be in [0, 1]")
+        if not 0 <= self.proximity_seeking <= 1:
+            raise ReproError("proximity_seeking must be in [0, 1]")
+
+
+PROFILES: Dict[Archetype, BehaviorProfile] = {
+    Archetype.CIVIL: BehaviorProfile(Archetype.CIVIL, 4.0, 0.01, 0.3),
+    Archetype.HARASSER: BehaviorProfile(Archetype.HARASSER, 6.0, 0.6, 0.9),
+    Archetype.SPAMMER: BehaviorProfile(Archetype.SPAMMER, 12.0, 0.35, 0.1),
+    Archetype.TROLL: BehaviorProfile(Archetype.TROLL, 5.0, 0.45, 0.5),
+}
+
+_CIVIL_KINDS = [
+    InteractionKind.CHAT.value,
+    InteractionKind.GESTURE.value,
+    InteractionKind.TRADE.value,
+    InteractionKind.GIFT.value,
+]
+_HOSTILE_KINDS = [
+    InteractionKind.WHISPER.value,
+    InteractionKind.TOUCH.value,
+    InteractionKind.SHOUT.value,
+    InteractionKind.APPROACH.value,
+]
+
+
+def standard_mix(
+    n: int,
+    rng: np.random.Generator,
+    harasser_fraction: float = 0.05,
+    spammer_fraction: float = 0.03,
+    troll_fraction: float = 0.02,
+) -> Dict[str, Archetype]:
+    """Assign archetypes to ``n`` member ids (``"avatar-i"`` naming is
+    up to the caller; keys here are indices as strings)."""
+    total_bad = harasser_fraction + spammer_fraction + troll_fraction
+    if total_bad > 1:
+        raise ReproError("archetype fractions exceed 1")
+    assignment: Dict[str, Archetype] = {}
+    for i in range(n):
+        draw = rng.random()
+        if draw < harasser_fraction:
+            archetype = Archetype.HARASSER
+        elif draw < harasser_fraction + spammer_fraction:
+            archetype = Archetype.SPAMMER
+        elif draw < total_bad:
+            archetype = Archetype.TROLL
+        else:
+            archetype = Archetype.CIVIL
+        assignment[str(i)] = archetype
+    return assignment
+
+
+class BehaviorSimulator:
+    """Drives avatars through interaction epochs in a world.
+
+    Parameters
+    ----------
+    world:
+        The world whose gates (bubbles, rules, sanctions) apply.
+    archetypes:
+        avatar_id → archetype for every driven avatar.
+    move_step:
+        Max per-epoch random-walk displacement.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        archetypes: Dict[str, Archetype],
+        rng: np.random.Generator,
+        move_step: float = 3.0,
+    ):
+        unknown = [a for a in archetypes if a not in world]
+        if unknown:
+            raise ReproError(f"avatars not in world: {unknown[:5]}")
+        self._world = world
+        self._archetypes = dict(archetypes)
+        self._rng = rng
+        self._move_step = move_step
+
+    def archetype_of(self, avatar_id: str) -> Archetype:
+        return self._archetypes.get(avatar_id, Archetype.CIVIL)
+
+    # ------------------------------------------------------------------
+    # Epoch driving
+    # ------------------------------------------------------------------
+    def run_epoch(self, time: float) -> List[Interaction]:
+        """Move everyone, then let everyone act; returns the attempts."""
+        self._move_all()
+        interactions: List[Interaction] = []
+        for avatar_id in sorted(self._archetypes):
+            if avatar_id not in self._world:
+                continue
+            interactions.extend(self._act(avatar_id, time))
+        return interactions
+
+    def _move_all(self) -> None:
+        for avatar_id in sorted(self._archetypes):
+            if avatar_id not in self._world:
+                continue
+            avatar = self._world.avatar(avatar_id)
+            if not avatar.can_move:
+                continue
+            dx, dy = self._rng.uniform(-self._move_step, self._move_step, size=2)
+            x, y = avatar.position
+            new_pos = (
+                float(np.clip(x + dx, 0, self._world.size)),
+                float(np.clip(y + dy, 0, self._world.size)),
+            )
+            self._world.move(avatar_id, new_pos)
+
+    def _act(self, avatar_id: str, time: float) -> List[Interaction]:
+        profile = PROFILES[self.archetype_of(avatar_id)]
+        count = int(self._rng.poisson(profile.interactions_per_epoch))
+        out: List[Interaction] = []
+        for _ in range(count):
+            target = self._pick_target(avatar_id, profile)
+            if target is None:
+                continue
+            abusive = bool(self._rng.random() < profile.abusive_fraction)
+            kinds = _HOSTILE_KINDS if abusive else _CIVIL_KINDS
+            kind = kinds[int(self._rng.integers(len(kinds)))]
+            out.append(
+                self._world.attempt_interaction(
+                    avatar_id, target, kind, time, abusive=abusive
+                )
+            )
+        return out
+
+    def _pick_target(self, avatar_id: str, profile: BehaviorProfile) -> Optional[str]:
+        candidates: Sequence[str]
+        if self._rng.random() < profile.proximity_seeking:
+            nearby = self._world.nearby(avatar_id, radius=10.0)
+            candidates = sorted(nearby)
+        else:
+            candidates = sorted(
+                a for a in self._archetypes if a != avatar_id and a in self._world
+            )
+        if not candidates:
+            return None
+        return candidates[int(self._rng.integers(len(candidates)))]

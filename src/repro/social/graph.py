@@ -1,0 +1,129 @@
+"""Social graphs: who knows whom, and how much they trust each other.
+
+A thin, typed wrapper over ``networkx`` undirected graphs with per-edge
+trust weights in [0, 1].  Generators cover the topologies used by the
+misinformation experiment (E7): scale-free (Barabási–Albert, like real
+follower graphs), small-world (Watts–Strogatz), and Erdős–Rényi.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["SocialGraph"]
+
+
+class SocialGraph:
+    """An undirected trust-weighted social graph."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_member(self, member_id: str) -> None:
+        self._graph.add_node(member_id)
+
+    def connect(self, a: str, b: str, trust: float = 0.5) -> None:
+        """Create (or update) a tie with the given trust weight."""
+        if a == b:
+            raise ReproError(f"{a} cannot befriend themselves")
+        if not 0 <= trust <= 1:
+            raise ReproError(f"trust must be in [0, 1], got {trust}")
+        self._graph.add_edge(a, b, trust=float(trust))
+
+    def set_trust(self, a: str, b: str, trust: float) -> None:
+        if not self._graph.has_edge(a, b):
+            raise ReproError(f"no tie between {a} and {b}")
+        if not 0 <= trust <= 1:
+            raise ReproError(f"trust must be in [0, 1], got {trust}")
+        self._graph[a][b]["trust"] = float(trust)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def members(self) -> List[str]:
+        return list(self._graph.nodes)
+
+    def neighbors(self, member_id: str) -> List[str]:
+        if member_id not in self._graph:
+            raise ReproError(f"{member_id} not in graph")
+        return list(self._graph.neighbors(member_id))
+
+    def trust(self, a: str, b: str) -> float:
+        if not self._graph.has_edge(a, b):
+            return 0.0
+        return float(self._graph[a][b].get("trust", 0.5))
+
+    def degree(self, member_id: str) -> int:
+        return int(self._graph.degree(member_id))
+
+    def edges(self) -> Iterator[Tuple[str, str, float]]:
+        for a, b, data in self._graph.edges(data=True):
+            yield a, b, float(data.get("trust", 0.5))
+
+    def __contains__(self, member_id: str) -> bool:
+        return member_id in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    @property
+    def nx_graph(self) -> nx.Graph:
+        """The underlying networkx graph (read-mostly escape hatch)."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def scale_free(
+        cls, n: int, attachment: int, rng: np.random.Generator,
+        prefix: str = "m",
+    ) -> "SocialGraph":
+        """Barabási–Albert preferential attachment (hub-heavy, like real
+        social platforms); trust weights ~ U(0.2, 0.9)."""
+        raw = nx.barabasi_albert_graph(n, attachment, seed=int(rng.integers(2**31)))
+        return cls._from_nx(raw, rng, prefix)
+
+    @classmethod
+    def small_world(
+        cls, n: int, k: int, rewire_p: float, rng: np.random.Generator,
+        prefix: str = "m",
+    ) -> "SocialGraph":
+        """Watts–Strogatz ring with rewiring (high clustering)."""
+        raw = nx.watts_strogatz_graph(
+            n, k, rewire_p, seed=int(rng.integers(2**31))
+        )
+        return cls._from_nx(raw, rng, prefix)
+
+    @classmethod
+    def random(
+        cls, n: int, edge_p: float, rng: np.random.Generator,
+        prefix: str = "m",
+    ) -> "SocialGraph":
+        """Erdős–Rényi G(n, p)."""
+        raw = nx.gnp_random_graph(n, edge_p, seed=int(rng.integers(2**31)))
+        return cls._from_nx(raw, rng, prefix)
+
+    @classmethod
+    def _from_nx(
+        cls, raw: nx.Graph, rng: np.random.Generator, prefix: str
+    ) -> "SocialGraph":
+        graph = cls()
+        mapping = {node: f"{prefix}{node:05d}" for node in raw.nodes}
+        for node in raw.nodes:
+            graph.add_member(mapping[node])
+        for a, b in raw.edges:
+            graph.connect(mapping[a], mapping[b], trust=float(rng.uniform(0.2, 0.9)))
+        return graph

@@ -1,0 +1,159 @@
+"""Misinformation propagation over social graphs (paper §IV-B, Trust).
+
+"In the metaverse, testimonies and trust will play an even more critical
+role ... Incentive systems to share trust among avatars will be key
+functionality to reduce the sharing of misinformation."
+
+The model is an ignorant–spreader–stifler (ISR) cascade, the standard
+rumour variant of SIR:
+
+* a member who *hears* a rumour from a neighbour believes-and-spreads it
+  with probability ``base_share_prob × tie_trust × source_credibility``;
+* ``source_credibility`` is 1 when no reputation system is wired, else
+  the sharer's reputation score — the paper's proposed damper;
+* spreaders stifle (stop sharing) with probability ``stifle_prob`` each
+  round after spreading once.
+
+Benchmark E7 compares reach with credibility off vs on (liars having
+earned low reputations through prior fact-check feedback).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.social.graph import SocialGraph
+
+__all__ = ["SpreadState", "SpreadResult", "MisinformationModel"]
+
+# Credibility lookup: member id → [0, 1].
+CredibilityFn = Callable[[str], float]
+
+
+class SpreadState(str, enum.Enum):
+    IGNORANT = "ignorant"
+    SPREADER = "spreader"
+    STIFLER = "stifler"
+
+
+@dataclass
+class SpreadResult:
+    """One cascade's outcome."""
+
+    rounds: int
+    reached: Set[str]
+    timeline: List[int] = field(default_factory=list)  # new believers per round
+
+    @property
+    def reach(self) -> int:
+        return len(self.reached)
+
+    def reach_fraction(self, population: int) -> float:
+        return self.reach / population if population else 0.0
+
+    @property
+    def peak_round(self) -> int:
+        if not self.timeline:
+            return 0
+        return int(np.argmax(self.timeline))
+
+
+class MisinformationModel:
+    """ISR rumour cascade with trust- and credibility-weighted sharing.
+
+    Parameters
+    ----------
+    graph:
+        The social graph rumours travel on.
+    base_share_prob:
+        Transmissibility before trust/credibility weighting.
+    stifle_prob:
+        Per-round probability an active spreader goes quiet.
+    credibility:
+        Optional reputation lookup; None disables credibility gating
+        (every source is fully believed — the paper's "bad internet").
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        rng: np.random.Generator,
+        base_share_prob: float = 0.6,
+        stifle_prob: float = 0.25,
+        credibility: Optional[CredibilityFn] = None,
+    ):
+        if not 0 <= base_share_prob <= 1:
+            raise ReproError(
+                f"base_share_prob must be in [0, 1], got {base_share_prob}"
+            )
+        if not 0 < stifle_prob <= 1:
+            raise ReproError(f"stifle_prob must be in (0, 1], got {stifle_prob}")
+        self._graph = graph
+        self._rng = rng
+        self._base = base_share_prob
+        self._stifle = stifle_prob
+        self._credibility = credibility
+
+    def spread(self, seeds: List[str], max_rounds: int = 200) -> SpreadResult:
+        """Run one cascade from ``seeds`` until it dies or round cap."""
+        members = set(self._graph.members())
+        unknown = [s for s in seeds if s not in members]
+        if unknown:
+            raise ReproError(f"seed(s) not in graph: {unknown[:5]}")
+        state: Dict[str, SpreadState] = {m: SpreadState.IGNORANT for m in members}
+        for seed in seeds:
+            state[seed] = SpreadState.SPREADER
+        reached: Set[str] = set(seeds)
+        timeline: List[int] = [len(seeds)]
+
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            spreaders = sorted(
+                m for m, s in state.items() if s is SpreadState.SPREADER
+            )
+            if not spreaders:
+                break
+            new_believers: List[str] = []
+            for spreader in spreaders:
+                credibility = (
+                    1.0
+                    if self._credibility is None
+                    else float(np.clip(self._credibility(spreader), 0.0, 1.0))
+                )
+                for neighbor in sorted(self._graph.neighbors(spreader)):
+                    if state[neighbor] is not SpreadState.IGNORANT:
+                        continue
+                    p = self._base * self._graph.trust(spreader, neighbor) * credibility
+                    if self._rng.random() < p:
+                        new_believers.append(neighbor)
+                # Stifling check after this round of sharing.
+                if self._rng.random() < self._stifle:
+                    state[spreader] = SpreadState.STIFLER
+            for believer in new_believers:
+                if state[believer] is SpreadState.IGNORANT:
+                    state[believer] = SpreadState.SPREADER
+                    reached.add(believer)
+            timeline.append(len(set(new_believers)))
+            if not new_believers and all(
+                state[m] is not SpreadState.SPREADER for m in members
+            ):
+                break
+        return SpreadResult(rounds=rounds, reached=reached, timeline=timeline)
+
+    def mean_reach(
+        self, seeds: List[str], repetitions: int, max_rounds: int = 200
+    ) -> float:
+        """Average reach fraction over repeated cascades."""
+        if repetitions < 1:
+            raise ReproError(f"repetitions must be >= 1, got {repetitions}")
+        population = len(self._graph)
+        total = 0.0
+        for _ in range(repetitions):
+            total += self.spread(seeds, max_rounds).reach_fraction(population)
+        return total / repetitions

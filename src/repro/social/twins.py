@@ -1,0 +1,161 @@
+"""Digital twins: physical–virtual synchronised objects (paper §IV-A).
+
+"We can define digital twins as virtual objects that are created to
+reflect physical objects ... The metaverse will be then an evolving
+world that is synchronized with the physical one.  There are still some
+challenges regarding ownership of digital twins.  The most
+straightforward approach to protecting digital twins' authenticity and
+origin is using a digital ledger such as Blockchain."
+
+* :class:`PhysicalObject` — the ground-truth state that evolves.
+* :class:`DigitalTwin` — the virtual replica; :meth:`sync` pulls state
+  and records the update; staleness/drift are measurable.
+* :class:`TwinRegistry` — ownership + provenance, with an optional
+  anchor callback that registers creation and transfers on a ledger
+  (wired to the RegistryContract in the full framework).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["PhysicalObject", "DigitalTwin", "TwinRegistry"]
+
+# Anchor callback for provenance events.
+TwinAnchor = Callable[[Dict[str, Any]], None]
+
+
+class PhysicalObject:
+    """A physical-world object whose state drifts over time.
+
+    State is a numeric vector (pose, temperature, wear, ...); the
+    random-walk evolution stands in for real sensor feeds.
+    """
+
+    def __init__(self, object_id: str, state: np.ndarray):
+        self.object_id = object_id
+        self._state = np.asarray(state, dtype=float).copy()
+        self.updated_at = 0.0
+
+    @property
+    def state(self) -> np.ndarray:
+        return self._state.copy()
+
+    def evolve(self, rng: np.random.Generator, time: float, step: float = 0.1) -> None:
+        """Advance the physical state by one random-walk step."""
+        self._state = self._state + rng.normal(0.0, step, size=self._state.shape)
+        self.updated_at = time
+
+
+class DigitalTwin:
+    """The virtual replica of one physical object."""
+
+    def __init__(self, twin_id: str, physical: PhysicalObject, owner: str):
+        self.twin_id = twin_id
+        self._physical = physical
+        self.owner = owner
+        self._mirrored_state = physical.state
+        self.synced_at = 0.0
+        self.sync_count = 0
+
+    @property
+    def mirrored_state(self) -> np.ndarray:
+        return self._mirrored_state.copy()
+
+    @property
+    def physical_object(self) -> PhysicalObject:
+        return self._physical
+
+    def sync(self, time: float) -> None:
+        """Pull the current physical state into the mirror."""
+        if time < self.synced_at:
+            raise ReproError(
+                f"twin {self.twin_id}: sync time {time} before last sync "
+                f"{self.synced_at}"
+            )
+        self._mirrored_state = self._physical.state
+        self.synced_at = time
+        self.sync_count += 1
+
+    def drift(self) -> float:
+        """L2 distance between the mirror and the current physical state
+        — the fidelity cost of infrequent synchronisation."""
+        return float(np.linalg.norm(self._mirrored_state - self._physical.state))
+
+    def staleness(self, now: float) -> float:
+        """Time since the last sync."""
+        return max(0.0, now - self.synced_at)
+
+
+class TwinRegistry:
+    """Ownership and provenance of all twins on a platform."""
+
+    def __init__(self, anchor: Optional[TwinAnchor] = None):
+        self._twins: Dict[str, DigitalTwin] = {}
+        self._provenance: Dict[str, List[Dict[str, Any]]] = {}
+        self._anchor = anchor
+
+    def register(
+        self, physical: PhysicalObject, owner: str, time: float = 0.0
+    ) -> DigitalTwin:
+        """Create and record a twin for ``physical`` owned by ``owner``."""
+        twin_id = f"twin:{physical.object_id}"
+        if twin_id in self._twins:
+            raise ReproError(f"{physical.object_id} already has a twin")
+        twin = DigitalTwin(twin_id=twin_id, physical=physical, owner=owner)
+        self._twins[twin_id] = twin
+        event = {
+            "event": "twin_created",
+            "twin_id": twin_id,
+            "object_id": physical.object_id,
+            "owner": owner,
+            "time": time,
+        }
+        self._provenance[twin_id] = [event]
+        if self._anchor is not None:
+            self._anchor(event)
+        return twin
+
+    def transfer(self, twin_id: str, from_owner: str, to_owner: str, time: float) -> None:
+        """Change ownership; only the current owner may transfer."""
+        twin = self.get(twin_id)
+        if twin.owner != from_owner:
+            raise ReproError(
+                f"{from_owner} does not own {twin_id} (owner: {twin.owner})"
+            )
+        twin.owner = to_owner
+        event = {
+            "event": "twin_transferred",
+            "twin_id": twin_id,
+            "from": from_owner,
+            "to": to_owner,
+            "time": time,
+        }
+        self._provenance[twin_id].append(event)
+        if self._anchor is not None:
+            self._anchor(event)
+
+    def get(self, twin_id: str) -> DigitalTwin:
+        if twin_id not in self._twins:
+            raise ReproError(f"no twin {twin_id}")
+        return self._twins[twin_id]
+
+    def provenance(self, twin_id: str) -> List[Dict[str, Any]]:
+        self.get(twin_id)
+        return list(self._provenance[twin_id])
+
+    def twins(self) -> List[DigitalTwin]:
+        return list(self._twins.values())
+
+    def twins_of(self, owner: str) -> List[DigitalTwin]:
+        return [t for t in self._twins.values() if t.owner == owner]
+
+    def mean_drift(self) -> float:
+        if not self._twins:
+            return 0.0
+        return float(np.mean([t.drift() for t in self._twins.values()]))

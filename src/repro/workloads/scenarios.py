@@ -1,0 +1,297 @@
+"""Canned end-to-end scenarios built on the public API.
+
+Scenarios bundle the setup choreography experiments and examples share:
+building DAO populations for the flat-vs-modular comparison (E5),
+driving governance stress (proposal floods), and running marketplace
+seasons under a given minting policy (E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dao import (
+    DAO,
+    Member,
+    ModularDaoFederation,
+    ParticipationModel,
+    TurnoutQuorum,
+)
+from repro.nft import (
+    CreateToEarnStudio,
+    InviteOnlyMinting,
+    MintingPolicy,
+    NFTCollection,
+    NFTMarketplace,
+    OpenMinting,
+    ReputationVetted,
+)
+from repro.reputation import ReputationSystem
+
+__all__ = [
+    "build_flat_dao",
+    "build_modular_federation",
+    "GovernanceStressResult",
+    "run_governance_stress",
+    "MarketSeasonResult",
+    "run_market_season",
+]
+
+
+def _make_members(
+    n_members: int,
+    topics: Sequence[str],
+    rng: np.random.Generator,
+    attention_budget: float,
+    engagement: float,
+) -> List[Member]:
+    """A population where each member follows ~half the topics."""
+    members = []
+    for i in range(n_members):
+        interests = {t for t in topics if rng.random() < 0.5}
+        if not interests:
+            interests = {topics[int(rng.integers(len(topics)))]}
+        members.append(
+            Member(
+                address=f"member-{i:05d}",
+                tokens=float(rng.integers(1, 100)),
+                interests=interests,
+                attention_budget=attention_budget,
+                engagement=engagement,
+            )
+        )
+    return members
+
+
+def build_flat_dao(
+    n_members: int,
+    topics: Sequence[str],
+    rng: np.random.Generator,
+    attention_budget: float = 5.0,
+    engagement: float = 0.8,
+    quorum: float = 0.15,
+) -> DAO:
+    """One DAO holding everyone — the flat design of §III-B."""
+    dao = DAO("flat", rule=TurnoutQuorum(quorum))
+    for member in _make_members(
+        n_members, topics, rng, attention_budget, engagement
+    ):
+        # In a flat DAO every proposal lands in front of every member:
+        # interests remain (they drive whether the member *votes*), but
+        # membership is universal.
+        dao.add_member(member)
+    return dao
+
+
+def build_modular_federation(
+    n_members: int,
+    topics: Sequence[str],
+    rng: np.random.Generator,
+    attention_budget: float = 5.0,
+    engagement: float = 0.8,
+    quorum: float = 0.15,
+) -> ModularDaoFederation:
+    """Topic-scoped sub-DAOs: members only join what they follow."""
+    root = DAO("root", rule=TurnoutQuorum(quorum))
+    federation = ModularDaoFederation(root)
+    sub_daos = {t: DAO(f"{t}-dao", rule=TurnoutQuorum(quorum)) for t in topics}
+    for topic, dao in sub_daos.items():
+        federation.add_sub_dao(dao, [topic])
+    for member in _make_members(
+        n_members, topics, rng, attention_budget, engagement
+    ):
+        root.add_member(
+            Member(
+                address=member.address,
+                tokens=member.tokens,
+                interests=set(member.interests),
+                attention_budget=member.attention_budget,
+                engagement=member.engagement,
+            )
+        )
+        for topic in member.interests:
+            sub_daos[topic].add_member(
+                Member(
+                    address=member.address,
+                    tokens=member.tokens,
+                    interests={topic},
+                    attention_budget=member.attention_budget,
+                    engagement=member.engagement,
+                )
+            )
+    return federation
+
+
+@dataclass
+class GovernanceStressResult:
+    """Outcome of a proposal-flood season."""
+
+    proposals: int
+    mean_turnout: float
+    expired_fraction: float
+    mean_latency: float
+    ballots_cast: int
+
+
+def run_governance_stress(
+    target,  # DAO or ModularDaoFederation
+    proposal_descriptors: List[Dict[str, str]],
+    rng: np.random.Generator,
+    epochs: int = 10,
+    voting_period: float = 3.0,
+) -> GovernanceStressResult:
+    """Feed proposals evenly over ``epochs`` and run participation.
+
+    ``target`` may be a flat :class:`DAO` or a federation; routing and
+    per-DAO presentation follow automatically.
+    """
+    is_federation = isinstance(target, ModularDaoFederation)
+    model = ParticipationModel(rng)
+    per_epoch = max(1, len(proposal_descriptors) // max(1, epochs))
+    queue = list(proposal_descriptors)
+    ballots = 0
+
+    for epoch in range(epochs):
+        time = float(epoch)
+        for descriptor in queue[:per_epoch]:
+            if is_federation:
+                dao = target.dao_for_topic(descriptor["topic"])
+                proposer = dao.members.addresses()[0]
+                dao.submit_proposal(
+                    descriptor["title"],
+                    proposer,
+                    descriptor["topic"],
+                    created_at=time,
+                    voting_period=voting_period,
+                )
+            else:
+                proposer = target.members.addresses()[0]
+                target.submit_proposal(
+                    descriptor["title"],
+                    proposer,
+                    descriptor["topic"],
+                    created_at=time,
+                    voting_period=voting_period,
+                )
+        queue = queue[per_epoch:]
+
+        if is_federation:
+            reports = model.run_federation_epoch(target, time)
+            ballots += sum(r.ballots_cast for r in reports.values())
+            for dao in target.all_daos():
+                dao.close_due(time)
+                for member in dao.members:
+                    member.reset_attention()
+        else:
+            report = model.run_epoch(target, time)
+            ballots += report.ballots_cast
+            target.close_due(time)
+            for member in target.members:
+                member.reset_attention()
+
+    # Flush: close anything still open at the horizon.
+    horizon = float(epochs) + voting_period
+    daos = target.all_daos() if is_federation else [target]
+    for dao in daos:
+        dao.close_due(horizon)
+
+    stats = [d.participation_stats() for d in daos]
+    closed_total = sum(s["closed"] for s in stats)
+    if closed_total == 0:
+        return GovernanceStressResult(0, 0.0, 0.0, 0.0, ballots)
+    weighted = lambda key: sum(s[key] * s["closed"] for s in stats) / closed_total
+    return GovernanceStressResult(
+        proposals=int(closed_total),
+        mean_turnout=weighted("mean_turnout"),
+        expired_fraction=weighted("expired_fraction"),
+        mean_latency=weighted("mean_latency"),
+        ballots_cast=ballots,
+    )
+
+
+@dataclass
+class MarketSeasonResult:
+    """Outcome of one market season under a minting policy."""
+
+    policy: str
+    stats: Dict[str, float]
+    honest_creators_locked_out: int
+    scammers_locked_out: int
+
+
+def run_market_season(
+    policy_name: str,
+    n_creators: int,
+    scammer_fraction: float,
+    rng: np.random.Generator,
+    epochs: int = 12,
+    buyers: int = 30,
+    invited_fraction: float = 0.4,
+) -> MarketSeasonResult:
+    """Run a create-to-earn season under one minting policy.
+
+    ``policy_name``: "open", "invite-only", or "reputation-vetted".
+    Invite lists are drawn from the *initially known* creators, which is
+    exactly how real platforms seed them — late honest creators lose out.
+    """
+    reputation = ReputationSystem(blend=1.0)
+    collection = NFTCollection(f"season-{policy_name}")
+    creator_names = [f"creator-{i:03d}" for i in range(n_creators)]
+    scammers = {
+        name for name in creator_names if rng.random() < scammer_fraction
+    }
+
+    policy: MintingPolicy
+    if policy_name == "open":
+        policy = OpenMinting()
+    elif policy_name == "invite-only":
+        # Platforms vet invitees manually, so the list is mostly honest —
+        # but it is also fixed up front, which is what locks out honest
+        # creators who arrive (or become known) later.
+        honest = [n for n in creator_names if n not in scammers]
+        quota = max(1, int(invited_fraction * n_creators))
+        invited = honest[:quota]
+        # Vetting is imperfect: a scammer occasionally slips through.
+        slipped = [n for n in sorted(scammers) if rng.random() < 0.1]
+        policy = InviteOnlyMinting(invited + slipped)
+    elif policy_name == "reputation-vetted":
+        policy = ReputationVetted(reputation, threshold=0.4)
+    else:
+        raise ValueError(f"unknown policy {policy_name!r}")
+
+    market = NFTMarketplace(collection, policy=policy, reputation=reputation)
+    studio = CreateToEarnStudio(market, rng)
+    for name in creator_names:
+        skill = 0.1 if name in scammers else float(rng.uniform(0.5, 0.95))
+        studio.register_creator(name, skill=skill, is_scammer=name in scammers)
+    buyer_ids = [f"buyer-{i:03d}" for i in range(buyers)]
+    for buyer in buyer_ids:
+        market.deposit(buyer, 500.0)
+
+    for epoch in range(epochs):
+        time = float(epoch)
+        for name in creator_names:
+            if rng.random() < 0.6:
+                studio.produce_and_list(name, time)
+        listings = sorted(market.active_listings(), key=lambda l: (l.price, l.listing_id))
+        for listing in listings[: max(1, buyers // 2)]:
+            buyer = buyer_ids[int(rng.integers(len(buyer_ids)))]
+            if buyer == listing.seller or market.balance_of(buyer) < listing.price:
+                continue
+            sale = market.buy(buyer, listing.listing_id, time)
+            token = collection.token(sale.token_id)
+            if token.is_scam and rng.random() < 0.8:
+                market.report_scam(buyer, token.token_id, time)
+            elif not token.is_scam and rng.random() < 0.5:
+                market.praise(buyer, token.token_id, time)
+
+    locked = policy.refused_creators
+    return MarketSeasonResult(
+        policy=policy_name,
+        stats=dict(market.market_stats()),
+        honest_creators_locked_out=len(locked - scammers),
+        scammers_locked_out=len(locked & scammers),
+    )

@@ -1,0 +1,62 @@
+"""Avatars: embodied identities inside a world.
+
+An avatar is position + status + appearance; the identity layer (who
+owns which avatar, clones, unlinkability) lives in
+``repro.privacy.avatars`` — the world only knows avatar ids, which is
+itself a privacy property (the paper's §II-B obfuscation works *because*
+worlds do not see owners).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import WorldError
+
+__all__ = ["AvatarStatus", "Avatar"]
+
+Position = Tuple[float, float]
+
+
+class AvatarStatus(str, enum.Enum):
+    """Moderation-relevant states (sanctions set these)."""
+
+    ACTIVE = "active"
+    MUTED = "muted"  # cannot initiate chat/whisper
+    SUSPENDED = "suspended"  # cannot interact at all, still present
+    BANNED = "banned"  # removed from the world
+
+
+@dataclass
+class Avatar:
+    """One embodied presence.
+
+    ``appearance`` is free-form (the paper's equality argument: "users
+    can customise their avatars, where their imagination is the limit").
+    """
+
+    avatar_id: str
+    position: Position = (0.0, 0.0)
+    status: AvatarStatus = AvatarStatus.ACTIVE
+    appearance: Dict[str, str] = field(default_factory=dict)
+    joined_at: float = 0.0
+
+    @property
+    def can_move(self) -> bool:
+        return self.status in (AvatarStatus.ACTIVE, AvatarStatus.MUTED)
+
+    def may_initiate(self, kind: str) -> bool:
+        """Status gate on initiating an interaction of ``kind``."""
+        if self.status is AvatarStatus.BANNED:
+            return False
+        if self.status is AvatarStatus.SUSPENDED:
+            return False
+        if self.status is AvatarStatus.MUTED and kind in ("chat", "whisper", "shout"):
+            return False
+        return True
+
+    def may_receive(self) -> bool:
+        """Banned/suspended avatars receive nothing."""
+        return self.status in (AvatarStatus.ACTIVE, AvatarStatus.MUTED)

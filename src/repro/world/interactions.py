@@ -1,0 +1,105 @@
+"""Interactions: everything avatars do to each other.
+
+Every attempted interaction — delivered or blocked — is recorded, which
+is the raw material of three experiments: harassment blocking (E3),
+moderation (E6), and behaviour-linkage (E2).  Interaction *kinds* are an
+open string vocabulary; the constants below are the ones the behaviour
+models emit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["InteractionKind", "Interaction", "InteractionLog"]
+
+
+class InteractionKind(str, enum.Enum):
+    """Vocabulary of avatar-to-avatar interactions."""
+
+    CHAT = "chat"
+    WHISPER = "whisper"
+    SHOUT = "shout"
+    GESTURE = "gesture"
+    TOUCH = "touch"
+    APPROACH = "approach"
+    TRADE = "trade"
+    GIFT = "gift"
+
+
+# Kinds that count as misconduct when flagged abusive.
+HOSTILE_KINDS = frozenset(
+    {InteractionKind.WHISPER.value, InteractionKind.TOUCH.value,
+     InteractionKind.SHOUT.value, InteractionKind.APPROACH.value,
+     InteractionKind.CHAT.value}
+)
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One attempted interaction.
+
+    ``delivered`` is False when a gate (status, bubble, rule engine)
+    blocked it; ``blocked_by`` names the gate.  ``abusive`` is ground
+    truth used only by experiment scoring and the *behaviour generator*
+    — governance components must infer it from reports/classifiers.
+    """
+
+    time: float
+    initiator: str
+    target: str
+    kind: str
+    content: str = ""
+    delivered: bool = True
+    blocked_by: Optional[str] = None
+    abusive: bool = False
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class InteractionLog:
+    """Append-only record of all interaction attempts."""
+
+    def __init__(self) -> None:
+        self._records: List[Interaction] = []
+
+    def record(self, interaction: Interaction) -> None:
+        self._records.append(interaction)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Interaction]:
+        return iter(self._records)
+
+    def all(self) -> List[Interaction]:
+        return list(self._records)
+
+    def involving(self, avatar_id: str) -> List[Interaction]:
+        return [
+            r for r in self._records
+            if r.initiator == avatar_id or r.target == avatar_id
+        ]
+
+    def initiated_by(self, avatar_id: str) -> List[Interaction]:
+        return [r for r in self._records if r.initiator == avatar_id]
+
+    def received_by(
+        self, avatar_id: str, delivered_only: bool = False
+    ) -> List[Interaction]:
+        out = [r for r in self._records if r.target == avatar_id]
+        if delivered_only:
+            out = [r for r in out if r.delivered]
+        return out
+
+    def abusive_delivered(self) -> List[Interaction]:
+        """Ground-truth abusive interactions that got through — the
+        harm metric of E3/E6."""
+        return [r for r in self._records if r.abusive and r.delivered]
+
+    def blocked(self, by: Optional[str] = None) -> List[Interaction]:
+        out = [r for r in self._records if not r.delivered]
+        if by is not None:
+            out = [r for r in out if r.blocked_by == by]
+        return out

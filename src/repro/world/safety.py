@@ -1,0 +1,353 @@
+"""Room-scale VR safety simulation (paper §II-C).
+
+"The current HMDs ... can occlude the physical world and the ability of
+users to detect nearby objects, increasing the risk of falling."  The
+two mitigations the paper cites are implemented as composable forces on
+a shared physical room:
+
+* **Shadow avatars** (Langbehn et al. [12]) — co-located users become
+  visible as ghosts inside a warning radius, adding a social repulsion
+  force between users.
+* **Redirected walking** via artificial potential fields (Bachmann et
+  al. [13]) — walls and static obstacles exert repulsive forces that
+  bend the user's physical path away from hazards.
+
+Users walk toward a stream of virtual waypoints; each simulation step
+integrates desired velocity + enabled safety forces.  Collisions
+(user–user, user–obstacle, wall strikes) are counted with a hysteresis
+cooldown (contact must end before the same pair can collide again), and
+steering effort is accumulated as an immersion-disruption proxy — the
+cost axis the paper notes ("redirecting users' walking while disrupting
+their immersion").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import WorldError
+
+__all__ = ["Obstacle", "SafetyConfig", "SafetyReport", "RoomSimulation"]
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A static circular hazard (sofa, table)."""
+
+    x: float
+    y: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise WorldError(f"obstacle radius must be positive, got {self.radius}")
+
+
+@dataclass(frozen=True)
+class SafetyConfig:
+    """Which mitigations are active and how strongly they act."""
+
+    shadow_avatars: bool = False
+    redirected_walking: bool = False
+    warning_radius: float = 1.5
+    shadow_gain: float = 2.0
+    rdw_gain: float = 1.5
+    rdw_range: float = 1.2
+
+    @classmethod
+    def none(cls) -> "SafetyConfig":
+        return cls(shadow_avatars=False, redirected_walking=False)
+
+    @classmethod
+    def shadows_only(cls) -> "SafetyConfig":
+        return cls(shadow_avatars=True, redirected_walking=False)
+
+    @classmethod
+    def rdw_only(cls) -> "SafetyConfig":
+        return cls(shadow_avatars=False, redirected_walking=True)
+
+    @classmethod
+    def combined(cls) -> "SafetyConfig":
+        return cls(shadow_avatars=True, redirected_walking=True)
+
+    @property
+    def label(self) -> str:
+        if self.shadow_avatars and self.redirected_walking:
+            return "shadow+rdw"
+        if self.shadow_avatars:
+            return "shadow"
+        if self.redirected_walking:
+            return "rdw"
+        return "none"
+
+
+@dataclass
+class SafetyReport:
+    """Outcome of one simulation run."""
+
+    steps: int = 0
+    user_collisions: int = 0
+    obstacle_collisions: int = 0
+    wall_strikes: int = 0
+    distance_walked: float = 0.0
+    steering_effort: float = 0.0
+    waypoints_reached: int = 0
+
+    @property
+    def total_collisions(self) -> int:
+        return self.user_collisions + self.obstacle_collisions + self.wall_strikes
+
+    @property
+    def collisions_per_100m(self) -> float:
+        if self.distance_walked == 0:
+            return 0.0
+        return 100.0 * self.total_collisions / self.distance_walked
+
+    @property
+    def disruption_per_meter(self) -> float:
+        """Mean steering-force magnitude per meter walked — how much the
+        mitigations bent users away from their intended paths."""
+        if self.distance_walked == 0:
+            return 0.0
+        return self.steering_effort / self.distance_walked
+
+
+class RoomSimulation:
+    """N users free-walking in one physical room.
+
+    Parameters
+    ----------
+    room_size:
+        Square room edge length in meters.
+    n_users:
+        Co-located HMD users.
+    config:
+        Active safety mitigations.
+    obstacles:
+        Static hazards; defaults to none.
+    speed:
+        Walking speed (m/s).
+    dt:
+        Integration step (s).
+    collision_distance:
+        Center distance under which two users (or a user and an
+        obstacle surface) count as collided.
+    """
+
+    def __init__(
+        self,
+        room_size: float,
+        n_users: int,
+        config: SafetyConfig,
+        rng: np.random.Generator,
+        obstacles: Optional[List[Obstacle]] = None,
+        speed: float = 1.0,
+        dt: float = 0.1,
+        collision_distance: float = 0.4,
+    ):
+        if room_size <= 0:
+            raise WorldError(f"room_size must be positive, got {room_size}")
+        if n_users < 1:
+            raise WorldError(f"n_users must be >= 1, got {n_users}")
+        if dt <= 0 or speed <= 0:
+            raise WorldError("speed and dt must be positive")
+        self._room = float(room_size)
+        self._n = n_users
+        self._config = config
+        self._rng = rng
+        self._obstacles = list(obstacles or [])
+        self._speed = speed
+        self._dt = dt
+        self._collision_d = collision_distance
+
+        self._positions = self._spawn_positions()
+        self._waypoints = np.array([self._random_free_point() for _ in range(n_users)])
+        # Hysteresis state: pairs/contacts currently colliding.
+        self._user_contacts: Set[Tuple[int, int]] = set()
+        self._obstacle_contacts: Set[Tuple[int, int]] = set()
+        self._wall_contacts: Set[int] = set()
+        self.report = SafetyReport()
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _spawn_positions(self) -> np.ndarray:
+        positions = []
+        attempts = 0
+        while len(positions) < self._n:
+            candidate = self._random_free_point()
+            attempts += 1
+            if attempts > 1000 * self._n:
+                raise WorldError(
+                    "could not place users; room too crowded for spawn"
+                )
+            if all(
+                math.dist(candidate, p) > 2 * self._collision_d for p in positions
+            ):
+                positions.append(candidate)
+        return np.array(positions)
+
+    def _random_free_point(self) -> Tuple[float, float]:
+        margin = self._collision_d
+        for _ in range(1000):
+            x = float(self._rng.uniform(margin, self._room - margin))
+            y = float(self._rng.uniform(margin, self._room - margin))
+            if all(
+                math.dist((x, y), (o.x, o.y)) > o.radius + self._collision_d
+                for o in self._obstacles
+            ):
+                return (x, y)
+        raise WorldError("no free space in room for waypoint")
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the room by ``dt``."""
+        forces = np.zeros_like(self._positions)
+        desired = np.zeros_like(self._positions)
+
+        for i in range(self._n):
+            to_goal = self._waypoints[i] - self._positions[i]
+            distance = float(np.linalg.norm(to_goal))
+            if distance < 0.3:
+                self._waypoints[i] = self._random_free_point()
+                self.report.waypoints_reached += 1
+                to_goal = self._waypoints[i] - self._positions[i]
+                distance = float(np.linalg.norm(to_goal))
+            desired[i] = to_goal / max(distance, 1e-9)
+
+            if self._config.shadow_avatars:
+                forces[i] += self._shadow_force(i)
+            if self._config.redirected_walking:
+                forces[i] += self._rdw_force(i)
+
+        for i in range(self._n):
+            steering = float(np.linalg.norm(forces[i]))
+            self.report.steering_effort += steering * self._speed * self._dt
+            velocity = desired[i] + forces[i]
+            norm = float(np.linalg.norm(velocity))
+            if norm > 1e-9:
+                velocity = velocity / norm * self._speed
+            new_pos = self._positions[i] + velocity * self._dt
+            clipped = np.clip(new_pos, 0.0, self._room)
+            self.report.distance_walked += float(
+                np.linalg.norm(clipped - self._positions[i])
+            )
+            self._positions[i] = clipped
+
+        self._count_collisions()
+        self.report.steps += 1
+
+    def run(self, steps: int) -> SafetyReport:
+        """Run ``steps`` ticks and return the accumulated report."""
+        for _ in range(steps):
+            self.step()
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Forces
+    # ------------------------------------------------------------------
+    def _shadow_force(self, i: int) -> np.ndarray:
+        """Repulsion from other users rendered as shadow avatars."""
+        force = np.zeros(2)
+        for j in range(self._n):
+            if j == i:
+                continue
+            offset = self._positions[i] - self._positions[j]
+            distance = float(np.linalg.norm(offset))
+            if 1e-9 < distance < self._config.warning_radius:
+                strength = self._config.shadow_gain * (
+                    1.0 / distance - 1.0 / self._config.warning_radius
+                )
+                force += strength * offset / distance
+        return force
+
+    def _rdw_force(self, i: int) -> np.ndarray:
+        """Artificial-potential-field repulsion from walls and obstacles."""
+        force = np.zeros(2)
+        x, y = self._positions[i]
+        rng_d = self._config.rdw_range
+        gain = self._config.rdw_gain
+        # Walls: push inward when close.
+        if x < rng_d:
+            force[0] += gain * (1.0 / max(x, 1e-3) - 1.0 / rng_d)
+        if self._room - x < rng_d:
+            force[0] -= gain * (1.0 / max(self._room - x, 1e-3) - 1.0 / rng_d)
+        if y < rng_d:
+            force[1] += gain * (1.0 / max(y, 1e-3) - 1.0 / rng_d)
+        if self._room - y < rng_d:
+            force[1] -= gain * (1.0 / max(self._room - y, 1e-3) - 1.0 / rng_d)
+        # Obstacles.
+        for obstacle in self._obstacles:
+            offset = self._positions[i] - np.array([obstacle.x, obstacle.y])
+            surface = float(np.linalg.norm(offset)) - obstacle.radius
+            if 1e-9 < surface < rng_d:
+                force += (
+                    gain
+                    * (1.0 / max(surface, 1e-3) - 1.0 / rng_d)
+                    * offset
+                    / float(np.linalg.norm(offset))
+                )
+        return force
+
+    # ------------------------------------------------------------------
+    # Collision counting (with hysteresis)
+    # ------------------------------------------------------------------
+    def _count_collisions(self) -> None:
+        # user-user
+        current_pairs: Set[Tuple[int, int]] = set()
+        for i in range(self._n):
+            for j in range(i + 1, self._n):
+                if (
+                    float(np.linalg.norm(self._positions[i] - self._positions[j]))
+                    < self._collision_d
+                ):
+                    current_pairs.add((i, j))
+        self.report.user_collisions += len(current_pairs - self._user_contacts)
+        self._user_contacts = current_pairs
+
+        # user-obstacle
+        current_obstacles: Set[Tuple[int, int]] = set()
+        for i in range(self._n):
+            for k, obstacle in enumerate(self._obstacles):
+                gap = (
+                    math.dist(tuple(self._positions[i]), (obstacle.x, obstacle.y))
+                    - obstacle.radius
+                )
+                if gap < self._collision_d / 2:
+                    current_obstacles.add((i, k))
+        self.report.obstacle_collisions += len(
+            current_obstacles - self._obstacle_contacts
+        )
+        self._obstacle_contacts = current_obstacles
+
+        # walls
+        current_walls: Set[int] = set()
+        margin = 0.05
+        for i in range(self._n):
+            x, y = self._positions[i]
+            if (
+                x <= margin
+                or y <= margin
+                or x >= self._room - margin
+                or y >= self._room - margin
+            ):
+                current_walls.add(i)
+        self.report.wall_strikes += len(current_walls - self._wall_contacts)
+        self._wall_contacts = current_walls
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        return self._positions.copy()
+
+    @property
+    def config(self) -> SafetyConfig:
+        return self._config

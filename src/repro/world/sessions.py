@@ -1,0 +1,155 @@
+"""Sessions: identity-aware presence management.
+
+Connects the privacy layer's avatar identities (primary vs secondary,
+:mod:`repro.privacy.avatars`) to world presence: a user *logs in* under
+one of their avatars — optionally a freshly spawned clone for privacy —
+acts for a while, and logs out.  The session log is what an observer
+(or subpoena) sees: avatar ids and timestamps, never user ids, so the
+§II-B unlinkability property holds at the infrastructure level too.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorldError
+from repro.privacy.avatars import AvatarIdentityManager
+from repro.world.world import World
+
+__all__ = ["Session", "SessionManager"]
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class Session:
+    """One login under one avatar."""
+
+    session_id: str
+    avatar_id: str
+    world_name: str
+    started_at: float
+    ended_at: Optional[float] = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.ended_at is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.ended_at is None:
+            return None
+        return self.ended_at - self.started_at
+
+
+class SessionManager:
+    """Logs users in and out of a world under chosen avatars.
+
+    The manager holds the only user↔session mapping; the public session
+    log (:meth:`public_log`) exposes avatar ids exclusively.
+    """
+
+    def __init__(self, world: World, identities: AvatarIdentityManager):
+        self._world = world
+        self._identities = identities
+        self._counter = itertools.count()
+        self._sessions: List[Session] = []
+        self._active_by_user: Dict[str, Session] = {}
+        self._user_of_session: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Login / logout
+    # ------------------------------------------------------------------
+    def login(
+        self,
+        user_id: str,
+        position: Position,
+        time: float,
+        use_clone: bool = False,
+    ) -> Session:
+        """Start a session; spawns the chosen avatar into the world.
+
+        ``use_clone=True`` mints a fresh secondary avatar for this
+        session (the §II-B obfuscation move); otherwise the primary
+        avatar is used.
+
+        Raises
+        ------
+        WorldError
+            If the user already has an active session.
+        """
+        if user_id in self._active_by_user:
+            raise WorldError(f"{user_id} already has an active session")
+        if use_clone:
+            avatar_id = self._identities.spawn_clone(user_id)
+        else:
+            avatar_id = self._identities.primary_of(user_id)
+        if avatar_id in self._world:
+            raise WorldError(
+                f"avatar {avatar_id} is already present in the world"
+            )
+        self._world.spawn(avatar_id, position, time=time)
+        session = Session(
+            session_id=f"session-{next(self._counter):06d}",
+            avatar_id=avatar_id,
+            world_name=self._world.name,
+            started_at=time,
+        )
+        self._sessions.append(session)
+        self._active_by_user[user_id] = session
+        self._user_of_session[session.session_id] = user_id
+        return session
+
+    def logout(self, user_id: str, time: float) -> Session:
+        """End the user's active session and despawn their avatar."""
+        session = self._active_by_user.pop(user_id, None)
+        if session is None:
+            raise WorldError(f"{user_id} has no active session")
+        if time < session.started_at:
+            raise WorldError(
+                f"logout time {time} before login {session.started_at}"
+            )
+        session.ended_at = time
+        if session.avatar_id in self._world:
+            self._world.despawn(session.avatar_id)
+        return session
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def active_session_of(self, user_id: str) -> Optional[Session]:
+        return self._active_by_user.get(user_id)
+
+    def active_avatar_of(self, user_id: str) -> Optional[str]:
+        session = self._active_by_user.get(user_id)
+        return session.avatar_id if session is not None else None
+
+    def sessions_of(self, user_id: str) -> List[Session]:
+        """Platform-internal: all sessions ever run by ``user_id``."""
+        return [
+            s
+            for s in self._sessions
+            if self._user_of_session[s.session_id] == user_id
+        ]
+
+    def public_log(self) -> List[Dict[str, object]]:
+        """What an observer sees: avatar ids and times, no user ids."""
+        return [
+            {
+                "session_id": s.session_id,
+                "avatar_id": s.avatar_id,
+                "world": s.world_name,
+                "started_at": s.started_at,
+                "ended_at": s.ended_at,
+            }
+            for s in self._sessions
+        ]
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active_by_user)
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,181 @@
+"""The virtual world: avatars in space, interacting under gates.
+
+``World`` composes the spatial grid, the interaction log, the privacy
+bubble manager, and an optional *rule engine* (governance's code-as-law
+hook, §III-A).  Interaction delivery runs the gate sequence:
+
+1. initiator/target existence and status (sanctions),
+2. world rules (the rule engine's verdict),
+3. the target's privacy bubble (geometry + policy),
+
+and logs the attempt either way — "code shapes online environments and
+the behaviour of users" made literal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import WorldError
+from repro.privacy.bubbles import BubbleManager
+from repro.world.avatar import Avatar, AvatarStatus
+from repro.world.interactions import Interaction, InteractionLog
+from repro.world.space import SpatialGrid
+
+__all__ = ["World"]
+
+Position = Tuple[float, float]
+
+# Rule engine verdict: (allowed, rule_name_if_blocked)
+RuleCheck = Callable[[Interaction], Tuple[bool, Optional[str]]]
+
+
+class World:
+    """A single virtual world (one 'realm' of the metaverse).
+
+    Parameters
+    ----------
+    name:
+        World identifier.
+    size:
+        Side length of the square playable area.
+    rule_check:
+        Optional governance hook consulted before delivery.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: float = 100.0,
+        rule_check: Optional[RuleCheck] = None,
+    ):
+        if size <= 0:
+            raise WorldError(f"world size must be positive, got {size}")
+        self.name = name
+        self.size = float(size)
+        self._avatars: Dict[str, Avatar] = {}
+        self.grid = SpatialGrid(cell_size=max(1.0, size / 32.0))
+        self.interactions = InteractionLog()
+        self.bubbles = BubbleManager()
+        self._rule_check = rule_check
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def spawn(self, avatar_id: str, position: Position, time: float = 0.0) -> Avatar:
+        """Add an avatar at ``position``."""
+        if avatar_id in self._avatars:
+            raise WorldError(f"avatar {avatar_id} already in world {self.name!r}")
+        self._validate_position(position)
+        avatar = Avatar(avatar_id=avatar_id, position=position, joined_at=time)
+        self._avatars[avatar_id] = avatar
+        self.grid.insert(avatar_id, position)
+        return avatar
+
+    def despawn(self, avatar_id: str) -> None:
+        self.avatar(avatar_id)
+        del self._avatars[avatar_id]
+        self.grid.remove(avatar_id)
+
+    def avatar(self, avatar_id: str) -> Avatar:
+        if avatar_id not in self._avatars:
+            raise WorldError(f"no avatar {avatar_id} in world {self.name!r}")
+        return self._avatars[avatar_id]
+
+    def avatars(self) -> List[Avatar]:
+        return list(self._avatars.values())
+
+    def __contains__(self, avatar_id: str) -> bool:
+        return avatar_id in self._avatars
+
+    def population(self) -> int:
+        return len(self._avatars)
+
+    # ------------------------------------------------------------------
+    # Movement
+    # ------------------------------------------------------------------
+    def move(self, avatar_id: str, position: Position) -> None:
+        """Teleport-style move with bounds and status checks."""
+        avatar = self.avatar(avatar_id)
+        if not avatar.can_move:
+            raise WorldError(
+                f"avatar {avatar_id} is {avatar.status.value}, cannot move"
+            )
+        self._validate_position(position)
+        avatar.position = position
+        self.grid.move(avatar_id, position)
+
+    def nearby(self, avatar_id: str, radius: float) -> List[str]:
+        return self.grid.within(avatar_id, radius)
+
+    # ------------------------------------------------------------------
+    # Interaction
+    # ------------------------------------------------------------------
+    def attempt_interaction(
+        self,
+        initiator: str,
+        target: str,
+        kind: str,
+        time: float,
+        content: str = "",
+        abusive: bool = False,
+    ) -> Interaction:
+        """Run the gate sequence and log the (attempted) interaction."""
+        initiator_avatar = self.avatar(initiator)
+        target_avatar = self.avatar(target)
+        if initiator == target:
+            raise WorldError(f"avatar {initiator} cannot interact with itself")
+
+        blocked_by: Optional[str] = None
+        if not initiator_avatar.may_initiate(kind):
+            blocked_by = f"status:{initiator_avatar.status.value}"
+        elif not target_avatar.may_receive():
+            blocked_by = f"target-status:{target_avatar.status.value}"
+
+        draft = Interaction(
+            time=time,
+            initiator=initiator,
+            target=target,
+            kind=kind,
+            content=content,
+            abusive=abusive,
+        )
+        if blocked_by is None and self._rule_check is not None:
+            allowed, rule_name = self._rule_check(draft)
+            if not allowed:
+                blocked_by = f"rule:{rule_name or 'unnamed'}"
+        if blocked_by is None and not self.bubbles.permits(
+            initiator,
+            target,
+            kind,
+            target_avatar.position,
+            initiator_avatar.position,
+        ):
+            blocked_by = "privacy-bubble"
+
+        interaction = Interaction(
+            time=time,
+            initiator=initiator,
+            target=target,
+            kind=kind,
+            content=content,
+            delivered=blocked_by is None,
+            blocked_by=blocked_by,
+            abusive=abusive,
+        )
+        self.interactions.record(interaction)
+        return interaction
+
+    # ------------------------------------------------------------------
+    # Sanctions (called by governance)
+    # ------------------------------------------------------------------
+    def set_status(self, avatar_id: str, status: AvatarStatus) -> None:
+        self.avatar(avatar_id).status = status
+
+    def _validate_position(self, position: Position) -> None:
+        x, y = position
+        if not (0 <= x <= self.size and 0 <= y <= self.size):
+            raise WorldError(
+                f"position {position} outside world bounds "
+                f"[0, {self.size}]²"
+            )

@@ -1,0 +1,72 @@
+"""Tests for statistical shape-check helpers."""
+
+import pytest
+
+from repro.analysis import (
+    dominates,
+    is_monotonic_decreasing,
+    is_monotonic_increasing,
+    mean_and_ci,
+    relative_change,
+)
+
+
+class TestMeanAndCi:
+    def test_mean(self):
+        mean, half = mean_and_ci([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert half > 0
+
+    def test_single_sample_no_width(self):
+        mean, half = mean_and_ci([5.0])
+        assert mean == 5.0
+        assert half == 0.0
+
+    def test_empty(self):
+        assert mean_and_ci([]) == (0.0, 0.0)
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        _, narrow = mean_and_ci(data, confidence=0.90)
+        _, wide = mean_and_ci(data, confidence=0.99)
+        assert wide > narrow
+
+
+class TestMonotonic:
+    def test_decreasing(self):
+        assert is_monotonic_decreasing([5, 4, 3])
+        assert not is_monotonic_decreasing([5, 6, 3])
+
+    def test_tolerance_absorbs_noise(self):
+        assert is_monotonic_decreasing([5.0, 5.05, 3.0], tolerance=0.1)
+
+    def test_increasing(self):
+        assert is_monotonic_increasing([1, 2, 3])
+        assert not is_monotonic_increasing([1, 0.5, 3])
+
+    def test_single_and_empty(self):
+        assert is_monotonic_decreasing([1.0])
+        assert is_monotonic_decreasing([])
+
+
+class TestDominates:
+    def test_pointwise(self):
+        assert dominates([3, 4], [1, 2])
+        assert not dominates([3, 1], [1, 2])
+
+    def test_margin(self):
+        assert dominates([3, 4], [1, 2], margin=1.0)
+        assert not dominates([3, 4], [2.5, 3.5], margin=1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates([1], [1, 2])
+
+
+class TestRelativeChange:
+    def test_basic(self):
+        assert relative_change(10.0, 15.0) == pytest.approx(0.5)
+        assert relative_change(10.0, 5.0) == pytest.approx(-0.5)
+
+    def test_zero_baseline(self):
+        assert relative_change(0.0, 7.0) == 0.0

@@ -1,0 +1,57 @@
+"""Tests for result tables."""
+
+import pytest
+
+from repro.analysis import ResultTable
+
+
+class TestResultTable:
+    def test_add_and_read(self):
+        table = ResultTable("demo", columns=["n", "score"])
+        table.add_row(n=10, score=0.5)
+        table.add_row(n=20, score=0.7)
+        assert table.value(0, "score") == 0.5
+        assert table.column("n") == [10, 20]
+        assert len(table) == 2
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable("demo", columns=["a"])
+        with pytest.raises(ValueError):
+            table.add_row(b=1)
+        with pytest.raises(ValueError):
+            table.column("b")
+
+    def test_missing_values_default_empty(self):
+        table = ResultTable("demo", columns=["a", "b"])
+        table.add_row(a=1)
+        assert table.value(0, "b") == ""
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable("demo", columns=[])
+
+    def test_render_contains_everything(self):
+        table = ResultTable("my experiment", columns=["config", "metric"])
+        table.add_row(config="baseline", metric=1.234)
+        text = table.render()
+        assert "my experiment" in text
+        assert "baseline" in text
+        assert "config" in text
+        assert "1.23" in text
+
+    def test_render_formats(self):
+        table = ResultTable("f", columns=["v"])
+        table.add_row(v=True)
+        table.add_row(v=0.123456)
+        table.add_row(v=123456.0)
+        text = table.render()
+        assert "yes" in text
+        assert "0.123" in text
+        assert "123,456" in text
+
+    def test_rows_are_copies(self):
+        table = ResultTable("demo", columns=["a"])
+        table.add_row(a=1)
+        rows = table.rows
+        rows[0]["a"] = 999
+        assert table.value(0, "a") == 1

@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+Wallet generation (Lamport key trees) is the only moderately expensive
+setup in the suite, so wallets are cached per seed at session scope —
+they are immutable in address terms, and tests that consume one-time
+keys get a fresh wallet via ``fresh_wallet``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ledger import Wallet
+from repro.sim import RngRegistry
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    """A fresh deterministic stream registry per test."""
+    return RngRegistry(seed=1234)
+
+
+_WALLET_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def wallet_factory():
+    """Session-cached wallets keyed by seed string (do not exhaust keys
+    through this fixture — use ``fresh_wallet`` for that)."""
+
+    def factory(seed: str) -> Wallet:
+        if seed not in _WALLET_CACHE:
+            _WALLET_CACHE[seed] = Wallet(seed=seed.encode())
+        return _WALLET_CACHE[seed]
+
+    return factory
+
+
+@pytest.fixture
+def fresh_wallet():
+    """A factory for never-cached wallets (signing-state isolation)."""
+
+    def factory(seed: str, **kwargs) -> Wallet:
+        return Wallet(seed=seed.encode(), **kwargs)
+
+    return factory

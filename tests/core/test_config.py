@@ -1,0 +1,66 @@
+"""Tests for framework configuration."""
+
+import pytest
+
+from repro.core import FrameworkConfig, GDPR_LIKE, PERMISSIVE
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = FrameworkConfig()
+        assert config.governance_mode == "modular"
+        assert config.policy_profile is GDPR_LIKE
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(governance_mode="feudal")
+
+    def test_invalid_moderation(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(moderation_config="vigilante")
+
+    def test_invalid_population(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(n_users=0)
+
+    def test_excess_misconduct_fractions(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(
+                harasser_fraction=0.6, spammer_fraction=0.3, troll_fraction=0.3
+            )
+
+    def test_invalid_consent_rate(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(consent_rate=1.5)
+
+    def test_invalid_sample_fraction(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(sensor_sample_fraction=-0.1)
+
+
+class TestPresets:
+    def test_modular_default(self):
+        config = FrameworkConfig.modular_default(seed=7)
+        assert config.seed == 7
+        assert config.enable_ledger
+        assert config.enable_privacy_pipeline
+
+    def test_monolithic_baseline(self):
+        config = FrameworkConfig.monolithic_baseline(seed=7)
+        assert config.governance_mode == "monolithic"
+        assert config.policy_profile is PERMISSIVE
+        assert not config.enable_ledger
+        assert not config.enable_privacy_pipeline
+        assert config.default_bubble_radius == 0.0
+
+    def test_preset_overrides(self):
+        config = FrameworkConfig.monolithic_baseline(seed=1, n_users=5)
+        assert config.n_users == 5
+
+    def test_with_overrides_copies(self):
+        base = FrameworkConfig(seed=1)
+        derived = base.with_overrides(n_users=9)
+        assert derived.n_users == 9
+        assert base.n_users != 9
+        assert derived.seed == 1

@@ -1,0 +1,160 @@
+"""Tests for the decision pipeline (DAO vs operator)."""
+
+import pytest
+
+from repro.core import DecisionPipeline, RepresentationRequirement, StakeholderRegistry, StakeholderRole
+from repro.dao import DAO, Member, ModularDaoFederation, TurnoutQuorum
+from repro.errors import FrameworkError
+
+
+@pytest.fixture
+def stakeholders():
+    registry = StakeholderRegistry()
+    registry.register("u1", {StakeholderRole.USER})
+    registry.register("u2", {StakeholderRole.USER})
+    registry.register("d1", {StakeholderRole.DEVELOPER})
+    registry.register("r1", {StakeholderRole.REGULATOR})
+    registry.register("operator", {StakeholderRole.DEVELOPER})
+    return registry
+
+
+@pytest.fixture
+def federation():
+    root = DAO("root", rule=TurnoutQuorum(0.1))
+    for member in ("u1", "u2", "d1", "r1"):
+        root.add_member(Member(address=member))
+    fed = ModularDaoFederation(root)
+    privacy = DAO("privacy-dao", rule=TurnoutQuorum(0.1))
+    for member in ("u1", "u2", "d1", "r1"):
+        privacy.add_member(Member(address=member))
+    fed.add_sub_dao(privacy, ["privacy"])
+    return fed
+
+
+class TestDaoMode:
+    def test_submit_routes_to_topic_dao(self, stakeholders, federation):
+        pipeline = DecisionPipeline(stakeholders, federation=federation)
+        request = pipeline.make_request(
+            "Lower epsilon", "swap_module", "privacy", "u1"
+        )
+        proposal = pipeline.submit(request, time=0.0, voting_period=5.0)
+        assert proposal is not None
+        assert proposal in federation.sub_dao("privacy-dao").proposals()
+
+    def test_finalize_executes_passed_request(self, stakeholders, federation):
+        executed = []
+        pipeline = DecisionPipeline(stakeholders, federation=federation)
+        request = pipeline.make_request(
+            "Change", "rule_change", "privacy", "u1",
+            executor=lambda r: executed.append(r.request_id),
+        )
+        proposal = pipeline.submit(request, time=0.0, voting_period=5.0)
+        dao = federation.sub_dao("privacy-dao")
+        for voter in ("u1", "u2", "d1", "r1"):
+            dao.cast_ballot(proposal.proposal_id, voter, "yes", 1.0)
+        record = pipeline.finalize(proposal.proposal_id, time=5.0)
+        assert record.approved and record.executed
+        assert record.representative  # users + dev + regulator voted
+        assert executed == [request.request_id]
+
+    def test_rejected_request_not_executed(self, stakeholders, federation):
+        executed = []
+        pipeline = DecisionPipeline(stakeholders, federation=federation)
+        request = pipeline.make_request(
+            "Change", "rule_change", "privacy", "u1",
+            executor=lambda r: executed.append(1),
+        )
+        proposal = pipeline.submit(request, time=0.0, voting_period=5.0)
+        dao = federation.sub_dao("privacy-dao")
+        for voter in ("u1", "u2", "d1"):
+            dao.cast_ballot(proposal.proposal_id, voter, "no", 1.0)
+        record = pipeline.finalize(proposal.proposal_id, time=5.0)
+        assert not record.approved
+        assert executed == []
+
+    def test_unrepresentative_vote_detected(self, stakeholders, federation):
+        pipeline = DecisionPipeline(
+            stakeholders,
+            federation=federation,
+            representation=RepresentationRequirement(),  # all three roles
+        )
+        request = pipeline.make_request("x", "rule_change", "privacy", "u1")
+        proposal = pipeline.submit(request, time=0.0, voting_period=5.0)
+        dao = federation.sub_dao("privacy-dao")
+        dao.cast_ballot(proposal.proposal_id, "u1", "yes", 1.0)  # users only
+        record = pipeline.finalize(proposal.proposal_id, time=5.0)
+        assert not record.representative
+
+    def test_finalize_due_closes_expired(self, stakeholders, federation):
+        pipeline = DecisionPipeline(stakeholders, federation=federation)
+        request = pipeline.make_request("x", "rule_change", "privacy", "u1")
+        pipeline.submit(request, time=0.0, voting_period=2.0)
+        assert pipeline.finalize_due(time=1.0) == []
+        records = pipeline.finalize_due(time=3.0)
+        assert len(records) == 1
+
+    def test_finalize_unknown_proposal_rejected(self, stakeholders, federation):
+        pipeline = DecisionPipeline(stakeholders, federation=federation)
+        with pytest.raises(FrameworkError):
+            pipeline.finalize("ghost", time=0.0)
+
+    def test_dao_mode_requires_federation(self, stakeholders):
+        with pytest.raises(FrameworkError):
+            DecisionPipeline(stakeholders, mode="dao")
+
+
+class TestOperatorMode:
+    def test_instant_decision(self, stakeholders):
+        executed = []
+        pipeline = DecisionPipeline(stakeholders, mode="operator")
+        request = pipeline.make_request(
+            "x", "rule_change", "privacy", "operator",
+            executor=lambda r: executed.append(1),
+        )
+        assert pipeline.submit(request, time=3.0) is None
+        assert executed == [1]
+        record = pipeline.records[0]
+        assert record.mechanism == "operator"
+        assert record.approved
+        assert record.latency == 0.0
+
+    def test_operator_not_representative(self, stakeholders):
+        pipeline = DecisionPipeline(stakeholders, mode="operator")
+        request = pipeline.make_request("x", "rule_change", "t", "operator")
+        pipeline.submit(request, time=0.0)
+        assert not pipeline.records[0].representative
+
+    def test_finalize_rejected_in_operator_mode(self, stakeholders):
+        pipeline = DecisionPipeline(stakeholders, mode="operator")
+        with pytest.raises(FrameworkError):
+            pipeline.finalize("x", time=0.0)
+
+    def test_invalid_mode(self, stakeholders):
+        with pytest.raises(FrameworkError):
+            DecisionPipeline(stakeholders, mode="anarchy")
+
+
+class TestAnchorAndStats:
+    def test_anchor_receives_payload(self, stakeholders):
+        anchored = []
+        pipeline = DecisionPipeline(
+            stakeholders, mode="operator", anchor=anchored.append
+        )
+        request = pipeline.make_request("x", "grant", "t", "operator")
+        pipeline.submit(request, time=0.0)
+        assert anchored[0]["activity"] == "platform_decision"
+        assert anchored[0]["mechanism"] == "operator"
+
+    def test_stats(self, stakeholders):
+        pipeline = DecisionPipeline(stakeholders, mode="operator")
+        for i in range(3):
+            request = pipeline.make_request(f"x{i}", "grant", "t", "operator")
+            pipeline.submit(request, time=float(i))
+        stats = pipeline.stats()
+        assert stats["decisions"] == 3.0
+        assert stats["approved_fraction"] == 1.0
+        assert stats["mean_participants"] == 1.0
+
+    def test_empty_stats(self, stakeholders):
+        pipeline = DecisionPipeline(stakeholders, mode="operator")
+        assert pipeline.stats()["decisions"] == 0.0

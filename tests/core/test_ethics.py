@@ -1,0 +1,104 @@
+"""Tests for the Ethical Hierarchy of Needs scorecard."""
+
+import pytest
+
+from repro.core import score_platform
+
+
+def ideal_observations():
+    return {
+        "consent_default_deny": True,
+        "pet_coverage": 1.0,
+        "budget_capped": True,
+        "audit_ledger": True,
+        "transparency_described_modules": 1.0,
+        "decisions_anchored": True,
+        "data_monopoly_hhi": 0.2,
+        "bystander_protection": True,
+        "mean_turnout": 0.9,
+        "representative_fraction": 1.0,
+        "reputation_active": True,
+        "moderation_recall": 0.9,
+        "moderation_precision": 0.9,
+        "benign_delivery_rate": 0.95,
+        "harassment_exposure": 0.05,
+        "safety_mitigations": 1.0,
+        "creation_openness": 0.9,
+    }
+
+
+class TestScoring:
+    def test_ideal_platform_scores_high(self):
+        scorecard = score_platform(ideal_observations())
+        assert scorecard.overall > 0.85
+        assert scorecard.human_rights.score > 0.9
+
+    def test_empty_observations_score_low(self):
+        scorecard = score_platform({})
+        assert scorecard.overall < 0.1
+
+    def test_scores_bounded(self):
+        scorecard = score_platform(
+            dict(ideal_observations(), pet_coverage=5.0, mean_turnout=-3.0)
+        )
+        for layer in (
+            scorecard.human_rights,
+            scorecard.human_effort,
+            scorecard.human_experience,
+        ):
+            assert 0.0 <= layer.score <= 1.0
+            for value in layer.checks.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_rights_weighted_heaviest(self):
+        # Losing all rights checks must hurt more than losing all
+        # experience checks.
+        base = ideal_observations()
+        no_rights = dict(
+            base,
+            consent_default_deny=False,
+            pet_coverage=0.0,
+            budget_capped=False,
+            audit_ledger=False,
+            transparency_described_modules=0.0,
+            decisions_anchored=False,
+            data_monopoly_hhi=1.0,
+            bystander_protection=False,
+        )
+        no_experience = dict(
+            base,
+            benign_delivery_rate=0.0,
+            harassment_exposure=1.0,
+            safety_mitigations=0.0,
+            creation_openness=0.0,
+        )
+        assert score_platform(no_rights).overall < score_platform(no_experience).overall
+
+    def test_monopoly_lowers_rights(self):
+        base = score_platform(ideal_observations())
+        monopolised = score_platform(
+            dict(ideal_observations(), data_monopoly_hhi=1.0)
+        )
+        assert monopolised.human_rights.score < base.human_rights.score
+
+    def test_harassment_inverts(self):
+        safe = score_platform(dict(ideal_observations(), harassment_exposure=0.0))
+        unsafe = score_platform(dict(ideal_observations(), harassment_exposure=1.0))
+        assert safe.human_experience.score > unsafe.human_experience.score
+
+
+class TestRendering:
+    def test_as_dict_structure(self):
+        data = score_platform(ideal_observations()).as_dict()
+        assert set(data) == {
+            "overall",
+            "human_rights",
+            "human_effort",
+            "human_experience",
+        }
+        assert "checks" in data["human_rights"]
+
+    def test_render_textual(self):
+        text = score_platform(ideal_observations()).render()
+        assert "human_rights" in text
+        assert "overall" in text

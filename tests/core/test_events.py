@@ -1,0 +1,74 @@
+"""Tests for the framework event bus."""
+
+import pytest
+
+from repro.core import EventBus
+from repro.errors import FrameworkError
+
+
+class TestPubSub:
+    def test_subscribers_receive_matching_topic(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("epoch", lambda e: seen.append(e.payload["n"]))
+        bus.publish("epoch", 1.0, "test", n=1)
+        bus.publish("other", 1.0, "test", n=2)
+        assert seen == [1]
+
+    def test_multiple_subscribers(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe("t", lambda e: hits.append("a"))
+        bus.subscribe("t", lambda e: hits.append("b"))
+        bus.publish("t", 0.0, "s")
+        assert hits == ["a", "b"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        hits = []
+        handler = lambda e: hits.append(1)
+        bus.subscribe("t", handler)
+        assert bus.unsubscribe("t", handler)
+        assert not bus.unsubscribe("t", handler)
+        bus.publish("t", 0.0, "s")
+        assert hits == []
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(FrameworkError):
+            EventBus().subscribe("", lambda e: None)
+
+    def test_event_fields(self):
+        bus = EventBus()
+        event = bus.publish("t", 3.0, "source", key="value")
+        assert event.topic == "t"
+        assert event.time == 3.0
+        assert event.source == "source"
+        assert event.payload == {"key": "value"}
+
+
+class TestHistory:
+    def test_history_retained_and_filterable(self):
+        bus = EventBus()
+        bus.publish("a", 0.0, "s")
+        bus.publish("b", 1.0, "s")
+        bus.publish("a", 2.0, "s")
+        assert len(bus.history()) == 3
+        assert len(bus.history("a")) == 2
+
+    def test_capacity_bound(self):
+        bus = EventBus(history_capacity=2)
+        for i in range(5):
+            bus.publish("t", float(i), "s")
+        assert len(bus.history()) == 2
+        assert bus.history()[0].time == 3.0
+
+    def test_zero_capacity_disables_history(self):
+        bus = EventBus(history_capacity=0)
+        bus.publish("t", 0.0, "s")
+        assert bus.history() == []
+
+    def test_topics_listing(self):
+        bus = EventBus()
+        bus.subscribe("b", lambda e: None)
+        bus.subscribe("a", lambda e: None)
+        assert bus.topics() == ["a", "b"]

@@ -1,0 +1,164 @@
+"""Tests for the inter-platform bridge (the §III-E 'frontiers')."""
+
+import pytest
+
+from repro.core import CCPA_LIKE, FrameworkConfig, GDPR_LIKE, MetaverseFramework, PERMISSIVE
+from repro.core.federation import (
+    PlatformBridge,
+    TravelRecord,
+    offers_adequate_protection,
+)
+from repro.errors import FrameworkError, PolicyViolation
+
+
+@pytest.fixture
+def bridge():
+    bridge = PlatformBridge()
+    eu = MetaverseFramework(
+        FrameworkConfig(seed=51, n_users=12, policy_profile=GDPR_LIKE,
+                        user_id_prefix="eu")
+    )
+    us = MetaverseFramework(
+        FrameworkConfig(seed=52, n_users=12, policy_profile=CCPA_LIKE,
+                        user_id_prefix="us")
+    )
+    wild = MetaverseFramework(
+        FrameworkConfig.monolithic_baseline(seed=53, n_users=12,
+                                            user_id_prefix="wild")
+    )
+    bridge.register_platform("eu-world", eu)
+    bridge.register_platform("us-world", us)
+    bridge.register_platform("wild-world", wild)
+    return bridge
+
+
+class TestAdequacy:
+    def test_gdpr_to_ccpa_adequate(self):
+        assert offers_adequate_protection(CCPA_LIKE, GDPR_LIKE)
+
+    def test_gdpr_to_permissive_inadequate(self):
+        assert not offers_adequate_protection(PERMISSIVE, GDPR_LIKE)
+
+    def test_permissive_origin_goes_anywhere(self):
+        assert offers_adequate_protection(PERMISSIVE, PERMISSIVE)
+        assert offers_adequate_protection(GDPR_LIKE, PERMISSIVE)
+
+    def test_erasure_requirement(self):
+        from repro.core import PolicyProfile
+
+        no_erasure = PolicyProfile(
+            name="no-erasure", consent_model="opt-in",
+            right_to_erasure=False, max_epsilon_per_subject=2.0,
+        )
+        assert not offers_adequate_protection(no_erasure, GDPR_LIKE)
+
+    def test_budget_cap_slack(self):
+        from repro.core import PolicyProfile
+
+        loose = PolicyProfile(
+            name="loose", consent_model="opt-in",
+            max_epsilon_per_subject=100.0,
+        )
+        assert not offers_adequate_protection(loose, GDPR_LIKE)
+        within_slack = PolicyProfile(
+            name="ok", consent_model="opt-in",
+            max_epsilon_per_subject=GDPR_LIKE.max_epsilon_per_subject * 3,
+        )
+        assert offers_adequate_protection(within_slack, GDPR_LIKE)
+
+
+class TestTravel:
+    def test_avatar_moves_between_worlds(self, bridge):
+        eu = bridge.platform("eu-world")
+        us = bridge.platform("us-world")
+        traveller = eu.user_ids[0]
+        record = bridge.travel(traveller, "eu-world", "us-world", time=1.0)
+        assert traveller not in eu.world
+        assert traveller in us.world
+        assert record.origin == "eu-world"
+
+    def test_travel_requires_presence(self, bridge):
+        with pytest.raises(FrameworkError):
+            bridge.travel("ghost", "eu-world", "us-world")
+
+    def test_double_presence_rejected(self, bridge):
+        eu = bridge.platform("eu-world")
+        us = bridge.platform("us-world")
+        clash = us.user_ids[0]
+        # Force the destination's resident id to exist at the origin too.
+        eu.world.spawn(clash, (1.0, 1.0))
+        with pytest.raises(FrameworkError):
+            bridge.travel(clash, "eu-world", "us-world")
+
+    def test_self_travel_rejected(self, bridge):
+        eu = bridge.platform("eu-world")
+        with pytest.raises(FrameworkError):
+            bridge.travel(eu.user_ids[0], "eu-world", "eu-world")
+
+    def test_reputation_passport_imported(self, bridge):
+        eu = bridge.platform("eu-world")
+        us = bridge.platform("us-world")
+        traveller = eu.user_ids[0]
+        # Earn a strong home reputation first.
+        for t in range(6):
+            eu.reputation.record("operator", traveller, True, time=t)
+        bridge.set_issuer_trust("us-world", "eu-world", 0.8)
+        before = us.reputation.local_score(traveller)
+        bridge.travel(traveller, "eu-world", "us-world", time=1.0)
+        after = us.reputation.local_score(traveller)
+        assert after > before
+
+    def test_consent_does_not_travel(self, bridge):
+        eu = bridge.platform("eu-world")
+        us = bridge.platform("us-world")
+        traveller = eu.user_ids[0]
+        bridge.travel(traveller, "eu-world", "us-world", time=1.0)
+        # Visitor has no consent grants in the new jurisdiction.
+        assert us.pipeline.consent.channels_granted(traveller) == set()
+
+    def test_profile_continuity(self, bridge):
+        eu = bridge.platform("eu-world")
+        us = bridge.platform("us-world")
+        traveller = eu.user_ids[0]
+        profile = eu.profiles[traveller]
+        bridge.travel(traveller, "eu-world", "us-world", time=1.0)
+        assert us.profiles[traveller] is profile
+
+    def test_travel_log(self, bridge):
+        eu = bridge.platform("eu-world")
+        traveller = eu.user_ids[0]
+        bridge.travel(traveller, "eu-world", "us-world", time=2.0)
+        assert len(bridge.travels) == 1
+        assert isinstance(bridge.travels[0], TravelRecord)
+
+
+class TestDataTransfer:
+    def seed_retention(self, framework, subject):
+        """Run a couple of epochs so data is retained, then return count."""
+        framework.run(epochs=2)
+        return framework.retained_data.count(subject)
+
+    def test_adequate_transfer_moves_frames(self, bridge):
+        eu = bridge.platform("eu-world")
+        us = bridge.platform("us-world")
+        eu.run(epochs=3)
+        subject = max(
+            eu.user_ids, key=lambda u: eu.retained_data.count(u)
+        )
+        count = eu.retained_data.count(subject)
+        assert count > 0
+        moved = bridge.transfer_data(subject, "eu-world", "us-world")
+        assert moved == count
+        assert eu.retained_data.count(subject) == 0
+        assert us.retained_data.count(subject) == count
+
+    def test_inadequate_transfer_blocked(self, bridge):
+        eu = bridge.platform("eu-world")
+        eu.run(epochs=2)
+        subject = eu.user_ids[0]
+        with pytest.raises((PolicyViolation, FrameworkError)):
+            bridge.transfer_data(subject, "eu-world", "wild-world")
+
+    def test_transfer_requires_pipelines(self, bridge):
+        with pytest.raises(FrameworkError):
+            bridge.transfer_data("anyone", "wild-world", "eu-world")

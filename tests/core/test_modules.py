@@ -1,0 +1,142 @@
+"""Tests for the module registry (the interchangeability of Fig. 3)."""
+
+import pytest
+
+from repro.core import FrameworkModule, ModuleRegistry, ModuleSlot
+from repro.errors import FrameworkError, ModuleNotFound
+
+
+class FakeFramework:
+    """Minimal stand-in: modules only need an object identity."""
+
+
+class CountingModule(FrameworkModule):
+    slot = ModuleSlot.PRIVACY
+    name = "counting"
+
+    def __init__(self):
+        super().__init__()
+        self.attached = 0
+        self.detached = 0
+        self.epochs = []
+
+    def on_attach(self, framework):
+        self.attached += 1
+
+    def on_detach(self, framework):
+        self.detached += 1
+
+    def on_epoch(self, framework, time):
+        self.epochs.append(time)
+
+
+class OtherPrivacyModule(CountingModule):
+    name = "other-privacy"
+
+
+class GovernanceModule(CountingModule):
+    slot = ModuleSlot.GOVERNANCE
+    name = "gov"
+
+
+class TestMounting:
+    def test_mount_attaches(self):
+        registry = ModuleRegistry()
+        module = CountingModule()
+        registry.mount(module, FakeFramework())
+        assert module.is_attached
+        assert module.attached == 1
+        assert registry.get(ModuleSlot.PRIVACY) is module
+
+    def test_swap_detaches_incumbent(self):
+        registry = ModuleRegistry()
+        framework = FakeFramework()
+        old = CountingModule()
+        new = OtherPrivacyModule()
+        registry.mount(old, framework, time=0.0)
+        registry.mount(new, framework, time=5.0, authorized_by="dao")
+        assert old.detached == 1
+        assert not old.is_attached
+        assert registry.get(ModuleSlot.PRIVACY) is new
+        history = registry.swap_history
+        assert history[-1].old_module == "counting"
+        assert history[-1].new_module == "other-privacy"
+        assert history[-1].authorized_by == "dao"
+
+    def test_unmount(self):
+        registry = ModuleRegistry()
+        module = CountingModule()
+        registry.mount(module, FakeFramework())
+        registry.unmount(ModuleSlot.PRIVACY)
+        assert not registry.has(ModuleSlot.PRIVACY)
+        with pytest.raises(ModuleNotFound):
+            registry.get(ModuleSlot.PRIVACY)
+
+    def test_unmount_empty_slot_rejected(self):
+        with pytest.raises(ModuleNotFound):
+            ModuleRegistry().unmount(ModuleSlot.SAFETY)
+
+    def test_double_attach_rejected(self):
+        module = CountingModule()
+        module.attach(FakeFramework())
+        with pytest.raises(FrameworkError):
+            module.attach(FakeFramework())
+
+    def test_detach_unattached_rejected(self):
+        with pytest.raises(FrameworkError):
+            CountingModule().detach()
+
+    def test_framework_property_requires_attachment(self):
+        with pytest.raises(FrameworkError):
+            CountingModule().framework
+
+
+class TestDescriptions:
+    def test_mounted_map(self):
+        registry = ModuleRegistry()
+        registry.mount(CountingModule(), FakeFramework())
+        registry.mount(GovernanceModule(), FakeFramework())
+        assert registry.mounted() == {
+            "governance": "gov",
+            "privacy": "counting",
+        }
+
+    def test_describe_all(self):
+        registry = ModuleRegistry()
+        registry.mount(CountingModule(), FakeFramework())
+        descriptions = registry.describe_all()
+        assert descriptions == [{"name": "counting", "slot": "privacy"}]
+
+
+class TestEpochOrder:
+    def test_run_epoch_follows_defined_order(self):
+        registry = ModuleRegistry()
+        framework = FakeFramework()
+        order = []
+
+        class Governance(FrameworkModule):
+            slot = ModuleSlot.GOVERNANCE
+            name = "g"
+
+            def on_epoch(self, fw, time):
+                order.append("governance")
+
+        class Policy(FrameworkModule):
+            slot = ModuleSlot.POLICY
+            name = "p"
+
+            def on_epoch(self, fw, time):
+                order.append("policy")
+
+        registry.mount(Policy(), framework)
+        registry.mount(Governance(), framework)
+        registry.run_epoch(framework, 0.0)
+        assert order == ["governance", "policy"]
+
+    def test_epoch_ticks_delivered(self):
+        registry = ModuleRegistry()
+        module = CountingModule()
+        registry.mount(module, FakeFramework())
+        registry.run_epoch(FakeFramework(), 1.0)
+        registry.run_epoch(FakeFramework(), 2.0)
+        assert module.epochs == [1.0, 2.0]

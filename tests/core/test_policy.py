@@ -1,0 +1,106 @@
+"""Tests for jurisdiction policy profiles and compliance checking."""
+
+import pytest
+
+from repro.core import (
+    CCPA_LIKE,
+    GDPR_LIKE,
+    PERMISSIVE,
+    PolicyEngine,
+    PolicyProfile,
+)
+from repro.errors import FrameworkError, PolicyViolation
+
+
+def compliant_capabilities():
+    return {
+        "consent_default_deny": True,
+        "audit_ledger": True,
+        "budget_default_cap": 2.0,
+        "supports_erasure": True,
+        "disclosure_indicator": True,
+        "channels": ["gaze", "gait"],
+    }
+
+
+class TestProfiles:
+    def test_builtin_profiles_shape(self):
+        assert GDPR_LIKE.consent_model == "opt-in"
+        assert CCPA_LIKE.consent_model == "opt-out"
+        assert PERMISSIVE.consent_model == "none"
+        assert GDPR_LIKE.max_epsilon_per_subject < CCPA_LIKE.max_epsilon_per_subject
+
+    def test_invalid_consent_model_rejected(self):
+        with pytest.raises(FrameworkError):
+            PolicyProfile(name="bad", consent_model="maybe")
+
+
+class TestCompliance:
+    def test_compliant_platform_passes_gdpr(self):
+        engine = PolicyEngine(GDPR_LIKE)
+        assert engine.compliance_report(compliant_capabilities()) == []
+        engine.require_compliance(compliant_capabilities())
+
+    def test_missing_consent_flagged(self):
+        engine = PolicyEngine(GDPR_LIKE)
+        caps = compliant_capabilities()
+        caps["consent_default_deny"] = False
+        issues = engine.compliance_report(caps)
+        assert any(i.requirement == "consent" for i in issues)
+
+    def test_missing_ledger_flagged(self):
+        engine = PolicyEngine(GDPR_LIKE)
+        caps = compliant_capabilities()
+        caps["audit_ledger"] = False
+        assert any(
+            i.requirement == "audit" for i in engine.compliance_report(caps)
+        )
+
+    def test_excessive_budget_cap_flagged(self):
+        engine = PolicyEngine(GDPR_LIKE)
+        caps = compliant_capabilities()
+        caps["budget_default_cap"] = 100.0
+        assert any(
+            i.requirement == "privacy-budget"
+            for i in engine.compliance_report(caps)
+        )
+
+    def test_forbidden_channel_flagged(self):
+        profile = PolicyProfile(
+            name="no-gaze", forbidden_channels=("gaze",),
+            max_epsilon_per_subject=None,
+        )
+        engine = PolicyEngine(profile)
+        caps = compliant_capabilities()
+        issues = engine.compliance_report(caps)
+        assert any(i.requirement == "forbidden-channel" for i in issues)
+
+    def test_permissive_accepts_anything(self):
+        engine = PolicyEngine(PERMISSIVE)
+        assert engine.compliance_report({}) == []
+
+    def test_require_compliance_raises_with_details(self):
+        engine = PolicyEngine(GDPR_LIKE)
+        with pytest.raises(PolicyViolation) as excinfo:
+            engine.require_compliance({})
+        assert "consent" in str(excinfo.value)
+
+    def test_empty_capabilities_fail_gdpr(self):
+        engine = PolicyEngine(GDPR_LIKE)
+        issues = engine.compliance_report({})
+        assert len(issues) >= 4
+
+
+class TestSwapping:
+    def test_swap_profile_changes_active_rules(self):
+        engine = PolicyEngine(GDPR_LIKE)
+        caps = {}
+        assert engine.compliance_report(caps)  # GDPR: violations
+        engine.swap_profile(PERMISSIVE)
+        assert engine.compliance_report(caps) == []  # permissive: fine
+
+    def test_swap_history_recorded(self):
+        engine = PolicyEngine(GDPR_LIKE)
+        engine.swap_profile(CCPA_LIKE)
+        engine.swap_profile(PERMISSIVE)
+        assert engine.swap_history == ["gdpr-like", "ccpa-like", "permissive"]

@@ -1,0 +1,80 @@
+"""Tests for stakeholder roles and representation requirements."""
+
+import pytest
+
+from repro.core import (
+    RepresentationRequirement,
+    StakeholderRegistry,
+    StakeholderRole,
+)
+from repro.errors import FrameworkError
+
+
+@pytest.fixture
+def registry():
+    reg = StakeholderRegistry()
+    reg.register("u1", {StakeholderRole.USER})
+    reg.register("d1", {StakeholderRole.DEVELOPER})
+    reg.register("r1", {StakeholderRole.REGULATOR})
+    reg.register("c1", {StakeholderRole.CREATOR, StakeholderRole.USER})
+    return reg
+
+
+class TestRegistry:
+    def test_register_and_roles(self, registry):
+        assert registry.roles_of("c1") == {
+            StakeholderRole.CREATOR,
+            StakeholderRole.USER,
+        }
+        assert "u1" in registry
+        assert len(registry) == 4
+
+    def test_reregistration_merges_roles(self, registry):
+        registry.register("u1", {StakeholderRole.MODERATOR})
+        assert registry.roles_of("u1") == {
+            StakeholderRole.USER,
+            StakeholderRole.MODERATOR,
+        }
+
+    def test_empty_roles_rejected(self, registry):
+        with pytest.raises(FrameworkError):
+            registry.register("x", set())
+
+    def test_unknown_member_rejected(self, registry):
+        with pytest.raises(FrameworkError):
+            registry.get("ghost")
+
+    def test_with_role(self, registry):
+        assert registry.with_role(StakeholderRole.USER) == ["c1", "u1"]
+
+    def test_all_members_sorted(self, registry):
+        assert registry.all_members() == ["c1", "d1", "r1", "u1"]
+
+
+class TestRepresentation:
+    def test_all_roles_required_by_default(self, registry):
+        requirement = RepresentationRequirement()
+        assert requirement.satisfied_by(["u1", "d1", "r1"], registry)
+        assert not requirement.satisfied_by(["u1", "d1"], registry)
+
+    def test_min_roles_present_relaxation(self, registry):
+        requirement = RepresentationRequirement(min_roles_present=2)
+        assert requirement.satisfied_by(["u1", "d1"], registry)
+        assert not requirement.satisfied_by(["u1"], registry)
+
+    def test_multi_role_member_covers_multiple(self, registry):
+        requirement = RepresentationRequirement(
+            required_roles=frozenset(
+                {StakeholderRole.USER, StakeholderRole.CREATOR}
+            )
+        )
+        assert requirement.satisfied_by(["c1"], registry)
+
+    def test_unknown_participants_ignored(self, registry):
+        requirement = RepresentationRequirement(min_roles_present=1)
+        assert not requirement.satisfied_by(["ghost"], registry)
+
+    def test_missing_roles(self, registry):
+        requirement = RepresentationRequirement()
+        missing = requirement.missing_roles(["u1"], registry)
+        assert missing == {StakeholderRole.DEVELOPER, StakeholderRole.REGULATOR}

@@ -1,0 +1,74 @@
+"""Tests for the transparency auditor."""
+
+import pytest
+
+from repro.core import FrameworkConfig, MetaverseFramework, TransparencyAuditor
+
+
+@pytest.fixture(scope="module")
+def modular():
+    framework = MetaverseFramework(FrameworkConfig(seed=21, n_users=20))
+    framework.run(epochs=3)
+    return framework
+
+
+@pytest.fixture(scope="module")
+def monolithic():
+    framework = MetaverseFramework(
+        FrameworkConfig.monolithic_baseline(seed=21, n_users=20)
+    )
+    framework.run(epochs=3)
+    return framework
+
+
+class TestModularAudit:
+    def test_modular_platform_passes(self, modular):
+        report = TransparencyAuditor(modular).report()
+        assert report["passed"], [
+            f.detail for f in report["findings"] if f.severity == "violation"
+        ]
+
+    def test_collection_coverage_checked(self, modular):
+        findings = TransparencyAuditor(modular).check_collection_registration()
+        assert findings[0].severity == "ok"
+        assert "coverage" in findings[0].detail
+
+    def test_proofs_spot_checked(self, modular):
+        findings = TransparencyAuditor(modular).check_registration_proofs()
+        assert findings[0].severity == "ok"
+
+    def test_no_monopoly_with_rotating_collectors(self, modular):
+        findings = TransparencyAuditor(modular).check_data_monopoly()
+        assert findings[0].severity == "ok"
+
+
+class TestMonolithicAudit:
+    def test_monolithic_platform_fails(self, monolithic):
+        report = TransparencyAuditor(monolithic).report()
+        assert not report["passed"]
+        assert report["violations"] >= 2
+
+    def test_opacity_flagged(self, monolithic):
+        findings = TransparencyAuditor(monolithic).check_module_transparency()
+        assert findings[0].severity == "violation"
+
+    def test_unmediated_collection_flagged(self, monolithic):
+        findings = TransparencyAuditor(monolithic).check_collection_registration()
+        assert findings[0].severity == "violation"
+
+
+class TestDecisionAnchoring:
+    def test_no_decisions_is_ok(self, modular):
+        findings = TransparencyAuditor(modular).check_decision_anchoring()
+        assert findings[0].severity in ("ok", "warning")
+
+    def test_dao_decisions_anchored(self):
+        framework = MetaverseFramework(FrameworkConfig(seed=3, n_users=16))
+        moderation_dao = framework.federation.dao_for_topic("moderation")
+        proposer = moderation_dao.members.addresses()[0]
+        framework.propose_change(
+            "change", "rule_change", "moderation", proposer, voting_period=1.0,
+        )
+        framework.run(epochs=4)
+        findings = TransparencyAuditor(framework).check_decision_anchoring()
+        assert findings[0].severity == "ok"

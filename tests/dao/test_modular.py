@@ -1,0 +1,116 @@
+"""Tests for the modular DAO federation."""
+
+import pytest
+
+from repro.dao import DAO, Member, ModularDaoFederation, TurnoutQuorum
+from repro.errors import DaoError
+
+
+@pytest.fixture
+def federation():
+    root = DAO("root", rule=TurnoutQuorum(0.1))
+    for i in range(3):
+        root.add_member(Member(address=f"r{i}"))
+    fed = ModularDaoFederation(root, constitutional_topics=["constitution"])
+    privacy = DAO("privacy-dao", rule=TurnoutQuorum(0.1))
+    for i in range(3):
+        privacy.add_member(Member(address=f"p{i}"))
+    fed.add_sub_dao(privacy, ["privacy", "constitution"])
+    return fed
+
+
+class TestTopology:
+    def test_routing_by_topic(self, federation):
+        assert federation.dao_for_topic("privacy").name == "privacy-dao"
+        assert federation.dao_for_topic("unknown").name == "root"
+
+    def test_duplicate_sub_dao_rejected(self, federation):
+        with pytest.raises(DaoError):
+            federation.add_sub_dao(DAO("privacy-dao"), ["other"])
+
+    def test_duplicate_topic_rejected(self, federation):
+        with pytest.raises(DaoError):
+            federation.add_sub_dao(DAO("other"), ["privacy"])
+
+    def test_topicless_sub_dao_rejected(self, federation):
+        with pytest.raises(DaoError):
+            federation.add_sub_dao(DAO("empty"), [])
+
+    def test_all_daos(self, federation):
+        assert {d.name for d in federation.all_daos()} == {"root", "privacy-dao"}
+
+    def test_topics_map(self, federation):
+        assert federation.topics() == {
+            "privacy": "privacy-dao",
+            "constitution": "privacy-dao",
+        }
+
+
+class TestRouting:
+    def test_submit_routes_to_owner(self, federation):
+        dao, proposal = federation.submit_proposal(
+            "t", "p0", "privacy", created_at=0.0, voting_period=5.0
+        )
+        assert dao.name == "privacy-dao"
+        assert proposal in dao.proposals()
+
+    def test_unrouted_topic_goes_to_root(self, federation):
+        dao, _ = federation.submit_proposal(
+            "t", "r0", "finance", created_at=0.0, voting_period=5.0
+        )
+        assert dao.name == "root"
+
+
+class TestEscalation:
+    def test_constitutional_pass_escalates(self, federation):
+        dao, proposal = federation.submit_proposal(
+            "amend", "p0", "constitution", created_at=0.0, voting_period=5.0
+        )
+        for m in ("p0", "p1", "p2"):
+            dao.cast_ballot(proposal.proposal_id, m, "yes", 1.0)
+        decision = federation.close_and_escalate(dao, proposal.proposal_id, 5.0)
+        assert decision.accepted
+        pending = federation.pending_ratifications()
+        assert len(pending) == 1
+        assert pending[0].metadata["ratifies"] == proposal.proposal_id
+        assert federation.ratified(proposal.proposal_id) is None
+
+    def test_ratification_outcome(self, federation):
+        dao, proposal = federation.submit_proposal(
+            "amend", "p0", "constitution", created_at=0.0, voting_period=5.0
+        )
+        for m in ("p0", "p1", "p2"):
+            dao.cast_ballot(proposal.proposal_id, m, "yes", 1.0)
+        federation.close_and_escalate(dao, proposal.proposal_id, 5.0)
+        root_proposal = federation.pending_ratifications()[0]
+        for m in ("r0", "r1", "r2"):
+            federation.root.cast_ballot(root_proposal.proposal_id, m, "yes", 6.0)
+        federation.root.close(root_proposal.proposal_id, 15.0)
+        assert federation.ratified(proposal.proposal_id) is True
+
+    def test_non_constitutional_does_not_escalate(self, federation):
+        dao, proposal = federation.submit_proposal(
+            "tweak", "p0", "privacy", created_at=0.0, voting_period=5.0
+        )
+        for m in ("p0", "p1", "p2"):
+            dao.cast_ballot(proposal.proposal_id, m, "yes", 1.0)
+        federation.close_and_escalate(dao, proposal.proposal_id, 5.0)
+        assert federation.pending_ratifications() == []
+
+    def test_rejected_constitutional_does_not_escalate(self, federation):
+        dao, proposal = federation.submit_proposal(
+            "amend", "p0", "constitution", created_at=0.0, voting_period=5.0
+        )
+        for m in ("p0", "p1", "p2"):
+            dao.cast_ballot(proposal.proposal_id, m, "no", 1.0)
+        federation.close_and_escalate(dao, proposal.proposal_id, 5.0)
+        assert federation.pending_ratifications() == []
+
+    def test_never_escalated_is_none(self, federation):
+        assert federation.ratified("nonexistent") is None
+
+
+class TestStats:
+    def test_federation_stats_keys(self, federation):
+        stats = federation.federation_stats()
+        assert set(stats) == {"root", "privacy-dao"}

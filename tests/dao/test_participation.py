@@ -1,0 +1,91 @@
+"""Tests for the attention-based participation model."""
+
+import pytest
+
+from repro.dao import DAO, Member, ParticipationModel, TurnoutQuorum
+from repro.workloads import (
+    build_flat_dao,
+    build_modular_federation,
+    dao_proposal_load,
+    run_governance_stress,
+)
+
+
+@pytest.fixture
+def dao():
+    d = DAO("p", rule=TurnoutQuorum(0.1))
+    for i in range(10):
+        d.add_member(
+            Member(
+                address=f"m{i}",
+                attention_budget=3.0,
+                engagement=1.0,
+                interests={"privacy"},
+            )
+        )
+    return d
+
+
+class TestEpoch:
+    def test_interested_members_vote(self, dao, rngs):
+        dao.submit_proposal("t", "m0", "privacy", created_at=0.0, voting_period=5.0)
+        model = ParticipationModel(rngs.stream("p"))
+        report = model.run_epoch(dao, time=1.0)
+        assert report.presented == 10
+        assert report.ballots_cast == 10  # engagement 1.0, interested, rested
+
+    def test_uninterested_members_skip(self, dao, rngs):
+        dao.submit_proposal("t", "m0", "economy", created_at=0.0, voting_period=5.0)
+        model = ParticipationModel(rngs.stream("p"))
+        report = model.run_epoch(dao, time=1.0)
+        assert report.ballots_cast == 0
+        assert report.skipped_interest == 10
+
+    def test_attention_exhaustion_limits_votes(self, dao, rngs):
+        for i in range(6):  # budget is 3 per member
+            dao.submit_proposal(
+                f"t{i}", "m0", "privacy", created_at=0.0, voting_period=5.0
+            )
+        model = ParticipationModel(rngs.stream("p"))
+        report = model.run_epoch(dao, time=1.0)
+        # Each member reads at most 3 of 6 proposals.
+        assert report.ballots_cast == 30
+        assert report.skipped_attention == 30
+
+    def test_already_voted_not_represented(self, dao, rngs):
+        proposal = dao.submit_proposal(
+            "t", "m0", "privacy", created_at=0.0, voting_period=5.0
+        )
+        model = ParticipationModel(rngs.stream("p"))
+        model.run_epoch(dao, time=1.0)
+        for member in dao.members:
+            member.reset_attention()
+        second = model.run_epoch(dao, time=2.0)
+        assert second.presented == 0  # everyone already voted
+
+    def test_vote_rate(self, dao, rngs):
+        dao.submit_proposal("t", "m0", "privacy", created_at=0.0, voting_period=5.0)
+        model = ParticipationModel(rngs.stream("p"))
+        report = model.run_epoch(dao, time=1.0)
+        assert report.vote_rate == 1.0
+
+    def test_invalid_approval_bias(self, rngs):
+        with pytest.raises(ValueError):
+            ParticipationModel(rngs.stream("p"), approval_bias=1.5)
+
+
+class TestFlatVsModularShape:
+    """The paper's §III-B scalability claim, verified at test scale."""
+
+    def test_modular_sustains_higher_turnout_under_load(self, rngs):
+        topics = ["privacy", "moderation", "economy", "safety"]
+        load = dao_proposal_load(60, topics, rngs.fresh("load"))
+        flat = build_flat_dao(
+            80, topics, rngs.fresh("flat"), attention_budget=4.0
+        )
+        federation = build_modular_federation(
+            80, topics, rngs.fresh("fed"), attention_budget=4.0
+        )
+        flat_result = run_governance_stress(flat, load, rngs.fresh("fr"))
+        modular_result = run_governance_stress(federation, load, rngs.fresh("mr"))
+        assert modular_result.mean_turnout > flat_result.mean_turnout

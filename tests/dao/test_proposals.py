@@ -1,0 +1,102 @@
+"""Tests for proposals and their lifecycle."""
+
+import pytest
+
+from repro.dao import Proposal, ProposalFactory, ProposalStatus
+from repro.errors import ProposalError
+
+
+@pytest.fixture
+def factory():
+    return ProposalFactory()
+
+
+def make(factory, **kwargs):
+    defaults = dict(
+        title="t", proposer="p", topic="privacy",
+        created_at=0.0, voting_period=5.0,
+    )
+    defaults.update(kwargs)
+    return factory.create(**defaults)
+
+
+class TestCreation:
+    def test_ids_unique_and_sequential(self, factory):
+        a = make(factory)
+        b = make(factory)
+        assert a.proposal_id != b.proposal_id
+        assert a.proposal_id < b.proposal_id
+
+    def test_deadline_computed(self, factory):
+        proposal = make(factory, created_at=2.0, voting_period=3.0)
+        assert proposal.voting_deadline == 5.0
+
+    def test_default_options(self, factory):
+        assert make(factory).options == ["yes", "no", "abstain"]
+
+    def test_custom_options(self, factory):
+        proposal = make(factory, options=["a", "b"])
+        assert proposal.options == ["a", "b"]
+
+    def test_non_positive_period_rejected(self, factory):
+        with pytest.raises(ProposalError):
+            make(factory, voting_period=0.0)
+
+    def test_too_few_options_rejected(self):
+        with pytest.raises(ProposalError):
+            Proposal(
+                proposal_id="x", title="t", description="", proposer="p",
+                topic="privacy", created_at=0.0, voting_deadline=1.0,
+                options=["only"],
+            )
+
+    def test_duplicate_options_rejected(self):
+        with pytest.raises(ProposalError):
+            Proposal(
+                proposal_id="x", title="t", description="", proposer="p",
+                topic="privacy", created_at=0.0, voting_deadline=1.0,
+                options=["a", "a"],
+            )
+
+    def test_deadline_before_creation_rejected(self):
+        with pytest.raises(ProposalError):
+            Proposal(
+                proposal_id="x", title="t", description="", proposer="p",
+                topic="privacy", created_at=5.0, voting_deadline=1.0,
+            )
+
+
+class TestLifecycle:
+    def test_mark_passed(self, factory):
+        proposal = make(factory)
+        proposal.mark(ProposalStatus.PASSED, time=3.0, result={"yes": 5})
+        assert proposal.status is ProposalStatus.PASSED
+        assert proposal.decision_latency == 3.0
+        assert proposal.result == {"yes": 5}
+
+    def test_double_terminal_mark_rejected(self, factory):
+        proposal = make(factory)
+        proposal.mark(ProposalStatus.REJECTED, time=3.0)
+        with pytest.raises(ProposalError):
+            proposal.mark(ProposalStatus.PASSED, time=4.0)
+
+    def test_execute_requires_passed(self, factory):
+        proposal = make(factory)
+        with pytest.raises(ProposalError):
+            proposal.execute()
+
+    def test_execute_runs_action(self, factory):
+        outcomes = []
+        proposal = make(factory, action=lambda p: outcomes.append(p.proposal_id))
+        proposal.mark(ProposalStatus.PASSED, time=1.0)
+        proposal.execute()
+        assert outcomes == [proposal.proposal_id]
+        assert proposal.status is ProposalStatus.EXECUTED
+
+    def test_execute_without_action_is_noop(self, factory):
+        proposal = make(factory)
+        proposal.mark(ProposalStatus.PASSED, time=1.0)
+        assert proposal.execute() is None
+
+    def test_latency_none_while_open(self, factory):
+        assert make(factory).decision_latency is None

@@ -1,0 +1,95 @@
+"""Tests for quorum and acceptance rules."""
+
+import pytest
+
+from repro.dao import (
+    AbsoluteMajority,
+    AllOf,
+    ApprovalThreshold,
+    TurnoutQuorum,
+)
+from repro.dao.voting import Tally
+from repro.errors import VotingError
+
+
+def tally(weights, voters, eligible):
+    return Tally(weights=dict(weights), voters=voters, eligible=eligible)
+
+
+class TestTurnoutQuorum:
+    def test_below_quorum_invalid(self):
+        rule = TurnoutQuorum(0.5)
+        decision = rule.decide(tally({"yes": 2, "no": 0}, voters=2, eligible=10))
+        assert not decision.quorum_met
+        assert not decision.accepted
+
+    def test_above_quorum_plurality_passes(self):
+        rule = TurnoutQuorum(0.5)
+        decision = rule.decide(tally({"yes": 4, "no": 2}, voters=6, eligible=10))
+        assert decision.quorum_met
+        assert decision.accepted
+
+    def test_above_quorum_losing_option_rejected(self):
+        rule = TurnoutQuorum(0.5)
+        decision = rule.decide(tally({"yes": 2, "no": 4}, voters=6, eligible=10))
+        assert decision.quorum_met
+        assert not decision.passed
+
+    def test_exact_quorum_counts(self):
+        rule = TurnoutQuorum(0.5)
+        decision = rule.decide(tally({"yes": 5}, voters=5, eligible=10))
+        assert decision.quorum_met
+
+    def test_invalid_quorum_rejected(self):
+        with pytest.raises(VotingError):
+            TurnoutQuorum(1.5)
+
+
+class TestApprovalThreshold:
+    def test_supermajority(self):
+        rule = ApprovalThreshold(2 / 3)
+        win = rule.decide(tally({"yes": 7, "no": 3}, voters=10, eligible=10))
+        lose = rule.decide(tally({"yes": 6, "no": 4}, voters=10, eligible=10))
+        assert win.passed
+        assert not lose.passed
+
+    def test_no_votes_never_passes(self):
+        rule = ApprovalThreshold(0.5)
+        assert not rule.decide(tally({}, voters=0, eligible=10)).passed
+
+    def test_invalid_threshold(self):
+        with pytest.raises(VotingError):
+            ApprovalThreshold(0.0)
+
+
+class TestAbsoluteMajority:
+    def test_needs_majority_of_electorate(self):
+        rule = AbsoluteMajority()
+        win = rule.decide(tally({"yes": 6, "no": 1}, voters=7, eligible=10))
+        lose = rule.decide(tally({"yes": 5, "no": 0}, voters=5, eligible=10))
+        assert win.passed
+        assert not lose.passed  # 5 is not > 5.0
+
+    def test_empty_electorate(self):
+        decision = AbsoluteMajority().decide(tally({}, voters=0, eligible=0))
+        assert not decision.quorum_met
+
+
+class TestAllOf:
+    def test_conjunction(self):
+        rule = AllOf([TurnoutQuorum(0.5), ApprovalThreshold(2 / 3)])
+        strong = tally({"yes": 7, "no": 1}, voters=8, eligible=10)
+        weak_turnout = tally({"yes": 3, "no": 0}, voters=3, eligible=10)
+        weak_support = tally({"yes": 4, "no": 4}, voters=8, eligible=10)
+        assert rule.decide(strong).accepted
+        assert not rule.decide(weak_turnout).accepted
+        assert not rule.decide(weak_support).accepted
+
+    def test_reason_concatenated(self):
+        rule = AllOf([TurnoutQuorum(0.5), ApprovalThreshold(0.5)])
+        decision = rule.decide(tally({"yes": 6}, voters=6, eligible=10))
+        assert ";" in decision.reason
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(VotingError):
+            AllOf([])

@@ -1,0 +1,82 @@
+"""Tests for the DAO treasury."""
+
+import pytest
+
+from repro.dao import DAO, Member, Treasury
+from repro.errors import DaoError
+
+
+class TestFunds:
+    def test_deposit_and_balance(self):
+        treasury = Treasury(100.0)
+        treasury.deposit(50.0)
+        assert treasury.balance == 150.0
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(DaoError):
+            Treasury(-1.0)
+
+    def test_negative_deposit_rejected(self):
+        with pytest.raises(DaoError):
+            Treasury().deposit(-5.0)
+
+
+class TestSpending:
+    def test_spend_records_grant(self):
+        treasury = Treasury(100.0)
+        grant = treasury.spend(
+            "builder", 30.0, "plaza construction", proposal_id="p-1", time=2.0
+        )
+        assert treasury.balance == 70.0
+        assert grant.recipient == "builder"
+        assert treasury.total_granted == 30.0
+        assert treasury.grants_to("builder") == [grant]
+
+    def test_overdraft_rejected(self):
+        with pytest.raises(DaoError):
+            Treasury(10.0).spend("x", 20.0, "p", proposal_id="p-1")
+
+    def test_non_positive_amount_rejected(self):
+        with pytest.raises(DaoError):
+            Treasury(10.0).spend("x", 0.0, "p", proposal_id="p-1")
+
+    def test_grant_ids_increment(self):
+        treasury = Treasury(100.0)
+        a = treasury.spend("x", 1.0, "p", proposal_id="p-1")
+        b = treasury.spend("y", 1.0, "p", proposal_id="p-2")
+        assert b.grant_id == a.grant_id + 1
+
+
+class TestProposalIntegration:
+    def test_grant_action_disburses_on_execution(self):
+        treasury = Treasury(100.0)
+        dao = DAO("funded")
+        dao.add_member(Member(address="m0"))
+        dao.add_member(Member(address="m1"))
+        action = treasury.make_grant_action("builder", 25.0, "bridge")
+        proposal = dao.submit_proposal(
+            "fund the bridge", "m0", "treasury",
+            created_at=0.0, voting_period=5.0, action=action,
+        )
+        dao.cast_ballot(proposal.proposal_id, "m0", "yes", 1.0)
+        dao.cast_ballot(proposal.proposal_id, "m1", "yes", 1.0)
+        dao.close(proposal.proposal_id, 5.0)
+        grant = dao.execute(proposal.proposal_id)
+        assert treasury.balance == 75.0
+        assert grant.proposal_id == proposal.proposal_id
+        assert grant.time == 5.0
+
+    def test_rejected_proposal_never_spends(self):
+        treasury = Treasury(100.0)
+        dao = DAO("funded")
+        dao.add_member(Member(address="m0"))
+        action = treasury.make_grant_action("builder", 25.0, "bridge")
+        proposal = dao.submit_proposal(
+            "fund", "m0", "treasury", created_at=0.0,
+            voting_period=5.0, action=action,
+        )
+        dao.cast_ballot(proposal.proposal_id, "m0", "no", 1.0)
+        dao.close(proposal.proposal_id, 5.0)
+        with pytest.raises(Exception):
+            dao.execute(proposal.proposal_id)
+        assert treasury.balance == 100.0

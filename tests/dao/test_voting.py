@@ -1,0 +1,107 @@
+"""Tests for voting schemes and tallies."""
+
+import pytest
+
+from repro.dao import (
+    Ballot,
+    OneMemberOneVote,
+    QuadraticVoting,
+    ReputationWeighted,
+    TokenWeighted,
+)
+from repro.errors import VotingError
+
+
+def ballots(*pairs):
+    return [Ballot(voter=v, option=o, cast_at=0.0) for v, o in pairs]
+
+
+class TestTally:
+    def test_counts_and_turnout(self):
+        scheme = OneMemberOneVote()
+        tally = scheme.tally(
+            ballots(("a", "yes"), ("b", "no"), ("c", "yes")),
+            options=["yes", "no"],
+            eligible=6,
+        )
+        assert tally.weights == {"yes": 2.0, "no": 1.0}
+        assert tally.voters == 3
+        assert tally.turnout == 0.5
+        assert tally.winner() == "yes"
+        assert tally.support("yes") == pytest.approx(2 / 3)
+
+    def test_empty_tally(self):
+        tally = OneMemberOneVote().tally([], ["yes", "no"], eligible=10)
+        assert tally.winner() is None
+        assert tally.turnout == 0.0
+        assert tally.support("yes") == 0.0
+
+    def test_tie_breaks_alphabetically(self):
+        tally = OneMemberOneVote().tally(
+            ballots(("a", "no"), ("b", "yes")), ["yes", "no"], eligible=2
+        )
+        assert tally.winner() == "no"
+
+    def test_duplicate_voter_rejected(self):
+        with pytest.raises(VotingError):
+            OneMemberOneVote().tally(
+                ballots(("a", "yes"), ("a", "no")), ["yes", "no"], eligible=2
+            )
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(VotingError):
+            OneMemberOneVote().tally(
+                ballots(("a", "maybe")), ["yes", "no"], eligible=1
+            )
+
+    def test_zero_eligible_turnout(self):
+        tally = OneMemberOneVote().tally([], ["yes", "no"], eligible=0)
+        assert tally.turnout == 0.0
+
+
+class TestTokenWeighted:
+    def test_weights_follow_balances(self):
+        balances = {"whale": 100.0, "minnow": 1.0}
+        scheme = TokenWeighted(lambda v: balances.get(v, 0.0))
+        tally = scheme.tally(
+            ballots(("whale", "yes"), ("minnow", "no")), ["yes", "no"], eligible=2
+        )
+        assert tally.winner() == "yes"
+        assert tally.weights["yes"] == 100.0
+
+    def test_negative_balance_rejected(self):
+        scheme = TokenWeighted(lambda v: -1.0)
+        with pytest.raises(VotingError):
+            scheme.weight_of("x")
+
+
+class TestQuadratic:
+    def test_square_root_damping(self):
+        balances = {"whale": 100.0, "minnow": 1.0}
+        scheme = QuadraticVoting(lambda v: balances.get(v, 0.0))
+        assert scheme.weight_of("whale") == pytest.approx(10.0)
+        assert scheme.weight_of("minnow") == pytest.approx(1.0)
+
+    def test_whale_damped_vs_token_weighted(self):
+        # 100x holdings → 10x voice instead of 100x.
+        balances = {"whale": 100.0, "m1": 1.0}
+        quad = QuadraticVoting(lambda v: balances.get(v, 0.0))
+        token = TokenWeighted(lambda v: balances.get(v, 0.0))
+        quad_ratio = quad.weight_of("whale") / quad.weight_of("m1")
+        token_ratio = token.weight_of("whale") / token.weight_of("m1")
+        assert quad_ratio < token_ratio
+
+
+class TestReputationWeighted:
+    def test_weights_from_reputation(self):
+        scores = {"trusted": 0.9, "new": 0.5}
+        scheme = ReputationWeighted(lambda v: scores.get(v, 0.0))
+        assert scheme.weight_of("trusted") == 0.9
+
+    def test_floor_protects_slandered_members(self):
+        scheme = ReputationWeighted(lambda v: 0.0, floor=0.05)
+        assert scheme.weight_of("pariah") == 0.05
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(VotingError):
+            ReputationWeighted(lambda v: 0.5, floor=-0.1)

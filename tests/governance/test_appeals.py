@@ -1,0 +1,137 @@
+"""Tests for the appeals court."""
+
+import pytest
+
+from repro.errors import GovernanceError
+from repro.governance import GraduatedSanctionPolicy
+from repro.governance.appeals import AppealsCourt
+from repro.world import AvatarStatus, World
+
+
+@pytest.fixture
+def setup(rngs):
+    world = World("appeals", size=10.0)
+    world.spawn("innocent", (1.0, 1.0))
+    world.spawn("guilty", (2.0, 2.0))
+    sanctions = GraduatedSanctionPolicy(world)
+    court = AppealsCourt(
+        world, sanctions, rngs.stream("court"), juror_accuracy=1.0
+    )
+    return world, sanctions, court
+
+
+class TestFiling:
+    def test_file_and_pending(self, setup):
+        world, sanctions, court = setup
+        record = sanctions.apply("innocent", time=0.0)
+        appeal = court.file_appeal(record, time=1.0)
+        assert appeal.is_pending
+        assert court.pending() == [appeal]
+
+    def test_double_appeal_rejected(self, setup):
+        world, sanctions, court = setup
+        record = sanctions.apply("innocent", time=0.0)
+        court.file_appeal(record, time=1.0)
+        with pytest.raises(GovernanceError):
+            court.file_appeal(record, time=2.0)
+
+    def test_invalid_jury_config(self, setup, rngs):
+        world, sanctions, _ = setup
+        with pytest.raises(GovernanceError):
+            AppealsCourt(world, sanctions, rngs.stream("c"), jury_size=4)
+        with pytest.raises(GovernanceError):
+            AppealsCourt(world, sanctions, rngs.stream("c"), juror_accuracy=1.5)
+
+
+class TestReview:
+    def test_wrongful_sanction_reversed(self, setup):
+        world, sanctions, court = setup
+        # Escalate the innocent to a mute (two wrongful sanctions).
+        sanctions.apply("innocent", time=0.0)
+        record = sanctions.apply("innocent", time=1.0)
+        assert world.avatar("innocent").status is AvatarStatus.MUTED
+        appeal = court.file_appeal(record, time=2.0)
+        granted = court.review(appeal, was_actually_abusive=False, time=3.0)
+        assert granted
+        # Offence count drops 2 → 1, status recomputed to warning level.
+        assert sanctions.offence_count("innocent") == 1
+        assert world.avatar("innocent").status is AvatarStatus.ACTIVE
+
+    def test_rightful_sanction_stands(self, setup):
+        world, sanctions, court = setup
+        record = sanctions.apply("guilty", time=0.0)
+        appeal = court.file_appeal(record, time=1.0)
+        granted = court.review(appeal, was_actually_abusive=True, time=2.0)
+        assert not granted
+        assert sanctions.offence_count("guilty") == 1
+
+    def test_full_reversal_restores_active(self, setup):
+        world, sanctions, court = setup
+        record = sanctions.apply("innocent", time=0.0)
+        appeal = court.file_appeal(record, time=1.0)
+        court.review(appeal, was_actually_abusive=False, time=2.0)
+        assert sanctions.offence_count("innocent") == 0
+        assert world.avatar("innocent").status is AvatarStatus.ACTIVE
+
+    def test_double_review_rejected(self, setup):
+        world, sanctions, court = setup
+        record = sanctions.apply("guilty", time=0.0)
+        appeal = court.file_appeal(record, time=1.0)
+        court.review(appeal, was_actually_abusive=True, time=2.0)
+        with pytest.raises(GovernanceError):
+            court.review(appeal, was_actually_abusive=True, time=3.0)
+
+    def test_reputation_repair_hook(self, setup, rngs):
+        world, sanctions, _ = setup
+        repaired = []
+        court = AppealsCourt(
+            world, sanctions, rngs.stream("c2"), juror_accuracy=1.0,
+            reputation_repair=lambda member, amount: repaired.append(
+                (member, amount)
+            ),
+        )
+        record = sanctions.apply("innocent", time=0.0)
+        appeal = court.file_appeal(record, time=1.0)
+        court.review(appeal, was_actually_abusive=False, time=2.0)
+        assert repaired == [("innocent", 1.0)]
+
+    def test_noisy_jury_sometimes_errs(self, setup, rngs):
+        world, sanctions, _ = setup
+        court = AppealsCourt(
+            world, sanctions, rngs.stream("noisy"),
+            juror_accuracy=0.5, jury_size=3,
+        )
+        grants = 0
+        for i in range(40):
+            record = sanctions.apply("guilty", time=float(i))
+            appeal = court.file_appeal(record, time=float(i))
+            if court.review(appeal, was_actually_abusive=True, time=float(i)):
+                grants += 1
+        # A coin-flip jury grants roughly half of guilty appeals.
+        assert 5 < grants < 35
+
+
+class TestBatchReview:
+    def test_review_pending_with_capacity(self, setup):
+        world, sanctions, court = setup
+        records = [sanctions.apply("guilty", time=float(i)) for i in range(5)]
+        for i, record in enumerate(records):
+            court.file_appeal(record, time=float(i))
+        reviewed = court.review_pending(
+            ground_truth=lambda s: True, time=10.0, capacity=3
+        )
+        assert len(reviewed) == 3
+        assert len(court.pending()) == 2
+
+    def test_stats(self, setup):
+        world, sanctions, court = setup
+        wrongful = sanctions.apply("innocent", time=0.0)
+        rightful = sanctions.apply("guilty", time=0.0)
+        a1 = court.file_appeal(wrongful, time=1.0)
+        a2 = court.file_appeal(rightful, time=1.0)
+        court.review(a1, was_actually_abusive=False, time=2.0)
+        court.review(a2, was_actually_abusive=True, time=2.0)
+        stats = court.stats()
+        assert stats["filed"] == 2.0
+        assert stats["granted"] == 1.0
+        assert stats["grant_rate"] == 0.5

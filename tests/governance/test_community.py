@@ -1,0 +1,125 @@
+"""Tests for formal debates and community norm adoption."""
+
+import pytest
+
+from repro.errors import GovernanceError
+from repro.governance import (
+    FormalDebate,
+    KindRestrictionRule,
+    RuleEngine,
+    SelfGovernanceBoard,
+)
+
+
+class TestFormalDebate:
+    def test_initial_stances_partition(self, rngs):
+        debate = FormalDebate(
+            "topic", [f"p{i}" for i in range(100)], rngs.stream("d"),
+            initial_pro=0.4, initial_contra=0.3,
+        )
+        first = debate.rounds[0]
+        assert first.pro + first.contra + first.undecided == 100
+
+    def test_rounds_reduce_undecided(self, rngs):
+        debate = FormalDebate(
+            "topic", [f"p{i}" for i in range(100)], rngs.stream("d")
+        )
+        start_undecided = debate.rounds[0].undecided
+        debate.run(rounds=10)
+        assert debate.rounds[-1].undecided < start_undecided
+
+    def test_decided_participants_never_flip(self, rngs):
+        debate = FormalDebate(
+            "topic", [f"p{i}" for i in range(50)], rngs.stream("d"),
+            initial_pro=0.5, initial_contra=0.5,
+        )
+        before = {
+            p: debate.stance_of(p)
+            for p in (f"p{i}" for i in range(50))
+            if debate.stance_of(p) != "undecided"
+        }
+        debate.run(rounds=5)
+        for participant, stance in before.items():
+            assert debate.stance_of(participant) == stance
+
+    def test_outcome_labels(self, rngs):
+        debate = FormalDebate(
+            "topic", ["a", "b", "c"], rngs.stream("d"),
+            initial_pro=1.0, initial_contra=0.0,
+        )
+        assert debate.outcome == "pro"
+
+    def test_all_undecided_stays_tied(self, rngs):
+        debate = FormalDebate(
+            "topic", ["a", "b"], rngs.stream("d"),
+            initial_pro=0.0, initial_contra=0.0,
+        )
+        debate.run(rounds=3)
+        assert debate.outcome == "tied"
+
+    def test_empty_participants_rejected(self, rngs):
+        with pytest.raises(GovernanceError):
+            FormalDebate("t", [], rngs.stream("d"))
+
+    def test_invalid_fractions_rejected(self, rngs):
+        with pytest.raises(GovernanceError):
+            FormalDebate("t", ["a"], rngs.stream("d"),
+                         initial_pro=0.7, initial_contra=0.7)
+
+    def test_unknown_participant_rejected(self, rngs):
+        debate = FormalDebate("t", ["a"], rngs.stream("d"))
+        with pytest.raises(GovernanceError):
+            debate.stance_of("ghost")
+
+
+class TestSelfGovernance:
+    def make_board(self, seconds_required=2):
+        engine = RuleEngine()
+        return engine, SelfGovernanceBoard(engine, seconds_required=seconds_required)
+
+    def test_norm_adoption_installs_rule(self):
+        engine, board = self.make_board(seconds_required=2)
+        norm = board.propose_norm(
+            "alice", "no touching", lambda: KindRestrictionRule(["touch"])
+        )
+        assert not board.second(norm.norm_id, "bob")
+        assert board.second(norm.norm_id, "carol")  # adopted on 2nd second
+        assert norm.adopted
+        assert "kind-restriction" in engine.rules()
+
+    def test_proposer_cannot_second_own_norm(self):
+        _, board = self.make_board()
+        norm = board.propose_norm("alice", "x", lambda: KindRestrictionRule(["x"]))
+        with pytest.raises(GovernanceError):
+            board.second(norm.norm_id, "alice")
+
+    def test_double_second_ignored(self):
+        _, board = self.make_board(seconds_required=2)
+        norm = board.propose_norm("alice", "x", lambda: KindRestrictionRule(["x"]))
+        board.second(norm.norm_id, "bob")
+        assert not board.second(norm.norm_id, "bob")
+        assert norm.seconds == 1
+
+    def test_seconding_adopted_norm_rejected(self):
+        _, board = self.make_board(seconds_required=1)
+        norm = board.propose_norm("alice", "x", lambda: KindRestrictionRule(["x"]))
+        board.second(norm.norm_id, "bob")
+        with pytest.raises(GovernanceError):
+            board.second(norm.norm_id, "carol")
+
+    def test_norm_listing(self):
+        _, board = self.make_board(seconds_required=1)
+        a = board.propose_norm("alice", "a", lambda: KindRestrictionRule(["a"]))
+        board.propose_norm("alice", "b", lambda: KindRestrictionRule(["b"]))
+        board.second(a.norm_id, "bob")
+        assert len(board.norms()) == 2
+        assert len(board.norms(adopted_only=True)) == 1
+
+    def test_unknown_norm_rejected(self):
+        _, board = self.make_board()
+        with pytest.raises(GovernanceError):
+            board.second("ghost", "bob")
+
+    def test_invalid_seconds_required(self):
+        with pytest.raises(GovernanceError):
+            SelfGovernanceBoard(RuleEngine(), seconds_required=0)

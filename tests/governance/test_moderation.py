@@ -1,0 +1,212 @@
+"""Tests for the moderation pipeline."""
+
+import pytest
+
+from repro.errors import ModerationError
+from repro.governance import (
+    AbuseClassifier,
+    CaseStatus,
+    GraduatedSanctionPolicy,
+    HumanModeratorPool,
+    Jury,
+    ModerationService,
+    ReportDesk,
+)
+from repro.world import World
+from repro.world.interactions import Interaction
+
+
+@pytest.fixture
+def world():
+    w = World("mw", size=10.0)
+    for name in ("perp", "victim", "bystander"):
+        w.spawn(name, (1.0, 1.0))
+    return w
+
+
+@pytest.fixture
+def sanctions(world):
+    return GraduatedSanctionPolicy(world)
+
+
+def abuse(time=0.0, initiator="perp", target="victim"):
+    return Interaction(
+        time=time, initiator=initiator, target=target,
+        kind="shout", abusive=True,
+    )
+
+
+def benign(time=0.0, initiator="bystander", target="victim"):
+    return Interaction(
+        time=time, initiator=initiator, target=target, kind="chat",
+    )
+
+
+class TestClassifier:
+    def test_perfect_classifier(self, rngs):
+        classifier = AbuseClassifier(
+            rngs.stream("c"), true_positive_rate=1.0, false_positive_rate=0.0
+        )
+        assert classifier.flag(abuse())
+        assert not classifier.flag(benign())
+
+    def test_flag_cached_per_interaction(self, rngs):
+        classifier = AbuseClassifier(
+            rngs.stream("c"), true_positive_rate=0.5, false_positive_rate=0.5
+        )
+        event = abuse()
+        assert classifier.flag(event) == classifier.flag(event)
+
+    def test_rates_validated(self, rngs):
+        with pytest.raises(ModerationError):
+            AbuseClassifier(rngs.stream("c"), true_positive_rate=1.5)
+
+
+class TestReportDesk:
+    def test_only_delivered_abuse_reportable(self, rngs):
+        desk = ReportDesk(rngs.stream("r"), report_probability=1.0)
+        blocked = Interaction(
+            time=0.0, initiator="perp", target="victim", kind="shout",
+            abusive=True, delivered=False, blocked_by="bubble",
+        )
+        reports = desk.collect([abuse(), benign(), blocked])
+        assert len(reports) == 1
+
+    def test_report_probability_zero(self, rngs):
+        desk = ReportDesk(rngs.stream("r"), report_probability=0.0)
+        assert desk.collect([abuse()]) == []
+
+
+class TestReviewers:
+    def test_human_review_decides_case(self, rngs, sanctions):
+        service = ModerationService(
+            sanctions,
+            report_desk=ReportDesk(rngs.stream("r"), report_probability=1.0),
+            reviewer=HumanModeratorPool(
+                rngs.stream("h"), capacity_per_epoch=10, accuracy=1.0
+            ),
+        )
+        service.process_epoch([abuse()], time=0.0)
+        assert len(service.cases) == 1
+        assert service.cases[0].status is CaseStatus.UPHELD
+        assert service.cases[0].decided_by == "human"
+
+    def test_jury_majority(self, rngs, sanctions):
+        service = ModerationService(
+            sanctions,
+            report_desk=ReportDesk(rngs.stream("r"), report_probability=1.0),
+            reviewer=Jury(
+                rngs.stream("j"), jury_size=5, juror_accuracy=1.0,
+                capacity_per_epoch=10,
+            ),
+        )
+        service.process_epoch([abuse()], time=0.0)
+        assert service.cases[0].status is CaseStatus.UPHELD
+        assert service.cases[0].decided_by == "jury-5"
+
+    def test_even_jury_rejected(self, rngs):
+        with pytest.raises(ModerationError):
+            Jury(rngs.stream("j"), jury_size=4)
+
+    def test_capacity_creates_backlog(self, rngs, sanctions):
+        service = ModerationService(
+            sanctions,
+            report_desk=ReportDesk(rngs.stream("r"), report_probability=1.0),
+            reviewer=HumanModeratorPool(rngs.stream("h"), capacity_per_epoch=2),
+        )
+        events = [abuse(time=float(i)) for i in range(6)]
+        service.process_epoch(events, time=1.0)
+        assert service.backlog == 4
+        service.process_epoch([], time=2.0)
+        assert service.backlog == 2
+
+
+class TestServiceConfigs:
+    def test_needs_a_detection_channel(self, sanctions):
+        with pytest.raises(ModerationError):
+            ModerationService(sanctions)
+
+    def test_full_automation_acts_without_review(self, rngs, sanctions, world):
+        service = ModerationService(
+            sanctions,
+            classifier=AbuseClassifier(
+                rngs.stream("c"), true_positive_rate=1.0, false_positive_rate=0.0
+            ),
+        )
+        service.process_epoch([abuse()], time=0.0)
+        case = service.cases[0]
+        assert case.status is CaseStatus.UPHELD
+        assert case.decided_by == "auto"
+        assert sanctions.offence_count("perp") == 1
+
+    def test_one_case_per_interaction(self, rngs, sanctions):
+        service = ModerationService(
+            sanctions,
+            classifier=AbuseClassifier(
+                rngs.stream("c"), true_positive_rate=1.0, false_positive_rate=0.0
+            ),
+            report_desk=ReportDesk(rngs.stream("r"), report_probability=1.0),
+            reviewer=HumanModeratorPool(rngs.stream("h")),
+        )
+        event = abuse()
+        service.process_epoch([event], time=0.0)
+        assert len(service.cases) == 1  # flagged AND reported → one case
+
+    def test_dismissed_case_no_sanction(self, rngs, sanctions):
+        service = ModerationService(
+            sanctions,
+            report_desk=ReportDesk(rngs.stream("r"), report_probability=1.0),
+            reviewer=HumanModeratorPool(
+                rngs.stream("h"), capacity_per_epoch=10, accuracy=0.0
+            ),  # always wrong: will dismiss true abuse
+        )
+        service.process_epoch([abuse()], time=0.0)
+        assert service.cases[0].status is CaseStatus.DISMISSED
+        assert sanctions.offence_count("perp") == 0
+
+
+class TestScoring:
+    def test_precision_recall(self, rngs, sanctions):
+        classifier = AbuseClassifier(
+            rngs.stream("c"), true_positive_rate=1.0, false_positive_rate=0.0
+        )
+        service = ModerationService(sanctions, classifier=classifier)
+        events = [abuse(time=float(i)) for i in range(4)] + [
+            benign(time=float(i)) for i in range(6)
+        ]
+        service.process_epoch(events, time=0.0)
+        score = service.score(events)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.abusive_delivered == 4
+
+    def test_false_positives_hurt_precision(self, rngs, sanctions):
+        classifier = AbuseClassifier(
+            rngs.stream("c"), true_positive_rate=1.0, false_positive_rate=1.0
+        )
+        service = ModerationService(sanctions, classifier=classifier)
+        events = [abuse()] + [benign(time=float(i)) for i in range(3)]
+        service.process_epoch(events, time=0.0)
+        score = service.score(events)
+        assert score.precision == 0.25
+
+    def test_latency_measured(self, rngs, sanctions):
+        service = ModerationService(
+            sanctions,
+            report_desk=ReportDesk(rngs.stream("r"), report_probability=1.0),
+            reviewer=HumanModeratorPool(rngs.stream("h"), capacity_per_epoch=1),
+        )
+        events = [abuse(time=0.0), abuse(time=0.0, initiator="bystander")]
+        service.process_epoch(events, time=0.0)   # one reviewed at t=0
+        service.process_epoch([], time=5.0)       # second reviewed at t=5
+        score = service.score(events)
+        assert score.mean_latency == pytest.approx(2.5)
+
+    def test_empty_score_safe(self, rngs, sanctions):
+        service = ModerationService(
+            sanctions,
+            report_desk=ReportDesk(rngs.stream("r")),
+        )
+        score = service.score([])
+        assert score.precision == 0.0
+        assert score.recall == 0.0

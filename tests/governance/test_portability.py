@@ -1,0 +1,91 @@
+"""Tests for portable governance modules."""
+
+import pytest
+
+from repro.errors import GovernanceError
+from repro.governance import (
+    BlockListRule,
+    ContentFilterRule,
+    KindRestrictionRule,
+    RateLimitRule,
+    RuleEngine,
+)
+from repro.governance.portability import export_rules, import_rules, rule_from_spec
+from repro.world.interactions import Interaction
+
+
+def interaction(**overrides):
+    defaults = dict(time=0.0, initiator="a", target="b", kind="chat", content="")
+    defaults.update(overrides)
+    return Interaction(**defaults)
+
+
+class TestExport:
+    def test_roundtrip_preserves_behaviour(self):
+        source = RuleEngine([
+            RateLimitRule(2, window=5.0),
+            KindRestrictionRule(["touch"]),
+            ContentFilterRule(["slur"]),
+        ])
+        bundle = export_rules(source)
+        target = import_rules(bundle)
+        # Same verdicts on representative interactions.
+        cases = [
+            interaction(kind="touch"),
+            interaction(content="a slur here"),
+            interaction(),
+        ]
+        for case in cases:
+            assert source.check(case)[0] == target.check(case)[0]
+
+    def test_block_lists_never_travel(self):
+        blocks = BlockListRule()
+        blocks.block("victim", "stalker")
+        source = RuleEngine([blocks, KindRestrictionRule(["touch"])])
+        bundle = export_rules(source)
+        assert "block-list" in bundle["not_exported"]
+        target = import_rules(bundle)
+        assert "block-list" not in target.rules()
+        # The ported platform does NOT inherit the personal block.
+        assert target.check(
+            interaction(initiator="stalker", target="victim")
+        )[0]
+
+    def test_rate_limit_state_not_exported(self):
+        source = RuleEngine([RateLimitRule(1, window=100.0)])
+        # Exhaust the source's budget for initiator "a".
+        assert source.check(interaction(time=0.0))[0]
+        assert not source.check(interaction(time=1.0))[0]
+        target = import_rules(export_rules(source))
+        # The ported rule starts fresh (policy travels, history doesn't).
+        assert target.check(interaction(time=2.0))[0]
+
+
+class TestImport:
+    def test_import_into_existing_engine(self):
+        target = RuleEngine([KindRestrictionRule(["shout"])])
+        bundle = {"version": 1, "rules": [
+            {"kind": "rate-limit", "max_events": 3, "window": 2.0},
+        ]}
+        import_rules(bundle, engine=target)
+        assert set(target.rules()) == {"kind-restriction", "rate-limit"}
+
+    def test_name_clash_rejected(self):
+        target = RuleEngine([RateLimitRule(1, window=1.0)])
+        bundle = {"version": 1, "rules": [
+            {"kind": "rate-limit", "max_events": 3, "window": 2.0},
+        ]}
+        with pytest.raises(GovernanceError):
+            import_rules(bundle, engine=target)
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(GovernanceError):
+            import_rules({"version": 99, "rules": []})
+
+    def test_malformed_bundle_rejected(self):
+        with pytest.raises(GovernanceError):
+            import_rules({"version": 1})
+        with pytest.raises(GovernanceError):
+            rule_from_spec({"kind": "rate-limit"})  # missing fields
+        with pytest.raises(GovernanceError):
+            rule_from_spec({"kind": "teleport-tax"})  # unknown kind

@@ -1,0 +1,122 @@
+"""Tests for the code-as-law rule engine."""
+
+import pytest
+
+from repro.errors import GovernanceError
+from repro.governance import (
+    BlockListRule,
+    ContentFilterRule,
+    KindRestrictionRule,
+    RateLimitRule,
+    RuleEngine,
+)
+from repro.world.interactions import Interaction
+
+
+def interaction(initiator="a", target="b", kind="chat", time=0.0, content=""):
+    return Interaction(
+        time=time, initiator=initiator, target=target, kind=kind, content=content
+    )
+
+
+class TestRuleEngine:
+    def test_empty_engine_allows(self):
+        allowed, rule = RuleEngine().check(interaction())
+        assert allowed and rule is None
+
+    def test_first_refusing_rule_reported(self):
+        engine = RuleEngine([
+            KindRestrictionRule(["touch"]),
+            RateLimitRule(1, window=1.0),
+        ])
+        allowed, rule = engine.check(interaction(kind="touch"))
+        assert not allowed
+        assert rule == "kind-restriction"
+        assert engine.blocked_by_rule["kind-restriction"] == 1
+
+    def test_duplicate_rule_name_rejected(self):
+        engine = RuleEngine([KindRestrictionRule(["x"])])
+        with pytest.raises(GovernanceError):
+            engine.add_rule(KindRestrictionRule(["y"]))
+
+    def test_remove_rule(self):
+        engine = RuleEngine([KindRestrictionRule(["touch"])])
+        assert engine.remove_rule("kind-restriction")
+        assert not engine.remove_rule("kind-restriction")
+        allowed, _ = engine.check(interaction(kind="touch"))
+        assert allowed
+
+    def test_rules_listing(self):
+        engine = RuleEngine([KindRestrictionRule(["x"]), BlockListRule()])
+        assert engine.rules() == ["kind-restriction", "block-list"]
+
+    def test_callable_protocol(self):
+        engine = RuleEngine()
+        assert engine(interaction()) == (True, None)
+
+
+class TestRateLimit:
+    def test_limit_enforced_within_window(self):
+        rule = RateLimitRule(2, window=10.0)
+        assert rule.permits(interaction(time=0.0))
+        assert rule.permits(interaction(time=1.0))
+        assert not rule.permits(interaction(time=2.0))
+
+    def test_window_slides(self):
+        rule = RateLimitRule(2, window=5.0)
+        assert rule.permits(interaction(time=0.0))
+        assert rule.permits(interaction(time=1.0))
+        assert rule.permits(interaction(time=6.0))  # first expired
+
+    def test_per_initiator_budgets(self):
+        rule = RateLimitRule(1, window=10.0)
+        assert rule.permits(interaction(initiator="a", time=0.0))
+        assert rule.permits(interaction(initiator="b", time=0.0))
+        assert not rule.permits(interaction(initiator="a", time=1.0))
+
+    def test_invalid_params(self):
+        with pytest.raises(GovernanceError):
+            RateLimitRule(0, window=1.0)
+        with pytest.raises(GovernanceError):
+            RateLimitRule(1, window=0.0)
+
+
+class TestKindRestriction:
+    def test_forbidden_kind_blocked(self):
+        rule = KindRestrictionRule(["touch", "shout"])
+        assert not rule.permits(interaction(kind="touch"))
+        assert rule.permits(interaction(kind="chat"))
+
+    def test_empty_restriction_rejected(self):
+        with pytest.raises(GovernanceError):
+            KindRestrictionRule([])
+
+
+class TestBlockList:
+    def test_blocked_initiator_filtered(self):
+        rule = BlockListRule()
+        rule.block("victim", "stalker")
+        assert not rule.permits(interaction(initiator="stalker", target="victim"))
+        assert rule.permits(interaction(initiator="stalker", target="other"))
+        assert rule.permits(interaction(initiator="friend", target="victim"))
+
+    def test_unblock(self):
+        rule = BlockListRule()
+        rule.block("victim", "stalker")
+        rule.unblock("victim", "stalker")
+        assert rule.permits(interaction(initiator="stalker", target="victim"))
+
+    def test_self_block_rejected(self):
+        with pytest.raises(GovernanceError):
+            BlockListRule().block("a", "a")
+
+
+class TestContentFilter:
+    def test_banned_token_blocked_case_insensitive(self):
+        rule = ContentFilterRule(["slur"])
+        assert not rule.permits(interaction(content="you absolute SLUR"))
+        assert rule.permits(interaction(content="polite greeting"))
+
+    def test_empty_token_list_rejected(self):
+        with pytest.raises(GovernanceError):
+            ContentFilterRule([])

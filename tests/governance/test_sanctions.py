@@ -1,0 +1,134 @@
+"""Tests for graduated sanctions and incentives."""
+
+import pytest
+
+from repro.errors import GovernanceError
+from repro.governance import GraduatedSanctionPolicy, IncentiveSystem, SanctionLevel
+from repro.world import AvatarStatus, World
+
+
+@pytest.fixture
+def world():
+    w = World("sw", size=10.0)
+    w.spawn("offender", (1.0, 1.0))
+    return w
+
+
+class TestGraduatedSanctions:
+    def test_escalation_ladder(self, world):
+        policy = GraduatedSanctionPolicy(world)
+        levels = [policy.apply("offender", time=float(t)).level for t in range(5)]
+        assert levels == [
+            SanctionLevel.WARNING,
+            SanctionLevel.MUTE,
+            SanctionLevel.SUSPENSION,
+            SanctionLevel.BAN,
+            SanctionLevel.BAN,
+        ]
+
+    def test_avatar_status_follows_ladder(self, world):
+        policy = GraduatedSanctionPolicy(world)
+        policy.apply("offender", time=0.0)
+        assert world.avatar("offender").status is AvatarStatus.ACTIVE  # warning
+        policy.apply("offender", time=1.0)
+        assert world.avatar("offender").status is AvatarStatus.MUTED
+        policy.apply("offender", time=2.0)
+        assert world.avatar("offender").status is AvatarStatus.SUSPENDED
+        policy.apply("offender", time=3.0)
+        assert world.avatar("offender").status is AvatarStatus.BANNED
+
+    def test_offence_counting_per_offender(self, world):
+        world.spawn("other", (2.0, 2.0))
+        policy = GraduatedSanctionPolicy(world)
+        policy.apply("offender", time=0.0)
+        policy.apply("other", time=0.0)
+        assert policy.offence_count("offender") == 1
+        assert policy.offence_count("other") == 1
+
+    def test_reputation_hook_called_with_severity(self, world):
+        deltas = []
+        policy = GraduatedSanctionPolicy(
+            world, reputation_hook=lambda member, delta: deltas.append(delta)
+        )
+        policy.apply("offender", time=0.0)  # warning: -(1+0)
+        policy.apply("offender", time=1.0)  # mute: -(1+1)
+        assert deltas == [-1.0, -2.0]
+
+    def test_unknown_offender_tolerated(self, world):
+        policy = GraduatedSanctionPolicy(world)
+        record = policy.apply("left-the-world", time=0.0)
+        assert record.level is SanctionLevel.WARNING
+
+    def test_banned_listing(self, world):
+        policy = GraduatedSanctionPolicy(world)
+        for t in range(4):
+            policy.apply("offender", time=float(t))
+        assert policy.banned() == ["offender"]
+
+    def test_records_and_filtering(self, world):
+        policy = GraduatedSanctionPolicy(world)
+        policy.apply("offender", time=0.0, case_id="c-1", reason="spam")
+        records = policy.sanctions_of("offender")
+        assert len(records) == 1
+        assert records[0].case_id == "c-1"
+
+    def test_empty_thresholds_rejected(self, world):
+        with pytest.raises(GovernanceError):
+            GraduatedSanctionPolicy(world, thresholds=())
+
+
+class TestIncentives:
+    def test_reward_accumulates(self):
+        incentives = IncentiveSystem(base_reward=2.0)
+        incentives.reward("m")
+        incentives.reward("m")
+        assert incentives.points_of("m") == pytest.approx(4.0)
+
+    def test_streak_multiplier_grows(self):
+        incentives = IncentiveSystem(base_reward=1.0, streak_bonus=0.5)
+        incentives.reward("m")          # streak 0 → ×1.0
+        incentives.end_epoch()          # streak 1
+        first_epoch = incentives.points_of("m")
+        incentives.reward("m")          # ×1.5
+        assert incentives.points_of("m") == pytest.approx(first_epoch + 1.5)
+        assert incentives.streak_of("m") == 1
+
+    def test_streak_resets_on_inactivity(self):
+        incentives = IncentiveSystem()
+        incentives.reward("m")
+        incentives.end_epoch()
+        incentives.end_epoch()  # inactive epoch
+        assert incentives.streak_of("m") == 0
+
+    def test_multiplier_capped(self):
+        incentives = IncentiveSystem(
+            base_reward=1.0, streak_bonus=1.0, max_multiplier=2.0
+        )
+        for _ in range(5):
+            incentives.reward("m")
+            incentives.end_epoch()
+        # Rewards in later epochs use the capped ×2 multiplier.
+        incentives.reward("m")
+        latest = incentives.points_of("m")
+        incentives.reward("m")
+        assert incentives.points_of("m") - latest == pytest.approx(2.0)
+
+    def test_payout_hook(self):
+        payouts = []
+        incentives = IncentiveSystem(payout_hook=lambda m, v: payouts.append((m, v)))
+        incentives.reward("m", weight=2.0)
+        assert payouts == [("m", pytest.approx(2.0))]
+
+    def test_leaderboard(self):
+        incentives = IncentiveSystem()
+        incentives.reward("a", weight=3.0)
+        incentives.reward("b", weight=1.0)
+        assert [name for name, _ in incentives.leaderboard(2)] == ["a", "b"]
+
+    def test_invalid_params(self):
+        with pytest.raises(GovernanceError):
+            IncentiveSystem(base_reward=-1)
+        with pytest.raises(GovernanceError):
+            IncentiveSystem(max_multiplier=0.5)
+        with pytest.raises(GovernanceError):
+            IncentiveSystem().reward("m", weight=-1)

@@ -1,0 +1,123 @@
+"""Integration: misbehaviour → moderation → sanction → reputation →
+market access — the full governance feedback loop across substrates."""
+
+import pytest
+
+from repro.governance import (
+    AbuseClassifier,
+    GraduatedSanctionPolicy,
+    ModerationService,
+)
+from repro.nft import NFTCollection, NFTMarketplace, ReputationVetted
+from repro.reputation import ReputationSystem
+from repro.social import Archetype, BehaviorSimulator
+from repro.world import AvatarStatus, World
+
+
+@pytest.fixture
+def stack(rngs):
+    world = World("loop", size=30.0)
+    reputation = ReputationSystem(blend=1.0)
+    sanctions = GraduatedSanctionPolicy(
+        world,
+        reputation_hook=lambda member, delta: reputation.record(
+            rater="platform",
+            target=member,
+            positive=delta > 0,
+            weight=abs(delta),
+        ),
+    )
+    moderation = ModerationService(
+        sanctions,
+        classifier=AbuseClassifier(
+            rngs.stream("clf"), true_positive_rate=0.95, false_positive_rate=0.01
+        ),
+    )
+    market = NFTMarketplace(
+        NFTCollection("loop-assets"),
+        policy=ReputationVetted(reputation, threshold=0.45),
+        reputation=reputation,
+    )
+    return world, reputation, sanctions, moderation, market
+
+
+class TestGovernanceLoop:
+    def test_harasser_ends_up_sanctioned_and_market_locked(self, rngs, stack):
+        world, reputation, sanctions, moderation, market = stack
+        archetypes = {}
+        position_rng = rngs.stream("pos")
+        for i in range(20):
+            avatar_id = f"av{i:02d}"
+            world.spawn(
+                avatar_id,
+                (
+                    float(position_rng.uniform(0, 30)),
+                    float(position_rng.uniform(0, 30)),
+                ),
+            )
+            archetypes[avatar_id] = (
+                Archetype.HARASSER if i < 3 else Archetype.CIVIL
+            )
+        simulator = BehaviorSimulator(world, archetypes, rngs.stream("beh"))
+
+        for epoch in range(8):
+            interactions = simulator.run_epoch(time=float(epoch))
+            moderation.process_epoch(interactions, time=float(epoch))
+
+        harassers = [a for a, t in archetypes.items() if t is Archetype.HARASSER]
+        civil = [a for a, t in archetypes.items() if t is Archetype.CIVIL]
+
+        # 1. Harassers have been sanctioned more than civil members.
+        harasser_offences = sum(sanctions.offence_count(a) for a in harassers)
+        civil_offences = sum(sanctions.offence_count(a) for a in civil)
+        assert harasser_offences > civil_offences
+
+        # 2. Sanctions propagated into reputation.
+        mean_harasser_rep = sum(reputation.local_score(a) for a in harassers) / 3
+        mean_civil_rep = sum(reputation.local_score(a) for a in civil) / len(civil)
+        assert mean_harasser_rep < mean_civil_rep
+
+        # 3. Repeat offenders lost interaction abilities in the world.
+        escalated = [
+            a
+            for a in harassers
+            if world.avatar(a).status is not AvatarStatus.ACTIVE
+        ]
+        assert escalated
+
+        # 4. Reputation gates the market: at least one harasser is now
+        #    below the minting threshold while civil members still mint.
+        locked = [a for a in harassers if not market.policy.allows(a)]
+        assert locked
+        assert all(market.policy.allows(a) for a in civil[:5])
+
+    def test_sanctioned_behaviour_reduces_future_abuse(self, rngs, stack):
+        world, reputation, sanctions, moderation, market = stack
+        archetypes = {}
+        position_rng = rngs.stream("pos")
+        for i in range(15):
+            avatar_id = f"av{i:02d}"
+            world.spawn(
+                avatar_id,
+                (
+                    float(position_rng.uniform(0, 30)),
+                    float(position_rng.uniform(0, 30)),
+                ),
+            )
+            archetypes[avatar_id] = (
+                Archetype.HARASSER if i < 4 else Archetype.CIVIL
+            )
+        simulator = BehaviorSimulator(world, archetypes, rngs.stream("beh"))
+        early_abuse = late_abuse = 0
+        for epoch in range(10):
+            interactions = simulator.run_epoch(time=float(epoch))
+            moderation.process_epoch(interactions, time=float(epoch))
+            delivered_abuse = sum(
+                1 for i in interactions if i.abusive and i.delivered
+            )
+            if epoch < 3:
+                early_abuse += delivered_abuse
+            elif epoch >= 7:
+                late_abuse += delivered_abuse
+        # Escalating sanctions (mute/suspend/ban) suppress delivery.
+        assert late_abuse < early_abuse

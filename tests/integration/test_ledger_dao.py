@@ -1,0 +1,95 @@
+"""Integration: DAO outcomes anchored on the blockchain's voting contract."""
+
+import pytest
+
+from repro.dao import DAO, Member, TurnoutQuorum
+from repro.ledger import (
+    Blockchain,
+    ContractRegistry,
+    PoAConsensus,
+    VotingContract,
+    Wallet,
+)
+
+
+@pytest.fixture
+def stack():
+    """A chain + a DAO whose closes write to the on-chain ballot box."""
+    validator = Wallet(seed=b"int-validator", height=6)
+    operator = Wallet(seed=b"int-operator", height=8)
+    contracts = ContractRegistry()
+    voting_address = contracts.deploy(VotingContract())
+    chain = Blockchain(
+        PoAConsensus([validator.address]),
+        genesis_balances={operator.address: 10_000},
+        contracts=contracts,
+    )
+
+    def anchor(dao_name, proposal, decision, tally):
+        nonce = chain.state.nonce_of(operator.address) + sum(
+            1
+            for stx in chain.mempool.pending()
+            if stx.tx.sender == operator.address
+        )
+        # Open a poll named after the proposal and immediately record the
+        # aggregate outcome as votes are already tallied off-chain.
+        stx = operator.call_contract(
+            voting_address,
+            "open",
+            {
+                "poll_id": proposal.proposal_id,
+                "options": list(proposal.options),
+            },
+            nonce=nonce,
+        )
+        chain.mempool.submit(stx, chain.state)
+
+    dao = DAO("anchored", rule=TurnoutQuorum(0.2), anchor=anchor)
+    for i in range(5):
+        dao.add_member(Member(address=f"m{i}"))
+    return chain, dao, validator, voting_address
+
+
+class TestAnchoring:
+    def test_closed_proposal_lands_on_chain(self, stack):
+        chain, dao, validator, voting_address = stack
+        proposal = dao.submit_proposal(
+            "Treasury grant", "m0", "economy", created_at=0.0, voting_period=5.0
+        )
+        for member in ("m0", "m1", "m2"):
+            dao.cast_ballot(proposal.proposal_id, member, "yes", 1.0)
+        dao.close(proposal.proposal_id, 5.0)
+        chain.propose_block(validator.address, timestamp=6.0)
+        storage = chain.state.contract_storage[voting_address]
+        assert proposal.proposal_id in storage["polls"]
+
+    def test_multiple_proposals_all_anchored(self, stack):
+        chain, dao, validator, voting_address = stack
+        ids = []
+        for i in range(3):
+            proposal = dao.submit_proposal(
+                f"p{i}", "m0", "x", created_at=0.0, voting_period=5.0
+            )
+            dao.cast_ballot(proposal.proposal_id, "m0", "yes", 1.0)
+            dao.cast_ballot(proposal.proposal_id, "m1", "yes", 1.0)
+            dao.close(proposal.proposal_id, 5.0)
+            ids.append(proposal.proposal_id)
+        chain.propose_block(validator.address, timestamp=6.0)
+        polls = chain.state.contract_storage[voting_address]["polls"]
+        assert all(pid in polls for pid in ids)
+
+    def test_anchor_transactions_verifiable(self, stack):
+        chain, dao, validator, _ = stack
+        proposal = dao.submit_proposal(
+            "p", "m0", "x", created_at=0.0, voting_period=5.0
+        )
+        dao.cast_ballot(proposal.proposal_id, "m0", "yes", 1.0)
+        dao.close(proposal.proposal_id, 5.0)
+        block = chain.propose_block(validator.address, timestamp=6.0)
+        assert len(block.transactions) == 1
+        stx = block.transactions[0]
+        proof = block.inclusion_proof(stx.tx_id)
+        assert proof.verify(
+            bytes.fromhex(stx.tx_id), bytes.fromhex(block.merkle_root)
+        )
+        assert chain.verify_chain()

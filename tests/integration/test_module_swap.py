@@ -1,0 +1,96 @@
+"""Integration: the §IV-C loop — a DAO vote swaps a live module."""
+
+import pytest
+
+from repro.core import (
+    CCPA_LIKE,
+    FrameworkConfig,
+    MetaverseFramework,
+    ModuleSlot,
+)
+from repro.core.builtin_modules import PolicyModule, PrivacyModule
+
+
+@pytest.fixture
+def framework():
+    return MetaverseFramework(FrameworkConfig(seed=13, n_users=20))
+
+
+class TestOperatorlessSwap:
+    def test_privacy_module_swap_retunes_pets(self, framework):
+        old_epsilon = framework.config.pet_epsilon
+        old_pet = framework.pipeline.pet_for("gaze")
+        assert old_pet.epsilon == old_epsilon
+        framework.modules.mount(
+            PrivacyModule(epsilon=0.2), framework, time=1.0, authorized_by="test"
+        )
+        new_pet = framework.pipeline.pet_for("gaze")
+        assert new_pet.epsilon == pytest.approx(0.2)
+        history = framework.modules.swap_history
+        assert history[-1].slot == "privacy"
+        assert history[-1].old_module == "pet-pipeline"
+
+    def test_policy_module_swap_changes_jurisdiction(self, framework):
+        assert framework.policy_engine.profile.name == "gdpr-like"
+        framework.modules.mount(
+            PolicyModule(profile=CCPA_LIKE), framework, time=1.0
+        )
+        assert framework.policy_engine.profile.name == "ccpa-like"
+        assert framework.policy_engine.swap_history[-1] == "ccpa-like"
+
+
+class TestDaoAuthorisedSwap:
+    def test_vote_driven_module_swap(self, framework):
+        """A change request carries an executor that performs the swap;
+        it only runs if the privacy DAO passes the proposal."""
+
+        def do_swap(request):
+            framework.modules.mount(
+                PrivacyModule(epsilon=0.1),
+                framework,
+                time=float(framework.epoch),
+                authorized_by=request.request_id,
+            )
+
+        dao = framework.federation.dao_for_topic("privacy")
+        proposer = dao.members.addresses()[0]
+        proposal = framework.propose_change(
+            "Tighten gaze PET to eps=0.1",
+            "swap_module",
+            "privacy",
+            proposer,
+            executor=do_swap,
+            voting_period=3.0,
+        )
+        # Everyone votes yes (manually, to be deterministic).
+        for member in dao.members.addresses():
+            dao.cast_ballot(proposal.proposal_id, member, "yes", 1.0)
+        record = framework.decisions.finalize(proposal.proposal_id, time=3.0)
+        assert record.approved and record.executed
+        assert framework.pipeline.pet_for("gaze").epsilon == pytest.approx(0.1)
+        # The swap is publicly attributed to the change request.
+        assert framework.modules.swap_history[-1].authorized_by.startswith("chg-")
+
+    def test_rejected_vote_leaves_module_alone(self, framework):
+        swapped = []
+
+        def do_swap(request):
+            swapped.append(request.request_id)
+
+        dao = framework.federation.dao_for_topic("privacy")
+        proposer = dao.members.addresses()[0]
+        proposal = framework.propose_change(
+            "Bad idea", "swap_module", "privacy", proposer,
+            executor=do_swap, voting_period=3.0,
+        )
+        for member in dao.members.addresses():
+            dao.cast_ballot(proposal.proposal_id, member, "no", 1.0)
+        record = framework.decisions.finalize(proposal.proposal_id, time=3.0)
+        assert not record.approved
+        assert swapped == []
+
+    def test_framework_keeps_running_after_swap(self, framework):
+        framework.modules.mount(PrivacyModule(epsilon=0.5), framework, time=0.0)
+        framework.run(epochs=2)
+        assert framework.epoch == 2
+        assert framework.pipeline.stats.offered > 0

@@ -1,0 +1,127 @@
+"""Tests for the on-chain data-collection auditor."""
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.ledger import (
+    Blockchain,
+    DataCollectionAuditor,
+    PoAConsensus,
+    Wallet,
+)
+
+
+@pytest.fixture
+def validator():
+    return Wallet(seed=b"audit-validator", height=6)
+
+
+@pytest.fixture
+def collector_a():
+    return Wallet(seed=b"audit-collector-a", height=6)
+
+
+@pytest.fixture
+def collector_b():
+    return Wallet(seed=b"audit-collector-b", height=6)
+
+
+@pytest.fixture
+def chain(validator, collector_a, collector_b):
+    return Blockchain(
+        PoAConsensus([validator.address]),
+        genesis_balances={
+            collector_a.address: 1000,
+            collector_b.address: 1000,
+        },
+    )
+
+
+class TestRegistration:
+    def test_register_and_read_back(self, chain, validator, collector_a):
+        auditor = DataCollectionAuditor(chain)
+        auditor.register_activity(
+            collector_a, subject="u1", category="gaze",
+            purpose="ads", pet_applied="laplace",
+        )
+        chain.propose_block(validator.address, timestamp=1.0)
+        activities = auditor.activities()
+        assert len(activities) == 1
+        record = activities[0]
+        assert record.party == collector_a.address
+        assert record.category == "gaze"
+        assert record.pet_applied == "laplace"
+
+    def test_unfinalized_records_not_visible(self, chain, collector_a):
+        auditor = DataCollectionAuditor(chain)
+        auditor.register_activity(
+            collector_a, subject="u1", category="gaze", purpose="p"
+        )
+        assert auditor.activities() == []  # still in the mempool
+
+    def test_multiple_records_same_collector_nonce_managed(
+        self, chain, validator, collector_a
+    ):
+        auditor = DataCollectionAuditor(chain)
+        for i in range(5):
+            auditor.register_activity(
+                collector_a, subject=f"u{i}", category="gait", purpose="p"
+            )
+        chain.propose_block(validator.address, timestamp=1.0)
+        assert len(auditor.activities()) == 5
+
+    def test_filters(self, chain, validator, collector_a, collector_b):
+        auditor = DataCollectionAuditor(chain)
+        auditor.register_activity(collector_a, "u1", "gaze", "ads")
+        auditor.register_activity(collector_b, "u2", "gait", "health")
+        chain.propose_block(validator.address, timestamp=1.0)
+        assert len(auditor.activities(party=collector_a.address)) == 1
+        assert len(auditor.activities(subject="u2")) == 1
+        assert len(auditor.activities(category="gaze")) == 1
+        assert auditor.activities(category="heart_rate") == []
+
+
+class TestProofs:
+    def test_prove_activity(self, chain, validator, collector_a):
+        auditor = DataCollectionAuditor(chain)
+        stx = auditor.register_activity(collector_a, "u1", "gaze", "ads")
+        chain.propose_block(validator.address, timestamp=1.0)
+        assert auditor.prove_activity(stx.tx_id)
+
+    def test_prove_unknown_tx_fails(self, chain):
+        auditor = DataCollectionAuditor(chain)
+        assert not auditor.prove_activity("ab" * 32)
+
+
+class TestMonopoly:
+    def test_empty_chain_no_monopoly(self, chain):
+        report = DataCollectionAuditor(chain).monopoly_report()
+        assert report.dominant_party is None
+        assert not report.monopoly_detected
+        assert report.herfindahl_index == 0.0
+
+    def test_single_collector_is_monopoly(self, chain, validator, collector_a):
+        auditor = DataCollectionAuditor(chain)
+        for i in range(3):
+            auditor.register_activity(collector_a, f"u{i}", "gaze", "p")
+        chain.propose_block(validator.address, timestamp=1.0)
+        report = auditor.monopoly_report(threshold=0.5)
+        assert report.monopoly_detected
+        assert report.dominant_share == 1.0
+        assert report.herfindahl_index == 1.0
+
+    def test_balanced_collectors_no_monopoly(
+        self, chain, validator, collector_a, collector_b
+    ):
+        auditor = DataCollectionAuditor(chain)
+        for i in range(3):
+            auditor.register_activity(collector_a, f"a{i}", "gaze", "p")
+            auditor.register_activity(collector_b, f"b{i}", "gaze", "p")
+        chain.propose_block(validator.address, timestamp=1.0)
+        report = auditor.monopoly_report(threshold=0.6)
+        assert not report.monopoly_detected
+        assert report.herfindahl_index == pytest.approx(0.5)
+
+    def test_invalid_threshold(self, chain):
+        with pytest.raises(ValueError):
+            DataCollectionAuditor(chain).monopoly_report(threshold=0.0)

@@ -1,0 +1,99 @@
+"""Tests for blocks."""
+
+import pytest
+
+from repro.errors import InvalidBlockError
+from repro.ledger import Block, Wallet, build_block
+
+
+@pytest.fixture
+def signer():
+    return Wallet(seed=b"block-signer", height=4)
+
+
+def make_txs(signer, count):
+    return [
+        signer.transfer("ff" * 32, amount=1, nonce=n) for n in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_build_block_computes_merkle_root(self, signer):
+        txs = make_txs(signer, 3)
+        block = build_block(1, "00" * 32, 1.0, "proposer", txs)
+        assert block.merkle_root == block.compute_merkle_root()
+
+    def test_block_hash_deterministic(self):
+        a = Block(1, "00" * 32, "", 1.0, "p")
+        b = Block(1, "00" * 32, "", 1.0, "p")
+        assert a.block_hash == b.block_hash
+
+    def test_block_hash_field_sensitivity(self):
+        base = Block(1, "00" * 32, "", 1.0, "p")
+        assert base.block_hash != Block(2, "00" * 32, "", 1.0, "p").block_hash
+        assert base.block_hash != Block(1, "11" * 32, "", 1.0, "p").block_hash
+        assert base.block_hash != Block(1, "00" * 32, "", 2.0, "p").block_hash
+        assert base.block_hash != Block(1, "00" * 32, "", 1.0, "q").block_hash
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(InvalidBlockError):
+            Block(-1, "00" * 32, "", 0.0, "p")
+
+    def test_total_fees(self, signer):
+        txs = [
+            signer.transfer("ff" * 32, amount=1, nonce=0, fee=2),
+            signer.transfer("ff" * 32, amount=1, nonce=1, fee=3),
+        ]
+        block = build_block(1, "00" * 32, 1.0, "p", txs)
+        assert block.total_fees == 5
+
+
+class TestValidation:
+    def test_valid_block_passes(self, signer):
+        block = build_block(1, "00" * 32, 1.0, "p", make_txs(signer, 2))
+        block.validate_structure()
+
+    def test_wrong_merkle_root_detected(self, signer):
+        txs = make_txs(signer, 2)
+        block = Block(
+            height=1,
+            prev_hash="00" * 32,
+            merkle_root="ab" * 32,
+            timestamp=1.0,
+            proposer="p",
+            transactions=tuple(txs),
+        )
+        with pytest.raises(InvalidBlockError):
+            block.validate_structure()
+
+    def test_duplicate_tx_detected(self, signer):
+        stx = signer.transfer("ff" * 32, amount=1, nonce=0)
+        block = build_block(1, "00" * 32, 1.0, "p", [stx, stx])
+        with pytest.raises(InvalidBlockError):
+            block.validate_structure()
+
+    def test_bad_signature_detected(self, signer):
+        stx = signer.transfer("ff" * 32, amount=1, nonce=0)
+        tampered_tx = signer.build_transaction("ff" * 32, amount=999, nonce=0)
+        forged = type(stx)(
+            tx=tampered_tx, signature=stx.signature, key_proof=stx.key_proof
+        )
+        block = build_block(1, "00" * 32, 1.0, "p", [forged])
+        with pytest.raises(InvalidBlockError):
+            block.validate_structure()
+
+
+class TestInclusionProofs:
+    def test_proof_verifies_against_header(self, signer):
+        txs = make_txs(signer, 4)
+        block = build_block(1, "00" * 32, 1.0, "p", txs)
+        target = txs[2].tx_id
+        proof = block.inclusion_proof(target)
+        assert proof.verify(
+            bytes.fromhex(target), bytes.fromhex(block.merkle_root)
+        )
+
+    def test_missing_tx_rejected(self, signer):
+        block = build_block(1, "00" * 32, 1.0, "p", make_txs(signer, 2))
+        with pytest.raises(InvalidBlockError):
+            block.inclusion_proof("ab" * 32)

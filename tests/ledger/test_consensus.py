@@ -1,0 +1,94 @@
+"""Tests for PoA and PoS consensus."""
+
+import collections
+
+import pytest
+
+from repro.errors import InvalidBlockError
+from repro.ledger import Block, LedgerState, PoAConsensus, PoSConsensus
+
+
+class TestPoA:
+    def test_round_robin_rotation(self):
+        consensus = PoAConsensus(["v0", "v1", "v2"])
+        state = LedgerState()
+        assert consensus.expected_proposer(0, "00" * 32, state) == "v0"
+        assert consensus.expected_proposer(1, "00" * 32, state) == "v1"
+        assert consensus.expected_proposer(2, "00" * 32, state) == "v2"
+        assert consensus.expected_proposer(3, "00" * 32, state) == "v0"
+
+    def test_wrong_proposer_rejected(self):
+        consensus = PoAConsensus(["v0", "v1"])
+        block = Block(1, "00" * 32, "", 1.0, proposer="v0")  # expected v1
+        with pytest.raises(InvalidBlockError):
+            consensus.validate(block, LedgerState())
+
+    def test_correct_proposer_accepted(self):
+        consensus = PoAConsensus(["v0", "v1"])
+        block = Block(1, "00" * 32, "", 1.0, proposer="v1")
+        consensus.validate(block, LedgerState())
+
+    def test_empty_validator_set_rejected(self):
+        with pytest.raises(ValueError):
+            PoAConsensus([])
+
+    def test_duplicate_validators_rejected(self):
+        with pytest.raises(ValueError):
+            PoAConsensus(["v0", "v0"])
+
+
+class TestPoS:
+    def make_state(self, stakes):
+        state = LedgerState()
+        state.stakes = dict(stakes)
+        return state
+
+    def test_no_stakers_means_no_proposer(self):
+        consensus = PoSConsensus()
+        assert consensus.expected_proposer(1, "00" * 32, LedgerState()) is None
+
+    def test_deterministic_selection(self):
+        consensus = PoSConsensus()
+        state = self.make_state({"a": 10, "b": 20})
+        first = consensus.expected_proposer(1, "aa" * 32, state)
+        second = consensus.expected_proposer(1, "aa" * 32, state)
+        assert first == second
+
+    def test_selection_varies_with_height(self):
+        consensus = PoSConsensus()
+        state = self.make_state({f"v{i}": 10 for i in range(10)})
+        proposers = {
+            consensus.expected_proposer(h, "aa" * 32, state) for h in range(50)
+        }
+        assert len(proposers) > 1  # the lottery rotates
+
+    def test_stake_weighting_statistics(self):
+        consensus = PoSConsensus()
+        state = self.make_state({"whale": 90, "minnow": 10})
+        counts = collections.Counter(
+            consensus.expected_proposer(h, "bb" * 32, state)
+            for h in range(500)
+        )
+        assert counts["whale"] > counts["minnow"] * 3
+
+    def test_min_stake_excludes_dust(self):
+        consensus = PoSConsensus(min_stake=10)
+        state = self.make_state({"dust": 5, "real": 50})
+        assert consensus.eligible(state) == ["real"]
+
+    def test_validate_rejects_wrong_proposer(self):
+        consensus = PoSConsensus()
+        state = self.make_state({"a": 10})
+        block = Block(1, "00" * 32, "", 1.0, proposer="b")
+        with pytest.raises(InvalidBlockError):
+            consensus.validate(block, state)
+
+    def test_validate_rejects_when_no_validators(self):
+        consensus = PoSConsensus()
+        block = Block(1, "00" * 32, "", 1.0, proposer="anyone")
+        with pytest.raises(InvalidBlockError):
+            consensus.validate(block, LedgerState())
+
+    def test_invalid_min_stake(self):
+        with pytest.raises(ValueError):
+            PoSConsensus(min_stake=0)

@@ -1,0 +1,223 @@
+"""Tests for the smart-contract VM and built-in contracts."""
+
+import pytest
+
+from repro.errors import ContractError
+from repro.ledger import (
+    ContractRegistry,
+    EscrowContract,
+    LedgerState,
+    RegistryContract,
+    TokenContract,
+    VotingContract,
+    Wallet,
+)
+
+
+@pytest.fixture
+def alice():
+    return Wallet(seed=b"contract-alice", height=6)
+
+
+@pytest.fixture
+def bob():
+    return Wallet(seed=b"contract-bob", height=6)
+
+
+def call(state, registry, wallet, address, method, args, nonce, amount=0):
+    stx = wallet.call_contract(address, method, args, nonce=nonce, amount=amount)
+    return state.apply(stx, contract_executor=registry)
+
+
+class TestRegistryDeployment:
+    def test_addresses_unique_and_deterministic(self):
+        registry_a = ContractRegistry()
+        registry_b = ContractRegistry()
+        addr_1 = registry_a.deploy(VotingContract())
+        addr_2 = registry_a.deploy(VotingContract())
+        assert addr_1 != addr_2
+        assert registry_b.deploy(VotingContract()) == addr_1
+
+    def test_unknown_address_rejected(self):
+        with pytest.raises(ContractError):
+            ContractRegistry().get("ab" * 32)
+
+    def test_unknown_method_rejected(self, alice):
+        registry = ContractRegistry()
+        address = registry.deploy(VotingContract())
+        state = LedgerState({alice.address: 100})
+        with pytest.raises(ContractError):
+            call(state, registry, alice, address, "nonexistent", {}, nonce=0)
+
+    def test_bad_arguments_rejected(self, alice):
+        registry = ContractRegistry()
+        address = registry.deploy(VotingContract())
+        state = LedgerState({alice.address: 100})
+        with pytest.raises(ContractError):
+            call(state, registry, alice, address, "open", {"wrong": 1}, nonce=0)
+
+
+class TestTokenContract:
+    def test_mint_and_transfer(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(TokenContract(owner=alice.address))
+        state = LedgerState({alice.address: 100, bob.address: 100})
+        call(state, registry, alice, address, "mint",
+             {"to": alice.address, "value": 50}, nonce=0)
+        call(state, registry, alice, address, "transfer",
+             {"to": bob.address, "value": 20}, nonce=1)
+        result = call(state, registry, bob, address, "balance",
+                      {"of": bob.address}, nonce=0)
+        assert result["balance"] == 20
+        assert state.contract_storage[address]["supply"] == 50
+
+    def test_only_owner_mints(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(TokenContract(owner=alice.address))
+        state = LedgerState({bob.address: 100})
+        with pytest.raises(ContractError):
+            call(state, registry, bob, address, "mint",
+                 {"to": bob.address, "value": 1}, nonce=0)
+
+    def test_overdraw_rejected(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(TokenContract(owner=alice.address))
+        state = LedgerState({alice.address: 100})
+        call(state, registry, alice, address, "mint",
+             {"to": alice.address, "value": 5}, nonce=0)
+        with pytest.raises(ContractError):
+            call(state, registry, alice, address, "transfer",
+                 {"to": "x", "value": 10}, nonce=1)
+
+
+class TestRegistryContract:
+    def test_register_and_lookup(self, alice):
+        registry = ContractRegistry()
+        address = registry.deploy(RegistryContract())
+        state = LedgerState({alice.address: 100})
+        call(state, registry, alice, address, "register",
+             {"key": "twin:statue", "value": {"origin": "florence"}}, nonce=0)
+        result = call(state, registry, alice, address, "lookup",
+                      {"key": "twin:statue"}, nonce=1)
+        assert result["owner"] == alice.address
+        assert result["value"] == {"origin": "florence"}
+
+    def test_only_owner_overwrites(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(RegistryContract())
+        state = LedgerState({alice.address: 100, bob.address: 100})
+        call(state, registry, alice, address, "register",
+             {"key": "k", "value": 1}, nonce=0)
+        with pytest.raises(ContractError):
+            call(state, registry, bob, address, "register",
+                 {"key": "k", "value": 2}, nonce=0)
+
+    def test_ownership_transfer(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(RegistryContract())
+        state = LedgerState({alice.address: 100, bob.address: 100})
+        call(state, registry, alice, address, "register",
+             {"key": "k", "value": 1}, nonce=0)
+        call(state, registry, alice, address, "transfer_ownership",
+             {"key": "k", "to": bob.address}, nonce=1)
+        call(state, registry, bob, address, "register",
+             {"key": "k", "value": 2}, nonce=0)  # new owner may update
+
+    def test_lookup_missing_key(self, alice):
+        registry = ContractRegistry()
+        address = registry.deploy(RegistryContract())
+        state = LedgerState({alice.address: 100})
+        with pytest.raises(ContractError):
+            call(state, registry, alice, address, "lookup", {"key": "nope"}, nonce=0)
+
+
+class TestEscrowContract:
+    def test_deposit_release_pays_seller(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(EscrowContract())
+        state = LedgerState({alice.address: 100, bob.address: 0})
+        call(state, registry, alice, address, "deposit",
+             {"seller": bob.address, "deal_id": "d1"}, nonce=0, amount=30)
+        assert state.balance_of(address) == 30
+        call(state, registry, alice, address, "release",
+             {"seller": bob.address, "deal_id": "d1"}, nonce=1)
+        assert state.balance_of(bob.address) == 30
+        assert state.balance_of(address) == 0
+
+    def test_refund_returns_to_buyer(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(EscrowContract())
+        state = LedgerState({alice.address: 100})
+        call(state, registry, alice, address, "deposit",
+             {"seller": bob.address, "deal_id": "d1"}, nonce=0, amount=30)
+        call(state, registry, alice, address, "refund",
+             {"seller": bob.address, "deal_id": "d1"}, nonce=1)
+        assert state.balance_of(alice.address) == 100
+
+    def test_deposit_requires_value(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(EscrowContract())
+        state = LedgerState({alice.address: 100})
+        with pytest.raises(ContractError):
+            call(state, registry, alice, address, "deposit",
+                 {"seller": bob.address, "deal_id": "d1"}, nonce=0, amount=0)
+
+    def test_double_release_rejected(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(EscrowContract())
+        state = LedgerState({alice.address: 100})
+        call(state, registry, alice, address, "deposit",
+             {"seller": bob.address, "deal_id": "d1"}, nonce=0, amount=10)
+        call(state, registry, alice, address, "release",
+             {"seller": bob.address, "deal_id": "d1"}, nonce=1)
+        with pytest.raises(ContractError):
+            call(state, registry, alice, address, "release",
+                 {"seller": bob.address, "deal_id": "d1"}, nonce=2)
+
+
+class TestVotingContract:
+    def test_full_poll_lifecycle(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(VotingContract())
+        state = LedgerState({alice.address: 100, bob.address: 100})
+        call(state, registry, alice, address, "open",
+             {"poll_id": "p", "options": ["yes", "no"]}, nonce=0)
+        call(state, registry, alice, address, "vote",
+             {"poll_id": "p", "option": "yes"}, nonce=1)
+        call(state, registry, bob, address, "vote",
+             {"poll_id": "p", "option": "no"}, nonce=0)
+        result = call(state, registry, alice, address, "close",
+                      {"poll_id": "p"}, nonce=2)
+        assert result["tally"] == {"yes": 1, "no": 1}
+
+    def test_double_vote_rejected(self, alice):
+        registry = ContractRegistry()
+        address = registry.deploy(VotingContract())
+        state = LedgerState({alice.address: 100})
+        call(state, registry, alice, address, "open",
+             {"poll_id": "p", "options": ["yes", "no"]}, nonce=0)
+        call(state, registry, alice, address, "vote",
+             {"poll_id": "p", "option": "yes"}, nonce=1)
+        with pytest.raises(ContractError):
+            call(state, registry, alice, address, "vote",
+                 {"poll_id": "p", "option": "no"}, nonce=2)
+
+    def test_only_creator_closes(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(VotingContract())
+        state = LedgerState({alice.address: 100, bob.address: 100})
+        call(state, registry, alice, address, "open",
+             {"poll_id": "p", "options": ["yes"]}, nonce=0)
+        with pytest.raises(ContractError):
+            call(state, registry, bob, address, "close", {"poll_id": "p"}, nonce=0)
+
+    def test_vote_on_closed_poll_rejected(self, alice, bob):
+        registry = ContractRegistry()
+        address = registry.deploy(VotingContract())
+        state = LedgerState({alice.address: 100, bob.address: 100})
+        call(state, registry, alice, address, "open",
+             {"poll_id": "p", "options": ["yes"]}, nonce=0)
+        call(state, registry, alice, address, "close", {"poll_id": "p"}, nonce=1)
+        with pytest.raises(ContractError):
+            call(state, registry, bob, address, "vote",
+                 {"poll_id": "p", "option": "yes"}, nonce=0)

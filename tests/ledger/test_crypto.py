@@ -1,0 +1,101 @@
+"""Tests for Lamport signatures."""
+
+import pytest
+
+from repro.ledger import (
+    generate_lamport_keypair,
+    lamport_sign,
+    lamport_verify,
+)
+from repro.ledger.crypto import digest_bits
+
+
+class TestDigestBits:
+    def test_length(self):
+        assert len(digest_bits(b"msg", 64)) == 64
+
+    def test_values_are_bits(self):
+        assert set(digest_bits(b"msg", 128)) <= {0, 1}
+
+    def test_deterministic(self):
+        assert digest_bits(b"m", 32) == digest_bits(b"m", 32)
+
+    def test_message_sensitivity(self):
+        assert digest_bits(b"a", 64) != digest_bits(b"b", 64)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            digest_bits(b"m", 0)
+        with pytest.raises(ValueError):
+            digest_bits(b"m", 257)
+
+
+class TestKeypair:
+    def test_deterministic_from_seed(self):
+        a = generate_lamport_keypair(b"seed", bits=16)
+        b = generate_lamport_keypair(b"seed", bits=16)
+        assert a.public_digest == b.public_digest
+
+    def test_seed_sensitivity(self):
+        a = generate_lamport_keypair(b"seed1", bits=16)
+        b = generate_lamport_keypair(b"seed2", bits=16)
+        assert a.public_digest != b.public_digest
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ValueError):
+            generate_lamport_keypair(b"", bits=16)
+
+    def test_structure(self):
+        keypair = generate_lamport_keypair(b"s", bits=8)
+        assert len(keypair.private) == 8
+        assert len(keypair.public) == 8
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        keypair = generate_lamport_keypair(b"signer", bits=32)
+        signature = lamport_sign(keypair, b"hello metaverse")
+        assert lamport_verify(signature, b"hello metaverse")
+
+    def test_wrong_message_fails(self):
+        keypair = generate_lamport_keypair(b"signer", bits=32)
+        signature = lamport_sign(keypair, b"original")
+        assert not lamport_verify(signature, b"tampered")
+
+    def test_tampered_preimage_fails(self):
+        keypair = generate_lamport_keypair(b"signer", bits=32)
+        signature = lamport_sign(keypair, b"msg")
+        revealed = list(signature.revealed)
+        revealed[0] = b"\x00" * len(revealed[0])
+        forged = type(signature)(
+            bits=signature.bits,
+            revealed=tuple(revealed),
+            public=signature.public,
+        )
+        assert not lamport_verify(forged, b"msg")
+
+    def test_swapped_public_key_fails(self):
+        honest = generate_lamport_keypair(b"honest", bits=32)
+        attacker = generate_lamport_keypair(b"attacker", bits=32)
+        signature = lamport_sign(honest, b"msg")
+        forged = type(signature)(
+            bits=signature.bits,
+            revealed=signature.revealed,
+            public=attacker.public,
+        )
+        assert not lamport_verify(forged, b"msg")
+
+    def test_truncated_signature_fails(self):
+        keypair = generate_lamport_keypair(b"signer", bits=32)
+        signature = lamport_sign(keypair, b"msg")
+        truncated = type(signature)(
+            bits=signature.bits,
+            revealed=signature.revealed[:-1],
+            public=signature.public,
+        )
+        assert not lamport_verify(truncated, b"msg")
+
+    def test_signature_public_digest_matches_keypair(self):
+        keypair = generate_lamport_keypair(b"signer", bits=16)
+        signature = lamport_sign(keypair, b"m")
+        assert signature.public_digest == keypair.public_digest

@@ -1,0 +1,69 @@
+"""Tests for canonical encoding."""
+
+import pytest
+
+from repro.ledger import EncodingError, canonical_encode
+
+
+class TestAtoms:
+    def test_none(self):
+        assert canonical_encode(None) == canonical_encode(None)
+
+    def test_bool_not_confused_with_int(self):
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(False) != canonical_encode(0)
+
+    def test_int_and_float_distinct(self):
+        assert canonical_encode(1) != canonical_encode(1.0)
+
+    def test_str_and_bytes_distinct(self):
+        assert canonical_encode("ab") != canonical_encode(b"ab")
+
+    def test_large_ints(self):
+        big = 2 ** 300
+        assert canonical_encode(big) == canonical_encode(big)
+        assert canonical_encode(big) != canonical_encode(big + 1)
+
+    def test_negative_ints(self):
+        assert canonical_encode(-5) != canonical_encode(5)
+
+    def test_float_roundtrip_precision(self):
+        assert canonical_encode(0.1 + 0.2) != canonical_encode(0.3)
+
+    def test_unicode_strings(self):
+        assert canonical_encode("héllo") != canonical_encode("hello")
+
+
+class TestContainers:
+    def test_dict_key_order_irrelevant(self):
+        a = canonical_encode({"x": 1, "y": 2})
+        b = canonical_encode({"y": 2, "x": 1})
+        assert a == b
+
+    def test_dict_values_matter(self):
+        assert canonical_encode({"x": 1}) != canonical_encode({"x": 2})
+
+    def test_list_order_matters(self):
+        assert canonical_encode([1, 2]) != canonical_encode([2, 1])
+
+    def test_list_and_tuple_equivalent(self):
+        assert canonical_encode([1, 2]) == canonical_encode((1, 2))
+
+    def test_nesting_unambiguous(self):
+        assert canonical_encode([[1], [2]]) != canonical_encode([[1, 2]])
+        assert canonical_encode([["ab"]]) != canonical_encode([["a", "b"]])
+
+    def test_empty_containers_distinct(self):
+        assert canonical_encode([]) != canonical_encode({})
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_encode({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_encode(object())
+
+    def test_deep_structure_roundtrip_stability(self):
+        value = {"a": [1, {"b": (2.5, None, True)}], "c": b"bytes"}
+        assert canonical_encode(value) == canonical_encode(value)

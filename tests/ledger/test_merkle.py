@@ -1,0 +1,90 @@
+"""Tests for Merkle trees and inclusion proofs."""
+
+import pytest
+
+from repro.ledger import EMPTY_ROOT, MerkleTree
+
+
+class TestConstruction:
+    def test_empty_tree_has_fixed_root(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert tree.leaf_count == 1
+        assert tree.root != EMPTY_ROOT
+
+    def test_root_deterministic(self):
+        assert MerkleTree([b"a", b"b"]).root == MerkleTree([b"a", b"b"]).root
+
+    def test_order_matters(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_content_matters(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_odd_leaf_count_handled(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        assert tree.leaf_count == 3
+
+    def test_duplicate_last_leaf_differs_from_explicit_pair(self):
+        # [a, b, c] pads c; must not equal [a, b, c, c] structurally...
+        # (bitcoin-style padding makes them equal at the hash level for
+        # the last pair, but the leaf counts differ)
+        padded = MerkleTree([b"a", b"b", b"c"])
+        explicit = MerkleTree([b"a", b"b", b"c", b"c"])
+        assert padded.root == explicit.root  # documents the padding rule
+        assert padded.leaf_count != explicit.leaf_count
+
+    def test_len(self):
+        assert len(MerkleTree([b"x", b"y"])) == 2
+
+
+class TestProofs:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 13])
+    def test_every_leaf_provable(self, count):
+        leaves = [f"leaf-{i}".encode() for i in range(count)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.proof(index)
+            assert proof.verify(leaf, tree.root)
+
+    def test_wrong_leaf_data_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        proof = tree.proof(1)
+        assert not proof.verify(b"x", tree.root)
+
+    def test_wrong_root_fails(self):
+        tree = MerkleTree([b"a", b"b"])
+        other = MerkleTree([b"c", b"d"])
+        proof = tree.proof(0)
+        assert not proof.verify(b"a", other.root)
+
+    def test_proof_for_wrong_index_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.proof(0)
+        assert not proof.verify(b"b", tree.root)
+
+    def test_out_of_range_index_rejected(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.proof(1)
+        with pytest.raises(IndexError):
+            tree.proof(-1)
+
+    def test_empty_tree_has_no_proofs(self):
+        with pytest.raises(IndexError):
+            MerkleTree([]).proof(0)
+
+    def test_proof_path_length_is_log(self):
+        tree = MerkleTree([bytes([i]) for i in range(16)])
+        assert len(tree.proof(0).path) == 4
+
+    def test_leaf_interior_domain_separation(self):
+        # A single leaf equal to the concatenation of two hashed children
+        # must not verify as their parent (second-preimage guard).
+        tree = MerkleTree([b"a", b"b"])
+        proof = tree.proof(0)
+        root_as_leaf_tree = MerkleTree([tree.root])
+        assert root_as_leaf_tree.root != tree.root
+        assert not proof.verify(tree.root, tree.root)

@@ -1,0 +1,160 @@
+"""Tests for the ledger state machine."""
+
+import pytest
+
+from repro.errors import InvalidTransactionError
+from repro.ledger import LedgerState, TxKind, Wallet
+
+
+@pytest.fixture
+def alice():
+    return Wallet(seed=b"state-alice")
+
+
+@pytest.fixture
+def bob():
+    return Wallet(seed=b"state-bob")
+
+
+@pytest.fixture
+def state(alice, bob):
+    return LedgerState({alice.address: 100, bob.address: 50})
+
+
+class TestTransfers:
+    def test_transfer_moves_balance(self, state, alice, bob):
+        state.apply(alice.transfer(bob.address, 30, nonce=0))
+        assert state.balance_of(alice.address) == 70
+        assert state.balance_of(bob.address) == 80
+
+    def test_insufficient_balance_rejected(self, state, alice, bob):
+        with pytest.raises(InvalidTransactionError):
+            state.apply(alice.transfer(bob.address, 1000, nonce=0))
+
+    def test_fee_deducted_from_sender(self, state, alice, bob):
+        state.apply(alice.transfer(bob.address, 30, nonce=0, fee=5))
+        assert state.balance_of(alice.address) == 65
+
+    def test_amount_plus_fee_must_be_covered(self, state, alice, bob):
+        with pytest.raises(InvalidTransactionError):
+            state.apply(alice.transfer(bob.address, 98, nonce=0, fee=5))
+
+    def test_transfer_to_unknown_account_creates_it(self, state, alice):
+        state.apply(alice.transfer("ee" * 32, 10, nonce=0))
+        assert state.balance_of("ee" * 32) == 10
+
+
+class TestNonces:
+    def test_nonces_must_be_sequential(self, state, alice, bob):
+        state.apply(alice.transfer(bob.address, 1, nonce=0))
+        with pytest.raises(InvalidTransactionError):
+            state.apply(alice.transfer(bob.address, 1, nonce=0))  # replay
+        with pytest.raises(InvalidTransactionError):
+            state.apply(alice.transfer(bob.address, 1, nonce=5))  # gap
+        state.apply(alice.transfer(bob.address, 1, nonce=1))
+        assert state.nonce_of(alice.address) == 2
+
+    def test_replayed_signed_tx_rejected(self, state, alice, bob):
+        stx = alice.transfer(bob.address, 5, nonce=0)
+        state.apply(stx)
+        with pytest.raises(InvalidTransactionError):
+            state.apply(stx)
+
+
+class TestStaking:
+    def test_stake_moves_balance_to_stake(self, state, alice):
+        stx = alice.sign(
+            alice.build_transaction("", amount=40, nonce=0, kind=TxKind.STAKE)
+        )
+        state.apply(stx)
+        assert state.balance_of(alice.address) == 60
+        assert state.stake_of(alice.address) == 40
+
+    def test_unstake_returns_balance(self, state, alice):
+        state.apply(
+            alice.sign(
+                alice.build_transaction("", amount=40, nonce=0, kind=TxKind.STAKE)
+            )
+        )
+        state.apply(
+            alice.sign(
+                alice.build_transaction("", amount=0, nonce=1, kind=TxKind.UNSTAKE,
+                                        payload={})
+            )
+        )
+        # unstake of 0 is a no-op; now unstake a real amount
+        stx = alice.sign(
+            alice.build_transaction("", amount=15, nonce=2, kind=TxKind.UNSTAKE)
+        )
+        state.apply(stx)
+        assert state.stake_of(alice.address) == 25
+        assert state.balance_of(alice.address) == 75
+
+    def test_overdraw_unstake_rejected(self, state, alice):
+        stx = alice.sign(
+            alice.build_transaction("", amount=10, nonce=0, kind=TxKind.UNSTAKE)
+        )
+        with pytest.raises(InvalidTransactionError):
+            state.apply(stx)
+
+    def test_supply_conserved_by_staking(self, state, alice):
+        before = state.total_supply
+        state.apply(
+            alice.sign(
+                alice.build_transaction("", amount=30, nonce=0, kind=TxKind.STAKE)
+            )
+        )
+        assert state.total_supply == before
+
+
+class TestRecords:
+    def test_record_appends_payload(self, state, alice):
+        state.apply(alice.record(nonce=0, record_payload={"category": "gaze"}))
+        assert state.records[-1]["category"] == "gaze"
+        assert state.records[-1]["sender"] == alice.address
+
+
+class TestContracts:
+    def test_contract_tx_requires_executor(self, state, alice):
+        stx = alice.call_contract("dd" * 32, "m", {}, nonce=0)
+        with pytest.raises(InvalidTransactionError):
+            state.apply(stx)
+
+    def test_contract_executor_receives_call(self, state, alice):
+        calls = []
+
+        def executor(st, stx):
+            calls.append(stx.tx.payload["method"])
+            return {"ok": True}
+
+        stx = alice.call_contract("dd" * 32, "ping", {}, nonce=0, amount=5)
+        result = state.apply(stx, contract_executor=executor)
+        assert result == {"ok": True}
+        assert calls == ["ping"]
+        assert state.balance_of("dd" * 32) == 5  # value moved to contract
+
+
+class TestFeesAndCopies:
+    def test_credit_fees(self, state):
+        state.credit_fees("pp" * 32, 7)
+        assert state.balance_of("pp" * 32) == 7
+
+    def test_negative_fees_rejected(self, state):
+        with pytest.raises(ValueError):
+            state.credit_fees("pp" * 32, -1)
+
+    def test_copy_is_independent(self, state, alice, bob):
+        clone = state.copy()
+        clone.apply(alice.transfer(bob.address, 10, nonce=0))
+        assert state.balance_of(alice.address) == 100
+        assert clone.balance_of(alice.address) == 90
+
+    def test_copy_preserves_contract_storage(self, state):
+        state.contract_storage["c1"] = {"nested": {"list": [1, 2]}}
+        clone = state.copy()
+        clone.contract_storage["c1"]["nested"]["list"].append(3)
+        assert state.contract_storage["c1"]["nested"]["list"] == [1, 2]
+
+    def test_negative_initial_balance_rejected(self):
+        with pytest.raises(ValueError):
+            LedgerState({"x": -5})

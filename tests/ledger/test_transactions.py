@@ -1,0 +1,128 @@
+"""Tests for transactions and signed transactions."""
+
+import pytest
+
+from repro.errors import InvalidTransactionError
+from repro.ledger import Transaction, TxKind
+
+
+def make_tx(**overrides):
+    defaults = dict(
+        sender="aa" * 32,
+        recipient="bb" * 32,
+        amount=10,
+        fee=1,
+        nonce=0,
+        kind=TxKind.TRANSFER,
+    )
+    defaults.update(overrides)
+    return Transaction(**defaults)
+
+
+class TestValidation:
+    def test_negative_amount_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            make_tx(amount=-1)
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            make_tx(fee=-1)
+
+    def test_negative_nonce_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            make_tx(nonce=-1)
+
+    def test_empty_sender_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            make_tx(sender="")
+
+
+class TestHashing:
+    def test_tx_id_deterministic(self):
+        assert make_tx().tx_id == make_tx().tx_id
+
+    def test_tx_id_field_sensitivity(self):
+        base = make_tx()
+        assert base.tx_id != make_tx(amount=11).tx_id
+        assert base.tx_id != make_tx(nonce=1).tx_id
+        assert base.tx_id != make_tx(kind=TxKind.STAKE).tx_id
+        assert base.tx_id != make_tx(payload={"k": 1}).tx_id
+
+    def test_tx_id_is_hex_sha256(self):
+        tx_id = make_tx().tx_id
+        assert len(tx_id) == 64
+        int(tx_id, 16)  # must parse as hex
+
+
+class TestSignedTransactions:
+    def test_wallet_signature_verifies(self, fresh_wallet):
+        wallet = fresh_wallet("tx-signer")
+        tx = wallet.build_transaction("cc" * 32, amount=1, nonce=0)
+        stx = wallet.sign(tx)
+        assert stx.verify()
+
+    def test_modified_tx_fails_verification(self, fresh_wallet):
+        wallet = fresh_wallet("tx-signer-2")
+        tx = wallet.build_transaction("cc" * 32, amount=1, nonce=0)
+        stx = wallet.sign(tx)
+        tampered_tx = Transaction(
+            sender=tx.sender,
+            recipient=tx.recipient,
+            amount=999,
+            fee=tx.fee,
+            nonce=tx.nonce,
+            kind=tx.kind,
+            payload=tx.payload,
+        )
+        forged = type(stx)(
+            tx=tampered_tx, signature=stx.signature, key_proof=stx.key_proof
+        )
+        assert not forged.verify()
+
+    def test_wrong_sender_address_fails(self, fresh_wallet):
+        wallet = fresh_wallet("tx-signer-3")
+        other = fresh_wallet("tx-other")
+        tx = wallet.build_transaction("cc" * 32, amount=1, nonce=0)
+        stx = wallet.sign(tx)
+        # Re-point the sender at someone else's address.
+        stolen_tx = Transaction(
+            sender=other.address,
+            recipient=tx.recipient,
+            amount=tx.amount,
+            fee=tx.fee,
+            nonce=tx.nonce,
+            kind=tx.kind,
+        )
+        forged = type(stx)(
+            tx=stolen_tx, signature=stx.signature, key_proof=stx.key_proof
+        )
+        assert not forged.verify()
+
+    def test_non_hex_sender_fails_gracefully(self, fresh_wallet):
+        wallet = fresh_wallet("tx-signer-4")
+        tx = wallet.build_transaction("cc" * 32, amount=1, nonce=0)
+        stx = wallet.sign(tx)
+        bad_tx = Transaction(
+            sender="not-hex!",
+            recipient=tx.recipient,
+            amount=tx.amount,
+            fee=tx.fee,
+            nonce=tx.nonce,
+            kind=tx.kind,
+        )
+        forged = type(stx)(
+            tx=bad_tx, signature=stx.signature, key_proof=stx.key_proof
+        )
+        assert not forged.verify()
+
+    def test_require_valid_raises(self, fresh_wallet):
+        wallet = fresh_wallet("tx-signer-5")
+        tx = wallet.build_transaction("cc" * 32, amount=1, nonce=0)
+        stx = wallet.sign(tx)
+        tampered = type(stx)(
+            tx=wallet.build_transaction("cc" * 32, amount=2, nonce=0),
+            signature=stx.signature,
+            key_proof=stx.key_proof,
+        )
+        with pytest.raises(InvalidTransactionError):
+            tampered.require_valid()

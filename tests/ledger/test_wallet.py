@@ -1,0 +1,83 @@
+"""Tests for MSS wallets."""
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.ledger import TxKind, Wallet
+
+
+class TestIdentity:
+    def test_address_deterministic_from_seed(self):
+        assert Wallet(seed=b"w1").address == Wallet(seed=b"w1").address
+
+    def test_address_seed_sensitivity(self):
+        assert Wallet(seed=b"w1").address != Wallet(seed=b"w2").address
+
+    def test_address_is_hex(self):
+        int(Wallet(seed=b"w").address, 16)
+
+    def test_str_seed_accepted(self):
+        assert Wallet(seed="text").address == Wallet(seed=b"text").address
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Wallet(seed=b"")
+
+    def test_bad_height_rejected(self):
+        with pytest.raises(ValueError):
+            Wallet(seed=b"w", height=-1)
+        with pytest.raises(ValueError):
+            Wallet(seed=b"w", height=17)
+
+
+class TestSigning:
+    def test_each_signature_verifies(self):
+        wallet = Wallet(seed=b"signer", height=3)
+        for nonce in range(4):
+            stx = wallet.transfer("ff" * 32, amount=1, nonce=nonce)
+            assert stx.verify()
+
+    def test_signing_consumes_keys(self):
+        wallet = Wallet(seed=b"signer", height=2)
+        assert wallet.keys_remaining == 4
+        wallet.transfer("ff" * 32, amount=1, nonce=0)
+        assert wallet.keys_remaining == 3
+        assert wallet.signatures_issued == 1
+
+    def test_exhaustion_wraps_when_reuse_allowed(self):
+        wallet = Wallet(seed=b"small", height=0, allow_reuse=True)
+        wallet.transfer("ff" * 32, amount=0, nonce=0)
+        stx = wallet.transfer("ff" * 32, amount=0, nonce=1)
+        assert stx.verify()
+        assert wallet.reused_signatures == 1
+
+    def test_exhaustion_raises_when_reuse_disabled(self):
+        wallet = Wallet(seed=b"strict", height=0, allow_reuse=False)
+        wallet.transfer("ff" * 32, amount=0, nonce=0)
+        with pytest.raises(LedgerError):
+            wallet.transfer("ff" * 32, amount=0, nonce=1)
+
+    def test_cannot_sign_for_other_sender(self):
+        wallet = Wallet(seed=b"w1")
+        other = Wallet(seed=b"w2")
+        tx = other.build_transaction("ff" * 32, amount=1, nonce=0)
+        with pytest.raises(LedgerError):
+            wallet.sign(tx)
+
+
+class TestBuilders:
+    def test_record_builder(self):
+        wallet = Wallet(seed=b"rec")
+        stx = wallet.record(nonce=0, record_payload={"activity": "x"})
+        assert stx.tx.kind is TxKind.RECORD
+        assert stx.tx.amount == 0
+        assert stx.verify()
+
+    def test_contract_call_builder(self):
+        wallet = Wallet(seed=b"call")
+        stx = wallet.call_contract(
+            "dd" * 32, method="vote", args={"option": "yes"}, nonce=0
+        )
+        assert stx.tx.kind is TxKind.CONTRACT
+        assert stx.tx.payload["method"] == "vote"
+        assert stx.verify()

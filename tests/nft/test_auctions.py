@@ -1,0 +1,162 @@
+"""Tests for English auctions."""
+
+import pytest
+
+from repro.errors import MarketError
+from repro.nft import NFTCollection, NFTMarketplace
+from repro.nft.auctions import AuctionHouse
+
+
+@pytest.fixture
+def setup():
+    market = NFTMarketplace(NFTCollection("auction-art"))
+    house = AuctionHouse(market)
+    token = market.mint("alice", "art://unique", time=0.0)
+    for bidder, funds in (("bob", 100.0), ("carol", 200.0)):
+        market.deposit(bidder, funds)
+    return market, house, token
+
+
+class TestOpening:
+    def test_open_requires_ownership(self, setup):
+        market, house, token = setup
+        with pytest.raises(MarketError):
+            house.open_auction("mallory", token.token_id, 10.0, time=0.0)
+
+    def test_double_auction_rejected(self, setup):
+        market, house, token = setup
+        house.open_auction("alice", token.token_id, 10.0, time=0.0)
+        with pytest.raises(MarketError):
+            house.open_auction("alice", token.token_id, 10.0, time=1.0)
+
+    def test_invalid_params(self, setup):
+        market, house, token = setup
+        with pytest.raises(MarketError):
+            house.open_auction("alice", token.token_id, 0.0, time=0.0)
+        with pytest.raises(MarketError):
+            house.open_auction("alice", token.token_id, 5.0, time=0.0, duration=0)
+
+
+class TestBidding:
+    def test_bid_escrows_funds(self, setup):
+        market, house, token = setup
+        auction = house.open_auction("alice", token.token_id, 10.0, time=0.0)
+        house.place_bid(auction.auction_id, "bob", 10.0, time=1.0)
+        assert market.balance_of("bob") == 90.0
+
+    def test_outbid_refunds_previous_leader(self, setup):
+        market, house, token = setup
+        auction = house.open_auction(
+            "alice", token.token_id, 10.0, time=0.0, min_increment=5.0
+        )
+        house.place_bid(auction.auction_id, "bob", 10.0, time=1.0)
+        house.place_bid(auction.auction_id, "carol", 15.0, time=2.0)
+        assert market.balance_of("bob") == 100.0  # refunded
+        assert market.balance_of("carol") == 185.0
+
+    def test_lowball_rejected(self, setup):
+        market, house, token = setup
+        auction = house.open_auction(
+            "alice", token.token_id, 10.0, time=0.0, min_increment=5.0
+        )
+        with pytest.raises(MarketError):
+            house.place_bid(auction.auction_id, "bob", 9.0, time=1.0)
+        house.place_bid(auction.auction_id, "bob", 10.0, time=1.0)
+        with pytest.raises(MarketError):
+            house.place_bid(auction.auction_id, "carol", 12.0, time=2.0)
+
+    def test_seller_cannot_bid(self, setup):
+        market, house, token = setup
+        auction = house.open_auction("alice", token.token_id, 10.0, time=0.0)
+        market.deposit("alice", 100.0)
+        with pytest.raises(MarketError):
+            house.place_bid(auction.auction_id, "alice", 20.0, time=1.0)
+
+    def test_late_bid_rejected(self, setup):
+        market, house, token = setup
+        auction = house.open_auction(
+            "alice", token.token_id, 10.0, time=0.0, duration=5.0
+        )
+        with pytest.raises(MarketError):
+            house.place_bid(auction.auction_id, "bob", 20.0, time=6.0)
+
+    def test_insufficient_funds_rejected(self, setup):
+        market, house, token = setup
+        auction = house.open_auction("alice", token.token_id, 10.0, time=0.0)
+        with pytest.raises(MarketError):
+            house.place_bid(auction.auction_id, "bob", 150.0, time=1.0)
+
+
+class TestSettlement:
+    def test_winner_gets_token_seller_gets_funds(self, setup):
+        market, house, token = setup
+        auction = house.open_auction(
+            "alice", token.token_id, 10.0, time=0.0, duration=5.0
+        )
+        house.place_bid(auction.auction_id, "bob", 10.0, time=1.0)
+        house.place_bid(auction.auction_id, "carol", 50.0, time=2.0)
+        sale = house.settle(auction.auction_id, time=5.0)
+        assert sale.buyer == "carol"
+        assert market.collection.owner_of(token.token_id) == "carol"
+        # Primary sale: no royalty; 2% fee.
+        assert market.balance_of("alice") == pytest.approx(49.0)
+        assert sale.fee_paid == pytest.approx(1.0)
+
+    def test_secondary_settlement_pays_royalty(self, setup):
+        market, house, token = setup
+        # First move the token to bob via a direct sale.
+        listing = market.list_token("alice", token.token_id, 10.0, time=0.0)
+        market.buy("bob", listing.listing_id, time=0.5)
+        auction = house.open_auction(
+            "bob", token.token_id, 20.0, time=1.0, duration=5.0
+        )
+        house.place_bid(auction.auction_id, "carol", 100.0, time=2.0)
+        sale = house.settle(auction.auction_id, time=6.0)
+        assert sale.royalty_paid == pytest.approx(5.0)  # 5% to creator alice
+
+    def test_no_bids_returns_none(self, setup):
+        market, house, token = setup
+        auction = house.open_auction(
+            "alice", token.token_id, 10.0, time=0.0, duration=5.0
+        )
+        assert house.settle(auction.auction_id, time=5.0) is None
+        assert market.collection.owner_of(token.token_id) == "alice"
+
+    def test_early_settle_rejected(self, setup):
+        market, house, token = setup
+        auction = house.open_auction(
+            "alice", token.token_id, 10.0, time=0.0, duration=5.0
+        )
+        with pytest.raises(MarketError):
+            house.settle(auction.auction_id, time=3.0)
+
+    def test_double_settle_rejected(self, setup):
+        market, house, token = setup
+        auction = house.open_auction(
+            "alice", token.token_id, 10.0, time=0.0, duration=5.0
+        )
+        house.settle(auction.auction_id, time=5.0)
+        with pytest.raises(MarketError):
+            house.settle(auction.auction_id, time=6.0)
+
+    def test_funds_conserved(self, setup):
+        market, house, token = setup
+        total_before = (
+            market.balance_of("alice")
+            + market.balance_of("bob")
+            + market.balance_of("carol")
+            + market.balance_of("__platform__")
+        )
+        auction = house.open_auction(
+            "alice", token.token_id, 10.0, time=0.0, duration=5.0
+        )
+        house.place_bid(auction.auction_id, "bob", 10.0, time=1.0)
+        house.place_bid(auction.auction_id, "carol", 30.0, time=2.0)
+        house.settle(auction.auction_id, time=5.0)
+        total_after = (
+            market.balance_of("alice")
+            + market.balance_of("bob")
+            + market.balance_of("carol")
+            + market.balance_of("__platform__")
+        )
+        assert total_after == pytest.approx(total_before)

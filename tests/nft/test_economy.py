@@ -1,0 +1,119 @@
+"""Tests for play-to-earn and create-to-earn economies."""
+
+import pytest
+
+from repro.errors import NftError
+from repro.nft import CreateToEarnStudio, NFTCollection, NFTMarketplace, PlayToEarnGame
+from repro.reputation import ReputationSystem
+
+
+@pytest.fixture
+def market():
+    return NFTMarketplace(
+        NFTCollection("game"), reputation=ReputationSystem(blend=1.0)
+    )
+
+
+class TestPlayToEarn:
+    def test_adopt_creature_mints_nft(self, market, rngs):
+        game = PlayToEarnGame(market, rngs.stream("g"))
+        token = game.adopt_creature("p1", "axo", time=0.0)
+        assert market.collection.owner_of(token.token_id) == "p1"
+        assert 0 < token.quality < 1
+
+    def test_battle_pays_winner_and_improves_creature(self, market, rngs):
+        game = PlayToEarnGame(market, rngs.stream("g"), reward=7.0)
+        a = game.adopt_creature("p1", "a", time=0.0)
+        b = game.adopt_creature("p2", "b", time=0.0)
+        q_before = {a.token_id: a.quality, b.token_id: b.quality}
+        result = game.battle(a.token_id, b.token_id, time=1.0)
+        assert result.reward == 7.0
+        assert market.balance_of(result.winner) == 7.0
+        winner_token = market.collection.token(result.winner_token)
+        assert winner_token.quality > q_before[result.winner_token]
+
+    def test_cannot_battle_self(self, market, rngs):
+        game = PlayToEarnGame(market, rngs.stream("g"))
+        a = game.adopt_creature("p1", "a", time=0.0)
+        b = game.adopt_creature("p1", "b", time=0.0)
+        with pytest.raises(NftError):
+            game.battle(a.token_id, b.token_id, time=1.0)
+
+    def test_better_creature_usually_wins(self, market, rngs):
+        game = PlayToEarnGame(market, rngs.stream("g"), improvement=0.0)
+        strong = game.adopt_creature("p1", "strong", time=0.0)
+        weak = game.adopt_creature("p2", "weak", time=0.0)
+        strong_token = market.collection.token(strong.token_id)
+        weak_token = market.collection.token(weak.token_id)
+        strong_token.quality = 0.95
+        weak_token.quality = 0.05
+        wins = sum(
+            1
+            for _ in range(50)
+            if game.battle(strong.token_id, weak.token_id, time=1.0).winner == "p1"
+        )
+        assert wins > 40
+
+    def test_player_earnings_accumulate(self, market, rngs):
+        game = PlayToEarnGame(market, rngs.stream("g"), reward=2.0)
+        a = game.adopt_creature("p1", "a", time=0.0)
+        b = game.adopt_creature("p2", "b", time=0.0)
+        for _ in range(10):
+            game.battle(a.token_id, b.token_id, time=1.0)
+        total = game.player_earnings("p1") + game.player_earnings("p2")
+        assert total == pytest.approx(20.0)
+
+    def test_invalid_params(self, market, rngs):
+        with pytest.raises(NftError):
+            PlayToEarnGame(market, rngs.stream("g"), reward=-1)
+        with pytest.raises(NftError):
+            PlayToEarnGame(market, rngs.stream("g"), improvement=2.0)
+
+
+class TestCreateToEarn:
+    def test_register_and_produce(self, market, rngs):
+        studio = CreateToEarnStudio(market, rngs.stream("s"))
+        studio.register_creator("alice", skill=0.9)
+        token = studio.produce_and_list("alice", time=0.0)
+        assert token is not None
+        assert len(market.active_listings()) == 1
+
+    def test_duplicate_registration_rejected(self, market, rngs):
+        studio = CreateToEarnStudio(market, rngs.stream("s"))
+        studio.register_creator("alice", skill=0.5)
+        with pytest.raises(NftError):
+            studio.register_creator("alice", skill=0.6)
+
+    def test_unknown_creator_rejected(self, market, rngs):
+        studio = CreateToEarnStudio(market, rngs.stream("s"))
+        with pytest.raises(NftError):
+            studio.produce_and_list("ghost", time=0.0)
+
+    def test_scammer_output_flagged(self, market, rngs):
+        studio = CreateToEarnStudio(market, rngs.stream("s"))
+        studio.register_creator("scammy", skill=0.1, is_scammer=True)
+        token = studio.produce_and_list("scammy", time=0.0)
+        assert token.is_scam
+        assert token.quality <= 0.3
+
+    def test_skilled_creator_higher_quality(self, market, rngs):
+        studio = CreateToEarnStudio(market, rngs.stream("s"))
+        studio.register_creator("master", skill=0.9)
+        studio.register_creator("novice", skill=0.2)
+        master_q = [
+            studio.produce_and_list("master", time=t).quality for t in range(10)
+        ]
+        novice_q = [
+            studio.produce_and_list("novice", time=t).quality for t in range(10)
+        ]
+        assert sum(master_q) / 10 > sum(novice_q) / 10
+
+    def test_policy_refusal_returns_none(self, rngs):
+        from repro.nft import InviteOnlyMinting
+
+        market = NFTMarketplace(
+            NFTCollection("gated"), policy=InviteOnlyMinting([])
+        )
+        studio = CreateToEarnStudio(market, rngs.stream("s"))
+        studio.register_creator("alice", skill=0.9)
+        assert studio.produce_and_list("alice", time=0.0) is None

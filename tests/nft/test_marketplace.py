@@ -1,0 +1,168 @@
+"""Tests for the NFT marketplace."""
+
+import pytest
+
+from repro.errors import MarketError, MintingError
+from repro.nft import InviteOnlyMinting, NFTCollection, NFTMarketplace
+from repro.reputation import ReputationSystem
+
+
+@pytest.fixture
+def market():
+    return NFTMarketplace(
+        NFTCollection("art"), reputation=ReputationSystem(blend=1.0)
+    )
+
+
+def mint_and_list(market, creator="alice", price=10.0, is_scam=False, uri=None):
+    token = market.mint(
+        creator, uri or f"art://{creator}/{len(market.collection)}",
+        time=0.0, is_scam=is_scam,
+    )
+    listing = market.list_token(creator, token.token_id, price, time=0.0)
+    return token, listing
+
+
+class TestFunds:
+    def test_deposit_and_balance(self, market):
+        market.deposit("bob", 100.0)
+        assert market.balance_of("bob") == 100.0
+
+    def test_negative_deposit_rejected(self, market):
+        with pytest.raises(MarketError):
+            market.deposit("bob", -1.0)
+
+
+class TestListings:
+    def test_list_requires_ownership(self, market):
+        token, _ = mint_and_list(market)
+        with pytest.raises(MarketError):
+            market.list_token("mallory", token.token_id, 5.0, time=0.0)
+
+    def test_double_listing_rejected(self, market):
+        token, _ = mint_and_list(market)
+        with pytest.raises(MarketError):
+            market.list_token("alice", token.token_id, 5.0, time=0.0)
+
+    def test_non_positive_price_rejected(self, market):
+        token = market.mint("alice", "art://x", time=0.0)
+        with pytest.raises(MarketError):
+            market.list_token("alice", token.token_id, 0.0, time=0.0)
+
+    def test_delist(self, market):
+        _, listing = mint_and_list(market)
+        market.delist(listing.listing_id)
+        assert market.active_listings() == []
+
+    def test_active_listings_filter_by_seller(self, market):
+        mint_and_list(market, creator="alice")
+        market.deposit("carol", 0)
+        token = market.mint("carol", "art://carol/0", time=0.0)
+        market.list_token("carol", token.token_id, 3.0, time=0.0)
+        assert len(market.active_listings(seller="carol")) == 1
+
+
+class TestBuying:
+    def test_primary_sale_pays_seller_minus_fee(self, market):
+        _, listing = mint_and_list(market, price=100.0)
+        market.deposit("bob", 200.0)
+        sale = market.buy("bob", listing.listing_id, time=1.0)
+        assert sale.royalty_paid == 0.0  # primary sale: seller is creator
+        assert sale.fee_paid == pytest.approx(2.0)
+        assert market.balance_of("alice") == pytest.approx(98.0)
+        assert market.balance_of("bob") == 100.0
+        assert market.collection.owner_of(sale.token_id) == "bob"
+
+    def test_secondary_sale_pays_royalty_to_creator(self, market):
+        token, listing = mint_and_list(market, price=100.0)
+        market.deposit("bob", 300.0)
+        market.buy("bob", listing.listing_id, time=1.0)
+        relisting = market.list_token("bob", token.token_id, 200.0, time=2.0)
+        market.deposit("carol", 300.0)
+        sale = market.buy("carol", relisting.listing_id, time=3.0)
+        assert sale.royalty_paid == pytest.approx(10.0)  # 5% of 200
+        assert market.balance_of("alice") == pytest.approx(98.0 + 10.0)
+
+    def test_insufficient_funds_rejected(self, market):
+        _, listing = mint_and_list(market, price=100.0)
+        market.deposit("bob", 10.0)
+        with pytest.raises(MarketError):
+            market.buy("bob", listing.listing_id, time=1.0)
+
+    def test_buyer_cannot_be_seller(self, market):
+        _, listing = mint_and_list(market)
+        market.deposit("alice", 100.0)
+        with pytest.raises(MarketError):
+            market.buy("alice", listing.listing_id, time=1.0)
+
+    def test_sold_listing_inactive(self, market):
+        _, listing = mint_and_list(market, price=10.0)
+        market.deposit("bob", 100.0)
+        market.buy("bob", listing.listing_id, time=1.0)
+        with pytest.raises(MarketError):
+            market.buy("bob", listing.listing_id, time=2.0)
+
+    def test_fee_sink_receives_fees(self):
+        collected = []
+        market = NFTMarketplace(
+            NFTCollection("art"), fee_sink=collected.append
+        )
+        token = market.mint("alice", "u", time=0.0)
+        listing = market.list_token("alice", token.token_id, 50.0, time=0.0)
+        market.deposit("bob", 100.0)
+        market.buy("bob", listing.listing_id, time=1.0)
+        assert collected == [pytest.approx(1.0)]
+
+
+class TestScamReports:
+    def test_only_owner_reports(self, market):
+        token, listing = mint_and_list(market, is_scam=True, price=5.0)
+        market.deposit("bob", 100.0)
+        market.buy("bob", listing.listing_id, time=1.0)
+        with pytest.raises(MarketError):
+            market.report_scam("carol", token.token_id, time=2.0)
+        report = market.report_scam("bob", token.token_id, time=2.0)
+        assert report.creator == "alice"
+
+    def test_report_lowers_creator_reputation(self, market):
+        token, listing = mint_and_list(market, is_scam=True, price=5.0)
+        market.deposit("bob", 100.0)
+        market.buy("bob", listing.listing_id, time=1.0)
+        before = market.reputation.local_score("alice")
+        market.report_scam("bob", token.token_id, time=2.0)
+        assert market.reputation.local_score("alice") < before
+
+    def test_praise_raises_creator_reputation(self, market):
+        token, listing = mint_and_list(market, price=5.0)
+        market.deposit("bob", 100.0)
+        market.buy("bob", listing.listing_id, time=1.0)
+        before = market.reputation.local_score("alice")
+        market.praise("bob", token.token_id, time=2.0)
+        assert market.reputation.local_score("alice") > before
+
+
+class TestPolicyIntegration:
+    def test_policy_gates_minting(self):
+        market = NFTMarketplace(
+            NFTCollection("gated"), policy=InviteOnlyMinting(["alice"])
+        )
+        market.mint("alice", "u1", time=0.0)
+        with pytest.raises(MintingError):
+            market.mint("bob", "u2", time=0.0)
+        stats = market.market_stats()
+        assert stats["mints_admitted"] == 1.0
+        assert stats["mints_refused"] == 1.0
+
+    def test_market_stats_scam_fraction(self, market):
+        _, l1 = mint_and_list(market, price=5.0)
+        market.deposit("carol", 10)
+        t2 = market.mint("carol", "art://scam", time=0.0, is_scam=True)
+        l2 = market.list_token("carol", t2.token_id, 5.0, time=0.0)
+        market.deposit("bob", 100.0)
+        market.buy("bob", l1.listing_id, time=1.0)
+        market.buy("bob", l2.listing_id, time=1.0)
+        assert market.market_stats()["scam_sale_fraction"] == 0.5
+
+    def test_invalid_fee_fraction(self):
+        with pytest.raises(MarketError):
+            NFTMarketplace(NFTCollection("x"), fee_fraction=0.5)

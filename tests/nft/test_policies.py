@@ -1,0 +1,69 @@
+"""Tests for minting policies."""
+
+import pytest
+
+from repro.errors import MintingError
+from repro.nft import InviteOnlyMinting, OpenMinting, ReputationVetted
+from repro.reputation import ReputationSystem
+
+
+class TestOpen:
+    def test_everyone_admitted(self):
+        policy = OpenMinting()
+        policy.check("anyone")
+        policy.check("anyone-else")
+        assert policy.admitted_count == 2
+        assert policy.refused_count == 0
+
+
+class TestInviteOnly:
+    def test_only_invited_mint(self):
+        policy = InviteOnlyMinting(["alice"])
+        policy.check("alice")
+        with pytest.raises(MintingError):
+            policy.check("bob")
+        assert policy.refused_creators == {"bob"}
+
+    def test_late_invite_admits(self):
+        policy = InviteOnlyMinting([])
+        with pytest.raises(MintingError):
+            policy.check("carol")
+        policy.invite("carol")
+        policy.check("carol")
+        assert policy.admitted_count == 1
+
+    def test_invited_snapshot(self):
+        policy = InviteOnlyMinting(["a", "b"])
+        assert policy.invited == {"a", "b"}
+
+
+class TestReputationVetted:
+    def test_newcomers_at_prior_admitted(self):
+        reputation = ReputationSystem(blend=1.0)
+        policy = ReputationVetted(reputation, threshold=0.45)
+        policy.check("newcomer")  # prior 0.5 >= 0.45
+
+    def test_reported_scammer_locked_out(self):
+        reputation = ReputationSystem(blend=1.0)
+        policy = ReputationVetted(reputation, threshold=0.45)
+        for _ in range(3):
+            reputation.record("buyer", "scammer", False)
+        with pytest.raises(MintingError):
+            policy.check("scammer")
+
+    def test_redemption_possible(self):
+        reputation = ReputationSystem(blend=1.0)
+        policy = ReputationVetted(reputation, threshold=0.45)
+        for _ in range(2):
+            reputation.record("buyer", "reformed", False)
+        assert not policy.allows("reformed")
+        for _ in range(6):
+            reputation.record("buyer2", "reformed", True)
+        assert policy.allows("reformed")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(MintingError):
+            ReputationVetted(ReputationSystem(), threshold=1.5)
+
+    def test_threshold_property(self):
+        assert ReputationVetted(ReputationSystem(), threshold=0.3).threshold == 0.3

@@ -1,0 +1,89 @@
+"""Tests for NFTs and collections."""
+
+import pytest
+
+from repro.errors import NftError
+from repro.nft import NFTCollection
+
+
+@pytest.fixture
+def collection():
+    return NFTCollection("land")
+
+
+class TestMinting:
+    def test_mint_assigns_owner_and_id(self, collection):
+        token = collection.mint("alice", "land://0,0", time=0.0)
+        assert token.owner == "alice"
+        assert token.creator == "alice"
+        assert token.token_id in collection
+
+    def test_uri_uniqueness_enforced(self, collection):
+        collection.mint("alice", "land://0,0", time=0.0)
+        with pytest.raises(NftError):
+            collection.mint("bob", "land://0,0", time=1.0)
+
+    def test_token_ids_sequential(self, collection):
+        a = collection.mint("alice", "land://1", time=0.0)
+        b = collection.mint("alice", "land://2", time=0.0)
+        assert a.token_id != b.token_id
+
+    def test_invalid_royalty_rejected(self, collection):
+        with pytest.raises(NftError):
+            collection.mint("a", "u", time=0.0, royalty_fraction=0.9)
+
+    def test_invalid_quality_rejected(self, collection):
+        with pytest.raises(NftError):
+            collection.mint("a", "u", time=0.0, quality=1.5)
+
+    def test_empty_collection_name_rejected(self):
+        with pytest.raises(NftError):
+            NFTCollection("")
+
+    def test_by_uri_lookup(self, collection):
+        token = collection.mint("alice", "land://7", time=0.0)
+        assert collection.by_uri("land://7").token_id == token.token_id
+        assert collection.by_uri("land://missing") is None
+
+
+class TestTransfers:
+    def test_transfer_changes_owner(self, collection):
+        token = collection.mint("alice", "u", time=0.0)
+        collection.transfer(token.token_id, "alice", "bob", time=1.0, price=10.0)
+        assert collection.owner_of(token.token_id) == "bob"
+
+    def test_only_owner_transfers(self, collection):
+        token = collection.mint("alice", "u", time=0.0)
+        with pytest.raises(NftError):
+            collection.transfer(token.token_id, "mallory", "bob", time=1.0)
+
+    def test_self_transfer_rejected(self, collection):
+        token = collection.mint("alice", "u", time=0.0)
+        with pytest.raises(NftError):
+            collection.transfer(token.token_id, "alice", "alice", time=1.0)
+
+    def test_unknown_token_rejected(self, collection):
+        with pytest.raises(NftError):
+            collection.transfer("ghost", "a", "b", time=0.0)
+
+
+class TestProvenance:
+    def test_full_chain_recorded(self, collection):
+        token = collection.mint("alice", "u", time=0.0)
+        collection.transfer(token.token_id, "alice", "bob", time=1.0, price=5.0)
+        collection.transfer(token.token_id, "bob", "carol", time=2.0, price=9.0)
+        chain = collection.provenance(token.token_id)
+        assert [(t.from_owner, t.to_owner) for t in chain] == [
+            ("alice", "bob"),
+            ("bob", "carol"),
+        ]
+        assert chain[1].price == 9.0
+
+    def test_ownership_queries(self, collection):
+        a = collection.mint("alice", "u1", time=0.0)
+        collection.mint("alice", "u2", time=0.0)
+        collection.transfer(a.token_id, "alice", "bob", time=1.0)
+        assert len(collection.tokens_of("alice")) == 1
+        assert len(collection.tokens_of("bob")) == 1
+        assert len(collection.tokens_by("alice")) == 2
+        assert len(collection) == 2

@@ -1,0 +1,93 @@
+"""Tests for secondary avatars and linkage attacks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy import (
+    AvatarIdentityManager,
+    LinkageAttacker,
+    SessionObservation,
+)
+from repro.workloads import evaluate_linkage, linkage_workload
+
+
+class TestIdentityManager:
+    def test_register_and_primary(self):
+        manager = AvatarIdentityManager()
+        avatar = manager.register_user("u1")
+        assert manager.primary_of("u1") == avatar
+        assert manager.owner_of(avatar) == "u1"
+
+    def test_duplicate_registration_rejected(self):
+        manager = AvatarIdentityManager()
+        manager.register_user("u1")
+        with pytest.raises(PrivacyError):
+            manager.register_user("u1")
+
+    def test_clone_spawning(self):
+        manager = AvatarIdentityManager()
+        manager.register_user("u1")
+        clone_a = manager.spawn_clone("u1")
+        clone_b = manager.spawn_clone("u1")
+        assert clone_a != clone_b
+        assert manager.clones_of("u1") == [clone_a, clone_b]
+        assert manager.owner_of(clone_a) == "u1"
+        assert len(manager.avatars_of("u1")) == 3
+
+    def test_clone_requires_registration(self):
+        with pytest.raises(PrivacyError):
+            AvatarIdentityManager().spawn_clone("ghost")
+
+    def test_unknown_avatar_lookup_rejected(self):
+        with pytest.raises(PrivacyError):
+            AvatarIdentityManager().owner_of("avatar-999999")
+
+    def test_avatar_ids_globally_unique(self):
+        manager = AvatarIdentityManager()
+        manager.register_user("u1")
+        manager.register_user("u2")
+        manager.spawn_clone("u2")
+        ids = manager.avatars_of("u1") + manager.avatars_of("u2")
+        assert len(ids) == len(set(ids))
+
+
+class TestLinkageAttacker:
+    def test_no_reference_no_attribution(self):
+        attacker = LinkageAttacker()
+        observation = SessionObservation("a", np.zeros(3), 0.0)
+        assert attacker.attribute(observation) is None
+
+    def test_nearest_behaviour_wins(self):
+        attacker = LinkageAttacker()
+        attacker.observe_reference("quiet", np.array([0.0, 0.0]))
+        attacker.observe_reference("loud", np.array([10.0, 10.0]))
+        obs = SessionObservation("x", np.array([9.0, 9.5]), 0.0)
+        assert attacker.attribute(obs) == "loud"
+
+    def test_link_accuracy_empty(self):
+        assert LinkageAttacker().link_accuracy([], {}) == 0.0
+
+
+class TestCloneDefenseShape:
+    """E2's claim: clones + persona shift defeat linkage."""
+
+    def test_accuracy_decreases_with_clone_rate(self, rngs):
+        accuracies = []
+        for rate in (0.0, 0.5, 1.0):
+            workload = linkage_workload(
+                40, 4, rate, rngs.fresh(f"wl{rate}")
+            )
+            accuracies.append(evaluate_linkage(workload))
+        assert accuracies[0] == 1.0  # all sessions under primary → ID linkage
+        assert accuracies[0] > accuracies[1] > accuracies[2]
+
+    def test_full_clone_usage_near_chance(self, rngs):
+        workload = linkage_workload(50, 4, 1.0, rngs.fresh("full"))
+        accuracy = evaluate_linkage(workload)
+        # Chance is 1/50; allow generous slack for behavioural residue.
+        assert accuracy < 0.4
+
+    def test_invalid_clone_rate(self, rngs):
+        with pytest.raises(ValueError):
+            linkage_workload(10, 2, 1.5, rngs.stream("x"))

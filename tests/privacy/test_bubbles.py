@@ -1,0 +1,88 @@
+"""Tests for privacy bubbles."""
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy import BubbleManager, PrivacyBubble
+
+
+class TestBubble:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBubble(owner="a", radius=-1.0)
+
+    def test_allowlist_management(self):
+        bubble = PrivacyBubble(owner="a")
+        bubble.allow("friend")
+        assert "friend" in bubble.allowlist
+        bubble.disallow("friend")
+        assert "friend" not in bubble.allowlist
+
+
+class TestPermits:
+    def test_inside_bubble_restricted_kind_blocked(self):
+        manager = BubbleManager()
+        manager.enable("victim", radius=2.0)
+        assert not manager.permits(
+            "stranger", "victim", "touch", (0.0, 0.0), (1.0, 0.0)
+        )
+        assert manager.blocked_count == 1
+
+    def test_outside_bubble_allowed(self):
+        manager = BubbleManager()
+        manager.enable("victim", radius=2.0)
+        assert manager.permits(
+            "stranger", "victim", "touch", (0.0, 0.0), (5.0, 0.0)
+        )
+
+    def test_boundary_is_inside(self):
+        manager = BubbleManager()
+        manager.enable("victim", radius=2.0)
+        assert not manager.permits(
+            "stranger", "victim", "touch", (0.0, 0.0), (2.0, 0.0)
+        )
+
+    def test_unrestricted_kind_allowed(self):
+        manager = BubbleManager()
+        manager.enable("victim", radius=2.0, restricted_kinds=["touch"])
+        assert manager.permits("stranger", "victim", "chat", (0, 0), (1, 0))
+
+    def test_allowlisted_friend_allowed(self):
+        manager = BubbleManager()
+        bubble = manager.enable("victim", radius=2.0)
+        bubble.allow("friend")
+        assert manager.permits("friend", "victim", "touch", (0, 0), (0.5, 0))
+
+    def test_no_bubble_means_allowed(self):
+        manager = BubbleManager()
+        assert manager.permits("anyone", "target", "touch", (0, 0), (0.1, 0))
+
+    def test_zero_radius_disables(self):
+        manager = BubbleManager()
+        manager.enable("victim", radius=0.0)
+        assert manager.permits("stranger", "victim", "touch", (0, 0), (0, 0))
+
+    def test_self_interaction_allowed(self):
+        manager = BubbleManager()
+        manager.enable("a", radius=5.0)
+        assert manager.permits("a", "a", "touch", (0, 0), (0, 0))
+
+    def test_disable_removes_bubble(self):
+        manager = BubbleManager()
+        manager.enable("victim", radius=2.0)
+        manager.disable("victim")
+        assert manager.bubble_of("victim") is None
+        assert manager.permits("stranger", "victim", "touch", (0, 0), (0.1, 0))
+
+    def test_reconfigure_replaces(self):
+        manager = BubbleManager()
+        manager.enable("victim", radius=2.0)
+        manager.enable("victim", radius=0.5)
+        assert manager.permits("stranger", "victim", "touch", (0, 0), (1.0, 0))
+
+    def test_block_rate(self):
+        manager = BubbleManager()
+        manager.enable("victim", radius=2.0)
+        manager.permits("s", "victim", "touch", (0, 0), (1, 0))   # blocked
+        manager.permits("s", "victim", "touch", (0, 0), (9, 0))   # permitted
+        assert manager.block_rate == 0.5

@@ -1,0 +1,84 @@
+"""Tests for privacy-budget accounting."""
+
+import pytest
+
+from repro.errors import PrivacyBudgetExceeded, PrivacyError
+from repro.privacy import PrivacyBudget
+
+
+class TestCharging:
+    def test_charge_and_remaining(self):
+        budget = PrivacyBudget(default_cap=1.0)
+        budget.charge("u", 0.6, channel="gaze", time=0.0)
+        assert budget.spent("u") == pytest.approx(0.6)
+        assert budget.remaining("u") == pytest.approx(0.4)
+
+    def test_exceeding_cap_raises(self):
+        budget = PrivacyBudget(default_cap=1.0)
+        budget.charge("u", 0.9)
+        with pytest.raises(PrivacyBudgetExceeded):
+            budget.charge("u", 0.2)
+
+    def test_refused_charge_not_recorded(self):
+        budget = PrivacyBudget(default_cap=1.0)
+        budget.charge("u", 0.9)
+        try:
+            budget.charge("u", 0.5)
+        except PrivacyBudgetExceeded:
+            pass
+        assert budget.spent("u") == pytest.approx(0.9)
+        assert len(budget.ledger) == 1
+
+    def test_exact_cap_allowed(self):
+        budget = PrivacyBudget(default_cap=1.0)
+        budget.charge("u", 1.0)
+        assert budget.remaining("u") == 0.0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget().charge("u", -0.1)
+
+    def test_zero_epsilon_free(self):
+        budget = PrivacyBudget(default_cap=0.5)
+        for _ in range(100):
+            budget.charge("u", 0.0)
+        assert budget.spent("u") == 0.0
+
+
+class TestCaps:
+    def test_per_subject_cap_overrides_default(self):
+        budget = PrivacyBudget(default_cap=10.0)
+        budget.set_cap("cautious", 0.5)
+        assert budget.cap_of("cautious") == 0.5
+        assert budget.cap_of("other") == 10.0
+        with pytest.raises(PrivacyBudgetExceeded):
+            budget.charge("cautious", 1.0)
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget(default_cap=0.0)
+        with pytest.raises(PrivacyError):
+            PrivacyBudget().set_cap("u", -1.0)
+
+    def test_can_afford(self):
+        budget = PrivacyBudget(default_cap=1.0)
+        assert budget.can_afford("u", 1.0)
+        assert not budget.can_afford("u", 1.1)
+
+
+class TestLedgerAndReset:
+    def test_ledger_entries(self):
+        budget = PrivacyBudget()
+        budget.charge("u", 0.5, channel="gaze", time=2.0)
+        entry = budget.ledger[0]
+        assert entry.subject == "u"
+        assert entry.channel == "gaze"
+        assert entry.time == 2.0
+
+    def test_reset_restores_budget(self):
+        budget = PrivacyBudget(default_cap=1.0)
+        budget.charge("u", 1.0)
+        budget.reset("u")
+        assert budget.remaining("u") == 1.0
+        # Ledger history survives resets (it is an audit record).
+        assert len(budget.ledger) == 1

@@ -1,0 +1,90 @@
+"""Tests for consent switches and the disclosure indicator."""
+
+import pytest
+
+from repro.errors import ConsentError
+from repro.privacy import ConsentRegistry, DisclosureIndicator
+
+
+class TestConsentRegistry:
+    def test_default_deny(self):
+        registry = ConsentRegistry()
+        assert not registry.is_granted("u", "gaze")
+        with pytest.raises(ConsentError):
+            registry.check("u", "gaze")
+        assert registry.denied_count == 1
+
+    def test_grant_and_revoke(self):
+        registry = ConsentRegistry()
+        registry.grant("u", "gaze")
+        registry.check("u", "gaze")  # no raise
+        registry.revoke("u", "gaze")
+        with pytest.raises(ConsentError):
+            registry.check("u", "gaze")
+
+    def test_granularity_per_channel(self):
+        registry = ConsentRegistry()
+        registry.grant("u", "gaze")
+        assert registry.is_granted("u", "gaze")
+        assert not registry.is_granted("u", "heart_rate")
+        assert registry.channels_granted("u") == {"gaze"}
+
+    def test_revoke_all(self):
+        registry = ConsentRegistry()
+        registry.grant("u", "gaze")
+        registry.grant("u", "gait")
+        registry.revoke_all("u")
+        assert registry.channels_granted("u") == set()
+
+    def test_bystanders_cannot_consent(self):
+        registry = ConsentRegistry()
+        registry.register_bystander("passerby")
+        with pytest.raises(ConsentError):
+            registry.grant("passerby", "spatial_map")
+
+    def test_bystander_registration_revokes_existing(self):
+        registry = ConsentRegistry()
+        registry.grant("person", "gaze")
+        registry.register_bystander("person")
+        assert not registry.is_granted("person", "gaze")
+
+
+class TestDisclosureIndicator:
+    def test_on_while_collecting(self):
+        led = DisclosureIndicator()
+        assert not led.is_on
+        led.collection_started("gaze", 1.0)
+        assert led.is_on
+        led.collection_stopped("gaze", 2.0)
+        assert not led.is_on
+
+    def test_overlapping_channels(self):
+        led = DisclosureIndicator()
+        led.collection_started("gaze", 1.0)
+        led.collection_started("gait", 1.5)
+        led.collection_stopped("gaze", 2.0)
+        assert led.is_on  # gait still collecting
+        assert led.active_channels == ("gait",)
+        led.collection_stopped("gait", 3.0)
+        assert not led.is_on
+
+    def test_unbalanced_stop_rejected(self):
+        led = DisclosureIndicator()
+        with pytest.raises(ConsentError):
+            led.collection_stopped("gaze", 1.0)
+
+    def test_history_replay(self):
+        led = DisclosureIndicator()
+        led.collection_started("gaze", 1.0)
+        led.collection_stopped("gaze", 2.0)
+        led.collection_started("gait", 5.0)
+        assert led.was_on_at(1.5)
+        assert not led.was_on_at(3.0)
+        assert led.was_on_at(6.0)
+        assert not led.was_on_at(0.5)
+
+    def test_transitions_log(self):
+        led = DisclosureIndicator()
+        led.collection_started("gaze", 1.0)
+        led.collection_stopped("gaze", 2.0)
+        assert led.transitions == [(1.0, True), (2.0, False)]

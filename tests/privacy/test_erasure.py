@@ -1,0 +1,133 @@
+"""Tests for the right-to-erasure service."""
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy import (
+    ConsentRegistry,
+    ErasureService,
+    GazeSensor,
+    RetainedDataStore,
+    UserProfile,
+)
+
+
+@pytest.fixture
+def user():
+    return UserProfile("u1", preference=0, fitness=0.5, stress=0.5)
+
+
+@pytest.fixture
+def store_with_data(rngs, user):
+    store = RetainedDataStore()
+    gaze = GazeSensor(rngs.stream("g"))
+    for t in range(5):
+        store.retain(gaze.sample(user, float(t)))
+    other = UserProfile("u2", preference=1, fitness=0.5, stress=0.5)
+    store.retain(gaze.sample(other, 0.0))
+    return store
+
+
+class TestRetainedDataStore:
+    def test_retain_and_count(self, store_with_data):
+        assert store_with_data.count("u1") == 5
+        assert store_with_data.count() == 6
+
+    def test_purge_only_targets_subject(self, store_with_data):
+        destroyed = store_with_data.purge("u1")
+        assert destroyed == 5
+        assert store_with_data.count("u1") == 0
+        assert store_with_data.count("u2") == 1
+        assert store_with_data.purged_total == 5
+
+    def test_purge_unknown_subject_is_zero(self):
+        assert RetainedDataStore().purge("ghost") == 0
+
+
+class TestErasureService:
+    def test_no_stores_is_loud(self):
+        with pytest.raises(PrivacyError):
+            ErasureService().request_erasure("u1")
+
+    def test_full_erasure_flow(self, store_with_data):
+        consent = ConsentRegistry()
+        consent.grant("u1", "gaze")
+        tombstones = []
+        service = ErasureService(
+            consent=consent, tombstone_anchor=tombstones.append
+        )
+        service.register_store(store_with_data.purge)
+        receipt = service.request_erasure("u1", time=9.0)
+        assert receipt.records_destroyed == 5
+        assert receipt.stores_purged == 1
+        assert receipt.consent_revoked
+        assert receipt.tombstone_written
+        assert not consent.is_granted("u1", "gaze")
+        assert tombstones[0]["activity"] == "erasure_executed"
+        assert tombstones[0]["records_destroyed"] == 5
+        assert service.was_erased("u1")
+        assert not service.was_erased("u2")
+
+    def test_multi_store_purge(self, rngs, user):
+        gaze = GazeSensor(rngs.stream("g"))
+        store_a = RetainedDataStore("a")
+        store_b = RetainedDataStore("b")
+        store_a.retain(gaze.sample(user, 0.0))
+        store_b.retain(gaze.sample(user, 1.0))
+        store_b.retain(gaze.sample(user, 2.0))
+        service = ErasureService()
+        service.register_store(store_a.purge)
+        service.register_store(store_b.purge)
+        receipt = service.request_erasure("u1")
+        assert receipt.records_destroyed == 3
+        assert receipt.stores_purged == 2
+
+    def test_erasure_without_anchor_or_consent(self, store_with_data):
+        service = ErasureService()
+        service.register_store(store_with_data.purge)
+        receipt = service.request_erasure("u1")
+        assert not receipt.consent_revoked
+        assert not receipt.tombstone_written
+
+
+class TestFrameworkErasure:
+    def test_end_to_end_erasure(self):
+        from repro.core import FrameworkConfig, MetaverseFramework
+
+        framework = MetaverseFramework(FrameworkConfig(seed=77, n_users=15))
+        framework.run(epochs=3)
+        # Pick a subject whose data was actually retained.
+        subject = None
+        for user_id in framework.user_ids:
+            if framework.retained_data.count(user_id) > 0:
+                subject = user_id
+                break
+        assert subject is not None
+        retained_before = framework.retained_data.count(subject)
+        receipt = framework.request_erasure(subject)
+        assert receipt.records_destroyed == retained_before
+        assert framework.retained_data.count(subject) == 0
+        # No new data flows: consent is gone, frames get blocked.
+        blocked_before = framework.pipeline.stats.blocked_consent
+        framework.run_epoch()
+        assert framework.retained_data.count(subject) == 0
+        # The tombstone reaches the chain on the next sealed block.
+        framework.run_epoch()
+        tombstones = [
+            stx
+            for _, stx in framework.chain.iter_transactions()
+            if stx.tx.payload.get("payload", {}).get("activity")
+            == "erasure_executed"
+            or stx.tx.payload.get("activity") == "erasure_executed"
+        ]
+        assert tombstones
+
+    def test_monolithic_platform_cannot_erase(self):
+        from repro.core import FrameworkConfig, MetaverseFramework
+        from repro.errors import FrameworkError
+
+        framework = MetaverseFramework(
+            FrameworkConfig.monolithic_baseline(seed=77, n_users=10)
+        )
+        with pytest.raises(FrameworkError):
+            framework.request_erasure("user-00001")

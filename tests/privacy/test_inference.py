@@ -1,0 +1,130 @@
+"""Tests for inference attackers — the measurable §II-A threat."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy import (
+    CentroidAttacker,
+    LaplaceMechanism,
+    RegressionAttacker,
+    featurize,
+    utility_loss,
+)
+from repro.privacy.sensors import SensorFrame
+from repro.workloads import sensor_corpus
+
+
+class TestFeaturize:
+    def make_frame(self, values):
+        return SensorFrame(
+            channel="x", subject="u", time=0.0, values=np.asarray(values, float)
+        )
+
+    def test_pads_with_mean(self):
+        vec = featurize(self.make_frame([2.0, 4.0]), width=4)
+        assert list(vec) == [2.0, 4.0, 3.0, 3.0]
+
+    def test_truncates(self):
+        vec = featurize(self.make_frame([1, 2, 3, 4]), width=2)
+        assert list(vec) == [1.0, 2.0]
+
+    def test_empty_frame(self):
+        vec = featurize(self.make_frame([]), width=3)
+        assert list(vec) == [0.0, 0.0, 0.0]
+
+
+class TestCentroidAttacker:
+    def test_recovers_preference_from_raw_gaze(self, rngs):
+        corpus = sensor_corpus("gaze", 120, rngs.stream("c"))
+        attacker = CentroidAttacker("preference")
+        attacker.train(corpus.train_frames, corpus.profiles)
+        accuracy = attacker.accuracy(corpus.eval_frames, corpus.profiles)
+        assert accuracy > 0.8  # raw gaze is very leaky
+
+    def test_dp_noise_reduces_accuracy(self, rngs):
+        corpus = sensor_corpus("gaze", 120, rngs.stream("c"))
+        attacker = CentroidAttacker("preference")
+        attacker.train(corpus.train_frames, corpus.profiles)
+        raw_acc = attacker.accuracy(corpus.eval_frames, corpus.profiles)
+        pet = LaplaceMechanism(0.2, rngs.stream("noise"))
+        noisy = [pet.apply(f) for f in corpus.eval_frames]
+        noisy_acc = attacker.accuracy(noisy, corpus.profiles)
+        assert noisy_acc < raw_acc
+
+    def test_untrained_predict_rejected(self, rngs):
+        corpus = sensor_corpus("gaze", 20, rngs.stream("c"))
+        with pytest.raises(PrivacyError):
+            CentroidAttacker().predict(corpus.eval_frames[0])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(PrivacyError):
+            CentroidAttacker().train([], {})
+
+    def test_accuracy_with_no_known_profiles(self, rngs):
+        corpus = sensor_corpus("gaze", 20, rngs.stream("c"))
+        attacker = CentroidAttacker()
+        attacker.train(corpus.train_frames, corpus.profiles)
+        assert attacker.accuracy(corpus.eval_frames, {}) == 0.0
+
+
+class TestRegressionAttacker:
+    def test_recovers_fitness_from_gait(self, rngs):
+        corpus = sensor_corpus("gait", 200, rngs.stream("c"))
+        attacker = RegressionAttacker("fitness")
+        attacker.train(corpus.train_frames, corpus.profiles)
+        r2 = attacker.r_squared(corpus.eval_frames, corpus.profiles)
+        assert r2 > 0.5
+
+    def test_recovers_stress_from_heart_rate(self, rngs):
+        corpus = sensor_corpus("heart_rate", 200, rngs.stream("c"))
+        attacker = RegressionAttacker("stress")
+        attacker.train(corpus.train_frames, corpus.profiles)
+        r2 = attacker.r_squared(corpus.eval_frames, corpus.profiles)
+        assert r2 > 0.5
+
+    def test_noise_degrades_r2(self, rngs):
+        corpus = sensor_corpus("gait", 200, rngs.stream("c"))
+        attacker = RegressionAttacker("fitness")
+        attacker.train(corpus.train_frames, corpus.profiles)
+        clean_r2 = attacker.r_squared(corpus.eval_frames, corpus.profiles)
+        pet = LaplaceMechanism(0.1, rngs.stream("noise"))
+        noisy = [pet.apply(f) for f in corpus.eval_frames]
+        assert attacker.r_squared(noisy, corpus.profiles) < clean_r2
+
+    def test_untrained_rejected(self, rngs):
+        corpus = sensor_corpus("gait", 20, rngs.stream("c"))
+        with pytest.raises(PrivacyError):
+            RegressionAttacker("fitness").predict(corpus.eval_frames[0])
+
+
+class TestUtilityLoss:
+    def make_frame(self, values):
+        return SensorFrame(
+            channel="x", subject="u", time=0.0, values=np.asarray(values, float)
+        )
+
+    def test_zero_for_identical(self):
+        frame = self.make_frame([1.0, 2.0])
+        assert utility_loss([frame], [frame]) == 0.0
+
+    def test_positive_for_distorted(self):
+        raw = self.make_frame([1.0, 2.0])
+        noisy = self.make_frame([1.5, 2.5])
+        assert utility_loss([raw], [noisy]) > 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        frame = self.make_frame([1.0])
+        with pytest.raises(PrivacyError):
+            utility_loss([frame], [])
+
+    def test_empty_ok(self):
+        assert utility_loss([], []) == 0.0
+
+    def test_monotone_in_noise(self, rngs):
+        raw = [self.make_frame(rngs.stream("v").normal(5, 1, 8)) for _ in range(20)]
+        small = LaplaceMechanism(10.0, rngs.fresh("s"))
+        large = LaplaceMechanism(0.1, rngs.fresh("l"))
+        small_loss = utility_loss(raw, [small.apply(f) for f in raw])
+        large_loss = utility_loss(raw, [large.apply(f) for f in raw])
+        assert large_loss > small_loss

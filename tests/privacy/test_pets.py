@@ -1,0 +1,149 @@
+"""Tests for PET mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy import (
+    Aggregator,
+    GaussianMechanism,
+    GazeSensor,
+    LaplaceMechanism,
+    Passthrough,
+    PETChain,
+    SpatialGeneralizer,
+    Suppressor,
+    TemporalDownsampler,
+    UserProfile,
+)
+
+
+@pytest.fixture
+def frame(rngs):
+    user = UserProfile("u", preference=1, fitness=0.5, stress=0.5)
+    return GazeSensor(rngs.stream("g")).sample(user, 0.0)
+
+
+class TestPassthrough:
+    def test_identity_values(self, frame):
+        out = Passthrough().apply(frame)
+        assert np.allclose(out.values, frame.values)
+        assert out.pet_applied == ["passthrough"]
+        assert Passthrough().epsilon == 0.0
+
+
+class TestLaplace:
+    def test_adds_noise(self, rngs, frame):
+        pet = LaplaceMechanism(1.0, rngs.stream("n"))
+        out = pet.apply(frame)
+        assert not np.allclose(out.values, frame.values)
+        assert out.pet_applied == ["laplace"]
+
+    def test_epsilon_scales_noise(self, rngs, frame):
+        tight = LaplaceMechanism(10.0, rngs.fresh("a"))
+        loose = LaplaceMechanism(0.1, rngs.fresh("b"))
+        tight_err = np.abs(tight.apply(frame).values - frame.values).mean()
+        loose_err = np.abs(loose.apply(frame).values - frame.values).mean()
+        assert loose_err > tight_err
+
+    def test_epsilon_recorded(self, rngs):
+        assert LaplaceMechanism(2.5, rngs.stream("n")).epsilon == 2.5
+
+    def test_invalid_params(self, rngs):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(0.0, rngs.stream("n"))
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(1.0, rngs.stream("n"), sensitivity=0.0)
+
+    def test_original_frame_untouched(self, rngs, frame):
+        before = frame.values.copy()
+        LaplaceMechanism(1.0, rngs.stream("n")).apply(frame)
+        assert np.array_equal(frame.values, before)
+
+
+class TestGaussian:
+    def test_sigma_calibration(self, rngs):
+        pet = GaussianMechanism(1.0, rngs.stream("n"), delta=1e-5)
+        expected = np.sqrt(2 * np.log(1.25 / 1e-5))
+        assert pet.sigma == pytest.approx(expected)
+
+    def test_invalid_delta(self, rngs):
+        with pytest.raises(PrivacyError):
+            GaussianMechanism(1.0, rngs.stream("n"), delta=0.0)
+
+    def test_adds_noise(self, rngs, frame):
+        out = GaussianMechanism(1.0, rngs.stream("n")).apply(frame)
+        assert not np.allclose(out.values, frame.values)
+
+
+class TestDownsampler:
+    def test_keeps_every_kth(self, frame):
+        out = TemporalDownsampler(2).apply(frame)
+        assert out.values.size == int(np.ceil(frame.values.size / 2))
+
+    def test_never_empties_frame(self, frame):
+        out = TemporalDownsampler(1000).apply(frame)
+        assert out.values.size == 1
+
+    def test_factor_one_is_identity_length(self, frame):
+        assert TemporalDownsampler(1).apply(frame).values.size == frame.values.size
+
+    def test_invalid_factor(self):
+        with pytest.raises(PrivacyError):
+            TemporalDownsampler(0)
+
+
+class TestSpatialGeneralizer:
+    def test_snaps_to_cell_centers(self, frame):
+        out = SpatialGeneralizer(0.5).apply(frame)
+        # Every output value is a cell center: k*0.5 + 0.25.
+        offsets = (out.values - 0.25) / 0.5
+        assert np.allclose(offsets, np.round(offsets))
+
+    def test_coarser_cells_lose_more(self, frame):
+        fine = SpatialGeneralizer(0.01).apply(frame)
+        coarse = SpatialGeneralizer(10.0).apply(frame)
+        fine_err = np.abs(fine.values - frame.values).mean()
+        coarse_err = np.abs(coarse.values - frame.values).mean()
+        assert coarse_err >= fine_err
+
+    def test_invalid_cell(self):
+        with pytest.raises(PrivacyError):
+            SpatialGeneralizer(0.0)
+
+
+class TestAggregatorAndSuppressor:
+    def test_aggregator_collapses_to_mean(self, frame):
+        out = Aggregator().apply(frame)
+        assert out.values.shape == (1,)
+        assert out.values[0] == pytest.approx(float(frame.values.mean()))
+
+    def test_suppressor_drops_frame(self, frame):
+        assert Suppressor().apply(frame) is None
+
+
+class TestChain:
+    def test_chain_applies_in_order(self, rngs, frame):
+        chain = PETChain([
+            LaplaceMechanism(1.0, rngs.stream("n")),
+            Aggregator(),
+        ])
+        out = chain.apply(frame)
+        assert out.values.shape == (1,)
+        assert out.pet_applied == ["laplace", "aggregate"]
+
+    def test_chain_epsilon_is_sum(self, rngs):
+        chain = PETChain([
+            LaplaceMechanism(1.0, rngs.stream("a")),
+            LaplaceMechanism(0.5, rngs.stream("b")),
+            Aggregator(),
+        ])
+        assert chain.epsilon == pytest.approx(1.5)
+
+    def test_suppression_short_circuits(self, rngs, frame):
+        chain = PETChain([Suppressor(), LaplaceMechanism(1.0, rngs.stream("n"))])
+        assert chain.apply(frame) is None
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PrivacyError):
+            PETChain([])

@@ -1,0 +1,147 @@
+"""Tests for the Fig.-2 data-centric privacy pipeline."""
+
+import pytest
+
+from repro.privacy import (
+    ConsentRegistry,
+    GazeSensor,
+    LaplaceMechanism,
+    PrivacyBudget,
+    PrivacyPipeline,
+    SpatialMapSensor,
+    Suppressor,
+    UserProfile,
+)
+
+
+@pytest.fixture
+def user():
+    return UserProfile("u1", preference=0, fitness=0.5, stress=0.5)
+
+
+@pytest.fixture
+def gaze(rngs):
+    return GazeSensor(rngs.stream("g"))
+
+
+def consenting_pipeline(user, channels=("gaze",), **kwargs):
+    consent = ConsentRegistry()
+    for channel in channels:
+        consent.grant(user.user_id, channel)
+    return PrivacyPipeline(consent=consent, **kwargs)
+
+
+class TestConsentGate:
+    def test_unconsented_frame_blocked(self, user, gaze):
+        pipeline = PrivacyPipeline()
+        assert pipeline.ingest(gaze.sample(user, 0.0)) is None
+        assert pipeline.stats.blocked_consent == 1
+        assert pipeline.stats.released == 0
+
+    def test_consented_frame_released(self, user, gaze):
+        pipeline = consenting_pipeline(user)
+        out = pipeline.ingest(gaze.sample(user, 0.0))
+        assert out is not None
+        assert pipeline.stats.released == 1
+        assert pipeline.stats.release_rate == 1.0
+
+
+class TestPetStage:
+    def test_configured_pet_applied(self, rngs, user, gaze):
+        pipeline = consenting_pipeline(user)
+        pipeline.set_pet("gaze", LaplaceMechanism(1.0, rngs.stream("n")))
+        out = pipeline.ingest(gaze.sample(user, 0.0))
+        assert out.pet_applied == ["laplace"]
+
+    def test_default_is_passthrough(self, user, gaze):
+        pipeline = consenting_pipeline(user)
+        out = pipeline.ingest(gaze.sample(user, 0.0))
+        assert out.pet_applied == ["passthrough"]
+
+    def test_suppression_counted(self, user, gaze):
+        pipeline = consenting_pipeline(user)
+        pipeline.set_pet("gaze", Suppressor())
+        assert pipeline.ingest(gaze.sample(user, 0.0)) is None
+        assert pipeline.stats.suppressed == 1
+
+
+class TestBudgetStage:
+    def test_budget_blocks_after_exhaustion(self, rngs, user, gaze):
+        budget = PrivacyBudget(default_cap=2.5)
+        pipeline = consenting_pipeline(user, budget=budget)
+        pipeline.set_pet("gaze", LaplaceMechanism(1.0, rngs.stream("n")))
+        released = [
+            pipeline.ingest(gaze.sample(user, float(t))) is not None
+            for t in range(4)
+        ]
+        assert released == [True, True, False, False]
+        assert pipeline.stats.blocked_budget == 2
+
+    def test_non_dp_pets_cost_nothing(self, user, gaze):
+        budget = PrivacyBudget(default_cap=0.001)
+        pipeline = consenting_pipeline(user, budget=budget)
+        for t in range(5):
+            assert pipeline.ingest(gaze.sample(user, float(t))) is not None
+
+
+class TestDisclosure:
+    def test_led_transitions_per_release(self, user, gaze):
+        pipeline = consenting_pipeline(user)
+        pipeline.ingest(gaze.sample(user, 1.0))
+        assert not pipeline.indicator.is_on  # off after the release
+        assert pipeline.indicator.transitions == [(1.0, True), (1.0, False)]
+
+    def test_led_untouched_for_blocked_frames(self, user, gaze):
+        pipeline = PrivacyPipeline()  # no consent
+        pipeline.ingest(gaze.sample(user, 1.0))
+        assert pipeline.indicator.transitions == []
+
+
+class TestBystanderScrubbing:
+    def test_bystander_hits_removed(self, rngs, user):
+        sensor = SpatialMapSensor(rngs.stream("s"), bystanders_nearby=5)
+        pipeline = consenting_pipeline(user, channels=("spatial_map",))
+        # Find a frame with captures.
+        frame = None
+        for t in range(50):
+            candidate = sensor.sample(user, float(t))
+            if candidate.metadata["bystanders_captured"] > 0:
+                frame = candidate
+                break
+        assert frame is not None
+        out = pipeline.ingest(frame)
+        assert out.metadata["bystanders_captured"] == 0
+        assert out.metadata["bystanders_scrubbed"] is True
+        assert pipeline.stats.bystander_scrubbed == 1
+
+
+class TestConsumersAndAudit:
+    def test_consumers_receive_sanitised_frames(self, rngs, user, gaze):
+        pipeline = consenting_pipeline(user)
+        pipeline.set_pet("gaze", LaplaceMechanism(1.0, rngs.stream("n")))
+        received = []
+        pipeline.subscribe("gaze", received.append)
+        pipeline.ingest(gaze.sample(user, 0.0))
+        assert len(received) == 1
+        assert received[0].pet_applied == ["laplace"]
+
+    def test_audit_hook_called_per_release(self, user, gaze):
+        audited = []
+        pipeline = consenting_pipeline(user)
+        pipeline._audit_hook = lambda frame, pet: audited.append(pet)
+        pipeline.ingest(gaze.sample(user, 0.0))
+        assert audited == ["passthrough"]
+
+    def test_blocked_frames_not_audited(self, user, gaze):
+        audited = []
+        pipeline = PrivacyPipeline(audit_hook=lambda f, p: audited.append(p))
+        pipeline.ingest(gaze.sample(user, 0.0))  # no consent
+        assert audited == []
+
+    def test_ingest_all_returns_released_only(self, user, gaze):
+        pipeline = consenting_pipeline(user)
+        other = UserProfile("u2", preference=0, fitness=0.5, stress=0.5)
+        frames = [gaze.sample(user, 0.0), gaze.sample(other, 0.0)]
+        released = pipeline.ingest_all(frames)
+        assert len(released) == 1
+        assert pipeline.stats.offered == 2

@@ -1,0 +1,66 @@
+"""Tests for user profiles and populations."""
+
+import pytest
+
+from repro.privacy import PREFERENCE_CATEGORIES, UserProfile, generate_population
+
+
+class TestUserProfile:
+    def test_valid_profile(self):
+        profile = UserProfile("u", preference=0, fitness=0.5, stress=0.5)
+        assert profile.attribute("preference") == 0.0
+        assert profile.attribute("fitness") == 0.5
+        assert profile.attribute("stress") == 0.5
+
+    def test_invalid_preference(self):
+        with pytest.raises(ValueError):
+            UserProfile("u", preference=PREFERENCE_CATEGORIES, fitness=0.5, stress=0.5)
+
+    def test_invalid_scalars(self):
+        with pytest.raises(ValueError):
+            UserProfile("u", preference=0, fitness=1.5, stress=0.5)
+        with pytest.raises(ValueError):
+            UserProfile("u", preference=0, fitness=0.5, stress=-0.1)
+
+    def test_unknown_attribute(self):
+        profile = UserProfile("u", preference=0, fitness=0.5, stress=0.5)
+        with pytest.raises(KeyError):
+            profile.attribute("shoe_size")
+
+
+class TestPopulation:
+    def test_count_and_ids_unique(self, rngs):
+        population = generate_population(50, rngs.stream("p"))
+        assert len(population) == 50
+        assert len({u.user_id for u in population}) == 50
+
+    def test_deterministic(self, rngs):
+        a = generate_population(10, rngs.fresh("pop"))
+        b = generate_population(10, rngs.fresh("pop"))
+        assert [u.preference for u in a] == [u.preference for u in b]
+
+    def test_attribute_ranges(self, rngs):
+        for user in generate_population(100, rngs.stream("p")):
+            assert 0 <= user.preference < PREFERENCE_CATEGORIES
+            assert 0 <= user.fitness <= 1
+            assert 0 <= user.stress <= 1
+
+    def test_all_preferences_represented(self, rngs):
+        population = generate_population(200, rngs.stream("p"))
+        assert {u.preference for u in population} == set(range(PREFERENCE_CATEGORIES))
+
+    def test_bystander_fraction(self, rngs):
+        population = generate_population(
+            300, rngs.stream("p"), bystander_fraction=0.5
+        )
+        count = sum(1 for u in population if u.bystander)
+        assert 100 < count < 200
+
+    def test_invalid_params(self, rngs):
+        with pytest.raises(ValueError):
+            generate_population(-1, rngs.stream("p"))
+        with pytest.raises(ValueError):
+            generate_population(1, rngs.stream("p"), bystander_fraction=2.0)
+
+    def test_empty_population(self, rngs):
+        assert generate_population(0, rngs.stream("p")) == []

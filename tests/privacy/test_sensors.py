@@ -1,0 +1,131 @@
+"""Tests for XR sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy import (
+    GaitSensor,
+    GazeSensor,
+    HeartRateSensor,
+    PREFERENCE_CATEGORIES,
+    SensorRig,
+    SpatialMapSensor,
+    UserProfile,
+)
+
+
+@pytest.fixture
+def user():
+    return UserProfile("u1", preference=2, fitness=0.9, stress=0.8)
+
+
+@pytest.fixture
+def couch_potato():
+    return UserProfile("u2", preference=0, fitness=0.1, stress=0.1)
+
+
+class TestGaze:
+    def test_dwell_distribution_sums_to_one(self, rngs, user):
+        frame = GazeSensor(rngs.stream("g")).sample(user, 0.0)
+        assert frame.values.shape == (PREFERENCE_CATEGORIES,)
+        assert frame.values.sum() == pytest.approx(1.0)
+
+    def test_preference_dominates_dwell(self, rngs, user):
+        sensor = GazeSensor(rngs.stream("g"), focus=10.0)
+        frames = [sensor.sample(user, t) for t in range(20)]
+        argmax_counts = [int(np.argmax(f.values)) for f in frames]
+        assert argmax_counts.count(user.preference) > 15
+
+    def test_focus_validation(self, rngs):
+        with pytest.raises(PrivacyError):
+            GazeSensor(rngs.stream("g"), focus=0.0)
+
+    def test_frame_metadata(self, rngs, user):
+        frame = GazeSensor(rngs.stream("g")).sample(user, 3.5)
+        assert frame.channel == "gaze"
+        assert frame.subject == "u1"
+        assert frame.time == 3.5
+        assert frame.pet_applied == []
+
+
+class TestGait:
+    def test_fit_user_strides_longer(self, rngs, user, couch_potato):
+        sensor = GaitSensor(rngs.stream("g"))
+        fit = np.mean([sensor.sample(user, t).values[0] for t in range(20)])
+        unfit = np.mean(
+            [sensor.sample(couch_potato, t).values[0] for t in range(20)]
+        )
+        assert fit > unfit
+
+    def test_three_features(self, rngs, user):
+        assert GaitSensor(rngs.stream("g")).sample(user, 0.0).values.shape == (3,)
+
+
+class TestHeartRate:
+    def test_stress_raises_bpm(self, rngs, user, couch_potato):
+        sensor = HeartRateSensor(rngs.stream("h"))
+        stressed = np.mean(sensor.sample(user, 0.0).values)
+        calm = np.mean(sensor.sample(couch_potato, 0.0).values)
+        assert stressed > calm
+
+    def test_window_size(self, rngs, user):
+        sensor = HeartRateSensor(rngs.stream("h"), window=16)
+        assert sensor.sample(user, 0.0).values.size == 16
+
+    def test_invalid_window(self, rngs):
+        with pytest.raises(PrivacyError):
+            HeartRateSensor(rngs.stream("h"), window=0)
+
+
+class TestSpatialMap:
+    def test_point_cloud_shape(self, rngs, user):
+        sensor = SpatialMapSensor(rngs.stream("s"), points=16)
+        frame = sensor.sample(user, 0.0)
+        assert frame.values.size == 32  # 16 (x, y) pairs
+
+    def test_bystander_capture_recorded(self, rngs, user):
+        sensor = SpatialMapSensor(rngs.stream("s"), bystanders_nearby=4)
+        captured = [
+            sensor.sample(user, t).metadata["bystanders_captured"]
+            for t in range(20)
+        ]
+        assert any(c > 0 for c in captured)
+
+    def test_no_bystanders_means_zero(self, rngs, user):
+        sensor = SpatialMapSensor(rngs.stream("s"), bystanders_nearby=0)
+        assert sensor.sample(user, 0.0).metadata["bystanders_captured"] == 0
+
+
+class TestRig:
+    def test_default_rig_channels(self, rngs):
+        rig = SensorRig.default(rngs.stream("r"))
+        assert set(rig.channels) == {"gaze", "gait", "heart_rate", "spatial_map"}
+
+    def test_sample_all(self, rngs, user):
+        rig = SensorRig.default(rngs.stream("r"))
+        frames = rig.sample_all(user, 1.0)
+        assert {f.channel for f in frames} == set(rig.channels)
+        assert all(f.subject == "u1" for f in frames)
+
+    def test_duplicate_channels_rejected(self, rngs):
+        with pytest.raises(PrivacyError):
+            SensorRig([GazeSensor(rngs.stream("a")), GazeSensor(rngs.stream("b"))])
+
+    def test_empty_rig_rejected(self):
+        with pytest.raises(PrivacyError):
+            SensorRig([])
+
+    def test_unknown_channel_lookup(self, rngs):
+        rig = SensorRig([GazeSensor(rngs.stream("g"))])
+        with pytest.raises(PrivacyError):
+            rig.sensor("sonar")
+
+
+class TestFrameCopy:
+    def test_copy_with_appends_pet(self, rngs, user):
+        frame = GazeSensor(rngs.stream("g")).sample(user, 0.0)
+        derived = frame.copy_with(frame.values * 2, pet_name="test-pet")
+        assert derived.pet_applied == ["test-pet"]
+        assert frame.pet_applied == []  # original untouched
+        assert not np.shares_memory(derived.values, frame.values)

@@ -1,0 +1,103 @@
+"""Property-based tests: ledger invariants under arbitrary tx streams."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidTransactionError
+from repro.ledger import Blockchain, LedgerState, PoAConsensus, TxKind, Wallet
+
+# Wallets are expensive to build; share a fixed cast across examples.
+_CAST = [Wallet(seed=f"prop-wallet-{i}".encode(), height=6) for i in range(3)]
+_VALIDATOR = Wallet(seed=b"prop-validator", height=8)
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),   # sender index
+        st.integers(min_value=0, max_value=2),   # recipient index
+        st.integers(min_value=0, max_value=300), # amount
+        st.integers(min_value=0, max_value=5),   # fee
+        st.sampled_from(["transfer", "stake", "unstake"]),
+    ),
+    max_size=25,
+)
+
+
+class TestSupplyConservation:
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_total_supply_conserved_in_state(self, ops):
+        state = LedgerState({w.address: 500 for w in _CAST})
+        initial_supply = state.total_supply
+        burned = 0
+        for sender_i, recipient_i, amount, fee, kind in ops:
+            sender = Wallet(
+                seed=f"prop-wallet-{sender_i}".encode(), height=6
+            )
+            nonce = state.nonce_of(sender.address)
+            try:
+                if kind == "transfer":
+                    stx = sender.transfer(
+                        _CAST[recipient_i].address, amount, nonce=nonce, fee=fee
+                    )
+                else:
+                    tx_kind = TxKind.STAKE if kind == "stake" else TxKind.UNSTAKE
+                    stx = sender.sign(
+                        sender.build_transaction(
+                            "", amount=amount, nonce=nonce, fee=fee, kind=tx_kind
+                        )
+                    )
+                state.apply(stx)
+                burned += fee  # fees burn until credit_fees is called
+            except InvalidTransactionError:
+                continue
+        assert state.total_supply == initial_supply - burned
+
+    @given(ops=operations)
+    @settings(max_examples=15, deadline=None)
+    def test_chain_supply_conserved_with_fees_to_proposer(self, ops):
+        chain = Blockchain(
+            PoAConsensus([_VALIDATOR.address]),
+            genesis_balances={w.address: 500 for w in _CAST},
+        )
+        initial = chain.state.total_supply
+        wallets = [
+            Wallet(seed=f"prop-wallet-{i}".encode(), height=6) for i in range(3)
+        ]
+        for sender_i, recipient_i, amount, fee, kind in ops:
+            sender = wallets[sender_i]
+            nonce = chain.state.nonce_of(sender.address)
+            if kind != "transfer":
+                continue
+            try:
+                stx = sender.transfer(
+                    _CAST[recipient_i].address, amount, nonce=nonce, fee=fee
+                )
+            except Exception:
+                continue
+            chain.mempool.submit(stx, chain.state)
+            chain.propose_block(_VALIDATOR.address, timestamp=float(chain.height))
+        # Proposer receives all fees, so supply is exactly conserved.
+        assert chain.state.total_supply == initial
+
+    @given(ops=operations)
+    @settings(max_examples=10, deadline=None)
+    def test_balances_never_negative(self, ops):
+        state = LedgerState({w.address: 100 for w in _CAST})
+        wallets = [
+            Wallet(seed=f"prop-wallet-{i}".encode(), height=6) for i in range(3)
+        ]
+        for sender_i, recipient_i, amount, fee, kind in ops:
+            sender = wallets[sender_i]
+            try:
+                stx = sender.transfer(
+                    _CAST[recipient_i].address,
+                    amount,
+                    nonce=state.nonce_of(sender.address),
+                    fee=fee,
+                )
+                state.apply(stx)
+            except InvalidTransactionError:
+                continue
+            assert all(b >= 0 for b in state.balances.values())
+            assert all(s >= 0 for s in state.stakes.values())

@@ -1,0 +1,72 @@
+"""Property-based tests: canonical encoding injectivity and stability."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger import canonical_encode
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 64), max_value=2 ** 64),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=15,
+)
+
+
+class TestEncodingProperties:
+    @given(value=values)
+    @settings(max_examples=150, deadline=None)
+    def test_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @given(a=values, b=values)
+    @settings(max_examples=150, deadline=None)
+    def test_injective_on_distinct_values(self, a, b):
+        # Lists and tuples are deliberately identified; hypothesis only
+        # generates lists here, so plain inequality is the right test.
+        # int/float with equal value (1 == 1.0) are distinct canonical
+        # values by design, so compare with type awareness.
+        if _normalised(a) != _normalised(b):
+            assert canonical_encode(a) != canonical_encode(b)
+
+    @given(value=values)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_bytes_and_nonempty(self, value):
+        encoded = canonical_encode(value)
+        assert isinstance(encoded, bytes)
+        assert len(encoded) >= 9  # tag + length prefix
+
+
+def _normalised(value):
+    """Type-tagged structural form mirroring encoding semantics."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, float):
+        return ("float", repr(value))
+    if isinstance(value, str):
+        return ("str", value)
+    if isinstance(value, (bytes, bytearray)):
+        return ("bytes", bytes(value))
+    if value is None:
+        return ("none",)
+    if isinstance(value, list):
+        return ("list", tuple(_normalised(v) for v in value))
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(sorted((k, _normalised(v)) for k, v in value.items())),
+        )
+    raise AssertionError(f"unexpected {type(value)}")

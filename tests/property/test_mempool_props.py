@@ -1,0 +1,91 @@
+"""Property-based tests: mempool selection always yields applicable blocks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger import LedgerState, Mempool, Wallet
+
+# Fixed wallet cast (generation is the expensive part).
+_WALLETS = [Wallet(seed=f"mp-prop-{i}".encode(), height=6) for i in range(3)]
+
+submissions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),    # sender
+        st.integers(min_value=0, max_value=8),    # nonce
+        st.integers(min_value=0, max_value=20),   # fee
+    ),
+    max_size=25,
+)
+
+
+class TestSelectionProperties:
+    @given(subs=submissions, max_count=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_selection_is_always_applicable_in_order(self, subs, max_count):
+        state = LedgerState({w.address: 10_000 for w in _WALLETS})
+        pool = Mempool()
+        wallets = [Wallet(seed=f"mp-prop-{i}".encode(), height=6) for i in range(3)]
+        for sender_i, nonce, fee in subs:
+            stx = wallets[sender_i].transfer(
+                "ff" * 32, amount=1, nonce=nonce, fee=fee
+            )
+            pool.submit(stx, state)
+        selected = pool.select(state, max_count=max_count)
+        assert len(selected) <= max_count
+        # The selected sequence must apply cleanly in order.
+        for stx in selected:
+            state.apply(stx)
+
+    @given(subs=submissions)
+    @settings(max_examples=50, deadline=None)
+    def test_no_duplicate_selection(self, subs):
+        state = LedgerState({w.address: 10_000 for w in _WALLETS})
+        pool = Mempool()
+        wallets = [Wallet(seed=f"mp-prop-{i}".encode(), height=6) for i in range(3)]
+        for sender_i, nonce, fee in subs:
+            pool.submit(
+                wallets[sender_i].transfer("ff" * 32, 1, nonce=nonce, fee=fee),
+                state,
+            )
+        selected = pool.select(state, max_count=100)
+        ids = [s.tx_id for s in selected]
+        assert len(ids) == len(set(ids))
+
+    @given(subs=submissions)
+    @settings(max_examples=50, deadline=None)
+    def test_per_sender_nonces_strictly_sequential(self, subs):
+        state = LedgerState({w.address: 10_000 for w in _WALLETS})
+        pool = Mempool()
+        wallets = [Wallet(seed=f"mp-prop-{i}".encode(), height=6) for i in range(3)]
+        for sender_i, nonce, fee in subs:
+            pool.submit(
+                wallets[sender_i].transfer("ff" * 32, 1, nonce=nonce, fee=fee),
+                state,
+            )
+        selected = pool.select(state, max_count=100)
+        per_sender = {}
+        for stx in selected:
+            per_sender.setdefault(stx.tx.sender, []).append(stx.tx.nonce)
+        for sender, nonces in per_sender.items():
+            start = state.nonce_of(sender)
+            assert nonces == list(range(start, start + len(nonces)))
+
+    @given(subs=submissions)
+    @settings(max_examples=40, deadline=None)
+    def test_prune_then_reselect_disjoint(self, subs):
+        state = LedgerState({w.address: 10_000 for w in _WALLETS})
+        pool = Mempool()
+        wallets = [Wallet(seed=f"mp-prop-{i}".encode(), height=6) for i in range(3)]
+        for sender_i, nonce, fee in subs:
+            pool.submit(
+                wallets[sender_i].transfer("ff" * 32, 1, nonce=nonce, fee=fee),
+                state,
+            )
+        first = pool.select(state, max_count=5)
+        pool.prune_included([s.tx_id for s in first])
+        # apply the first batch so the state advances
+        for stx in first:
+            state.apply(stx)
+        second = pool.select(state, max_count=100)
+        assert {s.tx_id for s in first}.isdisjoint({s.tx_id for s in second})

@@ -1,0 +1,105 @@
+"""Property-based tests: PET and budget invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrivacyBudgetExceeded
+from repro.privacy import (
+    Aggregator,
+    PETChain,
+    PrivacyBudget,
+    SpatialGeneralizer,
+    TemporalDownsampler,
+)
+from repro.privacy.sensors import SensorFrame
+
+values_strategy = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=1,
+    max_size=32,
+)
+
+
+def make_frame(values):
+    return SensorFrame(
+        channel="x", subject="u", time=0.0,
+        values=np.asarray(values, dtype=float),
+    )
+
+
+class TestPetProperties:
+    @given(values=values_strategy, factor=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=100, deadline=None)
+    def test_downsampler_never_grows_or_empties(self, values, factor):
+        out = TemporalDownsampler(factor).apply(make_frame(values))
+        assert 1 <= out.values.size <= len(values)
+
+    @given(values=values_strategy, cell=st.floats(min_value=0.01, max_value=50))
+    @settings(max_examples=100, deadline=None)
+    def test_generalizer_error_bounded_by_half_cell(self, values, cell):
+        out = SpatialGeneralizer(cell).apply(make_frame(values))
+        error = np.abs(out.values - np.asarray(values))
+        assert np.all(error <= cell / 2 + 1e-9)
+
+    @given(values=values_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_aggregator_within_value_range(self, values):
+        out = Aggregator().apply(make_frame(values))
+        assert min(values) - 1e-9 <= out.values[0] <= max(values) + 1e-9
+
+    @given(values=values_strategy, factor=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_chain_provenance_accumulates(self, values, factor):
+        chain = PETChain([TemporalDownsampler(factor), Aggregator()])
+        out = chain.apply(make_frame(values))
+        assert out.pet_applied == ["downsample", "aggregate"]
+
+    @given(values=values_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_input_frame_never_mutated(self, values):
+        frame = make_frame(values)
+        original = frame.values.copy()
+        PETChain([TemporalDownsampler(2), Aggregator()]).apply(frame)
+        assert np.array_equal(frame.values, original)
+        assert frame.pet_applied == []
+
+
+class TestBudgetProperties:
+    @given(
+        charges=st.lists(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            max_size=30,
+        ),
+        cap=st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_spend_never_exceeds_cap(self, charges, cap):
+        budget = PrivacyBudget(default_cap=cap)
+        for epsilon in charges:
+            try:
+                budget.charge("u", epsilon)
+            except PrivacyBudgetExceeded:
+                pass
+        assert budget.spent("u") <= cap + 1e-9
+        assert budget.remaining("u") >= -1e-9
+
+    @given(
+        charges=st.lists(
+            st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ledger_matches_spend(self, charges):
+        budget = PrivacyBudget(default_cap=15.0)
+        accepted = 0.0
+        for epsilon in charges:
+            try:
+                budget.charge("u", epsilon)
+                accepted += epsilon
+            except PrivacyBudgetExceeded:
+                pass
+        ledger_total = sum(e.epsilon for e in budget.ledger)
+        assert abs(ledger_total - budget.spent("u")) < 1e-9
+        assert abs(ledger_total - accepted) < 1e-9

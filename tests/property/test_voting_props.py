@@ -1,0 +1,64 @@
+"""Property-based tests: voting-tally invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dao import Ballot, OneMemberOneVote
+from repro.dao.voting import Tally
+
+OPTIONS = ["yes", "no", "abstain"]
+
+ballots_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),  # voter index
+        st.sampled_from(OPTIONS),
+    ),
+    max_size=80,
+).map(
+    lambda pairs: [
+        Ballot(voter=f"v{i}", option=o, cast_at=0.0)
+        for i, o in {i: o for i, o in pairs}.items()
+    ]
+)
+
+
+class TestTallyProperties:
+    @given(ballots=ballots_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_total_weight_equals_ballot_count_under_1p1v(self, ballots):
+        tally = OneMemberOneVote().tally(ballots, OPTIONS, eligible=300)
+        assert tally.total_weight == len(ballots)
+        assert tally.voters == len(ballots)
+
+    @given(ballots=ballots_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_weights_partition_exactly(self, ballots):
+        tally = OneMemberOneVote().tally(ballots, OPTIONS, eligible=300)
+        recount = {option: 0.0 for option in OPTIONS}
+        for ballot in ballots:
+            recount[ballot.option] += 1.0
+        assert tally.weights == recount
+
+    @given(ballots=ballots_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_winner_has_max_weight(self, ballots):
+        tally = OneMemberOneVote().tally(ballots, OPTIONS, eligible=300)
+        winner = tally.winner()
+        if not ballots:
+            assert winner is None
+        else:
+            assert tally.weights[winner] == max(tally.weights.values())
+
+    @given(ballots=ballots_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_turnout_in_unit_interval(self, ballots):
+        tally = OneMemberOneVote().tally(ballots, OPTIONS, eligible=300)
+        assert 0.0 <= tally.turnout <= 1.0
+
+    @given(ballots=ballots_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_supports_sum_to_one_when_votes_exist(self, ballots):
+        assume(ballots)
+        tally = OneMemberOneVote().tally(ballots, OPTIONS, eligible=300)
+        total_support = sum(tally.support(option) for option in OPTIONS)
+        assert abs(total_support - 1.0) < 1e-9

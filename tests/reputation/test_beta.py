@@ -1,0 +1,86 @@
+"""Tests for beta reputation."""
+
+import pytest
+
+from repro.errors import ReputationError
+from repro.reputation import BetaReputation, BetaScore
+
+
+class TestBetaScore:
+    def test_prior_is_half(self):
+        assert BetaScore().expectation == 0.5
+
+    def test_positive_feedback_raises(self):
+        score = BetaScore()
+        score.observe(True)
+        assert score.expectation > 0.5
+
+    def test_negative_feedback_lowers(self):
+        score = BetaScore()
+        score.observe(False)
+        assert score.expectation < 0.5
+
+    def test_bounds(self):
+        score = BetaScore()
+        for _ in range(1000):
+            score.observe(True)
+        assert 0 < score.expectation < 1
+
+    def test_weighted_feedback(self):
+        light = BetaScore()
+        heavy = BetaScore()
+        light.observe(True, weight=1)
+        heavy.observe(True, weight=10)
+        assert heavy.expectation > light.expectation
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ReputationError):
+            BetaScore().observe(True, weight=-1)
+
+    def test_decay_moves_toward_prior(self):
+        score = BetaScore()
+        for _ in range(10):
+            score.observe(True)
+        before = score.expectation
+        score.decay(0.5)
+        after = score.expectation
+        assert 0.5 < after < before
+
+    def test_decay_bounds_checked(self):
+        with pytest.raises(ReputationError):
+            BetaScore().decay(1.5)
+
+    def test_evidence_counts_mass(self):
+        score = BetaScore()
+        score.observe(True, 2)
+        score.observe(False, 3)
+        assert score.evidence == 5
+
+
+class TestBetaReputation:
+    def test_unknown_entity_scores_prior(self):
+        assert BetaReputation().score("stranger") == 0.5
+
+    def test_record_and_score(self):
+        rep = BetaReputation()
+        rep.record("good", True)
+        rep.record("bad", False)
+        assert rep.score("good") > 0.5 > rep.score("bad")
+
+    def test_decay_all(self):
+        rep = BetaReputation(decay_factor=0.5)
+        rep.record("e", True, weight=10)
+        before = rep.score("e")
+        rep.decay_all()
+        assert rep.score("e") < before
+
+    def test_entities_snapshot(self):
+        rep = BetaReputation()
+        rep.record("a", True)
+        assert "a" in rep.entities()
+        assert len(rep) == 1
+        assert "a" in rep
+
+    def test_invalid_decay_factor(self):
+        with pytest.raises(ReputationError):
+            BetaReputation(decay_factor=2.0)

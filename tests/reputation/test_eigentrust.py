@@ -1,0 +1,85 @@
+"""Tests for EigenTrust."""
+
+import pytest
+
+from repro.errors import ReputationError
+from repro.reputation import EigenTrust
+
+
+class TestBasics:
+    def test_empty_network(self):
+        assert EigenTrust().compute() == {}
+
+    def test_self_trust_rejected(self):
+        with pytest.raises(ReputationError):
+            EigenTrust().record_interaction("a", "a", 1.0)
+
+    def test_trust_sums_to_one(self):
+        trust = EigenTrust(pretrusted=["a"])
+        trust.record_interaction("a", "b", 1.0)
+        trust.record_interaction("b", "c", 1.0)
+        vector = trust.compute()
+        assert sum(vector.values()) == pytest.approx(1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ReputationError):
+            EigenTrust(alpha=1.5)
+
+    def test_negative_satisfaction_ignored(self):
+        trust = EigenTrust(pretrusted=["a"])
+        trust.record_interaction("a", "b", -5.0)
+        vector = trust.compute()
+        # b got no positive trust; the only mass sits with pretrusted a.
+        assert vector["a"] > vector["b"]
+
+
+class TestPropagation:
+    def test_trusted_by_trusted_is_trusted(self):
+        trust = EigenTrust(pretrusted=["root"])
+        trust.record_interaction("root", "friend", 5.0)
+        trust.record_interaction("friend", "friend_of_friend", 5.0)
+        trust.add_identity("outsider")
+        vector = trust.compute()
+        assert vector["friend"] > vector["friend_of_friend"] > vector["outsider"]
+
+    def test_sybil_cluster_gets_little_trust(self):
+        trust = EigenTrust(pretrusted=["op"])
+        # Honest core.
+        trust.record_interaction("op", "honest", 5.0)
+        # Sybil clique endorsing each other and a beneficiary.
+        sybils = [f"s{i}" for i in range(10)]
+        for s in sybils:
+            trust.record_interaction(s, "beneficiary", 5.0)
+            for other in sybils:
+                if s != other:
+                    trust.record_interaction(s, other, 5.0)
+        vector = trust.compute()
+        assert vector["honest"] > vector["beneficiary"]
+
+    def test_pretrusted_seed_matters(self):
+        with_seed = EigenTrust(pretrusted=["a"])
+        with_seed.record_interaction("a", "b", 1.0)
+        vec = with_seed.compute()
+        assert vec["a"] > 0
+
+    def test_uniform_teleport_without_pretrusted(self):
+        trust = EigenTrust()
+        trust.record_interaction("a", "b", 1.0)
+        vector = trust.compute()
+        assert set(vector) == {"a", "b"}
+        assert sum(vector.values()) == pytest.approx(1.0)
+
+    def test_trust_of_single_lookup(self):
+        trust = EigenTrust(pretrusted=["a"])
+        trust.record_interaction("a", "b", 1.0)
+        assert trust.trust_of("b") > 0
+        assert trust.trust_of("ghost") == 0.0
+
+    def test_convergence_deterministic(self):
+        def build():
+            t = EigenTrust(pretrusted=["p"])
+            for i in range(20):
+                t.record_interaction("p", f"n{i}", float(i + 1))
+            return t.compute()
+
+        assert build() == build()

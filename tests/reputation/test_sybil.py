@@ -1,0 +1,62 @@
+"""Tests for Sybil attacks against reputation estimators."""
+
+import pytest
+
+from repro.errors import ReputationError
+from repro.reputation import ReputationSystem, SybilAttack, run_sybil_attack
+
+
+class TestAttackConfig:
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ReputationError):
+            SybilAttack("x", sybil_count=0)
+        with pytest.raises(ReputationError):
+            SybilAttack("x", sybil_count=1, ratings_per_sybil=0)
+        with pytest.raises(ReputationError):
+            SybilAttack("x", sybil_count=1, cross_endorse_prob=2.0)
+
+
+class TestAttackEffect:
+    def test_attack_inflates_pure_beta(self, rngs):
+        system = ReputationSystem(pretrusted=["op"], blend=1.0)
+        system.record("op", "scammer", False)
+        outcome = run_sybil_attack(
+            system, SybilAttack("scammer", sybil_count=20), rngs.stream("s")
+        )
+        assert outcome.inflation > 0.3
+
+    def test_eigentrust_blend_resists(self, rngs):
+        # Same attack, two estimators; the blend with EigenTrust must be
+        # strictly harder to inflate than pure local counting.
+        def attack(blend, stream):
+            system = ReputationSystem(pretrusted=["op", "op2"], blend=blend)
+            for t in range(5):
+                system.record("op", "honest", True, time=t)
+                system.record("op2", "honest", True, time=t)
+            system.record("op", "scammer", False)
+            return run_sybil_attack(
+                system,
+                SybilAttack("scammer", sybil_count=20),
+                rngs.fresh(stream),
+            )
+
+        beta_outcome = attack(blend=1.0, stream="beta")
+        blended_outcome = attack(blend=0.3, stream="blend")
+        assert blended_outcome.score_after < beta_outcome.score_after
+
+    def test_outcome_records_sybil_ids(self, rngs):
+        system = ReputationSystem(blend=1.0)
+        outcome = run_sybil_attack(
+            system, SybilAttack("victim", sybil_count=3), rngs.stream("s")
+        )
+        assert len(outcome.sybil_ids) == 3
+        assert system.feedback_count("victim") >= 3
+
+    def test_deterministic_given_stream(self, rngs):
+        def run(stream):
+            system = ReputationSystem(blend=0.5, pretrusted=["op"])
+            return run_sybil_attack(
+                system, SybilAttack("x", sybil_count=5), rngs.fresh(stream)
+            ).score_after
+
+        assert run("same") == run("same")

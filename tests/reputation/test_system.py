@@ -1,0 +1,82 @@
+"""Tests for the blended reputation system."""
+
+import pytest
+
+from repro.errors import ReputationError
+from repro.reputation import ReputationSystem
+
+
+class TestRecording:
+    def test_self_rating_rejected(self):
+        with pytest.raises(ReputationError):
+            ReputationSystem().record("a", "a", True)
+
+    def test_events_logged(self):
+        system = ReputationSystem()
+        system.record("a", "b", True, time=1.0, context="trade")
+        assert system.feedback_count() == 1
+        assert system.feedback_count("b") == 1
+        assert system.events[0].context == "trade"
+
+    def test_anchor_called(self):
+        anchored = []
+        system = ReputationSystem(anchor=anchored.append)
+        system.record("a", "b", True)
+        assert anchored[0]["activity"] == "reputation_feedback"
+        assert anchored[0]["target"] == "b"
+
+
+class TestScores:
+    def test_blend_bounds(self):
+        with pytest.raises(ReputationError):
+            ReputationSystem(blend=1.5)
+
+    def test_pure_beta_blend(self):
+        system = ReputationSystem(blend=1.0)
+        system.record("a", "b", True)
+        assert system.score("b") == system.local_score("b")
+
+    def test_positive_feedback_raises_score(self):
+        system = ReputationSystem(pretrusted=["op"])
+        before = system.score("b")
+        for _ in range(5):
+            system.record("op", "b", True)
+        assert system.score("b") > before
+
+    def test_global_trust_cache_invalidation(self):
+        system = ReputationSystem(pretrusted=["op"])
+        system.record("op", "b", True)
+        first = system.global_trust()
+        system.record("op", "c", True)
+        second = system.global_trust()
+        assert first is not second
+        assert "c" in second
+
+    def test_ranking_orders_by_score(self):
+        system = ReputationSystem(pretrusted=["op"], blend=1.0)
+        for _ in range(5):
+            system.record("op", "good", True)
+            system.record("op", "bad", False)
+        ranking = system.ranking()
+        assert ranking.index("good") < ranking.index("bad")
+
+    def test_ranking_top_n(self):
+        system = ReputationSystem(blend=1.0)
+        for name in ("a", "b", "c"):
+            system.record("rater", name, True)
+        assert len(system.ranking(top_n=2)) == 2
+
+    def test_decay_erodes_old_merit(self):
+        system = ReputationSystem(blend=1.0, decay_factor=0.5)
+        for _ in range(10):
+            system.record("op", "veteran", True)
+        before = system.score("veteran")
+        for _ in range(5):
+            system.decay()
+        assert system.score("veteran") < before
+
+    def test_register_identity_visible_in_trust(self):
+        system = ReputationSystem(pretrusted=["op"])
+        system.register_identity("lurker")
+        system.record("op", "b", True)
+        assert "lurker" in system.global_trust()

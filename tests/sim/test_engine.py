@@ -1,0 +1,181 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_clock_advances_to_end_time(self):
+        sim = Simulator()
+        sim.run_until(7.5)
+        assert sim.now == 7.5
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        sim = Simulator(start_time=3.0)
+        fired = []
+        sim.schedule_in(2.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_equal_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run_until(2.0)
+        assert order == ["first", "second", "third"]
+
+    def test_out_of_order_scheduling_fires_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run_until(10.0)
+        assert order == ["early", "late"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run_until(5.0)
+        assert fired == []
+
+    def test_cancel_recurring_stops_future_occurrences(self):
+        sim = Simulator()
+        fired = []
+        event = sim.every(1.0, lambda: fired.append(sim.now))
+
+        def cancel_at_3():
+            if sim.now >= 3.0:
+                event.cancel()
+
+        sim.schedule(3.0, cancel_at_3)
+        sim.run_until(10.0)
+        # The cancel event was enqueued for t=3.0 before the recurring
+        # event's 3.0 occurrence (which is re-pushed at t=2.0), so FIFO
+        # tie-breaking fires the cancel first and the 3.0 tick is gone.
+        assert fired == [1.0, 2.0]
+
+
+class TestRecurring:
+    def test_every_fires_periodically(self):
+        sim = Simulator()
+        fired = []
+        sim.every(2.0, lambda: fired.append(sim.now))
+        sim.run_until(7.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(1.0, lambda: None, interval=0.0)
+
+
+class TestExecution:
+    def test_step_returns_false_on_empty_queue(self):
+        assert Simulator().step() is False
+
+    def test_step_fires_exactly_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        assert sim.step() is True
+        assert fired == ["a"]
+
+    def test_run_for_advances_relative(self):
+        sim = Simulator(start_time=5.0)
+        sim.run_for(3.0)
+        assert sim.now == 8.0
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(4.0)
+
+    def test_run_all_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_all_bounds_runaway_loops(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run_all(max_events=100)
+
+    def test_stop_halts_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(10.0)
+        assert fired == [1]
+        # The unfired event is still queued.
+        assert sim.pending_count == 1
+
+    def test_events_scheduled_during_run_fire_same_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule_in(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestIntrospection:
+    def test_counts(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_count == 2
+        sim.run_until(1.5)
+        assert sim.fired_count == 1
+        assert sim.pending_count == 1
+
+    def test_tick_hooks_called_after_each_event(self):
+        sim = Simulator()
+        ticks = []
+        sim.add_tick_hook(ticks.append)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(5.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_snapshot(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        snap = sim.snapshot()
+        assert snap == {"now": 0.0, "pending": 1, "fired": 0}

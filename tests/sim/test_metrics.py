@@ -1,0 +1,99 @@
+"""Tests for metrics primitives."""
+
+import pytest
+
+from repro.sim import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        assert registry.counters()["hits"] == 3
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_same_name_same_counter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.add(-3)
+        assert registry.gauges()["depth"] == 7
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.mean == 2.5
+        assert hist.minimum == 1.0
+        assert hist.maximum == 4.0
+        assert hist.total == 10.0
+
+    def test_percentile_interpolates(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_empty_histogram_is_safe(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.stddev == 0.0
+
+    def test_single_sample_percentile(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(42.0)
+        assert hist.percentile(75) == 42.0
+
+    def test_stddev(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            hist.observe(value)
+        assert hist.stddev == pytest.approx(2.138, abs=1e-3)
+
+
+class TestRegistry:
+    def test_as_dict_includes_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1.0)
+        data = registry.as_dict()
+        assert data["counters"] == {"c": 1.0}
+        assert data["gauges"] == {"g": 5.0}
+        assert data["histograms"]["h"]["count"] == 1.0
+
+    def test_render_is_textual(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(5)
+        text = registry.render()
+        assert "requests" in text
+        assert "5" in text
+
+    def test_reset_clears_all(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.counters() == {}

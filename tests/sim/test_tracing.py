@@ -1,0 +1,70 @@
+"""Tests for the structured trace log."""
+
+import pytest
+
+from repro.sim import TraceLog
+
+
+class TestEmitAndQuery:
+    def test_emit_appends(self):
+        log = TraceLog()
+        log.emit(1.0, "world", "spawn", avatar="a")
+        assert len(log) == 1
+        assert log.records[0].payload == {"avatar": "a"}
+
+    def test_query_by_source_and_kind(self):
+        log = TraceLog()
+        log.emit(1.0, "world", "spawn")
+        log.emit(2.0, "world", "despawn")
+        log.emit(3.0, "dao", "vote")
+        assert [r.kind for r in log.query(source="world")] == ["spawn", "despawn"]
+        assert [r.source for r in log.query(kind="vote")] == ["dao"]
+
+    def test_query_time_window(self):
+        log = TraceLog()
+        for t in range(5):
+            log.emit(float(t), "s", "k")
+        windowed = list(log.query(since=1.0, until=3.0))
+        assert [r.time for r in windowed] == [1.0, 2.0, 3.0]
+
+    def test_query_predicate(self):
+        log = TraceLog()
+        log.emit(0.0, "s", "k", value=1)
+        log.emit(0.0, "s", "k", value=10)
+        big = list(log.query(predicate=lambda r: r.payload["value"] > 5))
+        assert len(big) == 1
+
+    def test_count(self):
+        log = TraceLog()
+        log.emit(0.0, "a", "x")
+        log.emit(0.0, "b", "x")
+        assert log.count(kind="x") == 2
+        assert log.count(source="a") == 1
+
+
+class TestCapacityAndSubscription:
+    def test_capacity_evicts_oldest(self):
+        log = TraceLog(capacity=3)
+        for t in range(5):
+            log.emit(float(t), "s", "k")
+        assert len(log) == 3
+        assert log.records[0].time == 2.0
+        assert log.dropped == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_subscribers_receive_future_records(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe(lambda r: seen.append(r.kind))
+        log.emit(0.0, "s", "first")
+        log.emit(0.0, "s", "second")
+        assert seen == ["first", "second"]
+
+    def test_iteration(self):
+        log = TraceLog()
+        log.emit(0.0, "s", "a")
+        log.emit(0.0, "s", "b")
+        assert [r.kind for r in log] == ["a", "b"]

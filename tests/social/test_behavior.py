@@ -1,0 +1,113 @@
+"""Tests for behaviour models."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.social import Archetype, BehaviorSimulator, standard_mix
+from repro.world import World
+
+
+def build_world(rngs, n=30, harasser_fraction=0.2):
+    world = World("bw", size=40.0)
+    mix = standard_mix(n, rngs.stream("mix"), harasser_fraction=harasser_fraction)
+    archetypes = {}
+    position_rng = rngs.stream("pos")
+    for i, archetype in enumerate(mix.values()):
+        avatar_id = f"av{i:03d}"
+        world.spawn(
+            avatar_id,
+            (float(position_rng.uniform(0, 40)), float(position_rng.uniform(0, 40))),
+        )
+        archetypes[avatar_id] = archetype
+    return world, archetypes
+
+
+class TestStandardMix:
+    def test_fractions_roughly_respected(self, rngs):
+        mix = standard_mix(
+            1000, rngs.stream("m"),
+            harasser_fraction=0.1, spammer_fraction=0.05, troll_fraction=0.05,
+        )
+        counts = {a: 0 for a in Archetype}
+        for archetype in mix.values():
+            counts[archetype] += 1
+        assert 60 < counts[Archetype.HARASSER] < 140
+        assert counts[Archetype.CIVIL] > 700
+
+    def test_excessive_fractions_rejected(self, rngs):
+        with pytest.raises(ReproError):
+            standard_mix(10, rngs.stream("m"), harasser_fraction=0.9,
+                         spammer_fraction=0.2)
+
+
+class TestSimulator:
+    def test_epoch_produces_interactions(self, rngs):
+        world, archetypes = build_world(rngs)
+        simulator = BehaviorSimulator(world, archetypes, rngs.stream("b"))
+        interactions = simulator.run_epoch(time=0.0)
+        assert len(interactions) > 0
+        assert len(world.interactions) == len(interactions)
+
+    def test_harassers_emit_abuse(self, rngs):
+        world, archetypes = build_world(rngs, n=40, harasser_fraction=0.5)
+        simulator = BehaviorSimulator(world, archetypes, rngs.stream("b"))
+        interactions = []
+        for epoch in range(3):
+            interactions.extend(simulator.run_epoch(time=float(epoch)))
+        abusive = [i for i in interactions if i.abusive]
+        assert len(abusive) > 0
+        harassers = {a for a, t in archetypes.items() if t is Archetype.HARASSER}
+        abusive_by_harassers = sum(
+            1 for i in abusive if i.initiator in harassers
+        )
+        assert abusive_by_harassers > len(abusive) * 0.5
+
+    def test_civil_members_mostly_benign(self, rngs):
+        world, archetypes = build_world(rngs, n=30, harasser_fraction=0.0)
+        simulator = BehaviorSimulator(world, archetypes, rngs.stream("b"))
+        interactions = simulator.run_epoch(time=0.0)
+        abusive = sum(1 for i in interactions if i.abusive)
+        assert abusive <= len(interactions) * 0.1
+
+    def test_members_move_each_epoch(self, rngs):
+        world, archetypes = build_world(rngs, n=5)
+        before = {a: world.avatar(a).position for a in archetypes}
+        simulator = BehaviorSimulator(world, archetypes, rngs.stream("b"))
+        simulator.run_epoch(time=0.0)
+        moved = sum(
+            1 for a in archetypes if world.avatar(a).position != before[a]
+        )
+        assert moved >= 4
+
+    def test_banned_avatars_do_not_act(self, rngs):
+        from repro.world import AvatarStatus
+
+        world, archetypes = build_world(rngs, n=10)
+        target = sorted(archetypes)[0]
+        world.set_status(target, AvatarStatus.BANNED)
+        simulator = BehaviorSimulator(world, archetypes, rngs.stream("b"))
+        interactions = simulator.run_epoch(time=0.0)
+        delivered_by_banned = [
+            i for i in interactions if i.initiator == target and i.delivered
+        ]
+        assert delivered_by_banned == []
+
+    def test_unknown_avatar_rejected(self, rngs):
+        world, archetypes = build_world(rngs, n=3)
+        archetypes["ghost"] = Archetype.CIVIL
+        with pytest.raises(ReproError):
+            BehaviorSimulator(world, archetypes, rngs.stream("b"))
+
+    def test_deterministic_given_seed(self, rngs):
+        def run(label):
+            from repro.sim import RngRegistry
+
+            local = RngRegistry(seed=777)
+            world, archetypes = build_world(local)
+            simulator = BehaviorSimulator(world, archetypes, local.stream("b"))
+            return [
+                (i.initiator, i.target, i.kind)
+                for i in simulator.run_epoch(time=0.0)
+            ]
+
+        assert run("a") == run("b")

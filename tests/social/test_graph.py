@@ -1,0 +1,75 @@
+"""Tests for the social graph."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.social import SocialGraph
+
+
+class TestConstruction:
+    def test_add_and_connect(self):
+        graph = SocialGraph()
+        graph.add_member("a")
+        graph.add_member("b")
+        graph.connect("a", "b", trust=0.7)
+        assert graph.trust("a", "b") == 0.7
+        assert graph.neighbors("a") == ["b"]
+        assert graph.degree("a") == 1
+
+    def test_self_tie_rejected(self):
+        graph = SocialGraph()
+        with pytest.raises(ReproError):
+            graph.connect("a", "a")
+
+    def test_invalid_trust_rejected(self):
+        graph = SocialGraph()
+        with pytest.raises(ReproError):
+            graph.connect("a", "b", trust=1.5)
+
+    def test_trust_default_for_missing_edge(self):
+        assert SocialGraph().trust("a", "b") == 0.0
+
+    def test_set_trust(self):
+        graph = SocialGraph()
+        graph.connect("a", "b", trust=0.5)
+        graph.set_trust("a", "b", 0.9)
+        assert graph.trust("b", "a") == 0.9  # undirected
+
+    def test_set_trust_missing_edge_rejected(self):
+        with pytest.raises(ReproError):
+            SocialGraph().set_trust("a", "b", 0.5)
+
+    def test_neighbors_unknown_member_rejected(self):
+        with pytest.raises(ReproError):
+            SocialGraph().neighbors("ghost")
+
+
+class TestGenerators:
+    def test_scale_free_connected_and_sized(self, rngs):
+        graph = SocialGraph.scale_free(100, 3, rngs.stream("g"))
+        assert len(graph) == 100
+        assert graph.edge_count > 100
+
+    def test_scale_free_has_hubs(self, rngs):
+        graph = SocialGraph.scale_free(200, 2, rngs.stream("g"))
+        degrees = sorted(graph.degree(m) for m in graph.members())
+        assert degrees[-1] > 4 * (sum(degrees) / len(degrees))
+
+    def test_small_world(self, rngs):
+        graph = SocialGraph.small_world(60, 4, 0.1, rngs.stream("g"))
+        assert len(graph) == 60
+
+    def test_random_graph(self, rngs):
+        graph = SocialGraph.random(50, 0.1, rngs.stream("g"))
+        assert len(graph) == 50
+
+    def test_trust_weights_in_range(self, rngs):
+        graph = SocialGraph.scale_free(50, 2, rngs.stream("g"))
+        for a, b, trust in graph.edges():
+            assert 0.2 <= trust <= 0.9
+
+    def test_deterministic_generation(self, rngs):
+        a = SocialGraph.scale_free(50, 2, rngs.fresh("same"))
+        b = SocialGraph.scale_free(50, 2, rngs.fresh("same"))
+        assert sorted(a.members()) == sorted(b.members())
+        assert a.edge_count == b.edge_count

@@ -1,0 +1,103 @@
+"""Tests for misinformation propagation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.social import MisinformationModel, SocialGraph
+
+
+def line_graph(n=5, trust=1.0):
+    graph = SocialGraph()
+    for i in range(n):
+        graph.add_member(f"m{i}")
+    for i in range(n - 1):
+        graph.connect(f"m{i}", f"m{i+1}", trust=trust)
+    return graph
+
+
+class TestSpreadMechanics:
+    def test_certain_spread_reaches_everyone(self, rngs):
+        graph = line_graph(6, trust=1.0)
+        model = MisinformationModel(
+            graph, rngs.stream("m"), base_share_prob=1.0, stifle_prob=0.01
+        )
+        result = model.spread(["m0"], max_rounds=100)
+        assert result.reach == 6
+        assert result.reach_fraction(6) == 1.0
+
+    def test_zero_transmissibility_stays_at_seed(self, rngs):
+        graph = line_graph(6)
+        model = MisinformationModel(
+            graph, rngs.stream("m"), base_share_prob=0.0
+        )
+        result = model.spread(["m0"])
+        assert result.reached == {"m0"}
+
+    def test_zero_trust_blocks_spread(self, rngs):
+        graph = line_graph(6, trust=0.0)
+        model = MisinformationModel(
+            graph, rngs.stream("m"), base_share_prob=1.0
+        )
+        assert model.spread(["m0"]).reach == 1
+
+    def test_unknown_seed_rejected(self, rngs):
+        model = MisinformationModel(line_graph(3), rngs.stream("m"))
+        with pytest.raises(ReproError):
+            model.spread(["ghost"])
+
+    def test_invalid_params(self, rngs):
+        graph = line_graph(3)
+        with pytest.raises(ReproError):
+            MisinformationModel(graph, rngs.stream("m"), base_share_prob=1.5)
+        with pytest.raises(ReproError):
+            MisinformationModel(graph, rngs.stream("m"), stifle_prob=0.0)
+
+    def test_timeline_accounts_for_reach(self, rngs):
+        graph = SocialGraph.scale_free(100, 3, rngs.stream("g"))
+        model = MisinformationModel(graph, rngs.stream("m"))
+        seeds = graph.members()[:2]
+        result = model.spread(seeds)
+        assert sum(result.timeline) == result.reach
+
+    def test_cascade_terminates(self, rngs):
+        graph = SocialGraph.scale_free(200, 3, rngs.stream("g"))
+        model = MisinformationModel(graph, rngs.stream("m"))
+        result = model.spread(graph.members()[:1], max_rounds=500)
+        assert result.rounds < 500
+
+
+class TestCredibilityGating:
+    """§IV-B: reputation limits misinformation."""
+
+    def test_low_credibility_sources_spread_less(self, rngs):
+        graph = SocialGraph.scale_free(300, 3, rngs.fresh("g"))
+        liars = graph.members()[:5]
+
+        ungated = MisinformationModel(
+            graph, rngs.fresh("off"), base_share_prob=0.25
+        )
+        gated = MisinformationModel(
+            graph,
+            rngs.fresh("on"),
+            base_share_prob=0.25,
+            credibility=lambda m: 0.1 if m in liars else 0.6,
+        )
+        reach_off = ungated.mean_reach(liars, repetitions=10)
+        reach_on = gated.mean_reach(liars, repetitions=10)
+        assert reach_on < reach_off
+
+    def test_credibility_clamped(self, rngs):
+        graph = line_graph(3, trust=1.0)
+        model = MisinformationModel(
+            graph,
+            rngs.stream("m"),
+            base_share_prob=1.0,
+            credibility=lambda m: 5.0,  # out of range, must clamp to 1
+        )
+        result = model.spread(["m0"], max_rounds=50)
+        assert result.reach == 3
+
+    def test_mean_reach_repetitions_validated(self, rngs):
+        model = MisinformationModel(line_graph(3), rngs.stream("m"))
+        with pytest.raises(ReproError):
+            model.mean_reach(["m0"], repetitions=0)

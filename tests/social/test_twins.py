@@ -1,0 +1,105 @@
+"""Tests for digital twins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.social import PhysicalObject, TwinRegistry
+
+
+@pytest.fixture
+def registry():
+    return TwinRegistry()
+
+
+@pytest.fixture
+def statue():
+    return PhysicalObject("statue", np.zeros(3))
+
+
+class TestSync:
+    def test_new_twin_mirrors_current_state(self, registry, statue):
+        twin = registry.register(statue, "alice")
+        assert twin.drift() == 0.0
+
+    def test_drift_grows_without_sync(self, registry, statue, rngs):
+        twin = registry.register(statue, "alice")
+        for t in range(20):
+            statue.evolve(rngs.stream("phys"), time=float(t))
+        assert twin.drift() > 0.0
+        assert twin.staleness(now=20.0) == 20.0
+
+    def test_sync_zeroes_drift(self, registry, statue, rngs):
+        twin = registry.register(statue, "alice")
+        statue.evolve(rngs.stream("phys"), time=1.0)
+        twin.sync(time=1.0)
+        assert twin.drift() == 0.0
+        assert twin.sync_count == 1
+
+    def test_backwards_sync_rejected(self, registry, statue):
+        twin = registry.register(statue, "alice")
+        twin.sync(time=5.0)
+        with pytest.raises(ReproError):
+            twin.sync(time=4.0)
+
+    def test_more_frequent_sync_lower_mean_drift(self, registry, rngs):
+        fast_obj = PhysicalObject("fast", np.zeros(3))
+        slow_obj = PhysicalObject("slow", np.zeros(3))
+        fast = registry.register(fast_obj, "a")
+        slow = registry.register(slow_obj, "a")
+        rng = rngs.stream("phys")
+        fast_drifts, slow_drifts = [], []
+        for t in range(1, 41):
+            fast_obj.evolve(rng, time=float(t))
+            slow_obj.evolve(rng, time=float(t))
+            if t % 2 == 0:
+                fast.sync(float(t))
+            if t % 20 == 0:
+                slow.sync(float(t))
+            fast_drifts.append(fast.drift())
+            slow_drifts.append(slow.drift())
+        assert np.mean(fast_drifts) < np.mean(slow_drifts)
+
+
+class TestOwnership:
+    def test_register_records_provenance(self, registry, statue):
+        twin = registry.register(statue, "alice", time=1.0)
+        events = registry.provenance(twin.twin_id)
+        assert events[0]["event"] == "twin_created"
+        assert events[0]["owner"] == "alice"
+
+    def test_duplicate_twin_rejected(self, registry, statue):
+        registry.register(statue, "alice")
+        with pytest.raises(ReproError):
+            registry.register(statue, "bob")
+
+    def test_transfer_requires_ownership(self, registry, statue):
+        twin = registry.register(statue, "alice")
+        with pytest.raises(ReproError):
+            registry.transfer(twin.twin_id, "mallory", "bob", time=1.0)
+
+    def test_transfer_updates_owner_and_provenance(self, registry, statue):
+        twin = registry.register(statue, "alice")
+        registry.transfer(twin.twin_id, "alice", "bob", time=2.0)
+        assert twin.owner == "bob"
+        assert registry.twins_of("bob") == [twin]
+        assert registry.twins_of("alice") == []
+        events = registry.provenance(twin.twin_id)
+        assert events[-1]["event"] == "twin_transferred"
+
+    def test_anchor_receives_events(self, statue):
+        anchored = []
+        registry = TwinRegistry(anchor=anchored.append)
+        twin = registry.register(statue, "alice", time=0.0)
+        registry.transfer(twin.twin_id, "alice", "bob", time=1.0)
+        assert [e["event"] for e in anchored] == [
+            "twin_created",
+            "twin_transferred",
+        ]
+
+    def test_mean_drift(self, registry, rngs):
+        assert registry.mean_drift() == 0.0
+        obj = PhysicalObject("o", np.zeros(2))
+        registry.register(obj, "a")
+        obj.evolve(rngs.stream("p"), time=1.0)
+        assert registry.mean_drift() > 0.0

@@ -1,0 +1,77 @@
+"""Tests for canned scenarios."""
+
+import pytest
+
+from repro.workloads import (
+    build_flat_dao,
+    build_modular_federation,
+    dao_proposal_load,
+    run_governance_stress,
+    run_market_season,
+)
+
+TOPICS = ["privacy", "moderation", "economy", "safety"]
+
+
+class TestDaoBuilders:
+    def test_flat_dao_holds_everyone(self, rngs):
+        dao = build_flat_dao(30, TOPICS, rngs.stream("f"))
+        assert len(dao.members) == 30
+
+    def test_federation_scopes_membership(self, rngs):
+        federation = build_modular_federation(30, TOPICS, rngs.stream("m"))
+        assert len(federation.root.members) == 30
+        for dao in federation.sub_daos():
+            assert 0 < len(dao.members) <= 30
+        # Every member sits in at least one sub-DAO.
+        sub_members = set()
+        for dao in federation.sub_daos():
+            sub_members.update(dao.members.addresses())
+        assert len(sub_members) == 30
+
+
+class TestGovernanceStress:
+    def test_flat_runs_and_closes_everything(self, rngs):
+        load = dao_proposal_load(20, TOPICS, rngs.fresh("l"))
+        dao = build_flat_dao(40, TOPICS, rngs.fresh("f"))
+        result = run_governance_stress(dao, load, rngs.fresh("r"), epochs=5)
+        assert result.proposals == 20
+        assert result.ballots_cast > 0
+        assert 0 <= result.mean_turnout <= 1
+        assert 0 <= result.expired_fraction <= 1
+
+    def test_federation_runs(self, rngs):
+        load = dao_proposal_load(20, TOPICS, rngs.fresh("l"))
+        federation = build_modular_federation(40, TOPICS, rngs.fresh("m"))
+        result = run_governance_stress(federation, load, rngs.fresh("r"), epochs=5)
+        assert result.proposals == 20
+
+    def test_empty_load(self, rngs):
+        dao = build_flat_dao(10, TOPICS, rngs.fresh("f"))
+        result = run_governance_stress(dao, [], rngs.fresh("r"), epochs=2)
+        assert result.proposals == 0
+
+
+class TestMarketSeason:
+    def test_all_policies_run(self, rngs):
+        for policy in ("open", "invite-only", "reputation-vetted"):
+            result = run_market_season(
+                policy, 15, 0.3, rngs.fresh(policy), epochs=6
+            )
+            assert result.policy == policy
+            assert result.stats["sales"] >= 0
+
+    def test_unknown_policy_rejected(self, rngs):
+        with pytest.raises(ValueError):
+            run_market_season("anarchy", 10, 0.2, rngs.stream("m"))
+
+    def test_open_has_no_lockouts(self, rngs):
+        result = run_market_season("open", 15, 0.3, rngs.fresh("o"), epochs=6)
+        assert result.honest_creators_locked_out == 0
+        assert result.scammers_locked_out == 0
+
+    def test_invite_only_locks_out_late_honest_creators(self, rngs):
+        result = run_market_season(
+            "invite-only", 20, 0.3, rngs.fresh("i"), epochs=6
+        )
+        assert result.honest_creators_locked_out > 0

@@ -1,0 +1,110 @@
+"""Tests for the room-scale VR safety simulator (E4's mechanics)."""
+
+import pytest
+
+from repro.errors import WorldError
+from repro.world import Obstacle, RoomSimulation, SafetyConfig
+
+
+def run_sim(rngs, config, label, n_users=4, steps=800, obstacles=None):
+    sim = RoomSimulation(
+        room_size=5.0,
+        n_users=n_users,
+        config=config,
+        rng=rngs.fresh(label),
+        obstacles=obstacles,
+    )
+    return sim.run(steps)
+
+
+class TestSetup:
+    def test_users_spawn_separated(self, rngs):
+        sim = RoomSimulation(
+            5.0, 6, SafetyConfig.none(), rngs.stream("s")
+        )
+        positions = sim.positions
+        for i in range(6):
+            for j in range(i + 1, 6):
+                assert ((positions[i] - positions[j]) ** 2).sum() > 0.4 ** 2
+
+    def test_invalid_params(self, rngs):
+        with pytest.raises(WorldError):
+            RoomSimulation(0.0, 1, SafetyConfig.none(), rngs.stream("s"))
+        with pytest.raises(WorldError):
+            RoomSimulation(5.0, 0, SafetyConfig.none(), rngs.stream("s"))
+        with pytest.raises(WorldError):
+            Obstacle(1.0, 1.0, 0.0)
+
+    def test_config_labels(self):
+        assert SafetyConfig.none().label == "none"
+        assert SafetyConfig.shadows_only().label == "shadow"
+        assert SafetyConfig.rdw_only().label == "rdw"
+        assert SafetyConfig.combined().label == "shadow+rdw"
+
+
+class TestDynamics:
+    def test_users_walk(self, rngs):
+        report = run_sim(rngs, SafetyConfig.none(), "walk", steps=200)
+        assert report.distance_walked > 0
+        assert report.steps == 200
+
+    def test_waypoints_reached(self, rngs):
+        report = run_sim(rngs, SafetyConfig.none(), "wp", steps=800)
+        assert report.waypoints_reached > 0
+
+    def test_no_mitigation_no_steering(self, rngs):
+        report = run_sim(rngs, SafetyConfig.none(), "ns", steps=200)
+        assert report.steering_effort == 0.0
+
+    def test_mitigations_cost_steering(self, rngs):
+        report = run_sim(rngs, SafetyConfig.combined(), "cs", steps=200)
+        assert report.steering_effort > 0.0
+
+    def test_deterministic(self, rngs):
+        a = run_sim(rngs, SafetyConfig.combined(), "same", steps=200)
+        b = run_sim(rngs, SafetyConfig.combined(), "same", steps=200)
+        assert a.total_collisions == b.total_collisions
+        assert a.distance_walked == pytest.approx(b.distance_walked)
+
+
+class TestSafetyShape:
+    """The qualitative claims of §II-C."""
+
+    def test_shadow_avatars_cut_user_collisions(self, rngs):
+        baseline = run_sim(rngs, SafetyConfig.none(), "base")
+        shadows = run_sim(rngs, SafetyConfig.shadows_only(), "shadow")
+        assert shadows.user_collisions < baseline.user_collisions
+
+    def test_rdw_cuts_obstacle_collisions(self, rngs):
+        obstacles = [Obstacle(2.5, 2.5, 0.5)]
+        baseline = run_sim(rngs, SafetyConfig.none(), "base-o", obstacles=obstacles)
+        rdw = run_sim(rngs, SafetyConfig.rdw_only(), "rdw-o", obstacles=obstacles)
+        assert rdw.obstacle_collisions < baseline.obstacle_collisions
+
+    def test_combined_dominates_baseline(self, rngs):
+        obstacles = [Obstacle(2.5, 2.5, 0.5)]
+        baseline = run_sim(rngs, SafetyConfig.none(), "base-c", obstacles=obstacles)
+        combined = run_sim(
+            rngs, SafetyConfig.combined(), "comb-c", obstacles=obstacles
+        )
+        assert combined.total_collisions < baseline.total_collisions
+
+    def test_disruption_is_the_price(self, rngs):
+        baseline = run_sim(rngs, SafetyConfig.none(), "base-d")
+        combined = run_sim(rngs, SafetyConfig.combined(), "comb-d")
+        assert combined.disruption_per_meter > baseline.disruption_per_meter
+
+
+class TestReportMetrics:
+    def test_collisions_per_100m(self, rngs):
+        report = run_sim(rngs, SafetyConfig.none(), "m", steps=400)
+        if report.total_collisions:
+            expected = 100.0 * report.total_collisions / report.distance_walked
+            assert report.collisions_per_100m == pytest.approx(expected)
+
+    def test_empty_report_division_safe(self):
+        from repro.world.safety import SafetyReport
+
+        report = SafetyReport()
+        assert report.collisions_per_100m == 0.0
+        assert report.disruption_per_meter == 0.0

@@ -1,0 +1,98 @@
+"""Tests for identity-aware sessions."""
+
+import pytest
+
+from repro.errors import WorldError
+from repro.privacy import AvatarIdentityManager
+from repro.world import World
+from repro.world.sessions import SessionManager
+
+
+@pytest.fixture
+def setup():
+    world = World("sessions", size=20.0)
+    identities = AvatarIdentityManager()
+    identities.register_user("alice")
+    identities.register_user("bob")
+    manager = SessionManager(world, identities)
+    return world, identities, manager
+
+
+class TestLoginLogout:
+    def test_login_spawns_primary(self, setup):
+        world, identities, manager = setup
+        session = manager.login("alice", (1.0, 1.0), time=0.0)
+        assert session.avatar_id == identities.primary_of("alice")
+        assert session.avatar_id in world
+        assert manager.active_count == 1
+
+    def test_clone_login_mints_fresh_avatar(self, setup):
+        world, identities, manager = setup
+        session = manager.login("alice", (1.0, 1.0), time=0.0, use_clone=True)
+        assert session.avatar_id != identities.primary_of("alice")
+        assert identities.owner_of(session.avatar_id) == "alice"
+        assert session.avatar_id in world
+
+    def test_double_login_rejected(self, setup):
+        world, identities, manager = setup
+        manager.login("alice", (1.0, 1.0), time=0.0)
+        with pytest.raises(WorldError):
+            manager.login("alice", (2.0, 2.0), time=1.0)
+
+    def test_logout_despawns_and_closes(self, setup):
+        world, identities, manager = setup
+        session = manager.login("alice", (1.0, 1.0), time=0.0)
+        closed = manager.logout("alice", time=5.0)
+        assert closed is session
+        assert not session.is_active
+        assert session.duration == 5.0
+        assert session.avatar_id not in world
+        assert manager.active_count == 0
+
+    def test_logout_without_session_rejected(self, setup):
+        world, identities, manager = setup
+        with pytest.raises(WorldError):
+            manager.logout("alice", time=0.0)
+
+    def test_logout_before_login_rejected(self, setup):
+        world, identities, manager = setup
+        manager.login("alice", (1.0, 1.0), time=5.0)
+        with pytest.raises(WorldError):
+            manager.logout("alice", time=3.0)
+
+    def test_relogin_after_logout(self, setup):
+        world, identities, manager = setup
+        manager.login("alice", (1.0, 1.0), time=0.0)
+        manager.logout("alice", time=1.0)
+        second = manager.login("alice", (2.0, 2.0), time=2.0)
+        assert second.is_active
+        assert len(manager.sessions_of("alice")) == 2
+
+
+class TestUnlinkability:
+    def test_public_log_never_names_users(self, setup):
+        world, identities, manager = setup
+        manager.login("alice", (1.0, 1.0), time=0.0, use_clone=True)
+        manager.login("bob", (2.0, 2.0), time=0.0)
+        for entry in manager.public_log():
+            values = " ".join(str(v) for v in entry.values())
+            assert "alice" not in values
+            assert "bob" not in values
+
+    def test_clone_sessions_use_distinct_avatars(self, setup):
+        world, identities, manager = setup
+        avatar_ids = []
+        for t in range(3):
+            session = manager.login(
+                "alice", (1.0, 1.0), time=float(t), use_clone=True
+            )
+            avatar_ids.append(session.avatar_id)
+            manager.logout("alice", time=float(t) + 0.5)
+        assert len(set(avatar_ids)) == 3
+
+    def test_internal_mapping_preserved_for_platform(self, setup):
+        world, identities, manager = setup
+        session = manager.login("alice", (1.0, 1.0), time=0.0, use_clone=True)
+        assert manager.sessions_of("alice") == [session]
+        assert manager.active_avatar_of("alice") == session.avatar_id
+        assert manager.active_avatar_of("bob") is None

@@ -1,0 +1,95 @@
+"""Tests for the spatial grid."""
+
+import pytest
+
+from repro.errors import WorldError
+from repro.world import SpatialGrid
+
+
+class TestMutation:
+    def test_insert_and_position(self):
+        grid = SpatialGrid()
+        grid.insert("a", (1.0, 2.0))
+        assert grid.position_of("a") == (1.0, 2.0)
+        assert "a" in grid
+        assert len(grid) == 1
+
+    def test_duplicate_insert_rejected(self):
+        grid = SpatialGrid()
+        grid.insert("a", (0, 0))
+        with pytest.raises(WorldError):
+            grid.insert("a", (1, 1))
+
+    def test_move_updates_position(self):
+        grid = SpatialGrid(cell_size=1.0)
+        grid.insert("a", (0.5, 0.5))
+        grid.move("a", (10.5, 10.5))
+        assert grid.position_of("a") == (10.5, 10.5)
+
+    def test_move_unknown_rejected(self):
+        with pytest.raises(WorldError):
+            SpatialGrid().move("ghost", (0, 0))
+
+    def test_remove(self):
+        grid = SpatialGrid()
+        grid.insert("a", (0, 0))
+        grid.remove("a")
+        assert "a" not in grid
+        with pytest.raises(WorldError):
+            grid.remove("a")
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(WorldError):
+            SpatialGrid(cell_size=0.0)
+
+
+class TestQueries:
+    def test_within_radius(self):
+        grid = SpatialGrid(cell_size=2.0)
+        grid.insert("center", (0.0, 0.0))
+        grid.insert("near", (1.0, 0.0))
+        grid.insert("far", (10.0, 0.0))
+        assert grid.within("center", 1.5) == ["near"]
+
+    def test_within_excludes_self(self):
+        grid = SpatialGrid()
+        grid.insert("a", (0, 0))
+        assert grid.within("a", 100.0) == []
+
+    def test_boundary_inclusive(self):
+        grid = SpatialGrid(cell_size=1.0)
+        grid.insert("a", (0, 0))
+        grid.insert("b", (3.0, 0.0))
+        assert grid.within("a", 3.0) == ["b"]
+
+    def test_cross_cell_queries(self):
+        grid = SpatialGrid(cell_size=1.0)
+        grid.insert("a", (0.9, 0.9))
+        grid.insert("b", (1.1, 1.1))  # neighbouring cell, close by
+        assert grid.within("a", 0.5) == ["b"]
+
+    def test_negative_coordinates(self):
+        grid = SpatialGrid(cell_size=2.0)
+        grid.insert("a", (-3.0, -3.0))
+        grid.insert("b", (-3.5, -3.0))
+        assert grid.within("a", 1.0) == ["b"]
+
+    def test_distance(self):
+        grid = SpatialGrid()
+        grid.insert("a", (0, 0))
+        grid.insert("b", (3, 4))
+        assert grid.distance("a", "b") == pytest.approx(5.0)
+
+    def test_negative_radius_rejected(self):
+        grid = SpatialGrid()
+        grid.insert("a", (0, 0))
+        with pytest.raises(WorldError):
+            grid.within("a", -1.0)
+
+    def test_many_entities_scale(self):
+        grid = SpatialGrid(cell_size=5.0)
+        for i in range(400):
+            grid.insert(f"e{i}", (float(i % 20) * 5, float(i // 20) * 5))
+        hits = grid.within("e0", 6.0)
+        assert "e1" in hits and "e20" in hits
+        assert "e399" not in hits

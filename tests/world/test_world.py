@@ -1,0 +1,138 @@
+"""Tests for the world: spawn, movement, gated interactions."""
+
+import pytest
+
+from repro.errors import WorldError
+from repro.world import AvatarStatus, World
+
+
+@pytest.fixture
+def world():
+    w = World("test", size=50.0)
+    w.spawn("a", (10.0, 10.0))
+    w.spawn("b", (11.0, 10.0))
+    w.spawn("c", (40.0, 40.0))
+    return w
+
+
+class TestPopulation:
+    def test_spawn_and_lookup(self, world):
+        assert world.population() == 3
+        assert "a" in world
+        assert world.avatar("a").position == (10.0, 10.0)
+
+    def test_duplicate_spawn_rejected(self, world):
+        with pytest.raises(WorldError):
+            world.spawn("a", (0, 0))
+
+    def test_out_of_bounds_spawn_rejected(self, world):
+        with pytest.raises(WorldError):
+            world.spawn("x", (100.0, 0.0))
+
+    def test_despawn(self, world):
+        world.despawn("c")
+        assert "c" not in world
+        with pytest.raises(WorldError):
+            world.avatar("c")
+
+    def test_invalid_size(self):
+        with pytest.raises(WorldError):
+            World("bad", size=0.0)
+
+
+class TestMovement:
+    def test_move(self, world):
+        world.move("a", (20.0, 20.0))
+        assert world.avatar("a").position == (20.0, 20.0)
+        assert "a" in world.nearby("c", radius=30.0)
+
+    def test_out_of_bounds_move_rejected(self, world):
+        with pytest.raises(WorldError):
+            world.move("a", (-1.0, 0.0))
+
+    def test_banned_avatar_cannot_move(self, world):
+        world.set_status("a", AvatarStatus.BANNED)
+        with pytest.raises(WorldError):
+            world.move("a", (1.0, 1.0))
+
+    def test_nearby(self, world):
+        assert world.nearby("a", radius=2.0) == ["b"]
+
+
+class TestInteractionGates:
+    def test_delivered_interaction_logged(self, world):
+        interaction = world.attempt_interaction("a", "b", "chat", time=1.0)
+        assert interaction.delivered
+        assert len(world.interactions) == 1
+
+    def test_self_interaction_rejected(self, world):
+        with pytest.raises(WorldError):
+            world.attempt_interaction("a", "a", "chat", time=1.0)
+
+    def test_unknown_avatar_rejected(self, world):
+        with pytest.raises(WorldError):
+            world.attempt_interaction("a", "ghost", "chat", time=1.0)
+
+    def test_muted_cannot_chat_but_can_gesture(self, world):
+        world.set_status("a", AvatarStatus.MUTED)
+        chat = world.attempt_interaction("a", "b", "chat", time=1.0)
+        gesture = world.attempt_interaction("a", "b", "gesture", time=1.0)
+        assert not chat.delivered
+        assert chat.blocked_by == "status:muted"
+        assert gesture.delivered
+
+    def test_suspended_cannot_interact(self, world):
+        world.set_status("a", AvatarStatus.SUSPENDED)
+        interaction = world.attempt_interaction("a", "b", "gesture", time=1.0)
+        assert not interaction.delivered
+
+    def test_banned_target_receives_nothing(self, world):
+        world.set_status("b", AvatarStatus.BANNED)
+        interaction = world.attempt_interaction("a", "b", "chat", time=1.0)
+        assert not interaction.delivered
+        assert interaction.blocked_by == "target-status:banned"
+
+    def test_bubble_blocks_close_touch(self, world):
+        world.bubbles.enable("b", radius=2.0)
+        touch = world.attempt_interaction("a", "b", "touch", time=1.0)
+        chat = world.attempt_interaction("c", "b", "chat", time=1.0)
+        assert not touch.delivered
+        assert touch.blocked_by == "privacy-bubble"
+        assert chat.delivered  # c is far away and chat unrestricted
+
+    def test_rule_engine_hook(self):
+        blocked_kinds = {"trade"}
+
+        def rule_check(interaction):
+            if interaction.kind in blocked_kinds:
+                return False, "no-trading"
+            return True, None
+
+        world = World("ruled", size=10.0, rule_check=rule_check)
+        world.spawn("a", (1, 1))
+        world.spawn("b", (2, 2))
+        trade = world.attempt_interaction("a", "b", "trade", time=0.0)
+        chat = world.attempt_interaction("a", "b", "chat", time=0.0)
+        assert not trade.delivered
+        assert trade.blocked_by == "rule:no-trading"
+        assert chat.delivered
+
+    def test_abusive_ground_truth_recorded(self, world):
+        world.attempt_interaction("a", "b", "shout", time=1.0, abusive=True)
+        assert len(world.interactions.abusive_delivered()) == 1
+
+
+class TestInteractionLog:
+    def test_log_queries(self, world):
+        world.attempt_interaction("a", "b", "chat", time=1.0)
+        world.attempt_interaction("b", "a", "gesture", time=2.0)
+        world.attempt_interaction("a", "c", "chat", time=3.0)
+        assert len(world.interactions.initiated_by("a")) == 2
+        assert len(world.interactions.received_by("a")) == 1
+        assert len(world.interactions.involving("a")) == 3
+
+    def test_blocked_filter(self, world):
+        world.bubbles.enable("b", radius=5.0)
+        world.attempt_interaction("a", "b", "touch", time=1.0)
+        blocked = world.interactions.blocked(by="privacy-bubble")
+        assert len(blocked) == 1
