@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke bench-regression bench-baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+# One untimed repetition of every bench suite plus a single pass over
+# the tracked regression kernels; finishes in under a minute.
+bench-smoke:
+	$(PYTHON) -m benchmarks.regression --smoke
+
+# Full perf gate: 3 reps per tracked op, compares against
+# benchmarks/baseline.json, fails on >25% regression.
+bench-regression:
+	$(PYTHON) -m benchmarks.regression
+
+bench-baseline:
+	$(PYTHON) -m benchmarks.regression --update-baseline

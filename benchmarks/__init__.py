@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+``bench_e*.py`` / ``bench_a*.py`` are pytest-benchmark suites that
+regenerate the paper experiments; ``regression.py`` is the standalone
+perf-regression gate (``python -m benchmarks.regression``).
+"""

@@ -1,0 +1,396 @@
+"""Perf-regression gate for the substrate hot paths.
+
+Times a fixed set of tracked operations (sim event dispatch with
+observability hooks on, ``Histogram.summary()`` at 10k samples, repeated
+``EigenTrust.trust_of`` lookups, ledger block appends with and without
+transactions) against the committed baseline in
+``benchmarks/baseline.json`` and fails if any tracked op regresses more
+than the gate threshold (default 25%).
+
+Usage
+-----
+``python -m benchmarks.regression``
+    Run every tracked op, write ``BENCH_PR1.json`` at the repo root,
+    compare against the committed baseline, exit non-zero on regression.
+
+``python -m benchmarks.regression --smoke``
+    One repetition of each tracked op *plus* one untimed repetition of
+    every ``bench_*.py`` pytest suite (``--benchmark-disable``); the
+    whole run stays under a minute.
+
+``python -m benchmarks.regression --update-baseline``
+    Re-record ``benchmarks/baseline.json`` on this machine.
+
+Only the public library API is used, so the harness runs unchanged
+against any revision — that is what makes before/after speedup numbers
+in the report meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+DEFAULT_REPORT = REPO_ROOT / "BENCH_PR1.json"
+GATE_THRESHOLD = 1.25  # fail if current > baseline * threshold
+# Smoke mode times each op once, which is noisy (cold caches, numpy
+# warmup); gate only on catastrophic blowups there and leave the tight
+# 25% gate to the full multi-rep run.
+SMOKE_GATE_THRESHOLD = 3.0
+SEED = 2022
+
+# Each kernel returns (n_ops, seconds) for the timed section only
+# (setup cost is excluded).
+Kernel = Callable[[], Tuple[int, float]]
+
+
+# ----------------------------------------------------------------------
+# Tracked kernels
+# ----------------------------------------------------------------------
+def kernel_sim_event_throughput() -> Tuple[int, float]:
+    """Dispatch events with a snapshot-taking tick hook installed.
+
+    ``snapshot()`` reads ``pending_count`` after every fired event —
+    exactly what tracing/observability hooks do — so this kernel is
+    quadratic if ``pending_count`` scans the queue.
+    """
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    n = 4000
+    for i in range(n):
+        sim.schedule(float(i), lambda: None)
+    snapshots: List[dict] = []
+    sim.add_tick_hook(lambda now: snapshots.append(sim.snapshot()))
+    t0 = time.perf_counter()
+    sim.run_all()
+    elapsed = time.perf_counter() - t0
+    assert len(snapshots) == n
+    return n, elapsed
+
+
+def kernel_sim_cancel_churn() -> Tuple[int, float]:
+    """Schedule/cancel churn with periodic pending_count reads.
+
+    Long-running scenarios cancel far-future events constantly (session
+    timeouts, retries); cancelled entries must not pile up in the queue.
+    """
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    rng = random.Random(SEED)
+    n = 3000
+    t0 = time.perf_counter()
+    live = []
+    for i in range(n):
+        ev = sim.schedule(1e6 + i, lambda: None)
+        live.append(ev)
+        if len(live) >= 8:
+            live.pop(rng.randrange(len(live))).cancel()
+        sim.pending_count  # observability read on the hot path
+    elapsed = time.perf_counter() - t0
+    return n, elapsed
+
+
+def kernel_histogram_summary_10k() -> Tuple[int, float]:
+    """Repeated ``summary()`` over a stable 10k-sample histogram.
+
+    This is the metrics-scrape hot path: the registry renders summaries
+    far more often than new samples arrive between scrapes.
+    """
+    from repro.sim.metrics import Histogram
+
+    rng = random.Random(SEED)
+    hist = Histogram("bench")
+    for _ in range(10_000):
+        hist.observe(rng.uniform(0.0, 100.0))
+    reps = 50
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        hist.summary()
+    elapsed = time.perf_counter() - t0
+    return reps, elapsed
+
+
+def kernel_histogram_observe_then_summary() -> Tuple[int, float]:
+    """Interleaved observe/summary — the cache-invalidation worst case."""
+    from repro.sim.metrics import Histogram
+
+    rng = random.Random(SEED)
+    hist = Histogram("bench")
+    for _ in range(10_000):
+        hist.observe(rng.uniform(0.0, 100.0))
+    reps = 30
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        hist.observe(rng.uniform(0.0, 100.0))
+        hist.summary()
+    elapsed = time.perf_counter() - t0
+    return reps, elapsed
+
+
+def _build_trust_graph(n_ids: int = 120, n_edges: int = 900):
+    from repro.reputation import EigenTrust
+
+    rng = random.Random(SEED)
+    ids = [f"peer-{i:03d}" for i in range(n_ids)]
+    trust = EigenTrust(pretrusted=ids[:5], alpha=0.15)
+    for _ in range(n_edges):
+        a, b = rng.sample(ids, 2)
+        trust.record_interaction(a, b, rng.uniform(0.1, 1.0))
+    return trust, ids
+
+
+def kernel_eigentrust_trust_of_repeated() -> Tuple[int, float]:
+    """Many single-identity lookups with no interleaved writes.
+
+    Dashboards and admission checks (``ReputationVetted``) do exactly
+    this; recomputing the power iteration per lookup is the bug.
+    """
+    trust, ids = _build_trust_graph()
+    reps = 60
+    t0 = time.perf_counter()
+    for i in range(reps):
+        trust.trust_of(ids[i % len(ids)])
+    elapsed = time.perf_counter() - t0
+    return reps, elapsed
+
+
+def kernel_eigentrust_recompute() -> Tuple[int, float]:
+    """Full recompute after each write — bounds the cost of the
+    vectorised matrix build (cache gives no help here)."""
+    trust, ids = _build_trust_graph()
+    rng = random.Random(SEED + 1)
+    reps = 15
+    t0 = time.perf_counter()
+    for i in range(reps):
+        a, b = rng.sample(ids, 2)
+        trust.record_interaction(a, b, 0.5)
+        trust.trust_of(ids[i % len(ids)])
+    elapsed = time.perf_counter() - t0
+    return reps, elapsed
+
+
+def kernel_ledger_append_1k() -> Tuple[int, float]:
+    """Append 1000 empty blocks over a 3000-account genesis.
+
+    Isolates per-block fixed costs: parent-state snapshotting and
+    header/Merkle hashing. Full per-block state copies make this scale
+    with account count instead of with what the block actually touches.
+    """
+    from repro.ledger import Blockchain, PoAConsensus, Wallet
+
+    validator = Wallet(seed=b"regression-validator", height=6)
+    balances = {f"{i:064x}": 100 for i in range(3000)}
+    balances[validator.address] = 1000
+    chain = Blockchain(PoAConsensus([validator.address]), genesis_balances=balances)
+    n = 1000
+    t0 = time.perf_counter()
+    for i in range(n):
+        chain.propose_block(validator.address, timestamp=float(i + 1), transactions=[])
+    elapsed = time.perf_counter() - t0
+    assert chain.height == n
+    return n, elapsed
+
+
+def kernel_ledger_append_txs() -> Tuple[int, float]:
+    """Append 60 blocks of 4 transfers each (signatures pre-made).
+
+    Covers the signature/tx-id path: a transaction admitted to the
+    mempool is re-verified at speculation, application, and structural
+    validation unless verification results are cached.
+    """
+    from repro.ledger import Blockchain, PoAConsensus, Wallet
+
+    validator = Wallet(seed=b"regression-validator2", height=6)
+    senders = [Wallet(seed=f"regression-sender-{i}".encode(), height=8) for i in range(4)]
+    balances = {w.address: 1_000_000 for w in senders}
+    balances[validator.address] = 1000
+    n_blocks = 60
+    sink = "ff" * 32
+    prepared = []
+    for height in range(n_blocks):
+        prepared.append(
+            [w.transfer(sink, 1, nonce=height, fee=1) for w in senders]
+        )
+    chain = Blockchain(PoAConsensus([validator.address]), genesis_balances=balances)
+    t0 = time.perf_counter()
+    for height, txs in enumerate(prepared):
+        for stx in txs:
+            chain.mempool.submit(stx, chain.state)
+        chain.propose_block(validator.address, timestamp=float(height + 1))
+    elapsed = time.perf_counter() - t0
+    assert chain.height == n_blocks
+    return n_blocks * len(senders), elapsed
+
+
+TRACKED_OPS: Dict[str, Kernel] = {
+    "sim_event_throughput_4k": kernel_sim_event_throughput,
+    "sim_cancel_churn_3k": kernel_sim_cancel_churn,
+    "histogram_summary_10k": kernel_histogram_summary_10k,
+    "histogram_observe_then_summary_10k": kernel_histogram_observe_then_summary,
+    "eigentrust_trust_of_repeated": kernel_eigentrust_trust_of_repeated,
+    "eigentrust_recompute_after_write": kernel_eigentrust_recompute,
+    "ledger_append_1k_blocks": kernel_ledger_append_1k,
+    "ledger_append_tx_blocks": kernel_ledger_append_txs,
+}
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def run_tracked_ops(reps: int) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for name, kernel in TRACKED_OPS.items():
+        best = float("inf")
+        ops = 0
+        for _ in range(reps):
+            ops, seconds = kernel()
+            best = min(best, seconds)
+        per_op = best / ops if ops else float("inf")
+        results[name] = {
+            "ops": ops,
+            "best_seconds": best,
+            "seconds_per_op": per_op,
+            "ops_per_second": (1.0 / per_op) if per_op > 0 else float("inf"),
+            "reps": reps,
+        }
+        print(f"  {name:<40s} {per_op * 1e6:>10.1f} us/op   ({ops} ops, best of {reps})")
+    return results
+
+
+def compare(
+    current: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, float]],
+    threshold: float,
+) -> Tuple[Dict[str, Dict[str, float]], List[str]]:
+    comparison: Dict[str, Dict[str, float]] = {}
+    regressions: List[str] = []
+    for name, entry in current.items():
+        base = baseline.get(name)
+        if base is None:
+            continue
+        base_spo = base["seconds_per_op"]
+        cur_spo = entry["seconds_per_op"]
+        speedup = base_spo / cur_spo if cur_spo > 0 else float("inf")
+        regressed = cur_spo > base_spo * threshold
+        comparison[name] = {
+            "baseline_seconds_per_op": base_spo,
+            "current_seconds_per_op": cur_spo,
+            "speedup_vs_baseline": speedup,
+            "regressed": regressed,
+        }
+        if regressed:
+            regressions.append(name)
+    return comparison, regressions
+
+
+def run_smoke_suites() -> int:
+    """One untimed repetition of every pytest bench suite."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        "--benchmark-disable",
+    ]
+    print(f"\nsmoke: {' '.join(cmd[3:])}")
+    env_path = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.call(cmd, cwd=str(REPO_ROOT), env=env)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single repetition of tracked ops plus one untimed run of each bench suite",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"re-record {BASELINE_PATH.name} instead of gating against it",
+    )
+    parser.add_argument("--reps", type=int, default=3, help="repetitions per tracked op")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_REPORT, help="report JSON path"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="regression gate: fail if current > baseline * threshold "
+        f"(default {GATE_THRESHOLD}, or {SMOKE_GATE_THRESHOLD} with --smoke)",
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true", help="report but never fail the gate"
+    )
+    args = parser.parse_args(argv)
+    if args.threshold is None:
+        args.threshold = SMOKE_GATE_THRESHOLD if args.smoke else GATE_THRESHOLD
+
+    reps = 1 if args.smoke else args.reps
+    print(f"tracked ops ({reps} rep{'s' if reps != 1 else ''} each):")
+    current = run_tracked_ops(reps)
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {"schema": 1, "recorded_unix": time.time(), "ops": current}, indent=2
+            )
+            + "\n"
+        )
+        print(f"\nbaseline written to {BASELINE_PATH}")
+        return 0
+
+    report = {
+        "schema": 1,
+        "recorded_unix": time.time(),
+        "gate_threshold": args.threshold,
+        "ops": current,
+    }
+    exit_code = 0
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())["ops"]
+        comparison, regressions = compare(current, baseline, args.threshold)
+        report["comparison"] = comparison
+        report["regressions"] = regressions
+        print("\nvs committed baseline:")
+        for name, row in comparison.items():
+            flag = "  REGRESSED" if row["regressed"] else ""
+            print(f"  {name:<40s} {row['speedup_vs_baseline']:>7.2f}x{flag}")
+        if regressions and not args.no_gate:
+            print(f"\nFAIL: {len(regressions)} tracked op(s) regressed >"
+                  f"{(args.threshold - 1) * 100:.0f}%: {', '.join(regressions)}")
+            exit_code = 1
+    else:
+        print(f"\nno baseline at {BASELINE_PATH}; run --update-baseline to record one")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.output}")
+
+    if args.smoke:
+        smoke_rc = run_smoke_suites()
+        exit_code = exit_code or smoke_rc
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

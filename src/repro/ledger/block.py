@@ -10,6 +10,7 @@ alone (used by ``repro.ledger.audit``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import InvalidBlockError
@@ -49,23 +50,31 @@ class Block:
             "proposer": self.proposer,
         }
 
-    @property
+    # Blocks are frozen, so derived hashes are computed once and cached:
+    # fork choice, chain queries, and error paths all re-read block_hash.
+    @cached_property
     def block_hash(self) -> str:
         """Hex hash over the canonical header encoding."""
         return sha256(canonical_encode(self.header_dict())).hex()
 
-    @property
+    @cached_property
     def tx_ids(self) -> List[str]:
+        """Body transaction ids, in order (do not mutate)."""
         return [stx.tx_id for stx in self.transactions]
 
-    @property
+    @cached_property
     def total_fees(self) -> int:
         return sum(stx.tx.fee for stx in self.transactions)
 
+    @cached_property
+    def _merkle_tree(self) -> MerkleTree:
+        return MerkleTree([bytes.fromhex(tx_id) for tx_id in self.tx_ids])
+
     def compute_merkle_root(self) -> str:
-        """Recompute the Merkle root over the body's transaction ids."""
-        leaves = [bytes.fromhex(tx_id) for tx_id in self.tx_ids]
-        return MerkleTree(leaves).root.hex()
+        """The Merkle root over the body's transaction ids (cached —
+        the body is immutable, so one tree build serves validation and
+        every later inclusion proof)."""
+        return self._merkle_tree.root.hex()
 
     def validate_structure(self) -> None:
         """Structural checks independent of chain context.
@@ -107,8 +116,7 @@ class Block:
             raise InvalidBlockError(
                 f"tx {tx_id[:12]} not in block {self.block_hash[:12]}"
             ) from None
-        leaves = [bytes.fromhex(i) for i in ids]
-        return MerkleTree(leaves).proof(index)
+        return self._merkle_tree.proof(index)
 
 
 def build_block(
@@ -121,12 +129,15 @@ def build_block(
     """Assemble a block, computing the Merkle root from the body."""
     txs = tuple(transactions)
     leaves = [bytes.fromhex(stx.tx_id) for stx in txs]
-    root = MerkleTree(leaves).root.hex()
-    return Block(
+    tree = MerkleTree(leaves)
+    block = Block(
         height=height,
         prev_hash=prev_hash,
-        merkle_root=root,
+        merkle_root=tree.root.hex(),
         timestamp=float(timestamp),
         proposer=proposer,
         transactions=txs,
     )
+    # Seed the cache so validation does not rebuild the tree just built.
+    block.__dict__["_merkle_tree"] = tree
+    return block

@@ -141,7 +141,9 @@ class Blockchain:
             # Pre-execute candidates speculatively so one reverting
             # contract call cannot poison every subsequent proposal.
             candidates = self.mempool.select(self.state, max_count=max_txs)
-            speculative = self.state.copy()
+            # Copy-on-write overlay: speculation only pays for the keys
+            # the candidate transactions actually touch.
+            speculative = self.state.child()
             executable = []
             for stx in candidates:
                 try:
@@ -199,7 +201,9 @@ class Blockchain:
         parent_state = self._states[block.prev_hash]
         self.consensus.validate(block, parent_state)
 
-        new_state = parent_state.copy()
+        # Copy-on-write snapshot over the (frozen) parent block state:
+        # appending a block is O(keys touched), not O(total accounts).
+        new_state = parent_state.child()
         try:
             for stx in block.transactions:
                 new_state.apply(stx, contract_executor=self.contracts)

@@ -17,12 +17,190 @@ does not depend on the contract VM (dependencies stay one-directional).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from collections.abc import Mapping, MutableMapping
+from itertools import islice
+from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.errors import InvalidTransactionError
 from repro.ledger.transactions import SignedTransaction, TxKind
 
 __all__ = ["LedgerState"]
+
+# A copy-on-write chain flattens itself into a plain dict once this many
+# overlay layers stack up, bounding per-read cost while keeping child
+# creation O(1) (one flatten per _FLATTEN_DEPTH blocks, amortised).
+_FLATTEN_DEPTH = 16
+
+_MISSING = object()
+
+
+class _CowMap(MutableMapping):
+    """Mapping overlay: reads fall through to the parent snapshot,
+    writes land in a local delta dict.
+
+    The parent is logically frozen once a child exists (the chain never
+    mutates a committed block state); nothing enforces that, so do not
+    hand a parent out for mutation after calling ``LedgerState.child``.
+    """
+
+    __slots__ = ("_local", "_parent", "_depth")
+
+    def __init__(self, parent: Optional[Mapping] = None):
+        if isinstance(parent, _CowMap) and parent._depth >= _FLATTEN_DEPTH:
+            parent = parent._merged()
+        self._parent = parent
+        self._local: Dict = {}
+        self._depth = parent._depth + 1 if isinstance(parent, _CowMap) else 1
+
+    def _merged(self) -> Dict:
+        """Materialise the full mapping (newest layer wins)."""
+        layers = []
+        node: Any = self
+        while isinstance(node, _CowMap):
+            layers.append(node._local)
+            node = node._parent
+        base = dict(node) if node else {}
+        for local in reversed(layers):
+            base.update(local)
+        return base
+
+    def __getitem__(self, key):
+        node: Any = self
+        while isinstance(node, _CowMap):
+            value = node._local.get(key, _MISSING)
+            if value is not _MISSING:
+                return value
+            node = node._parent
+        if node is not None:
+            return node[key]
+        raise KeyError(key)
+
+    def get(self, key, default=None):
+        node: Any = self
+        while isinstance(node, _CowMap):
+            value = node._local.get(key, _MISSING)
+            if value is not _MISSING:
+                return value
+            node = node._parent
+        if node is not None:
+            return node.get(key, default)
+        return default
+
+    def __contains__(self, key) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def __setitem__(self, key, value) -> None:
+        self._local[key] = value
+
+    def __delitem__(self, key) -> None:
+        raise TypeError("ledger state maps are append/update-only")
+
+    def __iter__(self) -> Iterator:
+        return iter(self._merged())
+
+    def __len__(self) -> int:
+        return len(self._merged())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _CowMap):
+            return self._merged() == other._merged()
+        if isinstance(other, Mapping):
+            return self._merged() == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"_CowMap({self._merged()!r})"
+
+
+class _CowStorageMap(_CowMap):
+    """Contract-storage overlay: values are *mutable* nested dicts, so a
+    read that resolves to a parent layer deep-copies the value into the
+    local layer first — executors may then mutate it freely without
+    corrupting the parent snapshot."""
+
+    __slots__ = ()
+
+    def __getitem__(self, key):
+        value = self._local.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        node: Any = self._parent
+        while isinstance(node, _CowMap):
+            value = node._local.get(key, _MISSING)
+            if value is not _MISSING:
+                break
+            node = node._parent
+        if value is _MISSING:
+            if node is None:
+                raise KeyError(key)
+            value = node.get(key, _MISSING)
+            if value is _MISSING:
+                raise KeyError(key)
+        value = _deep_copy_storage(value)
+        self._local[key] = value
+        return value
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+class _CowList:
+    """Append-only list overlay: a frozen parent prefix plus local
+    appends.  Supports the subset of the list protocol the ledger uses
+    (append, len, iteration, indexing, equality)."""
+
+    __slots__ = ("_parent", "_parent_len", "_local", "_depth")
+
+    def __init__(self, parent):
+        depth = parent._depth + 1 if isinstance(parent, _CowList) else 1
+        if depth > _FLATTEN_DEPTH:
+            parent = list(parent)
+            depth = 1
+        self._parent = parent
+        self._parent_len = len(parent)
+        self._local: list = []
+        self._depth = depth
+
+    def append(self, item) -> None:
+        self._local.append(item)
+
+    def __len__(self) -> int:
+        return self._parent_len + len(self._local)
+
+    def __iter__(self) -> Iterator:
+        yield from islice(iter(self._parent), self._parent_len)
+        yield from self._local
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("list index out of range")
+        if index >= self._parent_len:
+            return self._local[index - self._parent_len]
+        return self._parent[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (_CowList, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"_CowList({list(self)!r})"
 
 # Executor signature: (state, signed_tx) -> result payload (or None).
 ContractExecutor = Callable[["LedgerState", SignedTransaction], Optional[Dict[str, Any]]]
@@ -155,8 +333,11 @@ class LedgerState:
     # Copies
     # ------------------------------------------------------------------
     def copy(self) -> "LedgerState":
-        """Deep-enough copy for speculative execution (contract storage
-        values are assumed canonical-encodable, i.e. tree-shaped)."""
+        """Deep-enough *eager* copy (contract storage values are assumed
+        canonical-encodable, i.e. tree-shaped).  Fully independent of
+        this state in both directions; cost is O(state size).  Prefer
+        :meth:`child` on hot paths where this state is a frozen
+        snapshot."""
         clone = LedgerState()
         clone.balances = dict(self.balances)
         clone.nonces = dict(self.nonces)
@@ -166,6 +347,24 @@ class LedgerState:
             for addr, storage in self.contract_storage.items()
         }
         clone.records = list(self.records)
+        return clone
+
+    def child(self) -> "LedgerState":
+        """O(1) copy-on-write snapshot layered over this state.
+
+        The child reads through to this state and writes only deltas —
+        the chain uses this so appending a block costs O(touched keys)
+        instead of O(total accounts).  Contract: once a child exists,
+        this state is a frozen snapshot and must not be mutated (the
+        chain guarantees that — committed block states are never written
+        again); mutate the child only.
+        """
+        clone = LedgerState.__new__(LedgerState)
+        clone.balances = _CowMap(self.balances)
+        clone.nonces = _CowMap(self.nonces)
+        clone.stakes = _CowMap(self.stakes)
+        clone.contract_storage = _CowStorageMap(self.contract_storage)
+        clone.records = _CowList(self.records)
         return clone
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import InvalidTransactionError
@@ -96,12 +97,15 @@ class Transaction:
             "payload": self.payload,
         }
 
-    @property
+    # Cached: a transaction is immutable once constructed (the payload
+    # dict is treated as frozen by convention), yet its id is re-derived
+    # at mempool admission, block building, pruning, and auditing.
+    @cached_property
     def tx_id(self) -> str:
         """Hex transaction hash over the canonical encoding."""
-        return sha256(canonical_encode(self.to_dict())).hex()
+        return sha256(self.signing_bytes).hex()
 
-    @property
+    @cached_property
     def signing_bytes(self) -> bytes:
         """The exact bytes a wallet signs."""
         return canonical_encode(self.to_dict())
@@ -125,12 +129,24 @@ class SignedTransaction:
         return self.tx.tx_id
 
     def verify(self) -> bool:
-        """Full authorisation check.
+        """Full authorisation check (result cached per instance).
 
         1. The Lamport signature must verify over the signing bytes.
         2. The one-time public key must be proven (via ``key_proof``) to
            be a leaf of the Merkle tree whose root is the sender address.
+
+        A transaction travels through mempool admission, speculative
+        execution, block application, and structural validation; the
+        inputs are immutable, so one Lamport verification suffices.
         """
+        cached = self.__dict__.get("_verify_ok")
+        if cached is None:
+            cached = self._verify_uncached()
+            # Frozen dataclass: write through __dict__, not __setattr__.
+            self.__dict__["_verify_ok"] = cached
+        return cached
+
+    def _verify_uncached(self) -> bool:
         if not lamport_verify(self.signature, self.tx.signing_bytes):
             return False
         try:

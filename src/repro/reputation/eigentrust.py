@@ -40,6 +40,15 @@ class EigenTrust:
         # local[(i, j)] = accumulated satisfaction of i with j (>= 0)
         self._local: Dict[Tuple[str, str], float] = {}
         self._identities: Set[str] = set(self._pretrusted)
+        # Cached converged trust vector; valid while ``_dirty`` is False
+        # and the solver parameters match ``_cache_params``.  Every
+        # observation that actually changes the graph invalidates it.
+        self._cached_trust: Optional[Dict[str, float]] = None
+        self._cache_params: Optional[Tuple[int, float]] = None
+        self._dirty = True
+        #: Number of full power iterations executed (exposed so tests
+        #: and benchmarks can assert cache hits do not re-iterate).
+        self.compute_count = 0
 
     # ------------------------------------------------------------------
     # Observations
@@ -53,15 +62,20 @@ class EigenTrust:
         """
         if truster == trustee:
             raise ReputationError("self-trust is not recordable")
-        self._identities.add(truster)
-        self._identities.add(trustee)
+        if truster not in self._identities or trustee not in self._identities:
+            self._identities.add(truster)
+            self._identities.add(trustee)
+            self._dirty = True
         if satisfaction > 0:
             key = (truster, trustee)
             self._local[key] = self._local.get(key, 0.0) + satisfaction
+            self._dirty = True
 
     def add_identity(self, identity: str) -> None:
         """Make an identity known even before any interactions."""
-        self._identities.add(identity)
+        if identity not in self._identities:
+            self._identities.add(identity)
+            self._dirty = True
 
     @property
     def identities(self) -> List[str]:
@@ -78,35 +92,71 @@ class EigenTrust:
         Returns identity → trust, summing to 1 over all identities.
         With no identities the result is empty; with no pre-trusted
         identities the teleport distribution is uniform.
+
+        The converged vector is cached: repeated calls with no new
+        observations (and the same solver parameters) return the cached
+        result without re-iterating.
         """
+        cached = self._cached(max_iterations, tolerance)
+        return dict(cached)
+
+    def _cached(self, max_iterations: int, tolerance: float) -> Dict[str, float]:
+        """The cached trust vector, recomputing only when stale.
+
+        Callers must not mutate the returned dict (``compute`` hands out
+        a copy; ``trust_of`` only reads).
+        """
+        params = (max_iterations, tolerance)
+        if not self._dirty and self._cache_params == params:
+            return self._cached_trust  # type: ignore[return-value]
+        self._cached_trust = self._power_iterate(max_iterations, tolerance)
+        self._cache_params = params
+        self._dirty = False
+        return self._cached_trust
+
+    def _power_iterate(self, max_iterations: int, tolerance: float) -> Dict[str, float]:
         ids = self.identities
         if not ids:
             return {}
+        self.compute_count += 1
         index = {identity: i for i, identity in enumerate(ids)}
         n = len(ids)
 
-        # Row-normalised local trust matrix C (row i = who i trusts).
+        # Local trust matrix C (row i = who i trusts), built with one
+        # fancy-indexed assignment instead of a Python loop per edge.
         matrix = np.zeros((n, n))
-        for (truster, trustee), value in self._local.items():
-            matrix[index[truster], index[trustee]] = value
-        row_sums = matrix.sum(axis=1)
+        if self._local:
+            rows = np.fromiter(
+                (index[truster] for truster, _ in self._local),
+                dtype=np.intp,
+                count=len(self._local),
+            )
+            cols = np.fromiter(
+                (index[trustee] for _, trustee in self._local),
+                dtype=np.intp,
+                count=len(self._local),
+            )
+            vals = np.fromiter(
+                self._local.values(), dtype=np.float64, count=len(self._local)
+            )
+            matrix[rows, cols] = vals
+        row_sums = matrix.sum(axis=1, keepdims=True)
 
         # Teleport vector p: uniform over pre-trusted, else uniform.
         p = np.zeros(n)
         pretrusted = [i for i in self._pretrusted if i in index]
         if pretrusted:
-            for identity in pretrusted:
-                p[index[identity]] = 1.0 / len(pretrusted)
+            p[[index[identity] for identity in pretrusted]] = 1.0 / len(pretrusted)
         else:
             p[:] = 1.0 / n
 
-        # Rows with no outgoing trust fall back to the teleport vector.
-        stochastic = np.empty((n, n))
-        for i in range(n):
-            if row_sums[i] > 0:
-                stochastic[i] = matrix[i] / row_sums[i]
-            else:
-                stochastic[i] = p
+        # Row-normalise; rows with no outgoing trust fall back to p.
+        has_out = row_sums[:, 0] > 0
+        stochastic = np.where(
+            has_out[:, None],
+            matrix / np.where(row_sums > 0, row_sums, 1.0),
+            p[None, :],
+        )
 
         trust = p.copy()
         for _ in range(max_iterations):
@@ -121,5 +171,10 @@ class EigenTrust:
         return {identity: float(trust[index[identity]]) for identity in ids}
 
     def trust_of(self, identity: str, **kwargs) -> float:
-        """Convenience single lookup (recomputes the full vector)."""
-        return self.compute(**kwargs).get(identity, 0.0)
+        """Single lookup served from the cached vector — O(1) between
+        observations instead of a full power iteration per call."""
+        max_iterations = kwargs.pop("max_iterations", 100)
+        tolerance = kwargs.pop("tolerance", 1e-9)
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        return self._cached(max_iterations, tolerance).get(identity, 0.0)

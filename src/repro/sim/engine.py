@@ -57,11 +57,19 @@ class Event:
     name: str = ""
     interval: Optional[float] = None
     cancelled: bool = False
+    # Bookkeeping owned by the simulator: which engine the event belongs
+    # to and whether a live heap entry currently points at it.
+    _sim: Optional["Simulator"] = field(default=None, repr=False, compare=False)
+    _in_queue: bool = field(default=False, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Prevent this event (and, for recurring events, all future
         occurrences) from firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel(self)
 
 
 class Simulator:
@@ -77,12 +85,18 @@ class Simulator:
     [5.0]
     """
 
+    # Compact the heap when stale (cancelled) entries outnumber live
+    # ones and there are enough of them to be worth the O(n) rebuild.
+    _COMPACT_MIN_STALE = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: List[_QueueEntry] = []
         self._seq = itertools.count()
         self._running = False
         self._fired_count = 0
+        self._pending = 0  # queued entries whose event is not cancelled
+        self._stale = 0  # queued entries whose event *is* cancelled
         self._tick_hooks: List[Callable[[float], None]] = []
 
     # ------------------------------------------------------------------
@@ -100,8 +114,12 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for entry in self._queue if not entry.event.cancelled)
+        """Number of not-yet-cancelled events still queued.
+
+        O(1): the counter is maintained on schedule/fire/cancel, so
+        tick hooks and traces can read it after every event for free.
+        """
+        return self._pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -128,8 +146,14 @@ class Simulator:
         if interval is not None and interval <= 0:
             raise SimulationError(f"interval must be positive, got {interval}")
         event = Event(time=float(time), callback=callback, name=name, interval=interval)
-        heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        event._sim = self
+        self._push(event)
         return event
+
+    def _push(self, event: Event) -> None:
+        heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        event._in_queue = True
+        self._pending += 1
 
     def schedule_in(
         self,
@@ -160,8 +184,11 @@ class Simulator:
         while self._queue:
             entry = heapq.heappop(self._queue)
             event = entry.event
+            event._in_queue = False
             if event.cancelled:
+                self._stale -= 1
                 continue
+            self._pending -= 1
             self._now = entry.time
             self._fire(event)
             return True
@@ -181,8 +208,11 @@ class Simulator:
                 if entry.time > end_time:
                     break
                 heapq.heappop(self._queue)
+                entry.event._in_queue = False
                 if entry.event.cancelled:
+                    self._stale -= 1
                     continue
+                self._pending -= 1
                 self._now = entry.time
                 self._fire(entry.event)
             self._now = max(self._now, end_time)
@@ -217,9 +247,35 @@ class Simulator:
         event.callback()
         if event.interval is not None and not event.cancelled:
             event.time = self._now + event.interval
-            heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+            self._push(event)
         for hook in self._tick_hooks:
             hook(self._now)
+
+    def _on_cancel(self, event: Event) -> None:
+        """Counter upkeep when a queued event is cancelled.
+
+        The heap entry stays behind (lazy deletion); once stale entries
+        dominate the queue it is rebuilt so long-running scenarios with
+        heavy cancellation churn do not leak queue memory.
+        """
+        if not event._in_queue:
+            return  # cancelled mid-fire (e.g. a recurring event's own callback)
+        self._pending -= 1
+        self._stale += 1
+        if self._stale >= self._COMPACT_MIN_STALE and self._stale * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (O(live entries))."""
+        live = []
+        for entry in self._queue:
+            if entry.event.cancelled:
+                entry.event._in_queue = False
+            else:
+                live.append(entry)
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._stale = 0
 
     def snapshot(self) -> Dict[str, Any]:
         """Return a summary of engine state (for traces and debugging)."""

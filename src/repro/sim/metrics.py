@@ -16,6 +16,19 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
+def _percentile_of(ordered: List[float], q: float) -> float:
+    """Linear-interpolated percentile over an already-sorted list."""
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
 @dataclass
 class Counter:
     """Monotonically increasing count."""
@@ -46,13 +59,32 @@ class Gauge:
 @dataclass
 class Histogram:
     """Streaming histogram keeping exact samples (simulations are small
-    enough that reservoir sampling is unnecessary)."""
+    enough that reservoir sampling is unnecessary).
+
+    Percentile queries share one sorted-samples cache, invalidated by
+    ``observe``: a ``summary()`` sorts at most once, and repeated
+    summaries between scrapes reuse the previous sort entirely.
+    """
 
     name: str
     samples: List[float] = field(default_factory=list)
+    # Sorted view of ``samples``; valid only while ``_cache_len`` still
+    # equals ``len(samples)`` (guards direct appends to the public list).
+    _sorted_cache: Optional[List[float]] = field(
+        default=None, repr=False, compare=False
+    )
+    _cache_len: int = field(default=-1, repr=False, compare=False)
 
     def observe(self, value: float) -> None:
         self.samples.append(float(value))
+        self._sorted_cache = None
+
+    def _sorted(self) -> List[float]:
+        """The samples in ascending order, cached until the next observe."""
+        if self._sorted_cache is None or self._cache_len != len(self.samples):
+            self._sorted_cache = sorted(self.samples)
+            self._cache_len = len(self.samples)
+        return self._sorted_cache
 
     @property
     def count(self) -> int:
@@ -68,11 +100,21 @@ class Histogram:
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        if not self.samples:
+            return 0.0
+        ordered = self._sorted_cache
+        if ordered is not None and self._cache_len == len(self.samples):
+            return ordered[0]
+        return min(self.samples)
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        if not self.samples:
+            return 0.0
+        ordered = self._sorted_cache
+        if ordered is not None and self._cache_len == len(self.samples):
+            return ordered[-1]
+        return max(self.samples)
 
     @property
     def stddev(self) -> float:
@@ -88,25 +130,29 @@ class Histogram:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if not self.samples:
             return 0.0
-        ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        pos = (q / 100.0) * (len(ordered) - 1)
-        lo = int(math.floor(pos))
-        hi = int(math.ceil(pos))
-        if lo == hi:
-            return ordered[lo]
-        frac = pos - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        return _percentile_of(self._sorted(), q)
 
     def summary(self) -> Dict[str, float]:
+        """Summary stats; the underlying samples are sorted at most once."""
+        if not self.samples:
+            return {
+                "count": 0.0,
+                "mean": 0.0,
+                "min": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "max": 0.0,
+            }
+        ordered = self._sorted()
         return {
-            "count": float(self.count),
-            "mean": self.mean,
-            "min": self.minimum,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "max": self.maximum,
+            "count": float(len(ordered)),
+            # Insertion-order sum: summing the sorted list would round
+            # differently and break byte-identical replay comparisons.
+            "mean": sum(self.samples) / len(self.samples),
+            "min": ordered[0],
+            "p50": _percentile_of(ordered, 50),
+            "p95": _percentile_of(ordered, 95),
+            "max": ordered[-1],
         }
 
 

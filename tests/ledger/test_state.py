@@ -158,3 +158,85 @@ class TestFeesAndCopies:
     def test_negative_initial_balance_rejected(self):
         with pytest.raises(ValueError):
             LedgerState({"x": -5})
+
+
+class TestCopyOnWriteChild:
+    """child() snapshots: O(1) overlays used by the chain hot path."""
+
+    def test_child_reads_parent_values(self, state, alice, bob):
+        child = state.child()
+        assert child.balance_of(alice.address) == 100
+        assert child.balance_of(bob.address) == 50
+        assert child.nonce_of(alice.address) == 0
+        assert child.total_supply == state.total_supply
+
+    def test_child_writes_do_not_leak_into_parent(self, state, alice, bob):
+        child = state.child()
+        child.apply(alice.transfer(bob.address, 30, nonce=0, fee=2))
+        assert child.balance_of(alice.address) == 68
+        assert child.nonce_of(alice.address) == 1
+        # Parent snapshot is untouched.
+        assert state.balance_of(alice.address) == 100
+        assert state.nonce_of(alice.address) == 0
+
+    def test_grandchild_layers_stack(self, state, alice, bob):
+        child = state.child()
+        child.apply(alice.transfer(bob.address, 10, nonce=0))
+        grandchild = child.child()
+        grandchild.apply(alice.transfer(bob.address, 10, nonce=1))
+        assert grandchild.balance_of(alice.address) == 80
+        assert child.balance_of(alice.address) == 90
+        assert state.balance_of(alice.address) == 100
+
+    def test_deep_chains_flatten_and_stay_correct(self, state, alice, bob):
+        # Far deeper than the flatten threshold; values must survive.
+        current = state
+        for i in range(50):
+            current = current.child()
+            current.apply(alice.transfer(bob.address, 1, nonce=i))
+        assert current.balance_of(alice.address) == 50
+        assert current.balance_of(bob.address) == 100
+        assert current.nonce_of(alice.address) == 50
+        assert current.total_supply == state.total_supply
+        assert state.balance_of(alice.address) == 100
+
+    def test_contract_storage_copy_on_read(self, state):
+        state.contract_storage["c1"] = {"nested": {"list": [1, 2]}}
+        child = state.child()
+        child.contract_storage["c1"]["nested"]["list"].append(3)
+        assert child.contract_storage["c1"]["nested"]["list"] == [1, 2, 3]
+        assert state.contract_storage["c1"]["nested"]["list"] == [1, 2]
+
+    def test_contract_storage_setdefault_isolated(self, state):
+        state.contract_storage["c1"] = {"supply": 5}
+        child = state.child()
+        storage = child.contract_storage.setdefault("c1", {})
+        storage["supply"] = 9
+        assert child.contract_storage["c1"]["supply"] == 9
+        assert state.contract_storage["c1"]["supply"] == 5
+
+    def test_records_overlay(self, state, alice):
+        state.records.append({"sender": "root", "category": "seed"})
+        child = state.child()
+        child.records.append({"sender": "child", "category": "gaze"})
+        assert len(child.records) == 2
+        assert child.records[-1]["sender"] == "child"
+        assert child.records[0]["sender"] == "root"
+        assert len(state.records) == 1
+
+    def test_child_then_eager_copy_is_independent(self, state, alice, bob):
+        child = state.child()
+        child.apply(alice.transfer(bob.address, 10, nonce=0))
+        clone = child.copy()
+        clone.apply(alice.transfer(bob.address, 10, nonce=1))
+        assert clone.balance_of(alice.address) == 80
+        assert child.balance_of(alice.address) == 90
+
+    def test_mapping_protocol_on_overlays(self, state, alice, bob):
+        child = state.child()
+        child.stakes[alice.address] = 25
+        assert dict(child.stakes) == {alice.address: 25}
+        assert alice.address in child.stakes
+        assert child.stakes == {alice.address: 25}
+        assert sorted(child.balances.values()) == [50, 100]
+        assert len(child.balances) == 2

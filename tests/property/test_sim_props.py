@@ -63,3 +63,52 @@ class TestRngProperties:
         draws_a = {name: tuple(a.stream(name).random(4)) for name in names}
         draws_b = {name: tuple(b.stream(name).random(4)) for name in names}
         assert draws_a == draws_b
+
+
+# One op per step: schedule a new event, cancel a previously scheduled
+# one, or advance the clock.  Drawn as (opcode, value) pairs so the
+# whole interleaving shrinks well.
+interleaving_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["schedule", "schedule_recurring", "cancel", "step", "run"]),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestPendingCounterProperties:
+    @given(ops=interleaving_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_counter_equals_brute_force_scan(self, ops):
+        """The incremental pending counter always matches a full queue
+        scan, across arbitrary schedule/cancel/step/run interleavings
+        (including cancellations from inside callbacks)."""
+        sim = Simulator()
+        events = []
+
+        def brute_force():
+            return sum(1 for entry in sim._queue if not entry.event.cancelled)
+
+        for opcode, value, pick in ops:
+            if opcode == "schedule":
+                events.append(sim.schedule(sim.now + value, lambda: None))
+            elif opcode == "schedule_recurring":
+                interval = max(value, 0.5)
+                events.append(sim.every(interval, lambda: None))
+            elif opcode == "cancel" and events:
+                events[pick % len(events)].cancel()
+            elif opcode == "step":
+                sim.step()
+            elif opcode == "run":
+                sim.run_for(value)
+            assert sim.pending_count == brute_force()
+
+        # Drain with in-callback cancellations of whatever remains.
+        for event in events:
+            sim.schedule_in(0.0, event.cancel)
+        while sim.step():
+            assert sim.pending_count == brute_force()
+        assert sim.pending_count == brute_force()

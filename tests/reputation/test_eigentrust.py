@@ -83,3 +83,67 @@ class TestPropagation:
             return t.compute()
 
         assert build() == build()
+
+
+class TestTrustVectorCache:
+    def _graph(self):
+        trust = EigenTrust(pretrusted=["a"])
+        trust.record_interaction("a", "b", 1.0)
+        trust.record_interaction("b", "c", 0.5)
+        trust.record_interaction("c", "a", 0.8)
+        return trust
+
+    def test_repeated_trust_of_does_not_reiterate(self):
+        trust = self._graph()
+        first = trust.trust_of("b")
+        iterations = trust.compute_count
+        second = trust.trust_of("b")
+        assert second == first
+        assert trust.compute_count == iterations  # cache hit, no re-iteration
+
+    def test_trust_of_matches_compute(self):
+        trust = self._graph()
+        vector = trust.compute()
+        for identity in trust.identities:
+            assert trust.trust_of(identity) == vector[identity]
+
+    def test_new_interaction_invalidates_cache(self):
+        trust = self._graph()
+        before = trust.trust_of("c")
+        iterations = trust.compute_count
+        trust.record_interaction("a", "c", 2.0)
+        after = trust.trust_of("c")
+        assert trust.compute_count == iterations + 1
+        assert after > before  # direct pretrusted endorsement raises c
+
+    def test_add_identity_invalidates_cache(self):
+        trust = self._graph()
+        trust.compute()
+        iterations = trust.compute_count
+        trust.add_identity("newcomer")
+        vector = trust.compute()
+        assert trust.compute_count == iterations + 1
+        assert "newcomer" in vector
+
+    def test_noop_observations_keep_cache(self):
+        trust = self._graph()
+        trust.compute()
+        iterations = trust.compute_count
+        trust.add_identity("a")  # already known
+        trust.record_interaction("a", "b", -1.0)  # clamped, no graph change
+        trust.compute()
+        assert trust.compute_count == iterations
+
+    def test_mutating_computed_vector_does_not_poison_cache(self):
+        trust = self._graph()
+        vector = trust.compute()
+        vector["b"] = 123.0
+        assert trust.trust_of("b") != 123.0
+
+    def test_solver_params_are_part_of_cache_key(self):
+        trust = self._graph()
+        loose = trust.trust_of("b", max_iterations=1)
+        iterations = trust.compute_count
+        tight = trust.trust_of("b", max_iterations=100)
+        assert trust.compute_count == iterations + 1
+        assert tight != loose

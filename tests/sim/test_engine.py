@@ -179,3 +179,68 @@ class TestIntrospection:
         sim.schedule(1.0, lambda: None)
         snap = sim.snapshot()
         assert snap == {"now": 0.0, "pending": 1, "fired": 0}
+
+
+class TestPendingCounter:
+    """pending_count is maintained incrementally (O(1) reads)."""
+
+    def _brute_force(self, sim):
+        return sum(1 for entry in sim._queue if not entry.event.cancelled)
+
+    def test_cancel_decrements_exactly_once(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda: None)
+        sim.schedule(6.0, lambda: None)
+        assert sim.pending_count == 2
+        event.cancel()
+        assert sim.pending_count == 1
+        event.cancel()  # idempotent: no double decrement
+        assert sim.pending_count == 1
+        assert sim.pending_count == self._brute_force(sim)
+
+    def test_recurring_event_cancelled_in_own_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                event.cancel()
+
+        event = sim.every(1.0, tick)
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+        assert sim.pending_count == 0
+        assert sim.pending_count == self._brute_force(sim)
+
+    def test_recurring_event_counts_once_across_refires(self):
+        sim = Simulator()
+        sim.every(1.0, lambda: None)
+        for end in (1.0, 2.0, 3.0):
+            sim.run_until(end)
+            assert sim.pending_count == 1
+            assert sim.pending_count == self._brute_force(sim)
+
+    def test_cancelled_before_run_never_fires_and_counts_zero(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run_until(5.0)
+        assert fired == []
+        assert sim.pending_count == 0
+
+    def test_heavy_cancellation_compacts_queue(self):
+        sim = Simulator()
+        events = [sim.schedule(1e9 + i, lambda: None) for i in range(500)]
+        keep = events[::10]
+        for event in events:
+            if event not in keep:
+                event.cancel()
+        # Lazy deletion must not retain all 450 cancelled entries.
+        assert sim.pending_count == len(keep)
+        assert len(sim._queue) < 2 * len(keep) + Simulator._COMPACT_MIN_STALE
+        assert sim.pending_count == self._brute_force(sim)
+        # Survivors still fire in order after compaction.
+        sim.run_all()
+        assert sim.fired_count == len(keep)

@@ -97,3 +97,77 @@ class TestRegistry:
         registry.counter("c").inc()
         registry.reset()
         assert registry.counters() == {}
+
+
+class TestHistogramSortCache:
+    """The sorted-samples cache must never change observable results."""
+
+    @staticmethod
+    def _naive_summary(samples):
+        """Reference implementation: independent full recomputation."""
+        import math
+
+        if not samples:
+            return {"count": 0.0, "mean": 0.0, "min": 0.0, "p50": 0.0,
+                    "p95": 0.0, "max": 0.0}
+
+        def pct(q):
+            ordered = sorted(samples)
+            if len(ordered) == 1:
+                return ordered[0]
+            pos = (q / 100.0) * (len(ordered) - 1)
+            lo, hi = int(math.floor(pos)), int(math.ceil(pos))
+            if lo == hi:
+                return ordered[lo]
+            frac = pos - lo
+            return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+        return {
+            "count": float(len(samples)),
+            "mean": sum(samples) / len(samples),
+            "min": min(samples),
+            "p50": pct(50),
+            "p95": pct(95),
+            "max": max(samples),
+        }
+
+    def test_summary_identical_to_naive_recomputation(self):
+        import random
+
+        rng = random.Random(7)
+        hist = MetricsRegistry().histogram("h")
+        samples = [rng.uniform(-50, 50) for _ in range(997)]
+        for value in samples:
+            hist.observe(value)
+        assert hist.summary() == self._naive_summary(samples)
+        # A second call (served from the cache) is byte-identical too.
+        assert hist.summary() == self._naive_summary(samples)
+
+    def test_observe_invalidates_cache(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in [5.0, 1.0, 3.0]:
+            hist.observe(value)
+        assert hist.summary()["max"] == 5.0
+        hist.observe(9.0)
+        summ = hist.summary()
+        assert summ["max"] == 9.0
+        assert summ["count"] == 4.0
+
+    def test_direct_samples_append_detected(self):
+        # The samples list is a public field; direct appends must not be
+        # served stale results from a previous sort.
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        assert hist.percentile(100) == 1.0
+        hist.samples.append(10.0)
+        assert hist.percentile(100) == 10.0
+        assert hist.maximum == 10.0
+
+    def test_min_max_consistent_with_and_without_cache(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in [4.0, -2.0, 8.0]:
+            hist.observe(value)
+        # Before any percentile call there is no sorted cache.
+        assert (hist.minimum, hist.maximum) == (-2.0, 8.0)
+        hist.summary()  # populates the cache
+        assert (hist.minimum, hist.maximum) == (-2.0, 8.0)
