@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-regression bench-baseline
+.PHONY: test bench bench-smoke bench-regression bench-baseline obs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Observability determinism gate: run the seeded e2e scenario twice and
+# verify byte-identical exported traces + a complete span forest.
+obs-check:
+	$(PYTHON) -c "from repro.workloads.observability import check_observability; \
+	[print(f'{k:18s} {v}') for k, v in check_observability().items()]; \
+	print('obs-check: OK')"
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-only

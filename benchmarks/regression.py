@@ -232,6 +232,73 @@ def kernel_ledger_append_txs() -> Tuple[int, float]:
     return n_blocks * len(senders), elapsed
 
 
+def kernel_trace_span_emit() -> Tuple[int, float]:
+    """Open/close nested spans through a live Instrumentation.
+
+    Every instrumented substrate call pays this cost when observability
+    is on (the framework default), so span emit must stay cheap.
+    """
+    from repro.obs import Instrumentation
+    from repro.sim import TraceLog
+
+    obs = Instrumentation(trace=TraceLog(), run_id="bench")
+    n = 5000
+    t0 = time.perf_counter()
+    for i in range(n):
+        with obs.span("bench", "outer", time=float(i), index=i):
+            with obs.span("bench", "inner", time=float(i)):
+                obs.event("bench", "tick", time=float(i), index=i)
+    elapsed = time.perf_counter() - t0
+    assert len(obs.trace) == 3 * n
+    return n, elapsed
+
+
+def kernel_trace_indexed_query() -> Tuple[int, float]:
+    """Repeated source/kind queries against a 20k-record log.
+
+    Auditors poll per-module counts every epoch; without the
+    (source, kind) index each poll is a full linear scan.
+    """
+    from repro.sim import TraceLog
+
+    rng = random.Random(SEED)
+    log = TraceLog()
+    sources = [f"module-{i}" for i in range(8)]
+    kinds = ["event", "span", "anchor"]
+    for i in range(20_000):
+        log.emit(float(i), rng.choice(sources), rng.choice(kinds), index=i)
+    reps = 300
+    t0 = time.perf_counter()
+    total = 0
+    for i in range(reps):
+        source = sources[i % len(sources)]
+        kind = kinds[i % len(kinds)]
+        total += log.count(source=source, kind=kind)
+        total += sum(1 for _ in log.query(source=source))
+    elapsed = time.perf_counter() - t0
+    assert total > 0
+    return reps, elapsed
+
+
+def kernel_sim_profiled_dispatch() -> Tuple[int, float]:
+    """Event dispatch with engine profiling enabled.
+
+    Bounds the per-event overhead of the wall-clock timing hook —
+    profiling a run must not meaningfully distort what it measures.
+    """
+    from repro.sim import Simulator
+
+    sim = Simulator(profile=True)
+    n = 4000
+    for i in range(n):
+        sim.schedule(float(i), lambda: None, name="bench.noop")
+    t0 = time.perf_counter()
+    sim.run_all()
+    elapsed = time.perf_counter() - t0
+    assert sim.profile_histograms()["bench.noop"].count == n
+    return n, elapsed
+
+
 TRACKED_OPS: Dict[str, Kernel] = {
     "sim_event_throughput_4k": kernel_sim_event_throughput,
     "sim_cancel_churn_3k": kernel_sim_cancel_churn,
@@ -241,6 +308,9 @@ TRACKED_OPS: Dict[str, Kernel] = {
     "eigentrust_recompute_after_write": kernel_eigentrust_recompute,
     "ledger_append_1k_blocks": kernel_ledger_append_1k,
     "ledger_append_tx_blocks": kernel_ledger_append_txs,
+    "trace_span_emit_5k": kernel_trace_span_emit,
+    "trace_indexed_query_20k": kernel_trace_indexed_query,
+    "sim_profiled_dispatch_4k": kernel_sim_profiled_dispatch,
 }
 
 

@@ -77,6 +77,14 @@ class FrameworkConfig:
     safety_shadow_avatars: bool = True
     safety_redirected_walking: bool = True
 
+    # Observability ----------------------------------------------------------
+    # Causal spans + substrate events + metrics (the paper's §IV-C
+    # transparency requirement); deterministic, so it defaults on.
+    enable_observability: bool = True
+    # Wall-clock timing of engine event callbacks; off by default since
+    # wall times are not deterministic (they never enter the trace log).
+    enable_profiling: bool = False
+
     def __post_init__(self) -> None:
         if self.n_users < 1:
             raise ConfigurationError(f"n_users must be >= 1, got {self.n_users}")

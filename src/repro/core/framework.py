@@ -73,6 +73,14 @@ from repro.nft import (
     OpenMinting,
     ReputationVetted,
 )
+from repro.obs import (
+    NULL_OBS,
+    Instrumentation,
+    export_trace_jsonl,
+    hot_handlers_report,
+    prometheus_text,
+    transparency_report,
+)
 from repro.privacy import (
     ConsentRegistry,
     ErasureService,
@@ -109,10 +117,19 @@ class MetaverseFramework:
     def __init__(self, config: FrameworkConfig):
         self.config = config
         self.rngs = RngRegistry(config.seed)
-        self.simulator = Simulator()
+        self.simulator = Simulator(profile=config.enable_profiling)
         self.bus = EventBus()
         self.trace = TraceLog()
         self.metrics = MetricsRegistry()
+        if config.enable_observability:
+            self.obs: Instrumentation = Instrumentation(
+                trace=self.trace,
+                metrics=self.metrics,
+                clock=lambda: float(self.epoch),
+                run_id=str(config.seed),
+            )
+        else:
+            self.obs = NULL_OBS
         self.epoch = 0
         self._nonce_cache: Dict[str, int] = {}
         self._all_interactions: List[Any] = []
@@ -151,7 +168,7 @@ class MetaverseFramework:
         self._collector_cursor = 0
         if not self.config.enable_ledger:
             return
-        contracts = ContractRegistry()
+        contracts = ContractRegistry(obs=self.obs)
         self.voting_contract_address = contracts.deploy(VotingContract())
         self.registry_contract_address = contracts.deploy(RegistryContract())
         self.operator_wallet = Wallet(seed=f"operator:{self.config.seed}".encode())
@@ -166,6 +183,7 @@ class MetaverseFramework:
             PoAConsensus([self.operator_wallet.address]),
             genesis_balances=balances,
             contracts=contracts,
+            obs=self.obs,
         )
         self.auditor = DataCollectionAuditor(self.chain)
 
@@ -249,6 +267,7 @@ class MetaverseFramework:
             consent=consent,
             budget=budget,
             audit_hook=self._audit_collection if self.auditor else None,
+            obs=self.obs,
         )
         pet_rng = self.rngs.stream("pets")
         for channel in _SENSOR_CHANNELS:
@@ -318,6 +337,7 @@ class MetaverseFramework:
             classifier=classifier,
             report_desk=desk,
             reviewer=reviewer,
+            obs=self.obs,
         )
 
     def _build_daos(self) -> None:
@@ -334,12 +354,13 @@ class MetaverseFramework:
 
         rng = self.rngs.stream("dao-membership")
         rule = TurnoutQuorum(cfg.dao_quorum)
-        root = DAO("root", rule=rule)
+        root = DAO("root", rule=rule, obs=self.obs)
         self.federation = ModularDaoFederation(
             root, constitutional_topics=["constitution"]
         )
         sub_daos = {
-            topic: DAO(f"{topic}-dao", rule=rule) for topic in _GOVERNANCE_TOPICS
+            topic: DAO(f"{topic}-dao", rule=rule, obs=self.obs)
+            for topic in _GOVERNANCE_TOPICS
         }
         for topic, dao in sub_daos.items():
             self.federation.add_sub_dao(dao, [topic])
@@ -396,7 +417,7 @@ class MetaverseFramework:
             else OpenMinting()
         )
         self.market = NFTMarketplace(
-            collection, policy=policy, reputation=self.reputation
+            collection, policy=policy, reputation=self.reputation, obs=self.obs
         )
         self.studio = CreateToEarnStudio(self.market, self.rngs.stream("studio"))
         rng = self.rngs.stream("economy")
@@ -431,7 +452,9 @@ class MetaverseFramework:
             wallet = self.operator_wallet
             nonce = self._next_nonce(wallet)
             stx = wallet.record(nonce=nonce, record_payload=dict(payload))
-            self.chain.mempool.submit(stx, state=self.chain.state)
+            self.chain.mempool.submit(
+                stx, state=self.chain.state, time=float(self.epoch)
+            )
 
         return anchor
 
@@ -464,6 +487,10 @@ class MetaverseFramework:
     # Epoch steps (called by modules in modular mode, directly otherwise)
     # ==================================================================
     def step_behavior(self, time: float) -> None:
+        with self.obs.span("framework", "step.behavior", time=time):
+            self._step_behavior(time)
+
+    def _step_behavior(self, time: float) -> None:
         interactions = self.behavior.run_epoch(time)
         self._epoch_interactions = interactions
         self._all_interactions.extend(interactions)
@@ -481,11 +508,17 @@ class MetaverseFramework:
     def step_moderation(self, time: float) -> None:
         if self.moderation is None:
             return
-        self.moderation.process_epoch(self._epoch_interactions, time)
+        with self.obs.span("framework", "step.moderation", time=time):
+            self.moderation.process_epoch(self._epoch_interactions, time)
 
     def step_privacy(self, time: float) -> None:
         if self.pipeline is None or self.sensor_rig is None:
             return
+        with self.obs.span("framework", "step.privacy", time=time):
+            self._step_privacy(time)
+
+    def _step_privacy(self, time: float) -> None:
+        assert self.pipeline is not None and self.sensor_rig is not None
         rng = self.rngs.stream("sensor-sampling")
         count = max(1, int(self.config.sensor_sample_fraction * len(self.user_ids)))
         chosen = rng.choice(len(self.user_ids), size=count, replace=False)
@@ -497,6 +530,11 @@ class MetaverseFramework:
     def step_economy(self, time: float) -> None:
         if self.market is None or self.studio is None:
             return
+        with self.obs.span("framework", "step.economy", time=time):
+            self._step_economy(time)
+
+    def _step_economy(self, time: float) -> None:
+        assert self.market is not None and self.studio is not None
         rng = self.rngs.stream("market")
         for profile in self.studio.creators():
             if rng.random() < 0.5:
@@ -522,22 +560,24 @@ class MetaverseFramework:
 
     def step_decisions(self, time: float) -> None:
         if self.federation is not None and self.participation is not None:
-            self.participation.run_federation_epoch(self.federation, time)
-            self.decisions.finalize_due(time)
-            for dao in self.federation.all_daos():
-                dao.close_due(time)
-            for dao in self.federation.all_daos():
-                for member in dao.members:
-                    member.reset_attention()
+            with self.obs.span("framework", "step.decisions", time=time):
+                self.participation.run_federation_epoch(self.federation, time)
+                self.decisions.finalize_due(time)
+                for dao in self.federation.all_daos():
+                    dao.close_due(time)
+                for dao in self.federation.all_daos():
+                    for member in dao.members:
+                        member.reset_attention()
 
     def step_ledger(self, time: float) -> None:
         if self.chain is None:
             return
         if len(self.chain.mempool) == 0:
             return
-        self.chain.propose_block(
-            self.operator_wallet.address, timestamp=time, max_txs=500
-        )
+        with self.obs.span("framework", "step.ledger", time=time):
+            self.chain.propose_block(
+                self.operator_wallet.address, timestamp=time, max_txs=500
+            )
 
     def step_upkeep(self, time: float) -> None:
         self.incentives.end_epoch()
@@ -553,22 +593,32 @@ class MetaverseFramework:
         if not hasattr(self, "_all_interactions"):
             self._all_interactions = []
         self._epoch_interactions = []
-        if self.config.governance_mode == "modular" and self.modules.mounted():
-            self.modules.run_epoch(self, time)
-        else:
-            self.step_behavior(time)
-            self.step_moderation(time)
-            self.step_privacy(time)
-            self.step_economy(time)
-            self.step_decisions(time)
-            self.step_ledger(time)
-            self.step_upkeep(time)
-        self.bus.publish("epoch.completed", time, "framework", epoch=self.epoch)
+        with self.obs.span(
+            "framework", "epoch", time=time, epoch=self.epoch,
+            mode=self.config.governance_mode,
+        ):
+            if self.config.governance_mode == "modular" and self.modules.mounted():
+                self.modules.run_epoch(self, time)
+            else:
+                self.step_behavior(time)
+                self.step_moderation(time)
+                self.step_privacy(time)
+                self.step_economy(time)
+                self.step_decisions(time)
+                self.step_ledger(time)
+                self.step_upkeep(time)
+            self.bus.publish("epoch.completed", time, "framework", epoch=self.epoch)
         self.epoch += 1
 
     def run(self, epochs: int) -> None:
-        for _ in range(epochs):
-            self.run_epoch()
+        """Run ``epochs`` epochs, dispatched through the event engine so
+        profiling (``enable_profiling``) sees every epoch callback."""
+        start = self.epoch
+        for offset in range(epochs):
+            self.simulator.schedule(
+                float(start + offset), self.run_epoch, name="framework.run_epoch"
+            )
+        self.simulator.run_until(float(start + epochs))
 
     # ==================================================================
     # Change requests (the §IV-C loop)
@@ -584,19 +634,27 @@ class MetaverseFramework:
         voting_period: Optional[float] = None,
     ):
         """Submit a platform change through the decision pipeline."""
-        request = self.decisions.make_request(
+        with self.obs.span(
+            "framework",
+            "change.propose",
+            time=float(self.epoch),
             title=title,
-            kind=kind,
             topic=topic,
             proposer=proposer,
-            executor=executor,
-            payload=payload,
-        )
-        return self.decisions.submit(
-            request,
-            time=float(self.epoch),
-            voting_period=voting_period or self.config.voting_period,
-        )
+        ):
+            request = self.decisions.make_request(
+                title=title,
+                kind=kind,
+                topic=topic,
+                proposer=proposer,
+                executor=executor,
+                payload=payload,
+            )
+            return self.decisions.submit(
+                request,
+                time=float(self.epoch),
+                voting_period=voting_period or self.config.voting_period,
+            )
 
     def request_erasure(self, subject: str):
         """Execute the GDPR right to erasure for ``subject`` (§II-D):
@@ -731,3 +789,22 @@ class MetaverseFramework:
             "decision_stats": self.decisions.stats(),
             "ethics_overall": self.ethics_scorecard().overall,
         }
+
+    # ==================================================================
+    # Observability exports
+    # ==================================================================
+    def export_trace(self, path) -> int:
+        """Write the full trace log as JSONL; returns the record count."""
+        return export_trace_jsonl(self.trace, path)
+
+    def transparency_report(self):
+        """Per-module activity table (records, spans, errors, counters)."""
+        return transparency_report(self.trace, self.metrics)
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text-format dump of the metrics registry."""
+        return prometheus_text(self.metrics)
+
+    def hottest_handlers(self, top_n: int = 10):
+        """Engine profiling report (requires ``enable_profiling``)."""
+        return hot_handlers_report(self.simulator, top_n=top_n)

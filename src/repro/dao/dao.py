@@ -23,6 +23,7 @@ from repro.dao.proposals import Proposal, ProposalFactory, ProposalStatus
 from repro.dao.quorum import Decision, DecisionRule, TurnoutQuorum
 from repro.dao.voting import Ballot, OneMemberOneVote, Tally, VotingScheme
 from repro.errors import ProposalError, VotingError
+from repro.obs.instrument import NULL_OBS, Instrumentation
 
 __all__ = ["DAO", "LedgerAnchor"]
 
@@ -50,6 +51,9 @@ class DAO:
         Acceptance rule; defaults to 20% turnout quorum + plurality.
     anchor:
         Optional callback anchoring closed outcomes on a ledger.
+    obs:
+        Optional observability instrumentation; proposal lifecycle
+        (submit → ballots → close → execute) emits spans and events.
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class DAO:
         scheme: Optional[VotingScheme] = None,
         rule: Optional[DecisionRule] = None,
         anchor: Optional[LedgerAnchor] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.name = name
         self.members = MemberRegistry()
@@ -67,6 +72,7 @@ class DAO:
         self._factory = ProposalFactory(prefix=f"{name}-prop")
         self._records: Dict[str, _ProposalRecord] = {}
         self._anchor = anchor
+        self._obs = obs if obs is not None else NULL_OBS
         self.executed_count = 0
 
     # ------------------------------------------------------------------
@@ -105,6 +111,17 @@ class DAO:
             **kwargs,
         )
         self._records[proposal.proposal_id] = _ProposalRecord(proposal)
+        self._obs.counter(f"dao.{self.name}.proposals_submitted").inc()
+        self._obs.event(
+            "dao",
+            "proposal.submitted",
+            time=created_at,
+            dao=self.name,
+            proposal_id=proposal.proposal_id,
+            proposer=proposer,
+            topic=topic,
+            deadline=proposal.voting_deadline,
+        )
         return proposal
 
     def proposal(self, proposal_id: str) -> Proposal:
@@ -157,6 +174,16 @@ class DAO:
             )
         ballot = Ballot(voter=voter, option=option, cast_at=time)
         record.ballots[voter] = ballot
+        self._obs.counter(f"dao.{self.name}.ballots_cast").inc()
+        self._obs.event(
+            "dao",
+            "ballot.cast",
+            time=time,
+            dao=self.name,
+            proposal_id=proposal_id,
+            voter=voter,
+            option=option,
+        )
         return ballot
 
     def ballots_of(self, proposal_id: str) -> List[Ballot]:
@@ -206,22 +233,41 @@ class DAO:
             raise ProposalError(
                 f"proposal {proposal_id} already {proposal.status.value}"
             )
-        tally = self.tally(proposal_id)
-        decision = self.rule.decide(tally)
-        if not decision.quorum_met:
-            proposal.mark(ProposalStatus.EXPIRED, time, result=dict(tally.weights))
-        elif decision.passed:
-            proposal.mark(ProposalStatus.PASSED, time, result=dict(tally.weights))
-        else:
-            proposal.mark(ProposalStatus.REJECTED, time, result=dict(tally.weights))
-        if self._anchor is not None:
-            self._anchor(self.name, proposal, decision, tally)
+        with self._obs.span(
+            "dao",
+            "proposal.close",
+            time=time,
+            dao=self.name,
+            proposal_id=proposal_id,
+        ) as span:
+            tally = self.tally(proposal_id)
+            decision = self.rule.decide(tally)
+            if not decision.quorum_met:
+                proposal.mark(ProposalStatus.EXPIRED, time, result=dict(tally.weights))
+            elif decision.passed:
+                proposal.mark(ProposalStatus.PASSED, time, result=dict(tally.weights))
+            else:
+                proposal.mark(ProposalStatus.REJECTED, time, result=dict(tally.weights))
+            span.set_attribute("outcome", proposal.status.value)
+            span.set_attribute("turnout", tally.turnout)
+            span.set_attribute("voters", tally.voters)
+            self._obs.counter(f"dao.{self.name}.closed.{proposal.status.value}").inc()
+            self._obs.histogram(f"dao.{self.name}.turnout").observe(tally.turnout)
+            if self._anchor is not None:
+                self._anchor(self.name, proposal, decision, tally)
         return decision
 
     def execute(self, proposal_id: str) -> Any:
         """Execute a PASSED proposal's action."""
         outcome = self.proposal(proposal_id).execute()
         self.executed_count += 1
+        self._obs.counter(f"dao.{self.name}.executed").inc()
+        self._obs.event(
+            "dao",
+            "proposal.executed",
+            dao=self.name,
+            proposal_id=proposal_id,
+        )
         return outcome
 
     def close_due(self, time: float) -> List[Decision]:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import ModerationError
 from repro.governance.sanctions import GraduatedSanctionPolicy
+from repro.obs.instrument import NULL_OBS, Instrumentation
 from repro.world.interactions import Interaction
 
 __all__ = [
@@ -260,6 +261,9 @@ class ModerationService:
         review ("banning inappropriate posts" full automation).
     sanctions:
         Where upheld cases land.
+    obs:
+        Optional observability instrumentation; the report → verdict →
+        sanction path emits spans and events.
     """
 
     def __init__(
@@ -268,6 +272,7 @@ class ModerationService:
         classifier: Optional[AbuseClassifier] = None,
         report_desk: Optional[ReportDesk] = None,
         reviewer: Optional[object] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         if classifier is None and report_desk is None:
             raise ModerationError(
@@ -277,6 +282,7 @@ class ModerationService:
         self._classifier = classifier
         self._report_desk = report_desk
         self._reviewer = reviewer
+        self._obs = obs if obs is not None else NULL_OBS
         self._queue: List[ModerationCase] = []
         self._cases: List[ModerationCase] = []
         self._case_counter = itertools.count()
@@ -289,25 +295,42 @@ class ModerationService:
         """Ingest one epoch of interactions and run review capacity."""
         delivered = [i for i in interactions if i.delivered]
 
-        if self._classifier is not None:
-            for interaction in delivered:
-                if self._classifier.flag(interaction):
-                    case = self._open_case(interaction, CaseSource.AUTOMATED, time)
-                    if case is not None and self._reviewer is None:
-                        # Full automation: the flag is the verdict.
-                        case.decide(True, time, decider="auto")
-                        self._sanctions.apply(
-                            interaction.initiator,
-                            time,
-                            case_id=case.case_id,
-                            reason="automated flag",
-                        )
+        with self._obs.span(
+            "moderation",
+            "epoch.process",
+            time=time,
+            delivered=len(delivered),
+        ) as span:
+            if self._classifier is not None:
+                for interaction in delivered:
+                    if self._classifier.flag(interaction):
+                        case = self._open_case(interaction, CaseSource.AUTOMATED, time)
+                        if case is not None and self._reviewer is None:
+                            # Full automation: the flag is the verdict.
+                            case.decide(True, time, decider="auto")
+                            self._emit_verdict(case, time)
+                            self._apply_sanction(
+                                interaction.initiator,
+                                time,
+                                case_id=case.case_id,
+                                reason="automated flag",
+                            )
 
-        if self._report_desk is not None:
-            for interaction in self._report_desk.collect(delivered):
-                self._open_case(interaction, CaseSource.REPORT, time)
+            if self._report_desk is not None:
+                for interaction in self._report_desk.collect(delivered):
+                    self._obs.counter("moderation.reports_filed").inc()
+                    self._obs.event(
+                        "moderation",
+                        "report.filed",
+                        time=time,
+                        reporter=interaction.target,
+                        accused=interaction.initiator,
+                    )
+                    self._open_case(interaction, CaseSource.REPORT, time)
 
-        self._drain_queue(time)
+            reviewed = self._drain_queue(time)
+            span.set_attribute("reviewed", reviewed)
+            span.set_attribute("backlog", len(self._queue))
 
     def _open_case(
         self, interaction: Interaction, source: CaseSource, time: float
@@ -325,24 +348,62 @@ class ModerationService:
         self._cases.append(case)
         if self._reviewer is not None:
             self._queue.append(case)
+        self._obs.counter(f"moderation.cases_opened.{source.value}").inc()
+        self._obs.event(
+            "moderation",
+            "case.opened",
+            time=time,
+            case_id=case.case_id,
+            case_source=source.value,
+            accused=interaction.initiator,
+        )
         return case
 
-    def _drain_queue(self, time: float) -> None:
+    def _drain_queue(self, time: float) -> int:
         if self._reviewer is None:
-            return
+            return 0
         capacity = getattr(self._reviewer, "capacity_per_epoch", 0)
         processed = 0
         while self._queue and processed < capacity:
             case = self._queue.pop(0)
             verdict = self._reviewer.review(case, time)
+            self._emit_verdict(case, time)
             if verdict:
-                self._sanctions.apply(
+                self._apply_sanction(
                     case.interaction.initiator,
                     time,
                     case_id=case.case_id,
                     reason=f"{case.source.value} case upheld",
                 )
             processed += 1
+        return processed
+
+    def _emit_verdict(self, case: ModerationCase, time: float) -> None:
+        self._obs.counter(f"moderation.verdicts.{case.status.value}").inc()
+        if case.latency is not None:
+            self._obs.histogram("moderation.case_latency").observe(case.latency)
+        self._obs.event(
+            "moderation",
+            "case.decided",
+            time=time,
+            case_id=case.case_id,
+            verdict=case.status.value,
+            decided_by=case.decided_by,
+        )
+
+    def _apply_sanction(
+        self, subject: str, time: float, case_id: str, reason: str
+    ) -> None:
+        self._sanctions.apply(subject, time, case_id=case_id, reason=reason)
+        self._obs.counter("moderation.sanctions_applied").inc()
+        self._obs.event(
+            "moderation",
+            "sanction.applied",
+            time=time,
+            subject=subject,
+            case_id=case_id,
+            reason=reason,
+        )
 
     # ------------------------------------------------------------------
     # Scoring

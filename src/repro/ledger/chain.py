@@ -23,6 +23,7 @@ from repro.ledger.contracts import ContractRegistry
 from repro.ledger.mempool import Mempool
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import SignedTransaction
+from repro.obs.instrument import NULL_OBS, Instrumentation
 
 __all__ = ["Blockchain"]
 
@@ -49,6 +50,7 @@ class Blockchain:
         consensus: ConsensusStrategy,
         genesis_balances: Optional[Dict[str, int]] = None,
         contracts: Optional[ContractRegistry] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.consensus = consensus
         self.contracts = contracts if contracts is not None else ContractRegistry()
@@ -64,9 +66,15 @@ class Blockchain:
         self._blocks: Dict[str, Block] = {genesis_hash: self._genesis}
         self._states: Dict[str, LedgerState] = {genesis_hash: genesis_state}
         self._head_hash = genesis_hash
-        self.mempool = Mempool()
+        self._obs = obs if obs is not None else NULL_OBS
+        self.mempool = Mempool(obs=obs)
         self.rejected_blocks = 0
         self.reorg_count = 0
+        # tx_id → (block_hash, position) along the *canonical* chain,
+        # maintained on head moves: extensions append their block's
+        # transactions, reorgs rebuild.  find_transaction and audit
+        # queries are O(1) instead of a linear chain walk.
+        self._tx_index: Dict[str, Tuple[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Views
@@ -114,11 +122,22 @@ class Blockchain:
                 yield block, stx
 
     def find_transaction(self, tx_id: str) -> Optional[Tuple[Block, SignedTransaction]]:
-        """Locate a transaction on the canonical chain."""
-        for block, stx in self.iter_transactions():
-            if stx.tx_id == tx_id:
-                return block, stx
-        return None
+        """Locate a transaction on the canonical chain (O(1): indexed)."""
+        location = self._tx_index.get(tx_id)
+        if location is None:
+            return None
+        block_hash, position = location
+        block = self._blocks[block_hash]
+        return block, block.transactions[position]
+
+    def transaction_location(self, tx_id: str) -> Optional[Tuple[int, int]]:
+        """``(block_height, index_in_block)`` of a canonical-chain
+        transaction, or None — the audit-trail lookup, O(1)."""
+        location = self._tx_index.get(tx_id)
+        if location is None:
+            return None
+        block_hash, position = location
+        return self._blocks[block_hash].height, position
 
     # ------------------------------------------------------------------
     # Block production
@@ -137,30 +156,49 @@ class Blockchain:
         not the consensus-expected proposer for the next height.
         """
         parent = self.head
-        if transactions is None:
-            # Pre-execute candidates speculatively so one reverting
-            # contract call cannot poison every subsequent proposal.
-            candidates = self.mempool.select(self.state, max_count=max_txs)
-            # Copy-on-write overlay: speculation only pays for the keys
-            # the candidate transactions actually touch.
-            speculative = self.state.child()
-            executable = []
-            for stx in candidates:
-                try:
-                    speculative.apply(stx, contract_executor=self.contracts)
-                except (InvalidTransactionError, ContractError):
-                    self.mempool.prune_included([stx.tx_id])
-                else:
-                    executable.append(stx)
-            transactions = executable
-        block = build_block(
+        with self._obs.span(
+            "ledger.chain",
+            "block.produce",
+            time=timestamp,
             height=parent.height + 1,
-            prev_hash=parent.block_hash,
-            timestamp=timestamp,
             proposer=proposer,
-            transactions=transactions,
-        )
-        self.add_block(block)
+        ) as span:
+            if transactions is None:
+                # Pre-execute candidates speculatively so one reverting
+                # contract call cannot poison every subsequent proposal.
+                candidates = self.mempool.select(self.state, max_count=max_txs)
+                # Copy-on-write overlay: speculation only pays for the keys
+                # the candidate transactions actually touch.
+                speculative = self.state.child()
+                executable = []
+                for stx in candidates:
+                    try:
+                        speculative.apply(stx, contract_executor=self.contracts)
+                    except (InvalidTransactionError, ContractError):
+                        self.mempool.prune_included([stx.tx_id])
+                        self._obs.event(
+                            "ledger.chain",
+                            "tx.dropped_speculation",
+                            time=timestamp,
+                            tx_id=stx.tx_id,
+                        )
+                    else:
+                        executable.append(stx)
+                transactions = executable
+            block = build_block(
+                height=parent.height + 1,
+                prev_hash=parent.block_hash,
+                timestamp=timestamp,
+                proposer=proposer,
+                transactions=transactions,
+            )
+            span.set_attribute("n_txs", len(block.transactions))
+            span.set_attribute("block_hash", block.block_hash)
+            self.add_block(block)
+            self._obs.counter("ledger.blocks_produced").inc()
+            self._obs.histogram("ledger.block_txs").observe(
+                float(len(block.transactions))
+            )
         return block
 
     def add_block(self, block: Block) -> None:
@@ -218,6 +256,15 @@ class Blockchain:
         self._states[block.block_hash] = new_state
         self._update_head(block)
         self.mempool.prune_included(block.tx_ids)
+        self._obs.event(
+            "ledger.chain",
+            "block.accepted",
+            time=block.timestamp,
+            height=block.height,
+            block_hash=block.block_hash,
+            n_txs=len(block.transactions),
+            canonical=self._head_hash == block.block_hash,
+        )
 
     def _update_head(self, candidate: Block) -> None:
         head = self.head
@@ -229,9 +276,32 @@ class Blockchain:
             and candidate.block_hash < head.block_hash
         )
         if better_height or same_height_lower_hash:
-            if candidate.prev_hash != head.block_hash:
+            extends_head = candidate.prev_hash == head.block_hash
+            if not extends_head:
                 self.reorg_count += 1
+                self._obs.counter("ledger.reorgs").inc()
+                self._obs.event(
+                    "ledger.chain",
+                    "head.reorg",
+                    time=candidate.timestamp,
+                    new_height=candidate.height,
+                    new_head=candidate.block_hash,
+                    old_head=head.block_hash,
+                )
             self._head_hash = candidate.block_hash
+            if extends_head:
+                for position, stx in enumerate(candidate.transactions):
+                    self._tx_index[stx.tx_id] = (candidate.block_hash, position)
+            else:
+                self._rebuild_tx_index()
+
+    def _rebuild_tx_index(self) -> None:
+        """Re-index the canonical chain after a reorg (head moves to a
+        block that does not extend the previous head)."""
+        self._tx_index.clear()
+        for block in self.main_chain():
+            for position, stx in enumerate(block.transactions):
+                self._tx_index[stx.tx_id] = (block.block_hash, position)
 
     # ------------------------------------------------------------------
     # Integrity

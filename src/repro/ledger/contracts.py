@@ -29,6 +29,7 @@ from repro.errors import ContractError
 from repro.ledger.crypto import sha256
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import SignedTransaction, TxKind
+from repro.obs.instrument import NULL_OBS, Instrumentation
 
 __all__ = [
     "ContractContext",
@@ -115,9 +116,10 @@ class ContractRegistry:
     ``(name, deploy_index)`` so scenarios are reproducible.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Instrumentation] = None) -> None:
         self._contracts: Dict[str, SmartContract] = {}
         self._deploy_count = 0
+        self._obs = obs if obs is not None else NULL_OBS
 
     def deploy(self, contract: SmartContract) -> str:
         """Register ``contract`` and return its hex address."""
@@ -157,7 +159,17 @@ class ContractRegistry:
         args = tx.payload.get("args", {})
         if not isinstance(args, dict):
             raise ContractError(f"{contract.name}: args must be a dict")
-        return contract.call(method, args, ctx)
+        with self._obs.span(
+            "ledger.contracts",
+            f"{contract.name}.{method}",
+            contract=contract.name,
+            method=method,
+            sender=tx.sender,
+            tx_id=stx.tx_id,
+        ):
+            result = contract.call(method, args, ctx)
+        self._obs.counter(f"ledger.contracts.{contract.name}.calls").inc()
+        return result
 
 
 class TokenContract(SmartContract):

@@ -3,15 +3,24 @@
 Orders candidates by fee (highest first) while respecting per-sender
 nonce order, rejects duplicates and obviously-invalid transactions at
 admission, and evicts the lowest-fee entries when full.
+
+Eviction runs off a fee-ordered min-heap with lazy deletion, so finding
+the cheapest resident is O(log n) amortised instead of a full scan per
+admission.  Admissions, rejections, and evictions emit trace events
+through the optional ``obs`` instrumentation (eviction events carry fee,
+age, and sender — the paper's transparency requirement applied to
+mempool pressure).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InvalidTransactionError
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import SignedTransaction
+from repro.obs.instrument import NULL_OBS, Instrumentation
 
 __all__ = ["Mempool"]
 
@@ -24,14 +33,22 @@ class Mempool:
     capacity:
         Maximum resident transactions; admission beyond this evicts the
         cheapest entry (or rejects the newcomer if it is the cheapest).
+    obs:
+        Optional observability instrumentation; when omitted the pool
+        stays dark (null instrumentation).
     """
 
-    def __init__(self, capacity: int = 10_000):
+    def __init__(self, capacity: int = 10_000, obs: Optional[Instrumentation] = None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
         self._by_id: Dict[str, SignedTransaction] = {}
         self._by_sender: Dict[str, List[SignedTransaction]] = {}
+        # Min-heap of (fee, tx_id); entries whose tx_id is no longer
+        # resident are stale and skipped on pop (lazy deletion).
+        self._fee_heap: List[Tuple[int, str]] = []
+        self._admitted_at: Dict[str, float] = {}
+        self._obs = obs if obs is not None else NULL_OBS
         self.rejected_count = 0
         self.evicted_count = 0
 
@@ -44,40 +61,101 @@ class Mempool:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def submit(self, stx: SignedTransaction, state: Optional[LedgerState] = None) -> bool:
+    def submit(
+        self,
+        stx: SignedTransaction,
+        state: Optional[LedgerState] = None,
+        time: Optional[float] = None,
+    ) -> bool:
         """Admit ``stx`` if valid and not a duplicate.
 
         If ``state`` is provided, stale nonces (already consumed on
-        chain) are rejected at admission.  Returns True on admission.
+        chain) are rejected at admission.  ``time`` (simulated) stamps
+        the admission for eviction-age accounting and trace events.
+        Returns True on admission.
         """
         if stx.tx_id in self._by_id:
-            self.rejected_count += 1
-            return False
+            return self._reject(stx, "duplicate", time)
         if not stx.verify():
-            self.rejected_count += 1
-            return False
+            return self._reject(stx, "bad-signature", time)
         if state is not None and stx.tx.nonce < state.nonce_of(stx.tx.sender):
-            self.rejected_count += 1
-            return False
-        if len(self._by_id) >= self._capacity and not self._evict_for(stx):
-            self.rejected_count += 1
-            return False
+            return self._reject(stx, "stale-nonce", time)
+        if len(self._by_id) >= self._capacity and not self._evict_for(stx, time):
+            return self._reject(stx, "full-pool-fee-too-low", time)
         self._by_id[stx.tx_id] = stx
         self._by_sender.setdefault(stx.tx.sender, []).append(stx)
         self._by_sender[stx.tx.sender].sort(key=lambda s: s.tx.nonce)
+        heapq.heappush(self._fee_heap, (stx.tx.fee, stx.tx_id))
+        if time is not None:
+            self._admitted_at[stx.tx_id] = float(time)
+        self._obs.counter("ledger.mempool.admitted").inc()
+        self._obs.event(
+            "ledger.mempool",
+            "tx.admitted",
+            time=time,
+            tx_id=stx.tx_id,
+            sender=stx.tx.sender,
+            fee=stx.tx.fee,
+        )
         return True
 
-    def _evict_for(self, newcomer: SignedTransaction) -> bool:
+    def _reject(
+        self, stx: SignedTransaction, reason: str, time: Optional[float]
+    ) -> bool:
+        self.rejected_count += 1
+        self._obs.counter("ledger.mempool.rejected").inc()
+        self._obs.event(
+            "ledger.mempool",
+            "tx.rejected",
+            time=time,
+            tx_id=stx.tx_id,
+            sender=stx.tx.sender,
+            fee=stx.tx.fee,
+            reason=reason,
+        )
+        return False
+
+    def _cheapest_resident(self) -> Optional[SignedTransaction]:
+        """Lowest-(fee, tx_id) resident via the heap (lazy deletion)."""
+        while self._fee_heap:
+            fee, tx_id = self._fee_heap[0]
+            resident = self._by_id.get(tx_id)
+            if resident is not None and resident.tx.fee == fee:
+                return resident
+            heapq.heappop(self._fee_heap)  # stale: evicted/pruned earlier
+        return None
+
+    def _evict_for(
+        self, newcomer: SignedTransaction, time: Optional[float] = None
+    ) -> bool:
         """Evict the cheapest resident if the newcomer pays more."""
-        cheapest = min(self._by_id.values(), key=lambda s: (s.tx.fee, s.tx_id))
-        if cheapest.tx.fee >= newcomer.tx.fee:
+        cheapest = self._cheapest_resident()
+        if cheapest is None or cheapest.tx.fee >= newcomer.tx.fee:
             return False
+        admitted_at = self._admitted_at.get(cheapest.tx_id)
+        age = (
+            float(time) - admitted_at
+            if time is not None and admitted_at is not None
+            else None
+        )
         self._remove(cheapest.tx_id)
         self.evicted_count += 1
+        self._obs.counter("ledger.mempool.evicted").inc()
+        self._obs.event(
+            "ledger.mempool",
+            "tx.evicted",
+            time=time,
+            tx_id=cheapest.tx_id,
+            sender=cheapest.tx.sender,
+            fee=cheapest.tx.fee,
+            age=age,
+            displaced_by=newcomer.tx_id,
+        )
         return True
 
     def _remove(self, tx_id: str) -> None:
         stx = self._by_id.pop(tx_id)
+        self._admitted_at.pop(tx_id, None)
         sender_list = self._by_sender.get(stx.tx.sender, [])
         self._by_sender[stx.tx.sender] = [s for s in sender_list if s.tx_id != tx_id]
         if not self._by_sender[stx.tx.sender]:
@@ -138,6 +216,7 @@ class Mempool:
         touched_senders = set()
         for tx_id in targets:
             stx = self._by_id.pop(tx_id)
+            self._admitted_at.pop(tx_id, None)
             touched_senders.add(stx.tx.sender)
         for sender in touched_senders:
             remaining = [

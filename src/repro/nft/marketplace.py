@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import MarketError, MintingError
 from repro.nft.policies import MintingPolicy, OpenMinting
 from repro.nft.token import NFTCollection, NFToken
+from repro.obs.instrument import NULL_OBS, Instrumentation
 from repro.reputation.system import ReputationSystem
 
 __all__ = ["Listing", "Sale", "ScamReport", "NFTMarketplace"]
@@ -77,6 +78,9 @@ class NFTMarketplace:
         Platform cut of every sale.
     fee_sink:
         Callback receiving platform fees (e.g. ``treasury.deposit``).
+    obs:
+        Optional observability instrumentation; mints, listings, sale
+        settlements, and scam reports emit spans and events.
     """
 
     def __init__(
@@ -86,6 +90,7 @@ class NFTMarketplace:
         reputation: Optional[ReputationSystem] = None,
         fee_fraction: float = 0.02,
         fee_sink: Optional[Callable[[float], None]] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         if not 0 <= fee_fraction <= 0.2:
             raise MarketError(
@@ -96,6 +101,7 @@ class NFTMarketplace:
         self.reputation = reputation
         self._fee_fraction = fee_fraction
         self._fee_sink = fee_sink
+        self._obs = obs if obs is not None else NULL_OBS
         self._balances: Dict[str, float] = {}
         self._listings: Dict[int, Listing] = {}
         self._listing_counter = itertools.count()
@@ -127,7 +133,7 @@ class NFTMarketplace:
     ) -> NFToken:
         """Mint under the active policy (raises MintingError on refusal)."""
         self.policy.check(creator)
-        return self.collection.mint(
+        token = self.collection.mint(
             creator=creator,
             uri=uri,
             time=time,
@@ -135,6 +141,15 @@ class NFTMarketplace:
             is_scam=is_scam,
             royalty_fraction=royalty_fraction,
         )
+        self._obs.counter("nft.market.mints").inc()
+        self._obs.event(
+            "nft.market",
+            "token.minted",
+            time=time,
+            token_id=token.token_id,
+            creator=creator,
+        )
+        return token
 
     def list_token(self, seller: str, token_id: str, price: float, time: float) -> Listing:
         """Offer an owned token for sale at ``price``."""
@@ -154,6 +169,16 @@ class NFTMarketplace:
             listed_at=time,
         )
         self._listings[listing.listing_id] = listing
+        self._obs.counter("nft.market.listings").inc()
+        self._obs.event(
+            "nft.market",
+            "token.listed",
+            time=time,
+            listing_id=listing.listing_id,
+            token_id=token_id,
+            seller=seller,
+            price=price,
+        )
         return listing
 
     def delist(self, listing_id: int) -> None:
@@ -185,35 +210,48 @@ class NFTMarketplace:
                 f"{buyer} holds {self.balance_of(buyer):g}, "
                 f"needs {listing.price:g}"
             )
-        token = self.collection.token(listing.token_id)
-        is_secondary = listing.seller != token.creator
-        royalty = token.royalty_fraction * listing.price if is_secondary else 0.0
-        fee = self._fee_fraction * listing.price
-        seller_take = listing.price - royalty - fee
-
-        self._balances[buyer] -= listing.price
-        self._balances[listing.seller] = self.balance_of(listing.seller) + seller_take
-        if royalty > 0:
-            self._balances[token.creator] = self.balance_of(token.creator) + royalty
-        if self._fee_sink is not None:
-            self._fee_sink(fee)
-        else:
-            self._balances["__platform__"] = self.balance_of("__platform__") + fee
-
-        self.collection.transfer(
-            listing.token_id, listing.seller, buyer, time, price=listing.price
-        )
-        listing.active = False
-        sale = Sale(
-            token_id=listing.token_id,
-            seller=listing.seller,
-            buyer=buyer,
-            price=listing.price,
-            royalty_paid=royalty,
-            fee_paid=fee,
+        with self._obs.span(
+            "nft.market",
+            "sale.settle",
             time=time,
-        )
-        self.sales.append(sale)
+            token_id=listing.token_id,
+            buyer=buyer,
+            seller=listing.seller,
+            price=listing.price,
+        ):
+            token = self.collection.token(listing.token_id)
+            is_secondary = listing.seller != token.creator
+            royalty = token.royalty_fraction * listing.price if is_secondary else 0.0
+            fee = self._fee_fraction * listing.price
+            seller_take = listing.price - royalty - fee
+
+            self._balances[buyer] -= listing.price
+            self._balances[listing.seller] = (
+                self.balance_of(listing.seller) + seller_take
+            )
+            if royalty > 0:
+                self._balances[token.creator] = self.balance_of(token.creator) + royalty
+            if self._fee_sink is not None:
+                self._fee_sink(fee)
+            else:
+                self._balances["__platform__"] = self.balance_of("__platform__") + fee
+
+            self.collection.transfer(
+                listing.token_id, listing.seller, buyer, time, price=listing.price
+            )
+            listing.active = False
+            sale = Sale(
+                token_id=listing.token_id,
+                seller=listing.seller,
+                buyer=buyer,
+                price=listing.price,
+                royalty_paid=royalty,
+                fee_paid=fee,
+                time=time,
+            )
+            self.sales.append(sale)
+            self._obs.counter("nft.market.sales").inc()
+            self._obs.histogram("nft.market.sale_price").observe(listing.price)
         return sale
 
     # ------------------------------------------------------------------
@@ -235,6 +273,15 @@ class NFTMarketplace:
             time=time,
         )
         self.scam_reports.append(report)
+        self._obs.counter("nft.market.scam_reports").inc()
+        self._obs.event(
+            "nft.market",
+            "scam.reported",
+            time=time,
+            token_id=token_id,
+            reporter=reporter,
+            creator=token.creator,
+        )
         if self.reputation is not None and reporter != token.creator:
             self.reputation.record(
                 rater=reporter,

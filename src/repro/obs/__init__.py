@@ -1,0 +1,45 @@
+"""``repro.obs``: the unified observability layer.
+
+Causal spans over the trace log (:mod:`repro.obs.spans`), the
+instrumentation facade substrates are wired with
+(:mod:`repro.obs.instrument`), and exporters — JSONL traces,
+Prometheus-style metrics text, and the per-module transparency report
+(:mod:`repro.obs.exporters`).
+
+The paper's §IV-C requires that "all the active parts of the metaverse
+(including code) should be transparent and understandable to any
+platform member"; this package is how the reproduction meets that: every
+substrate emits spans and metrics through one shared pipeline, and every
+export is deterministic for a seeded run.
+"""
+
+from repro.obs.exporters import (
+    SpanNode,
+    export_trace_jsonl,
+    hot_handlers_report,
+    load_trace_jsonl,
+    prometheus_text,
+    span_forest,
+    trace_to_jsonl,
+    transparency_report,
+)
+from repro.obs.instrument import NULL_OBS, Instrumentation, NullInstrumentation
+from repro.obs.spans import SPAN_KIND, Span, SpanContext, Tracer
+
+__all__ = [
+    "SPAN_KIND",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_OBS",
+    "SpanNode",
+    "span_forest",
+    "trace_to_jsonl",
+    "export_trace_jsonl",
+    "load_trace_jsonl",
+    "prometheus_text",
+    "transparency_report",
+    "hot_handlers_report",
+]

@@ -1,0 +1,184 @@
+"""The instrumentation facade substrates are wired with.
+
+Every substrate (ledger, DAO, moderation, privacy pipeline, NFT market)
+accepts an optional ``obs`` argument.  When the framework passes a real
+:class:`Instrumentation`, the substrate emits causal spans, trace
+events, and metrics into the platform-shared :class:`TraceLog` /
+:class:`MetricsRegistry`.  When nothing is passed, the module-level
+:data:`NULL_OBS` singleton absorbs every call at near-zero cost, so
+standalone substrate use (tests, benchmarks, examples) stays dark and
+fast by default while a wired platform is transparent by default.
+
+Events emitted through :meth:`Instrumentation.event` automatically carry
+the active span's id (``span_id`` payload key), which is how flat events
+attach to causal trees during reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.spans import Span, Tracer
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.tracing import TraceLog
+
+__all__ = [
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_OBS",
+]
+
+
+class Instrumentation:
+    """Bundles a trace log, a metrics registry, and a tracer.
+
+    Parameters
+    ----------
+    trace:
+        Shared structured log (a fresh one if omitted).
+    metrics:
+        Shared metrics registry (a fresh one if omitted).
+    clock:
+        Zero-argument callable returning current simulated time.
+        Substrate calls that know their simulated time pass it
+        explicitly; the clock is the fallback.
+    run_id:
+        Deterministic namespace for span ids (derive from the seed).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace: Optional[TraceLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+        run_id: str = "run",
+    ):
+        self.trace = trace if trace is not None else TraceLog()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.tracer = Tracer(self.trace, clock=self.clock, run_id=run_id)
+
+    # ------------------------------------------------------------------
+    # Spans and events
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        source: str,
+        name: str,
+        time: Optional[float] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a causal span (context manager); children nest under it."""
+        return self.tracer.span(source, name, time=time, **attributes)
+
+    def event(
+        self,
+        source: str,
+        kind: str,
+        time: Optional[float] = None,
+        **payload: Any,
+    ) -> None:
+        """Emit one flat trace event, stamped with the active span id."""
+        span_id = self.tracer.current_span_id
+        if span_id is not None and "span_id" not in payload:
+            payload["span_id"] = span_id
+        when = float(time) if time is not None else float(self.clock())
+        self.trace.emit(when, source, kind, **payload)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.metrics.histogram(name)
+
+
+class _NullSpan:
+    """Reusable no-op span: context manager + attribute sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+
+class _NullMetric:
+    """Absorbs counter/gauge/histogram writes."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_METRIC = _NullMetric()
+
+
+class NullInstrumentation:
+    """Do-nothing stand-in with the :class:`Instrumentation` surface.
+
+    Substrates hold ``self._obs = obs if obs is not None else NULL_OBS``
+    and call it unconditionally; the null object keeps the hot paths
+    branch-free and allocation-free when observability is off.
+    """
+
+    enabled = False
+    trace = None
+    metrics = None
+    tracer = None
+
+    def span(
+        self,
+        source: str,
+        name: str,
+        time: Optional[float] = None,
+        **attributes: Any,
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(
+        self,
+        source: str,
+        kind: str,
+        time: Optional[float] = None,
+        **payload: Any,
+    ) -> None:
+        pass
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+
+NULL_OBS = NullInstrumentation()

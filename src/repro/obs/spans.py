@@ -1,0 +1,237 @@
+"""Causal spans over the structured trace log.
+
+The paper's §IV-C transparency requirement ("all the active parts of the
+metaverse (including code) should be transparent and understandable to
+any platform member") needs more than flat event records: an auditor
+following a DAO proposal must see the whole causal chain — voting →
+treasury → ledger transaction → block inclusion — as one tree.  This
+module layers OpenTelemetry-style spans on :class:`repro.sim.TraceLog`.
+
+Determinism contract
+--------------------
+Span ids are derived from ``sha256(run_id : start_time : sequence)``
+truncated to 16 hex characters.  The sequence is a per-:class:`Tracer`
+counter and ``start_time`` is *simulated* time, so two runs of the same
+seeded scenario produce byte-identical span ids — no wall clock, no
+process state, no randomness.  (Wall-clock measurements belong to the
+engine profiler, which is deliberately kept out of the trace log.)
+
+A span is recorded as **one** trace record at the moment it ends
+(``kind="span"``), carrying its id, parent id, trace (root) id, name,
+start/end simulated times, status, and free-form attributes.  Tree
+reconstruction therefore needs only the exported records — see
+:func:`repro.obs.exporters.span_forest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.tracing import TraceLog
+
+__all__ = ["SpanContext", "Span", "Tracer", "SPAN_KIND"]
+
+# The trace-record kind under which finished spans are emitted.
+SPAN_KIND = "span"
+
+
+def _derive_span_id(run_id: str, start_time: float, seq: int) -> str:
+    digest = hashlib.sha256(
+        f"{run_id}:{start_time!r}:{seq}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Identity of one span within a trace tree.
+
+    ``trace_id`` is the span id of the tree's root, so every span of one
+    causal tree shares it and grouping exported records by tree is a
+    single dict pass.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+
+class Span:
+    """One timed, attributed unit of work.
+
+    Spans are context managers; entering pushes the span onto its
+    tracer's stack (so nested work becomes children) and exiting emits
+    the span record.  An exception escaping the body marks the span
+    ``status="error"`` and re-raises.
+    """
+
+    __slots__ = (
+        "context",
+        "source",
+        "name",
+        "start_time",
+        "end_time",
+        "status",
+        "attributes",
+        "_tracer",
+        "_ended",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        context: SpanContext,
+        source: str,
+        name: str,
+        start_time: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.context = context
+        self.source = source
+        self.name = name
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.status = "ok"
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self._tracer = tracer
+        self._ended = False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on the span."""
+        self.attributes[key] = value
+
+    def set_status(self, status: str) -> None:
+        self.status = status
+
+    # ------------------------------------------------------------------
+    # Context-manager protocol
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault("error_type", exc_type.__name__)
+        self._tracer._pop(self)
+        return False  # never swallow
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Span({self.source}/{self.name}, id={self.context.span_id}, "
+            f"parent={self.context.parent_id})"
+        )
+
+
+class Tracer:
+    """Creates spans with deterministic ids and parent/child linkage.
+
+    The tracer keeps a stack of active spans; a span opened while
+    another is active becomes its child.  Spans opened with no active
+    parent are roots — each root is one causal tree in the export.
+
+    Parameters
+    ----------
+    trace:
+        The :class:`TraceLog` finished spans are emitted into.
+    clock:
+        Zero-argument callable returning current *simulated* time; used
+        when a span is opened or closed without an explicit time.
+    run_id:
+        Namespace mixed into span ids so concurrent platforms federated
+        over one log stay distinguishable.  Must itself be derived from
+        the seed (never from wall clock) to preserve determinism.
+    """
+
+    def __init__(
+        self,
+        trace: TraceLog,
+        clock: Optional[Callable[[], float]] = None,
+        run_id: str = "run",
+    ):
+        self.trace = trace
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._run_id = str(run_id)
+        self._seq = itertools.count()
+        self._stack: List[Span] = []
+        self.started_count = 0
+        self.finished_count = 0
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        source: str,
+        name: str,
+        time: Optional[float] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span (use as a context manager).
+
+        ``time`` overrides the clock for the start timestamp — substrate
+        methods that receive an explicit simulated time should pass it.
+        """
+        start = float(time) if time is not None else float(self._clock())
+        span_id = _derive_span_id(self._run_id, start, next(self._seq))
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            context = SpanContext(
+                trace_id=parent.context.trace_id,
+                span_id=span_id,
+                parent_id=parent.context.span_id,
+            )
+        else:
+            context = SpanContext(trace_id=span_id, span_id=span_id)
+        self.started_count += 1
+        return Span(self, context, source, name, start, attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost active span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        return self._stack[-1].context.span_id if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Stack management (called by Span.__enter__/__exit__)
+    # ------------------------------------------------------------------
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (generators, exceptions): unwind to
+        # the span being closed rather than corrupting the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self._emit(span)
+
+    def _emit(self, span: Span) -> None:
+        if span._ended:
+            return
+        span._ended = True
+        span.end_time = float(self._clock())
+        if span.end_time < span.start_time:
+            span.end_time = span.start_time
+        self.finished_count += 1
+        self.trace.emit(
+            span.start_time,
+            span.source,
+            SPAN_KIND,
+            span_id=span.context.span_id,
+            parent_id=span.context.parent_id,
+            trace_id=span.context.trace_id,
+            name=span.name,
+            start=span.start_time,
+            end=span.end_time,
+            status=span.status,
+            attributes=dict(span.attributes),
+        )

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConsentError, PrivacyBudgetExceeded, PrivacyError
+from repro.obs.instrument import NULL_OBS, Instrumentation
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.consent import ConsentRegistry, DisclosureIndicator
 from repro.privacy.pets import PET, Passthrough
@@ -68,6 +69,10 @@ class PrivacyPipeline:
         Called once per *released* frame — wire this to
         :meth:`repro.ledger.audit.DataCollectionAuditor.register_activity`
         for on-chain registration.
+    obs:
+        Optional observability instrumentation; every ingest becomes a
+        span (sensor read → PET transform → release) with the outcome
+        as an attribute, and budget charges emit spend events.
     """
 
     def __init__(
@@ -76,11 +81,13 @@ class PrivacyPipeline:
         budget: Optional[PrivacyBudget] = None,
         indicator: Optional[DisclosureIndicator] = None,
         audit_hook: Optional[AuditHook] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.consent = consent if consent is not None else ConsentRegistry()
         self.budget = budget if budget is not None else PrivacyBudget(default_cap=1e9)
         self.indicator = indicator if indicator is not None else DisclosureIndicator()
         self._audit_hook = audit_hook
+        self._obs = obs if obs is not None else NULL_OBS
         self._pets: Dict[str, PET] = {}
         self._consumers: Dict[str, List[FrameConsumer]] = {}
         self.stats = PipelineStats()
@@ -112,13 +119,26 @@ class PrivacyPipeline:
         operation of a privacy layer; programming errors still raise.
         """
         self.stats.offered += 1
+        with self._obs.span(
+            "privacy.pipeline",
+            "frame.ingest",
+            time=frame.time,
+            channel=frame.channel,
+            subject=frame.subject,
+        ) as span:
+            result, outcome = self._run_stages(frame)
+            span.set_attribute("outcome", outcome)
+            self._obs.counter(f"privacy.pipeline.{outcome}").inc()
+        return result
 
+    def _run_stages(self, frame: SensorFrame) -> tuple:
+        """The four pipeline stages; returns ``(released_frame, outcome)``."""
         # Stage 1: consent gate.
         try:
             self.consent.check(frame.subject, frame.channel)
         except ConsentError:
             self.stats.blocked_consent += 1
-            return None
+            return None, "blocked_consent"
         sanitized_input = self._scrub_bystanders(frame)
 
         # Stage 2: PET.
@@ -126,7 +146,7 @@ class PrivacyPipeline:
         protected = pet.apply(sanitized_input)
         if protected is None:
             self.stats.suppressed += 1
-            return None
+            return None, "suppressed"
 
         # Stage 3: budget.
         if pet.epsilon > 0:
@@ -136,7 +156,25 @@ class PrivacyPipeline:
                 )
             except PrivacyBudgetExceeded:
                 self.stats.blocked_budget += 1
-                return None
+                self._obs.event(
+                    "privacy.pipeline",
+                    "budget.exhausted",
+                    time=frame.time,
+                    subject=frame.subject,
+                    channel=frame.channel,
+                    epsilon=pet.epsilon,
+                )
+                return None, "blocked_budget"
+            self._obs.histogram("privacy.pipeline.epsilon_spent").observe(pet.epsilon)
+            self._obs.event(
+                "privacy.pipeline",
+                "budget.spend",
+                time=frame.time,
+                subject=frame.subject,
+                channel=frame.channel,
+                epsilon=pet.epsilon,
+                remaining=self.budget.remaining(frame.subject),
+            )
 
         # Stage 4: disclosure + audit + delivery.
         self.indicator.collection_started(frame.channel, frame.time)
@@ -148,7 +186,15 @@ class PrivacyPipeline:
         finally:
             self.indicator.collection_stopped(frame.channel, frame.time)
         self.stats.released += 1
-        return protected
+        self._obs.event(
+            "privacy.pipeline",
+            "frame.released",
+            time=frame.time,
+            subject=frame.subject,
+            channel=frame.channel,
+            pet=pet.name,
+        )
+        return protected, "released"
 
     def ingest_all(self, frames: List[SensorFrame]) -> List[SensorFrame]:
         """Ingest a batch; returns only the released frames."""

@@ -19,9 +19,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
+from repro.sim.metrics import Histogram
 
 __all__ = ["Event", "Simulator"]
 
@@ -89,7 +91,7 @@ class Simulator:
     # ones and there are enough of them to be worth the O(n) rebuild.
     _COMPACT_MIN_STALE = 64
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, profile: bool = False):
         self._now = float(start_time)
         self._queue: List[_QueueEntry] = []
         self._seq = itertools.count()
@@ -98,6 +100,12 @@ class Simulator:
         self._pending = 0  # queued entries whose event is not cancelled
         self._stale = 0  # queued entries whose event *is* cancelled
         self._tick_hooks: List[Callable[[float], None]] = []
+        # Profiling: wall-clock per-callback-name histograms.  Kept in
+        # engine-private storage (never the shared metrics registry or
+        # the trace log) so seeded runs stay byte-identical regardless
+        # of whether profiling is on.
+        self._profile_enabled = bool(profile)
+        self._profile: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # Clock
@@ -244,7 +252,19 @@ class Simulator:
     # ------------------------------------------------------------------
     def _fire(self, event: Event) -> None:
         self._fired_count += 1
-        event.callback()
+        if self._profile_enabled:
+            t0 = perf_counter()
+            event.callback()
+            elapsed = perf_counter() - t0
+            name = event.name or getattr(
+                event.callback, "__qualname__", "<anonymous>"
+            )
+            hist = self._profile.get(name)
+            if hist is None:
+                hist = self._profile[name] = Histogram(name)
+            hist.observe(elapsed)
+        else:
+            event.callback()
         if event.interval is not None and not event.cancelled:
             event.time = self._now + event.interval
             self._push(event)
@@ -276,6 +296,49 @@ class Simulator:
         self._queue = live
         heapq.heapify(self._queue)
         self._stale = 0
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiling_enabled(self) -> bool:
+        return self._profile_enabled
+
+    def enable_profiling(self) -> None:
+        """Start timing every event callback (wall clock) into
+        per-callback-name histograms.  Timestamps in reports stay
+        simulated; only durations are wall-measured."""
+        self._profile_enabled = True
+
+    def disable_profiling(self) -> None:
+        self._profile_enabled = False
+
+    def profile_histograms(self) -> Dict[str, Histogram]:
+        """Per-callback-name wall-time histograms (live objects)."""
+        return dict(self._profile)
+
+    def hottest_handlers(self, top_n: int = 10) -> List[Dict[str, Any]]:
+        """The top-N event handlers by total wall time spent.
+
+        Each entry: ``name``, ``count``, ``total_seconds``,
+        ``mean_seconds``, ``p95_seconds``, ``max_seconds``.  Ties break
+        by name so the ordering is stable.
+        """
+        if top_n <= 0:
+            return []
+        rows = [
+            {
+                "name": name,
+                "count": hist.count,
+                "total_seconds": hist.total,
+                "mean_seconds": hist.mean,
+                "p95_seconds": hist.percentile(95),
+                "max_seconds": hist.maximum,
+            }
+            for name, hist in self._profile.items()
+        ]
+        rows.sort(key=lambda r: (-r["total_seconds"], r["name"]))
+        return rows[:top_n]
 
     def snapshot(self) -> Dict[str, Any]:
         """Return a summary of engine state (for traces and debugging)."""

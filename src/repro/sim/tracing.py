@@ -9,12 +9,32 @@ substrate can append structured records, and auditors (see
 Records are plain dicts with a mandatory ``(time, source, kind)`` triple;
 payload keys are free-form.  The log preserves append order, which equals
 simulated-time order because the engine is single-threaded.
+
+Queries are index-accelerated: the log maintains a ``(source, kind)``
+inverted index, so ``query(source=..., kind=...)`` touches only the
+matching records and ``count`` with pure source/kind filters is O(1)
+amortised — auditors polling every tick no longer make the run
+quadratic.  Index maintenance under the capacity bound is lazy: evicted
+records are dropped from the per-key deques the next time the key is
+touched, keeping ``emit`` O(1).
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 __all__ = ["TraceRecord", "TraceLog"]
 
@@ -44,8 +64,13 @@ class TraceRecord:
         return True
 
 
+# Keep at most this many subscriber exceptions for post-mortems; beyond
+# it only the error counter keeps growing.
+_MAX_SUBSCRIBER_ERRORS = 100
+
+
 class TraceLog:
-    """Append-only structured log with query helpers.
+    """Append-only structured log with indexed query helpers.
 
     Examples
     --------
@@ -62,23 +87,107 @@ class TraceLog:
         self._capacity = capacity
         self._dropped = 0
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self._subscriber_errors: List[Tuple[str, Exception]] = []
+        self.subscriber_error_count = 0
+        # (source, kind) inverted index.  Each deque holds (seq, record)
+        # in append order; seq is a dense global counter, so entries
+        # evicted by the capacity bound are exactly those with
+        # seq < _min_seq and can be pruned lazily from the left.
+        self._by_pair: Dict[Tuple[str, str], Deque[Tuple[int, TraceRecord]]] = {}
+        self._kinds_by_source: Dict[str, Set[str]] = {}
+        self._sources_by_kind: Dict[str, Set[str]] = {}
+        self._next_seq = 0
+        self._min_seq = 0
 
     def emit(self, time: float, source: str, kind: str, **payload: Any) -> TraceRecord:
-        """Append a record and notify subscribers."""
+        """Append a record, index it, and notify subscribers.
+
+        Subscriber exceptions are isolated per subscriber: one raising
+        callback never prevents delivery to the rest or aborts the emit.
+        Errors are collected (see :attr:`subscriber_errors`).
+        """
         record = TraceRecord(time=float(time), source=source, kind=kind, payload=payload)
         self._records.append(record)
+        key = (source, kind)
+        bucket = self._by_pair.get(key)
+        if bucket is None:
+            bucket = self._by_pair[key] = deque()
+            self._kinds_by_source.setdefault(source, set()).add(kind)
+            self._sources_by_kind.setdefault(kind, set()).add(source)
+        bucket.append((self._next_seq, record))
+        self._next_seq += 1
         if self._capacity is not None and len(self._records) > self._capacity:
             overflow = len(self._records) - self._capacity
             del self._records[:overflow]
             self._dropped += overflow
+            self._min_seq = self._next_seq - len(self._records)
         for subscriber in self._subscribers:
-            subscriber(record)
+            try:
+                subscriber(record)
+            except Exception as exc:  # noqa: BLE001 - deliberate isolation
+                self.subscriber_error_count += 1
+                if len(self._subscriber_errors) < _MAX_SUBSCRIBER_ERRORS:
+                    name = getattr(subscriber, "__qualname__", repr(subscriber))
+                    self._subscriber_errors.append((name, exc))
         return record
 
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback`` for every future record."""
         self._subscribers.append(callback)
 
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> bool:
+        """Stop delivering to ``callback``; True if it was subscribed."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def subscriber_errors(self) -> List[Tuple[str, Exception]]:
+        """Collected ``(subscriber_name, exception)`` pairs (bounded)."""
+        return list(self._subscriber_errors)
+
+    # ------------------------------------------------------------------
+    # Index internals
+    # ------------------------------------------------------------------
+    def _pruned(self, key: Tuple[str, str]) -> Deque[Tuple[int, TraceRecord]]:
+        """The key's deque with capacity-evicted entries dropped."""
+        bucket = self._by_pair.get(key)
+        if bucket is None:
+            return deque()
+        while bucket and bucket[0][0] < self._min_seq:
+            bucket.popleft()
+        return bucket
+
+    def _candidates(
+        self, source: Optional[str], kind: Optional[str]
+    ) -> Iterator[TraceRecord]:
+        """Records matching the source/kind filters, in append order."""
+        if source is not None and kind is not None:
+            for _, record in tuple(self._pruned((source, kind))):
+                yield record
+            return
+        if source is not None:
+            kinds = sorted(self._kinds_by_source.get(source, ()))
+            buckets = [tuple(self._pruned((source, k))) for k in kinds]
+        else:
+            assert kind is not None
+            sources = sorted(self._sources_by_kind.get(kind, ()))
+            buckets = [tuple(self._pruned((s, kind))) for s in sources]
+        if len(buckets) == 1:
+            for _, record in buckets[0]:
+                yield record
+            return
+        for _, record in heapq.merge(*buckets, key=lambda e: e[0]):
+            yield record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def query(
         self,
         source: Optional[str] = None,
@@ -87,17 +196,48 @@ class TraceLog:
         until: Optional[float] = None,
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
     ) -> Iterator[TraceRecord]:
-        """Yield records matching all the given filters, in append order."""
-        for record in self._records:
+        """Yield records matching all the given filters, in append order.
+
+        Source/kind filters resolve through the inverted index; time
+        windows and predicates then filter only the indexed candidates.
+        """
+        if source is None and kind is None:
+            candidates: Iterator[TraceRecord] = iter(self._records)
+        else:
+            candidates = self._candidates(source, kind)
+        for record in candidates:
             if since is not None and record.time < since:
                 continue
             if until is not None and record.time > until:
                 continue
-            if record.matches(source=source, kind=kind, predicate=predicate):
-                yield record
+            if predicate is not None and not predicate(record):
+                continue
+            yield record
 
     def count(self, **filters: Any) -> int:
-        """Number of records matching :meth:`query` filters."""
+        """Number of records matching :meth:`query` filters.
+
+        With pure source/kind filters (no time window or predicate) the
+        count is read straight off the index — O(1) amortised per call.
+        """
+        if not any(
+            filters.get(name) is not None for name in ("since", "until", "predicate")
+        ):
+            source = filters.get("source")
+            kind = filters.get("kind")
+            if source is not None and kind is not None:
+                return len(self._pruned((source, kind)))
+            if source is not None:
+                return sum(
+                    len(self._pruned((source, k)))
+                    for k in self._kinds_by_source.get(source, ())
+                )
+            if kind is not None:
+                return sum(
+                    len(self._pruned((s, kind)))
+                    for s in self._sources_by_kind.get(kind, ())
+                )
+            return len(self._records)
         return sum(1 for _ in self.query(**filters))
 
     @property

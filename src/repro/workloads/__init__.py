@@ -8,6 +8,11 @@ from repro.workloads.generators import (
     linkage_workload,
     sensor_corpus,
 )
+from repro.workloads.observability import (
+    ObservabilityRunResult,
+    check_observability,
+    run_observability_scenario,
+)
 from repro.workloads.scenarios import (
     GovernanceStressResult,
     MarketSeasonResult,
@@ -26,6 +31,9 @@ __all__ = [
     "sensor_corpus",
     "GovernanceStressResult",
     "MarketSeasonResult",
+    "ObservabilityRunResult",
+    "check_observability",
+    "run_observability_scenario",
     "build_flat_dao",
     "build_modular_federation",
     "run_governance_stress",

@@ -1,0 +1,122 @@
+"""End-to-end observability: the seeded DAO → ledger → moderation →
+privacy scenario exports deterministic, causally-complete traces."""
+
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import MetaverseFramework
+from repro.obs import load_trace_jsonl, span_forest
+from repro.workloads import run_observability_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_observability_scenario(seed=11, n_users=24, epochs=4)
+
+
+@pytest.fixture(scope="module")
+def rerun():
+    return run_observability_scenario(seed=11, n_users=24, epochs=4)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_jsonl(self, result, rerun):
+        assert result.jsonl == rerun.jsonl
+
+    def test_different_seed_differs(self, result):
+        other = run_observability_scenario(seed=12, n_users=24, epochs=4)
+        assert other.jsonl != result.jsonl
+
+
+class TestCausalIntegrity:
+    def test_no_orphans(self, result):
+        assert result.n_orphans == 0
+
+    def test_one_tree_per_root_action(self, result):
+        # One change.propose root plus one epoch root per epoch.
+        assert result.n_roots == 1 + 4
+        assert result.root_names.count("epoch") == 4
+        assert "change.propose" in result.root_names
+
+    def test_trees_reconstruct_from_jsonl(self, result):
+        roots, orphans = span_forest(load_trace_jsonl(result.jsonl))
+        assert orphans == []
+        assert len(roots) == result.n_roots
+        for root in roots:
+            for node in root.walk():
+                assert node.trace_id == root.trace_id
+                for child in node.children:
+                    assert child.parent_id == node.span_id
+
+    def test_substrates_present_in_trees(self, result):
+        roots, _ = span_forest(load_trace_jsonl(result.jsonl))
+        sources = {node.source for root in roots for node in root.walk()}
+        assert "framework" in sources
+        assert "ledger.chain" in sources
+        assert "moderation" in sources
+        assert "privacy.pipeline" in sources
+
+    def test_pipeline_released_and_chain_settled(self, result):
+        assert result.released_frames > 0
+        assert result.chain_height > 0
+        assert result.moderation_cases > 0
+
+
+class TestObservabilityFlag:
+    def test_disabled_platform_emits_no_spans(self):
+        fw = MetaverseFramework(
+            FrameworkConfig(seed=3, n_users=12, enable_observability=False)
+        )
+        fw.run(epochs=2)
+        assert fw.trace.count(kind="span") == 0
+        # Anchors still flow (they predate the obs layer).
+        assert len(fw.trace) > 0
+
+    def test_enabled_is_the_default(self):
+        fw = MetaverseFramework(FrameworkConfig(seed=3, n_users=12))
+        fw.run(epochs=1)
+        assert fw.trace.count(kind="span") > 0
+
+    def test_behavior_identical_with_and_without_obs(self):
+        def scorecard(enable):
+            fw = MetaverseFramework(
+                FrameworkConfig(seed=5, n_users=16, enable_observability=enable)
+            )
+            fw.run(epochs=3)
+            return (
+                fw.chain.height if fw.chain else None,
+                len(fw._all_interactions),
+                fw.ethics_scorecard().overall,
+            )
+
+        assert scorecard(True) == scorecard(False)
+
+
+class TestExports:
+    def test_export_trace_writes_jsonl(self, tmp_path):
+        fw = MetaverseFramework(FrameworkConfig(seed=3, n_users=12))
+        fw.run(epochs=2)
+        path = tmp_path / "trace.jsonl"
+        count = fw.export_trace(path)
+        assert count == len(fw.trace)
+        assert len(load_trace_jsonl(path)) == count
+
+    def test_transparency_report_covers_active_modules(self):
+        fw = MetaverseFramework(FrameworkConfig(seed=3, n_users=12))
+        fw.run(epochs=2)
+        modules = [row["module"] for row in fw.transparency_report().rows]
+        assert "framework" in modules
+        assert "privacy.pipeline" in modules
+
+    def test_prometheus_dump_has_counters(self):
+        fw = MetaverseFramework(FrameworkConfig(seed=3, n_users=12))
+        fw.run(epochs=2)
+        text = fw.prometheus_metrics()
+        assert "_total" in text
+
+    def test_profiled_run_reports_hot_handlers(self):
+        scenario = run_observability_scenario(
+            seed=11, n_users=24, epochs=3, profile=True
+        )
+        assert scenario.hottest
+        assert scenario.hottest[0]["name"] == "framework.run_epoch"

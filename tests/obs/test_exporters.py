@@ -1,0 +1,100 @@
+"""Tests for the exporters: Prometheus text, transparency report,
+hot-handler report."""
+
+import pytest
+
+from repro.obs import (
+    Instrumentation,
+    hot_handlers_report,
+    prometheus_text,
+    transparency_report,
+)
+from repro.sim import MetricsRegistry, Simulator, TraceLog
+
+
+@pytest.fixture
+def obs():
+    return Instrumentation(
+        trace=TraceLog(), metrics=MetricsRegistry(), run_id="t"
+    )
+
+
+class TestPrometheusText:
+    def test_counter_rendered_as_total(self, obs):
+        obs.counter("ledger.blocks").inc(3)
+        text = prometheus_text(obs.metrics)
+        assert 'repro_ledger_blocks_total 3' in text
+
+    def test_gauge_rendered(self, obs):
+        obs.gauge("pool.depth").set(17)
+        assert "repro_pool_depth 17" in prometheus_text(obs.metrics)
+
+    def test_histogram_quantiles_and_count(self, obs):
+        hist = obs.histogram("lat")
+        for v in range(100):
+            hist.observe(float(v))
+        text = prometheus_text(obs.metrics)
+        assert "repro_lat_count 100" in text
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.95"' in text
+
+    def test_type_lines_present(self, obs):
+        obs.counter("a").inc()
+        text = prometheus_text(obs.metrics)
+        assert "# TYPE repro_a_total counter" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()).strip() == ""
+
+
+class TestTransparencyReport:
+    def test_one_row_per_module(self, obs):
+        with obs.span("ledger.chain", "block.produce", time=0.0):
+            pass
+        obs.event("moderation", "case.opened", time=1.0, case_id="c-0")
+        table = transparency_report(obs.trace, obs.metrics)
+        modules = [row["module"] for row in table.rows]
+        assert "ledger.chain" in modules
+        assert "moderation" in modules
+
+    def test_span_and_error_counts(self, obs):
+        with obs.span("m", "ok", time=0.0):
+            pass
+        with pytest.raises(RuntimeError):
+            with obs.span("m", "bad", time=0.0):
+                raise RuntimeError("x")
+        (row,) = [r for r in transparency_report(obs.trace).rows if r["module"] == "m"]
+        assert row["spans"] == 2
+        assert row["error_spans"] == 1
+
+    def test_counter_totals_grouped_by_prefix(self, obs):
+        obs.event("ledger.mempool", "tx.admitted", time=0.0)
+        obs.counter("ledger.mempool.admitted").inc(5)
+        (row,) = [
+            r
+            for r in transparency_report(obs.trace, obs.metrics).rows
+            if r["module"] == "ledger.mempool"
+        ]
+        assert row["counter_total"] == 5
+
+    def test_renders_without_error(self, obs):
+        obs.event("m", "k", time=0.0)
+        assert "module" in transparency_report(obs.trace).render()
+
+
+class TestHotHandlersReport:
+    def test_profiled_handlers_reported(self):
+        sim = Simulator(profile=True)
+        for i in range(5):
+            sim.schedule(float(i), lambda: None, name="noop")
+        sim.run_all()
+        table = hot_handlers_report(sim, top_n=3)
+        (row,) = table.rows
+        assert row["handler"] == "noop"
+        assert row["calls"] == 5
+
+    def test_unprofiled_sim_gives_empty_report(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None, name="noop")
+        sim.run_all()
+        assert hot_handlers_report(sim).rows == []

@@ -1,0 +1,151 @@
+"""Tests for causal spans: identity, nesting, and JSONL round-trips."""
+
+import pytest
+
+from repro.obs import (
+    Instrumentation,
+    Tracer,
+    load_trace_jsonl,
+    span_forest,
+    trace_to_jsonl,
+)
+from repro.obs.spans import _derive_span_id
+from repro.sim import TraceLog
+
+
+@pytest.fixture
+def trace():
+    return TraceLog()
+
+
+@pytest.fixture
+def tracer(trace):
+    return Tracer(trace, run_id="test")
+
+
+class TestSpanIdentity:
+    def test_span_ids_deterministic(self):
+        assert _derive_span_id("r", 1.0, 0) == _derive_span_id("r", 1.0, 0)
+
+    def test_span_ids_distinct_per_seq(self):
+        assert _derive_span_id("r", 1.0, 0) != _derive_span_id("r", 1.0, 1)
+
+    def test_span_ids_namespaced_by_run(self):
+        assert _derive_span_id("a", 1.0, 0) != _derive_span_id("b", 1.0, 0)
+
+    def test_two_tracers_same_inputs_same_ids(self, trace):
+        t1 = Tracer(TraceLog(), run_id="seed-7")
+        t2 = Tracer(TraceLog(), run_id="seed-7")
+        with t1.span("m", "op", time=3.0) as a:
+            pass
+        with t2.span("m", "op", time=3.0) as b:
+            pass
+        assert a.context.span_id == b.context.span_id
+
+
+class TestNesting:
+    def test_child_links_to_parent(self, tracer):
+        with tracer.span("m", "outer", time=0.0) as outer:
+            with tracer.span("m", "inner", time=0.0) as inner:
+                assert inner.context.parent_id == outer.context.span_id
+        assert outer.context.parent_id is None
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("m", "outer", time=0.0) as outer:
+            with tracer.span("m", "a", time=0.0) as a:
+                pass
+            with tracer.span("m", "b", time=1.0) as b:
+                pass
+        assert a.context.parent_id == outer.context.span_id
+        assert b.context.parent_id == outer.context.span_id
+        assert a.context.span_id != b.context.span_id
+
+    def test_trace_id_inherited(self, tracer):
+        with tracer.span("m", "outer", time=0.0) as outer:
+            with tracer.span("m", "inner", time=0.0) as inner:
+                pass
+        assert inner.context.trace_id == outer.context.trace_id
+
+    def test_error_status_recorded(self, tracer, trace):
+        with pytest.raises(ValueError):
+            with tracer.span("m", "bad", time=0.0):
+                raise ValueError("boom")
+        record = trace.records[0]
+        assert record.payload["status"] == "error"
+        assert record.payload["attributes"]["error_type"] == "ValueError"
+
+    def test_current_span_id_tracks_stack(self, tracer):
+        assert tracer.current_span_id is None
+        with tracer.span("m", "outer", time=0.0) as outer:
+            assert tracer.current_span_id == outer.context.span_id
+        assert tracer.current_span_id is None
+
+
+class TestEventAttachment:
+    def test_event_carries_active_span_id(self):
+        obs = Instrumentation(trace=TraceLog(), run_id="t")
+        with obs.span("m", "op", time=0.0) as span:
+            obs.event("m", "tick", time=0.0, n=1)
+        (tick,) = list(obs.trace.query(kind="tick"))
+        assert tick.payload["span_id"] == span.context.span_id
+
+    def test_event_without_span_has_no_span_id(self):
+        obs = Instrumentation(trace=TraceLog(), run_id="t")
+        obs.event("m", "tick", time=0.0, n=1)
+        (tick,) = list(obs.trace.query(kind="tick"))
+        assert "span_id" not in tick.payload
+
+
+class TestJsonlRoundTrip:
+    def _emit_tree(self, obs):
+        with obs.span("m", "root", time=0.0):
+            with obs.span("m", "left", time=0.0):
+                obs.event("m", "leaf-event", time=0.0)
+            with obs.span("m", "right", time=1.0):
+                pass
+
+    def test_forest_reconstructs_after_round_trip(self, tmp_path):
+        obs = Instrumentation(trace=TraceLog(), run_id="t")
+        self._emit_tree(obs)
+        path = tmp_path / "trace.jsonl"
+        assert path.write_text(trace_to_jsonl(obs.trace)) > 0
+        records = load_trace_jsonl(path)
+        roots, orphans = span_forest(records)
+        assert orphans == []
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "root"
+        assert sorted(c.name for c in root.children) == ["left", "right"]
+        (left,) = [c for c in root.children if c.name == "left"]
+        assert [e.kind for e in left.events] == ["leaf-event"]
+
+    def test_round_trip_is_lossless(self, tmp_path):
+        obs = Instrumentation(trace=TraceLog(), run_id="t")
+        self._emit_tree(obs)
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(obs.trace)  # in-memory form
+        from repro.obs import export_trace_jsonl
+
+        export_trace_jsonl(obs.trace, path)
+        reloaded = load_trace_jsonl(path)
+        assert [(r.time, r.source, r.kind) for r in reloaded] == [
+            (r.time, r.source, r.kind) for r in obs.trace.records
+        ]
+
+    def test_multiple_roots_multiple_trees(self):
+        obs = Instrumentation(trace=TraceLog(), run_id="t")
+        for i in range(3):
+            with obs.span("m", f"action-{i}", time=float(i)):
+                with obs.span("m", "child", time=float(i)):
+                    pass
+        roots, orphans = span_forest(obs.trace.records)
+        assert orphans == []
+        assert [r.name for r in roots] == ["action-0", "action-1", "action-2"]
+        assert all(len(r.children) == 1 for r in roots)
+
+    def test_walk_and_size(self):
+        obs = Instrumentation(trace=TraceLog(), run_id="t")
+        self._emit_tree(obs)
+        (root,), _ = span_forest(obs.trace.records)
+        assert root.size() == 3
+        assert len(list(root.walk())) == 3

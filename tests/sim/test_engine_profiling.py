@@ -1,0 +1,100 @@
+"""Engine profiling hooks: per-handler histograms and the top-N report."""
+
+from repro.sim import Simulator
+
+
+def busy(n=200):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestProfilingLifecycle:
+    def test_off_by_default(self):
+        sim = Simulator()
+        assert not sim.profiling_enabled
+        sim.schedule(0.0, lambda: None, name="noop")
+        sim.run_all()
+        assert sim.profile_histograms() == {}
+
+    def test_constructor_flag(self):
+        assert Simulator(profile=True).profiling_enabled
+
+    def test_enable_disable_mid_run(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None, name="before")
+        sim.run_all()
+        sim.enable_profiling()
+        sim.schedule(sim.now + 1.0, lambda: None, name="after")
+        sim.run_all()
+        assert list(sim.profile_histograms()) == ["after"]
+        sim.disable_profiling()
+        assert not sim.profiling_enabled
+
+
+class TestProfileContent:
+    def test_histogram_per_event_name(self):
+        sim = Simulator(profile=True)
+        for i in range(10):
+            sim.schedule(float(i), busy, name="worker")
+        for i in range(5):
+            sim.schedule(float(i) + 0.5, lambda: None, name="idle")
+        sim.run_all()
+        profile = sim.profile_histograms()
+        assert profile["worker"].count == 10
+        assert profile["idle"].count == 5
+        assert profile["worker"].total > 0
+
+    def test_unnamed_events_fall_back_to_qualname(self):
+        sim = Simulator(profile=True)
+        sim.schedule(0.0, busy)
+        sim.run_all()
+        assert "busy" in sim.profile_histograms()
+
+    def test_recurring_events_accumulate(self):
+        sim = Simulator(profile=True)
+        sim.every(1.0, busy, name="tick")
+        sim.run_until(5.0)
+        assert sim.profile_histograms()["tick"].count == 5
+
+
+class TestHottestHandlers:
+    def test_sorted_by_total_time(self):
+        sim = Simulator(profile=True)
+        for i in range(50):
+            sim.schedule(float(i), lambda: busy(500), name="heavy")
+        sim.schedule(0.5, lambda: None, name="light")
+        sim.run_all()
+        rows = sim.hottest_handlers(top_n=10)
+        assert rows[0]["name"] == "heavy"
+        assert rows[0]["count"] == 50
+        assert rows[0]["total_seconds"] >= rows[1]["total_seconds"]
+
+    def test_top_n_truncates(self):
+        sim = Simulator(profile=True)
+        for i in range(6):
+            sim.schedule(float(i), lambda: None, name=f"h{i}")
+        sim.run_all()
+        assert len(sim.hottest_handlers(top_n=3)) == 3
+
+    def test_entries_have_expected_keys(self):
+        sim = Simulator(profile=True)
+        sim.schedule(0.0, busy, name="x")
+        sim.run_all()
+        (row,) = sim.hottest_handlers()
+        assert set(row) == {
+            "name", "count", "total_seconds", "mean_seconds",
+            "p95_seconds", "max_seconds",
+        }
+
+    def test_determinism_unaffected_by_profiling(self):
+        def run(profile):
+            sim = Simulator(profile=profile)
+            fired = []
+            for i in range(20):
+                sim.schedule(float(i % 5), lambda i=i: fired.append(i))
+            sim.run_all()
+            return fired
+
+        assert run(True) == run(False)

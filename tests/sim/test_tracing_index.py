@@ -1,0 +1,167 @@
+"""Indexed TraceLog queries vs a naive scan, plus subscriber safety."""
+
+import random
+
+import pytest
+
+from repro.sim import TraceLog
+from repro.sim.tracing import TraceRecord
+
+
+def naive_query(records, source=None, kind=None, since=None, until=None,
+                predicate=None):
+    """Reference implementation: linear scan with the same filters."""
+    out = []
+    for r in records:
+        if source is not None and r.source != source:
+            continue
+        if kind is not None and r.kind != kind:
+            continue
+        if since is not None and r.time < since:
+            continue
+        if until is not None and r.time > until:
+            continue
+        if predicate is not None and not predicate(r):
+            continue
+        out.append(r)
+    return out
+
+
+SOURCES = ["ledger", "moderation", "privacy", "dao"]
+KINDS = ["event", "span", "anchor"]
+
+
+def random_filters(rng):
+    return {
+        "source": rng.choice(SOURCES + [None, "absent-source"]),
+        "kind": rng.choice(KINDS + [None, "absent-kind"]),
+        "since": rng.choice([None, 5.0, 50.0]),
+        "until": rng.choice([None, 80.0]),
+    }
+
+
+class TestIndexedQueryEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_interleaving_matches_naive(self, seed):
+        rng = random.Random(seed)
+        log = TraceLog()
+        shadow = []  # what a capacity-less log retains
+        for i in range(600):
+            record = log.emit(
+                float(i % 100), rng.choice(SOURCES), rng.choice(KINDS), i=i
+            )
+            shadow.append(record)
+            if rng.random() < 0.3:  # interleave queries with emits
+                filters = random_filters(rng)
+                assert list(log.query(**filters)) == naive_query(
+                    shadow, **filters
+                ), f"filters {filters} diverged at emit {i}"
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_equivalence_under_capacity_eviction(self, seed):
+        rng = random.Random(seed)
+        capacity = 50
+        log = TraceLog(capacity=capacity)
+        shadow = []
+        for i in range(400):
+            record = log.emit(
+                float(i), rng.choice(SOURCES), rng.choice(KINDS), i=i
+            )
+            shadow.append(record)
+            shadow = shadow[-capacity:]
+            if rng.random() < 0.25:
+                filters = random_filters(rng)
+                assert list(log.query(**filters)) == naive_query(
+                    shadow, **filters
+                )
+                assert log.count(
+                    source=filters["source"], kind=filters["kind"]
+                ) == len(
+                    naive_query(
+                        shadow, source=filters["source"], kind=filters["kind"]
+                    )
+                )
+
+    def test_count_fast_path_matches_query(self):
+        log = TraceLog()
+        for i in range(200):
+            log.emit(float(i), SOURCES[i % 3], KINDS[i % 2], i=i)
+        for source in SOURCES + [None]:
+            for kind in KINDS + [None]:
+                assert log.count(source=source, kind=kind) == sum(
+                    1 for _ in log.query(source=source, kind=kind)
+                )
+
+    def test_predicate_filters_apply_after_index(self):
+        log = TraceLog()
+        for i in range(50):
+            log.emit(float(i), "ledger", "event", i=i)
+        even = list(
+            log.query(
+                source="ledger", kind="event",
+                predicate=lambda r: r.payload["i"] % 2 == 0,
+            )
+        )
+        assert len(even) == 25
+
+    def test_query_preserves_append_order_across_kinds(self):
+        log = TraceLog()
+        for i in range(30):
+            log.emit(float(i), "ledger", KINDS[i % 3], i=i)
+        got = [r.payload["i"] for r in log.query(source="ledger")]
+        assert got == sorted(got)
+
+
+class TestSubscriberSafety:
+    def test_raising_subscriber_does_not_block_others(self):
+        log = TraceLog()
+        seen = []
+
+        def bad(record):
+            raise RuntimeError("subscriber bug")
+
+        log.subscribe(bad)
+        log.subscribe(seen.append)
+        record = log.emit(0.0, "m", "k")
+        assert seen == [record]
+        assert log.subscriber_error_count == 1
+
+    def test_emit_returns_record_despite_subscriber_error(self):
+        log = TraceLog()
+        log.subscribe(lambda r: 1 / 0)
+        record = log.emit(1.0, "m", "k")
+        assert isinstance(record, TraceRecord)
+        assert len(log) == 1
+
+    def test_errors_collected_with_names(self):
+        log = TraceLog()
+
+        def noisy_subscriber(record):
+            raise ValueError("oops")
+
+        log.subscribe(noisy_subscriber)
+        log.emit(0.0, "m", "k")
+        ((name, exc),) = log.subscriber_errors
+        assert "noisy_subscriber" in name
+        assert isinstance(exc, ValueError)
+
+    def test_error_collection_bounded(self):
+        log = TraceLog()
+        log.subscribe(lambda r: 1 / 0)
+        for i in range(150):
+            log.emit(float(i), "m", "k")
+        assert log.subscriber_error_count == 150
+        assert len(log.subscriber_errors) == 100
+
+    def test_unsubscribe_stops_delivery(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(0.0, "m", "k")
+        assert log.unsubscribe(seen.append) is True
+        log.emit(1.0, "m", "k")
+        assert len(seen) == 1
+
+    def test_unsubscribe_unknown_returns_false(self):
+        log = TraceLog()
+        assert log.unsubscribe(lambda r: None) is False
