@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-regression bench-baseline obs-check
+.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling obs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,3 +28,15 @@ bench-regression:
 
 bench-baseline:
 	$(PYTHON) -m benchmarks.regression --update-baseline
+
+# Population-scale gate (smoke: 1k/10k tiers, <90s): indexed mempool
+# selection and warm reputation writes must beat the naive references
+# >=3x at the 10k tier; the quantile sketch must stay within its
+# documented rank-error tolerance; each load tier must replay
+# byte-identically.  Full suite (adds the 100k tier):
+#   python -m benchmarks.scaling
+bench-scaling:
+	$(PYTHON) -m benchmarks.scaling --smoke
+
+# Everything a merge must pass, in one target.
+ci: test bench-smoke bench-scaling obs-check

@@ -3,7 +3,9 @@
 Times a fixed set of tracked operations (sim event dispatch with
 observability hooks on, ``Histogram.summary()`` at 10k samples, repeated
 ``EigenTrust.trust_of`` lookups, ledger block appends with and without
-transactions) against the committed baseline in
+transactions, indexed mempool selection, warm reputation writes, cached
+contract dispatch, and sketch-histogram streaming) against the committed
+baseline in
 ``benchmarks/baseline.json`` and fails if any tracked op regresses more
 than the gate threshold (default 25%).
 
@@ -299,6 +301,119 @@ def kernel_sim_profiled_dispatch() -> Tuple[int, float]:
     return n, elapsed
 
 
+def kernel_mempool_indexed_select() -> Tuple[int, float]:
+    """Repeated 200-pick block assembly over a 2000-sender pool.
+
+    The persistent fee/nonce indexes make this ``O(picks log senders)``;
+    a per-pick rescan of every sender would be ~100x slower here and
+    unusable at the 100k tier the scaling suite covers.
+    """
+    from repro.ledger import LedgerState, Mempool
+    from repro.workloads.load import agent_address, synthetic_transfer
+
+    rng = random.Random(SEED)
+    n_senders = 2000
+    state = LedgerState(
+        {agent_address(i): 1_000_000 for i in range(n_senders)}
+    )
+    pool = Mempool(capacity=n_senders * 2 + 1)
+    for i in range(n_senders):
+        sender = agent_address(i)
+        for nonce in range(2):
+            pool.submit(
+                synthetic_transfer(
+                    sender, "ee" * 32, 1, rng.randint(1, 10_000), nonce
+                ),
+                state,
+            )
+    reps = 10
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        picked = pool.select(state, max_count=200)
+    elapsed = time.perf_counter() - t0
+    assert len(picked) == 200
+    return reps * 200, elapsed
+
+
+def kernel_reputation_warm_write() -> Tuple[int, float]:
+    """Rating writes with a fresh trust read after each one.
+
+    The moderation/admission loop at scale: the warm-started sparse
+    solve plus in-place edge updates keep each write-then-read cheap
+    even on a 600-identity graph.
+    """
+    trust, ids = _build_trust_graph(n_ids=600, n_edges=2400)
+    trust.compute()  # prime the warm-start vector
+    rng = random.Random(SEED + 2)
+    reps = 20
+    t0 = time.perf_counter()
+    for i in range(reps):
+        a, b = rng.sample(ids, 2)
+        trust.record_interaction(a, b, rng.uniform(0.1, 1.0))
+        trust.trust_of(ids[i % len(ids)])
+    elapsed = time.perf_counter() - t0
+    return reps, elapsed
+
+
+def kernel_contract_dispatch_cached() -> Tuple[int, float]:
+    """Repeated calls into one contract method through the registry.
+
+    After the first resolution the ``(contract, method)`` dispatch entry
+    and its argument schema are cached; per-call cost must not include
+    re-reflection over ``method_*`` handlers.
+    """
+    from repro.ledger import ContractRegistry, LedgerState, TokenContract
+    from repro.ledger.transactions import Transaction, TxKind
+    from repro.workloads.load import SyntheticSignedTransaction, agent_address
+
+    owner = agent_address(0)
+    registry = ContractRegistry()
+    token = TokenContract(owner=owner)
+    address = registry.deploy(token)
+    state = LedgerState({owner: 1_000})
+    n = 2000
+    calls = [
+        SyntheticSignedTransaction(
+            Transaction(
+                sender=owner,
+                recipient=address,
+                amount=0,
+                fee=0,
+                nonce=i,
+                kind=TxKind.CONTRACT,
+                payload={"method": "balance", "args": {"of": owner}},
+            )
+        )
+        for i in range(n)
+    ]
+    t0 = time.perf_counter()
+    for stx in calls:
+        registry(state, stx)
+    elapsed = time.perf_counter() - t0
+    return n, elapsed
+
+
+def kernel_sketch_observe_summary() -> Tuple[int, float]:
+    """Streaming observes into the bounded sketch with periodic scrapes.
+
+    The sketch backend's contract is O(compression) memory at streaming
+    rates; this bounds the amortised per-observe cost including the
+    compactions and interleaved ``summary()`` renders."""
+    from repro.sim.metrics import SketchHistogram
+
+    rng = random.Random(SEED)
+    sketch = SketchHistogram("bench")
+    n = 50_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        sketch.observe(rng.lognormvariate(0.0, 1.0))
+        if i % 10_000 == 9_999:
+            sketch.summary()
+    elapsed = time.perf_counter() - t0
+    assert sketch.count == n
+    return n, elapsed
+
+
 TRACKED_OPS: Dict[str, Kernel] = {
     "sim_event_throughput_4k": kernel_sim_event_throughput,
     "sim_cancel_churn_3k": kernel_sim_cancel_churn,
@@ -311,6 +426,10 @@ TRACKED_OPS: Dict[str, Kernel] = {
     "trace_span_emit_5k": kernel_trace_span_emit,
     "trace_indexed_query_20k": kernel_trace_indexed_query,
     "sim_profiled_dispatch_4k": kernel_sim_profiled_dispatch,
+    "mempool_indexed_select_2k": kernel_mempool_indexed_select,
+    "reputation_warm_write_600": kernel_reputation_warm_write,
+    "contract_dispatch_cached_2k": kernel_contract_dispatch_cached,
+    "sketch_observe_summary_50k": kernel_sketch_observe_summary,
 }
 
 

@@ -120,7 +120,9 @@ class MetaverseFramework:
         self.simulator = Simulator(profile=config.enable_profiling)
         self.bus = EventBus()
         self.trace = TraceLog()
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(
+            histogram_backend=config.histogram_backend
+        )
         if config.enable_observability:
             self.obs: Instrumentation = Instrumentation(
                 trace=self.trace,
@@ -159,6 +161,7 @@ class MetaverseFramework:
         self.reputation = ReputationSystem(
             pretrusted=["operator"], blend=0.7,
             anchor=self._make_record_anchor("reputation"),
+            obs=self.obs,
         )
 
     def _build_ledger(self) -> None:

@@ -22,8 +22,9 @@ storage dict and the call context — no I/O, no wall clock, no randomness.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ContractError
 from repro.ledger.crypto import sha256
@@ -108,6 +109,56 @@ class SmartContract:
         return result or {}
 
 
+class _DispatchEntry:
+    """Resolved handler plus its pre-validated argument schema.
+
+    Built once per (contract address, method) on first dispatch; later
+    calls skip the ``getattr`` walk and validate the payload's ``args``
+    keys against the signature-derived schema instead of paying a
+    ``try/except TypeError`` round trip through the interpreter.
+    """
+
+    __slots__ = ("contract", "handler", "required", "allowed", "has_kwargs", "label")
+
+    def __init__(self, contract: SmartContract, method: str, handler: Callable[..., Any]):
+        self.contract = contract
+        self.handler = handler
+        self.label = f"{contract.name}.{method}"
+        required = set()
+        allowed = set()
+        has_kwargs = False
+        params = list(inspect.signature(handler).parameters.values())
+        # First parameter is the ContractContext (bound methods already
+        # exclude ``self``).
+        for param in params[1:]:
+            if param.kind is inspect.Parameter.VAR_KEYWORD:
+                has_kwargs = True
+                continue
+            if param.kind is inspect.Parameter.VAR_POSITIONAL:
+                continue
+            allowed.add(param.name)
+            if param.default is inspect.Parameter.empty:
+                required.add(param.name)
+        self.required = frozenset(required)
+        self.allowed = frozenset(allowed)
+        self.has_kwargs = has_kwargs
+
+    def check(self, args: Dict[str, Any]) -> None:
+        """Raise :class:`ContractError` on a schema mismatch without
+        invoking the handler."""
+        missing = self.required - args.keys()
+        if missing:
+            raise ContractError(
+                f"{self.label}: bad arguments (missing {sorted(missing)})"
+            )
+        if not self.has_kwargs:
+            unexpected = args.keys() - self.allowed
+            if unexpected:
+                raise ContractError(
+                    f"{self.label}: bad arguments (unexpected {sorted(unexpected)})"
+                )
+
+
 class ContractRegistry:
     """Deploys contracts and executes CONTRACT/MINT transactions.
 
@@ -120,6 +171,11 @@ class ContractRegistry:
         self._contracts: Dict[str, SmartContract] = {}
         self._deploy_count = 0
         self._obs = obs if obs is not None else NULL_OBS
+        # (address, method) -> resolved handler + arg schema; entries
+        # for an address are dropped whenever that address is
+        # (re)registered, so a replaced contract can never be called
+        # through a stale handler.
+        self._dispatch: Dict[Tuple[str, str], _DispatchEntry] = {}
 
     def deploy(self, contract: SmartContract) -> str:
         """Register ``contract`` and return its hex address."""
@@ -127,8 +183,20 @@ class ContractRegistry:
             f"contract:{contract.name}:{self._deploy_count}".encode("utf-8")
         ).hex()
         self._deploy_count += 1
-        self._contracts[address] = contract
+        self.register(address, contract)
         return address
+
+    def register(self, address: str, contract: SmartContract) -> None:
+        """(Re)register ``contract`` at ``address``.
+
+        Invalidates any dispatch-cache entries for the address — the
+        cache must never route a call to a handler of a contract that is
+        no longer deployed there.
+        """
+        self._contracts[address] = contract
+        stale = [key for key in self._dispatch if key[0] == address]
+        for key in stale:
+            del self._dispatch[key]
 
     def get(self, address: str) -> SmartContract:
         if address not in self._contracts:
@@ -159,6 +227,7 @@ class ContractRegistry:
         args = tx.payload.get("args", {})
         if not isinstance(args, dict):
             raise ContractError(f"{contract.name}: args must be a dict")
+        entry = self._resolve(tx.recipient, contract, method)
         with self._obs.span(
             "ledger.contracts",
             f"{contract.name}.{method}",
@@ -167,9 +236,47 @@ class ContractRegistry:
             sender=tx.sender,
             tx_id=stx.tx_id,
         ):
-            result = contract.call(method, args, ctx)
+            if entry is None:
+                # Contract overrides ``call`` — honour its custom
+                # dispatch instead of the cached fast path.
+                result = contract.call(method, args, ctx)
+            else:
+                entry.check(args)
+                try:
+                    result = entry.handler(ctx, **args)
+                except TypeError as exc:
+                    raise ContractError(
+                        f"{entry.label}: bad arguments ({exc})"
+                    ) from exc
+                result = result or {}
         self._obs.counter(f"ledger.contracts.{contract.name}.calls").inc()
         return result
+
+    def _resolve(
+        self, address: str, contract: SmartContract, method: str
+    ) -> Optional[_DispatchEntry]:
+        """The cached dispatch entry for (address, method).
+
+        Returns None when the contract customises :meth:`SmartContract.call`
+        (its dispatch cannot be assumed to be ``method_*`` lookup).
+        Raises :class:`ContractError` for an unknown method, mirroring
+        the uncached path; unknown methods are not cached (a payload
+        probing random names must not grow the table).
+        """
+        key = (address, method)
+        entry = self._dispatch.get(key)
+        if entry is not None and entry.contract is contract:
+            self._obs.counter("ledger.contracts.dispatch_cache.hits").inc()
+            return entry
+        if type(contract).call is not SmartContract.call:
+            return None
+        handler = getattr(contract, f"method_{method}", None)
+        if handler is None:
+            raise ContractError(f"{contract.name}: unknown method {method!r}")
+        entry = _DispatchEntry(contract, method, handler)
+        self._dispatch[key] = entry
+        self._obs.counter("ledger.contracts.dispatch_cache.misses").inc()
+        return entry
 
 
 class TokenContract(SmartContract):

@@ -7,6 +7,16 @@ fake identities that only endorse each other receive no inbound trust
 from the pre-trusted core, so their global trust stays near zero.  This
 is exactly the "counterbalance attacks during decision-making" property
 the paper wants from a reputation layer (§IV-C).
+
+Scaling: the solver **warm-starts** each recompute from the previous
+converged vector, so a single new rating costs a few refinement sweeps
+instead of a full from-scratch iteration (the teleport term makes the
+fixed point unique, so the warm start changes the path, not the
+destination).  Past a density threshold the local-trust matrix is never
+materialised — sweeps run over a sparse edge list with
+``numpy.bincount``, making per-sweep cost O(identities + edges) instead
+of O(identities²).  ``compute_count`` / ``sweep_count`` /
+``last_sweep_count`` expose how much work each recompute actually did.
 """
 
 from __future__ import annotations
@@ -19,6 +29,13 @@ from repro.errors import ReputationError
 
 __all__ = ["EigenTrust"]
 
+# The dense path materialises an n x n matrix; past either bound the
+# sparse edge-list path is used instead (above _SPARSE_MIN_IDS the
+# matrix build itself is the bottleneck; between 64 and that bound
+# sparsity decides).
+_SPARSE_MIN_IDS = 512
+_SPARSE_DENSITY = 0.25
+
 
 class EigenTrust:
     """Accumulates pairwise trust observations and computes global trust.
@@ -30,9 +47,18 @@ class EigenTrust:
     alpha:
         Probability mass teleported to the pre-trusted set each step
         (the damping that bounds Sybil influence).
+    warm_start:
+        Start each recompute from the previous converged vector
+        (default).  Disable to reproduce the cold-start behaviour, e.g.
+        as a benchmark reference.
     """
 
-    def __init__(self, pretrusted: Optional[Iterable[str]] = None, alpha: float = 0.15):
+    def __init__(
+        self,
+        pretrusted: Optional[Iterable[str]] = None,
+        alpha: float = 0.15,
+        warm_start: bool = True,
+    ):
         if not 0 <= alpha <= 1:
             raise ReputationError(f"alpha must be in [0, 1], got {alpha}")
         self._alpha = alpha
@@ -40,15 +66,46 @@ class EigenTrust:
         # local[(i, j)] = accumulated satisfaction of i with j (>= 0)
         self._local: Dict[Tuple[str, str], float] = {}
         self._identities: Set[str] = set(self._pretrusted)
+        self._warm_start = warm_start
         # Cached converged trust vector; valid while ``_dirty`` is False
         # and the solver parameters match ``_cache_params``.  Every
         # observation that actually changes the graph invalidates it.
         self._cached_trust: Optional[Dict[str, float]] = None
         self._cache_params: Optional[Tuple[int, float]] = None
         self._dirty = True
-        #: Number of full power iterations executed (exposed so tests
-        #: and benchmarks can assert cache hits do not re-iterate).
+        # Sorted identity list, rebuilt only when identities change (at
+        # population scale re-sorting per recompute dominates).
+        self._sorted_ids: Optional[List[str]] = None
+        # Identity-set version: bumped whenever the identity set (and
+        # therefore the sorted index mapping) changes; keys every
+        # index-aligned cache below.
+        self._ids_version = 0
+        self._index_cache: Optional[Tuple[int, Dict[str, int]]] = None
+        # Edge arrays aligned to the current index mapping, maintained
+        # incrementally between identity changes: value updates write in
+        # place, fresh edges buffer in pending lists and are concatenated
+        # at the next solve.  A write between existing identities
+        # therefore costs O(1) bookkeeping, not an O(edges) rebuild.
+        self._edge_pos: Dict[Tuple[str, str], int] = {}
+        self._mat_version: Optional[int] = None
+        self._rows_np = self._cols_np = self._vals_np = None
+        self._pend_rows: List[int] = []
+        self._pend_cols: List[int] = []
+        self._pend_vals: List[float] = []
+        # Previous converged vector as an index-aligned array (warm
+        # start without a per-identity Python loop), plus the identity
+        # list it was aligned to (for re-mapping after the set changes).
+        self._prev_trust_np: Optional[np.ndarray] = None
+        self._prev_ids: List[str] = []
+        self._prev_trust_version: Optional[int] = None
+        #: Number of full recomputes executed (exposed so tests and
+        #: benchmarks can assert cache hits do not re-iterate).
         self.compute_count = 0
+        #: Total refinement sweeps across all recomputes, and the sweeps
+        #: the most recent recompute needed — warm starts show up as
+        #: ``last_sweep_count`` collapsing after the first compute.
+        self.sweep_count = 0
+        self.last_sweep_count = 0
 
     # ------------------------------------------------------------------
     # Observations
@@ -66,9 +123,31 @@ class EigenTrust:
             self._identities.add(truster)
             self._identities.add(trustee)
             self._dirty = True
+            self._invalidate_index()
         if satisfaction > 0:
             key = (truster, trustee)
-            self._local[key] = self._local.get(key, 0.0) + satisfaction
+            existing = self._local.get(key)
+            if existing is None:
+                self._local[key] = satisfaction
+                self._edge_pos[key] = len(self._local) - 1
+                if self._mat_version == self._ids_version:
+                    cache = self._index_cache
+                    if cache is not None and cache[0] == self._ids_version:
+                        index = cache[1]
+                        self._pend_rows.append(index[truster])
+                        self._pend_cols.append(index[trustee])
+                        self._pend_vals.append(satisfaction)
+                    else:  # pragma: no cover - defensive: force rebuild
+                        self._mat_version = None
+            else:
+                self._local[key] = existing + satisfaction
+                if self._mat_version == self._ids_version:
+                    pos = self._edge_pos[key]
+                    base = 0 if self._vals_np is None else len(self._vals_np)
+                    if pos < base:
+                        self._vals_np[pos] += satisfaction
+                    else:
+                        self._pend_vals[pos - base] += satisfaction
             self._dirty = True
 
     def add_identity(self, identity: str) -> None:
@@ -76,10 +155,19 @@ class EigenTrust:
         if identity not in self._identities:
             self._identities.add(identity)
             self._dirty = True
+            self._invalidate_index()
+
+    def _invalidate_index(self) -> None:
+        """The identity set changed: the sorted index mapping (and every
+        array aligned to it) is stale."""
+        self._sorted_ids = None
+        self._ids_version += 1
 
     @property
     def identities(self) -> List[str]:
-        return sorted(self._identities)
+        if self._sorted_ids is None:
+            self._sorted_ids = sorted(self._identities)
+        return list(self._sorted_ids)
 
     # ------------------------------------------------------------------
     # Global trust
@@ -87,7 +175,7 @@ class EigenTrust:
     def compute(
         self, max_iterations: int = 100, tolerance: float = 1e-9
     ) -> Dict[str, float]:
-        """Power-iterate to the global trust vector.
+        """Iterate to the global trust vector.
 
         Returns identity → trust, summing to 1 over all identities.
         With no identities the result is empty; with no pre-trusted
@@ -95,52 +183,55 @@ class EigenTrust:
 
         The converged vector is cached: repeated calls with no new
         observations (and the same solver parameters) return the cached
-        result without re-iterating.
+        result without re-iterating.  When observations did arrive, the
+        previous vector seeds the new iteration (warm start), so an
+        incremental update costs a few sweeps, not a cold solve.
         """
-        cached = self._cached(max_iterations, tolerance)
-        return dict(cached)
+        self._ensure_solved(max_iterations, tolerance)
+        if self._cached_trust is None:
+            # Built lazily: single-identity reads (``trust_of``) are
+            # served straight from the solved array and never pay the
+            # O(n) dict materialisation.
+            trust = self._prev_trust_np
+            if trust is None:
+                self._cached_trust = {}
+            else:
+                self._cached_trust = {
+                    identity: float(trust[i])
+                    for i, identity in enumerate(self.identities)
+                }
+        return dict(self._cached_trust)
 
-    def _cached(self, max_iterations: int, tolerance: float) -> Dict[str, float]:
-        """The cached trust vector, recomputing only when stale.
-
-        Callers must not mutate the returned dict (``compute`` hands out
-        a copy; ``trust_of`` only reads).
-        """
+    def _ensure_solved(self, max_iterations: int, tolerance: float) -> None:
+        """Recompute the trust vector only when stale."""
         params = (max_iterations, tolerance)
         if not self._dirty and self._cache_params == params:
-            return self._cached_trust  # type: ignore[return-value]
-        self._cached_trust = self._power_iterate(max_iterations, tolerance)
+            return
+        self._solve(max_iterations, tolerance)
+        self._cached_trust = None
         self._cache_params = params
         self._dirty = False
-        return self._cached_trust
 
-    def _power_iterate(self, max_iterations: int, tolerance: float) -> Dict[str, float]:
+    def _index(self, ids: List[str]) -> Dict[str, int]:
+        """identity → row index, cached until the identity set changes."""
+        cache = self._index_cache
+        if cache is not None and cache[0] == self._ids_version:
+            return cache[1]
+        index = {identity: i for i, identity in enumerate(ids)}
+        self._index_cache = (self._ids_version, index)
+        return index
+
+    def _solve(self, max_iterations: int, tolerance: float) -> None:
         ids = self.identities
         if not ids:
-            return {}
+            self._prev_trust_np = None
+            self._prev_ids = []
+            self._prev_trust_version = self._ids_version
+            return
         self.compute_count += 1
-        index = {identity: i for i, identity in enumerate(ids)}
+        index = self._index(ids)
         n = len(ids)
-
-        # Local trust matrix C (row i = who i trusts), built with one
-        # fancy-indexed assignment instead of a Python loop per edge.
-        matrix = np.zeros((n, n))
-        if self._local:
-            rows = np.fromiter(
-                (index[truster] for truster, _ in self._local),
-                dtype=np.intp,
-                count=len(self._local),
-            )
-            cols = np.fromiter(
-                (index[trustee] for _, trustee in self._local),
-                dtype=np.intp,
-                count=len(self._local),
-            )
-            vals = np.fromiter(
-                self._local.values(), dtype=np.float64, count=len(self._local)
-            )
-            matrix[rows, cols] = vals
-        row_sums = matrix.sum(axis=1, keepdims=True)
+        n_edges = len(self._local)
 
         # Teleport vector p: uniform over pre-trusted, else uniform.
         p = np.zeros(n)
@@ -150,6 +241,80 @@ class EigenTrust:
         else:
             p[:] = 1.0 / n
 
+        trust = self._start_vector(ids, index, p)
+        use_sparse = n >= _SPARSE_MIN_IDS or (
+            n >= 64 and n_edges < _SPARSE_DENSITY * n * n
+        )
+        if use_sparse:
+            trust, sweeps = self._iterate_sparse(
+                trust, p, index, max_iterations, tolerance
+            )
+        else:
+            trust, sweeps = self._iterate_dense(
+                trust, p, index, max_iterations, tolerance
+            )
+        self.sweep_count += sweeps
+        self.last_sweep_count = sweeps
+
+        total = trust.sum()
+        if total > 0:
+            trust = trust / total
+        self._prev_trust_np = trust
+        self._prev_ids = ids
+        self._prev_trust_version = self._ids_version
+
+    def _start_vector(
+        self, ids: List[str], index: Dict[str, int], p: np.ndarray
+    ) -> np.ndarray:
+        """Warm start from the previous converged vector when possible.
+
+        While the identity set is unchanged the previous solution is
+        already index-aligned and is reused directly.  After an identity
+        change, surviving identities keep their old mass (new ones start
+        at 0) and the vector is renormalised onto the simplex.  Falls
+        back to the teleport distribution on a cold start (or when warm
+        starting is disabled).
+        """
+        if not self._warm_start:
+            return p.copy()
+        previous = self._prev_trust_np
+        if previous is None:
+            return p.copy()
+        if (
+            self._prev_trust_version == self._ids_version
+            and len(previous) == len(ids)
+        ):
+            return previous.copy()
+        trust = np.zeros(len(ids))
+        for identity, value in zip(self._prev_ids, previous):
+            i = index.get(identity)
+            if i is not None:
+                trust[i] = value
+        total = trust.sum()
+        if total <= 0:
+            return p.copy()
+        return trust / total
+
+    def _iterate_dense(
+        self,
+        trust: np.ndarray,
+        p: np.ndarray,
+        index: Dict[str, int],
+        max_iterations: int,
+        tolerance: float,
+    ) -> Tuple[np.ndarray, int]:
+        """Materialised-matrix sweeps (small, dense graphs).
+
+        Local trust matrix C (row i = who i trusts) is built with one
+        fancy-indexed assignment instead of a Python loop per edge.
+        """
+        n = len(p)
+        matrix = np.zeros((n, n))
+        if self._local:
+            rows, cols, vals = self._edge_arrays(index)
+            matrix[rows, cols] = vals
+        row_sums = matrix.sum(axis=1, keepdims=True)
+
         # Row-normalise; rows with no outgoing trust fall back to p.
         has_out = row_sums[:, 0] > 0
         stochastic = np.where(
@@ -157,18 +322,99 @@ class EigenTrust:
             matrix / np.where(row_sums > 0, row_sums, 1.0),
             p[None, :],
         )
-
-        trust = p.copy()
+        sweeps = 0
         for _ in range(max_iterations):
             updated = (1 - self._alpha) * stochastic.T.dot(trust) + self._alpha * p
+            sweeps += 1
             if np.abs(updated - trust).sum() < tolerance:
                 trust = updated
                 break
             trust = updated
-        total = trust.sum()
-        if total > 0:
-            trust = trust / total
-        return {identity: float(trust[index[identity]]) for identity in ids}
+        return trust, sweeps
+
+    def _iterate_sparse(
+        self,
+        trust: np.ndarray,
+        p: np.ndarray,
+        index: Dict[str, int],
+        max_iterations: int,
+        tolerance: float,
+    ) -> Tuple[np.ndarray, int]:
+        """Edge-list sweeps: O(identities + edges) per sweep, no n x n
+        matrix.  Semantically identical to the dense path — rows with no
+        outgoing trust distribute their mass over the teleport vector."""
+        n = len(p)
+        if self._local:
+            rows, cols, vals = self._edge_arrays(index)
+            row_sums = np.bincount(rows, weights=vals, minlength=n)
+            weights = vals / row_sums[rows]
+            has_out = row_sums > 0
+        else:
+            rows = cols = None
+            weights = None
+            has_out = np.zeros(n, dtype=bool)
+        sweeps = 0
+        one_minus_alpha = 1 - self._alpha
+        for _ in range(max_iterations):
+            if rows is None:
+                propagated = np.zeros(n)
+            else:
+                propagated = np.bincount(
+                    cols, weights=trust[rows] * weights, minlength=n
+                )
+            dangling_mass = trust[~has_out].sum()
+            updated = one_minus_alpha * (propagated + dangling_mass * p) + self._alpha * p
+            sweeps += 1
+            if np.abs(updated - trust).sum() < tolerance:
+                trust = updated
+                break
+            trust = updated
+        return trust, sweeps
+
+    def _edge_arrays(
+        self, index: Dict[str, int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(rows, cols, values) of accumulated local trust, in stable
+        insertion order (deterministic across same-history instances).
+
+        Rebuilt from scratch only when the identity set changed since
+        the previous solve; otherwise pending same-identity writes are
+        folded in with one concatenate (O(pending + memcpy), no Python
+        iteration over the whole edge dict).
+        """
+        if self._mat_version != self._ids_version:
+            count = len(self._local)
+            self._rows_np = np.fromiter(
+                (index[truster] for truster, _ in self._local),
+                dtype=np.intp,
+                count=count,
+            )
+            self._cols_np = np.fromiter(
+                (index[trustee] for _, trustee in self._local),
+                dtype=np.intp,
+                count=count,
+            )
+            self._vals_np = np.fromiter(
+                self._local.values(), dtype=np.float64, count=count
+            )
+            self._pend_rows.clear()
+            self._pend_cols.clear()
+            self._pend_vals.clear()
+            self._mat_version = self._ids_version
+        elif self._pend_rows:
+            self._rows_np = np.concatenate(
+                [self._rows_np, np.asarray(self._pend_rows, dtype=np.intp)]
+            )
+            self._cols_np = np.concatenate(
+                [self._cols_np, np.asarray(self._pend_cols, dtype=np.intp)]
+            )
+            self._vals_np = np.concatenate(
+                [self._vals_np, np.asarray(self._pend_vals, dtype=np.float64)]
+            )
+            self._pend_rows.clear()
+            self._pend_cols.clear()
+            self._pend_vals.clear()
+        return self._rows_np, self._cols_np, self._vals_np
 
     def trust_of(self, identity: str, **kwargs) -> float:
         """Single lookup served from the cached vector — O(1) between
@@ -177,4 +423,9 @@ class EigenTrust:
         tolerance = kwargs.pop("tolerance", 1e-9)
         if kwargs:
             raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
-        return self._cached(max_iterations, tolerance).get(identity, 0.0)
+        self._ensure_solved(max_iterations, tolerance)
+        trust = self._prev_trust_np
+        if trust is None:
+            return 0.0
+        i = self._index(self.identities).get(identity)
+        return float(trust[i]) if i is not None else 0.0

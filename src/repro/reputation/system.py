@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ReputationError
+from repro.obs.instrument import NULL_OBS, Instrumentation
 from repro.reputation.beta import BetaReputation
 from repro.reputation.eigentrust import EigenTrust
 
@@ -55,6 +56,11 @@ class ReputationSystem:
         Per-epoch forgetting applied by :meth:`decay`.
     anchor:
         Optional callback that registers feedback on a ledger.
+    obs:
+        Optional observability instrumentation; trust recomputes and
+        their refinement-sweep counts are exported as counters
+        (``reputation.trust.computes`` / ``reputation.trust.sweeps``),
+        so the cost of every write is measurable at population scale.
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class ReputationSystem:
         blend: float = 0.5,
         decay_factor: float = 0.95,
         anchor: Optional[ReputationAnchor] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         if not 0 <= blend <= 1:
             raise ReputationError(f"blend must be in [0, 1], got {blend}")
@@ -70,6 +77,7 @@ class ReputationSystem:
         self._eigentrust = EigenTrust(pretrusted=pretrusted)
         self._blend = blend
         self._anchor = anchor
+        self._obs = obs if obs is not None else NULL_OBS
         self._events: List[FeedbackEvent] = []
         self._global_cache: Optional[Dict[str, float]] = None
 
@@ -130,8 +138,25 @@ class ReputationSystem:
     def global_trust(self) -> Dict[str, float]:
         """EigenTrust vector (cached until new feedback arrives)."""
         if self._global_cache is None:
+            computes_before = self._eigentrust.compute_count
             self._global_cache = self._eigentrust.compute()
+            if self._eigentrust.compute_count != computes_before:
+                self._obs.counter("reputation.trust.computes").inc()
+                self._obs.counter("reputation.trust.sweeps").inc(
+                    self._eigentrust.last_sweep_count
+                )
         return self._global_cache
+
+    @property
+    def trust_compute_count(self) -> int:
+        """Full trust recomputes executed so far (cache misses)."""
+        return self._eigentrust.compute_count
+
+    @property
+    def trust_sweep_count(self) -> int:
+        """Total refinement sweeps across all recomputes — warm starts
+        keep this growing by a few per write instead of ~dozens."""
+        return self._eigentrust.sweep_count
 
     def score(self, entity: str) -> float:
         """Blended reputation in [0, 1].

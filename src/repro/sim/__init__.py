@@ -8,7 +8,13 @@ structured trace log (:class:`TraceLog`).
 """
 
 from repro.sim.engine import Event, Simulator
-from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SketchHistogram,
+)
 from repro.sim.rng import RngRegistry, derive_seed
 from repro.sim.tracing import TraceLog, TraceRecord
 
@@ -18,6 +24,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "SketchHistogram",
     "MetricsRegistry",
     "RngRegistry",
     "derive_seed",

@@ -13,7 +13,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SketchHistogram",
+    "MetricsRegistry",
+]
 
 
 def _percentile_of(ordered: List[float], q: float) -> float:
@@ -156,18 +162,211 @@ class Histogram:
         }
 
 
+class SketchHistogram:
+    """Bounded-memory quantile sketch, API-compatible with ``Histogram``.
+
+    A merging sketch in the t-digest family: incoming values buffer in a
+    small list and are periodically folded into a sorted run of
+    ``(mean, weight)`` centroids, greedily merged under a per-centroid
+    weight cap of ``count / compression``.  Memory is O(compression +
+    buffer) *regardless of stream length* — the population-scale load
+    workload streams millions of samples through these without growing.
+
+    Accuracy contract (documented in EXPERIMENTS.md): ``count``,
+    ``mean``, ``total``, ``minimum`` and ``maximum`` are **exact**;
+    ``percentile(q)`` is approximate with rank error bounded by roughly
+    ``1 / compression`` (≈0.5% at the default compression of 200, well
+    inside the ±1% tolerance the scaling tests assert).  ``stddev`` is
+    computed from exact running moments.
+
+    The sketch is fully deterministic for a given observation order
+    (plain float arithmetic, no randomisation), so registries backed by
+    it still satisfy the byte-identical replay gate.
+    """
+
+    _BUFFER_LIMIT = 512
+
+    def __init__(self, name: str, compression: int = 200):
+        if compression < 20:
+            raise ValueError(
+                f"compression must be >= 20, got {compression}"
+            )
+        self.name = name
+        self.compression = compression
+        self._centroids: List[Tuple[float, float]] = []  # (mean, weight)
+        self._buffer: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._buffer.append(value)
+        self._count += 1
+        self._total += value
+        self._sumsq += value * value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._buffer) >= self._BUFFER_LIMIT:
+            self._compress()
+
+    def _compress(self) -> None:
+        """Fold the buffer into the centroid run."""
+        if not self._buffer:
+            return
+        incoming = [(value, 1.0) for value in sorted(self._buffer)]
+        self._buffer.clear()
+        merged = self._merge_sorted(self._centroids, incoming)
+        cap = self._count / self.compression
+        compacted: List[Tuple[float, float]] = []
+        cur_mean, cur_weight = merged[0]
+        for mean, weight in merged[1:]:
+            if cur_weight + weight <= cap:
+                cur_mean += (mean - cur_mean) * (weight / (cur_weight + weight))
+                cur_weight += weight
+            else:
+                compacted.append((cur_mean, cur_weight))
+                cur_mean, cur_weight = mean, weight
+        compacted.append((cur_mean, cur_weight))
+        self._centroids = compacted
+
+    @staticmethod
+    def _merge_sorted(
+        a: List[Tuple[float, float]], b: List[Tuple[float, float]]
+    ) -> List[Tuple[float, float]]:
+        out: List[Tuple[float, float]] = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i][0] <= b[j][0]:
+                out.append(a[i])
+                i += 1
+            else:
+                out.append(b[j])
+                j += 1
+        out.extend(a[i:])
+        out.extend(b[j:])
+        return out
+
+    @property
+    def centroid_count(self) -> int:
+        """Resident centroids (the O(1)-memory claim, testable)."""
+        return len(self._centroids)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        n = self._count
+        if n < 2:
+            return 0.0
+        mu = self._total / n
+        var = (self._sumsq - n * mu * mu) / (n - 1)
+        return math.sqrt(var) if var > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile; ``q`` in [0, 100].
+
+        Centroid midpoints are treated as known quantile anchors and
+        interpolated between; the extremes pin to the exact min/max.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._count:
+            return 0.0
+        self._compress()
+        if q == 0:
+            return self._min
+        if q == 100:
+            return self._max
+        target = (q / 100.0) * self._count
+        # Anchor ranks: min at 0, each centroid at its midpoint rank,
+        # max at count.
+        anchors: List[Tuple[float, float]] = [(0.0, self._min)]
+        cumulative = 0.0
+        for mean, weight in self._centroids:
+            anchors.append((cumulative + weight / 2.0, mean))
+            cumulative += weight
+        anchors.append((float(self._count), self._max))
+        for k in range(1, len(anchors)):
+            rank_hi, value_hi = anchors[k]
+            if target <= rank_hi:
+                rank_lo, value_lo = anchors[k - 1]
+                if rank_hi == rank_lo:
+                    return value_hi
+                frac = (target - rank_lo) / (rank_hi - rank_lo)
+                return value_lo + (value_hi - value_lo) * frac
+        return self._max
+
+    def summary(self) -> Dict[str, float]:
+        """Same keys as ``Histogram.summary`` (count/mean/min/p50/p95/max)."""
+        if not self._count:
+            return {
+                "count": 0.0,
+                "mean": 0.0,
+                "min": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "max": 0.0,
+            }
+        return {
+            "count": float(self._count),
+            "mean": self._total / self._count,
+            "min": self._min,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self._max,
+        }
+
+
+#: Histogram backends selectable per registry (and, via
+#: ``FrameworkConfig.histogram_backend``, per framework).
+_HISTOGRAM_BACKENDS = ("exact", "sketch")
+
+
 class MetricsRegistry:
     """Namespace of counters, gauges, and histograms.
 
     Metric names are hierarchical by convention (``"moderation.removed"``).
     Accessors create metrics on first use so instrumented code does not
     need registration boilerplate.
+
+    ``histogram_backend`` selects how histograms store samples:
+    ``"exact"`` (default) keeps every sample; ``"sketch"`` uses the
+    bounded-memory :class:`SketchHistogram` for population-scale runs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, histogram_backend: str = "exact") -> None:
+        if histogram_backend not in _HISTOGRAM_BACKENDS:
+            raise ValueError(
+                f"histogram_backend must be one of {_HISTOGRAM_BACKENDS}, "
+                f"got {histogram_backend!r}"
+            )
+        self.histogram_backend = histogram_backend
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._histograms: Dict[str, object] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
@@ -179,9 +378,12 @@ class MetricsRegistry:
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str):
         if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
+            if self.histogram_backend == "sketch":
+                self._histograms[name] = SketchHistogram(name)
+            else:
+                self._histograms[name] = Histogram(name)
         return self._histograms[name]
 
     def counters(self) -> Mapping[str, float]:

@@ -8,6 +8,13 @@ from repro.workloads.generators import (
     linkage_workload,
     sensor_corpus,
 )
+from repro.workloads.load import (
+    LoadRunResult,
+    SyntheticSignedTransaction,
+    agent_address,
+    run_load,
+    synthetic_transfer,
+)
 from repro.workloads.observability import (
     ObservabilityRunResult,
     check_observability,
@@ -30,7 +37,12 @@ __all__ = [
     "linkage_workload",
     "sensor_corpus",
     "GovernanceStressResult",
+    "LoadRunResult",
     "MarketSeasonResult",
+    "SyntheticSignedTransaction",
+    "agent_address",
+    "run_load",
+    "synthetic_transfer",
     "ObservabilityRunResult",
     "check_observability",
     "run_observability_scenario",

@@ -65,8 +65,17 @@ class TestBasics:
         # good one; the block must contain only the good one and the bad
         # one must not wedge future proposals.
         bad = alice.transfer("ff" * 32, 10_000, nonce=0)
-        chain.mempool._by_id[bad.tx_id] = bad  # bypass admission checks
-        chain.mempool._by_sender.setdefault(alice.address, []).insert(0, bad)
+        # Bypass admission checks, writing straight into the pool's index
+        # structures (white-box: exercises execution-time tx failure).
+        import heapq
+
+        from repro.ledger.mempool import _SenderChain
+
+        pool = chain.mempool
+        pool._by_id[bad.tx_id] = bad
+        sender_chain = pool._chains.setdefault(alice.address, _SenderChain())
+        sender_chain.add(bad)
+        heapq.heappush(pool._head_heap, (-sender_chain.max_fee(), alice.address))
         block = chain.propose_block(validator.address, timestamp=1.0)
         assert bad.tx_id not in [s.tx_id for s in block.transactions]
         chain.propose_block(validator.address, timestamp=2.0)

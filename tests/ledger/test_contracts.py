@@ -221,3 +221,92 @@ class TestVotingContract:
         with pytest.raises(ContractError):
             call(state, registry, bob, address, "vote",
                  {"poll_id": "p", "option": "yes"}, nonce=0)
+
+
+class TestDispatchCache:
+    def _obs_registry(self):
+        from repro.obs import Instrumentation
+        from repro.sim import MetricsRegistry, TraceLog
+
+        metrics = MetricsRegistry()
+        obs = Instrumentation(trace=TraceLog(), metrics=metrics, run_id="t")
+        return ContractRegistry(obs=obs), metrics
+
+    def test_repeat_calls_hit_the_cache(self, alice):
+        registry, metrics = self._obs_registry()
+        address = registry.deploy(RegistryContract())
+        state = LedgerState({alice.address: 1_000})
+        for i in range(4):
+            call(state, registry, alice, address, "register",
+                 {"key": f"k{i}", "value": "v"}, nonce=i)
+        assert metrics.counter("ledger.contracts.dispatch_cache.misses").value == 1
+        assert metrics.counter("ledger.contracts.dispatch_cache.hits").value == 3
+
+    def test_distinct_methods_miss_separately(self, alice):
+        registry, metrics = self._obs_registry()
+        address = registry.deploy(RegistryContract())
+        state = LedgerState({alice.address: 1_000})
+        call(state, registry, alice, address, "register",
+             {"key": "k", "value": "v"}, nonce=0)
+        call(state, registry, alice, address, "lookup", {"key": "k"}, nonce=1)
+        assert metrics.counter("ledger.contracts.dispatch_cache.misses").value == 2
+
+    def test_redeploy_invalidates_cached_handler(self, alice):
+        # A replaced contract must never be reached through the old
+        # contract instance's cached bound method.
+        registry, _ = self._obs_registry()
+        address = registry.deploy(TokenContract(owner=alice.address))
+        state = LedgerState({alice.address: 1_000})
+        call(state, registry, alice, address, "mint",
+             {"to": alice.address, "value": 5}, nonce=0)
+
+        class StrictToken(TokenContract):
+            def method_mint(self, ctx, to, value):
+                raise ContractError("minting is frozen")
+
+        registry.register(address, StrictToken(owner=alice.address))
+        with pytest.raises(ContractError, match="frozen"):
+            call(state, registry, alice, address, "mint",
+                 {"to": alice.address, "value": 5}, nonce=1)
+
+    def test_unknown_method_never_cached(self, alice):
+        registry, metrics = self._obs_registry()
+        address = registry.deploy(RegistryContract())
+        state = LedgerState({alice.address: 1_000})
+        for i in range(3):
+            with pytest.raises(ContractError, match="unknown method"):
+                call(state, registry, alice, address, f"nope{i}", {}, nonce=0)
+        assert metrics.counter("ledger.contracts.dispatch_cache.misses").value == 0
+        assert len(registry._dispatch) == 0
+
+    def test_custom_call_override_bypasses_cache(self, alice):
+        # A contract that overrides SmartContract.call defines its own
+        # dispatch; the fast path must defer to it entirely.
+        from repro.ledger.contracts import SmartContract
+
+        class Catchall(SmartContract):
+            name = "catchall"
+
+            def call(self, method, args, ctx):
+                return {"echo": method}
+
+        registry, metrics = self._obs_registry()
+        address = registry.deploy(Catchall())
+        state = LedgerState({alice.address: 1_000})
+        result = call(state, registry, alice, address, "anything", {}, nonce=0)
+        assert result == {"echo": "anything"}
+        assert metrics.counter("ledger.contracts.dispatch_cache.misses").value == 0
+        assert metrics.counter("ledger.contracts.dispatch_cache.hits").value == 0
+
+    def test_cached_path_still_validates_arguments(self, alice):
+        registry, _ = self._obs_registry()
+        address = registry.deploy(RegistryContract())
+        state = LedgerState({alice.address: 1_000})
+        call(state, registry, alice, address, "register",
+             {"key": "k", "value": "v"}, nonce=0)
+        with pytest.raises(ContractError, match="bad arguments"):
+            call(state, registry, alice, address, "register",
+                 {"key": "k"}, nonce=1)  # missing "value"
+        with pytest.raises(ContractError, match="bad arguments"):
+            call(state, registry, alice, address, "register",
+                 {"key": "k", "value": "v", "extra": 1}, nonce=1)

@@ -99,6 +99,27 @@ class TestEvictionEvents:
         (event,) = list(obs.trace.query(kind="tx.evicted"))
         assert event.payload["age"] is None
 
+    def test_age_none_when_admitted_without_timestamp(self, wallets, state):
+        # The victim was admitted with no timestamp; even though the
+        # displacing submission carries one, the age is unknowable and
+        # must be None, not 0 (0 would claim instant eviction).
+        obs = self._obs()
+        pool = Mempool(capacity=1, obs=obs)
+        pool.submit(wallets[0].transfer(SINK, 1, nonce=0, fee=2), state)
+        pool.submit(wallets[1].transfer(SINK, 1, nonce=0, fee=9), state, time=30.0)
+        (event,) = list(obs.trace.query(kind="tx.evicted"))
+        assert event.payload["age"] is None
+
+    def test_age_none_when_evicted_without_timestamp(self, wallets, state):
+        # Admission was stamped but the displacing submission was not:
+        # no "now" exists to subtract from, so age is again None.
+        obs = self._obs()
+        pool = Mempool(capacity=1, obs=obs)
+        pool.submit(wallets[0].transfer(SINK, 1, nonce=0, fee=2), state, time=10.0)
+        pool.submit(wallets[1].transfer(SINK, 1, nonce=0, fee=9), state)
+        (event,) = list(obs.trace.query(kind="tx.evicted"))
+        assert event.payload["age"] is None
+
     def test_admission_and_rejection_events(self, wallets, state):
         obs = self._obs()
         pool = Mempool(obs=obs)

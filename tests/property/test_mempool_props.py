@@ -5,6 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ledger import LedgerState, Mempool, Wallet
+from repro.ledger.mempool import _fee_key
+from repro.workloads.load import agent_address, synthetic_transfer
 
 # Fixed wallet cast (generation is the expensive part).
 _WALLETS = [Wallet(seed=f"mp-prop-{i}".encode(), height=6) for i in range(3)]
@@ -89,3 +91,111 @@ class TestSelectionProperties:
             state.apply(stx)
         second = pool.select(state, max_count=100)
         assert {s.tx_id for s in first}.isdisjoint({s.tx_id for s in second})
+
+
+def _greedy_reference(pending, state, max_count):
+    """The naive spec: per pick, rescan every sender for its executable
+    transaction (best fee at the sender's next nonce, replacements
+    resolved to the highest ``(fee, tx_id)``), then take the global best.
+    The indexed implementation must match this order exactly."""
+    by_sender = {}
+    for stx in pending:
+        by_sender.setdefault(stx.tx.sender, {}).setdefault(
+            stx.tx.nonce, []
+        ).append(stx)
+    session = {sender: state.nonce_of(sender) for sender in by_sender}
+    selected = []
+    while len(selected) < max_count:
+        best = None
+        for sender, buckets in by_sender.items():
+            bucket = buckets.get(session[sender])
+            if not bucket:
+                continue
+            candidate = max(bucket, key=_fee_key)
+            if best is None or _fee_key(candidate) > _fee_key(best):
+                best = candidate
+        if best is None:
+            break
+        selected.append(best)
+        session[best.tx.sender] += 1
+    return selected
+
+
+# Synthetic (unsigned-but-valid) submissions: many senders, nonce gaps,
+# fee ties, and replacements — everything the index must get right.
+indexed_submissions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),    # sender
+        st.integers(min_value=0, max_value=5),    # nonce
+        st.integers(min_value=0, max_value=6),    # fee (ties likely)
+        st.integers(min_value=1, max_value=3),    # amount (distinct tx_ids)
+    ),
+    max_size=40,
+)
+
+
+class TestIndexedSelectionEquivalence:
+    """The head-heap implementation against the naive greedy spec."""
+
+    @given(
+        subs=indexed_submissions,
+        max_count=st.integers(min_value=1, max_value=45),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_greedy_reference(self, subs, max_count):
+        state = LedgerState({agent_address(i): 10_000 for i in range(8)})
+        pool = Mempool()
+        for sender_i, nonce, fee, amount in subs:
+            pool.submit(
+                synthetic_transfer(
+                    agent_address(sender_i), "ff" * 32, amount, fee, nonce
+                ),
+                state,
+            )
+        got = [s.tx_id for s in pool.select(state, max_count=max_count)]
+        want = [
+            s.tx_id
+            for s in _greedy_reference(pool.pending(), state, max_count)
+        ]
+        assert got == want
+
+    @given(subs=indexed_submissions, max_count=st.integers(min_value=1, max_value=45))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_under_eviction_pressure(self, subs, max_count):
+        # A small pool forces evictions mid-stream; selection must agree
+        # with the reference over whatever residents survived.
+        state = LedgerState({agent_address(i): 10_000 for i in range(8)})
+        pool = Mempool(capacity=10)
+        for sender_i, nonce, fee, amount in subs:
+            pool.submit(
+                synthetic_transfer(
+                    agent_address(sender_i), "ff" * 32, amount, fee, nonce
+                ),
+                state,
+            )
+        got = [s.tx_id for s in pool.select(state, max_count=max_count)]
+        want = [
+            s.tx_id
+            for s in _greedy_reference(pool.pending(), state, max_count)
+        ]
+        assert got == want
+
+    @given(subs=indexed_submissions)
+    @settings(max_examples=60, deadline=None)
+    def test_select_repeatable_and_nonmutating(self, subs):
+        # select() must not consume pool state: two identical calls
+        # return identical picks, and residency is unchanged.
+        state = LedgerState({agent_address(i): 10_000 for i in range(8)})
+        pool = Mempool()
+        for sender_i, nonce, fee, amount in subs:
+            pool.submit(
+                synthetic_transfer(
+                    agent_address(sender_i), "ff" * 32, amount, fee, nonce
+                ),
+                state,
+            )
+        before = {s.tx_id for s in pool.pending()}
+        first = [s.tx_id for s in pool.select(state, max_count=25)]
+        second = [s.tx_id for s in pool.select(state, max_count=25)]
+        assert first == second
+        assert {s.tx_id for s in pool.pending()} == before

@@ -1,0 +1,142 @@
+"""Warm-start and sparse-path behaviour of the incremental EigenTrust.
+
+The teleport term makes the fixed point unique, so warm starting may
+change the iteration *path* but never the converged vector; these tests
+pin that equivalence, the sweep-count savings the warm start buys, and
+the sparse/dense path agreement.
+"""
+
+import random
+
+import pytest
+
+import repro.reputation.eigentrust as eigentrust_mod
+from repro.reputation.eigentrust import EigenTrust
+
+EPS = 1e-6
+
+
+def _random_graph(n_ids, n_edges, seed=7):
+    rng = random.Random(seed)
+    ids = [f"id{i:04d}" for i in range(n_ids)]
+    edges = []
+    for _ in range(n_edges):
+        a, b = rng.sample(ids, 2)
+        edges.append((a, b, rng.random()))
+    return ids, edges
+
+
+def _build(ids, edges, warm_start):
+    trust = EigenTrust(pretrusted=ids[:3], warm_start=warm_start)
+    for identity in ids:
+        trust.add_identity(identity)
+    for a, b, sat in edges:
+        trust.record_interaction(a, b, sat)
+    return trust
+
+
+class TestWarmStartEquivalence:
+    def test_warm_matches_cold_after_incremental_writes(self):
+        ids, edges = _random_graph(200, 900)
+        warm = _build(ids, edges, warm_start=True)
+        cold = _build(ids, edges, warm_start=False)
+        warm.compute()
+        cold.compute()
+        rng = random.Random(11)
+        for _ in range(10):
+            a, b = rng.sample(ids, 2)
+            warm.record_interaction(a, b, 0.5)
+            cold.record_interaction(a, b, 0.5)
+            w = warm.compute()
+            c = cold.compute()
+            assert max(abs(w[k] - c[k]) for k in c) < EPS
+
+    def test_warm_matches_cold_after_identity_change(self):
+        # Adding identities invalidates every index-aligned cache; the
+        # remapped warm start must still land on the cold fixed point.
+        ids, edges = _random_graph(150, 600)
+        warm = _build(ids, edges, warm_start=True)
+        cold = _build(ids, edges, warm_start=False)
+        warm.compute()
+        cold.compute()
+        for trust in (warm, cold):
+            trust.add_identity("zz-newcomer-1")
+            trust.record_interaction(ids[0], "zz-newcomer-1", 0.8)
+            trust.record_interaction("zz-newcomer-1", ids[5], 0.4)
+        w = warm.compute()
+        c = cold.compute()
+        assert max(abs(w[k] - c[k]) for k in c) < EPS
+
+    def test_trust_of_matches_compute_vector(self):
+        ids, edges = _random_graph(120, 500)
+        trust = _build(ids, edges, warm_start=True)
+        vector = trust.compute()
+        for identity in ids[:20]:
+            assert trust.trust_of(identity) == pytest.approx(
+                vector[identity], abs=1e-12
+            )
+        assert trust.trust_of("never-seen") == 0.0
+
+
+class TestWarmStartSweepSavings:
+    def test_sweeps_collapse_after_first_compute(self):
+        ids, edges = _random_graph(300, 1_500)
+        trust = _build(ids, edges, warm_start=True)
+        trust.compute()
+        cold_sweeps = trust.last_sweep_count
+        assert cold_sweeps > 1
+        rng = random.Random(3)
+        warm_sweeps = []
+        for _ in range(5):
+            # One rating among 1 500 accumulated ones: the fixed point
+            # barely moves, so the warm start should reconverge fast.
+            a, b = rng.sample(ids, 2)
+            trust.record_interaction(a, b, 0.01)
+            trust.compute()
+            warm_sweeps.append(trust.last_sweep_count)
+        # Convergence is geometric, so the saving is the head of the
+        # iteration, not the tail: warm starts skip the initial descent
+        # but still pay ~log(delta/tol) refinement sweeps.  Expect a
+        # solid cut, not an order of magnitude.
+        assert max(warm_sweeps) < cold_sweeps
+        assert sum(warm_sweeps) / len(warm_sweeps) <= 0.7 * cold_sweeps
+
+    def test_disabled_warm_start_pays_cold_cost_every_time(self):
+        ids, edges = _random_graph(300, 1_500)
+        trust = _build(ids, edges, warm_start=False)
+        trust.compute()
+        cold_sweeps = trust.last_sweep_count
+        trust.record_interaction(ids[0], ids[1], 0.1)
+        trust.compute()
+        # Without warm start, a tiny write still costs a full solve.
+        assert trust.last_sweep_count >= cold_sweeps - 2
+
+    def test_counters_accumulate(self):
+        ids, edges = _random_graph(100, 400)
+        trust = _build(ids, edges, warm_start=True)
+        trust.compute()
+        assert trust.compute_count == 1
+        first_total = trust.sweep_count
+        trust.compute()  # cached — no new work
+        assert trust.compute_count == 1
+        assert trust.sweep_count == first_total
+        trust.record_interaction(ids[0], ids[1], 0.2)
+        trust.compute()
+        assert trust.compute_count == 2
+        assert trust.sweep_count > first_total
+
+
+class TestSparseDenseAgreement:
+    def test_paths_agree_on_same_graph(self, monkeypatch):
+        ids, edges = _random_graph(120, 500)
+        dense = _build(ids, edges, warm_start=False)
+        # Force the dense path despite n >= 64 by raising the gates.
+        monkeypatch.setattr(eigentrust_mod, "_SPARSE_MIN_IDS", 10_000)
+        monkeypatch.setattr(eigentrust_mod, "_SPARSE_DENSITY", 0.0)
+        d = dense.compute()
+        # Restore the real gates; 120 ids / 500 edges takes the sparse path.
+        monkeypatch.undo()
+        sparse = _build(ids, edges, warm_start=False)
+        s = sparse.compute()
+        assert max(abs(d[k] - s[k]) for k in d) < EPS
+        assert sum(s.values()) == pytest.approx(1.0)
