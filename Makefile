@@ -30,9 +30,12 @@ bench-baseline:
 	$(PYTHON) -m benchmarks.regression --update-baseline
 
 # Population-scale gate (smoke: 1k/10k tiers, <90s): indexed mempool
-# selection and warm reputation writes must beat the naive references
-# >=3x at the 10k tier; the quantile sketch must stay within its
-# documented rank-error tolerance; each load tier must replay
+# selection, warm reputation writes, vectorized cascade rounds, and
+# batch abuse classification must beat the naive references >=3x at the
+# 10k tier (the cascade/classifier kernels must also match the scalar
+# engines byte-for-byte on the same seed); the quantile sketch must stay
+# within its documented rank-error tolerance; each load tier — now
+# including the moderation and privacy-budget phases — must replay
 # byte-identically.  Full suite (adds the 100k tier):
 #   python -m benchmarks.scaling
 bench-scaling:

@@ -8,11 +8,17 @@ features of the metaverse."
 
 Table: per-proposal turnout, expiry rate, and ballots under a fixed
 proposal flood, for flat vs modular designs across community sizes.
+Per-proposal turnout samples stream into a sketch-backed
+:class:`MetricsRegistry` (bounded memory), and the sketch's documented
+≤1% rank-error contract is asserted against the exact sample set.
 """
+
+import bisect
 
 import pytest
 
 from repro.analysis import ResultTable
+from repro.sim.metrics import MetricsRegistry
 from repro.workloads import (
     build_flat_dao,
     build_modular_federation,
@@ -24,10 +30,14 @@ TOPICS = ["privacy", "moderation", "economy", "safety"]
 SIZES = (50, 200, 800)
 PROPOSALS = 60
 ATTENTION = 4.0
+SKETCH_QUANTILES = (5, 25, 50, 75, 95)
 
 
 @pytest.fixture(scope="module")
 def results(harness_rngs):
+    registry = MetricsRegistry(histogram_backend="sketch")
+    turnout_sketch = registry.histogram("e5.turnout")
+    exact_samples = []
     rows = []
     for members in SIZES:
         load = dao_proposal_load(
@@ -48,6 +58,11 @@ def results(harness_rngs):
             result = run_governance_stress(
                 target, load, harness_rngs.fresh(stream)
             )
+            daos = target.all_daos() if hasattr(target, "all_daos") else [target]
+            for dao in daos:
+                for turnout in dao.turnout_samples():
+                    turnout_sketch.observe(turnout)
+                    exact_samples.append(turnout)
             rows.append(
                 dict(
                     members=members,
@@ -58,20 +73,25 @@ def results(harness_rngs):
                     ballots=result.ballots_cast,
                 )
             )
-    return rows
+    return {
+        "rows": rows,
+        "sketch": turnout_sketch,
+        "exact": sorted(exact_samples),
+    }
 
 
 def test_e5_table_and_shape(results):
+    rows = results["rows"]
     table = ResultTable(
         f"E5: flat vs modular DAO under {PROPOSALS} proposals "
         f"(attention {ATTENTION:g}/epoch)",
         columns=["members", "design", "turnout", "expired", "latency", "ballots"],
     )
-    for row in results:
+    for row in rows:
         table.add_row(**row)
     table.print()
 
-    by_key = {(r["members"], r["design"]): r for r in results}
+    by_key = {(r["members"], r["design"]): r for r in rows}
     for members in SIZES:
         flat = by_key[(members, "flat")]
         modular = by_key[(members, "modular")]
@@ -83,6 +103,25 @@ def test_e5_table_and_shape(results):
         )
         # And never at the cost of more expired proposals.
         assert modular["expired"] <= flat["expired"] + 1e-9
+
+
+def test_e5_sketch_rank_contract(results):
+    """The bounded sketch reproduces the turnout distribution within
+    its documented ≤1% rank error (plus the empirical CDF's one-sample
+    discretisation floor for a finite stream)."""
+    sketch, exact = results["sketch"], results["exact"]
+    n = len(exact)
+    assert sketch.count == n
+    assert sketch.minimum == exact[0] and sketch.maximum == exact[-1]
+    tolerance = 0.01 + 1.0 / n
+    for q in SKETCH_QUANTILES:
+        approx = sketch.percentile(q)
+        # Ties make a value's empirical rank an interval; error is the
+        # distance from the target rank to that interval.
+        lo = bisect.bisect_left(exact, approx) / n
+        hi = bisect.bisect_right(exact, approx) / n
+        rank_error = max(0.0, lo - q / 100.0, q / 100.0 - hi)
+        assert rank_error <= tolerance, (q, rank_error)
 
 
 def test_e5_kernel_stress_run(benchmark, harness_rngs):

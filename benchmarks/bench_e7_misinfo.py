@@ -7,19 +7,26 @@ members, with the largest relative reduction near the spreading
 threshold.
 
 Table: mean cascade reach, ungated vs credibility-gated, across
-transmissibility and network size.
+transmissibility and network size.  Per-cascade reach samples stream
+into a sketch-backed :class:`MetricsRegistry` (bounded memory), and the
+sketch's documented ≤1% rank-error contract is asserted against the
+exact sample set.
 """
+
+import bisect
 
 import pytest
 
 from repro.analysis import ResultTable
 from repro.reputation import ReputationSystem
+from repro.sim.metrics import MetricsRegistry
 from repro.social import MisinformationModel, SocialGraph
 
 SHARE_PROBS = (0.15, 0.25, 0.4)
 SIZES = (300, 1000)
 REPETITIONS = 15
 N_LIARS = 5
+SKETCH_QUANTILES = (5, 25, 50, 75, 95)
 
 
 def build_reputation(members, liars):
@@ -34,6 +41,9 @@ def build_reputation(members, liars):
 
 @pytest.fixture(scope="module")
 def results(harness_rngs):
+    registry = MetricsRegistry(histogram_backend="sketch")
+    reach_sketch = registry.histogram("e7.reach")
+    exact_samples = []
     rows = []
     for size in SIZES:
         graph = SocialGraph.scale_free(
@@ -54,8 +64,13 @@ def results(harness_rngs):
                 base_share_prob=share_prob,
                 credibility=reputation.local_score,
             )
-            reach_off = ungated.mean_reach(liars, repetitions=REPETITIONS)
-            reach_on = gated.mean_reach(liars, repetitions=REPETITIONS)
+            samples_off = ungated.reach_samples(liars, repetitions=REPETITIONS)
+            samples_on = gated.reach_samples(liars, repetitions=REPETITIONS)
+            for sample in samples_off + samples_on:
+                reach_sketch.observe(sample)
+                exact_samples.append(sample)
+            reach_off = sum(samples_off) / len(samples_off)
+            reach_on = sum(samples_on) / len(samples_on)
             rows.append(
                 dict(
                     members=size,
@@ -67,29 +82,49 @@ def results(harness_rngs):
                     ),
                 )
             )
-    return rows
+    return {"rows": rows, "sketch": reach_sketch, "exact": sorted(exact_samples)}
 
 
 def test_e7_table_and_shape(results):
+    rows = results["rows"]
     table = ResultTable(
         f"E7: rumour reach from {N_LIARS} liar seeds "
         f"(mean of {REPETITIONS} cascades)",
         columns=["members", "share_prob", "ungated", "gated", "reduction"],
     )
-    for row in results:
+    for row in rows:
         table.add_row(**row)
     table.print()
 
-    for row in results:
+    for row in rows:
         # The gate always reduces reach.
         assert row["gated"] < row["ungated"], row
     for size in SIZES:
-        series = [r for r in results if r["members"] == size]
+        series = [r for r in rows if r["members"] == size]
         reductions = [r["reduction"] for r in series]
         # The relative reduction is largest at low transmissibility
         # (near the cascade threshold) — the crossover shape.
         assert reductions[0] == max(reductions), reductions
         assert reductions[0] > 0.4
+
+
+def test_e7_sketch_rank_contract(results):
+    """The bounded sketch reproduces the reach distribution within its
+    documented ≤1% rank error (plus the empirical CDF's one-sample
+    discretisation floor for a finite stream)."""
+    sketch, exact = results["sketch"], results["exact"]
+    n = len(exact)
+    assert sketch.count == n
+    assert sketch.minimum == exact[0] and sketch.maximum == exact[-1]
+    tolerance = 0.01 + 1.0 / n
+    for q in SKETCH_QUANTILES:
+        approx = sketch.percentile(q)
+        # Ties make a value's empirical rank an interval; error is the
+        # distance from the target rank to that interval.
+        lo = bisect.bisect_left(exact, approx) / n
+        hi = bisect.bisect_right(exact, approx) / n
+        rank_error = max(0.0, lo - q / 100.0, q / 100.0 - hi)
+        assert rank_error <= tolerance, (q, rank_error)
 
 
 def test_e7_kernel_cascade(benchmark, harness_rngs):

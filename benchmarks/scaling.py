@@ -1,16 +1,28 @@
 """Population-scale scaling suite: ops/sec across 1k / 10k / 100k tiers.
 
-For each tier this suite measures the two hot paths this PR rebuilt —
-mempool block selection and reputation writes — against *naive
-references* that reproduce the pre-index algorithms (per-pick sender
-rescan; cold power iteration with full index/edge rebuild and dict
-materialisation), runs the population load workload twice to assert
-**byte-identical** metrics, and checks the bounded quantile sketch
-against exact percentiles on a large stream.
+For each tier this suite measures the hot paths rebuilt across the
+scale PRs against *naive references* that reproduce the pre-optimised
+algorithms:
 
-Results land in ``BENCH_PR3.json`` at the repo root.  Speedup numbers
-are indexed-vs-naive on the same machine and the same data, so they are
-meaningful regardless of host speed.
+* **mempool selection** — indexed head-heap vs per-pick sender rescan;
+* **reputation writes** — warm incremental EigenTrust vs cold rebuild;
+* **misinformation cascade** — the CSR round-vectorized engine vs the
+  scalar loop (``vectorized=False``), with the two engines asserted
+  byte-identical (same PCG64 stream → same reached set, timeline, and
+  round count);
+* **moderation classify** — one vectorized Bernoulli pass over a
+  columnar interaction batch vs a scalar per-interaction draw loop,
+  again asserted draw-for-draw identical, plus end-to-end
+  ``process_batch`` throughput;
+
+then runs the population load workload (now including the moderation
+and privacy-budget phases) twice to assert **byte-identical** metrics,
+and checks the bounded quantile sketch against exact percentiles on a
+large stream.
+
+Results land in ``BENCH_PR4.json`` at the repo root.  Speedup numbers
+are optimised-vs-naive on the same machine and the same data, so they
+are meaningful regardless of host speed.
 
 Usage
 -----
@@ -35,14 +47,24 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.governance.moderation import (
+    AbuseClassifier,
+    HumanModeratorPool,
+    ModerationService,
+    ReportDesk,
+)
+from repro.governance.sanctions import GraduatedSanctionPolicy
 from repro.ledger.mempool import Mempool, _fee_key
 from repro.ledger.state import LedgerState
 from repro.reputation.eigentrust import EigenTrust
 from repro.sim.metrics import Histogram, SketchHistogram
+from repro.social.graph import SocialGraph
+from repro.social.misinformation import MisinformationModel
+from repro.workloads.generators import synthetic_interaction_batch
 from repro.workloads.load import agent_address, run_load, synthetic_transfer
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-REPORT_PATH = REPO_ROOT / "BENCH_PR3.json"
+REPORT_PATH = REPO_ROOT / "BENCH_PR4.json"
 SEED = 2022
 TIERS = (1_000, 10_000, 100_000)
 # The acceptance bar: indexed paths at the 10k tier must beat the naive
@@ -235,6 +257,130 @@ def bench_reputation_write(n_ids: int, smoke: bool) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Misinformation cascade: CSR round-vectorized engine vs scalar loop
+# ----------------------------------------------------------------------
+def bench_cascade(n_members: int, smoke: bool) -> Dict[str, Any]:
+    graph = SocialGraph.scale_free(
+        n_members, attachment=3, rng=np.random.default_rng(SEED)
+    )
+    seeds = list(graph.sorted_members()[:3])
+    graph.csr()  # compile once up front; both engines then run warm
+
+    def run(vectorized: bool):
+        model = MisinformationModel(
+            graph, np.random.default_rng(SEED), vectorized=vectorized
+        )
+        t0 = time.perf_counter()
+        result = model.spread(seeds)
+        return result, time.perf_counter() - t0
+
+    vec_reps = 3 if smoke else 5
+    loop_reps = 1 if smoke or n_members >= 100_000 else 3
+
+    best_vec = math.inf
+    for _ in range(vec_reps):
+        vec_result, elapsed = run(vectorized=True)
+        best_vec = min(best_vec, elapsed)
+
+    best_loop = math.inf
+    for _ in range(loop_reps):
+        loop_result, elapsed = run(vectorized=False)
+        best_loop = min(best_loop, elapsed)
+
+    # Same PCG64 stream → byte-identical cascades; the property suite
+    # pins this across topologies, here it guards the benchmark itself.
+    assert vec_result.reached == loop_result.reached
+    assert vec_result.timeline == loop_result.timeline
+    assert vec_result.rounds == loop_result.rounds
+
+    rounds = max(1, vec_result.rounds)
+    return {
+        "n_members": n_members,
+        "n_edges": graph.edge_count,
+        "reach": vec_result.reach,
+        "rounds": vec_result.rounds,
+        "vectorized_seconds_per_round": best_vec / rounds,
+        "loop_seconds_per_round": best_loop / rounds,
+        "vectorized_rounds_per_second": rounds / best_vec,
+        "loop_rounds_per_second": rounds / best_loop,
+        "speedup_vs_naive": best_loop / best_vec,
+        "identical_cascades": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Moderation classify: vectorized batch pass vs scalar draw loop
+# ----------------------------------------------------------------------
+def bench_moderation(n_interactions: int, smoke: bool) -> Dict[str, Any]:
+    batch = synthetic_interaction_batch(
+        n_agents=max(2, n_interactions),
+        n_interactions=n_interactions,
+        time=0.0,
+        rng=np.random.default_rng(SEED),
+        id_of=agent_address,
+    )
+    delivered_abusive = batch.abusive[np.flatnonzero(batch.delivered)]
+
+    def naive_flags(rng: np.random.Generator, tpr: float, fpr: float):
+        return np.fromiter(
+            (rng.random() < (tpr if a else fpr) for a in delivered_abusive),
+            dtype=bool,
+            count=delivered_abusive.size,
+        )
+
+    reps = 3 if smoke else 5
+    best_vec = math.inf
+    for _ in range(reps):
+        classifier = AbuseClassifier(np.random.default_rng(SEED))
+        t0 = time.perf_counter()
+        vec = classifier.flag_array(delivered_abusive)
+        best_vec = min(best_vec, time.perf_counter() - t0)
+
+    naive_reps = 1 if smoke or n_interactions >= 100_000 else 3
+    best_naive = math.inf
+    for _ in range(naive_reps):
+        rng = np.random.default_rng(SEED)
+        t0 = time.perf_counter()
+        naive = naive_flags(rng, 0.8, 0.05)
+        best_naive = min(best_naive, time.perf_counter() - t0)
+
+    # rng.random(k) consumes the same PCG64 doubles as k scalar draws,
+    # so the vectorized pass must reproduce the loop flag for flag.
+    assert np.array_equal(vec, naive), "vectorized classify diverged"
+
+    service = ModerationService(
+        sanctions=GraduatedSanctionPolicy(world=None),
+        classifier=AbuseClassifier(np.random.default_rng(SEED)),
+        report_desk=ReportDesk(np.random.default_rng(SEED + 1)),
+        reviewer=HumanModeratorPool(
+            np.random.default_rng(SEED + 2),
+            capacity_per_epoch=max(20, n_interactions // 20),
+        ),
+    )
+    t0 = time.perf_counter()
+    summary = service.process_batch(batch, time=0.0)
+    pipeline_seconds = time.perf_counter() - t0
+
+    per_vec = best_vec / delivered_abusive.size
+    per_naive = best_naive / delivered_abusive.size
+    return {
+        "n_interactions": n_interactions,
+        "delivered": int(delivered_abusive.size),
+        "vectorized_seconds_per_classify": per_vec,
+        "naive_seconds_per_classify": per_naive,
+        "vectorized_classifies_per_second": 1.0 / per_vec,
+        "naive_classifies_per_second": 1.0 / per_naive,
+        "speedup_vs_naive": per_naive / per_vec,
+        "pipeline_interactions_per_second": (
+            len(batch) / pipeline_seconds if pipeline_seconds > 0 else math.inf
+        ),
+        "pipeline_opened": summary["opened"],
+        "pipeline_backlog": summary["backlog"],
+        "identical_flags": True,
+    }
+
+
+# ----------------------------------------------------------------------
 # Load workload: population determinism + throughput
 # ----------------------------------------------------------------------
 def bench_load(n_agents: int, smoke: bool) -> Dict[str, Any]:
@@ -247,6 +393,8 @@ def bench_load(n_agents: int, smoke: bool) -> Dict[str, Any]:
         ratings_per_epoch=250 if smoke else 500,
         reports_per_epoch=100 if smoke else 200,
         votes_per_epoch=150 if smoke else 300,
+        interactions_per_epoch=1_000 if smoke else 2_000,
+        privacy_charges_per_epoch=1_000 if smoke else 2_000,
     )
     t0 = time.perf_counter()
     first = run_load(**kwargs)
@@ -265,6 +413,8 @@ def bench_load(n_agents: int, smoke: bool) -> Dict[str, Any]:
         + first.ratings_recorded
         + first.reports_filed
         + first.votes_cast
+        + first.interactions_processed
+        + first.privacy_charges
     )
     return {
         "n_agents": n_agents,
@@ -276,6 +426,11 @@ def bench_load(n_agents: int, smoke: bool) -> Dict[str, Any]:
         "txs_included": first.txs_included,
         "trust_computes": first.trust_computes,
         "trust_sweeps": first.trust_sweeps,
+        "interactions_processed": first.interactions_processed,
+        "cases_opened": first.cases_opened,
+        "moderation_backlog": first.moderation_backlog,
+        "privacy_charges": first.privacy_charges,
+        "privacy_refusals": first.privacy_refusals,
         "byte_identical": True,
     }
 
@@ -334,6 +489,8 @@ def run_suite(smoke: bool) -> Dict[str, Any]:
         report["tiers"][str(tier)] = {
             "mempool_select": bench_mempool_select(tier, smoke),
             "reputation_write": bench_reputation_write(tier, smoke),
+            "cascade_round": bench_cascade(tier, smoke),
+            "moderation_classify": bench_moderation(tier, smoke),
             "load_workload": bench_load(tier, smoke),
         }
     report["sketch"] = bench_sketch(smoke)
@@ -344,7 +501,12 @@ def check_gates(report: Dict[str, Any]) -> List[str]:
     """The PR's acceptance gates, evaluated on a finished report."""
     failures: List[str] = []
     tier = report["tiers"]["10000"]
-    for name in ("mempool_select", "reputation_write"):
+    for name in (
+        "mempool_select",
+        "reputation_write",
+        "cascade_round",
+        "moderation_classify",
+    ):
         speedup = tier[name]["speedup_vs_naive"]
         if speedup < REQUIRED_SPEEDUP_AT_10K:
             failures.append(
@@ -377,11 +539,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     for tier, kernels in sorted(report["tiers"].items(), key=lambda kv: int(kv[0])):
         sel = kernels["mempool_select"]
         rep = kernels["reputation_write"]
+        cas = kernels["cascade_round"]
+        mod = kernels["moderation_classify"]
         load = kernels["load_workload"]
         print(
             f"  {int(tier):>7,} agents: "
             f"select {sel['speedup_vs_naive']:6.1f}x | "
             f"reputation {rep['speedup_vs_naive']:5.1f}x | "
+            f"cascade {cas['speedup_vs_naive']:6.1f}x | "
+            f"moderation {mod['speedup_vs_naive']:5.1f}x | "
             f"load {load['ops_per_second']:,.0f} ops/s (byte-identical)"
         )
     sk = report["sketch"]

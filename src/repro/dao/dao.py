@@ -281,6 +281,17 @@ class DAO:
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
+    def turnout_samples(self) -> List[float]:
+        """Per-proposal turnout over closed proposals — the raw
+        distribution behind ``participation_stats``'s mean, for
+        benchmarks that sketch whole turnout distributions."""
+        eligible = max(1, len(self.members))
+        return [
+            len(self._records[p.proposal_id].ballots) / eligible
+            for p in self.proposals()
+            if not p.is_open
+        ]
+
     def participation_stats(self) -> Dict[str, float]:
         """Mean turnout and decision latency over closed proposals."""
         closed = [p for p in self.proposals() if not p.is_open]

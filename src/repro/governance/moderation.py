@@ -22,15 +22,16 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ModerationError
 from repro.governance.sanctions import GraduatedSanctionPolicy
 from repro.obs.instrument import NULL_OBS, Instrumentation
-from repro.world.interactions import Interaction
+from repro.world.interactions import Interaction, InteractionBatch
 
 __all__ = [
     "AbuseClassifier",
@@ -90,6 +91,43 @@ class AbuseClassifier:
             self._cache[key] = bool(self._rng.random() < p)
         return self._cache[key]
 
+    def flag_batch(self, interactions: Sequence[Interaction]) -> np.ndarray:
+        """Flag a whole epoch in one vectorized pass.
+
+        Stream-identical to calling :meth:`flag` on each interaction in
+        order: unseen interactions get their Bernoulli draws from a
+        single ``rng.random(k)`` (the same PCG64 doubles ``k`` scalar
+        draws would consume, in first-occurrence order), and the
+        per-interaction cache keeps repeated consultation consistent.
+        """
+        cache = self._cache
+        keys = [self._key(interaction) for interaction in interactions]
+        pending: List[tuple] = []
+        pending_p: List[float] = []
+        for key, interaction in zip(keys, interactions):
+            if key not in cache:
+                cache[key] = None  # reserve first-occurrence draw order
+                pending.append(key)
+                pending_p.append(self._tpr if interaction.abusive else self._fpr)
+        if pending:
+            draws = self._rng.random(len(pending))
+            verdicts = draws < np.asarray(pending_p, dtype=np.float64)
+            for key, verdict in zip(pending, verdicts):
+                cache[key] = bool(verdict)
+        return np.fromiter((cache[k] for k in keys), dtype=bool, count=len(keys))
+
+    def flag_array(self, abusive: np.ndarray) -> np.ndarray:
+        """Classify a synthetic columnar batch in one vectorized pass.
+
+        Operates on the ground-truth ``abusive`` array alone (the only
+        input the ROC point depends on) and skips the per-interaction
+        cache — synthetic batches are one-shot, never re-consulted.
+        One draw per entry, stream-identical to the scalar loop.
+        """
+        abusive = np.asarray(abusive, dtype=bool)
+        p = np.where(abusive, self._tpr, self._fpr)
+        return self._rng.random(abusive.size) < p
+
 
 class CaseStatus(str, enum.Enum):
     OPEN = "open"
@@ -146,14 +184,27 @@ class ReportDesk:
         self._p = report_probability
 
     def collect(self, interactions: Sequence[Interaction]) -> List[Interaction]:
-        """The subset of delivered abusive interactions that get reported."""
-        reported = []
-        for interaction in interactions:
-            if not interaction.delivered or not interaction.abusive:
-                continue
-            if self._rng.random() < self._p:
-                reported.append(interaction)
-        return reported
+        """The subset of delivered abusive interactions that get reported.
+
+        The willingness draws for all reportable interactions come from
+        one ``rng.random(k)`` call — stream-identical to the scalar
+        per-interaction loop.
+        """
+        candidates = [
+            i for i in interactions if i.delivered and i.abusive
+        ]
+        if not candidates:
+            return []
+        draws = self._rng.random(len(candidates))
+        return [i for i, d in zip(candidates, draws) if d < self._p]
+
+    def collect_batch(self, batch: InteractionBatch) -> np.ndarray:
+        """Row indices of a columnar batch that get reported."""
+        candidates = np.flatnonzero(batch.delivered & batch.abusive)
+        if candidates.size == 0:
+            return candidates
+        draws = self._rng.random(candidates.size)
+        return candidates[draws < self._p]
 
 
 class HumanModeratorPool:
@@ -283,7 +334,10 @@ class ModerationService:
         self._report_desk = report_desk
         self._reviewer = reviewer
         self._obs = obs if obs is not None else NULL_OBS
-        self._queue: List[ModerationCase] = []
+        # FIFO review queue: deque gives O(1) dequeue, so draining never
+        # rescans (a list's pop(0) is O(backlog) per case — quadratic
+        # under sustained burst load).
+        self._queue: Deque[ModerationCase] = deque()
         self._cases: List[ModerationCase] = []
         self._case_counter = itertools.count()
         self._seen_interactions: set = set()
@@ -302,8 +356,9 @@ class ModerationService:
             delivered=len(delivered),
         ) as span:
             if self._classifier is not None:
-                for interaction in delivered:
-                    if self._classifier.flag(interaction):
+                flags = self._classifier.flag_batch(delivered)
+                for interaction, flagged in zip(delivered, flags):
+                    if flagged:
                         case = self._open_case(interaction, CaseSource.AUTOMATED, time)
                         if case is not None and self._reviewer is None:
                             # Full automation: the flag is the verdict.
@@ -331,6 +386,76 @@ class ModerationService:
             reviewed = self._drain_queue(time)
             span.set_attribute("reviewed", reviewed)
             span.set_attribute("backlog", len(self._queue))
+
+    def process_batch(
+        self, batch: InteractionBatch, time: float
+    ) -> Dict[str, int]:
+        """Ingest one columnar epoch at population scale.
+
+        The scale-safe sibling of :meth:`process_epoch`: classification
+        and report willingness are single vectorized draws over the
+        whole batch, and :class:`Interaction` objects are materialised
+        only for the (few) rows that actually become cases.  Returns a
+        summary of what happened this epoch.
+        """
+        delivered_rows = np.flatnonzero(batch.delivered)
+
+        with self._obs.span(
+            "moderation",
+            "batch.process",
+            time=time,
+            delivered=int(delivered_rows.size),
+        ) as span:
+            flagged_rows = np.empty(0, dtype=np.int64)
+            if self._classifier is not None and delivered_rows.size:
+                flags = self._classifier.flag_array(
+                    batch.abusive[delivered_rows]
+                )
+                flagged_rows = delivered_rows[flags]
+
+            opened = 0
+            for row in flagged_rows:
+                interaction = batch.interaction_at(int(row))
+                case = self._open_case(interaction, CaseSource.AUTOMATED, time)
+                if case is None:
+                    continue
+                opened += 1
+                if self._reviewer is None:
+                    case.decide(True, time, decider="auto")
+                    self._emit_verdict(case, time)
+                    self._apply_sanction(
+                        interaction.initiator,
+                        time,
+                        case_id=case.case_id,
+                        reason="automated flag",
+                    )
+
+            reported = 0
+            if self._report_desk is not None:
+                report_rows = self._report_desk.collect_batch(batch)
+                reported = int(report_rows.size)
+                if reported:
+                    self._obs.counter("moderation.reports_filed").inc(reported)
+                for row in report_rows:
+                    interaction = batch.interaction_at(int(row))
+                    if self._open_case(
+                        interaction, CaseSource.REPORT, time
+                    ) is not None:
+                        opened += 1
+
+            reviewed = self._drain_queue(time)
+            span.set_attribute("flagged", int(flagged_rows.size))
+            span.set_attribute("reviewed", reviewed)
+            span.set_attribute("backlog", len(self._queue))
+
+        return {
+            "delivered": int(delivered_rows.size),
+            "flagged": int(flagged_rows.size),
+            "reported": reported,
+            "opened": opened,
+            "reviewed": reviewed,
+            "backlog": len(self._queue),
+        }
 
     def _open_case(
         self, interaction: Interaction, source: CaseSource, time: float
@@ -365,7 +490,7 @@ class ModerationService:
         capacity = getattr(self._reviewer, "capacity_per_epoch", 0)
         processed = 0
         while self._queue and processed < capacity:
-            case = self._queue.pop(0)
+            case = self._queue.popleft()
             verdict = self._reviewer.review(case, time)
             self._emit_verdict(case, time)
             if verdict:

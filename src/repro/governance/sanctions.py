@@ -61,7 +61,9 @@ class GraduatedSanctionPolicy:
     ladder is 1 → warning, 2 → mute, 3 → suspension, 4+ → ban.
 
     The policy is the single writer of avatar status (governance owns
-    sanctions; the world merely enforces them).
+    sanctions; the world merely enforces them).  ``world`` may be None
+    for population-scale runs that track offences and sanction records
+    without materialising avatars.
     """
 
     DEFAULT_THRESHOLDS: Tuple[Tuple[int, SanctionLevel], ...] = (
@@ -73,7 +75,7 @@ class GraduatedSanctionPolicy:
 
     def __init__(
         self,
-        world: World,
+        world: Optional[World] = None,
         thresholds: Optional[Tuple[Tuple[int, SanctionLevel], ...]] = None,
         reputation_hook: Optional[Callable[[str, float], None]] = None,
     ):
@@ -109,7 +111,7 @@ class GraduatedSanctionPolicy:
         count = self.offence_count(offender) + 1
         self._offences[offender] = count
         level = self.level_for(count)
-        if offender in self._world:
+        if self._world is not None and offender in self._world:
             self._world.set_status(offender, level.avatar_status)
         record = SanctionRecord(
             offender=offender, level=level, time=time, case_id=case_id, reason=reason

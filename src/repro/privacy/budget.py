@@ -9,7 +9,7 @@ spent, further DP releases about them raise
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import PrivacyBudgetExceeded, PrivacyError
 
@@ -83,6 +83,57 @@ class PrivacyBudget:
         self._ledger.append(
             BudgetLedgerEntry(subject=subject, epsilon=epsilon, channel=channel, time=time)
         )
+
+    def charge_many(
+        self,
+        subjects: Sequence[str],
+        epsilons: Sequence[float],
+        channel: str = "",
+        time: float = 0.0,
+        record_ledger: bool = True,
+    ) -> List[bool]:
+        """Meter a batch of releases; returns per-entry acceptance.
+
+        Equivalent to charging each ``(subject, epsilon)`` pair in order
+        with :meth:`charge` and skipping the entries that raise
+        :class:`PrivacyBudgetExceeded` — refused entries spend nothing
+        and write no ledger row, while later entries for the same
+        subject may still fit (order matters).  ``record_ledger=False``
+        keeps only the accumulator updates, for population-scale runs
+        where a per-release ledger would dominate memory.
+
+        Raises
+        ------
+        PrivacyError
+            On any negative epsilon — before *any* entry is applied, so
+            a bad batch never half-spends.
+        """
+        if len(subjects) != len(epsilons):
+            raise PrivacyError(
+                f"subjects length {len(subjects)} != epsilons length {len(epsilons)}"
+            )
+        for epsilon in epsilons:
+            if epsilon < 0:
+                raise PrivacyError(f"epsilon must be >= 0, got {epsilon}")
+        spent = self._spent
+        caps = self._caps
+        default_cap = self._default_cap
+        accepted: List[bool] = []
+        for subject, epsilon in zip(subjects, epsilons):
+            used = spent.get(subject, 0.0)
+            cap = caps.get(subject, default_cap)
+            if epsilon > max(0.0, cap - used) + 1e-12:
+                accepted.append(False)
+                continue
+            spent[subject] = used + epsilon
+            if record_ledger:
+                self._ledger.append(
+                    BudgetLedgerEntry(
+                        subject=subject, epsilon=epsilon, channel=channel, time=time
+                    )
+                )
+            accepted.append(True)
+        return accepted
 
     @property
     def ledger(self) -> List[BudgetLedgerEntry]:

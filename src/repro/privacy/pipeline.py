@@ -21,7 +21,7 @@ Consumers subscribe per channel and only ever see sanitised frames.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConsentError, PrivacyBudgetExceeded, PrivacyError
 from repro.obs.instrument import NULL_OBS, Instrumentation
@@ -197,13 +197,108 @@ class PrivacyPipeline:
         return protected, "released"
 
     def ingest_all(self, frames: List[SensorFrame]) -> List[SensorFrame]:
-        """Ingest a batch; returns only the released frames."""
-        released = []
-        for frame in frames:
-            out = self.ingest(frame)
-            if out is not None:
-                released.append(out)
-        return released
+        """Ingest a batch; returns only the released frames, in offered order.
+
+        The batched path runs the stages per *channel* instead of per
+        frame: the PET is resolved once, consent verdicts are cached per
+        subject, and all surviving frames of a channel are metered with
+        one :meth:`PrivacyBudget.charge_many` call.  Within a channel
+        frames are processed in offered order, so outcomes match the
+        per-frame :meth:`ingest` loop; the whole batch emits one span
+        with aggregate counters instead of a span per frame.  Stage-4
+        disclosure (LED, audit hook, consumer delivery) stays per frame.
+        """
+        if not frames:
+            return []
+        self.stats.offered += len(frames)
+
+        by_channel: Dict[str, List[int]] = {}
+        for i, frame in enumerate(frames):
+            by_channel.setdefault(frame.channel, []).append(i)
+
+        released: List[Optional[SensorFrame]] = [None] * len(frames)
+        outcomes: Dict[str, int] = {}
+
+        with self._obs.span(
+            "privacy.pipeline",
+            "batch.ingest",
+            time=frames[0].time,
+            frames=len(frames),
+            channels=len(by_channel),
+        ) as span:
+            for channel, idxs in by_channel.items():
+                pet = self.pet_for(channel)
+                consent_cache: Dict[str, bool] = {}
+                survivors: List[Tuple[int, SensorFrame, SensorFrame]] = []
+
+                for i in idxs:
+                    frame = frames[i]
+                    allowed = consent_cache.get(frame.subject)
+                    if allowed is None:
+                        try:
+                            self.consent.check(frame.subject, channel)
+                            allowed = True
+                        except ConsentError:
+                            allowed = False
+                        consent_cache[frame.subject] = allowed
+                    if not allowed:
+                        self.stats.blocked_consent += 1
+                        outcomes["blocked_consent"] = outcomes.get("blocked_consent", 0) + 1
+                        continue
+                    protected = pet.apply(self._scrub_bystanders(frame))
+                    if protected is None:
+                        self.stats.suppressed += 1
+                        outcomes["suppressed"] = outcomes.get("suppressed", 0) + 1
+                        continue
+                    survivors.append((i, frame, protected))
+
+                if pet.epsilon > 0 and survivors:
+                    accepted = self.budget.charge_many(
+                        [f.subject for _, f, _ in survivors],
+                        [pet.epsilon] * len(survivors),
+                        channel=channel,
+                        time=survivors[0][1].time,
+                    )
+                else:
+                    accepted = [True] * len(survivors)
+
+                refused = len(survivors) - sum(accepted)
+                if refused:
+                    self._obs.event(
+                        "privacy.pipeline",
+                        "budget.exhausted",
+                        time=survivors[0][1].time,
+                        channel=channel,
+                        refused=refused,
+                        epsilon=pet.epsilon,
+                    )
+
+                for (i, frame, protected), ok in zip(survivors, accepted):
+                    if not ok:
+                        self.stats.blocked_budget += 1
+                        outcomes["blocked_budget"] = outcomes.get("blocked_budget", 0) + 1
+                        continue
+                    if pet.epsilon > 0:
+                        self._obs.histogram(
+                            "privacy.pipeline.epsilon_spent"
+                        ).observe(pet.epsilon)
+                    self.indicator.collection_started(channel, frame.time)
+                    try:
+                        if self._audit_hook is not None:
+                            self._audit_hook(protected, pet.name)
+                        for consumer in self._consumers.get(channel, []):
+                            consumer(protected)
+                    finally:
+                        self.indicator.collection_stopped(channel, frame.time)
+                    self.stats.released += 1
+                    outcomes["released"] = outcomes.get("released", 0) + 1
+                    released[i] = protected
+
+            for outcome, count in outcomes.items():
+                self._obs.counter(f"privacy.pipeline.{outcome}").inc(count)
+            span.set_attribute("released", outcomes.get("released", 0))
+
+        return [f for f in released if f is not None]
 
     # ------------------------------------------------------------------
     # Internals

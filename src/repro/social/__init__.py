@@ -13,7 +13,7 @@ from repro.social.behavior import (
     BehaviorSimulator,
     standard_mix,
 )
-from repro.social.graph import SocialGraph
+from repro.social.graph import CsrSnapshot, SocialGraph
 from repro.social.misinformation import (
     MisinformationModel,
     SpreadResult,
@@ -26,6 +26,7 @@ __all__ = [
     "BehaviorProfile",
     "BehaviorSimulator",
     "standard_mix",
+    "CsrSnapshot",
     "SocialGraph",
     "MisinformationModel",
     "SpreadResult",

@@ -14,8 +14,24 @@ rumour variant of SIR:
 * spreaders stifle (stop sharing) with probability ``stifle_prob`` each
   round after spreading once.
 
+Two implementations share the exact same PCG64 stream:
+
+* the **loop** path (``vectorized=False``) visits spreaders in sorted
+  member order and their ties in sorted neighbour order, one scalar
+  Bernoulli draw per ignorant neighbour plus one stifle draw per
+  spreader;
+* the **vectorized** path (default) compiles the graph to a CSR
+  snapshot and gathers every draw a round needs into a single
+  ``rng.random(total)`` call — ``rng.random(k)`` consumes the identical
+  PCG64 doubles as ``k`` scalar draws, so the two paths produce
+  byte-identical cascades (reached set, timeline, rounds) at the same
+  seed.  Property tests in ``tests/property/test_cascade_props.py`` pin
+  this equivalence.
+
 Benchmark E7 compares reach with credibility off vs on (liars having
-earned low reputations through prior fact-check feedback).
+earned low reputations through prior fact-check feedback);
+``benchmarks/scaling.py`` gates the vectorized path ≥3× over the loop
+at the 10k-member tier.
 """
 
 from __future__ import annotations
@@ -33,6 +49,8 @@ __all__ = ["SpreadState", "SpreadResult", "MisinformationModel"]
 
 # Credibility lookup: member id → [0, 1].
 CredibilityFn = Callable[[str], float]
+
+_IGNORANT, _SPREADER, _STIFLER = np.int8(0), np.int8(1), np.int8(2)
 
 
 class SpreadState(str, enum.Enum):
@@ -77,6 +95,9 @@ class MisinformationModel:
     credibility:
         Optional reputation lookup; None disables credibility gating
         (every source is fully believed — the paper's "bad internet").
+    vectorized:
+        Use the CSR round-vectorized engine (default).  ``False`` is
+        the scalar escape hatch; both consume the identical rng stream.
     """
 
     def __init__(
@@ -86,6 +107,7 @@ class MisinformationModel:
         base_share_prob: float = 0.6,
         stifle_prob: float = 0.25,
         credibility: Optional[CredibilityFn] = None,
+        vectorized: bool = True,
     ):
         if not 0 <= base_share_prob <= 1:
             raise ReproError(
@@ -98,11 +120,112 @@ class MisinformationModel:
         self._base = base_share_prob
         self._stifle = stifle_prob
         self._credibility = credibility
+        self._vectorized = vectorized
 
     def spread(self, seeds: List[str], max_rounds: int = 200) -> SpreadResult:
         """Run one cascade from ``seeds`` until it dies or round cap."""
-        members = set(self._graph.members())
-        unknown = [s for s in seeds if s not in members]
+        if self._vectorized:
+            return self._spread_vectorized(seeds, max_rounds)
+        return self._spread_loop(seeds, max_rounds)
+
+    # ------------------------------------------------------------------
+    # Vectorized engine: one rng.random(total) per round over the CSR
+    # ------------------------------------------------------------------
+    def _spread_vectorized(self, seeds: List[str], max_rounds: int) -> SpreadResult:
+        snap = self._graph.csr()
+        index = snap.index
+        unknown = [s for s in seeds if s not in index]
+        if unknown:
+            raise ReproError(f"seed(s) not in graph: {unknown[:5]}")
+        ids = snap.ids
+        indptr, indices, weights = snap.indptr, snap.indices, snap.weights
+        state = np.zeros(snap.n_members, dtype=np.int8)
+        seed_idx = np.array(sorted({index[s] for s in seeds}), dtype=np.int64)
+        state[seed_idx] = _SPREADER
+        reached: Set[str] = set(seeds)
+        timeline: List[int] = [len(seeds)]
+
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            spreaders = np.flatnonzero(state == _SPREADER)
+            if spreaders.size == 0:
+                break
+
+            # Gather every (spreader, neighbour) pair of the round in
+            # sorted-spreader-then-sorted-neighbour order — exactly the
+            # loop path's visit order.
+            starts = indptr[spreaders].astype(np.int64)
+            counts = (indptr[spreaders + 1] - indptr[spreaders]).astype(np.int64)
+            total = int(counts.sum())
+            if total:
+                group_starts = np.cumsum(counts) - counts
+                flat = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(group_starts, counts)
+                    + np.repeat(starts, counts)
+                )
+                nbrs = indices[flat]
+                tie_w = weights[flat]
+                owner = np.repeat(
+                    np.arange(spreaders.size, dtype=np.int64), counts
+                )
+                ig = state[nbrs] == _IGNORANT
+                nbrs_ig, tie_ig, owner_ig = nbrs[ig], tie_w[ig], owner[ig]
+            else:
+                nbrs_ig = np.empty(0, dtype=np.int32)
+                tie_ig = np.empty(0, dtype=np.float64)
+                owner_ig = np.empty(0, dtype=np.int64)
+
+            if self._credibility is None:
+                cred = None
+            else:
+                cred = np.clip(
+                    np.array(
+                        [float(self._credibility(ids[s])) for s in spreaders],
+                        dtype=np.float64,
+                    ),
+                    0.0,
+                    1.0,
+                )
+
+            # Draw layout per spreader: k ignorant-neighbour draws, then
+            # one stifle draw — the same doubles, in the same order, the
+            # scalar loop consumes.
+            k = np.bincount(owner_ig, minlength=spreaders.size)
+            draw_starts = np.cumsum(k + 1) - (k + 1)
+            draws = self._rng.random(int(k.sum()) + spreaders.size)
+
+            if nbrs_ig.size:
+                k_starts = np.cumsum(k) - k
+                within = np.arange(nbrs_ig.size, dtype=np.int64) - np.repeat(
+                    k_starts, k
+                )
+                share_draws = draws[draw_starts[owner_ig] + within]
+                p = self._base * tie_ig
+                if cred is not None:
+                    p = p * cred[owner_ig]
+                hits = nbrs_ig[share_draws < p]
+            else:
+                hits = nbrs_ig
+            stifled = draws[draw_starts + k] < self._stifle
+            state[spreaders[stifled]] = _STIFLER
+
+            new_idx = np.unique(hits)
+            state[new_idx] = _SPREADER
+            reached.update(ids[i] for i in new_idx)
+            timeline.append(int(new_idx.size))
+            if new_idx.size == 0 and not (state == _SPREADER).any():
+                break
+        return SpreadResult(rounds=rounds, reached=reached, timeline=timeline)
+
+    # ------------------------------------------------------------------
+    # Scalar engine: the reference loop (escape hatch)
+    # ------------------------------------------------------------------
+    def _spread_loop(self, seeds: List[str], max_rounds: int) -> SpreadResult:
+        members = self._graph.sorted_members()
+        member_set = set(members)
+        unknown = [s for s in seeds if s not in member_set]
         if unknown:
             raise ReproError(f"seed(s) not in graph: {unknown[:5]}")
         state: Dict[str, SpreadState] = {m: SpreadState.IGNORANT for m in members}
@@ -114,9 +237,9 @@ class MisinformationModel:
         rounds = 0
         while rounds < max_rounds:
             rounds += 1
-            spreaders = sorted(
-                m for m, s in state.items() if s is SpreadState.SPREADER
-            )
+            # ``members`` is sorted once per cascade; filtering preserves
+            # that order, so no per-round re-sort.
+            spreaders = [m for m in members if state[m] is SpreadState.SPREADER]
             if not spreaders:
                 break
             new_believers: List[str] = []
@@ -126,7 +249,7 @@ class MisinformationModel:
                     if self._credibility is None
                     else float(np.clip(self._credibility(spreader), 0.0, 1.0))
                 )
-                for neighbor in sorted(self._graph.neighbors(spreader)):
+                for neighbor in self._graph.sorted_neighbors(spreader):
                     if state[neighbor] is not SpreadState.IGNORANT:
                         continue
                     p = self._base * self._graph.trust(spreader, neighbor) * credibility
@@ -146,14 +269,21 @@ class MisinformationModel:
                 break
         return SpreadResult(rounds=rounds, reached=reached, timeline=timeline)
 
+    def reach_samples(
+        self, seeds: List[str], repetitions: int, max_rounds: int = 200
+    ) -> List[float]:
+        """Per-cascade reach fractions over repeated cascades."""
+        if repetitions < 1:
+            raise ReproError(f"repetitions must be >= 1, got {repetitions}")
+        population = len(self._graph)
+        return [
+            self.spread(seeds, max_rounds).reach_fraction(population)
+            for _ in range(repetitions)
+        ]
+
     def mean_reach(
         self, seeds: List[str], repetitions: int, max_rounds: int = 200
     ) -> float:
         """Average reach fraction over repeated cascades."""
-        if repetitions < 1:
-            raise ReproError(f"repetitions must be >= 1, got {repetitions}")
-        population = len(self._graph)
-        total = 0.0
-        for _ in range(repetitions):
-            total += self.spread(seeds, max_rounds).reach_fraction(population)
-        return total / repetitions
+        samples = self.reach_samples(seeds, repetitions, max_rounds)
+        return sum(samples) / len(samples)

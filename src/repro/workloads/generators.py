@@ -9,6 +9,9 @@ benchmarks and tests stay declarative:
   at a given clone-usage rate (experiment E2).
 * :func:`dao_proposal_load` — a stream of proposal descriptors spread
   over topics (experiment E5).
+* :func:`synthetic_interaction_batch` — one columnar epoch of
+  avatar-to-avatar interactions for batched moderation at population
+  scale (the load workload's moderation phase).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import numpy as np
 from repro.privacy.avatars import AvatarIdentityManager, SessionObservation
 from repro.privacy.profiles import UserProfile, generate_population
 from repro.privacy.sensors import GaitSensor, GazeSensor, HeartRateSensor, Sensor, SensorFrame
+from repro.world.interactions import InteractionBatch, InteractionKind
 
 __all__ = [
     "SensorCorpus",
@@ -28,6 +32,7 @@ __all__ = [
     "LinkageWorkload",
     "linkage_workload",
     "dao_proposal_load",
+    "synthetic_interaction_batch",
 ]
 
 
@@ -192,6 +197,50 @@ def evaluate_linkage(workload: LinkageWorkload) -> float:
     if not workload.anonymous_sessions:
         return 0.0
     return hits / len(workload.anonymous_sessions)
+
+
+def synthetic_interaction_batch(
+    n_agents: int,
+    n_interactions: int,
+    time: float,
+    rng: np.random.Generator,
+    abusive_rate: float = 0.05,
+    undelivered_rate: float = 0.05,
+    kind: str = InteractionKind.CHAT.value,
+    id_of=None,
+) -> InteractionBatch:
+    """One columnar epoch of synthetic interactions.
+
+    Initiator/target indices are uniform over the population (self
+    targets bumped to the next agent), ``abusive`` is the ground-truth
+    misconduct label at ``abusive_rate``, and ``undelivered_rate``
+    models upstream gates (bubbles, statuses) dropping a fraction before
+    moderation ever sees them.  Deterministic given ``rng``.
+    """
+    if n_agents < 2:
+        raise ValueError(f"n_agents must be >= 2, got {n_agents}")
+    if n_interactions < 0:
+        raise ValueError(f"n_interactions must be >= 0, got {n_interactions}")
+    for name, rate in (("abusive_rate", abusive_rate),
+                       ("undelivered_rate", undelivered_rate)):
+        if not 0 <= rate <= 1:
+            raise ValueError(f"{name} must be in [0, 1], got {rate}")
+    initiators = rng.integers(0, n_agents, size=n_interactions, dtype=np.int64)
+    targets = rng.integers(0, n_agents, size=n_interactions, dtype=np.int64)
+    clash = targets == initiators
+    targets[clash] = (targets[clash] + 1) % n_agents
+    abusive = rng.random(n_interactions) < abusive_rate
+    delivered = rng.random(n_interactions) >= undelivered_rate
+    kwargs = {} if id_of is None else {"id_of": id_of}
+    return InteractionBatch(
+        time=time,
+        initiators=initiators,
+        targets=targets,
+        abusive=abusive,
+        delivered=delivered,
+        kind=kind,
+        **kwargs,
+    )
 
 
 def dao_proposal_load(

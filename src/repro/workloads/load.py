@@ -13,7 +13,14 @@ for N epochs —
 * **reports** — negative feedback (misconduct reports) into the same
   reputation graph, with severities recorded;
 * **votes** — one DAO proposal per epoch, ballots from a sampled
-  electorate, closed at the epoch boundary.
+  electorate, closed at the epoch boundary;
+* **moderation** — one columnar :class:`InteractionBatch` per epoch
+  through the batched moderation pipeline (vectorized classification,
+  reports, capacity-bounded review, graduated sanctions without a
+  ``World``);
+* **privacy budget** — a burst of DP charges per epoch through
+  :meth:`PrivacyBudget.charge_many`, concentrated on a hot subset so
+  caps genuinely exhaust and refusals exercise the deny path.
 
 Everything is deterministic given the seed: agent addresses are hash
 derived, sampling uses a dedicated ``random.Random``, and no wall-clock
@@ -40,12 +47,22 @@ from typing import Any, Dict, List, Optional
 
 from repro.dao.dao import DAO
 from repro.dao.members import Member
+from repro.governance.moderation import (
+    AbuseClassifier,
+    HumanModeratorPool,
+    ModerationService,
+    ReportDesk,
+)
+from repro.governance.sanctions import GraduatedSanctionPolicy
 from repro.ledger.chain import Blockchain
 from repro.ledger.consensus import PoAConsensus
 from repro.ledger.crypto import sha256
 from repro.ledger.transactions import Transaction, TxKind
+from repro.privacy.budget import PrivacyBudget
 from repro.reputation.system import ReputationSystem
 from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RngRegistry
+from repro.workloads.generators import synthetic_interaction_batch
 
 __all__ = [
     "SyntheticSignedTransaction",
@@ -122,6 +139,12 @@ class LoadRunResult:
     proposals_closed: int
     trust_computes: int
     trust_sweeps: int
+    interactions_processed: int
+    cases_opened: int
+    cases_reviewed: int
+    moderation_backlog: int
+    privacy_charges: int
+    privacy_refusals: int
     metrics: Dict[str, Any]
 
 
@@ -136,14 +159,20 @@ def run_load(
     block_size: int = 250,
     histogram_backend: str = "sketch",
     electorate_size: Optional[int] = 5_000,
+    interactions_per_epoch: int = 2_000,
+    privacy_charges_per_epoch: int = 2_000,
+    privacy_cap: float = 4.0,
 ) -> LoadRunResult:
     """Run the population-scale workload; see the module docstring.
 
     ``electorate_size`` bounds DAO membership (member objects carry
     per-member attention state, which at full population size would be
     setup cost, not load); pass None to enrol every agent.
+    ``privacy_cap`` is the per-subject epsilon cap; charges target a hot
+    1% subset of the population so the cap actually binds.
     """
     rng = random.Random(seed)
+    rngs = RngRegistry(seed=seed)
     registry = MetricsRegistry(histogram_backend=histogram_backend)
 
     agents = [agent_address(i) for i in range(n_agents)]
@@ -165,9 +194,30 @@ def run_load(
     for address in agents[:n_members]:
         dao.add_member(Member(address=address, tokens=1.0))
 
+    # Moderation runs sans World: sanctions track offenders by address,
+    # and interactions arrive as columnar batches, never avatar objects.
+    moderation = ModerationService(
+        sanctions=GraduatedSanctionPolicy(world=None),
+        classifier=AbuseClassifier(rngs.stream("load.moderation.classifier")),
+        report_desk=ReportDesk(rngs.stream("load.moderation.reports")),
+        reviewer=HumanModeratorPool(
+            rngs.stream("load.moderation.reviewer"),
+            capacity_per_epoch=max(20, interactions_per_epoch // 20),
+        ),
+    )
+    interactions_rng = rngs.stream("load.interactions")
+
+    budget = PrivacyBudget(default_cap=privacy_cap)
+    privacy_rng = rngs.stream("load.privacy")
+    # Hot subjects: ~1% of the population absorbs every charge, so caps
+    # exhaust mid-run and the refusal path carries real traffic.
+    n_hot = max(1, n_agents // 100)
+
     nonces = [0] * n_agents
     txs_submitted = txs_included = 0
     ratings = reports = votes_cast = proposals_closed = 0
+    interactions_processed = cases_opened = cases_reviewed = 0
+    privacy_charges = privacy_refusals = 0
 
     for epoch in range(epochs):
         now = float(epoch)
@@ -252,6 +302,52 @@ def run_load(
             votes_cast += 1
         proposals_closed += len(dao.close_due(now + 1.0))
 
+        # Moderation: one columnar batch through the vectorized pipeline.
+        if interactions_per_epoch > 0:
+            batch = synthetic_interaction_batch(
+                n_agents,
+                interactions_per_epoch,
+                time=now,
+                rng=interactions_rng,
+                id_of=agent_address,
+            )
+            summary = moderation.process_batch(batch, time=now)
+            interactions_processed += len(batch)
+            cases_opened += summary["opened"]
+            cases_reviewed += summary["reviewed"]
+            registry.counter("load.moderation.flagged").inc(summary["flagged"])
+            registry.counter("load.moderation.reported").inc(summary["reported"])
+            registry.counter("load.moderation.reviewed").inc(summary["reviewed"])
+            registry.gauge("load.moderation.backlog").set(
+                float(summary["backlog"])
+            )
+
+        # Privacy budget: a batched burst of DP charges on hot subjects.
+        if privacy_charges_per_epoch > 0:
+            hot = privacy_rng.integers(0, n_hot, size=privacy_charges_per_epoch)
+            epsilons = privacy_rng.uniform(
+                0.05, 0.5, size=privacy_charges_per_epoch
+            )
+            accepted = budget.charge_many(
+                [agents[i] for i in hot],
+                epsilons.tolist(),
+                channel="telemetry",
+                time=now,
+                record_ledger=False,
+            )
+            granted = sum(accepted)
+            privacy_charges += len(accepted)
+            privacy_refusals += len(accepted) - granted
+            registry.counter("load.privacy.charges").inc(len(accepted))
+            registry.counter("load.privacy.refusals").inc(
+                len(accepted) - granted
+            )
+            for epsilon, ok in zip(epsilons, accepted):
+                if ok:
+                    registry.histogram("load.privacy.epsilon").observe(
+                        float(epsilon)
+                    )
+
         # Refresh global trust once per epoch: the warm-started sparse
         # solve is the measured reputation write path.
         trust = reputation.global_trust()
@@ -271,5 +367,11 @@ def run_load(
         proposals_closed=proposals_closed,
         trust_computes=reputation.trust_compute_count,
         trust_sweeps=reputation.trust_sweep_count,
+        interactions_processed=interactions_processed,
+        cases_opened=cases_opened,
+        cases_reviewed=cases_reviewed,
+        moderation_backlog=moderation.backlog,
+        privacy_charges=privacy_charges,
+        privacy_refusals=privacy_refusals,
         metrics=registry.as_dict(),
     )

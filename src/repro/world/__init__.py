@@ -7,7 +7,12 @@ potential-field redirected walking.
 """
 
 from repro.world.avatar import Avatar, AvatarStatus
-from repro.world.interactions import Interaction, InteractionKind, InteractionLog
+from repro.world.interactions import (
+    Interaction,
+    InteractionBatch,
+    InteractionKind,
+    InteractionLog,
+)
 from repro.world.safety import Obstacle, RoomSimulation, SafetyConfig, SafetyReport
 from repro.world.sessions import Session, SessionManager
 from repro.world.space import SpatialGrid
@@ -17,6 +22,7 @@ __all__ = [
     "Avatar",
     "AvatarStatus",
     "Interaction",
+    "InteractionBatch",
     "InteractionKind",
     "InteractionLog",
     "Obstacle",

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
-__all__ = ["InteractionKind", "Interaction", "InteractionLog"]
+import numpy as np
+
+__all__ = ["InteractionKind", "Interaction", "InteractionBatch", "InteractionLog"]
 
 
 class InteractionKind(str, enum.Enum):
@@ -56,6 +58,49 @@ class Interaction:
     blocked_by: Optional[str] = None
     abusive: bool = False
     metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class InteractionBatch:
+    """One epoch of interactions in columnar (struct-of-arrays) form.
+
+    The scale-safe counterpart of a ``Sequence[Interaction]``: agent
+    *indices* plus parallel ``abusive``/``delivered`` bool arrays, so
+    population-scale pipelines (batched moderation, the load workload)
+    never materialise per-interaction objects.  ``id_of`` maps an agent
+    index to its stable id; :meth:`interaction_at` materialises a real
+    :class:`Interaction` lazily for the (few) rows that become cases.
+    """
+
+    time: float
+    initiators: np.ndarray  # int64 agent indices
+    targets: np.ndarray  # int64 agent indices
+    abusive: np.ndarray  # bool, ground truth
+    delivered: np.ndarray  # bool
+    kind: str = InteractionKind.CHAT.value
+    id_of: Callable[[int], str] = staticmethod(lambda i: f"agent-{i:07d}")
+
+    def __post_init__(self) -> None:
+        n = len(self.initiators)
+        for name in ("targets", "abusive", "delivered"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(
+                    f"{name} length {len(getattr(self, name))} != {n}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.initiators)
+
+    def interaction_at(self, i: int) -> Interaction:
+        """Materialise row ``i`` as a regular :class:`Interaction`."""
+        return Interaction(
+            time=self.time,
+            initiator=self.id_of(int(self.initiators[i])),
+            target=self.id_of(int(self.targets[i])),
+            kind=self.kind,
+            delivered=bool(self.delivered[i]),
+            abusive=bool(self.abusive[i]),
+        )
 
 
 class InteractionLog:

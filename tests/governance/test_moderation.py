@@ -210,3 +210,122 @@ class TestScoring:
         score = service.score([])
         assert score.precision == 0.0
         assert score.recall == 0.0
+
+
+class TestBatchedClassification:
+    def mixed_interactions(self, n=40):
+        out = []
+        for t in range(n):
+            if t % 3 == 0:
+                out.append(abuse(time=float(t), initiator=f"p{t}"))
+            else:
+                out.append(benign(time=float(t), initiator=f"b{t}"))
+        return out
+
+    def test_flag_batch_matches_scalar_stream(self, rngs):
+        interactions = self.mixed_interactions()
+        scalar = AbuseClassifier(
+            rngs.fresh("batch-eq"), true_positive_rate=0.7,
+            false_positive_rate=0.2,
+        )
+        batched = AbuseClassifier(
+            rngs.fresh("batch-eq"), true_positive_rate=0.7,
+            false_positive_rate=0.2,
+        )
+        expected = [scalar.flag(i) for i in interactions]
+        assert list(batched.flag_batch(interactions)) == expected
+
+    def test_flag_batch_respects_cache_and_duplicates(self, rngs):
+        classifier = AbuseClassifier(
+            rngs.fresh("batch-cache"), true_positive_rate=0.5,
+            false_positive_rate=0.5,
+        )
+        event = abuse()
+        first = classifier.flag(event)
+        # Duplicates in one batch and across calls reuse the cached draw.
+        flags = classifier.flag_batch([event, event, benign(), event])
+        assert flags[0] == flags[1] == flags[3] == first
+        assert list(classifier.flag_batch([event])) == [first]
+
+    def test_flag_array_matches_scalar_draw_loop(self, rngs):
+        import numpy as np
+
+        abusive = np.array([True, False, True, True, False] * 8)
+        vec = AbuseClassifier(
+            rngs.fresh("array-eq"), true_positive_rate=0.8,
+            false_positive_rate=0.05,
+        ).flag_array(abusive)
+        rng = rngs.fresh("array-eq")
+        loop = [rng.random() < (0.8 if a else 0.05) for a in abusive]
+        assert list(vec) == loop
+
+    def test_collect_batch_matches_collect(self, rngs):
+        from repro.workloads.generators import synthetic_interaction_batch
+
+        batch = synthetic_interaction_batch(
+            50, 200, time=0.0, rng=rngs.fresh("desk-batch"),
+            abusive_rate=0.3, undelivered_rate=0.2,
+        )
+        desk_rows = ReportDesk(rngs.fresh("desk-eq"), report_probability=0.5)
+        desk_objs = ReportDesk(rngs.fresh("desk-eq"), report_probability=0.5)
+        rows = list(desk_rows.collect_batch(batch))
+        materialised = [batch.interaction_at(i) for i in range(len(batch))]
+        reported = desk_objs.collect(materialised)
+        assert [batch.interaction_at(r).initiator for r in rows] == [
+            i.initiator for i in reported
+        ]
+
+
+class TestBatchedService:
+    def test_process_batch_without_world(self, rngs):
+        from repro.workloads.generators import synthetic_interaction_batch
+
+        sanctions = GraduatedSanctionPolicy(world=None)
+        service = ModerationService(
+            sanctions=sanctions,
+            classifier=AbuseClassifier(rngs.fresh("pb-clf")),
+            report_desk=ReportDesk(rngs.fresh("pb-desk")),
+            reviewer=HumanModeratorPool(
+                rngs.fresh("pb-rev"), capacity_per_epoch=10
+            ),
+        )
+        batch = synthetic_interaction_batch(
+            100, 500, time=0.0, rng=rngs.fresh("pb-batch"),
+            abusive_rate=0.2,
+        )
+        summary = service.process_batch(batch, time=0.0)
+        assert summary["delivered"] <= len(batch)
+        assert summary["opened"] > 0
+        assert summary["reviewed"] == 10
+        assert summary["backlog"] == service.backlog
+        # Upheld cases landed sanctions keyed by synthetic agent ids.
+        if any(c.status is CaseStatus.UPHELD for c in service.cases):
+            assert sanctions.records
+
+    def test_backlog_drains_fifo_under_burst(self, rngs):
+        sanctions = GraduatedSanctionPolicy(world=None)
+        service = ModerationService(
+            sanctions=sanctions,
+            classifier=AbuseClassifier(
+                rngs.fresh("burst-clf"), true_positive_rate=1.0,
+                false_positive_rate=0.0,
+            ),
+            reviewer=HumanModeratorPool(
+                rngs.fresh("burst-rev"), capacity_per_epoch=5
+            ),
+        )
+        burst = [
+            abuse(time=0.0, initiator=f"perp-{i}") for i in range(23)
+        ]
+        service.process_epoch(burst, time=0.0)
+        assert service.backlog == 23 - 5
+        # Quiet epochs drain the queue at capacity, oldest first.
+        for epoch in range(1, 5):
+            service.process_epoch([], time=float(epoch))
+        assert service.backlog == 0
+        decided = [c for c in service.cases if c.decided_at is not None]
+        order = [c.decided_at for c in decided]
+        assert order == sorted(order)
+        # FIFO: within the burst, case ids decide in opening order.
+        ids = [c.case_id for c in decided]
+        assert ids == sorted(ids)

@@ -82,3 +82,72 @@ class TestLedgerAndReset:
         assert budget.remaining("u") == 1.0
         # Ledger history survives resets (it is an audit record).
         assert len(budget.ledger) == 1
+
+
+class TestChargeMany:
+    ENTRIES = [
+        ("a", 0.4), ("b", 0.5), ("a", 0.4), ("a", 0.3),
+        ("b", 0.6), ("a", 0.2), ("c", 0.0), ("b", 0.4),
+    ]
+
+    def sequential(self, budget):
+        verdicts = []
+        for subject, epsilon in self.ENTRIES:
+            try:
+                budget.charge(subject, epsilon, channel="ch", time=1.0)
+                verdicts.append(True)
+            except PrivacyBudgetExceeded:
+                verdicts.append(False)
+        return verdicts
+
+    def test_matches_sequential_charge(self):
+        seq = PrivacyBudget(default_cap=1.0)
+        bat = PrivacyBudget(default_cap=1.0)
+        expected = self.sequential(seq)
+        got = bat.charge_many(
+            [s for s, _ in self.ENTRIES],
+            [e for _, e in self.ENTRIES],
+            channel="ch",
+            time=1.0,
+        )
+        assert got == expected
+        for subject in "abc":
+            assert bat.spent(subject) == pytest.approx(seq.spent(subject))
+        assert bat.ledger == seq.ledger
+
+    def test_cap_exceeded_skips_entry_not_suffix(self):
+        # A refused entry must not poison later, smaller charges for the
+        # same subject — order semantics match the sequential loop.
+        budget = PrivacyBudget(default_cap=1.0)
+        accepted = budget.charge_many(["u", "u", "u"], [0.9, 0.5, 0.1])
+        assert accepted == [True, False, True]
+        assert budget.spent("u") == pytest.approx(1.0)
+
+    def test_personal_caps_respected(self):
+        budget = PrivacyBudget(default_cap=10.0)
+        budget.set_cap("tight", 0.5)
+        accepted = budget.charge_many(
+            ["tight", "loose", "tight"], [0.4, 0.4, 0.4]
+        )
+        assert accepted == [True, True, False]
+
+    def test_record_ledger_false_spends_without_ledger(self):
+        budget = PrivacyBudget(default_cap=2.0)
+        accepted = budget.charge_many(
+            ["u", "u"], [0.5, 0.25], record_ledger=False
+        )
+        assert accepted == [True, True]
+        assert budget.spent("u") == pytest.approx(0.75)
+        assert budget.ledger == []
+
+    def test_negative_epsilon_rejected_atomically(self):
+        budget = PrivacyBudget(default_cap=1.0)
+        with pytest.raises(PrivacyError):
+            budget.charge_many(["u", "u"], [0.5, -0.1])
+        # Validation precedes application: nothing was spent.
+        assert budget.spent("u") == 0.0
+        assert budget.ledger == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget().charge_many(["u"], [0.1, 0.2])

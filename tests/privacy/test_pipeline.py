@@ -145,3 +145,75 @@ class TestConsumersAndAudit:
         released = pipeline.ingest_all(frames)
         assert len(released) == 1
         assert pipeline.stats.offered == 2
+
+
+class TestBatchedIngest:
+    def test_single_channel_batch_matches_sequential(self, user, rngs):
+        # Same PET stream + same per-channel order → identical releases.
+        def build(tag):
+            pipeline = consenting_pipeline(
+                user, budget=PrivacyBudget(default_cap=1.2)
+            )
+            pipeline.set_pet(
+                "gaze", LaplaceMechanism(0.5, rngs.fresh(f"pet-{tag}"))
+            )
+            return pipeline
+
+        sensor = GazeSensor(rngs.fresh("batch-gaze"))
+        frames = [sensor.sample(user, float(t)) for t in range(4)]
+
+        seq = build("eq")
+        seq_released = [f for f in map(seq.ingest, frames) if f is not None]
+        bat = build("eq")
+        bat_released = bat.ingest_all(frames)
+
+        assert len(bat_released) == len(seq_released)
+        for a, b in zip(seq_released, bat_released):
+            assert a.subject == b.subject and a.time == b.time
+            assert list(a.values) == list(b.values)
+        assert vars(bat.stats) == vars(seq.stats)
+        # Budget refused the tail of the burst in both paths.
+        assert bat.stats.blocked_budget == seq.stats.blocked_budget > 0
+
+    def test_multi_channel_batch_counts(self, user, rngs):
+        pipeline = consenting_pipeline(
+            user, channels=("gaze", "spatial_map"),
+            budget=PrivacyBudget(default_cap=2.0),
+        )
+        pipeline.set_pet(
+            "gaze", LaplaceMechanism(0.6, rngs.fresh("mc-pet-gaze"))
+        )
+        gaze_sensor = GazeSensor(rngs.fresh("mc-gaze"))
+        spatial = SpatialMapSensor(rngs.fresh("mc-spatial"))
+        other = UserProfile("u-other", preference=0, fitness=0.5, stress=0.5)
+        frames = []
+        for t in range(5):
+            frames.append(gaze_sensor.sample(user, float(t)))
+            frames.append(spatial.sample(user, float(t)))
+            frames.append(gaze_sensor.sample(other, float(t)))  # no consent
+        released = pipeline.ingest_all(frames)
+
+        assert pipeline.stats.offered == len(frames)
+        assert pipeline.stats.blocked_consent == 5
+        # gaze: 2.0 cap / 0.6 per frame → 3 releases then refusals.
+        assert pipeline.stats.blocked_budget == 2
+        assert pipeline.stats.released == len(released) == 3 + 5
+
+    def test_released_frames_keep_offered_order(self, user, rngs):
+        pipeline = consenting_pipeline(user, channels=("gaze", "spatial_map"))
+        gaze_sensor = GazeSensor(rngs.fresh("order-gaze"))
+        spatial = SpatialMapSensor(rngs.fresh("order-spatial"))
+        frames = []
+        for t in range(3):
+            frames.append(gaze_sensor.sample(user, float(t)))
+            frames.append(spatial.sample(user, float(t)))
+        released = pipeline.ingest_all(frames)
+        # Passthrough PETs release everything — interleaving preserved.
+        assert [(f.channel, f.time) for f in released] == [
+            (f.channel, f.time) for f in frames
+        ]
+
+    def test_empty_batch_is_noop(self, user):
+        pipeline = consenting_pipeline(user)
+        assert pipeline.ingest_all([]) == []
+        assert pipeline.stats.offered == 0

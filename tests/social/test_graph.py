@@ -73,3 +73,63 @@ class TestGenerators:
         b = SocialGraph.scale_free(50, 2, rngs.fresh("same"))
         assert sorted(a.members()) == sorted(b.members())
         assert a.edge_count == b.edge_count
+
+
+class TestCachedViews:
+    def path_graph(self):
+        graph = SocialGraph()
+        for m in ("c", "a", "b"):
+            graph.add_member(m)
+        graph.connect("a", "b", trust=0.8)
+        graph.connect("b", "c", trust=0.3)
+        return graph
+
+    def test_views_are_cached_until_mutation(self):
+        graph = self.path_graph()
+        assert graph.members_view() is graph.members_view()
+        assert graph.neighbors_view("b") is graph.neighbors_view("b")
+        assert graph.sorted_neighbors("b") is graph.sorted_neighbors("b")
+        version = graph.version
+        graph.connect("a", "c", trust=0.5)
+        assert graph.version == version + 1
+        assert graph.sorted_neighbors("a") == ("b", "c")
+
+    def test_list_api_unchanged_and_detached(self):
+        graph = self.path_graph()
+        members = graph.members()
+        members.append("intruder")
+        assert "intruder" not in graph.members()
+        assert graph.neighbors("a") == ["b"]
+
+    def test_set_trust_invalidates_csr_weights(self):
+        graph = self.path_graph()
+        snap = graph.csr()
+        assert graph.csr() is snap
+        graph.set_trust("a", "b", 0.1)
+        fresh = graph.csr()
+        assert fresh is not snap
+        i, j = fresh.index["a"], fresh.index["b"]
+        row = fresh.neighbors_of(i)
+        assert fresh.weights_of(i)[list(row).index(j)] == 0.1
+
+    def test_neighbors_view_unknown_member_raises(self):
+        graph = self.path_graph()
+        with pytest.raises(ReproError, match="not in graph"):
+            graph.neighbors_view("ghost")
+
+
+class TestCsrSnapshot:
+    def test_rows_sorted_and_symmetric(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        graph = SocialGraph.scale_free(60, 2, rng)
+        snap = graph.csr()
+        assert list(snap.ids) == sorted(graph.members())
+        assert snap.indptr[0] == 0 and snap.indptr[-1] == len(snap.indices)
+        for member in graph.members():
+            i = snap.index[member]
+            row = [snap.ids[j] for j in snap.neighbors_of(i)]
+            assert row == list(graph.sorted_neighbors(member))
+            for j, weight in zip(snap.neighbors_of(i), snap.weights_of(i)):
+                assert weight == graph.trust(member, snap.ids[j])

@@ -101,3 +101,44 @@ class TestCredibilityGating:
         model = MisinformationModel(line_graph(3), rngs.stream("m"))
         with pytest.raises(ReproError):
             model.mean_reach(["m0"], repetitions=0)
+
+
+class TestDeterminism:
+    def test_mean_reach_identical_across_reruns(self):
+        import numpy as np
+
+        def run():
+            graph = SocialGraph.scale_free(120, 2, np.random.default_rng(5))
+            model = MisinformationModel(
+                graph, np.random.default_rng(9), base_share_prob=0.3
+            )
+            seeds = list(graph.sorted_members()[:3])
+            return model.mean_reach(seeds, repetitions=8)
+
+        assert run() == run()
+
+    def test_reach_samples_match_mean(self):
+        import numpy as np
+
+        graph = SocialGraph.small_world(80, 4, 0.1, np.random.default_rng(2))
+        seeds = list(graph.sorted_members()[:2])
+        model = MisinformationModel(graph, np.random.default_rng(3))
+        samples = model.reach_samples(seeds, repetitions=6)
+        model2 = MisinformationModel(graph, np.random.default_rng(3))
+        assert model2.mean_reach(seeds, repetitions=6) == pytest.approx(
+            sum(samples) / len(samples)
+        )
+
+    def test_vectorized_flag_is_escape_hatch_only(self):
+        import numpy as np
+
+        graph = SocialGraph.scale_free(50, 2, np.random.default_rng(1))
+        seeds = [graph.sorted_members()[0]]
+        results = [
+            MisinformationModel(
+                graph, np.random.default_rng(4), vectorized=vectorized
+            ).spread(seeds)
+            for vectorized in (True, False)
+        ]
+        assert results[0].reached == results[1].reached
+        assert results[0].timeline == results[1].timeline
