@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling obs-check ci
+.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel parallel-check obs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,17 @@ bench-regression:
 bench-baseline:
 	$(PYTHON) -m benchmarks.regression --update-baseline
 
+# Sharded-execution determinism gate: the load workload run inline and
+# on a 2-process pool must produce byte-identical metrics AND traces.
+parallel-check:
+	$(PYTHON) -m repro.parallel.check
+
+# Sharded-execution wall-clock tier only: serial vs workers={2,4} at the
+# 100k tier, equivalence asserted, >=2x speedup gated where >=4 cores
+# exist (recorded-but-skipped on smaller hosts).  Writes BENCH_PR5.json.
+bench-parallel:
+	$(PYTHON) -m benchmarks.scaling --parallel-only
+
 # Population-scale gate (smoke: 1k/10k tiers, <90s): indexed mempool
 # selection, warm reputation writes, vectorized cascade rounds, and
 # batch abuse classification must beat the naive references >=3x at the
@@ -41,5 +52,7 @@ bench-baseline:
 bench-scaling:
 	$(PYTHON) -m benchmarks.scaling --smoke
 
-# Everything a merge must pass, in one target.
-ci: test bench-smoke bench-scaling obs-check
+# Everything a merge must pass, in one target.  bench-scaling's smoke
+# mode includes the workers tier (10k agents, workers={2,4} equivalence
+# asserts); parallel-check additionally pins trace-level equivalence.
+ci: test bench-smoke bench-scaling parallel-check obs-check

@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import random
 import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
@@ -52,6 +54,48 @@ SEED = 2022
 # Each kernel returns (n_ops, seconds) for the timed section only
 # (setup cost is excluded).
 Kernel = Callable[[], Tuple[int, float]]
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model string (``/proc/cpuinfo`` on Linux)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """What the baseline was recorded on.
+
+    Absolute timings only transfer between comparable hosts; the
+    fingerprint is recorded by ``--update-baseline`` and checked (warn,
+    never fail — thresholds are already ratio-based) on every gate run.
+    """
+    return {
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
+        "python_version": platform.python_version(),
+        "platform": platform.system(),
+    }
+
+
+def fingerprint_mismatches(
+    baseline_host: Optional[Dict[str, object]],
+    current_host: Dict[str, object],
+) -> List[str]:
+    """Human-readable field-level diffs between two fingerprints."""
+    if baseline_host is None:
+        return ["baseline has no host fingerprint (recorded pre-PR5)"]
+    diffs = []
+    for key, current_value in current_host.items():
+        base_value = baseline_host.get(key)
+        if base_value != current_value:
+            diffs.append(f"{key}: baseline={base_value!r} current={current_value!r}")
+    return diffs
 
 
 # ----------------------------------------------------------------------
@@ -579,8 +623,6 @@ def run_smoke_suites() -> int:
     ]
     print(f"\nsmoke: {' '.join(cmd[3:])}")
     env_path = str(REPO_ROOT / "src")
-    import os
-
     env = dict(os.environ)
     env["PYTHONPATH"] = env_path + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -622,25 +664,46 @@ def main(argv: List[str] = None) -> int:
     print(f"tracked ops ({reps} rep{'s' if reps != 1 else ''} each):")
     current = run_tracked_ops(reps)
 
+    host = host_fingerprint()
     if args.update_baseline:
         BASELINE_PATH.write_text(
             json.dumps(
-                {"schema": 1, "recorded_unix": time.time(), "ops": current}, indent=2
+                {
+                    "schema": 2,
+                    "recorded_unix": time.time(),
+                    "host": host,
+                    "ops": current,
+                },
+                indent=2,
             )
             + "\n"
         )
         print(f"\nbaseline written to {BASELINE_PATH}")
+        print(f"host: {host['cpu_model']} x{host['cpu_count']}, "
+              f"python {host['python_version']}")
         return 0
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "recorded_unix": time.time(),
         "gate_threshold": args.threshold,
+        "host": host,
         "ops": current,
     }
     exit_code = 0
     if BASELINE_PATH.exists():
-        baseline = json.loads(BASELINE_PATH.read_text())["ops"]
+        baseline_doc = json.loads(BASELINE_PATH.read_text())
+        baseline = baseline_doc["ops"]
+        mismatches = fingerprint_mismatches(baseline_doc.get("host"), host)
+        if mismatches:
+            # Warn only: the gate is ratio-based, but timings recorded on
+            # different silicon shift those ratios too, so surface it.
+            report["host_mismatch"] = mismatches
+            print("\nWARNING: baseline was recorded on a different host:")
+            for diff in mismatches:
+                print(f"  {diff}")
+            print("  (gate still applies; re-record with --update-baseline "
+                  "if this machine is the new reference)")
         comparison, regressions = compare(current, baseline, args.threshold)
         report["comparison"] = comparison
         report["regressions"] = regressions

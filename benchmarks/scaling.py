@@ -15,23 +15,32 @@ algorithms:
   again asserted draw-for-draw identical, plus end-to-end
   ``process_batch`` throughput;
 
-then runs the population load workload (now including the moderation
-and privacy-budget phases) twice to assert **byte-identical** metrics,
-and checks the bounded quantile sketch against exact percentiles on a
-large stream.
+then runs the population load workload (moderation, full privacy
+pipeline, and cascade phases included) twice to assert
+**byte-identical** metrics, checks the bounded quantile sketch against
+exact percentiles on a large stream, and measures the **sharded
+multi-core execution layer**: ``run_load(workers=K)`` for K in {2, 4}
+must reproduce the serial metrics payload byte for byte, and on hosts
+with >= 4 usable cores the 4-worker run must finish the 100k tier at
+least 2x faster than serial (on smaller hosts the speedup is recorded
+but the wall-clock gate is reported as skipped — equivalence is always
+enforced).
 
-Results land in ``BENCH_PR4.json`` at the repo root.  Speedup numbers
+Results land in ``BENCH_PR5.json`` at the repo root.  Speedup numbers
 are optimised-vs-naive on the same machine and the same data, so they
 are meaningful regardless of host speed.
 
 Usage
 -----
 ``python -m benchmarks.scaling``
-    Full run: all three tiers, 1M-sample sketch check.
+    Full run: all three tiers, 1M-sample sketch check, workers tier.
 
 ``python -m benchmarks.scaling --smoke``
     Reduced repetitions and a 200k-sample sketch check; finishes well
     under 90 seconds (the ``make bench-scaling`` target).
+
+``python -m benchmarks.scaling --parallel-only``
+    Just the workers tier (the ``make bench-parallel`` target).
 """
 
 from __future__ import annotations
@@ -64,13 +73,18 @@ from repro.workloads.generators import synthetic_interaction_batch
 from repro.workloads.load import agent_address, run_load, synthetic_transfer
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-REPORT_PATH = REPO_ROOT / "BENCH_PR4.json"
+REPORT_PATH = REPO_ROOT / "BENCH_PR5.json"
 SEED = 2022
 TIERS = (1_000, 10_000, 100_000)
 # The acceptance bar: indexed paths at the 10k tier must beat the naive
 # references by at least this factor.
 REQUIRED_SPEEDUP_AT_10K = 3.0
 BLOCK_PICKS = 200
+# The parallel acceptance bar: 4 workers at the 100k tier must at least
+# halve serial wall-clock — enforced only where 4 cores actually exist.
+REQUIRED_PARALLEL_SPEEDUP = 2.0
+PARALLEL_GATE_CORES = 4
+PARALLEL_GATE_TIER = 100_000
 
 
 # ----------------------------------------------------------------------
@@ -394,7 +408,7 @@ def bench_load(n_agents: int, smoke: bool) -> Dict[str, Any]:
         reports_per_epoch=100 if smoke else 200,
         votes_per_epoch=150 if smoke else 300,
         interactions_per_epoch=1_000 if smoke else 2_000,
-        privacy_charges_per_epoch=1_000 if smoke else 2_000,
+        frames_per_epoch=1_000 if smoke else 2_000,
     )
     t0 = time.perf_counter()
     first = run_load(**kwargs)
@@ -414,7 +428,7 @@ def bench_load(n_agents: int, smoke: bool) -> Dict[str, Any]:
         + first.reports_filed
         + first.votes_cast
         + first.interactions_processed
-        + first.privacy_charges
+        + first.frames_offered
     )
     return {
         "n_agents": n_agents,
@@ -429,8 +443,81 @@ def bench_load(n_agents: int, smoke: bool) -> Dict[str, Any]:
         "interactions_processed": first.interactions_processed,
         "cases_opened": first.cases_opened,
         "moderation_backlog": first.moderation_backlog,
-        "privacy_charges": first.privacy_charges,
-        "privacy_refusals": first.privacy_refusals,
+        "frames_offered": first.frames_offered,
+        "frames_released": first.frames_released,
+        "frames_blocked_consent": first.frames_blocked_consent,
+        "frames_blocked_budget": first.frames_blocked_budget,
+        "cascade_reach": first.cascade_reach,
+        "byte_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sharded multi-core execution: worker pools vs serial, byte for byte
+# ----------------------------------------------------------------------
+def bench_workers(n_agents: int, smoke: bool) -> Dict[str, Any]:
+    """Measure ``run_load(workers=K)`` for K in {1, 2, 4} on one tier.
+
+    Equivalence is a hard assert at every K: the pooled metrics payload
+    must match the serial bytes exactly.  The wall-clock gate (>= 2x
+    with 4 workers) is only meaningful where 4 cores exist, so the
+    result records ``cpu_count`` and ``gate_enforced`` and check_gates
+    skips the speedup bar on smaller hosts.
+    """
+    import os
+
+    epochs = 2
+    # Heavier per-epoch volumes than bench_load so shard-local work
+    # dominates the serialized barrier.  txs_per_epoch stays under the
+    # mempool's 10k capacity: the two-phase ledger protocol requires the
+    # authoritative mempool to admit every worker-admitted transaction.
+    kwargs = dict(
+        n_agents=n_agents,
+        epochs=epochs,
+        seed=SEED,
+        txs_per_epoch=1_000 if smoke else 4_000,
+        ratings_per_epoch=500 if smoke else 2_000,
+        reports_per_epoch=200 if smoke else 800,
+        votes_per_epoch=300 if smoke else 1_000,
+        interactions_per_epoch=2_000 if smoke else 8_000,
+        frames_per_epoch=1_000 if smoke else 4_000,
+        cascade_members=min(n_agents, 1_000 if smoke else 4_000),
+    )
+
+    t0 = time.perf_counter()
+    serial = run_load(workers=1, **kwargs)
+    serial_seconds = time.perf_counter() - t0
+    serial_payload = json.dumps(serial.metrics, sort_keys=True)
+
+    runs: Dict[str, Any] = {
+        "1": {"seconds": serial_seconds, "speedup_vs_serial": 1.0}
+    }
+    for k in (2, 4):
+        t0 = time.perf_counter()
+        pooled = run_load(workers=k, **kwargs)
+        seconds = time.perf_counter() - t0
+        payload = json.dumps(pooled.metrics, sort_keys=True)
+        if payload != serial_payload:
+            raise AssertionError(
+                f"workers={k} diverged from serial at n_agents={n_agents} "
+                "— the ordered reduction is not deterministic"
+            )
+        runs[str(k)] = {
+            "seconds": seconds,
+            "speedup_vs_serial": serial_seconds / seconds,
+        }
+
+    cores = os.cpu_count() or 1
+    return {
+        "n_agents": n_agents,
+        "epochs": epochs,
+        "n_shards": serial.n_shards,
+        "txs_included": serial.txs_included,
+        "frames_offered": serial.frames_offered,
+        "cascade_reach": serial.cascade_reach,
+        "cpu_count": cores,
+        "gate_enforced": cores >= PARALLEL_GATE_CORES,
+        "workers": runs,
         "byte_identical": True,
     }
 
@@ -477,47 +564,69 @@ def bench_sketch(smoke: bool) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
-def run_suite(smoke: bool) -> Dict[str, Any]:
+def run_suite(smoke: bool, parallel_only: bool = False) -> Dict[str, Any]:
     report: Dict[str, Any] = {
         "suite": "benchmarks/scaling.py",
         "seed": SEED,
         "smoke": smoke,
         "tiers": {},
     }
-    for tier in TIERS:
-        print(f"tier {tier} ...", flush=True)
-        report["tiers"][str(tier)] = {
-            "mempool_select": bench_mempool_select(tier, smoke),
-            "reputation_write": bench_reputation_write(tier, smoke),
-            "cascade_round": bench_cascade(tier, smoke),
-            "moderation_classify": bench_moderation(tier, smoke),
-            "load_workload": bench_load(tier, smoke),
-        }
-    report["sketch"] = bench_sketch(smoke)
+    if not parallel_only:
+        for tier in TIERS:
+            print(f"tier {tier} ...", flush=True)
+            report["tiers"][str(tier)] = {
+                "mempool_select": bench_mempool_select(tier, smoke),
+                "reputation_write": bench_reputation_write(tier, smoke),
+                "cascade_round": bench_cascade(tier, smoke),
+                "moderation_classify": bench_moderation(tier, smoke),
+                "load_workload": bench_load(tier, smoke),
+            }
+        report["sketch"] = bench_sketch(smoke)
+    # The workers tier runs at the gate tier (100k agents full mode,
+    # 10k in smoke so CI stays fast); equivalence is asserted inside.
+    parallel_tier = 10_000 if smoke else PARALLEL_GATE_TIER
+    print(f"parallel workers tier {parallel_tier} ...", flush=True)
+    report["parallel"] = bench_workers(parallel_tier, smoke)
     return report
 
 
 def check_gates(report: Dict[str, Any]) -> List[str]:
     """The PR's acceptance gates, evaluated on a finished report."""
     failures: List[str] = []
-    tier = report["tiers"]["10000"]
-    for name in (
-        "mempool_select",
-        "reputation_write",
-        "cascade_round",
-        "moderation_classify",
-    ):
-        speedup = tier[name]["speedup_vs_naive"]
-        if speedup < REQUIRED_SPEEDUP_AT_10K:
+    if report["tiers"]:
+        tier = report["tiers"]["10000"]
+        for name in (
+            "mempool_select",
+            "reputation_write",
+            "cascade_round",
+            "moderation_classify",
+        ):
+            speedup = tier[name]["speedup_vs_naive"]
+            if speedup < REQUIRED_SPEEDUP_AT_10K:
+                failures.append(
+                    f"{name} at 10k tier: {speedup:.2f}x < "
+                    f"{REQUIRED_SPEEDUP_AT_10K}x required"
+                )
+        if report["sketch"]["worst_rank_error"] > 0.01:
             failures.append(
-                f"{name} at 10k tier: {speedup:.2f}x < "
-                f"{REQUIRED_SPEEDUP_AT_10K}x required"
+                f"sketch rank error {report['sketch']['worst_rank_error']:.4f} "
+                "exceeds the documented 1% tolerance"
             )
-    if report["sketch"]["worst_rank_error"] > 0.01:
-        failures.append(
-            f"sketch rank error {report['sketch']['worst_rank_error']:.4f} "
-            "exceeds the documented 1% tolerance"
-        )
+    parallel = report.get("parallel")
+    if parallel is not None:
+        speedup = parallel["workers"]["4"]["speedup_vs_serial"]
+        if parallel["gate_enforced"]:
+            if speedup < REQUIRED_PARALLEL_SPEEDUP:
+                failures.append(
+                    f"workers=4 at {parallel['n_agents']} agents: "
+                    f"{speedup:.2f}x < {REQUIRED_PARALLEL_SPEEDUP}x required"
+                )
+        else:
+            print(
+                f"  parallel speedup gate skipped: host has "
+                f"{parallel['cpu_count']} core(s), gate needs "
+                f">= {PARALLEL_GATE_CORES} (equivalence still enforced)"
+            )
     return failures
 
 
@@ -525,12 +634,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="fast mode (<90s)")
     parser.add_argument(
+        "--parallel-only",
+        action="store_true",
+        help="run only the sharded-workers tier",
+    )
+    parser.add_argument(
         "--report", type=Path, default=REPORT_PATH, help="output JSON path"
     )
     args = parser.parse_args(argv)
 
     t0 = time.perf_counter()
-    report = run_suite(smoke=args.smoke)
+    report = run_suite(smoke=args.smoke, parallel_only=args.parallel_only)
     report["wall_seconds"] = time.perf_counter() - t0
 
     args.report.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -550,11 +664,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"moderation {mod['speedup_vs_naive']:5.1f}x | "
             f"load {load['ops_per_second']:,.0f} ops/s (byte-identical)"
         )
-    sk = report["sketch"]
+    if "sketch" in report:
+        sk = report["sketch"]
+        print(
+            f"  sketch: {sk['observes_per_second']:,.0f} obs/s, "
+            f"{sk['centroid_count']} centroids, "
+            f"worst rank error {sk['worst_rank_error']*100:.3f}%"
+        )
+    par = report["parallel"]
+    worker_cols = " | ".join(
+        f"workers={k} {par['workers'][k]['seconds']:6.1f}s "
+        f"({par['workers'][k]['speedup_vs_serial']:.2f}x)"
+        for k in sorted(par["workers"], key=int)
+    )
     print(
-        f"  sketch: {sk['observes_per_second']:,.0f} obs/s, "
-        f"{sk['centroid_count']} centroids, "
-        f"worst rank error {sk['worst_rank_error']*100:.3f}%"
+        f"  parallel {par['n_agents']:>7,} agents, {par['n_shards']} shards: "
+        f"{worker_cols} (byte-identical, {par['cpu_count']} core(s))"
     )
 
     failures = check_gates(report)

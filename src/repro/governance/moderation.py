@@ -457,6 +457,74 @@ class ModerationService:
             "backlog": len(self._queue),
         }
 
+    def process_prepared(
+        self,
+        batch: InteractionBatch,
+        flagged_rows: np.ndarray,
+        report_rows: np.ndarray,
+        time: float,
+    ) -> Dict[str, int]:
+        """Ingest a batch whose detection draws already happened elsewhere.
+
+        The parallel load workload runs classification and report
+        willingness *inside shard workers* (each shard owns its stream);
+        what arrives here is the batch plus the resulting verdict rows.
+        This method performs only the **stateful** part of
+        :meth:`process_batch` — case opening, the FIFO queue, bounded
+        review, sanctions — which must stay serial at the epoch barrier
+        because case ids and sanction escalation depend on arrival
+        order.  Rows must index into ``batch`` and be presented in the
+        deterministic merged order.
+        """
+        delivered_rows = np.flatnonzero(batch.delivered)
+
+        with self._obs.span(
+            "moderation",
+            "batch.process",
+            time=time,
+            delivered=int(delivered_rows.size),
+        ) as span:
+            opened = 0
+            for row in flagged_rows:
+                interaction = batch.interaction_at(int(row))
+                case = self._open_case(interaction, CaseSource.AUTOMATED, time)
+                if case is None:
+                    continue
+                opened += 1
+                if self._reviewer is None:
+                    case.decide(True, time, decider="auto")
+                    self._emit_verdict(case, time)
+                    self._apply_sanction(
+                        interaction.initiator,
+                        time,
+                        case_id=case.case_id,
+                        reason="automated flag",
+                    )
+
+            reported = int(len(report_rows))
+            if reported:
+                self._obs.counter("moderation.reports_filed").inc(reported)
+            for row in report_rows:
+                interaction = batch.interaction_at(int(row))
+                if self._open_case(
+                    interaction, CaseSource.REPORT, time
+                ) is not None:
+                    opened += 1
+
+            reviewed = self._drain_queue(time)
+            span.set_attribute("flagged", int(len(flagged_rows)))
+            span.set_attribute("reviewed", reviewed)
+            span.set_attribute("backlog", len(self._queue))
+
+        return {
+            "delivered": int(delivered_rows.size),
+            "flagged": int(len(flagged_rows)),
+            "reported": reported,
+            "opened": opened,
+            "reviewed": reviewed,
+            "backlog": len(self._queue),
+        }
+
     def _open_case(
         self, interaction: Interaction, source: CaseSource, time: float
     ) -> Optional[ModerationCase]:

@@ -190,6 +190,45 @@ class Tracer:
         self.started_count += 1
         return Span(self, context, source, name, start, attributes)
 
+    def emit_merged(
+        self,
+        payloads: List[Dict[str, Any]],
+        default_source: str = "parallel.worker",
+    ) -> int:
+        """Adopt spans recorded outside this tracer (e.g. in workers).
+
+        Worker processes cannot share the parent's id counter, so they
+        report finished spans as plain payload dicts (``source``,
+        ``name``, ``start``, ``end``, ``status``, ``attributes``).  This
+        method assigns each one a deterministic id from *this* tracer's
+        sequence and emits it — parented under the currently active span
+        if any.  Callers must present payloads in a deterministic order
+        (the parallel layer's ordered reduction guarantees shard order),
+        which makes merged ids independent of scheduling and worker
+        count.  Returns the number of spans emitted.
+        """
+        parent = self._stack[-1] if self._stack else None
+        for payload in payloads:
+            start = float(payload["start"])
+            span_id = _derive_span_id(self._run_id, start, next(self._seq))
+            end = float(payload.get("end", start))
+            self.started_count += 1
+            self.finished_count += 1
+            self.trace.emit(
+                start,
+                str(payload.get("source", default_source)),
+                SPAN_KIND,
+                span_id=span_id,
+                parent_id=parent.context.span_id if parent else None,
+                trace_id=parent.context.trace_id if parent else span_id,
+                name=str(payload.get("name", "merged")),
+                start=start,
+                end=max(end, start),
+                status=str(payload.get("status", "ok")),
+                attributes=dict(payload.get("attributes", {})),
+            )
+        return len(payloads)
+
     @property
     def current(self) -> Optional[Span]:
         """The innermost active span, if any."""

@@ -1,0 +1,46 @@
+"""Sharded multi-core execution for the population-scale workload.
+
+The paper frames the metaverse as infrastructure for "millions of users
+across the world"; this package is the repro's answer to serving that
+scale on real hardware.  It partitions the seeded society into shards
+(:mod:`~repro.parallel.plan`), runs shard-local substrate work in a
+process pool (:mod:`~repro.parallel.worker`,
+:mod:`~repro.parallel.pool`), and folds results back at epoch barriers
+through an ordered reduction (:mod:`~repro.parallel.reduce`) — so
+``run_load(workers=K)`` is **byte-identical for any K**, including the
+inline serial path.
+
+Determinism is structural, not best-effort:
+
+* every random stream is a pure function of
+  ``(seed, shard, epoch, phase)`` — never of process identity;
+* workers are pure functions of their task (all mutable cross-epoch
+  state ships as explicit snapshots);
+* results are consumed in shard order, never completion order.
+"""
+
+from repro.parallel.plan import Phase, ShardPlan, shard_phase_rng
+from repro.parallel.pool import (
+    ProcessPool,
+    SerialPool,
+    make_pool,
+    parallel_map,
+)
+from repro.parallel.worker import (
+    ShardEpochResult,
+    ShardTask,
+    run_shard_epoch,
+)
+
+__all__ = [
+    "Phase",
+    "ShardPlan",
+    "shard_phase_rng",
+    "SerialPool",
+    "ProcessPool",
+    "make_pool",
+    "parallel_map",
+    "ShardTask",
+    "ShardEpochResult",
+    "run_shard_epoch",
+]

@@ -1,0 +1,90 @@
+"""Parallel-equivalence gate: serial vs. worker-pool, byte for byte.
+
+``python -m repro.parallel.check`` runs the load workload on a small
+seeded population once inline and once on a 2-process pool (plus a
+serial replay), then asserts:
+
+* **worker invariance** — metrics payloads *and* exported traces are
+  byte-identical between ``workers=1`` and ``workers=2``;
+* **replay determinism** — two serial runs are byte-identical (the
+  pre-existing guarantee did not regress);
+* **substrate invariants** — every admitted transaction was included,
+  every epoch closed its proposal and refreshed trust.
+
+Exits non-zero on any violation (the ``make parallel-check`` target).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+__all__ = ["check_parallel", "CHECK_CONFIG"]
+
+# Small enough for CI, big enough that every phase carries real traffic
+# (multiple shards, binding privacy caps, live cascade boundaries).
+CHECK_CONFIG = dict(
+    n_agents=1_200,
+    epochs=3,
+    seed=2022,
+    txs_per_epoch=240,
+    ratings_per_epoch=120,
+    reports_per_epoch=60,
+    votes_per_epoch=80,
+    electorate_size=400,
+    interactions_per_epoch=300,
+    frames_per_epoch=240,
+    cascade_members=120,
+)
+
+
+def _payload(result) -> str:
+    return json.dumps(result.metrics, sort_keys=True)
+
+
+def check_parallel(workers: int = 2) -> Dict[str, object]:
+    """Run serial vs. ``workers``-pool and assert byte equivalence.
+
+    Returns a summary dict; raises AssertionError on violation.
+    """
+    from repro.workloads.load import run_load
+
+    serial = run_load(workers=1, trace=True, **CHECK_CONFIG)
+    replay = run_load(workers=1, trace=True, **CHECK_CONFIG)
+    pooled = run_load(workers=workers, trace=True, **CHECK_CONFIG)
+
+    assert _payload(serial) == _payload(replay), (
+        "serial replay diverged: same seed, different metrics payloads"
+    )
+    assert _payload(serial) == _payload(pooled), (
+        f"workers={workers} changed the metrics payload — the ordered "
+        "reduction is not deterministic"
+    )
+    assert serial.trace_jsonl == pooled.trace_jsonl, (
+        f"workers={workers} changed the exported trace — span merging "
+        "is not deterministic"
+    )
+    assert serial.trace_jsonl is not None and serial.trace_jsonl
+    assert serial.txs_included == serial.txs_submitted > 0
+    assert serial.proposals_closed == serial.epochs
+    assert serial.trust_computes == serial.epochs
+    assert serial.frames_released > 0
+    assert serial.frames_blocked_consent > 0
+
+    return {
+        "workers_compared": workers,
+        "n_shards": serial.n_shards,
+        "txs_included": serial.txs_included,
+        "frames_released": serial.frames_released,
+        "frames_blocked_budget": serial.frames_blocked_budget,
+        "cascade_reach": serial.cascade_reach,
+        "trace_bytes": len(serial.trace_jsonl),
+        "byte_identical": True,
+    }
+
+
+if __name__ == "__main__":
+    summary = check_parallel()
+    for key, value in summary.items():
+        print(f"{key:22s} {value}")
+    print("parallel-check: OK (serial == workers pool, byte-identical)")

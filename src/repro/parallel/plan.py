@@ -1,0 +1,198 @@
+"""Shard planning: deterministic partition of a seeded society.
+
+The population-scale workload serves "millions of users" (the paper's
+framing); one process cannot.  A :class:`ShardPlan` partitions the
+``n_agents`` synthetic society into ``n_shards`` contiguous index
+ranges, each with its own family of random streams, so shard-local
+substrate work (transaction admission, trust accumulation, abuse
+classification, privacy charging, cascade rounds) can run anywhere —
+inline, or on any number of worker processes — and still reproduce the
+exact same bytes.
+
+Determinism contract
+--------------------
+* The partition is a pure function of ``(n_agents, n_shards)``:
+  contiguous ranges, remainder spread over the lowest shard ids.
+* Randomness is rooted in ``numpy.random.SeedSequence(seed)``; each
+  shard owns the child sequence ``root.spawn(n_shards)[shard]``, and
+  every *(epoch, phase)* of a shard derives a grandchild by extending
+  the shard's ``spawn_key`` — so streams depend only on
+  ``(seed, shard, epoch, phase)``, never on which process runs them or
+  how many workers exist.
+* Nothing here reads the clock, the host, or global state.
+
+The plan is a small frozen dataclass of ints, cheap to pickle into
+every worker task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["Phase", "ShardPlan", "shard_phase_rng", "split_weighted"]
+
+
+def split_weighted(total: int, weights: List[int]) -> List[int]:
+    """Split ``total`` units proportionally to integer ``weights``.
+
+    Largest-remainder apportionment in pure integer arithmetic: floors
+    first, then the leftover units go to the largest fractional parts
+    (ties to the lowest index).  Deterministic, and the parts always sum
+    to ``total``.  Used to spread e.g. ballot quotas over shards in
+    proportion to how much electorate each shard actually owns.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        return [0] * len(weights)
+    parts = [total * w // weight_sum for w in weights]
+    remainders = [total * w % weight_sum for w in weights]
+    leftover = total - sum(parts)
+    for i in sorted(
+        range(len(weights)), key=lambda j: (-remainders[j], j)
+    )[:leftover]:
+        parts[i] += 1
+    return parts
+
+
+class Phase:
+    """Stable phase indices for per-(shard, epoch, phase) streams.
+
+    These are part of the determinism contract: renumbering a phase
+    changes every derived stream, so new phases must append.
+    """
+
+    TRANSACTIONS = 0
+    RATINGS = 1
+    REPORTS = 2
+    VOTES = 3
+    INTERACTIONS = 4
+    FRAMES = 5
+    CASCADE = 6
+    # Per-shard, epoch-independent stream (social subgraph topology).
+    GRAPH = 7
+
+
+def shard_phase_rng(
+    seed: int, n_shards: int, shard: int, epoch: int, phase: int
+) -> np.random.Generator:
+    """The stream for one (shard, epoch, phase) cell.
+
+    Children hang off the shard's ``SeedSequence.spawn`` child by
+    extending its spawn key with ``(epoch, phase)`` — equivalent to the
+    shard sequence spawning its own grandchildren, but stateless, so any
+    process can derive any cell without coordination.
+    """
+    root = np.random.SeedSequence(seed)
+    shard_seq = root.spawn(n_shards)[shard]
+    cell = np.random.SeedSequence(
+        entropy=shard_seq.entropy,
+        spawn_key=tuple(shard_seq.spawn_key) + (int(epoch), int(phase)),
+    )
+    return np.random.default_rng(cell)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of ``n_agents`` into ``n_shards``.
+
+    Shard ``s`` owns the contiguous agent-index range
+    ``[lo(s), hi(s))``; the first ``n_agents % n_shards`` shards are one
+    agent larger.  ``n_members`` bounds the DAO electorate (member
+    indices are ``[0, n_members)`` — a *prefix* of the population, so a
+    shard's member range is the overlap of its range with that prefix).
+    ``hot_stride`` spaces the privacy-hot subjects (agent indices
+    ``0, stride, 2*stride, ...``) so every shard owns its share of hot
+    subjects — privacy budgets stay shard-local by construction.
+    """
+
+    seed: int
+    n_agents: int
+    n_shards: int
+    n_members: int
+    hot_stride: int
+
+    def __post_init__(self) -> None:
+        if self.n_agents < 1:
+            raise ValueError(f"n_agents must be >= 1, got {self.n_agents}")
+        if not 1 <= self.n_shards <= self.n_agents:
+            raise ValueError(
+                f"n_shards must be in [1, n_agents], got {self.n_shards}"
+            )
+        if not 0 <= self.n_members <= self.n_agents:
+            raise ValueError(
+                f"n_members must be in [0, n_agents], got {self.n_members}"
+            )
+        if self.hot_stride < 1:
+            raise ValueError(f"hot_stride must be >= 1, got {self.hot_stride}")
+
+    # ------------------------------------------------------------------
+    # Partition geometry
+    # ------------------------------------------------------------------
+    def range_of(self, shard: int) -> Tuple[int, int]:
+        """Agent-index range ``[lo, hi)`` owned by ``shard``."""
+        self._check_shard(shard)
+        base, rem = divmod(self.n_agents, self.n_shards)
+        lo = shard * base + min(shard, rem)
+        hi = lo + base + (1 if shard < rem else 0)
+        return lo, hi
+
+    def size_of(self, shard: int) -> int:
+        lo, hi = self.range_of(shard)
+        return hi - lo
+
+    def shard_of(self, agent_index: int) -> int:
+        """The shard owning ``agent_index``."""
+        if not 0 <= agent_index < self.n_agents:
+            raise ValueError(
+                f"agent_index must be in [0, {self.n_agents}), got {agent_index}"
+            )
+        base, rem = divmod(self.n_agents, self.n_shards)
+        boundary = rem * (base + 1)
+        if agent_index < boundary:
+            return agent_index // (base + 1)
+        return rem + (agent_index - boundary) // base
+
+    def member_range_of(self, shard: int) -> Tuple[int, int]:
+        """The shard's overlap with the DAO electorate prefix."""
+        lo, hi = self.range_of(shard)
+        return min(lo, self.n_members), min(hi, self.n_members)
+
+    def hot_subjects_of(self, shard: int) -> List[int]:
+        """Agent indices of the shard's privacy-hot subjects (sorted)."""
+        lo, hi = self.range_of(shard)
+        first = ((lo + self.hot_stride - 1) // self.hot_stride) * self.hot_stride
+        return list(range(first, hi, self.hot_stride))
+
+    # ------------------------------------------------------------------
+    # Work splitting
+    # ------------------------------------------------------------------
+    def count_for(self, total: int, shard: int) -> int:
+        """Shard's slice of ``total`` per-epoch operations.
+
+        Quota split mirrors the agent split: ``total // n_shards`` each,
+        remainder to the lowest shard ids.  Sums to ``total`` exactly.
+        """
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self._check_shard(shard)
+        base, rem = divmod(total, self.n_shards)
+        return base + (1 if shard < rem else 0)
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def rng(self, shard: int, epoch: int, phase: int) -> np.random.Generator:
+        """Stream for one (shard, epoch, phase) cell of this plan."""
+        self._check_shard(shard)
+        return shard_phase_rng(self.seed, self.n_shards, shard, epoch, phase)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.n_shards}), got {shard}"
+            )

@@ -1,0 +1,128 @@
+"""Ordered reduction: folding shard results into one epoch barrier.
+
+Workers finish in whatever order the scheduler likes; nothing here may
+depend on that.  Every helper consumes a list of
+:class:`~repro.parallel.worker.ShardEpochResult` **already sorted by
+shard id** (the pool returns them in submission order, which is shard
+order) and folds in that order — so the merged streams are identical
+for any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.worker import ShardEpochResult
+from repro.world.interactions import InteractionBatch
+
+__all__ = [
+    "check_shard_order",
+    "merge_interaction_batches",
+    "sum_predicted_outcomes",
+    "merge_boundary_activations",
+]
+
+
+def check_shard_order(results: Sequence[ShardEpochResult]) -> None:
+    """Assert the reduction input is shard-id sorted (0..n-1).
+
+    The pool contract already guarantees this; the assert turns a future
+    scheduling bug into a loud failure instead of a silent determinism
+    break.
+    """
+    for i, result in enumerate(results):
+        if result.shard != i:
+            raise AssertionError(
+                f"shard results out of order: position {i} holds shard "
+                f"{result.shard} — ordered reduction violated"
+            )
+
+
+def merge_interaction_batches(
+    results: Sequence[ShardEpochResult],
+) -> Optional[Tuple[InteractionBatch, np.ndarray, np.ndarray]]:
+    """Concatenate per-shard interaction batches into one epoch batch.
+
+    Returns ``(batch, flagged_rows, report_rows)`` with the worker-side
+    verdict rows re-based onto the merged batch (each shard's rows are
+    offset by the lengths of the shards before it), or None when no
+    shard produced interactions.  Merging in shard order keeps the
+    moderation queue's FIFO arrival order — and therefore case ids,
+    review order, and sanction escalation — independent of scheduling.
+    """
+    parts = [r for r in results if r.interactions is not None]
+    if not parts:
+        return None
+    first = parts[0].interactions
+    flagged: List[np.ndarray] = []
+    reported: List[np.ndarray] = []
+    offset = 0
+    for part in parts:
+        batch = part.interactions
+        if part.flagged_rows is not None and part.flagged_rows.size:
+            flagged.append(part.flagged_rows + offset)
+        if part.report_rows is not None and part.report_rows.size:
+            reported.append(part.report_rows + offset)
+        offset += len(batch)
+    merged = InteractionBatch(
+        time=first.time,
+        initiators=np.concatenate([p.interactions.initiators for p in parts]),
+        targets=np.concatenate([p.interactions.targets for p in parts]),
+        abusive=np.concatenate([p.interactions.abusive for p in parts]),
+        delivered=np.concatenate([p.interactions.delivered for p in parts]),
+        kind=first.kind,
+        id_of=first.id_of,
+    )
+    empty = np.empty(0, dtype=np.int64)
+    return (
+        merged,
+        np.concatenate(flagged) if flagged else empty,
+        np.concatenate(reported) if reported else empty,
+    )
+
+
+def sum_predicted_outcomes(
+    results: Sequence[ShardEpochResult],
+) -> Dict[str, int]:
+    """Total worker-predicted privacy admissions across shards."""
+    totals: Dict[str, int] = {}
+    for result in results:
+        for outcome, count in result.predicted_outcomes.items():
+            totals[outcome] = totals.get(outcome, 0) + count
+    return totals
+
+
+def merge_boundary_activations(
+    results: Sequence[ShardEpochResult],
+    rng: np.random.Generator,
+    transmissibility: float = 0.5,
+    max_carry: int = 4,
+) -> List[int]:
+    """The boundary-exchange half of the cross-shard cascade protocol.
+
+    Workers report which of their designated boundary members the
+    shard-interior cascade reached; the cross-shard edges hanging off
+    those members are resolved *here*, at the barrier, with one
+    parent-owned stream: each live boundary member transmits to the next
+    shard (ring order) with probability ``transmissibility``.  Returns
+    the per-shard carry-in counts (capped at ``max_carry``) that seed
+    extra cascade members next epoch.
+
+    Draws happen in shard order, then boundary-member order — fixed by
+    the reduction input, never by scheduling — so the carries are
+    byte-identical for any worker count.
+    """
+    n = len(results)
+    carries = [0] * n
+    if n == 0:
+        return carries
+    for result in results:
+        for reached in result.boundary_reached:
+            if not reached:
+                continue
+            if rng.random() < transmissibility:
+                target = (result.shard + 1) % n
+                carries[target] = min(max_carry, carries[target] + 1)
+    return carries

@@ -1,0 +1,517 @@
+"""Shard-local epoch work: what runs inside a worker process.
+
+:func:`run_shard_epoch` is a **pure function** of its
+:class:`ShardTask`: given the same task it returns the same
+:class:`ShardEpochResult` bytes whether it runs inline, in the first of
+four workers, or alone in a one-process pool.  That purity — plus the
+ordered reduction in :mod:`repro.workloads.load` — is the entire
+determinism argument for ``run_load(workers=K)``.
+
+What is shard-local (runs here, in parallel):
+
+* **transaction build + admission prechecks** — senders are shard-owned,
+  so nonce chains never race; the canonical encoding and tx-id hashing
+  (the CPU cost of admission) happen here, and the parent seeds its
+  ``Transaction`` objects with the precomputed hashes;
+* **trust-rating / report edge generation** — edge deltas may point at
+  any shard (cross-shard edges are plain data; they merge at the
+  barrier);
+* **abuse classification + report willingness** — the vectorized
+  Bernoulli passes over the shard's interaction batch;
+* **privacy frame synthesis + budget admission** — hot subjects are
+  shard-partitioned, so each worker charges a private snapshot of its
+  subjects' spends and *predicts* exactly what the authoritative
+  pipeline will decide at the barrier (the parent asserts the match —
+  the "local apply" half of the two-phase protocol);
+* **cascade rounds over shard-interior edges** — each shard owns a
+  social subgraph; cross-shard edges are withheld from the cascade and
+  exchanged at the epoch barrier by the parent.
+
+What is **not** shard-local (runs at the parent's epoch barrier, in
+shard-id order): mempool/chain state, the EigenTrust solve, DAO tally,
+the moderation case queue, the privacy pipeline's authoritative
+consent/PET/budget/disclosure stages, and all metric observation.
+
+Per-process caches (agent addresses, shard social graphs) hold only
+values that are pure functions of their keys, so cache state can never
+make two schedules diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.governance.moderation import AbuseClassifier, ReportDesk
+from repro.ledger.transactions import Transaction, TxKind
+from repro.parallel.plan import Phase, ShardPlan
+from repro.privacy.sensors import SensorFrame
+from repro.social.graph import SocialGraph
+from repro.social.misinformation import MisinformationModel
+from repro.world.interactions import InteractionBatch
+
+# NOTE: repro.workloads modules are imported lazily inside functions —
+# the workloads package imports the load workload, which imports this
+# package for its shard machinery (a deliberate layering: parallel is
+# below workloads, except for the synthetic generators it reuses).
+
+__all__ = [
+    "ShardTask",
+    "ShardEpochResult",
+    "run_shard_epoch",
+    "shard_graph",
+    "warm_caches",
+    "channel_of",
+    "FRAME_VALUE_DIMS",
+]
+
+# Dimensionality of synthetic sensor frames (small but non-trivial, so
+# PETs have something real to obfuscate).
+FRAME_VALUE_DIMS = 4
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs for one (shard, epoch) cell.
+
+    Only plain ints/floats/tuples/dicts — cheap to pickle.  The mutable
+    cross-epoch state a shard depends on arrives as explicit snapshots
+    (``base_nonces``, ``hot_spent``), never via worker-process memory,
+    so shard→process placement is free to change between epochs.
+    """
+
+    plan: ShardPlan
+    shard: int
+    epoch: int
+    # Per-epoch quotas for this shard.
+    tx_count: int
+    rating_count: int
+    report_count: int
+    vote_count: int
+    interaction_count: int
+    frame_count: int
+    # Snapshot state: sender nonce chains (global index -> next nonce;
+    # senders never seen on-chain are omitted) and hot-subject spends
+    # (aligned with ``plan.hot_subjects_of(shard)``).
+    base_nonces: Dict[int, int] = field(default_factory=dict)
+    hot_spent: Tuple[float, ...] = ()
+    # Privacy-phase constants.
+    privacy_cap: float = 4.0
+    channels: Tuple[Tuple[str, float], ...] = ()
+    consent_denied_mod: int = 10
+    # Cascade-phase constants (0 members disables the phase).
+    cascade_members: int = 0
+    cascade_boundary: int = 0
+    # Cross-shard activations routed to this shard at the previous epoch
+    # barrier: each one seeds an extra member in this epoch's cascade.
+    carry_seeds: int = 0
+    trace: bool = False
+
+
+@dataclass
+class ShardEpochResult:
+    """One shard's contribution to one epoch barrier."""
+
+    shard: int
+    # Transactions, columnar; tx_ids are the worker-computed hashes.
+    tx_senders: List[int] = field(default_factory=list)
+    tx_recipients: List[int] = field(default_factory=list)
+    tx_amounts: List[int] = field(default_factory=list)
+    tx_fees: List[int] = field(default_factory=list)
+    tx_nonces: List[int] = field(default_factory=list)
+    tx_ids: List[str] = field(default_factory=list)
+    tx_precheck_failures: int = 0
+    # Reputation edge deltas (indices are global).
+    rating_raters: List[int] = field(default_factory=list)
+    rating_ratees: List[int] = field(default_factory=list)
+    rating_weights: List[float] = field(default_factory=list)
+    report_reporters: List[int] = field(default_factory=list)
+    report_accused: List[int] = field(default_factory=list)
+    report_severities: List[float] = field(default_factory=list)
+    # Governance ballots.
+    vote_voters: List[int] = field(default_factory=list)
+    vote_yes: List[bool] = field(default_factory=list)
+    # Moderation: the shard's columnar batch plus the worker-side
+    # classification / report verdict rows (indices into the batch).
+    interactions: Optional[InteractionBatch] = None
+    flagged_rows: Optional[np.ndarray] = None
+    report_rows: Optional[np.ndarray] = None
+    # Privacy: synthesized frames plus the shard-local admission
+    # prediction the parent validates against the real pipeline.
+    frames: List[SensorFrame] = field(default_factory=list)
+    predicted_outcomes: Dict[str, int] = field(default_factory=dict)
+    # Cascade over shard-interior edges.
+    cascade_reach: int = 0
+    cascade_rounds: int = 0
+    cascade_timeline: Tuple[int, ...] = ()
+    boundary_reached: Tuple[bool, ...] = ()
+    # Optional span payloads for the parent tracer to merge.
+    span_payloads: List[dict] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Per-process caches (pure functions of their keys)
+# ----------------------------------------------------------------------
+_ADDRESS_CACHE: Dict[int, List[str]] = {}
+_GRAPH_CACHE: Dict[Tuple[int, int, int, int], SocialGraph] = {}
+
+
+def _addresses(n_agents: int) -> List[str]:
+    """The agent address table, built once per process per population."""
+    table = _ADDRESS_CACHE.get(n_agents)
+    if table is None:
+        from repro.workloads.load import agent_address
+
+        table = [agent_address(i) for i in range(n_agents)]
+        _ADDRESS_CACHE[n_agents] = table
+    return table
+
+
+def shard_graph(plan: ShardPlan, shard: int, members: int) -> SocialGraph:
+    """The shard's social subgraph (scale-free over its first members).
+
+    Topology depends only on ``(seed, n_shards, shard, members)`` — the
+    epoch-independent :data:`Phase.GRAPH` stream — so every process that
+    ever builds this shard's graph builds the same one.  Cached per
+    process; on fork platforms a parent-side prebuild is inherited by
+    the whole pool.
+    """
+    key = (plan.seed, plan.n_shards, shard, members)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        rng = plan.rng(shard, 0, Phase.GRAPH)
+        graph = SocialGraph.scale_free(
+            members, attachment=3, rng=rng, prefix=f"s{shard}-m"
+        )
+        graph.csr()  # compile once; cascades then run warm
+        _GRAPH_CACHE[key] = graph
+    return graph
+
+
+def warm_caches(
+    plan: ShardPlan, addresses: List[str], cascade_members: int
+) -> None:
+    """Pre-build the per-process caches in the parent.
+
+    Called before pool creation so fork-platform workers inherit the
+    warmed address table and every shard's social graph instead of each
+    process rebuilding them lazily (identical results either way — this
+    is purely a cost optimisation, which is why it is safe).
+    """
+    _ADDRESS_CACHE[plan.n_agents] = list(addresses)
+    if cascade_members > 0:
+        for shard in range(plan.n_shards):
+            members = min(cascade_members, plan.size_of(shard))
+            if members >= 2:
+                shard_graph(plan, shard, members)
+
+
+# ----------------------------------------------------------------------
+# The worker entry point
+# ----------------------------------------------------------------------
+def run_shard_epoch(task: ShardTask) -> ShardEpochResult:
+    """Run every shard-local phase of one epoch; see the module docstring."""
+    plan = task.plan
+    lo, hi = plan.range_of(task.shard)
+    size = hi - lo
+    addresses = _addresses(plan.n_agents)
+    now = float(task.epoch)
+    result = ShardEpochResult(shard=task.shard)
+
+    _generate_transactions(task, result, addresses, lo, size, now)
+    _generate_ratings(task, result, lo, size)
+    _generate_reports(task, result, lo, size)
+    _generate_votes(task, result)
+    _moderation_prepass(task, result, lo, size, now)
+    _privacy_prepass(task, result, addresses, now)
+    _cascade_rounds(task, result, size)
+
+    if task.trace:
+        result.span_payloads.append(
+            {
+                "source": "parallel.worker",
+                "name": "shard.epoch",
+                "start": now,
+                "end": now + 0.9,
+                "status": "ok",
+                "attributes": {
+                    "shard": task.shard,
+                    "epoch": task.epoch,
+                    "txs": len(result.tx_ids),
+                    "ratings": len(result.rating_raters),
+                    "reports": len(result.report_reporters),
+                    "votes": len(result.vote_voters),
+                    "interactions": (
+                        len(result.interactions)
+                        if result.interactions is not None
+                        else 0
+                    ),
+                    "frames": len(result.frames),
+                    "cascade_reach": result.cascade_reach,
+                },
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Phases
+# ----------------------------------------------------------------------
+def _generate_transactions(
+    task: ShardTask,
+    result: ShardEpochResult,
+    addresses: List[str],
+    lo: int,
+    size: int,
+    now: float,
+) -> None:
+    """Build + precheck this shard's transfers; hashing happens here.
+
+    Senders are shard-local (the shard owns their nonce chains);
+    recipients are drawn over the whole population, so a transfer may
+    credit another shard — the debit is validated locally, the credit is
+    applied by the parent ledger at the barrier (two-phase).
+    """
+    if task.tx_count <= 0:
+        return
+    from repro.workloads.load import SyntheticSignedTransaction
+
+    rng = task.plan.rng(task.shard, task.epoch, Phase.TRANSACTIONS)
+    nonces = dict(task.base_nonces)
+    for _ in range(task.tx_count):
+        sender = lo + int(rng.integers(size))
+        recipient = int(rng.integers(task.plan.n_agents))
+        if recipient == sender:
+            recipient = (recipient + 1) % task.plan.n_agents
+        amount = int(rng.integers(1, 51))
+        fee = int(rng.integers(1, 101))
+        nonce = nonces.get(sender, 0)
+        tx = Transaction(
+            sender=addresses[sender],
+            recipient=addresses[recipient],
+            amount=amount,
+            fee=fee,
+            nonce=nonce,
+            kind=TxKind.TRANSFER,
+        )
+        tx_id = tx.tx_id  # the sha256 hot path, paid in the worker
+        # Admission prechecks (signature pinned by the synthetic wallet,
+        # nonce contiguity by construction); a failure is counted and the
+        # transaction withheld from the barrier merge.
+        stx = SyntheticSignedTransaction(tx)
+        if not stx.verify() or nonce != nonces.get(sender, 0):
+            result.tx_precheck_failures += 1
+            continue
+        nonces[sender] = nonce + 1
+        result.tx_senders.append(sender)
+        result.tx_recipients.append(recipient)
+        result.tx_amounts.append(amount)
+        result.tx_fees.append(fee)
+        result.tx_nonces.append(nonce)
+        result.tx_ids.append(tx_id)
+
+
+def _generate_ratings(
+    task: ShardTask, result: ShardEpochResult, lo: int, size: int
+) -> None:
+    if task.rating_count <= 0:
+        return
+    rng = task.plan.rng(task.shard, task.epoch, Phase.RATINGS)
+    n = task.plan.n_agents
+    for _ in range(task.rating_count):
+        rater = lo + int(rng.integers(size))
+        ratee = int(rng.integers(n))
+        if ratee == rater:
+            ratee = (ratee + 1) % n
+        result.rating_raters.append(rater)
+        result.rating_ratees.append(ratee)
+        result.rating_weights.append(float(rng.uniform(0.1, 1.0)))
+
+
+def _generate_reports(
+    task: ShardTask, result: ShardEpochResult, lo: int, size: int
+) -> None:
+    if task.report_count <= 0:
+        return
+    rng = task.plan.rng(task.shard, task.epoch, Phase.REPORTS)
+    n = task.plan.n_agents
+    for _ in range(task.report_count):
+        reporter = lo + int(rng.integers(size))
+        accused = int(rng.integers(n))
+        if accused == reporter:
+            accused = (accused + 1) % n
+        result.report_reporters.append(reporter)
+        result.report_accused.append(accused)
+        result.report_severities.append(float(rng.uniform(0.2, 1.0)))
+
+
+def _generate_votes(task: ShardTask, result: ShardEpochResult) -> None:
+    mlo, mhi = task.plan.member_range_of(task.shard)
+    if task.vote_count <= 0 or mhi <= mlo:
+        return
+    rng = task.plan.rng(task.shard, task.epoch, Phase.VOTES)
+    for _ in range(task.vote_count):
+        result.vote_voters.append(mlo + int(rng.integers(mhi - mlo)))
+        result.vote_yes.append(bool(rng.random() < 0.6))
+
+
+def _moderation_prepass(
+    task: ShardTask,
+    result: ShardEpochResult,
+    lo: int,
+    size: int,
+    now: float,
+) -> None:
+    """Generate the shard-interior interaction batch and classify it.
+
+    Classification and report-willingness draws (the vectorized hot
+    paths) run here on the shard's own stream; the stateful case queue,
+    capacity-bounded review, and sanctions stay with the parent.
+    """
+    if task.interaction_count <= 0 or size < 2:
+        return
+    from repro.workloads.generators import synthetic_interaction_batch
+    from repro.workloads.load import agent_address
+
+    rng = task.plan.rng(task.shard, task.epoch, Phase.INTERACTIONS)
+    batch = synthetic_interaction_batch(
+        size,
+        task.interaction_count,
+        time=now,
+        rng=rng,
+        id_of=agent_address,
+    )
+    # Lift shard-local indices to global agent indices (the batch was
+    # generated shard-interior: both endpoints stay inside the shard).
+    batch.initiators += lo
+    batch.targets += lo
+
+    delivered_rows = np.flatnonzero(batch.delivered)
+    flagged_rows = np.empty(0, dtype=np.int64)
+    if delivered_rows.size:
+        flags = AbuseClassifier(rng).flag_array(batch.abusive[delivered_rows])
+        flagged_rows = delivered_rows[flags]
+    report_rows = ReportDesk(rng).collect_batch(batch)
+
+    result.interactions = batch
+    result.flagged_rows = flagged_rows
+    result.report_rows = report_rows
+
+
+def _privacy_prepass(
+    task: ShardTask,
+    result: ShardEpochResult,
+    addresses: List[str],
+    now: float,
+) -> None:
+    """Synthesize the shard's sensor frames and charge a local budget.
+
+    The worker replays the authoritative pipeline's admission logic —
+    per-channel grouping, consent gate, then sequential budget charges
+    against the shipped spend snapshot — so its predicted outcome counts
+    must match the parent's ``PrivacyPipeline.ingest_all`` exactly.  A
+    mismatch means the two-phase protocol lost determinism and the
+    parent raises.
+
+    Each hot subject streams on exactly **one** channel (fixed by hot
+    rank).  That pins the relative order of a subject's charges to its
+    offered order alone, so the parent's channel grouping over the
+    *merged* frame list — whose channel first-occurrence order the
+    worker cannot see — can never reorder any subject's budget
+    accumulation relative to this prediction.
+    """
+    hot = task.plan.hot_subjects_of(task.shard)
+    if task.frame_count <= 0 or not hot or not task.channels:
+        return
+    from repro.workloads.generators import synthetic_frame_burst
+
+    rng = task.plan.rng(task.shard, task.epoch, Phase.FRAMES)
+    channel_eps = dict(task.channels)
+
+    frames, subject_indices = synthetic_frame_burst(
+        hot,
+        task.frame_count,
+        time=now,
+        rng=rng,
+        channel_of=lambda subject: channel_of(task, subject),
+        subject_id_of=lambda subject: addresses[subject],
+        value_dims=FRAME_VALUE_DIMS,
+    )
+
+    # --- local apply: replicate ingest_all's admission, stage by stage.
+    spent = {
+        agent: float(used)
+        for agent, used in zip(hot, task.hot_spent)
+    }
+    by_channel: Dict[str, List[int]] = {}
+    for i, frame in enumerate(frames):
+        by_channel.setdefault(frame.channel, []).append(i)
+
+    outcomes = {"released": 0, "blocked_consent": 0, "blocked_budget": 0}
+    for channel, idxs in by_channel.items():
+        eps = channel_eps[channel]
+        for i in idxs:
+            subject = subject_indices[i]
+            if not _consented(task, subject):
+                outcomes["blocked_consent"] += 1
+                continue
+            used = spent.get(subject, 0.0)
+            if eps > max(0.0, task.privacy_cap - used) + 1e-12:
+                outcomes["blocked_budget"] += 1
+                continue
+            spent[subject] = used + eps
+            outcomes["released"] += 1
+
+    result.frames = frames
+    result.predicted_outcomes = outcomes
+
+
+def channel_of(task: ShardTask, subject: int) -> str:
+    """The one channel hot ``subject`` streams on (fixed by hot rank)."""
+    rank = subject // task.plan.hot_stride
+    return task.channels[rank % len(task.channels)][0]
+
+
+def _consented(task: ShardTask, subject: int) -> bool:
+    """The static consent rule: every ``consent_denied_mod``-th hot
+    subject (by hot rank) never opted in — so the consent gate carries
+    real refusal traffic at any scale."""
+    if task.consent_denied_mod <= 0:
+        return True
+    rank = subject // task.plan.hot_stride
+    return rank % task.consent_denied_mod != 0
+
+
+def _cascade_rounds(
+    task: ShardTask, result: ShardEpochResult, size: int
+) -> None:
+    """One misinformation cascade over the shard's interior edges.
+
+    Cross-shard social ties are *not* in this graph; they are exchanged
+    at the epoch barrier (the parent draws the boundary activations in
+    global shard order).  ``boundary_reached`` reports which designated
+    boundary members this cascade reached, i.e. which cross-shard edges
+    have a live source; ``carry_seeds`` activations routed *to* this
+    shard at the previous barrier seed extra members now.
+    """
+    members = min(task.cascade_members, size)
+    if members < 2:
+        return
+    graph = shard_graph(task.plan, task.shard, members)
+    rng = task.plan.rng(task.shard, task.epoch, Phase.CASCADE)
+    model = MisinformationModel(graph, rng)
+    ordered = graph.sorted_members()
+    n_seeds = min(2 + max(0, task.carry_seeds), len(ordered))
+    seeds = list(ordered[:n_seeds])
+    spread = model.spread(seeds)
+
+    boundary = max(0, min(task.cascade_boundary, members))
+    boundary_members = ordered[len(ordered) - boundary :] if boundary else ()
+    result.cascade_reach = spread.reach
+    result.cascade_rounds = spread.rounds
+    result.cascade_timeline = tuple(spread.timeline)
+    result.boundary_reached = tuple(
+        member in spread.reached for member in boundary_members
+    )

@@ -33,6 +33,7 @@ __all__ = [
     "linkage_workload",
     "dao_proposal_load",
     "synthetic_interaction_batch",
+    "synthetic_frame_burst",
 ]
 
 
@@ -241,6 +242,46 @@ def synthetic_interaction_batch(
         kind=kind,
         **kwargs,
     )
+
+
+def synthetic_frame_burst(
+    subjects: Sequence[int],
+    n_frames: int,
+    time: float,
+    rng: np.random.Generator,
+    channel_of,
+    subject_id_of,
+    value_dims: int = 4,
+) -> Tuple[List[SensorFrame], List[int]]:
+    """One epoch burst of sensor frames over a hot subject set.
+
+    Each frame picks a subject uniformly from ``subjects`` (so caps on a
+    small hot set genuinely exhaust), streams on the subject's fixed
+    ``channel_of(subject)``, and carries ``value_dims`` standard-normal
+    values for the PET stage to obfuscate.  Returns the frames plus the
+    picked subject indices (callers that predict budget admission need
+    the indices, not just the hashed subject ids).  Deterministic given
+    ``rng``; exactly ``2 * n_frames`` generator draws.
+    """
+    if n_frames < 0:
+        raise ValueError(f"n_frames must be >= 0, got {n_frames}")
+    if not subjects and n_frames:
+        raise ValueError("subjects must be non-empty when n_frames > 0")
+    frames: List[SensorFrame] = []
+    picks: List[int] = []
+    for _ in range(n_frames):
+        subject = subjects[int(rng.integers(len(subjects)))]
+        values = rng.normal(0.0, 1.0, size=value_dims)
+        frames.append(
+            SensorFrame(
+                channel=channel_of(subject),
+                subject=subject_id_of(subject),
+                time=time,
+                values=values,
+            )
+        )
+        picks.append(subject)
+    return frames, picks
 
 
 def dao_proposal_load(

@@ -3,8 +3,8 @@
 The paper's governance mechanisms are proposed for platforms with
 *millions* of concurrent users; the unit scenarios elsewhere in this
 package run dozens.  This workload closes that gap: a seeded synthetic
-population (100k agents by default) drives the four hot substrate paths
-for N epochs —
+population (100k agents by default) drives the hot substrate paths for N
+epochs —
 
 * **transactions** — fee-market transfers through the mempool's indexed
   selection into blocks;
@@ -18,16 +18,41 @@ for N epochs —
   through the batched moderation pipeline (vectorized classification,
   reports, capacity-bounded review, graduated sanctions without a
   ``World``);
-* **privacy budget** — a burst of DP charges per epoch through
-  :meth:`PrivacyBudget.charge_many`, concentrated on a hot subset so
-  caps genuinely exhaust and refusals exercise the deny path.
+* **privacy** — full :class:`~repro.privacy.sensors.SensorFrame`
+  streams through :meth:`PrivacyPipeline.ingest_all` (consent gate,
+  per-channel Laplace PETs, DP budget metering, disclosure), on a hot
+  subject subset so caps genuinely exhaust;
+* **cascades** — one misinformation cascade per shard per epoch over
+  shard-interior social edges, cross-shard activations exchanged at the
+  epoch barrier.
+
+Sharded execution
+-----------------
+The society is partitioned into ``n_shards`` contiguous index ranges by
+a :class:`~repro.parallel.plan.ShardPlan`; generation and the
+embarrassingly-parallel admission work run per shard
+(:func:`~repro.parallel.worker.run_shard_epoch`), and the serial
+substrate state — chain, reputation solve, DAO tally, moderation queue,
+privacy pipeline, metrics — advances at epoch barriers by folding the
+shard results **in shard-id order**.  ``workers`` is purely a
+scheduling knob: the shard structure (and hence every random stream) is
+fixed by ``(seed, n_shards)``, workers are pure functions of their
+tasks, and the reduction never observes completion order, so
+``run_load(workers=K)`` returns byte-identical metrics and traces for
+**any** K — the equivalence tests and benches assert it.
+
+Cross-shard effects use a two-phase protocol: transfer debits are
+validated shard-locally (senders are shard-owned), credits to other
+shards apply at the barrier through the parent ledger; workers predict
+their privacy-budget admissions against a shipped spend snapshot and
+the parent asserts the authoritative pipeline agreed; cascade boundary
+activations are exchanged at the barrier by a parent-owned stream and
+seed the neighbouring shard's cascade next epoch.
 
 Everything is deterministic given the seed: agent addresses are hash
-derived, sampling uses a dedicated ``random.Random``, and no wall-clock
-value ever enters the metrics, so two runs with the same parameters
-produce byte-identical result payloads (the scaling benchmark asserts
-this).  Histograms default to the bounded ``sketch`` backend so memory
-stays O(1) per metric no matter how many samples stream through.
+derived, no wall-clock value ever enters the metrics, and histograms
+default to the bounded ``sketch`` backend so memory stays O(1) per
+metric no matter how many samples stream through.
 
 Signing is the one place the workload diverges from production objects:
 real Lamport/Merkle wallets cost seconds *each* to derive, which at
@@ -41,9 +66,8 @@ paths at full population scale.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dao.dao import DAO
 from repro.dao.members import Member
@@ -58,11 +82,30 @@ from repro.ledger.chain import Blockchain
 from repro.ledger.consensus import PoAConsensus
 from repro.ledger.crypto import sha256
 from repro.ledger.transactions import Transaction, TxKind
+from repro.obs.exporters import trace_to_jsonl
+from repro.obs.instrument import Instrumentation
+from repro.parallel.plan import ShardPlan, split_weighted
+from repro.parallel.pool import make_pool
+from repro.parallel.reduce import (
+    check_shard_order,
+    merge_boundary_activations,
+    merge_interaction_batches,
+    sum_predicted_outcomes,
+)
+from repro.parallel.worker import (
+    ShardTask,
+    channel_of,
+    run_shard_epoch,
+    warm_caches,
+)
 from repro.privacy.budget import PrivacyBudget
+from repro.privacy.consent import ConsentRegistry
+from repro.privacy.pets import LaplaceMechanism
+from repro.privacy.pipeline import PrivacyPipeline
 from repro.reputation.system import ReputationSystem
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngRegistry
-from repro.workloads.generators import synthetic_interaction_batch
+from repro.sim.tracing import TraceLog
 
 __all__ = [
     "SyntheticSignedTransaction",
@@ -70,6 +113,8 @@ __all__ = [
     "agent_address",
     "LoadRunResult",
     "run_load",
+    "DEFAULT_CHANNELS",
+    "HOT_STRIDE",
 ]
 
 
@@ -124,12 +169,33 @@ def agent_address(i: int) -> str:
     return sha256(f"load-agent-{i}".encode()).hex()
 
 
+# Privacy-hot subjects are agent indices 0, HOT_STRIDE, 2*HOT_STRIDE, …
+# (~1% of the population), strided so every shard owns its share and
+# budgets stay shard-local by construction.
+HOT_STRIDE = 100
+
+# (channel, epsilon-per-frame) for the per-channel Laplace PETs.  Each
+# hot subject streams on exactly one channel, fixed by hot rank — see
+# repro.parallel.worker.channel_of.
+DEFAULT_CHANNELS: Tuple[Tuple[str, float], ...] = (
+    ("gaze", 0.35),
+    ("gait", 0.25),
+    ("heart_rate", 0.45),
+)
+
+# Every CONSENT_DENIED_MOD-th hot subject (by hot rank) never opts in,
+# so the consent gate carries real refusal traffic at any scale.
+CONSENT_DENIED_MOD = 10
+
+
 @dataclass(frozen=True)
 class LoadRunResult:
     """Outcome of one load run; ``metrics`` is fully deterministic."""
 
     n_agents: int
     epochs: int
+    workers: int
+    n_shards: int
     chain_height: int
     txs_submitted: int
     txs_included: int
@@ -143,9 +209,14 @@ class LoadRunResult:
     cases_opened: int
     cases_reviewed: int
     moderation_backlog: int
-    privacy_charges: int
-    privacy_refusals: int
+    frames_offered: int
+    frames_released: int
+    frames_blocked_consent: int
+    frames_blocked_budget: int
+    cascade_reach: int
+    cascade_cross: int
     metrics: Dict[str, Any]
+    trace_jsonl: Optional[str] = None
 
 
 def run_load(
@@ -160,20 +231,51 @@ def run_load(
     histogram_backend: str = "sketch",
     electorate_size: Optional[int] = 5_000,
     interactions_per_epoch: int = 2_000,
-    privacy_charges_per_epoch: int = 2_000,
+    frames_per_epoch: int = 2_000,
     privacy_cap: float = 4.0,
+    cascade_members: int = 250,
+    cascade_boundary: int = 8,
+    workers: int = 1,
+    n_shards: Optional[int] = None,
+    trace: bool = False,
 ) -> LoadRunResult:
     """Run the population-scale workload; see the module docstring.
 
-    ``electorate_size`` bounds DAO membership (member objects carry
-    per-member attention state, which at full population size would be
-    setup cost, not load); pass None to enrol every agent.
-    ``privacy_cap`` is the per-subject epsilon cap; charges target a hot
-    1% subset of the population so the cap actually binds.
+    ``workers`` schedules the shard work (1 = inline serial path); it
+    never changes results.  ``n_shards`` fixes the stream structure and
+    *does* change results — it defaults to ``min(8, n_agents)``
+    independently of ``workers`` precisely so scheduling and semantics
+    stay decoupled.  ``electorate_size`` bounds DAO membership (member
+    objects carry per-member attention state, which at full population
+    size would be setup cost, not load); pass None to enrol every agent.
+    ``privacy_cap`` is the per-subject epsilon cap; frames target the
+    strided hot ~1% of the population so the cap actually binds.
+    ``trace=True`` captures the obs-layer trace (parent epoch spans +
+    merged worker spans + substrate spans) and returns its JSONL export.
     """
-    rng = random.Random(seed)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    resolved_shards = min(8, n_agents) if n_shards is None else n_shards
+    n_members = (
+        n_agents if electorate_size is None else min(n_agents, electorate_size)
+    )
+    plan = ShardPlan(
+        seed=seed,
+        n_agents=n_agents,
+        n_shards=resolved_shards,
+        n_members=n_members,
+        hot_stride=HOT_STRIDE,
+    )
+
     rngs = RngRegistry(seed=seed)
     registry = MetricsRegistry(histogram_backend=histogram_backend)
+    obs: Optional[Instrumentation] = None
+    trace_log: Optional[TraceLog] = None
+    if trace:
+        trace_log = TraceLog()
+        obs = Instrumentation(
+            trace=trace_log, metrics=registry, run_id=f"load-{seed}"
+        )
 
     agents = [agent_address(i) for i in range(n_agents)]
     validator = sha256(b"load-validator").hex()
@@ -189,13 +291,14 @@ def run_load(
     for address in agents:
         reputation.register_identity(address)
 
-    n_members = n_agents if electorate_size is None else min(n_agents, electorate_size)
     dao = DAO(name="load")
     for address in agents[:n_members]:
         dao.add_member(Member(address=address, tokens=1.0))
 
-    # Moderation runs sans World: sanctions track offenders by address,
-    # and interactions arrive as columnar batches, never avatar objects.
+    # Moderation: classification/report draws happen in shard workers;
+    # the parent keeps the stateful queue, bounded review, and sanctions
+    # (process_prepared).  The classifier stream exists only to satisfy
+    # the service's detection-channel requirement — it is never drawn.
     moderation = ModerationService(
         sanctions=GraduatedSanctionPolicy(world=None),
         classifier=AbuseClassifier(rngs.stream("load.moderation.classifier")),
@@ -204,160 +307,307 @@ def run_load(
             rngs.stream("load.moderation.reviewer"),
             capacity_per_epoch=max(20, interactions_per_epoch // 20),
         ),
+        obs=obs,
     )
-    interactions_rng = rngs.stream("load.interactions")
 
-    budget = PrivacyBudget(default_cap=privacy_cap)
-    privacy_rng = rngs.stream("load.privacy")
-    # Hot subjects: ~1% of the population absorbs every charge, so caps
-    # exhaust mid-run and the refusal path carries real traffic.
-    n_hot = max(1, n_agents // 100)
+    # Privacy: the authoritative pipeline (consent → PET → budget →
+    # disclosure).  Workers predict its admissions; the barrier asserts.
+    pipeline = PrivacyPipeline(
+        consent=ConsentRegistry(),
+        budget=PrivacyBudget(default_cap=privacy_cap),
+        obs=obs,
+    )
+    hot_by_shard = [plan.hot_subjects_of(s) for s in range(plan.n_shards)]
+    for channel, epsilon in DEFAULT_CHANNELS:
+        pipeline.set_pet(
+            channel,
+            LaplaceMechanism(epsilon, rng=rngs.stream(f"load.pets.{channel}")),
+        )
+    _task_probe = _consent_probe(plan)
+    for subject in range(0, n_agents, HOT_STRIDE):
+        rank = subject // HOT_STRIDE
+        if rank % CONSENT_DENIED_MOD != 0:
+            pipeline.consent.grant(
+                agents[subject], channel_of(_task_probe, subject)
+            )
 
-    nonces = [0] * n_agents
+    boundary_rng = rngs.stream("load.cascade.boundary")
+
+    # Per-shard quota splits (deterministic, sum exactly to the totals).
+    tx_quota = [plan.count_for(txs_per_epoch, s) for s in range(plan.n_shards)]
+    rating_quota = [
+        plan.count_for(ratings_per_epoch, s) for s in range(plan.n_shards)
+    ]
+    report_quota = [
+        plan.count_for(reports_per_epoch, s) for s in range(plan.n_shards)
+    ]
+    interaction_quota = [
+        plan.count_for(interactions_per_epoch, s)
+        for s in range(plan.n_shards)
+    ]
+    frame_quota = split_weighted(
+        frames_per_epoch, [len(h) for h in hot_by_shard]
+    )
+    member_sizes = [
+        max(0, mhi - mlo)
+        for mlo, mhi in (
+            plan.member_range_of(s) for s in range(plan.n_shards)
+        )
+    ]
+    vote_quota = split_weighted(votes_per_epoch, member_sizes)
+
+    shard_nonces: List[Dict[int, int]] = [{} for _ in range(plan.n_shards)]
+    carries = [0] * plan.n_shards
+
     txs_submitted = txs_included = 0
     ratings = reports = votes_cast = proposals_closed = 0
     interactions_processed = cases_opened = cases_reviewed = 0
-    privacy_charges = privacy_refusals = 0
+    cascade_reach = cascade_cross = 0
 
-    for epoch in range(epochs):
-        now = float(epoch)
-
-        # Transactions: weighted fee market, nonce-ordered per sender.
-        for _ in range(txs_per_epoch):
-            s = rng.randrange(n_agents)
-            r = rng.randrange(n_agents)
-            if r == s:
-                r = (r + 1) % n_agents
-            fee = rng.randint(1, 100)
-            stx = synthetic_transfer(
-                agents[s], agents[r], amount=rng.randint(1, 50), fee=fee,
-                nonce=nonces[s],
-            )
-            if chain.mempool.submit(stx, chain.state, time=now):
-                nonces[s] += 1
-                txs_submitted += 1
-                registry.histogram("load.tx.fee").observe(float(fee))
-        while len(chain.mempool) > 0:
-            block = chain.propose_block(
-                validator, timestamp=now + 0.1, max_txs=block_size
-            )
-            if not block.transactions:
-                break
-            txs_included += len(block.transactions)
-            registry.histogram("load.block.txs").observe(
-                float(len(block.transactions))
-            )
-
-        # Trust ratings: positive feedback between random agent pairs.
-        for _ in range(ratings_per_epoch):
-            a = rng.randrange(n_agents)
-            b = rng.randrange(n_agents)
-            if b == a:
-                b = (b + 1) % n_agents
-            weight = rng.uniform(0.1, 1.0)
-            reputation.record(
-                agents[a], agents[b], positive=True, time=now, weight=weight
-            )
-            ratings += 1
-            registry.histogram("load.rating.weight").observe(weight)
-
-        # Reports: negative feedback with a severity distribution.
-        for _ in range(reports_per_epoch):
-            reporter = rng.randrange(n_agents)
-            accused = rng.randrange(n_agents)
-            if accused == reporter:
-                accused = (accused + 1) % n_agents
-            severity = rng.uniform(0.2, 1.0)
-            reputation.record(
-                agents[reporter],
-                agents[accused],
-                positive=False,
-                time=now,
-                weight=severity,
-                context="report",
-            )
-            reports += 1
-            registry.counter("load.reports.filed").inc()
-            registry.histogram("load.report.severity").observe(severity)
-
-        # One governance proposal per epoch, voted on by a sample.
-        proposal = dao.submit_proposal(
-            title=f"epoch-{epoch} parameter change",
-            proposer=agents[0],
-            topic="governance",
-            created_at=now,
-            voting_period=0.5,
-        )
-        for _ in range(min(votes_per_epoch, n_members)):
-            voter = agents[rng.randrange(n_members)]
-            try:
-                dao.cast_ballot(
-                    proposal.proposal_id,
-                    voter,
-                    option="yes" if rng.random() < 0.6 else "no",
-                    time=now + 0.2,
+    # Warm the per-process caches before the pool exists: on fork
+    # platforms every worker inherits the address table and shard graphs
+    # for free instead of rebuilding them per process.
+    warm_caches(plan, agents, cascade_members)
+    pool = make_pool(workers)
+    try:
+        for epoch in range(epochs):
+            now = float(epoch)
+            tasks = [
+                ShardTask(
+                    plan=plan,
+                    shard=shard,
+                    epoch=epoch,
+                    tx_count=tx_quota[shard],
+                    rating_count=rating_quota[shard],
+                    report_count=report_quota[shard],
+                    vote_count=vote_quota[shard],
+                    interaction_count=interaction_quota[shard],
+                    frame_count=frame_quota[shard],
+                    base_nonces=dict(shard_nonces[shard]),
+                    hot_spent=tuple(
+                        pipeline.budget.spent(agents[subject])
+                        for subject in hot_by_shard[shard]
+                    ),
+                    privacy_cap=privacy_cap,
+                    channels=DEFAULT_CHANNELS,
+                    consent_denied_mod=CONSENT_DENIED_MOD,
+                    cascade_members=cascade_members,
+                    cascade_boundary=cascade_boundary,
+                    carry_seeds=carries[shard],
+                    trace=trace,
                 )
-            except Exception:
-                continue  # duplicate voter in the sample
-            votes_cast += 1
-        proposals_closed += len(dao.close_due(now + 1.0))
+                for shard in range(plan.n_shards)
+            ]
+            results = pool.map_ordered(run_shard_epoch, tasks)
+            check_shard_order(results)
 
-        # Moderation: one columnar batch through the vectorized pipeline.
-        if interactions_per_epoch > 0:
-            batch = synthetic_interaction_batch(
-                n_agents,
-                interactions_per_epoch,
-                time=now,
-                rng=interactions_rng,
-                id_of=agent_address,
+            epoch_span = (
+                obs.span("load", "epoch", time=now, epoch=epoch)
+                if obs is not None
+                else None
             )
-            summary = moderation.process_batch(batch, time=now)
-            interactions_processed += len(batch)
-            cases_opened += summary["opened"]
-            cases_reviewed += summary["reviewed"]
-            registry.counter("load.moderation.flagged").inc(summary["flagged"])
-            registry.counter("load.moderation.reported").inc(summary["reported"])
-            registry.counter("load.moderation.reviewed").inc(summary["reviewed"])
-            registry.gauge("load.moderation.backlog").set(
-                float(summary["backlog"])
-            )
+            if epoch_span is not None:
+                epoch_span.__enter__()
+            try:
+                if obs is not None:
+                    for result in results:
+                        obs.tracer.emit_merged(result.span_payloads)
 
-        # Privacy budget: a batched burst of DP charges on hot subjects.
-        if privacy_charges_per_epoch > 0:
-            hot = privacy_rng.integers(0, n_hot, size=privacy_charges_per_epoch)
-            epsilons = privacy_rng.uniform(
-                0.05, 0.5, size=privacy_charges_per_epoch
-            )
-            accepted = budget.charge_many(
-                [agents[i] for i in hot],
-                epsilons.tolist(),
-                channel="telemetry",
-                time=now,
-                record_ledger=False,
-            )
-            granted = sum(accepted)
-            privacy_charges += len(accepted)
-            privacy_refusals += len(accepted) - granted
-            registry.counter("load.privacy.charges").inc(len(accepted))
-            registry.counter("load.privacy.refusals").inc(
-                len(accepted) - granted
-            )
-            for epsilon, ok in zip(epsilons, accepted):
-                if ok:
-                    registry.histogram("load.privacy.epsilon").observe(
-                        float(epsilon)
+                # -- ledger barrier: apply debits+credits in shard order.
+                for result in results:
+                    for s, r, amount, fee, nonce, tx_id in zip(
+                        result.tx_senders,
+                        result.tx_recipients,
+                        result.tx_amounts,
+                        result.tx_fees,
+                        result.tx_nonces,
+                        result.tx_ids,
+                    ):
+                        tx = Transaction(
+                            sender=agents[s],
+                            recipient=agents[r],
+                            amount=amount,
+                            fee=fee,
+                            nonce=nonce,
+                            kind=TxKind.TRANSFER,
+                        )
+                        # Seed the hash cache with the worker-computed id
+                        # so admission never re-hashes on the barrier.
+                        tx.__dict__["tx_id"] = tx_id
+                        if not chain.mempool.submit(
+                            SyntheticSignedTransaction(tx), chain.state,
+                            time=now,
+                        ):
+                            raise RuntimeError(
+                                "two-phase ledger protocol diverged: "
+                                f"worker-admitted tx {tx_id} refused by "
+                                "the authoritative mempool"
+                            )
+                        shard_nonces[result.shard][s] = nonce + 1
+                        txs_submitted += 1
+                        registry.histogram("load.tx.fee").observe(float(fee))
+                while len(chain.mempool) > 0:
+                    block = chain.propose_block(
+                        validator, timestamp=now + 0.1, max_txs=block_size
+                    )
+                    if not block.transactions:
+                        break
+                    txs_included += len(block.transactions)
+                    registry.histogram("load.block.txs").observe(
+                        float(len(block.transactions))
                     )
 
-        # Refresh global trust once per epoch: the warm-started sparse
-        # solve is the measured reputation write path.
-        trust = reputation.global_trust()
-        top = max(trust.values()) if trust else 0.0
-        registry.gauge("load.trust.top").set(top)
-        registry.counter("load.epochs").inc()
+                # -- reputation barrier: fold edge deltas in shard order.
+                for result in results:
+                    for a, b, weight in zip(
+                        result.rating_raters,
+                        result.rating_ratees,
+                        result.rating_weights,
+                    ):
+                        reputation.record(
+                            agents[a], agents[b], positive=True, time=now,
+                            weight=weight,
+                        )
+                        ratings += 1
+                        registry.histogram("load.rating.weight").observe(
+                            weight
+                        )
+                for result in results:
+                    for reporter, accused, severity in zip(
+                        result.report_reporters,
+                        result.report_accused,
+                        result.report_severities,
+                    ):
+                        reputation.record(
+                            agents[reporter],
+                            agents[accused],
+                            positive=False,
+                            time=now,
+                            weight=severity,
+                            context="report",
+                        )
+                        reports += 1
+                        registry.counter("load.reports.filed").inc()
+                        registry.histogram("load.report.severity").observe(
+                            severity
+                        )
+
+                # -- governance barrier: one proposal, shard-ordered
+                # ballots.
+                proposal = dao.submit_proposal(
+                    title=f"epoch-{epoch} parameter change",
+                    proposer=agents[0],
+                    topic="governance",
+                    created_at=now,
+                    voting_period=0.5,
+                )
+                for result in results:
+                    for voter, yes in zip(
+                        result.vote_voters, result.vote_yes
+                    ):
+                        try:
+                            dao.cast_ballot(
+                                proposal.proposal_id,
+                                agents[voter],
+                                option="yes" if yes else "no",
+                                time=now + 0.2,
+                            )
+                        except Exception:
+                            continue  # duplicate voter in the sample
+                        votes_cast += 1
+                proposals_closed += len(dao.close_due(now + 1.0))
+
+                # -- moderation barrier: merged batch, prepared verdicts.
+                merged = merge_interaction_batches(results)
+                if merged is not None:
+                    batch, flagged_rows, report_rows = merged
+                    summary = moderation.process_prepared(
+                        batch, flagged_rows, report_rows, time=now
+                    )
+                    interactions_processed += len(batch)
+                    cases_opened += summary["opened"]
+                    cases_reviewed += summary["reviewed"]
+                    registry.counter("load.moderation.flagged").inc(
+                        summary["flagged"]
+                    )
+                    registry.counter("load.moderation.reported").inc(
+                        summary["reported"]
+                    )
+                    registry.counter("load.moderation.reviewed").inc(
+                        summary["reviewed"]
+                    )
+                    registry.gauge("load.moderation.backlog").set(
+                        float(summary["backlog"])
+                    )
+
+                # -- privacy barrier: authoritative ingest, then validate
+                # the workers' two-phase admission predictions.
+                frames = [
+                    frame for result in results for frame in result.frames
+                ]
+                if frames:
+                    before = (
+                        pipeline.stats.released,
+                        pipeline.stats.blocked_consent,
+                        pipeline.stats.blocked_budget,
+                    )
+                    pipeline.ingest_all(frames)
+                    released_d = pipeline.stats.released - before[0]
+                    consent_d = pipeline.stats.blocked_consent - before[1]
+                    budget_d = pipeline.stats.blocked_budget - before[2]
+                    predicted = sum_predicted_outcomes(results)
+                    if (
+                        released_d != predicted.get("released", 0)
+                        or consent_d != predicted.get("blocked_consent", 0)
+                        or budget_d != predicted.get("blocked_budget", 0)
+                    ):
+                        raise RuntimeError(
+                            "two-phase privacy protocol diverged: workers "
+                            f"predicted {predicted}, pipeline released "
+                            f"{released_d} / blocked_consent {consent_d} "
+                            f"/ blocked_budget {budget_d}"
+                        )
+                    registry.counter("load.privacy.frames").inc(len(frames))
+                    registry.counter("load.privacy.released").inc(released_d)
+                    registry.counter("load.privacy.refusals").inc(
+                        consent_d + budget_d
+                    )
+
+                # -- cascade barrier: fold shard cascades, exchange
+                # boundary activations for next epoch's seeds.
+                if cascade_members > 0:
+                    for result in results:
+                        cascade_reach += result.cascade_reach
+                        registry.histogram("load.cascade.reach").observe(
+                            float(result.cascade_reach)
+                        )
+                        registry.histogram("load.cascade.rounds").observe(
+                            float(result.cascade_rounds)
+                        )
+                    carries = merge_boundary_activations(
+                        results, boundary_rng
+                    )
+                    crossed = sum(carries)
+                    cascade_cross += crossed
+                    registry.counter("load.cascade.cross").inc(crossed)
+
+                # Refresh global trust once per epoch: the warm-started
+                # sparse solve is the measured reputation write path.
+                trust = reputation.global_trust()
+                top = max(trust.values()) if trust else 0.0
+                registry.gauge("load.trust.top").set(top)
+                registry.counter("load.epochs").inc()
+            finally:
+                if epoch_span is not None:
+                    epoch_span.__exit__(None, None, None)
+    finally:
+        pool.close()
 
     return LoadRunResult(
         n_agents=n_agents,
         epochs=epochs,
+        workers=max(1, workers),
+        n_shards=plan.n_shards,
         chain_height=chain.height,
         txs_submitted=txs_submitted,
         txs_included=txs_included,
@@ -371,7 +621,32 @@ def run_load(
         cases_opened=cases_opened,
         cases_reviewed=cases_reviewed,
         moderation_backlog=moderation.backlog,
-        privacy_charges=privacy_charges,
-        privacy_refusals=privacy_refusals,
+        frames_offered=pipeline.stats.offered,
+        frames_released=pipeline.stats.released,
+        frames_blocked_consent=pipeline.stats.blocked_consent,
+        frames_blocked_budget=pipeline.stats.blocked_budget,
+        cascade_reach=cascade_reach,
+        cascade_cross=cascade_cross,
         metrics=registry.as_dict(),
+        trace_jsonl=(
+            trace_to_jsonl(trace_log) if trace_log is not None else None
+        ),
+    )
+
+
+def _consent_probe(plan: ShardPlan) -> "ShardTask":
+    """A minimal task whose only job is feeding ``channel_of`` /
+    consent-rule helpers parent-side (same plan, no per-epoch state)."""
+    return ShardTask(
+        plan=plan,
+        shard=0,
+        epoch=0,
+        tx_count=0,
+        rating_count=0,
+        report_count=0,
+        vote_count=0,
+        interaction_count=0,
+        frame_count=0,
+        channels=DEFAULT_CHANNELS,
+        consent_denied_mod=CONSENT_DENIED_MOD,
     )

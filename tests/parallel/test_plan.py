@@ -1,0 +1,143 @@
+"""Shard-plan geometry and stream derivation: the determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import Phase, ShardPlan, shard_phase_rng
+from repro.parallel.plan import split_weighted
+
+
+def make_plan(n_agents=1_000, n_shards=7, n_members=300, hot_stride=100, seed=2022):
+    return ShardPlan(
+        seed=seed,
+        n_agents=n_agents,
+        n_shards=n_shards,
+        n_members=n_members,
+        hot_stride=hot_stride,
+    )
+
+
+class TestPartitionGeometry:
+    @pytest.mark.parametrize("n_agents,n_shards", [
+        (1, 1), (10, 1), (10, 3), (10, 10), (1_000, 7), (1_001, 8), (97, 13),
+    ])
+    def test_ranges_partition_population(self, n_agents, n_shards):
+        plan = make_plan(n_agents=n_agents, n_shards=n_shards,
+                         n_members=min(n_agents, 300))
+        covered = []
+        prev_hi = 0
+        for shard in range(n_shards):
+            lo, hi = plan.range_of(shard)
+            assert lo == prev_hi  # contiguous, no gaps or overlaps
+            assert hi - lo == plan.size_of(shard)
+            covered.extend(range(lo, hi))
+            prev_hi = hi
+        assert covered == list(range(n_agents))
+
+    def test_remainder_goes_to_lowest_shards(self):
+        plan = make_plan(n_agents=10, n_shards=3, n_members=10)
+        assert [plan.size_of(s) for s in range(3)] == [4, 3, 3]
+
+    @pytest.mark.parametrize("n_agents,n_shards", [(10, 3), (1_000, 7), (97, 13)])
+    def test_shard_of_inverts_range_of(self, n_agents, n_shards):
+        plan = make_plan(n_agents=n_agents, n_shards=n_shards,
+                         n_members=min(n_agents, 300))
+        for agent in range(n_agents):
+            shard = plan.shard_of(agent)
+            lo, hi = plan.range_of(shard)
+            assert lo <= agent < hi
+
+    def test_member_ranges_cover_electorate_prefix(self):
+        plan = make_plan(n_agents=1_000, n_shards=7, n_members=333)
+        members = []
+        for shard in range(plan.n_shards):
+            lo, hi = plan.member_range_of(shard)
+            members.extend(range(lo, hi))
+        assert members == list(range(333))
+
+    def test_hot_subjects_are_strided_and_partitioned(self):
+        plan = make_plan(n_agents=1_050, n_shards=4, hot_stride=100)
+        hot = []
+        for shard in range(plan.n_shards):
+            shard_hot = plan.hot_subjects_of(shard)
+            lo, hi = plan.range_of(shard)
+            assert all(lo <= h < hi for h in shard_hot)
+            hot.extend(shard_hot)
+        assert hot == list(range(0, 1_050, 100))
+
+    def test_count_for_sums_to_total(self):
+        plan = make_plan(n_agents=1_000, n_shards=7)
+        for total in (0, 1, 6, 7, 100, 12_345):
+            parts = [plan.count_for(total, s) for s in range(plan.n_shards)]
+            assert sum(parts) == total
+            assert max(parts) - min(parts) <= 1
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ValueError):
+            make_plan(n_agents=0)
+        with pytest.raises(ValueError):
+            make_plan(n_agents=5, n_shards=6, n_members=5)
+        with pytest.raises(ValueError):
+            make_plan(hot_stride=0)
+        plan = make_plan()
+        with pytest.raises(ValueError):
+            plan.range_of(plan.n_shards)
+        with pytest.raises(ValueError):
+            plan.shard_of(plan.n_agents)
+
+
+class TestSplitWeighted:
+    def test_sums_to_total_and_tracks_weights(self):
+        parts = split_weighted(100, [1, 2, 3, 4])
+        assert sum(parts) == 100
+        assert parts == [10, 20, 30, 40]
+
+    def test_largest_remainder_ties_to_lowest_index(self):
+        # 10 over equal weights of 3: floors are 3 each, one leftover
+        # unit goes to the lowest index among the tied remainders.
+        assert split_weighted(10, [1, 1, 1]) == [4, 3, 3]
+
+    def test_zero_weights_get_nothing(self):
+        assert split_weighted(7, [0, 1, 0]) == [0, 7, 0]
+        assert split_weighted(7, [0, 0]) == [0, 0]
+
+    def test_deterministic(self):
+        weights = [13, 7, 29, 1, 50]
+        assert split_weighted(999, weights) == split_weighted(999, weights)
+        assert sum(split_weighted(999, weights)) == 999
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            split_weighted(-1, [1])
+
+
+class TestStreamDerivation:
+    def test_same_cell_same_stream(self):
+        a = shard_phase_rng(2022, 8, 3, 1, Phase.TRANSACTIONS)
+        b = shard_phase_rng(2022, 8, 3, 1, Phase.TRANSACTIONS)
+        assert np.array_equal(a.integers(0, 1 << 30, 64), b.integers(0, 1 << 30, 64))
+
+    def test_cells_are_independent(self):
+        base = shard_phase_rng(2022, 8, 3, 1, Phase.TRANSACTIONS)
+        draws = base.integers(0, 1 << 30, 64)
+        for other in (
+            shard_phase_rng(2022, 8, 4, 1, Phase.TRANSACTIONS),  # other shard
+            shard_phase_rng(2022, 8, 3, 2, Phase.TRANSACTIONS),  # other epoch
+            shard_phase_rng(2022, 8, 3, 1, Phase.RATINGS),       # other phase
+            shard_phase_rng(2023, 8, 3, 1, Phase.TRANSACTIONS),  # other seed
+        ):
+            assert not np.array_equal(draws, other.integers(0, 1 << 30, 64))
+
+    def test_plan_rng_matches_free_function(self):
+        plan = make_plan(seed=99, n_shards=5)
+        a = plan.rng(2, 4, Phase.CASCADE)
+        b = shard_phase_rng(99, 5, 2, 4, Phase.CASCADE)
+        assert np.array_equal(a.integers(0, 1 << 30, 32), b.integers(0, 1 << 30, 32))
+
+    def test_phase_indices_are_pinned(self):
+        # Renumbering phases silently changes every derived stream;
+        # these values are part of the on-disk determinism contract.
+        assert (
+            Phase.TRANSACTIONS, Phase.RATINGS, Phase.REPORTS, Phase.VOTES,
+            Phase.INTERACTIONS, Phase.FRAMES, Phase.CASCADE, Phase.GRAPH,
+        ) == (0, 1, 2, 3, 4, 5, 6, 7)

@@ -1,0 +1,73 @@
+"""Execution pools: ordered results for any worker count."""
+
+import pytest
+
+from repro.parallel import SerialPool, ProcessPool, make_pool, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def tag(x):
+    # Non-commutative payload: any reordering changes the result list.
+    return (x, x % 3)
+
+
+class TestMakePool:
+    @pytest.mark.parametrize("workers", [None, 0, 1])
+    def test_low_counts_mean_inline(self, workers):
+        assert isinstance(make_pool(workers), SerialPool)
+
+    def test_two_plus_means_processes(self):
+        with make_pool(2) as pool:
+            assert isinstance(pool, ProcessPool)
+            assert pool.workers == 2
+
+    def test_process_pool_rejects_single_worker(self):
+        with pytest.raises(ValueError):
+            ProcessPool(1)
+
+
+class TestMapOrdered:
+    def test_serial_preserves_order(self):
+        assert SerialPool().map_ordered(square, list(range(10))) == [
+            x * x for x in range(10)
+        ]
+
+    def test_process_pool_preserves_submission_order(self):
+        items = list(range(40))
+        with make_pool(2) as pool:
+            assert pool.map_ordered(tag, items) == [tag(x) for x in items]
+
+    def test_serial_equals_pooled(self):
+        items = [7, 1, 9, 2, 2, 5]
+        serial = SerialPool().map_ordered(square, items)
+        with make_pool(2) as pool:
+            assert pool.map_ordered(square, items) == serial
+
+
+class TestParallelMap:
+    def test_matches_builtin_map_inline(self):
+        items = list(range(23))
+        assert parallel_map(square, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 5, 23, 100])
+    def test_chunk_size_never_changes_results(self, chunk_size):
+        items = list(range(23))
+        expected = [tag(x) for x in items]
+        assert parallel_map(tag, items, chunk_size=chunk_size) == expected
+
+    def test_pooled_matches_inline(self):
+        items = list(range(37))
+        expected = parallel_map(tag, items)
+        with make_pool(2) as pool:
+            for chunk_size in (None, 1, 4, 50):
+                assert parallel_map(tag, items, pool=pool, chunk_size=chunk_size) == expected
+
+    def test_empty_items(self):
+        assert parallel_map(square, []) == []
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], chunk_size=0)

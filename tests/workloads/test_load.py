@@ -92,6 +92,42 @@ class TestLoadWorkload:
         histograms = result.metrics["histograms"]
         assert histograms["load.tx.fee"]["count"] == float(result.txs_submitted)
 
+    def test_privacy_pipeline_phase_carries_traffic(self):
+        # Frames flow through the full PET pipeline: offered splits
+        # exactly into released + consent-blocked + budget-blocked, and
+        # the seeded caps/consent denials genuinely bind.
+        result = run_load(**SMALL)
+        assert result.frames_offered > 0
+        assert result.frames_offered == (
+            result.frames_released
+            + result.frames_blocked_consent
+            + result.frames_blocked_budget
+        )
+        assert result.frames_released > 0
+        assert result.frames_blocked_consent > 0
+        counters = result.metrics["counters"]
+        assert counters["load.privacy.frames"] == float(result.frames_offered)
+        assert counters["load.privacy.released"] == float(result.frames_released)
+
+    def test_worker_count_is_a_pure_scheduling_knob(self):
+        # The PR5 contract: metrics AND traces are byte-identical for
+        # any worker count, process pools included.
+        serial = run_load(workers=1, trace=True, **SMALL)
+        serial_payload = json.dumps(serial.metrics, sort_keys=True)
+        for workers in (2, 4):
+            pooled = run_load(workers=workers, trace=True, **SMALL)
+            assert (
+                json.dumps(pooled.metrics, sort_keys=True) == serial_payload
+            ), f"workers={workers} changed the metrics payload"
+            assert pooled.trace_jsonl == serial.trace_jsonl
+        assert serial.n_shards > 1  # the equivalence was not vacuous
+
+    def test_explicit_shard_count_respected(self):
+        result = run_load(n_shards=3, **SMALL)
+        assert result.n_shards == 3
+        replay = run_load(n_shards=3, **SMALL)
+        assert result.metrics == replay.metrics
+
     def test_no_wall_clock_in_metrics(self):
         # Byte-identical replay depends on this: every metric value must
         # derive from the seed, never from time.time().
