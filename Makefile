@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel parallel-check obs-check ci
+.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving parallel-check obs-check serve-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,20 @@ bench-baseline:
 parallel-check:
 	$(PYTHON) -m repro.parallel.check
 
+# Serving determinism gate: one seeded open-loop scenario (flash crowd
+# included) through the full serving stack twice — metrics and traces
+# byte-identical, every middleware stage live (cache hits, sheds,
+# validation rejects, policy refusals), all platform ticks firing.
+serve-check:
+	$(PYTHON) -m repro.serving.check
+
+# Serving latency/saturation sweep: open-loop arrival rates vs p50/p99
+# and the saturation knee, all in simulated time; writes BENCH_PR6.json
+# and asserts a seeded replay is byte-identical.  Full sweep:
+#   python -m benchmarks.serving
+bench-serving:
+	$(PYTHON) -m benchmarks.serving --smoke
+
 # Sharded-execution wall-clock tier only: serial vs workers={2,4} at the
 # 100k tier, equivalence asserted, >=2x speedup gated where >=4 cores
 # exist (recorded-but-skipped on smaller hosts).  Writes BENCH_PR5.json.
@@ -55,4 +69,4 @@ bench-scaling:
 # Everything a merge must pass, in one target.  bench-scaling's smoke
 # mode includes the workers tier (10k agents, workers={2,4} equivalence
 # asserts); parallel-check additionally pins trace-level equivalence.
-ci: test bench-smoke bench-scaling parallel-check obs-check
+ci: test bench-smoke bench-scaling parallel-check obs-check serve-check

@@ -4,7 +4,8 @@ Times a fixed set of tracked operations (sim event dispatch with
 observability hooks on, ``Histogram.summary()`` at 10k samples, repeated
 ``EigenTrust.trust_of`` lookups, ledger block appends with and without
 transactions, indexed mempool selection, warm reputation writes, cached
-contract dispatch, and sketch-histogram streaming) against the committed
+contract dispatch, sketch-histogram streaming, and the serving tier's
+request path / read cache / admission control) against the committed
 baseline in
 ``benchmarks/baseline.json`` and fails if any tracked op regresses more
 than the gate threshold (default 25%).
@@ -538,6 +539,101 @@ def kernel_privacy_batch_charge() -> Tuple[int, float]:
     return n, elapsed
 
 
+def kernel_serving_request_path() -> Tuple[int, float]:
+    """A full seeded serving run, timed from the first loop event.
+
+    The end-to-end request path — validation, cache, admission, queueing,
+    substrate dispatch, metrics — per completed response.  Traffic
+    generation and repository construction happen outside the timed
+    section; this is the serving tier's steady-state cost per request.
+    """
+    from repro.serving.gateway import ServingConfig, ServingGateway
+    from repro.serving.loop import EventLoop, PRIORITY_ARRIVAL
+    from repro.serving.repository import ServingRepository
+    from repro.serving.run import SERVICE_TIME_DOMAIN
+    from repro.sim.metrics import MetricsRegistry
+    from repro.workloads.traffic import TrafficConfig, generate_traffic
+
+    import numpy as np
+
+    traffic = TrafficConfig(
+        n_users=150, horizon=8.0, rate_per_user=1.0, seed=SEED
+    )
+    arrivals = generate_traffic(traffic)
+    registry = MetricsRegistry()
+    loop = EventLoop()
+    repo = ServingRepository(n_users=traffic.n_users, seed=SEED)
+    gateway = ServingGateway(
+        repo, loop, ServingConfig(), registry,
+        np.random.default_rng(
+            np.random.SeedSequence(entropy=SEED, spawn_key=(SERVICE_TIME_DOMAIN,))
+        ),
+    )
+    for arrival in arrivals:
+        loop.schedule(
+            arrival.time,
+            (lambda request: lambda: gateway.submit(request))(arrival.request),
+            priority=PRIORITY_ARRIVAL,
+        )
+    gateway.start(horizon=traffic.horizon)
+    t0 = time.perf_counter()
+    loop.run()
+    elapsed = time.perf_counter() - t0
+    n = len(gateway.responses)
+    assert n == len(arrivals) > 0
+    return n, elapsed
+
+
+def kernel_read_cache_lookup() -> Tuple[int, float]:
+    """Mixed hit/miss/stale traffic against a warm 2k-entry read cache.
+
+    The cache sits on every read before admission control; a lookup must
+    stay a couple of dict operations even with TTL and version checks.
+    """
+    from repro.serving.middleware import ReadCache
+
+    cache = ReadCache(ttl=10.0, capacity=4096)
+    n_keys = 2000
+    for i in range(n_keys):
+        cache.store(("balance", i), {"balance": i}, now=0.0, version=1)
+    n = 50_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        # ~96% hits, the rest version-stale (forces the eviction branch).
+        version = 2 if i % 25 == 0 else 1
+        body = cache.lookup(("balance", i % n_keys), now=1.0, version=version)
+        if body is None:
+            cache.store(("balance", i % n_keys), {"balance": i}, 1.0, version)
+    elapsed = time.perf_counter() - t0
+    assert cache.hits > 0 and cache.stale_version > 0
+    return n, elapsed
+
+
+def kernel_admission_control() -> Tuple[int, float]:
+    """Token-bucket takes plus bounded-queue churn on the virtual clock.
+
+    The admission decision runs once per non-cached request; its cost is
+    pure float arithmetic plus deque ops and must stay sub-microsecond.
+    """
+    from repro.serving.middleware import BoundedQueue, TokenBucket
+
+    bucket = TokenBucket(rate=500.0, burst=100.0)
+    queue = BoundedQueue(limit=64)
+    n = 100_000
+    t0 = time.perf_counter()
+    admitted = 0
+    for i in range(n):
+        now = i * 1e-3
+        if bucket.try_take(now):
+            admitted += 1
+            if not queue.offer(i):
+                queue.take()
+                queue.offer(i)
+    elapsed = time.perf_counter() - t0
+    assert 0 < admitted < n  # the bucket genuinely limited
+    return n, elapsed
+
+
 TRACKED_OPS: Dict[str, Kernel] = {
     "sim_event_throughput_4k": kernel_sim_event_throughput,
     "sim_cancel_churn_3k": kernel_sim_cancel_churn,
@@ -557,6 +653,9 @@ TRACKED_OPS: Dict[str, Kernel] = {
     "cascade_round_vectorized_2k": kernel_cascade_round_vectorized,
     "moderation_batch_classify_20k": kernel_moderation_batch_classify,
     "privacy_batch_charge_20k": kernel_privacy_batch_charge,
+    "serving_request_path": kernel_serving_request_path,
+    "serving_read_cache_50k": kernel_read_cache_lookup,
+    "serving_admission_100k": kernel_admission_control,
 }
 
 

@@ -457,6 +457,33 @@ class ModerationService:
             "backlog": len(self._queue),
         }
 
+    def file_report(
+        self, interaction: Interaction, time: float
+    ) -> Optional[ModerationCase]:
+        """Direct report intake for the online serving tier.
+
+        One user report about one interaction, outside any epoch batch:
+        emits the same trace events as the batched report path and opens
+        a REPORT case (None when the interaction already has one — the
+        duplicate-report path the serving tier surfaces as a refusal).
+        Review capacity is *not* consumed here; the serving tier drains
+        the queue on its periodic review tick via :meth:`run_review`.
+        """
+        self._obs.counter("moderation.reports_filed").inc()
+        self._obs.event(
+            "moderation",
+            "report.filed",
+            time=time,
+            reporter=interaction.target,
+            accused=interaction.initiator,
+        )
+        return self._open_case(interaction, CaseSource.REPORT, time)
+
+    def run_review(self, time: float) -> int:
+        """Apply one review-capacity slice to the queue (serving tier's
+        periodic drain — the moderation sibling of block production)."""
+        return self._drain_queue(time)
+
     def process_prepared(
         self,
         batch: InteractionBatch,

@@ -17,6 +17,7 @@ from repro.obs.exporters import (
     SpanNode,
     export_trace_jsonl,
     hot_handlers_report,
+    latency_report,
     load_trace_jsonl,
     prometheus_text,
     span_forest,
@@ -41,5 +42,6 @@ __all__ = [
     "load_trace_jsonl",
     "prometheus_text",
     "transparency_report",
+    "latency_report",
     "hot_handlers_report",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "span_forest",
     "prometheus_text",
     "transparency_report",
+    "latency_report",
     "hot_handlers_report",
 ]
 
@@ -284,6 +285,38 @@ def transparency_report(
             counter_total=counter_totals.get(source.split(".", 1)[0], 0.0),
             first_time=row["first"],
             last_time=row["last"],
+        )
+    return table
+
+
+def latency_report(
+    metrics: MetricsRegistry, prefix: str = "serving.latency_ms"
+) -> ResultTable:
+    """Per-endpoint latency table from the serving gateway's histograms.
+
+    Summarises every ``<prefix>.<endpoint>`` histogram in the registry
+    (simulated-time milliseconds for the serving tier, so the table is
+    deterministic for a seeded run).  Uses :meth:`peek_histogram` —
+    reporting never grows the registry it is summarising.
+    """
+    table = ResultTable(
+        f"latency by endpoint ({prefix})",
+        columns=["endpoint", "count", "mean_ms", "p50_ms", "p99_ms", "max_ms"],
+    )
+    dotted = prefix + "."
+    for name in sorted(metrics.histograms()):
+        if not name.startswith(dotted):
+            continue
+        histogram = metrics.peek_histogram(name)
+        if histogram is None or histogram.count == 0:
+            continue
+        table.add_row(
+            endpoint=name[len(dotted):],
+            count=histogram.count,
+            mean_ms=histogram.mean,
+            p50_ms=histogram.percentile(50.0),
+            p99_ms=histogram.percentile(99.0),
+            max_ms=histogram.maximum,
         )
     return table
 

@@ -43,9 +43,17 @@ def split_weighted(total: int, weights: List[int]) -> List[int]:
     (ties to the lowest index).  Deterministic, and the parts always sum
     to ``total``.  Used to spread e.g. ballot quotas over shards in
     proportion to how much electorate each shard actually owns.
+
+    Weights must be non-negative: a negative weight would silently
+    produce a negative quota (``split_weighted(10, [-1, 3]) == [-5, 15]``
+    before this guard), which downstream load generators would feed into
+    range()/array sizing as a nonsense per-shard count.
     """
     if total < 0:
         raise ValueError(f"total must be >= 0, got {total}")
+    for weight in weights:
+        if weight < 0:
+            raise ValueError(f"weights must be >= 0, got {weight}")
     weight_sum = sum(weights)
     if weight_sum <= 0:
         return [0] * len(weights)

@@ -182,8 +182,11 @@ def shard_graph(plan: ShardPlan, shard: int, members: int) -> SocialGraph:
     graph = _GRAPH_CACHE.get(key)
     if graph is None:
         rng = plan.rng(shard, 0, Phase.GRAPH)
+        # Barabási–Albert needs attachment < members; tiny shards (2-3
+        # cascade members) clamp down instead of crashing the phase.
         graph = SocialGraph.scale_free(
-            members, attachment=3, rng=rng, prefix=f"s{shard}-m"
+            members, attachment=min(3, members - 1), rng=rng,
+            prefix=f"s{shard}-m",
         )
         graph.csr()  # compile once; cascades then run warm
         _GRAPH_CACHE[key] = graph

@@ -8,6 +8,7 @@ spent, further DP releases about them raise
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -63,17 +64,35 @@ class PrivacyBudget:
     def can_afford(self, subject: str, epsilon: float) -> bool:
         return epsilon <= self.remaining(subject) + 1e-12
 
+    @staticmethod
+    def _check_epsilon(epsilon: float) -> None:
+        """Reject invalid ε before it can touch an accumulator.
+
+        NaN poisons a subject's spend forever (``spent + nan == nan``
+        and every later ``remaining`` collapses to 0) and ±inf is never
+        a meaningful DP spend — both are *validation* errors, distinct
+        from the policy refusal :class:`PrivacyBudgetExceeded`.
+        """
+        if not math.isfinite(epsilon):
+            raise PrivacyError(
+                f"epsilon must be finite, got {epsilon}"
+            )
+        if epsilon < 0:
+            raise PrivacyError(f"epsilon must be >= 0, got {epsilon}")
+
     def charge(self, subject: str, epsilon: float, channel: str = "", time: float = 0.0) -> None:
         """Meter a release.
 
         Raises
         ------
+        PrivacyError
+            On non-finite or negative ``epsilon`` (bad input, not budget
+            exhaustion).
         PrivacyBudgetExceeded
             If the charge would push the subject over their cap.  The
             ledger is not written on refusal (no partial spends).
         """
-        if epsilon < 0:
-            raise PrivacyError(f"epsilon must be >= 0, got {epsilon}")
+        self._check_epsilon(epsilon)
         if not self.can_afford(subject, epsilon):
             raise PrivacyBudgetExceeded(
                 f"subject {subject}: charge ε={epsilon:g} exceeds remaining "
@@ -105,16 +124,17 @@ class PrivacyBudget:
         Raises
         ------
         PrivacyError
-            On any negative epsilon — before *any* entry is applied, so
-            a bad batch never half-spends.
+            On any negative or non-finite epsilon — before *any* entry
+            is applied, so a bad batch never half-spends (a NaN that
+            slipped past admission would permanently zero the subject's
+            remaining budget).
         """
         if len(subjects) != len(epsilons):
             raise PrivacyError(
                 f"subjects length {len(subjects)} != epsilons length {len(epsilons)}"
             )
         for epsilon in epsilons:
-            if epsilon < 0:
-                raise PrivacyError(f"epsilon must be >= 0, got {epsilon}")
+            self._check_epsilon(epsilon)
         spent = self._spent
         caps = self._caps
         default_cap = self._default_cap

@@ -1,0 +1,183 @@
+"""The serving middleware chain: validate → cache → admit.
+
+Every request walks the same three stages before it may touch a
+substrate:
+
+1. **Validation** — the schema's own ``validate()``; a malformed
+   request costs one cheap rejection and never consults a substrate.
+2. **Read cache** — TTL *and* version keyed: a cached read is served
+   only while its TTL has not expired **and** the fronted surface has
+   not changed since the entry was written (the repository bumps a
+   per-surface version on every applied write).  Either staleness
+   signal invalidates, so cached reads are never wrong, only cheap.
+3. **Admission control** — a token bucket per endpoint bounds the
+   *rate* each surface accepts, and a bounded FIFO queue absorbs
+   bursts; when the bucket is dry or the queue is full the request is
+   shed with an explicit ``429`` instead of queuing without bound.
+   Overload therefore degrades goodput gracefully and keeps latency of
+   admitted requests bounded — the backpressure half of "heavy traffic
+   from millions of users".
+
+All state advances on simulated time only (callers pass ``now``), so
+the chain is deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.serving.schemas import Request, Response
+
+__all__ = ["TokenBucket", "BoundedQueue", "ReadCache", "CacheEntry"]
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter on the virtual clock.
+
+    Refills continuously at ``rate`` tokens per simulated second up to
+    ``burst``; ``try_take`` is the only mutator.  Float arithmetic on
+    simulated timestamps is deterministic, so two seeded runs see the
+    exact same admit/shed sequence.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._refilled_at = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._refilled_at:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled_at) * self.rate
+            )
+            self._refilled_at = now
+
+    def tokens_at(self, now: float) -> float:
+        """Token level at ``now`` (refill applied, nothing consumed)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token if available; False means rate-shed."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class BoundedQueue:
+    """FIFO admission queue with a hard depth bound.
+
+    ``offer`` refuses (returns False) at capacity — the caller sheds
+    with 429.  Depth is exposed for the queue-depth gauges.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        self.limit = limit
+        self._items: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.limit
+
+    def offer(self, item: Any) -> bool:
+        if self.full:
+            return False
+        self._items.append(item)
+        return True
+
+    def take(self) -> Any:
+        return self._items.popleft()
+
+
+class CacheEntry:
+    """One cached read: the body plus its freshness coordinates."""
+
+    __slots__ = ("body", "expires_at", "version")
+
+    def __init__(self, body: Dict[str, Any], expires_at: float, version: int):
+        self.body = body
+        self.expires_at = expires_at
+        self.version = version
+
+
+class ReadCache:
+    """TTL + version keyed read cache for the GET endpoints.
+
+    An entry is served only while **both** hold:
+
+    * ``now < expires_at`` (the TTL bounds staleness in simulated time);
+    * the fronted surface's version still equals the entry's version
+      (any applied write to that surface invalidates immediately).
+
+    Expired/stale entries are dropped lazily on lookup; a bounded entry
+    count keeps memory O(capacity) no matter how many distinct keys the
+    traffic touches (FIFO eviction by insertion order — reads repeat
+    heavily under real traffic, so recency tracking buys little here).
+    """
+
+    def __init__(self, ttl: float, capacity: int = 4096):
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.ttl = float(ttl)
+        self.capacity = capacity
+        self._entries: Dict[Tuple[Any, ...], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stale_version = 0
+        self.stale_ttl = 0
+
+    def lookup(
+        self, key: Tuple[Any, ...], now: float, version: int
+    ) -> Optional[Dict[str, Any]]:
+        """The cached body, or None (and the miss reason counters)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if now >= entry.expires_at:
+            self.stale_ttl += 1
+            self.misses += 1
+            del self._entries[key]
+            return None
+        if entry.version != version:
+            self.stale_version += 1
+            self.misses += 1
+            del self._entries[key]
+            return None
+        self.hits += 1
+        return entry.body
+
+    def store(
+        self, key: Tuple[Any, ...], body: Dict[str, Any], now: float, version: int
+    ) -> None:
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            # FIFO eviction: dicts iterate in insertion order.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = CacheEntry(dict(body), now + self.ttl, version)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def validate(request: Request) -> Optional[str]:
+    """Stage-1 validation; returns the error string or None."""
+    return request.validate()
+
+
+__all__.append("validate")

@@ -1,0 +1,345 @@
+"""The repository layer: substrates behind a uniform call surface.
+
+The service/repository split keeps the gateway free of substrate
+details: the gateway owns *when* work happens (queues, rates, virtual
+time), the repository owns *what* happens (which substrate call, how
+its outcome maps onto a :class:`~repro.serving.schemas.Status`).
+
+One :class:`ServingRepository` fronts the four write surfaces plus the
+two read surfaces:
+
+* ``submit_tx`` → mempool admission (server-assigned nonces; blocks are
+  produced by the platform tick, not per request);
+* ``file_report`` → a reputation edge plus a moderation REPORT case
+  (review capacity drains on the platform tick);
+* ``cast_vote`` → a ballot on the open proposal (windows roll over on
+  the platform tick);
+* ``ingest_frame`` → the full privacy pipeline (consent gate → PET →
+  DP budget → disclosure);
+* ``get_balance`` / ``get_tally`` → confirmed-state reads, version
+  stamped for the TTL+version cache.
+
+Every applied write bumps the owning surface's **version** — the signal
+the read cache keys on.  Policy refusals (bad nonce, duplicate ballot,
+exhausted budget, missing consent, duplicate report) return ``REFUSED``
+and bump nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dao.dao import DAO
+from repro.dao.members import Member
+from repro.errors import DaoError
+from repro.governance.moderation import (
+    AbuseClassifier,
+    HumanModeratorPool,
+    ModerationService,
+    ReportDesk,
+)
+from repro.governance.sanctions import GraduatedSanctionPolicy
+from repro.ledger.chain import Blockchain
+from repro.ledger.consensus import PoAConsensus
+from repro.ledger.crypto import sha256
+from repro.obs.instrument import Instrumentation
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.consent import ConsentRegistry
+from repro.privacy.pets import LaplaceMechanism
+from repro.privacy.pipeline import PrivacyPipeline
+from repro.privacy.sensors import SensorFrame
+from repro.serving.schemas import (
+    CastVoteRequest,
+    FileReportRequest,
+    GetBalanceRequest,
+    GetTallyRequest,
+    IngestFrameRequest,
+    Status,
+    SubmitTxRequest,
+)
+from repro.sim.rng import RngRegistry
+from repro.workloads.load import agent_address, synthetic_transfer
+from repro.world.interactions import Interaction
+
+__all__ = [
+    "ServingRepository",
+    "SERVING_CHANNELS",
+    "HOT_SUBJECT_STRIDE",
+    "CONSENT_DENIED_MOD",
+]
+
+#: (channel, epsilon-per-frame) the serving privacy surface accepts.
+SERVING_CHANNELS: Tuple[Tuple[str, float], ...] = (
+    ("gaze", 0.35),
+    ("gait", 0.25),
+    ("heart_rate", 0.45),
+)
+
+#: Frame traffic targets subjects ``0, stride, 2*stride, …`` so the
+#: per-subject DP caps genuinely exhaust under sustained load.
+HOT_SUBJECT_STRIDE = 50
+
+#: Every k-th hot subject (by hot rank) never opts in, so the consent
+#: gate carries real refusal traffic.
+CONSENT_DENIED_MOD = 10
+
+
+class ServingRepository:
+    """Owns the substrates and maps their outcomes to statuses.
+
+    All randomness (classifier errors, reviewer accuracy, PET noise)
+    comes from the seeded :class:`RngRegistry`, and every timestamp is
+    the caller's simulated ``now`` — the repository is deterministic
+    given (seed, call sequence).
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        seed: int,
+        privacy_cap: float = 4.0,
+        electorate_size: Optional[int] = 2_000,
+        review_capacity: int = 50,
+        obs: Optional[Instrumentation] = None,
+    ):
+        if n_users < 2:
+            raise ValueError(f"n_users must be >= 2, got {n_users}")
+        self.n_users = n_users
+        self.seed = seed
+        rngs = RngRegistry(seed=seed)
+        self.agents: List[str] = [agent_address(i) for i in range(n_users)]
+        self._validator = sha256(b"serving-validator").hex()
+
+        # Ledger: confirmed balances move only when blocks are produced.
+        self.chain = Blockchain(
+            PoAConsensus([self._validator]),
+            genesis_balances={a: 1_000_000 for a in self.agents},
+        )
+        self._nonces: Dict[int, int] = {}
+        # Amount+fee admitted since the last block, per sender: the
+        # mempool checks signatures/nonces at admission but affordability
+        # only at block selection, so without this an overspend would be
+        # admitted and then linger unincludable.
+        self._pending_spend: Dict[int, int] = {}
+
+        # Governance: a rolling proposal window; votes hit the open one.
+        n_members = (
+            n_users if electorate_size is None else min(n_users, electorate_size)
+        )
+        self.n_members = n_members
+        self.dao = DAO(name="serving")
+        for address in self.agents[:n_members]:
+            self.dao.add_member(Member(address=address, tokens=1.0))
+        self._proposal_id: Optional[str] = None
+        self._proposal_seq = 0
+
+        # Moderation: reports open cases; the platform tick reviews.
+        self.moderation = ModerationService(
+            sanctions=GraduatedSanctionPolicy(world=None),
+            classifier=AbuseClassifier(rngs.stream("serving.moderation.classifier")),
+            report_desk=ReportDesk(rngs.stream("serving.moderation.reports")),
+            reviewer=HumanModeratorPool(
+                rngs.stream("serving.moderation.reviewer"),
+                capacity_per_epoch=review_capacity,
+            ),
+            obs=obs,
+        )
+        self._abusive_rng = rngs.stream("serving.moderation.ground_truth")
+
+        # Privacy: the authoritative pipeline with per-channel PETs.
+        self.pipeline = PrivacyPipeline(
+            consent=ConsentRegistry(),
+            budget=PrivacyBudget(default_cap=privacy_cap),
+            obs=obs,
+        )
+        for channel, epsilon in SERVING_CHANNELS:
+            self.pipeline.set_pet(
+                channel,
+                LaplaceMechanism(epsilon, rng=rngs.stream(f"serving.pets.{channel}")),
+            )
+        self._channel_names = tuple(c for c, _ in SERVING_CHANNELS)
+        for rank, subject in enumerate(range(0, n_users, HOT_SUBJECT_STRIDE)):
+            if rank % CONSENT_DENIED_MOD != 0:
+                channel = self._channel_names[rank % len(self._channel_names)]
+                self.pipeline.consent.grant(self.agents[subject], channel)
+
+        # Per-surface versions: the read cache's invalidation signal.
+        self._versions: Dict[str, int] = {"ledger": 0, "tally": 0}
+        self.blocks_produced = 0
+        self.txs_included = 0
+
+    # ------------------------------------------------------------------
+    # Versions (cache invalidation)
+    # ------------------------------------------------------------------
+    def version(self, surface: str) -> int:
+        return self._versions[surface]
+
+    def _bump(self, surface: str) -> None:
+        self._versions[surface] += 1
+
+    # ------------------------------------------------------------------
+    # Write surfaces
+    # ------------------------------------------------------------------
+    def submit_tx(
+        self, request: SubmitTxRequest, now: float
+    ) -> Tuple[Status, Dict[str, Any]]:
+        """Mempool admission with a server-assigned nonce."""
+        if request.user >= self.n_users or request.recipient >= self.n_users:
+            return Status.INVALID, {"error": "unknown user index"}
+        pending = self._pending_spend.get(request.user, 0)
+        cost = request.amount + request.fee
+        balance = self.chain.state.balance_of(self.agents[request.user])
+        if pending + cost > balance:
+            return Status.REFUSED, {"error": "insufficient confirmed balance"}
+        nonce = self._nonces.get(request.user, 0)
+        stx = synthetic_transfer(
+            self.agents[request.user],
+            self.agents[request.recipient],
+            request.amount,
+            request.fee,
+            nonce,
+        )
+        if not self.chain.mempool.submit(stx, self.chain.state, time=now):
+            # Duplicate/stale-nonce policy said no — a refusal, not an error.
+            return Status.REFUSED, {"error": "mempool refused transaction"}
+        self._nonces[request.user] = nonce + 1
+        self._pending_spend[request.user] = pending + cost
+        return Status.OK, {"tx_id": stx.tx_id, "nonce": nonce}
+
+    def file_report(
+        self, request: FileReportRequest, now: float
+    ) -> Tuple[Status, Dict[str, Any]]:
+        """A moderation REPORT case for the accused interaction."""
+        if request.user >= self.n_users or request.accused >= self.n_users:
+            return Status.INVALID, {"error": "unknown user index"}
+        # Ground truth for the reviewer draw: most reports are honest.
+        abusive = bool(self._abusive_rng.random() < 0.8)
+        interaction = Interaction(
+            time=now,
+            initiator=self.agents[request.accused],
+            target=self.agents[request.user],
+            kind="chat",
+            content=request.reason,
+            abusive=abusive,
+            metadata={"severity": float(request.severity)},
+        )
+        case = self.moderation.file_report(interaction, time=now)
+        if case is None:
+            return Status.REFUSED, {"error": "interaction already reported"}
+        return Status.OK, {"case_id": case.case_id}
+
+    def cast_vote(
+        self, request: CastVoteRequest, now: float
+    ) -> Tuple[Status, Dict[str, Any]]:
+        """A ballot on the open proposal (REFUSED on any voting rule)."""
+        if request.user >= self.n_users:
+            return Status.INVALID, {"error": "unknown user index"}
+        if self._proposal_id is None:
+            return Status.REFUSED, {"error": "no open proposal"}
+        try:
+            self.dao.cast_ballot(
+                self._proposal_id,
+                self.agents[request.user],
+                option=request.option,
+                time=now,
+            )
+        except DaoError as exc:
+            return Status.REFUSED, {"error": str(exc)}
+        self._bump("tally")
+        return Status.OK, {"proposal_id": self._proposal_id}
+
+    def ingest_frame(
+        self, request: IngestFrameRequest, now: float
+    ) -> Tuple[Status, Dict[str, Any]]:
+        """One frame through consent → PET → budget → disclosure."""
+        if request.user >= self.n_users:
+            return Status.INVALID, {"error": "unknown user index"}
+        if request.channel not in self._channel_names:
+            return Status.INVALID, {
+                "error": f"unknown channel {request.channel!r}"
+            }
+        frame = SensorFrame(
+            channel=request.channel,
+            subject=self.agents[request.user],
+            time=now,
+            values=np.asarray([float(request.magnitude)], dtype=float),
+        )
+        stats = self.pipeline.stats
+        before = (stats.blocked_consent, stats.blocked_budget, stats.suppressed)
+        released = self.pipeline.ingest(frame)
+        if released is not None:
+            return Status.OK, {"pet": released.pet_applied[-1] if released.pet_applied else "none"}
+        after = (stats.blocked_consent, stats.blocked_budget, stats.suppressed)
+        reason = ("blocked_consent", "blocked_budget", "suppressed")[
+            next(i for i in range(3) if after[i] != before[i])
+        ]
+        return Status.REFUSED, {"error": reason}
+
+    # ------------------------------------------------------------------
+    # Read surfaces
+    # ------------------------------------------------------------------
+    def get_balance(
+        self, request: GetBalanceRequest, now: float
+    ) -> Tuple[Status, Dict[str, Any]]:
+        if request.user >= self.n_users:
+            return Status.INVALID, {"error": "unknown user index"}
+        return Status.OK, {
+            "balance": self.chain.state.balance_of(self.agents[request.user])
+        }
+
+    def get_tally(
+        self, request: GetTallyRequest, now: float
+    ) -> Tuple[Status, Dict[str, Any]]:
+        if self._proposal_id is None:
+            return Status.REFUSED, {"error": "no open proposal"}
+        tally = self.dao.tally(self._proposal_id)
+        return Status.OK, {
+            "proposal_id": self._proposal_id,
+            "weights": dict(sorted(tally.weights.items())),
+            "voters": tally.voters,
+        }
+
+    # ------------------------------------------------------------------
+    # Platform ticks (driven by the gateway's periodic loop events)
+    # ------------------------------------------------------------------
+    def produce_blocks(self, now: float, block_size: int) -> int:
+        """Drain the mempool into blocks; bumps the ledger version."""
+        produced = 0
+        while len(self.chain.mempool) > 0:
+            block = self.chain.propose_block(
+                self._validator, timestamp=now, max_txs=block_size
+            )
+            if not block.transactions:
+                break
+            produced += 1
+            self.txs_included += len(block.transactions)
+        if produced:
+            self.blocks_produced += produced
+            self._bump("ledger")
+        if len(self.chain.mempool) == 0:
+            # Everything admitted has been confirmed (or the pool is
+            # empty anyway): pending-spend accounting starts fresh
+            # against the new confirmed balances.
+            self._pending_spend.clear()
+        return produced
+
+    def roll_proposal(self, now: float, voting_period: float) -> str:
+        """Close any due proposal and open the next voting window."""
+        self.dao.close_due(now)
+        self._proposal_seq += 1
+        proposal = self.dao.submit_proposal(
+            title=f"serving window {self._proposal_seq}",
+            proposer=self.agents[0],
+            topic="governance",
+            created_at=now,
+            voting_period=voting_period,
+        )
+        self._proposal_id = proposal.proposal_id
+        self._bump("tally")
+        return proposal.proposal_id
+
+    def run_review(self, now: float) -> int:
+        """One review-capacity slice over the moderation queue."""
+        return self.moderation.run_review(now)

@@ -1,0 +1,169 @@
+"""One serving run: traffic in, latency/saturation measurements out.
+
+:func:`run_serving` wires the stack — seeded traffic from
+:mod:`repro.workloads.traffic`, the :class:`ServingGateway` middleware
+chain, the :class:`ServingRepository` substrates, one
+:class:`EventLoop` — runs it to completion on the virtual clock, and
+returns a :class:`ServingRunResult` whose numbers are all simulated-time
+measurements: same seed, same bytes, on any host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.obs.exporters import trace_to_jsonl
+from repro.obs.instrument import Instrumentation
+from repro.serving.gateway import ServingConfig, ServingGateway
+from repro.serving.loop import EventLoop, PRIORITY_ARRIVAL
+from repro.serving.repository import ServingRepository
+from repro.serving.schemas import Endpoint, Response, Status
+from repro.sim.metrics import MetricsRegistry
+from repro.workloads.traffic import TrafficConfig, generate_traffic
+
+__all__ = ["ServingRunResult", "run_serving", "SERVICE_TIME_DOMAIN"]
+
+#: Spawn-key namespace for the gateway's service-time stream (traffic
+#: owns domain 7; see :data:`repro.workloads.traffic.TRAFFIC_DOMAIN`).
+SERVICE_TIME_DOMAIN = 8
+
+
+@dataclass
+class ServingRunResult:
+    """Everything a seeded serving run measured.
+
+    ``endpoint_stats[endpoint]`` holds offered/status counts plus
+    p50/p99 latency in simulated milliseconds; ``status_counts`` is the
+    run-wide breakdown keyed by integer status code.  ``metrics`` is the
+    full registry payload (the byte-equivalence gates compare its JSON
+    dump), ``registry`` the live :class:`MetricsRegistry` behind it (for
+    reporting helpers like :func:`repro.obs.latency_report`), and
+    ``trace_jsonl`` the JSONL trace export when tracing was requested.
+    """
+
+    seed: int
+    horizon: float
+    offered: int
+    completed: int
+    status_counts: Dict[int, int]
+    endpoint_stats: Dict[str, Dict[str, float]]
+    p50_ms: float
+    p99_ms: float
+    goodput_rps: float
+    shed_rate: float
+    cache_hit_rate: float
+    blocks_produced: int
+    txs_included: int
+    cases_reviewed: int
+    metrics: Dict[str, Any] = field(repr=False)
+    registry: MetricsRegistry = field(repr=False)
+    responses: List[Response] = field(repr=False)
+    trace_jsonl: Optional[str] = field(repr=False, default=None)
+
+
+def _percentile(registry: MetricsRegistry, name: str, q: float) -> float:
+    histogram = registry.peek_histogram(name)  # absent = no samples
+    if histogram is None or histogram.count == 0:
+        return 0.0
+    return float(histogram.percentile(q))
+
+
+def run_serving(
+    traffic: TrafficConfig,
+    serving: Optional[ServingConfig] = None,
+    trace: bool = False,
+    histogram_backend: str = "exact",
+) -> ServingRunResult:
+    """Run one seeded open-loop scenario against the serving tier.
+
+    The traffic seed also seeds the repository substrates and the
+    gateway's service-time stream (distinct spawn-key domains), so one
+    ``(TrafficConfig, ServingConfig)`` pair fully determines the run.
+    """
+    serving = serving if serving is not None else ServingConfig()
+    registry = MetricsRegistry(histogram_backend=histogram_backend)
+    loop = EventLoop()
+    obs: Optional[Instrumentation] = None
+    if trace:
+        obs = Instrumentation(
+            metrics=registry,
+            clock=lambda: loop.now,
+            run_id=f"serve-{traffic.seed}",
+        )
+    repo = ServingRepository(
+        n_users=traffic.n_users, seed=traffic.seed, obs=obs
+    )
+    service_rng = np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=traffic.seed, spawn_key=(SERVICE_TIME_DOMAIN,)
+        )
+    )
+    gateway = ServingGateway(
+        repo, loop, serving, registry, service_rng, obs=obs
+    )
+
+    arrivals = generate_traffic(traffic)
+    for arrival in arrivals:
+        loop.schedule(
+            arrival.time,
+            (lambda request: lambda: gateway.submit(request))(arrival.request),
+            priority=PRIORITY_ARRIVAL,
+        )
+    gateway.start(horizon=traffic.horizon)
+    loop.run()
+
+    responses = gateway.responses
+    status_counts: Dict[int, int] = {}
+    for response in responses:
+        code = int(response.status)
+        status_counts[code] = status_counts.get(code, 0) + 1
+
+    counters = registry.counters()
+    endpoint_stats: Dict[str, Dict[str, float]] = {}
+    for endpoint in Endpoint:
+        offered_here = counters.get(f"serving.offered.{endpoint.value}", 0.0)
+        if not offered_here:
+            continue
+        stats: Dict[str, float] = {"offered": offered_here}
+        for status in (Status.OK, Status.INVALID, Status.REFUSED, Status.SHED,
+                       Status.ERROR):
+            stats[status.name.lower()] = counters.get(
+                f"serving.status.{endpoint.value}.{int(status)}", 0.0
+            )
+        stats["p50_ms"] = _percentile(
+            registry, f"serving.latency_ms.{endpoint.value}", 50
+        )
+        stats["p99_ms"] = _percentile(
+            registry, f"serving.latency_ms.{endpoint.value}", 99
+        )
+        endpoint_stats[endpoint.value] = stats
+
+    ok_count = status_counts.get(int(Status.OK), 0)
+    shed_count = status_counts.get(int(Status.SHED), 0)
+    offered = len(arrivals)
+    cache_hits = gateway.cache.hits
+    cache_lookups = cache_hits + gateway.cache.misses
+
+    return ServingRunResult(
+        seed=traffic.seed,
+        horizon=traffic.horizon,
+        offered=offered,
+        completed=len(responses),
+        status_counts=status_counts,
+        endpoint_stats=endpoint_stats,
+        p50_ms=_percentile(registry, "serving.latency_ms.all", 50),
+        p99_ms=_percentile(registry, "serving.latency_ms.all", 99),
+        goodput_rps=ok_count / traffic.horizon,
+        shed_rate=(shed_count / offered) if offered else 0.0,
+        cache_hit_rate=(cache_hits / cache_lookups) if cache_lookups else 0.0,
+        blocks_produced=repo.blocks_produced,
+        txs_included=repo.txs_included,
+        cases_reviewed=int(counters.get("serving.cases_reviewed", 0.0)),
+        metrics=registry.as_dict(),
+        registry=registry,
+        responses=responses,
+        trace_jsonl=trace_to_jsonl(obs.trace) if obs is not None else None,
+    )

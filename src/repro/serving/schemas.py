@@ -1,0 +1,263 @@
+"""Typed request/response schemas for the online serving tier.
+
+The paper frames the metaverse as a *live* social system — users submit
+transactions, file abuse reports, cast governance votes, and stream
+sensor data continuously, not in epoch batches.  These schemas are the
+wire contract of that request-driven view: one frozen dataclass per
+endpoint, each knowing how to validate itself (`validate()` returns an
+error string, never raises) and whether it is cacheable (`cache_key()`
+returns a key for reads, ``None`` for writes).
+
+Status codes follow the HTTP convention the rest of the stack speaks:
+
+* ``OK`` (200) — the substrate accepted the request;
+* ``INVALID`` (400) — schema validation failed, the substrate was never
+  consulted;
+* ``REFUSED`` (409) — the substrate applied policy and said no (budget
+  exhausted, consent missing, duplicate ballot, bad nonce …) — a
+  *correct* refusal, not an error;
+* ``SHED`` (429) — admission control dropped the request before any
+  substrate work (rate limit or queue overflow) — explicit backpressure
+  instead of unbounded queuing;
+* ``ERROR`` (500) — an unexpected substrate exception (a healthy run
+  serves zero of these).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+__all__ = [
+    "Endpoint",
+    "Status",
+    "Request",
+    "SubmitTxRequest",
+    "FileReportRequest",
+    "CastVoteRequest",
+    "IngestFrameRequest",
+    "GetBalanceRequest",
+    "GetTallyRequest",
+    "Response",
+    "REPORT_REASONS",
+]
+
+
+class Endpoint(str, enum.Enum):
+    """The serving surfaces, one per fronted substrate."""
+
+    SUBMIT_TX = "submit_tx"
+    FILE_REPORT = "file_report"
+    CAST_VOTE = "cast_vote"
+    INGEST_FRAME = "ingest_frame"
+    GET_BALANCE = "get_balance"
+    GET_TALLY = "get_tally"
+
+
+#: Endpoints served from the TTL+version read cache.
+READ_ENDPOINTS = frozenset({Endpoint.GET_BALANCE, Endpoint.GET_TALLY})
+
+
+class Status(enum.IntEnum):
+    """HTTP-style response statuses (see module docstring)."""
+
+    OK = 200
+    INVALID = 400
+    REFUSED = 409
+    SHED = 429
+    ERROR = 500
+
+
+#: The moderation-report taxonomy (graduated severities are validated
+#: against (0, 1]; the reason is free vocabulary from this list).
+REPORT_REASONS: Tuple[str, ...] = (
+    "harassment",
+    "hate_speech",
+    "scam",
+    "impersonation",
+    "explicit_content",
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base request: a user index plus endpoint-specific payload.
+
+    ``user`` is the synthetic agent index (the repository maps it to a
+    ledger address).  Subclasses set :attr:`ENDPOINT` and implement
+    :meth:`validate`.
+    """
+
+    user: int
+
+    ENDPOINT: ClassVar[Optional[Endpoint]] = None
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return type(self).ENDPOINT
+
+    @property
+    def is_read(self) -> bool:
+        return type(self).ENDPOINT in READ_ENDPOINTS
+
+    def validate(self) -> Optional[str]:
+        """Return an error message, or None when the request is valid."""
+        if not isinstance(self.user, int) or self.user < 0:
+            return f"user must be a non-negative index, got {self.user!r}"
+        return None
+
+    def cache_key(self) -> Optional[Tuple[Any, ...]]:
+        """Read-cache key; ``None`` marks the request uncacheable."""
+        return None
+
+
+@dataclass(frozen=True)
+class SubmitTxRequest(Request):
+    """Ledger surface: submit a fee-market transfer.
+
+    The nonce is assigned server-side (the repository tracks per-sender
+    nonces), mirroring how wallets defer to their provider's pending
+    count.
+    """
+
+    recipient: int = 0
+    amount: int = 1
+    fee: int = 1
+
+    ENDPOINT = Endpoint.SUBMIT_TX
+
+    def validate(self) -> Optional[str]:
+        base = super().validate()
+        if base is not None:
+            return base
+        if not isinstance(self.recipient, int) or self.recipient < 0:
+            return f"recipient must be a non-negative index, got {self.recipient!r}"
+        if self.recipient == self.user:
+            return "self-transfers are not allowed"
+        if not isinstance(self.amount, int) or self.amount <= 0:
+            return f"amount must be a positive integer, got {self.amount!r}"
+        if not isinstance(self.fee, int) or self.fee < 0:
+            return f"fee must be a non-negative integer, got {self.fee!r}"
+        return None
+
+
+@dataclass(frozen=True)
+class FileReportRequest(Request):
+    """Moderation surface: report another user's interaction."""
+
+    accused: int = 0
+    severity: float = 0.5
+    reason: str = "harassment"
+
+    ENDPOINT = Endpoint.FILE_REPORT
+
+    def validate(self) -> Optional[str]:
+        base = super().validate()
+        if base is not None:
+            return base
+        if not isinstance(self.accused, int) or self.accused < 0:
+            return f"accused must be a non-negative index, got {self.accused!r}"
+        if self.accused == self.user:
+            return "self-reports are not allowed"
+        if not (
+            isinstance(self.severity, (int, float))
+            and math.isfinite(self.severity)
+            and 0.0 < self.severity <= 1.0
+        ):
+            return f"severity must be a finite float in (0, 1], got {self.severity!r}"
+        if self.reason not in REPORT_REASONS:
+            return f"reason must be one of {REPORT_REASONS}, got {self.reason!r}"
+        return None
+
+
+@dataclass(frozen=True)
+class CastVoteRequest(Request):
+    """Governance surface: a ballot on the currently open proposal."""
+
+    option: str = "yes"
+
+    ENDPOINT = Endpoint.CAST_VOTE
+
+    def validate(self) -> Optional[str]:
+        base = super().validate()
+        if base is not None:
+            return base
+        if self.option not in ("yes", "no", "abstain"):
+            return f"option must be yes/no/abstain, got {self.option!r}"
+        return None
+
+
+@dataclass(frozen=True)
+class IngestFrameRequest(Request):
+    """Privacy surface: one sensor frame offered for release.
+
+    ``user`` is the *subject* of the frame.  ``magnitude`` seeds the
+    deterministic frame values; the per-channel PET and the subject's
+    DP budget decide whether the release happens.
+    """
+
+    channel: str = "gaze"
+    magnitude: float = 1.0
+
+    ENDPOINT = Endpoint.INGEST_FRAME
+
+    def validate(self) -> Optional[str]:
+        base = super().validate()
+        if base is not None:
+            return base
+        if not isinstance(self.channel, str) or not self.channel:
+            return f"channel must be a non-empty string, got {self.channel!r}"
+        if not (
+            isinstance(self.magnitude, (int, float))
+            and math.isfinite(self.magnitude)
+        ):
+            return f"magnitude must be a finite float, got {self.magnitude!r}"
+        return None
+
+
+@dataclass(frozen=True)
+class GetBalanceRequest(Request):
+    """Read surface: the user's confirmed ledger balance."""
+
+    ENDPOINT = Endpoint.GET_BALANCE
+
+    def cache_key(self) -> Optional[Tuple[Any, ...]]:
+        return (Endpoint.GET_BALANCE.value, self.user)
+
+
+@dataclass(frozen=True)
+class GetTallyRequest(Request):
+    """Read surface: the live tally of the open proposal."""
+
+    ENDPOINT = Endpoint.GET_TALLY
+
+    def cache_key(self) -> Optional[Tuple[Any, ...]]:
+        return (Endpoint.GET_TALLY.value,)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One served request, stamped entirely in simulated time.
+
+    ``latency`` is ``completed - arrived`` in simulated seconds — shed
+    responses complete at arrival (the refusal is immediate), cache hits
+    complete after the cache-hit cost, served requests after queue wait
+    plus service time.
+    """
+
+    endpoint: Endpoint
+    status: Status
+    arrived: float
+    completed: float
+    cached: bool = False
+    body: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.arrived
+
+    @property
+    def ok(self) -> bool:
+        return self.status == Status.OK

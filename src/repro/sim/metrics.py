@@ -386,6 +386,11 @@ class MetricsRegistry:
                 self._histograms[name] = Histogram(name)
         return self._histograms[name]
 
+    def peek_histogram(self, name: str):
+        """The named histogram, or None — without creating it (reporting
+        code must not grow the registry it is summarising)."""
+        return self._histograms.get(name)
+
     def counters(self) -> Mapping[str, float]:
         return {name: c.value for name, c in sorted(self._counters.items())}
 

@@ -6,6 +6,7 @@ import pytest
 from repro.obs import (
     Instrumentation,
     hot_handlers_report,
+    latency_report,
     prometheus_text,
     transparency_report,
 )
@@ -98,3 +99,29 @@ class TestHotHandlersReport:
         sim.schedule(0.0, lambda: None, name="noop")
         sim.run_all()
         assert hot_handlers_report(sim).rows == []
+
+
+class TestLatencyReport:
+    def test_one_row_per_endpoint_under_prefix(self):
+        metrics = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            metrics.histogram("serving.latency_ms.submit_tx").observe(value)
+        metrics.histogram("serving.latency_ms.get_balance").observe(5.0)
+        metrics.histogram("serving.queue_wait_ms.submit_tx").observe(9.0)
+        table = latency_report(metrics)
+        assert [row["endpoint"] for row in table.rows] == [
+            "get_balance", "submit_tx",
+        ]
+        (tx_row,) = [r for r in table.rows if r["endpoint"] == "submit_tx"]
+        assert tx_row["count"] == 3
+        assert tx_row["max_ms"] == 3.0
+
+    def test_report_does_not_grow_the_registry(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("serving.latency_ms.cast_vote").observe(1.0)
+        before = set(metrics.histograms())
+        assert latency_report(metrics).rows != []
+        assert set(metrics.histograms()) == before
+
+    def test_empty_registry_gives_empty_report(self):
+        assert latency_report(MetricsRegistry()).rows == []

@@ -110,6 +110,15 @@ class TestSplitWeighted:
         with pytest.raises(ValueError):
             split_weighted(-1, [1])
 
+    def test_negative_weight_rejected(self):
+        # Used to silently produce negative quotas —
+        # split_weighted(10, [-1, 3]) == [-5, 15] — which downstream
+        # load generators fed straight into range()/array sizing.
+        with pytest.raises(ValueError):
+            split_weighted(10, [-1, 3])
+        with pytest.raises(ValueError):
+            split_weighted(0, [1, -1])
+
 
 class TestStreamDerivation:
     def test_same_cell_same_stream(self):

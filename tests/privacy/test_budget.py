@@ -44,6 +44,26 @@ class TestCharging:
             budget.charge("u", 0.0)
         assert budget.spent("u") == 0.0
 
+    def test_nan_epsilon_is_validation_error_not_budget_refusal(self):
+        # NaN used to fall through the `epsilon < 0` guard and surface
+        # as PrivacyBudgetExceeded (can_afford is False for NaN) — the
+        # wrong error type for bad input, and misleading to callers that
+        # treat budget refusals as normal policy outcomes.
+        budget = PrivacyBudget(default_cap=1.0)
+        with pytest.raises(PrivacyError) as excinfo:
+            budget.charge("u", float("nan"))
+        assert not isinstance(excinfo.value, PrivacyBudgetExceeded)
+        assert budget.spent("u") == 0.0
+        assert budget.ledger == []
+
+    def test_infinite_epsilon_rejected(self):
+        budget = PrivacyBudget(default_cap=1.0)
+        for bad in (float("inf"), float("-inf")):
+            with pytest.raises(PrivacyError) as excinfo:
+                budget.charge("u", bad)
+            assert not isinstance(excinfo.value, PrivacyBudgetExceeded)
+        assert budget.spent("u") == 0.0
+
 
 class TestCaps:
     def test_per_subject_cap_overrides_default(self):
@@ -151,3 +171,25 @@ class TestChargeMany:
     def test_length_mismatch_rejected(self):
         with pytest.raises(PrivacyError):
             PrivacyBudget().charge_many(["u"], [0.1, 0.2])
+
+    def test_nan_epsilon_rejected_before_any_entry_applies(self):
+        # A NaN accepted into the accumulator is permanent: spent+nan is
+        # nan, so remaining() collapses to 0 forever.  The old code's
+        # `epsilon > remaining + tol` comparison is False for NaN, which
+        # silently *accepted* the poison.  Validation must reject the
+        # whole batch up front.
+        budget = PrivacyBudget(default_cap=10.0)
+        with pytest.raises(PrivacyError) as excinfo:
+            budget.charge_many(["u", "u", "u"], [0.5, float("nan"), 0.5])
+        assert not isinstance(excinfo.value, PrivacyBudgetExceeded)
+        assert budget.spent("u") == 0.0
+        assert budget.ledger == []
+        # The subject is unharmed: a clean charge still works.
+        budget.charge("u", 1.0)
+        assert budget.remaining("u") == pytest.approx(9.0)
+
+    def test_infinite_epsilon_rejected_atomically(self):
+        budget = PrivacyBudget(default_cap=10.0)
+        with pytest.raises(PrivacyError):
+            budget.charge_many(["u", "u"], [0.5, float("inf")])
+        assert budget.spent("u") == 0.0

@@ -1,0 +1,137 @@
+"""Property-based tests: ``charge_many`` ≡ sequential ``charge``.
+
+The batch path is an optimisation of the sequential loop, so the two
+must be *behaviourally indistinguishable* on every batch — same
+acceptance verdicts, same spend totals, same ledger rows, and the same
+exception type raised at the same validation boundary.  Hypothesis
+drives mixed batches of valid, boundary (0, exact-cap, just-over-cap),
+and non-finite epsilons across a handful of subjects.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrivacyBudgetExceeded, PrivacyError
+from repro.privacy import PrivacyBudget
+
+SUBJECTS = ("a", "b", "c")
+
+valid_epsilon = st.one_of(
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False, allow_infinity=False),
+    st.sampled_from([0.0, 1.0, 1.0 + 1e-13, 2.0]),  # boundary values
+)
+any_epsilon = st.one_of(
+    valid_epsilon,
+    st.sampled_from(
+        [float("nan"), float("inf"), float("-inf"), -0.5, -1e-9]
+    ),
+)
+batch_strategy = st.lists(
+    st.tuples(st.sampled_from(SUBJECTS), any_epsilon), min_size=0, max_size=24
+)
+valid_batch_strategy = st.lists(
+    st.tuples(st.sampled_from(SUBJECTS), valid_epsilon), min_size=0, max_size=24
+)
+
+
+def sequential_reference(budget, batch, channel, time):
+    """The semantics charge_many promises: per-entry charge, skipping
+    PrivacyBudgetExceeded refusals."""
+    verdicts = []
+    for subject, epsilon in batch:
+        try:
+            budget.charge(subject, epsilon, channel=channel, time=time)
+            verdicts.append(True)
+        except PrivacyBudgetExceeded:
+            verdicts.append(False)
+    return verdicts
+
+
+class TestBatchEquivalence:
+    @given(batch=valid_batch_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_acceptance_spend_and_ledger_match_sequential(self, batch):
+        seq = PrivacyBudget(default_cap=1.0)
+        bat = PrivacyBudget(default_cap=1.0)
+        expected = sequential_reference(seq, batch, channel="ch", time=3.0)
+        got = bat.charge_many(
+            [s for s, _ in batch], [e for _, e in batch], channel="ch", time=3.0
+        )
+        assert got == expected
+        for subject in SUBJECTS:
+            assert bat.spent(subject) == pytest.approx(
+                seq.spent(subject), abs=1e-12
+            )
+        assert bat.ledger == seq.ledger
+
+    @given(batch=valid_batch_strategy, tight_cap=st.floats(0.1, 0.6))
+    @settings(max_examples=100, deadline=None)
+    def test_equivalence_holds_with_personal_caps(self, batch, tight_cap):
+        seq = PrivacyBudget(default_cap=1.5)
+        bat = PrivacyBudget(default_cap=1.5)
+        for budget in (seq, bat):
+            budget.set_cap("b", tight_cap)
+        expected = sequential_reference(seq, batch, channel="", time=0.0)
+        got = bat.charge_many(
+            [s for s, _ in batch], [e for _, e in batch]
+        )
+        assert got == expected
+        assert bat.ledger == seq.ledger
+
+    @given(batch=batch_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_raised_types_match_sequential_on_any_batch(self, batch):
+        # Over batches that may contain negative/NaN/inf entries, both
+        # paths must raise the same exception type — and PrivacyError
+        # (validation), never PrivacyBudgetExceeded, for bad input.
+        def outcome(run):
+            try:
+                return ("ok", run())
+            except PrivacyBudgetExceeded:
+                return ("budget", None)  # must never escape either path
+            except PrivacyError:
+                return ("validation", None)
+
+        seq = PrivacyBudget(default_cap=1.0)
+        bat = PrivacyBudget(default_cap=1.0)
+        seq_kind, seq_value = outcome(
+            lambda: sequential_reference(seq, batch, channel="", time=0.0)
+        )
+        bat_kind, bat_value = outcome(
+            lambda: bat.charge_many(
+                [s for s, _ in batch], [e for _, e in batch]
+            )
+        )
+        assert seq_kind == bat_kind != "budget"
+        if seq_kind == "ok":
+            assert seq_value == bat_value
+
+    @given(batch=batch_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_invalid_batches_never_half_apply(self, batch):
+        has_invalid = any(
+            not math.isfinite(e) or e < 0 for _, e in batch
+        )
+        budget = PrivacyBudget(default_cap=1.0)
+        try:
+            budget.charge_many([s for s, _ in batch], [e for _, e in batch])
+        except PrivacyError:
+            assert has_invalid
+            # Atomic validation: nothing spent, nothing in the ledger.
+            assert all(budget.spent(s) == 0.0 for s in SUBJECTS)
+            assert budget.ledger == []
+            return
+        assert not has_invalid
+
+    @given(batch=valid_batch_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_spend_never_nan_and_never_exceeds_cap(self, batch):
+        budget = PrivacyBudget(default_cap=1.0)
+        budget.charge_many([s for s, _ in batch], [e for _, e in batch])
+        for subject in SUBJECTS:
+            spent = budget.spent(subject)
+            assert math.isfinite(spent)
+            assert spent <= budget.cap_of(subject) + 1e-9

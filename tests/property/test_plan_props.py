@@ -1,0 +1,80 @@
+"""Property-based tests: ``split_weighted`` apportionment invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.plan import split_weighted
+
+totals = st.integers(min_value=0, max_value=10_000)
+weight_lists = st.lists(
+    st.integers(min_value=0, max_value=1_000), min_size=1, max_size=16
+)
+
+
+class TestSplitWeightedProperties:
+    @given(total=totals, weights=weight_lists)
+    @settings(max_examples=300, deadline=None)
+    def test_parts_sum_to_total_and_are_nonnegative(self, total, weights):
+        parts = split_weighted(total, weights)
+        assert len(parts) == len(weights)
+        assert all(part >= 0 for part in parts)
+        if sum(weights) > 0:
+            assert sum(parts) == total
+        else:
+            assert parts == [0] * len(weights)
+
+    @given(total=totals, weights=weight_lists)
+    @settings(max_examples=300, deadline=None)
+    def test_weight_order_is_preserved(self, total, weights):
+        # Largest-remainder with this floor keeps order: a strictly
+        # larger weight never receives a strictly smaller part.
+        parts = split_weighted(total, weights)
+        for i in range(len(weights)):
+            for j in range(len(weights)):
+                if weights[i] > weights[j]:
+                    assert parts[i] >= parts[j]
+
+    @given(total=totals, weights=weight_lists)
+    @settings(max_examples=300, deadline=None)
+    def test_parts_stay_within_one_of_exact_share(self, total, weights):
+        parts = split_weighted(total, weights)
+        weight_sum = sum(weights)
+        if weight_sum == 0:
+            return
+        for part, weight in zip(parts, weights):
+            exact = total * weight / weight_sum
+            assert exact - 1 < part < exact + 1
+
+    @given(total=totals, weights=weight_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic_tie_breaks(self, total, weights):
+        assert split_weighted(total, weights) == split_weighted(total, weights)
+
+    @given(
+        total=totals,
+        n=st.integers(min_value=1, max_value=12),
+        weight=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_equal_weights_leftover_goes_to_lowest_indices(
+        self, total, n, weight
+    ):
+        parts = split_weighted(total, [weight] * n)
+        # Equal weights: parts differ by at most 1 and are non-increasing
+        # (ties broken toward the lowest index).
+        assert max(parts) - min(parts) <= 1
+        assert parts == sorted(parts, reverse=True)
+
+    @given(
+        total=totals,
+        weights=weight_lists,
+        index=st.integers(min_value=0, max_value=15),
+        bad=st.integers(min_value=-1_000, max_value=-1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_negative_weight_rejected(self, total, weights, index, bad):
+        weights = list(weights)
+        weights[index % len(weights)] = bad
+        with pytest.raises(ValueError):
+            split_weighted(total, weights)

@@ -1,0 +1,84 @@
+"""Tests for the virtual-clock event loop."""
+
+import pytest
+
+from repro.serving.loop import (
+    EventLoop,
+    PRIORITY_ARRIVAL,
+    PRIORITY_COMPLETION,
+    PRIORITY_PLATFORM,
+)
+
+
+class TestOrdering:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append("c"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(2.0, lambda: fired.append("b"))
+        assert loop.run() == 3
+        assert fired == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_same_instant_priority_bands(self):
+        # Completions before platform ticks before arrivals, regardless
+        # of schedule order.
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("arrival"), PRIORITY_ARRIVAL)
+        loop.schedule(1.0, lambda: fired.append("platform"), PRIORITY_PLATFORM)
+        loop.schedule(1.0, lambda: fired.append("completion"), PRIORITY_COMPLETION)
+        loop.run()
+        assert fired == ["completion", "platform", "arrival"]
+
+    def test_same_instant_same_priority_is_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.schedule(1.0, (lambda j: lambda: fired.append(j))(i))
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_callback_may_schedule_future_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule(loop.now + 1.0, lambda: chain(n + 1))
+
+        loop.schedule(0.0, lambda: chain(0))
+        assert loop.run() == 4
+        assert fired == [0, 1, 2, 3]
+        assert loop.now == 3.0
+
+
+class TestContracts:
+    def test_scheduling_in_the_past_raises(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule(4.0, lambda: None)
+
+    def test_horizon_leaves_future_events_pending(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(10.0, lambda: fired.append(10))
+        assert loop.run(horizon=5.0) == 1
+        assert fired == [1]
+        assert len(loop) == 1
+        # A follow-up run drains the rest.
+        assert loop.run() == 1
+        assert fired == [1, 10]
+
+    def test_fired_counter_accumulates(self):
+        loop = EventLoop()
+        for t in (1.0, 2.0, 3.0):
+            loop.schedule(t, lambda: None)
+        loop.run(horizon=1.5)
+        loop.run()
+        assert loop.fired == 3

@@ -1,0 +1,101 @@
+"""Tests for the serving middleware: bucket, queue, read cache."""
+
+import pytest
+
+from repro.serving.middleware import BoundedQueue, ReadCache, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.try_take(0.0) for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.try_take(0.0) and bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 0.5 simulated seconds at 2 tokens/s -> exactly one token back.
+        assert bucket.try_take(0.5)
+        assert not bucket.try_take(0.5)
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=5.0)
+        assert bucket.tokens_at(1_000.0) == 5.0
+
+    def test_time_moving_backwards_does_not_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_take(10.0)
+        assert bucket.tokens_at(5.0) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = BoundedQueue(limit=3)
+        for i in range(3):
+            assert queue.offer(i)
+        assert [queue.take(), queue.take(), queue.take()] == [0, 1, 2]
+
+    def test_offer_refuses_at_capacity(self):
+        queue = BoundedQueue(limit=2)
+        assert queue.offer("a") and queue.offer("b")
+        assert queue.full
+        assert not queue.offer("c")
+        queue.take()
+        assert queue.offer("c")
+
+    def test_zero_limit_always_sheds(self):
+        queue = BoundedQueue(limit=0)
+        assert not queue.offer("x")
+
+
+class TestReadCache:
+    def test_hit_within_ttl_and_version(self):
+        cache = ReadCache(ttl=1.0)
+        cache.store(("k",), {"v": 1}, now=0.0, version=3)
+        assert cache.lookup(("k",), now=0.5, version=3) == {"v": 1}
+        assert cache.hits == 1
+
+    def test_ttl_expiry_invalidates(self):
+        cache = ReadCache(ttl=1.0)
+        cache.store(("k",), {"v": 1}, now=0.0, version=3)
+        assert cache.lookup(("k",), now=1.0, version=3) is None
+        assert cache.stale_ttl == 1
+        assert len(cache) == 0  # dropped eagerly on the stale lookup
+
+    def test_version_bump_invalidates_before_ttl(self):
+        # A write to the fronted surface must invalidate immediately,
+        # even though the TTL still has life left.
+        cache = ReadCache(ttl=100.0)
+        cache.store(("k",), {"v": 1}, now=0.0, version=3)
+        assert cache.lookup(("k",), now=0.1, version=4) is None
+        assert cache.stale_version == 1
+
+    def test_stored_body_is_isolated_from_caller(self):
+        cache = ReadCache(ttl=10.0)
+        body = {"v": 1}
+        cache.store(("k",), body, now=0.0, version=1)
+        body["v"] = 999
+        assert cache.lookup(("k",), now=0.1, version=1) == {"v": 1}
+
+    def test_capacity_evicts_oldest(self):
+        cache = ReadCache(ttl=10.0, capacity=2)
+        cache.store(("a",), {}, now=0.0, version=1)
+        cache.store(("b",), {}, now=0.0, version=1)
+        cache.store(("c",), {}, now=0.0, version=1)
+        assert len(cache) == 2
+        assert cache.lookup(("a",), now=0.1, version=1) is None  # evicted
+        assert cache.lookup(("c",), now=0.1, version=1) == {}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReadCache(ttl=0.0)
+        with pytest.raises(ValueError):
+            ReadCache(ttl=1.0, capacity=0)

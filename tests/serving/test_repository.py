@@ -1,0 +1,136 @@
+"""Tests for the repository's substrate↔status mapping."""
+
+import pytest
+
+from repro.serving.repository import ServingRepository
+from repro.serving.schemas import (
+    CastVoteRequest,
+    FileReportRequest,
+    GetBalanceRequest,
+    GetTallyRequest,
+    IngestFrameRequest,
+    Status,
+    SubmitTxRequest,
+)
+
+SEED = 31
+
+
+@pytest.fixture
+def repo() -> ServingRepository:
+    return ServingRepository(n_users=120, seed=SEED)
+
+
+class TestLedgerSurface:
+    def test_submit_then_block_moves_balance(self, repo):
+        status, body = repo.submit_tx(
+            SubmitTxRequest(user=0, recipient=1, amount=10, fee=1), now=0.0
+        )
+        assert status == Status.OK and body["nonce"] == 0
+        before = repo.version("ledger")
+        assert repo.produce_blocks(1.0, block_size=100) == 1
+        assert repo.version("ledger") == before + 1
+        _, read = repo.get_balance(GetBalanceRequest(user=1), now=1.0)
+        assert read["balance"] == 1_000_000 + 10
+
+    def test_nonces_assigned_per_sender(self, repo):
+        for expected_nonce in range(3):
+            _, body = repo.submit_tx(
+                SubmitTxRequest(user=2, recipient=3, amount=1, fee=1), now=0.0
+            )
+            assert body["nonce"] == expected_nonce
+
+    def test_overspend_is_refused_not_error(self, repo):
+        status, _ = repo.submit_tx(
+            SubmitTxRequest(user=0, recipient=1, amount=2_000_000, fee=1),
+            now=0.0,
+        )
+        assert status == Status.REFUSED
+        assert repo.version("ledger") == 0  # refusals bump nothing
+
+    def test_unknown_index_invalid(self, repo):
+        status, _ = repo.submit_tx(
+            SubmitTxRequest(user=0, recipient=10_000), now=0.0
+        )
+        assert status == Status.INVALID
+
+
+class TestGovernanceSurface:
+    def test_vote_needs_open_proposal(self, repo):
+        status, body = repo.cast_vote(CastVoteRequest(user=0), now=0.0)
+        assert status == Status.REFUSED
+        repo.roll_proposal(0.0, voting_period=10.0)
+        status, body = repo.cast_vote(CastVoteRequest(user=0), now=1.0)
+        assert status == Status.OK
+
+    def test_duplicate_ballot_refused(self, repo):
+        repo.roll_proposal(0.0, voting_period=10.0)
+        assert repo.cast_vote(CastVoteRequest(user=5), now=1.0)[0] == Status.OK
+        assert (
+            repo.cast_vote(CastVoteRequest(user=5), now=2.0)[0]
+            == Status.REFUSED
+        )
+
+    def test_tally_reflects_votes_and_bumps_version(self, repo):
+        repo.roll_proposal(0.0, voting_period=10.0)
+        version = repo.version("tally")
+        repo.cast_vote(CastVoteRequest(user=1, option="yes"), now=1.0)
+        assert repo.version("tally") == version + 1
+        status, body = repo.get_tally(GetTallyRequest(user=0), now=2.0)
+        assert status == Status.OK
+        assert body["voters"] == 1
+        assert body["weights"].get("yes", 0) > 0
+
+    def test_rolling_closes_previous_window(self, repo):
+        first = repo.roll_proposal(0.0, voting_period=5.0)
+        second = repo.roll_proposal(6.0, voting_period=5.0)
+        assert first != second
+        # Votes now land on the new proposal only.
+        status, body = repo.cast_vote(CastVoteRequest(user=3), now=7.0)
+        assert status == Status.OK and body["proposal_id"] == second
+
+
+class TestModerationSurface:
+    def test_report_opens_case_and_review_drains(self, repo):
+        status, body = repo.file_report(
+            FileReportRequest(user=0, accused=1, severity=0.9), now=0.0
+        )
+        assert status == Status.OK and "case_id" in body
+        assert repo.run_review(1.0) >= 1
+
+    def test_duplicate_report_refused(self, repo):
+        request = FileReportRequest(user=0, accused=1, severity=0.9)
+        assert repo.file_report(request, now=0.0)[0] == Status.OK
+        assert repo.file_report(request, now=0.0)[0] == Status.REFUSED
+
+
+class TestPrivacySurface:
+    def test_consented_hot_subject_releases_until_budget_gone(self, repo):
+        # Hot rank 1 (subject index 50) is consented on exactly one
+        # channel by construction.
+        from repro.serving.repository import SERVING_CHANNELS
+
+        channel = SERVING_CHANNELS[1 % len(SERVING_CHANNELS)][0]
+        outcomes = []
+        for i in range(40):
+            status, body = repo.ingest_frame(
+                IngestFrameRequest(user=50, channel=channel, magnitude=1.0),
+                now=float(i),
+            )
+            outcomes.append((status, body.get("error")))
+        assert (Status.OK, None) in outcomes
+        assert (Status.REFUSED, "blocked_budget") in outcomes
+
+    def test_unconsented_subject_blocked(self, repo):
+        # Hot rank 0 (subject 0) never opts in (CONSENT_DENIED_MOD).
+        status, body = repo.ingest_frame(
+            IngestFrameRequest(user=0, channel="gaze", magnitude=1.0), now=0.0
+        )
+        assert status == Status.REFUSED
+        assert body["error"] == "blocked_consent"
+
+    def test_unknown_channel_invalid(self, repo):
+        status, _ = repo.ingest_frame(
+            IngestFrameRequest(user=0, channel="brainwaves"), now=0.0
+        )
+        assert status == Status.INVALID

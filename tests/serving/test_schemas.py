@@ -1,0 +1,101 @@
+"""Tests for the serving request/response schemas."""
+
+import math
+
+from repro.serving.schemas import (
+    CastVoteRequest,
+    Endpoint,
+    FileReportRequest,
+    GetBalanceRequest,
+    GetTallyRequest,
+    IngestFrameRequest,
+    Response,
+    Status,
+    SubmitTxRequest,
+)
+
+
+class TestValidation:
+    def test_valid_requests_pass(self):
+        assert SubmitTxRequest(user=0, recipient=1, amount=5, fee=1).validate() is None
+        assert FileReportRequest(user=0, accused=1, severity=0.7).validate() is None
+        assert CastVoteRequest(user=0, option="abstain").validate() is None
+        assert IngestFrameRequest(user=0, channel="gaze", magnitude=-2.5).validate() is None
+        assert GetBalanceRequest(user=0).validate() is None
+        assert GetTallyRequest(user=0).validate() is None
+
+    def test_negative_user_rejected_everywhere(self):
+        for request in (
+            SubmitTxRequest(user=-1, recipient=1),
+            FileReportRequest(user=-1, accused=1),
+            CastVoteRequest(user=-1),
+            IngestFrameRequest(user=-1),
+            GetBalanceRequest(user=-1),
+        ):
+            assert request.validate() is not None
+
+    def test_submit_tx_rules(self):
+        assert SubmitTxRequest(user=1, recipient=1).validate() is not None  # self
+        assert SubmitTxRequest(user=0, recipient=1, amount=0).validate() is not None
+        assert SubmitTxRequest(user=0, recipient=1, amount=-3).validate() is not None
+        assert SubmitTxRequest(user=0, recipient=1, fee=-1).validate() is not None
+
+    def test_file_report_rules(self):
+        assert FileReportRequest(user=1, accused=1).validate() is not None  # self
+        assert FileReportRequest(user=0, accused=1, severity=0.0).validate() is not None
+        assert FileReportRequest(user=0, accused=1, severity=1.5).validate() is not None
+        nan_report = FileReportRequest(user=0, accused=1, severity=float("nan"))
+        assert nan_report.validate() is not None
+        assert FileReportRequest(user=0, accused=1, reason="vibes").validate() is not None
+
+    def test_cast_vote_rules(self):
+        assert CastVoteRequest(user=0, option="maybe").validate() is not None
+
+    def test_ingest_frame_rules(self):
+        assert IngestFrameRequest(user=0, channel="").validate() is not None
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            assert IngestFrameRequest(user=0, magnitude=bad).validate() is not None
+
+    def test_validate_returns_strings_never_raises(self):
+        error = FileReportRequest(user=0, accused=1, severity=math.inf).validate()
+        assert isinstance(error, str)
+
+
+class TestCacheability:
+    def test_only_reads_have_cache_keys(self):
+        assert SubmitTxRequest(user=0, recipient=1).cache_key() is None
+        assert FileReportRequest(user=0, accused=1).cache_key() is None
+        assert CastVoteRequest(user=0).cache_key() is None
+        assert IngestFrameRequest(user=0).cache_key() is None
+        assert GetBalanceRequest(user=7).cache_key() == ("get_balance", 7)
+        assert GetTallyRequest(user=7).cache_key() == ("get_tally",)
+
+    def test_balance_keys_are_per_user_tally_is_global(self):
+        assert GetBalanceRequest(user=1).cache_key() != GetBalanceRequest(user=2).cache_key()
+        assert GetTallyRequest(user=1).cache_key() == GetTallyRequest(user=2).cache_key()
+
+    def test_is_read_flags(self):
+        assert GetBalanceRequest(user=0).is_read
+        assert GetTallyRequest(user=0).is_read
+        assert not SubmitTxRequest(user=0, recipient=1).is_read
+
+    def test_endpoint_property(self):
+        assert SubmitTxRequest(user=0, recipient=1).endpoint == Endpoint.SUBMIT_TX
+        assert GetTallyRequest(user=0).endpoint == Endpoint.GET_TALLY
+
+
+class TestResponse:
+    def test_latency_is_simulated_interval(self):
+        response = Response(
+            endpoint=Endpoint.GET_BALANCE, status=Status.OK,
+            arrived=1.5, completed=1.8,
+        )
+        assert math.isclose(response.latency, 0.3)
+        assert response.ok
+
+    def test_status_codes_follow_http(self):
+        assert int(Status.OK) == 200
+        assert int(Status.INVALID) == 400
+        assert int(Status.REFUSED) == 409
+        assert int(Status.SHED) == 429
+        assert int(Status.ERROR) == 500

@@ -1,0 +1,98 @@
+"""End-to-end serving runs: determinism, liveness, and measurements."""
+
+import json
+
+import pytest
+
+from repro.obs import latency_report
+from repro.serving.gateway import ServingConfig
+from repro.serving.run import run_serving
+from repro.serving.schemas import Status
+from repro.workloads.traffic import SpikeWindow, TrafficConfig
+
+SMALL = TrafficConfig(
+    n_users=120,
+    horizon=6.0,
+    rate_per_user=0.8,
+    seed=404,
+    spikes=(SpikeWindow(2.0, 3.5, 5.0),),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_serving(SMALL, ServingConfig(), trace=True)
+
+
+class TestDeterminism:
+    def test_replay_is_byte_identical(self, result):
+        replay = run_serving(SMALL, ServingConfig(), trace=True)
+        assert json.dumps(result.metrics, sort_keys=True) == json.dumps(
+            replay.metrics, sort_keys=True
+        )
+        assert result.trace_jsonl == replay.trace_jsonl
+
+    def test_different_seed_different_run(self, result):
+        other = run_serving(
+            TrafficConfig(
+                n_users=120, horizon=6.0, rate_per_user=0.8, seed=405,
+                spikes=(SpikeWindow(2.0, 3.5, 5.0),),
+            ),
+            ServingConfig(),
+        )
+        assert other.offered != result.offered or json.dumps(
+            other.metrics, sort_keys=True
+        ) != json.dumps(result.metrics, sort_keys=True)
+
+
+class TestCompleteness:
+    def test_every_arrival_answered(self, result):
+        assert result.offered == result.completed == len(result.responses)
+        assert result.offered == sum(result.status_counts.values())
+
+    def test_no_substrate_errors(self, result):
+        assert result.status_counts.get(int(Status.ERROR), 0) == 0
+
+    def test_all_latencies_nonnegative_simulated(self, result):
+        assert all(r.latency >= 0.0 for r in result.responses)
+        assert all(r.completed <= result.horizon + 10.0 for r in result.responses)
+
+
+class TestMeasurements:
+    def test_percentiles_ordered(self, result):
+        assert 0.0 < result.p50_ms <= result.p99_ms
+
+    def test_endpoint_stats_cover_offered_traffic(self, result):
+        assert sum(s["offered"] for s in result.endpoint_stats.values()) == (
+            result.offered
+        )
+        for stats in result.endpoint_stats.values():
+            accounted = (
+                stats["ok"] + stats["invalid"] + stats["refused"]
+                + stats["shed"] + stats["error"]
+            )
+            assert accounted == stats["offered"]
+
+    def test_platform_progressed(self, result):
+        assert result.blocks_produced > 0
+        assert result.txs_included > 0
+        assert result.cases_reviewed > 0
+
+    def test_cache_served_repeat_reads(self, result):
+        assert result.cache_hit_rate > 0.1
+
+    def test_trace_contains_serving_events(self, result):
+        kinds = {json.loads(line)["kind"] for line in result.trace_jsonl.splitlines()}
+        assert "request.served" in kinds
+        assert "span" in kinds  # platform-tick spans
+
+    def test_latency_report_covers_served_endpoints(self, result):
+        table = latency_report(result.registry)
+        endpoints = {row["endpoint"] for row in table.rows}
+        served = {
+            name for name, stats in result.endpoint_stats.items()
+            if stats["offered"] > stats["invalid"] + stats["shed"]
+        }
+        assert served <= endpoints
+        for row in table.rows:
+            assert row["p50_ms"] <= row["p99_ms"] <= row["max_ms"]
