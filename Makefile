@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving parallel-check obs-check serve-check ci
+.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving parallel-check obs-check serve-check slo-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +41,15 @@ parallel-check:
 serve-check:
 	$(PYTHON) -m repro.serving.check
 
+# SLO/alerting determinism gate: a seeded flash-crowd scenario with
+# request-scoped tracing, windowed telemetry, and burn-rate alerting —
+# the availability alert must fire inside the spike and clear after it,
+# sampled traces must attribute >=95% of latency to stages, and the
+# time series + alert timeline + trace forest must be byte-identical
+# across reruns and workers={1,2}.
+slo-check:
+	$(PYTHON) -m repro.obs.slo_check
+
 # Serving latency/saturation sweep: open-loop arrival rates vs p50/p99
 # and the saturation knee, all in simulated time; writes BENCH_PR6.json
 # and asserts a seeded replay is byte-identical.  Full sweep:
@@ -69,4 +78,4 @@ bench-scaling:
 # Everything a merge must pass, in one target.  bench-scaling's smoke
 # mode includes the workers tier (10k agents, workers={2,4} equivalence
 # asserts); parallel-check additionally pins trace-level equivalence.
-ci: test bench-smoke bench-scaling parallel-check obs-check serve-check
+ci: test bench-smoke bench-scaling parallel-check obs-check serve-check slo-check

@@ -22,6 +22,14 @@ Usage
 ``python -m benchmarks.serving --smoke``
     Two rate points (one unsaturated, one past the knee), same
     assertions, well under a minute.
+
+``python -m benchmarks.serving --bisect``
+    Localizes the saturation knee by bisection instead of the fixed
+    sweep: brackets the knee between the lightest (unsaturated) and
+    heaviest (saturated) rates, then halves the interval until it is
+    narrower than ``BISECT_TOL`` arrivals/s/user.  The refined knee —
+    far tighter than any fixed 5-point grid can resolve — is recorded
+    in ``BENCH_PR7.json``.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_REPORT = REPO_ROOT / "BENCH_PR6.json"
+BISECT_REPORT = REPO_ROOT / "BENCH_PR7.json"
 
 SEED = 2022
 N_USERS = 300
@@ -49,6 +58,12 @@ SPIKE = dict(start=6.0, end=9.0, multiplier=3.0)
 
 KNEE_SHED_RATE = 0.01
 KNEE_P99_FACTOR = 5.0
+
+#: Bisection stops when the bracket is narrower than this many
+#: arrivals/s/user (0.05 ≈ 15 rps offered at 300 users — well inside
+#: the resolution any fixed 5-point sweep can claim).
+BISECT_TOL = 0.05
+BISECT_MAX_ITERS = 12
 
 
 def _run_point(rate_per_user: float) -> Dict[str, object]:
@@ -98,6 +113,73 @@ def find_knee(points: List[Dict[str, object]]) -> Optional[Dict[str, object]]:
     return None
 
 
+def _is_saturated(point: Dict[str, object], reference_p99: float) -> bool:
+    """The knee predicate, relative to the lightest point's p99."""
+    return point["shed_rate"] > KNEE_SHED_RATE or (
+        reference_p99 > 0 and point["p99_ms"] > KNEE_P99_FACTOR * reference_p99
+    )
+
+
+def bisect_knee(
+    lo: float = SWEEP_RATES[0],
+    hi: float = SWEEP_RATES[-1],
+    tol: float = BISECT_TOL,
+) -> Dict[str, object]:
+    """Localize the saturation knee by bisection over the arrival rate.
+
+    ``lo`` must be unsaturated and ``hi`` saturated (the fixed sweep's
+    bracket); each iteration halves the interval, keeping the invariant
+    "lo unsaturated, hi saturated", so the knee lands in ``[lo, hi]``
+    with ``hi - lo <= tol``.  Every probe is a full seeded serving run —
+    deterministic, so the refined knee is reproducible to the digit.
+    """
+    lo_point = _run_point(lo)
+    reference_p99 = lo_point["p99_ms"]
+    assert not _is_saturated(lo_point, reference_p99), (
+        f"bisection lower bound rate={lo} is already saturated"
+    )
+    hi_point = _run_point(hi)
+    assert _is_saturated(hi_point, reference_p99), (
+        f"bisection upper bound rate={hi} never saturates"
+    )
+    probes: List[Dict[str, object]] = []
+    iterations = 0
+    while hi - lo > tol and iterations < BISECT_MAX_ITERS:
+        mid = (lo + hi) / 2.0
+        point = _run_point(mid)
+        saturated = _is_saturated(point, reference_p99)
+        probes.append({
+            "rate_per_user": mid,
+            "offered_rps": point["offered_rps"],
+            "p50_ms": point["p50_ms"],
+            "p99_ms": point["p99_ms"],
+            "shed_rate": point["shed_rate"],
+            "saturated": saturated,
+        })
+        print(
+            f"  bisect [{lo:.4f}, {hi:.4f}] -> rate={mid:.4f}"
+            f"  p99={point['p99_ms']:>8.3f} ms  shed={point['shed_rate']:>6.2%}"
+            f"  {'SATURATED' if saturated else 'ok'}"
+        )
+        if saturated:
+            hi, hi_point = mid, point
+        else:
+            lo, lo_point = mid, point
+        iterations += 1
+    return {
+        "knee_rate_per_user": hi,
+        "knee_offered_rps": hi_point["offered_rps"],
+        "bracket": [lo, hi],
+        "bracket_width": hi - lo,
+        "tolerance": tol,
+        "iterations": iterations,
+        "reference_p99_ms": reference_p99,
+        "knee_p99_ms": hi_point["p99_ms"],
+        "knee_shed_rate": hi_point["shed_rate"],
+        "probes": probes,
+    }
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -105,9 +187,45 @@ def main(argv: List[str] = None) -> int:
         help="two rate points instead of five",
     )
     parser.add_argument(
-        "--output", type=Path, default=DEFAULT_REPORT, help="report JSON path"
+        "--bisect", action="store_true",
+        help="localize the saturation knee by bisection "
+             f"(writes {BISECT_REPORT.name})",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="report JSON path"
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = BISECT_REPORT if args.bisect else DEFAULT_REPORT
+
+    if args.bisect:
+        print(f"serving knee bisection: {N_USERS} users, horizon {HORIZON}s, "
+              f"bracket [{SWEEP_RATES[0]}, {SWEEP_RATES[-1]}] /user, "
+              f"tol {BISECT_TOL}/user")
+        knee = bisect_knee()
+        # Determinism: replay the knee point; full payload must match.
+        probe = _run_point(knee["knee_rate_per_user"])
+        replay = _run_point(knee["knee_rate_per_user"])
+        assert probe["_metrics_payload"] == replay["_metrics_payload"], (
+            "serving bench is not deterministic at the knee point"
+        )
+        print(f"  refined knee: rate={knee['knee_rate_per_user']:.4f}/user "
+              f"({knee['knee_offered_rps']:.1f} rps offered, "
+              f"bracket width {knee['bracket_width']:.4f})")
+        report = {
+            "schema": 1,
+            "recorded_unix": time.time(),
+            "seed": SEED,
+            "n_users": N_USERS,
+            "horizon_s": HORIZON,
+            "spike": SPIKE,
+            "mode": "bisect",
+            "saturation_knee": knee,
+            "replay_byte_identical": True,
+        }
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.output}")
+        return 0
 
     rates = SMOKE_RATES if args.smoke else SWEEP_RATES
     print(f"serving sweep: {N_USERS} users, horizon {HORIZON}s, "

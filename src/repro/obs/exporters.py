@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.tables import ResultTable
+from repro.obs.context import REQUEST_ROOT_NAME, REQUEST_SOURCE, STAGE_PREFIX
 from repro.obs.spans import SPAN_KIND
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.tracing import TraceLog, TraceRecord
@@ -35,8 +36,11 @@ __all__ = [
     "SpanNode",
     "span_forest",
     "prometheus_text",
+    "escape_label_value",
     "transparency_report",
     "latency_report",
+    "request_breakdowns",
+    "critical_path_report",
     "hot_handlers_report",
 ]
 
@@ -192,29 +196,64 @@ def _prom_name(name: str, prefix: str) -> str:
     return f"{prefix}_{cleaned}" if prefix else cleaned
 
 
-def prometheus_text(metrics: MetricsRegistry, prefix: str = "repro") -> str:
+def escape_label_value(value: Any) -> str:
+    """Escape one label value per the Prometheus exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaped inside a quoted label value; raw
+    interpolation of any of them produces unparseable exposition text.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Optional[Dict[str, Any]]) -> str:
+    """``{k="v",...}`` with escaped values, keys sorted; "" when empty."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(
+    metrics: MetricsRegistry,
+    prefix: str = "repro",
+    labels: Optional[Dict[str, Any]] = None,
+) -> str:
     """Render the registry in the Prometheus exposition text format.
 
     Counters gain the conventional ``_total`` suffix; histograms render
     as summaries (count, sum, and p50/p95 quantile gauges).  Output is
     sorted by metric name, so it is deterministic for a seeded run.
+    ``labels`` (e.g. ``{"run": "serve-42"}``) are attached to every
+    sample with values escaped per the exposition format.
     """
+    base = _render_labels(labels)
     lines: List[str] = []
     for name, value in metrics.counters().items():
         prom = _prom_name(name, prefix) + "_total"
         lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {value:g}")
+        lines.append(f"{prom}{base} {value:g}")
     for name, value in metrics.gauges().items():
         prom = _prom_name(name, prefix)
         lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {value:g}")
+        lines.append(f"{prom}{base} {value:g}")
     for name, summ in metrics.histograms().items():
         prom = _prom_name(name, prefix)
+        quant_50 = _render_labels(dict(labels or {}, quantile="0.5"))
+        quant_95 = _render_labels(dict(labels or {}, quantile="0.95"))
         lines.append(f"# TYPE {prom} summary")
-        lines.append(f'{prom}{{quantile="0.5"}} {summ["p50"]:g}')
-        lines.append(f'{prom}{{quantile="0.95"}} {summ["p95"]:g}')
-        lines.append(f"{prom}_count {summ['count']:g}")
-        lines.append(f"{prom}_sum {summ['mean'] * summ['count']:g}")
+        lines.append(f'{prom}{quant_50} {summ["p50"]:g}')
+        lines.append(f'{prom}{quant_95} {summ["p95"]:g}')
+        lines.append(f"{prom}_count{base} {summ['count']:g}")
+        lines.append(f"{prom}_sum{base} {summ['mean'] * summ['count']:g}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -318,6 +357,99 @@ def latency_report(
             p99_ms=histogram.percentile(99.0),
             max_ms=histogram.maximum,
         )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Per-request critical paths
+# ----------------------------------------------------------------------
+#: The named stages a request's latency decomposes into (fixed column
+#: order for the report table).
+REQUEST_STAGES = ("validation", "cache", "admission", "queue", "substrate")
+
+
+def request_breakdowns(
+    records: Union[TraceLog, Iterable[TraceRecord]],
+) -> List[Dict[str, Any]]:
+    """Stage-by-stage latency attribution for every sampled request.
+
+    Walks the exported span forest, takes each ``request`` root (see
+    :mod:`repro.obs.context`), and sums its direct ``stage.*`` children
+    into named buckets.  ``coverage`` is attributed-over-total latency —
+    the gateway's decompositions cover the full latency by construction,
+    so the slo-check gate asserts coverage ≥ 0.95 for every request.
+    Results are sorted by ``(start, trace_id)`` — deterministic for a
+    seeded run.
+    """
+    roots, _orphans = span_forest(records)
+    out: List[Dict[str, Any]] = []
+    for root in roots:
+        if root.source != REQUEST_SOURCE or root.name != REQUEST_ROOT_NAME:
+            continue
+        latency_ms = (root.end - root.start) * 1e3
+        stages_ms: Dict[str, float] = {}
+        for child in root.children:
+            if not child.name.startswith(STAGE_PREFIX):
+                continue
+            stage = child.name[len(STAGE_PREFIX):]
+            stages_ms[stage] = (
+                stages_ms.get(stage, 0.0) + (child.end - child.start) * 1e3
+            )
+        attributed_ms = sum(stages_ms.values())
+        out.append({
+            "trace_id": root.trace_id,
+            "endpoint": root.attributes.get("endpoint", ""),
+            "status": int(root.attributes.get("http_status", 0)),
+            "kept_by": root.attributes.get("kept_by", ""),
+            "cached": bool(root.attributes.get("cached", False)),
+            "start": root.start,
+            "latency_ms": latency_ms,
+            "stages_ms": stages_ms,
+            "attributed_ms": attributed_ms,
+            "coverage": (
+                attributed_ms / latency_ms if latency_ms > 0 else 1.0
+            ),
+        })
+    out.sort(key=lambda row: (row["start"], row["trace_id"]))
+    return out
+
+
+def critical_path_report(
+    records: Union[TraceLog, Iterable[TraceRecord]],
+    top_n: Optional[int] = None,
+) -> ResultTable:
+    """Per-request critical-path table from an exported trace.
+
+    One row per sampled request — where its latency went, stage by
+    stage.  ``top_n`` keeps only the slowest ``n`` requests (ties broken
+    by trace id), which is the operator's "show me the worst offenders"
+    view.
+    """
+    breakdowns = request_breakdowns(records)
+    if top_n is not None:
+        breakdowns = sorted(
+            breakdowns, key=lambda r: (-r["latency_ms"], r["trace_id"])
+        )[:top_n]
+    table = ResultTable(
+        "per-request critical paths (ms)",
+        columns=(
+            ["trace_id", "endpoint", "status", "kept_by", "latency_ms"]
+            + [f"{stage}_ms" for stage in REQUEST_STAGES]
+            + ["coverage"]
+        ),
+    )
+    for row in breakdowns:
+        cells = {
+            "trace_id": row["trace_id"],
+            "endpoint": row["endpoint"],
+            "status": row["status"],
+            "kept_by": row["kept_by"],
+            "latency_ms": row["latency_ms"],
+            "coverage": row["coverage"],
+        }
+        for stage in REQUEST_STAGES:
+            cells[f"{stage}_ms"] = row["stages_ms"].get(stage, 0.0)
+        table.add_row(**cells)
     return table
 
 

@@ -12,6 +12,12 @@ fast by default while a wired platform is transparent by default.
 Events emitted through :meth:`Instrumentation.event` automatically carry
 the active span's id (``span_id`` payload key), which is how flat events
 attach to causal trees during reconstruction.
+
+:meth:`Instrumentation.suppress` makes sampling gate the *cost* of
+tracing, not just the export: inside a suppression scope, ``span()`` and
+``event()`` become no-ops (metrics stay live), so the serving gateway
+can skip substrate span emission entirely for requests the head sampler
+dropped.  Suppression nests and is re-entrant.
 """
 
 from __future__ import annotations
@@ -27,6 +33,23 @@ __all__ = [
     "NullInstrumentation",
     "NULL_OBS",
 ]
+
+
+class _SuppressScope:
+    """Context manager that mutes span/event emission while entered."""
+
+    __slots__ = ("_obs",)
+
+    def __init__(self, obs: "Instrumentation"):
+        self._obs = obs
+
+    def __enter__(self) -> "_SuppressScope":
+        self._obs._suppressed += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._obs._suppressed -= 1
+        return False
 
 
 class Instrumentation:
@@ -59,10 +82,25 @@ class Instrumentation:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.clock = clock if clock is not None else (lambda: 0.0)
         self.tracer = Tracer(self.trace, clock=self.clock, run_id=run_id)
+        self._suppressed = 0
 
     # ------------------------------------------------------------------
     # Spans and events
     # ------------------------------------------------------------------
+    @property
+    def suppressed(self) -> bool:
+        """True while inside a :meth:`suppress` scope."""
+        return self._suppressed > 0
+
+    def suppress(self) -> _SuppressScope:
+        """Mute span/event emission for the ``with`` block.
+
+        Metrics stay live — sampling decides which traces exist, never
+        what the counters say.  Scopes nest; emission resumes when the
+        outermost scope exits.
+        """
+        return _SuppressScope(self)
+
     def span(
         self,
         source: str,
@@ -71,6 +109,8 @@ class Instrumentation:
         **attributes: Any,
     ) -> Span:
         """Open a causal span (context manager); children nest under it."""
+        if self._suppressed:
+            return _NULL_SPAN
         return self.tracer.span(source, name, time=time, **attributes)
 
     def event(
@@ -81,6 +121,8 @@ class Instrumentation:
         **payload: Any,
     ) -> None:
         """Emit one flat trace event, stamped with the active span id."""
+        if self._suppressed:
+            return
         span_id = self.tracer.current_span_id
         if span_id is not None and "span_id" not in payload:
             payload["span_id"] = span_id
@@ -152,6 +194,10 @@ class NullInstrumentation:
     trace = None
     metrics = None
     tracer = None
+    suppressed = False
+
+    def suppress(self) -> _NullSpan:
+        return _NULL_SPAN  # already a no-op context manager
 
     def span(
         self,

@@ -1,0 +1,167 @@
+"""SLO/alerting determinism gate: same seed, same alerts, any workers.
+
+``python -m repro.obs.slo_check`` runs one seeded flash-crowd scenario
+through the serving tier with windowed telemetry, request-trace
+sampling, and the burn-rate SLO engine attached, and asserts the
+tentpole contracts of the observability layer:
+
+* **replay determinism** — the windowed time series, the alert
+  timeline, and the exported per-request trace forest are byte-identical
+  between two runs *and* across ``workers ∈ {1, 2}`` (traffic
+  generation fanned over a process pool);
+* **sampling purity** — the head-sampling decision is a pure function
+  of the trace id: recomputing it offline from the exported roots
+  reproduces exactly the set of head-kept traces;
+* **alert liveness** — the flash crowd demonstrably fires the
+  availability burn-rate alert inside the spike window and clears after
+  it;
+* **critical-path coverage** — every sampled request attributes ≥ 95%
+  of its latency to named stages (queue/cache/admission/substrate).
+
+Exits non-zero on any violation (the ``make slo-check`` target).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["check_slo", "CHECK_TRAFFIC", "CHECK_SPIKE", "CHECK_SLOS"]
+
+# The serve-check flash-crowd scenario, kept deliberately identical in
+# shape: 2 servers saturate inside the spike, so the availability SLO
+# burns fast and recovers after the crowd disperses.
+CHECK_TRAFFIC = dict(
+    n_users=400,
+    horizon=20.0,
+    rate_per_user=0.9,
+    seed=2022,
+)
+CHECK_SPIKE = dict(start=8.0, end=11.0, multiplier=6.0)
+CHECK_SERVING = dict(
+    n_servers=2,
+    queue_limit=48,
+    cache_ttl=0.5,
+)
+CHECK_SLOS = dict(
+    name="availability-all",
+    sli="availability",
+    target=0.99,
+    endpoint="all",
+    short_windows=2,
+    long_windows=10,
+    burn_factor=2.0,
+)
+MIN_COVERAGE = 0.95
+
+
+def _run(workers: int):
+    from repro.obs.context import SamplingPolicy
+    from repro.obs.slo import SLOSpec
+    from repro.serving.gateway import ServingConfig
+    from repro.serving.run import run_serving
+    from repro.workloads.traffic import SpikeWindow, TrafficConfig
+
+    traffic = TrafficConfig(
+        spikes=(SpikeWindow(**CHECK_SPIKE),), **CHECK_TRAFFIC
+    )
+    return run_serving(
+        traffic,
+        ServingConfig(**CHECK_SERVING),
+        slos=(SLOSpec(**CHECK_SLOS),),
+        sampling=SamplingPolicy(head_rate=0.05),
+        workers=workers,
+    )
+
+
+def check_slo() -> Dict[str, object]:
+    """Run the scenario under replay and worker variation; assert the
+    observability contracts.  Returns a summary dict; raises
+    AssertionError on violation."""
+    from repro.obs.context import head_sampled
+    from repro.obs.exporters import load_trace_jsonl, request_breakdowns
+
+    first = _run(workers=1)
+    replay = _run(workers=1)
+    sharded = _run(workers=2)
+
+    # --- byte-identical replay, and workers is a pure scheduling knob.
+    for other, label in ((replay, "replay"), (sharded, "workers=2")):
+        assert first.timeseries_json == other.timeseries_json, (
+            f"windowed time series diverged under {label}"
+        )
+        assert first.alerts_json == other.alerts_json, (
+            f"alert timeline diverged under {label}"
+        )
+        assert first.trace_jsonl == other.trace_jsonl, (
+            f"request trace forest diverged under {label}"
+        )
+
+    # --- sampling purity: head keeps recomputable from trace ids alone.
+    breakdowns = request_breakdowns(load_trace_jsonl(first.trace_jsonl))
+    assert breakdowns, "no request traces exported"
+    head_rate = 0.05
+    for row in breakdowns:
+        recomputed = head_sampled(row["trace_id"], head_rate)
+        if row["kept_by"] == "head":
+            assert recomputed, (
+                f"trace {row['trace_id']} kept by head but its id does "
+                "not head-sample — decision is not a pure id function"
+            )
+        else:
+            assert not recomputed, (
+                f"trace {row['trace_id']} head-samples by id but was "
+                f"kept by {row['kept_by']!r} instead"
+            )
+    stats = first.sampling_stats
+    assert stats["kept_head"] > 0, "head sampling kept nothing"
+    assert stats["kept_status"] > 0, (
+        "no 429/500 traces kept — the spike should shed"
+    )
+
+    # --- critical-path coverage ≥ 95% for every sampled request.
+    worst = min(row["coverage"] for row in breakdowns)
+    assert worst >= MIN_COVERAGE, (
+        f"critical-path coverage dropped to {worst:.3f} "
+        f"(< {MIN_COVERAGE}) — stages no longer cover request latency"
+    )
+
+    # --- the flash crowd fires the burn alert inside the spike, and the
+    # alert clears after it.
+    report = first.slo_report
+    alerts = report.alerts_for(CHECK_SLOS["name"])
+    fires = [a for a in alerts if a.state == "fire"]
+    clears = [a for a in alerts if a.state == "clear"]
+    spike_start, spike_end = CHECK_SPIKE["start"], CHECK_SPIKE["end"]
+    assert fires, "flash crowd fired no burn-rate alert"
+    assert any(
+        spike_start <= a.time <= spike_end + 1.0 for a in fires
+    ), f"no alert fired inside the spike window: {[a.time for a in fires]}"
+    assert clears, "burn-rate alert never cleared after the spike"
+    assert clears[-1].time > fires[0].time
+    assert clears[-1].time <= first.horizon + 10.0
+
+    return {
+        "responses": first.completed,
+        "windows": first.telemetry.n_windows,
+        "sampled_traces": len(breakdowns),
+        "kept_head": stats["kept_head"],
+        "kept_status": stats["kept_status"],
+        "kept_tail": stats["kept_tail"],
+        "min_coverage": round(worst, 4),
+        "alerts_fired": len(fires),
+        "alerts_cleared": len(clears),
+        "first_fire_at": fires[0].time,
+        "last_clear_at": clears[-1].time,
+        "timeseries_bytes": len(first.timeseries_json),
+        "byte_identical": True,
+    }
+
+
+if __name__ == "__main__":
+    summary = check_slo()
+    for key, value in summary.items():
+        print(f"{key:18s} {value}")
+    print(
+        "slo-check: OK (time series, alert timeline, and trace forest "
+        "byte-identical across reruns and workers)"
+    )

@@ -190,6 +190,33 @@ class Tracer:
         self.started_count += 1
         return Span(self, context, source, name, start, attributes)
 
+    def span_in_trace(
+        self,
+        source: str,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str] = None,
+        time: Optional[float] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span with a caller-supplied identity.
+
+        The request-tracing layer derives span/trace ids as pure
+        functions of the request's trace id (see
+        :mod:`repro.obs.context`), so the exported forest is invariant
+        across reruns and worker counts; this constructor accepts those
+        forced ids instead of drawing from the tracer's sequence.  The
+        span still participates in the stack, so substrate spans opened
+        inside it become its children.
+        """
+        start = float(time) if time is not None else float(self._clock())
+        context = SpanContext(
+            trace_id=trace_id, span_id=span_id, parent_id=parent_id
+        )
+        self.started_count += 1
+        return Span(self, context, source, name, start, attributes)
+
     def emit_merged(
         self,
         payloads: List[Dict[str, Any]],
@@ -202,8 +229,11 @@ class Tracer:
         ``name``, ``start``, ``end``, ``status``, ``attributes``).  This
         method assigns each one a deterministic id from *this* tracer's
         sequence and emits it — parented under the currently active span
-        if any.  Callers must present payloads in a deterministic order
-        (the parallel layer's ordered reduction guarantees shard order),
+        if any.  A payload carrying its own ``trace_id`` (a request- or
+        shard-scoped id derived as a pure function of the seed) keeps it
+        verbatim, so request identity survives the worker merge.
+        Callers must present payloads in a deterministic order (the
+        parallel layer's ordered reduction guarantees shard order),
         which makes merged ids independent of scheduling and worker
         count.  Returns the number of spans emitted.
         """
@@ -212,6 +242,13 @@ class Tracer:
             start = float(payload["start"])
             span_id = _derive_span_id(self._run_id, start, next(self._seq))
             end = float(payload.get("end", start))
+            own_trace_id = payload.get("trace_id")
+            if own_trace_id is not None:
+                trace_id = str(own_trace_id)
+            elif parent is not None:
+                trace_id = parent.context.trace_id
+            else:
+                trace_id = span_id
             self.started_count += 1
             self.finished_count += 1
             self.trace.emit(
@@ -220,7 +257,7 @@ class Tracer:
                 SPAN_KIND,
                 span_id=span_id,
                 parent_id=parent.context.span_id if parent else None,
-                trace_id=parent.context.trace_id if parent else span_id,
+                trace_id=trace_id,
                 name=str(payload.get("name", "merged")),
                 start=start,
                 end=max(end, start),

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.governance.moderation import AbuseClassifier, ReportDesk
+from repro.obs.context import derive_trace_id
 from repro.ledger.transactions import Transaction, TxKind
 from repro.parallel.plan import Phase, ShardPlan
 from repro.privacy.sensors import SensorFrame
@@ -236,6 +237,11 @@ def run_shard_epoch(task: ShardTask) -> ShardEpochResult:
             {
                 "source": "parallel.worker",
                 "name": "shard.epoch",
+                # A pure function of (seed, shard, epoch): the merged
+                # span keeps the same trace id for any worker count.
+                "trace_id": derive_trace_id(
+                    "shard", plan.seed, task.shard, task.epoch
+                ),
                 "start": now,
                 "end": now + 0.9,
                 "status": "ok",

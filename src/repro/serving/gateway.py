@@ -29,7 +29,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.context import (
+    REQUEST_SOURCE,
+    STAGE_PREFIX,
+    RequestContext,
+    RequestTraceSampler,
+    request_span_id,
+)
 from repro.obs.instrument import NULL_OBS, Instrumentation
+from repro.obs.timeseries import WindowedTelemetry
 from repro.serving.loop import (
     EventLoop,
     PRIORITY_COMPLETION,
@@ -117,6 +125,13 @@ class ServingGateway:
         service-start order, which the deterministic loop fixes.
     obs:
         Optional observability; responses and ticks emit trace events.
+    telemetry:
+        Optional :class:`WindowedTelemetry` rollup; every response and
+        queue-depth change is windowed on the virtual clock.
+    sampler:
+        Optional :class:`RequestTraceSampler`; requests arriving with a
+        :class:`RequestContext` are offered for trace export under its
+        head/status/tail keep rules.
     """
 
     def __init__(
@@ -127,6 +142,8 @@ class ServingGateway:
         registry: MetricsRegistry,
         service_rng: np.random.Generator,
         obs: Optional[Instrumentation] = None,
+        telemetry: Optional[WindowedTelemetry] = None,
+        sampler: Optional[RequestTraceSampler] = None,
     ):
         if config.n_servers < 1:
             raise ValueError(f"n_servers must be >= 1, got {config.n_servers}")
@@ -136,6 +153,8 @@ class ServingGateway:
         self.registry = registry
         self._rng = service_rng
         self._obs = obs if obs is not None else NULL_OBS
+        self._telemetry = telemetry
+        self._sampler = sampler
         self.cache = ReadCache(config.cache_ttl, config.cache_capacity)
         self.queue = BoundedQueue(config.queue_limit)
         self._buckets: Dict[Endpoint, TokenBucket] = {
@@ -203,19 +222,35 @@ class ServingGateway:
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def submit(self, request: Request) -> None:
-        """Arrival entry point; called as a loop event at arrival time."""
+    def submit(
+        self, request: Request, ctx: Optional[RequestContext] = None
+    ) -> None:
+        """Arrival entry point; called as a loop event at arrival time.
+
+        ``ctx`` is the request's trace context (None when request-scoped
+        tracing is off — the dark path stays exactly as cheap as before).
+        Every terminal outcome hands the sampler a stage decomposition
+        ``(name, start, end)`` that covers the response's full latency,
+        which is what makes the critical-path attribution ≥ 95% by
+        construction.
+        """
         now = self.loop.now
         endpoint = request.endpoint
         self.registry.counter(f"serving.offered.{endpoint.value}").inc()
+        if ctx is not None:
+            ctx.arrived = now
 
         # Stage 1: validation — malformed requests never go further.
         error = request.validate()
         if error is not None:
+            completed = now + self.config.validation_cost
             self._respond(
-                request, Status.INVALID, now,
-                now + self.config.validation_cost,
-                body={"error": error},
+                request, Status.INVALID, now, completed,
+                body={"error": error}, ctx=ctx,
+                stages=(
+                    (("validation", now, completed),)
+                    if ctx is not None else ()
+                ),
             )
             return
 
@@ -226,10 +261,14 @@ class ServingGateway:
             body = self.cache.lookup(key, now, self.repo.version(surface))
             if body is not None:
                 self.registry.counter("serving.cache.hit").inc()
+                completed = now + self.config.cache_hit_cost
                 self._respond(
-                    request, Status.OK, now,
-                    now + self.config.cache_hit_cost,
-                    cached=True, body=body,
+                    request, Status.OK, now, completed,
+                    cached=True, body=body, ctx=ctx,
+                    stages=(
+                        (("cache", now, completed),)
+                        if ctx is not None else ()
+                    ),
                 )
                 return
             self.registry.counter("serving.cache.miss").inc()
@@ -237,23 +276,40 @@ class ServingGateway:
         # Stage 3: admission — token bucket, then bounded queue.
         if not self._buckets[endpoint].try_take(now):
             self.registry.counter("serving.shed.rate_limit").inc()
-            self._respond(request, Status.SHED, now, now,
-                          body={"error": "rate limit"})
+            self._respond(
+                request, Status.SHED, now, now,
+                body={"error": "rate limit"}, ctx=ctx,
+                stages=(
+                    (("admission", now, now),) if ctx is not None else ()
+                ),
+            )
             return
         if self._busy < self.config.n_servers:
-            self._start_service(request, arrived=now)
-        elif self.queue.offer((request, now)):
+            self._start_service(request, arrived=now, ctx=ctx)
+        elif self.queue.offer((request, now, ctx)):
             depth = len(self.queue)
             self.registry.gauge("serving.queue.depth").set(float(depth))
             self.registry.histogram("serving.queue.depth_at_enqueue").observe(
                 float(depth)
             )
+            if self._telemetry is not None:
+                self._telemetry.observe_queue_depth(now, float(depth))
         else:
             self.registry.counter("serving.shed.queue_full").inc()
-            self._respond(request, Status.SHED, now, now,
-                          body={"error": "queue full"})
+            self._respond(
+                request, Status.SHED, now, now,
+                body={"error": "queue full"}, ctx=ctx,
+                stages=(
+                    (("admission", now, now),) if ctx is not None else ()
+                ),
+            )
 
-    def _start_service(self, request: Request, arrived: float) -> None:
+    def _start_service(
+        self,
+        request: Request,
+        arrived: float,
+        ctx: Optional[RequestContext] = None,
+    ) -> None:
         now = self.loop.now
         self._busy += 1
         endpoint = request.endpoint
@@ -263,31 +319,79 @@ class ServingGateway:
         self.registry.histogram(
             f"serving.queue_wait_ms.{endpoint.value}"
         ).observe((now - arrived) * 1e3)
+        if ctx is not None:
+            ctx.service_start = now
         self.loop.schedule(
             now + service_time,
-            lambda: self._complete(request, arrived),
+            lambda: self._complete(request, arrived, ctx),
             priority=PRIORITY_COMPLETION,
         )
 
-    def _complete(self, request: Request, arrived: float) -> None:
+    def _complete(
+        self,
+        request: Request,
+        arrived: float,
+        ctx: Optional[RequestContext] = None,
+    ) -> None:
         now = self.loop.now
         endpoint = request.endpoint
-        try:
-            status, body = self._dispatch[endpoint](request, now)
-        except Exception as exc:  # a healthy run serves zero of these
-            status, body = Status.ERROR, {"error": repr(exc)}
+        if ctx is not None and ctx.sampled and self._obs.enabled:
+            # Head-sampled request: wrap the substrate dispatch in a
+            # live span with forced ids, so the substrate's own spans
+            # become children of this request's tree.
+            ctx.substrate_traced = True
+            span = self._obs.tracer.span_in_trace(
+                REQUEST_SOURCE,
+                f"{STAGE_PREFIX}substrate",
+                trace_id=ctx.trace_id,
+                span_id=request_span_id(ctx.trace_id, "stage:substrate"),
+                parent_id=request_span_id(ctx.trace_id, "root"),
+                time=ctx.service_start,
+            )
+            with span:
+                try:
+                    status, body = self._dispatch[endpoint](request, now)
+                except Exception as exc:
+                    status, body = Status.ERROR, {"error": repr(exc)}
+                    span.set_status("error")
+        elif ctx is not None and self._obs.enabled:
+            # Sampled-out request: sampling gates the tracing *cost*,
+            # not just the export — substrate span emission is muted
+            # for this dispatch (metrics stay live).  The suppression
+            # flag is toggled inline (a context manager's enter/exit
+            # would cost two extra method calls per request).
+            obs = self._obs
+            obs._suppressed += 1
+            try:
+                status, body = self._dispatch[endpoint](request, now)
+            except Exception as exc:
+                status, body = Status.ERROR, {"error": repr(exc)}
+            finally:
+                obs._suppressed -= 1
+        else:
+            try:
+                status, body = self._dispatch[endpoint](request, now)
+            except Exception as exc:  # a healthy run serves zero of these
+                status, body = Status.ERROR, {"error": repr(exc)}
         key = request.cache_key()
         if key is not None and status == Status.OK:
             surface = _READ_SURFACE[endpoint]
             self.cache.store(key, body, now, self.repo.version(surface))
-        self._respond(request, status, arrived, now, body=body)
+        # stages=None is the served-path marker: the sampler derives the
+        # standard admission/queue/substrate decomposition lazily, only
+        # for traces it actually keeps.
+        self._respond(
+            request, status, arrived, now, body=body, ctx=ctx,
+            stages=None if ctx is not None else (),
+        )
         self._busy -= 1
         if len(self.queue) > 0:
-            queued_request, queued_arrival = self.queue.take()
-            self.registry.gauge("serving.queue.depth").set(
-                float(len(self.queue))
-            )
-            self._start_service(queued_request, queued_arrival)
+            queued_request, queued_arrival, queued_ctx = self.queue.take()
+            depth = len(self.queue)
+            self.registry.gauge("serving.queue.depth").set(float(depth))
+            if self._telemetry is not None:
+                self._telemetry.observe_queue_depth(now, float(depth))
+            self._start_service(queued_request, queued_arrival, queued_ctx)
 
     def _respond(
         self,
@@ -297,8 +401,15 @@ class ServingGateway:
         completed: float,
         cached: bool = False,
         body: Optional[Dict] = None,
+        ctx: Optional[RequestContext] = None,
+        stages: Optional[Tuple[Tuple[str, float, float], ...]] = (),
     ) -> None:
         endpoint = request.endpoint
+        # One enum-descriptor walk, reused below: ``endpoint.value`` is
+        # a property behind ``DynamicClassAttribute`` and costs real
+        # time on this per-response path.
+        endpoint_name = endpoint.value
+        status_code = int(status)
         response = Response(
             endpoint=endpoint,
             status=status,
@@ -309,22 +420,34 @@ class ServingGateway:
         )
         self.responses.append(response)
         self.registry.counter(
-            f"serving.status.{endpoint.value}.{int(status)}"
+            f"serving.status.{endpoint_name}.{status_code}"
         ).inc()
         if status != Status.SHED:
             latency_ms = response.latency * 1e3
             self.registry.histogram(
-                f"serving.latency_ms.{endpoint.value}"
+                f"serving.latency_ms.{endpoint_name}"
             ).observe(latency_ms)
             self.registry.histogram("serving.latency_ms.all").observe(
                 latency_ms
             )
-        self._obs.event(
-            "serving",
-            "request.served",
-            time=completed,
-            endpoint=endpoint.value,
-            status=int(status),
-            cached=cached,
-            arrived=arrived,
-        )
+        if self._telemetry is not None:
+            self._telemetry.record_response(
+                endpoint_name, status_code, arrived, completed, cached
+            )
+        if self._sampler is not None and ctx is not None:
+            self._sampler.on_response(
+                ctx, endpoint_name, status_code, arrived, completed,
+                stages, cached,
+            )
+        if ctx is None or ctx.sampled:
+            # With sampling active, per-request trace events follow the
+            # head decision — sampled-out requests leave no trace rows.
+            self._obs.event(
+                "serving",
+                "request.served",
+                time=completed,
+                endpoint=endpoint_name,
+                status=status_code,
+                cached=cached,
+                arrived=arrived,
+            )

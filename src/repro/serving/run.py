@@ -11,12 +11,20 @@ measurements: same seed, same bytes, on any host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.context import (
+    RequestContext,
+    RequestTraceSampler,
+    SamplingPolicy,
+    head_sampled,
+)
 from repro.obs.exporters import trace_to_jsonl
 from repro.obs.instrument import Instrumentation
+from repro.obs.slo import SLOEngine, SLOReport, SLOSpec, thresholds_for
+from repro.obs.timeseries import WindowedTelemetry
 from repro.serving.gateway import ServingConfig, ServingGateway
 from repro.serving.loop import EventLoop, PRIORITY_ARRIVAL
 from repro.serving.repository import ServingRepository
@@ -42,6 +50,12 @@ class ServingRunResult:
     dump), ``registry`` the live :class:`MetricsRegistry` behind it (for
     reporting helpers like :func:`repro.obs.latency_report`), and
     ``trace_jsonl`` the JSONL trace export when tracing was requested.
+
+    The observability layer adds: ``telemetry`` (the live windowed
+    rollup) with its byte-comparable ``timeseries_json`` export,
+    ``slo_report`` (budgets + burn-rate alert timeline) with
+    ``alerts_json``, and ``sampling_stats`` (how many request traces
+    each keep rule exported).
     """
 
     seed: int
@@ -62,6 +76,11 @@ class ServingRunResult:
     registry: MetricsRegistry = field(repr=False)
     responses: List[Response] = field(repr=False)
     trace_jsonl: Optional[str] = field(repr=False, default=None)
+    telemetry: Optional[WindowedTelemetry] = field(repr=False, default=None)
+    timeseries_json: Optional[str] = field(repr=False, default=None)
+    slo_report: Optional[SLOReport] = field(repr=False, default=None)
+    alerts_json: Optional[str] = field(repr=False, default=None)
+    sampling_stats: Optional[Dict[str, int]] = field(repr=False, default=None)
 
 
 def _percentile(registry: MetricsRegistry, name: str, q: float) -> float:
@@ -76,16 +95,34 @@ def run_serving(
     serving: Optional[ServingConfig] = None,
     trace: bool = False,
     histogram_backend: str = "exact",
+    slos: Optional[Sequence[SLOSpec]] = None,
+    telemetry_window: Optional[float] = None,
+    sampling: Optional[SamplingPolicy] = None,
+    workers: Optional[int] = None,
 ) -> ServingRunResult:
     """Run one seeded open-loop scenario against the serving tier.
 
     The traffic seed also seeds the repository substrates and the
     gateway's service-time stream (distinct spawn-key domains), so one
     ``(TrafficConfig, ServingConfig)`` pair fully determines the run.
+
+    Observability knobs (all off by default — the dark path is the
+    PR 6 request path, byte for byte):
+
+    * ``slos`` — declarative :class:`SLOSpec` objectives; implies
+      windowed telemetry and attaches an :class:`SLOEngine` evaluation
+      (``slo_report`` / ``alerts_json``) to the result.
+    * ``telemetry_window`` — window width in simulated seconds for the
+      rollup (defaults to 1.0 when only ``slos`` is given).
+    * ``sampling`` — a :class:`SamplingPolicy`; implies ``trace`` and
+      exports per-request span trees under its head/status/tail rules.
+    * ``workers`` — parallelize *traffic generation* over a process
+      pool; a pure scheduling knob (results byte-identical for any K).
     """
     serving = serving if serving is not None else ServingConfig()
     registry = MetricsRegistry(histogram_backend=histogram_backend)
     loop = EventLoop()
+    trace = trace or sampling is not None
     obs: Optional[Instrumentation] = None
     if trace:
         obs = Instrumentation(
@@ -93,6 +130,15 @@ def run_serving(
             clock=lambda: loop.now,
             run_id=f"serve-{traffic.seed}",
         )
+    telemetry: Optional[WindowedTelemetry] = None
+    if slos is not None or telemetry_window is not None:
+        telemetry = WindowedTelemetry(
+            window=telemetry_window if telemetry_window is not None else 1.0,
+            latency_thresholds_ms=thresholds_for(slos or ()),
+        )
+    sampler: Optional[RequestTraceSampler] = None
+    if sampling is not None:
+        sampler = RequestTraceSampler(obs.trace, sampling)
     repo = ServingRepository(
         n_users=traffic.n_users, seed=traffic.seed, obs=obs
     )
@@ -102,18 +148,36 @@ def run_serving(
         )
     )
     gateway = ServingGateway(
-        repo, loop, serving, registry, service_rng, obs=obs
+        repo, loop, serving, registry, service_rng, obs=obs,
+        telemetry=telemetry, sampler=sampler,
     )
 
-    arrivals = generate_traffic(traffic)
+    arrivals = generate_traffic(traffic, workers=workers)
+    head_rate = sampling.head_rate if sampling is not None else 0.0
     for arrival in arrivals:
+        if sampler is not None:
+            ctx: Optional[RequestContext] = RequestContext(
+                trace_id=arrival.trace_id,
+                user=arrival.user,
+                seq=arrival.seq,
+                sampled=head_sampled(arrival.trace_id, head_rate),
+                arrived=arrival.time,
+                service_start=arrival.time,
+                substrate_traced=False,
+            )
+        else:
+            ctx = None
         loop.schedule(
             arrival.time,
-            (lambda request: lambda: gateway.submit(request))(arrival.request),
+            (lambda request, rctx: lambda: gateway.submit(request, rctx))(
+                arrival.request, ctx
+            ),
             priority=PRIORITY_ARRIVAL,
         )
     gateway.start(horizon=traffic.horizon)
     loop.run()
+    if sampler is not None:
+        sampler.finalize()  # flush tail keeps before the trace export
 
     responses = gateway.responses
     status_counts: Dict[int, int] = {}
@@ -147,6 +211,19 @@ def run_serving(
     cache_hits = gateway.cache.hits
     cache_lookups = cache_hits + gateway.cache.misses
 
+    slo_report: Optional[SLOReport] = None
+    if slos is not None and telemetry is not None:
+        slo_report = SLOEngine(slos).evaluate(telemetry)
+    sampling_stats: Optional[Dict[str, int]] = None
+    if sampler is not None:
+        sampling_stats = {
+            "seen": sampler.seen,
+            "kept": sampler.kept,
+            "kept_head": sampler.kept_head,
+            "kept_status": sampler.kept_status,
+            "kept_tail": sampler.kept_tail,
+        }
+
     return ServingRunResult(
         seed=traffic.seed,
         horizon=traffic.horizon,
@@ -166,4 +243,9 @@ def run_serving(
         registry=registry,
         responses=responses,
         trace_jsonl=trace_to_jsonl(obs.trace) if obs is not None else None,
+        telemetry=telemetry,
+        timeseries_json=telemetry.to_json() if telemetry is not None else None,
+        slo_report=slo_report,
+        alerts_json=slo_report.to_json() if slo_report is not None else None,
+        sampling_stats=sampling_stats,
     )

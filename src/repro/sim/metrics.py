@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -83,6 +85,14 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         self.samples.append(float(value))
+        self._sorted_cache = None
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Bulk observe: one extend instead of a call per sample."""
+        if isinstance(values, np.ndarray):
+            self.samples.extend(values.tolist())
+        else:
+            self.samples.extend(float(v) for v in values)
         self._sorted_cache = None
 
     def _sorted(self) -> List[float]:
@@ -211,6 +221,52 @@ class SketchHistogram:
             self._min = value
         if value > self._max:
             self._max = value
+        if len(self._buffer) >= self._BUFFER_LIMIT:
+            self._compress()
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Bulk observe with C-speed aggregate arithmetic.
+
+        Same exact-moment guarantees as repeated :meth:`observe`
+        (count/total/min/max are computed over the identical values);
+        the buffer is folded once after the extend, so compaction
+        points — and therefore the approximate percentiles — can differ
+        from one-at-a-time observation, but remain deterministic for a
+        given batch sequence.  (Aggregate sums likewise use the batch's
+        reduction order, which is deterministic for the same batches.)
+        The windowed-telemetry flush path uses this to keep
+        per-response ingest off the request path.
+        """
+        if isinstance(values, np.ndarray):
+            if values.size == 0:
+                return
+            arr = values.astype(np.float64, copy=False)
+            self._buffer.extend(arr.tolist())
+            self._count += int(arr.size)
+            self._total += float(arr.sum())
+            self._sumsq += float(arr @ arr)
+            low = float(arr.min())
+            high = float(arr.max())
+            if low < self._min:
+                self._min = low
+            if high > self._max:
+                self._max = high
+            if len(self._buffer) >= self._BUFFER_LIMIT:
+                self._compress()
+            return
+        values = [float(v) for v in values]
+        if not values:
+            return
+        self._buffer.extend(values)
+        self._count += len(values)
+        self._total += sum(values)
+        self._sumsq += sum(v * v for v in values)
+        low = min(values)
+        high = max(values)
+        if low < self._min:
+            self._min = low
+        if high > self._max:
+            self._max = high
         if len(self._buffer) >= self._BUFFER_LIMIT:
             self._compress()
 

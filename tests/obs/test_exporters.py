@@ -125,3 +125,50 @@ class TestLatencyReport:
 
     def test_empty_registry_gives_empty_report(self):
         assert latency_report(MetricsRegistry()).rows == []
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_newline_escaped(self):
+        from repro.obs import escape_label_value
+
+        assert escape_label_value('a\\b') == 'a\\\\b'
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value('a\nb') == 'a\\nb'
+        assert escape_label_value(42) == "42"
+
+    def test_prometheus_text_escapes_label_values(self, obs):
+        obs.counter("c").inc()
+        text = prometheus_text(obs.metrics, labels={"run": 'r"1\\x\n'})
+        assert '{run="r\\"1\\\\x\\n"}' in text
+
+    def test_quantile_labels_merge_with_base_labels(self, obs):
+        obs.histogram("lat").observe(1.0)
+        text = prometheus_text(obs.metrics, labels={"run": "s"})
+        assert '{quantile="0.5",run="s"}' in text
+        assert 'repro_lat_count{run="s"}' in text
+
+
+class TestLatencyReportEdgeCases:
+    def test_empty_histogram_skipped(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("serving.latency_ms.idle")  # created, never observed
+        metrics.histogram("serving.latency_ms.busy").observe(2.0)
+        assert [r["endpoint"] for r in latency_report(metrics).rows] == ["busy"]
+
+    def test_exact_prefix_name_not_matched(self):
+        # A histogram named exactly the prefix (no ".endpoint") is not a
+        # per-endpoint series and must not produce an empty-name row.
+        metrics = MetricsRegistry()
+        metrics.histogram("serving.latency_ms").observe(1.0)
+        assert latency_report(metrics).rows == []
+
+    def test_custom_prefix(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("serving.queue_wait_ms.submit_tx").observe(4.0)
+        table = latency_report(metrics, prefix="serving.queue_wait_ms")
+        assert [r["endpoint"] for r in table.rows] == ["submit_tx"]
+
+    def test_peek_histogram_never_creates(self):
+        metrics = MetricsRegistry()
+        assert metrics.peek_histogram("absent") is None
+        assert "absent" not in metrics.histograms()

@@ -1,0 +1,196 @@
+"""Tests for windowed telemetry: window assignment, the deferred fold,
+threshold counting, queue depth, and export determinism."""
+
+import pytest
+
+from repro.obs.timeseries import WindowScope, WindowedTelemetry
+
+#: (endpoint, status, arrived, completed, cached) rows spanning windows
+#: 0, 1, and 3 with every status class the snapshot distinguishes.
+ROWS = [
+    ("submit_tx", 200, 0.00, 0.010, False),
+    ("submit_tx", 200, 0.05, 0.095, True),
+    ("read_feed", 400, 0.10, 0.102, False),
+    ("submit_tx", 429, 0.90, 0.900, False),
+    ("read_feed", 200, 1.20, 1.260, False),
+    ("submit_tx", 500, 1.40, 1.480, False),
+    ("read_feed", 409, 3.10, 3.105, False),
+    ("read_feed", 200, 3.20, 3.230, True),
+]
+
+
+def _ingest(telemetry, rows=ROWS):
+    for endpoint, status, arrived, completed, cached in rows:
+        telemetry.record_response(endpoint, status, arrived, completed, cached)
+    return telemetry
+
+
+class TestValidation:
+    @pytest.mark.parametrize("window", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_window_rejected(self, window):
+        with pytest.raises(ValueError, match="window"):
+            WindowedTelemetry(window=window)
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            WindowedTelemetry(backend="hdr")
+
+    def test_thresholds_deduped_and_sorted(self):
+        t = WindowedTelemetry(latency_thresholds_ms=(40.0, 10.0, 40.0))
+        assert t.thresholds == (10.0, 40.0)
+
+
+class TestWindowAssignment:
+    def test_response_lands_in_completion_window(self):
+        t = _ingest(WindowedTelemetry(window=1.0))
+        assert t.indices() == [0, 1, 3]
+        assert t.scope_stats(0).count == 4
+        assert t.scope_stats(1).count == 2
+        assert t.scope_stats(2) is None
+        assert t.scope_stats(3).count == 2
+
+    def test_window_width_changes_assignment(self):
+        t = _ingest(WindowedTelemetry(window=2.0))
+        assert t.indices() == [0, 1]  # 3.1s now falls in window 1
+
+    def test_last_index_and_empty(self):
+        empty = WindowedTelemetry()
+        assert empty.last_index() == -1
+        assert empty.n_windows == 0
+        assert _ingest(WindowedTelemetry()).last_index() == 3
+
+
+class TestStatusAndLatency:
+    def test_status_classes_counted(self):
+        t = _ingest(WindowedTelemetry(window=10.0, backend="exact"))
+        cell = t.scope_stats(0)
+        assert (cell.ok, cell.invalid, cell.refused, cell.shed, cell.error) \
+            == (4, 1, 1, 1, 1)
+        assert cell.cached == 2
+
+    def test_shed_excluded_from_latency(self):
+        t = _ingest(WindowedTelemetry(window=10.0, backend="exact"))
+        cell = t.scope_stats(0)
+        # 8 responses, 1 shed: latency observed for the other 7 only.
+        assert cell.latency.count == 7
+
+    def test_threshold_counts_exact(self):
+        t = _ingest(WindowedTelemetry(
+            window=10.0, backend="exact", latency_thresholds_ms=(20.0, 50.0)
+        ))
+        cell = t.scope_stats(0)
+        # Latencies (ms, sheds out): 10, 45, 2, 60, 80, 5, 30.
+        assert cell.over == [4, 2]
+        snap = cell.snapshot(10.0, t.thresholds)
+        assert snap["over_20ms"] == 4.0
+        assert snap["over_50ms"] == 2.0
+
+    def test_per_endpoint_scopes_partition_all(self):
+        t = _ingest(WindowedTelemetry(window=10.0))
+        total = t.scope_stats(0).count
+        by_endpoint = (
+            t.scope_stats(0, "submit_tx").count
+            + t.scope_stats(0, "read_feed").count
+        )
+        assert total == by_endpoint == len(ROWS)
+
+
+class TestDeferredFold:
+    """The ingest path buffers raw rows and folds them on first query;
+    folding must be invisible to every reader."""
+
+    def test_query_after_every_record_matches_one_flush(self):
+        folded_once = _ingest(WindowedTelemetry(
+            window=1.0, backend="exact", latency_thresholds_ms=(20.0,)
+        ))
+        folded_eagerly = WindowedTelemetry(
+            window=1.0, backend="exact", latency_thresholds_ms=(20.0,)
+        )
+        for endpoint, status, arrived, completed, cached in ROWS:
+            folded_eagerly.record_response(
+                endpoint, status, arrived, completed, cached
+            )
+            folded_eagerly.n_windows  # force a flush mid-ingest
+        assert folded_once.to_json() == folded_eagerly.to_json()
+
+    def test_continued_ingest_into_same_window_after_query(self):
+        # A mid-run query consumes the boundary markers; rows recorded
+        # afterwards into the SAME window must still fold additively.
+        t = WindowedTelemetry(window=1.0, backend="exact")
+        t.record_response("a", 200, 0.0, 0.1)
+        assert t.scope_stats(0).count == 1  # flush window 0
+        t.record_response("a", 200, 0.0, 0.2)
+        t.record_response("a", 429, 0.5, 0.5)
+        cell = t.scope_stats(0)
+        assert cell.count == 3
+        assert cell.ok == 2
+        assert cell.shed == 1
+        assert cell.latency.count == 2
+
+    def test_batch_fold_equals_per_record_fold(self):
+        thresholds = (20.0,)
+        loop = WindowScope(thresholds, "exact", 100)
+        batch = WindowScope(thresholds, "exact", 100)
+        statuses = [200, 429, 400, 200, 500]
+        latencies = [5.0, 0.0, 25.0, 60.0, 30.0]
+        for status, latency in zip(statuses, latencies):
+            loop.record(status, latency, status == 200, thresholds)
+        batch.record_batch(statuses, latencies, 2, thresholds)
+        assert loop.snapshot(1.0, thresholds) == batch.snapshot(1.0, thresholds)
+
+    def test_responses_counter_live_before_flush(self):
+        t = WindowedTelemetry()
+        t.record_response("a", 200, 0.0, 0.1)
+        assert t.responses == 1
+
+
+class TestQueueDepth:
+    def test_max_and_last_tracked_per_window(self):
+        t = WindowedTelemetry(window=1.0)
+        t.observe_queue_depth(0.1, 3.0)
+        t.observe_queue_depth(0.5, 9.0)
+        t.observe_queue_depth(0.9, 4.0)
+        cell = t.scope_stats(0)
+        assert cell.queue_depth_max == 9.0
+        assert cell.queue_depth_last == 4.0
+
+    def test_depth_only_window_still_exported(self):
+        t = WindowedTelemetry(window=1.0)
+        t.observe_queue_depth(5.5, 2.0)
+        assert t.indices() == [5]
+        assert t.series("queue_depth_max") == [(5.0, 2.0)]
+
+
+class TestExport:
+    def test_series_points_are_window_starts(self):
+        t = _ingest(WindowedTelemetry(window=1.0))
+        points = t.series("count")
+        assert points == [(0.0, 4.0), (1.0, 2.0), (3.0, 2.0)]
+
+    def test_series_unknown_metric_raises(self):
+        t = _ingest(WindowedTelemetry())
+        with pytest.raises(KeyError, match="unknown telemetry metric"):
+            t.series("nope")
+
+    def test_goodput_and_shed_rate(self):
+        t = _ingest(WindowedTelemetry(window=1.0))
+        snap = t.scope_stats(0).snapshot(1.0, ())
+        assert snap["goodput_rps"] == 2.0  # 2 OK in a 1 s window
+        assert snap["shed_rate"] == 0.25
+
+    def test_to_json_byte_identical_across_ingests(self):
+        first = _ingest(WindowedTelemetry(
+            window=1.0, latency_thresholds_ms=(40.0,)
+        ))
+        second = _ingest(WindowedTelemetry(
+            window=1.0, latency_thresholds_ms=(40.0,)
+        ))
+        assert first.to_json() == second.to_json()
+
+    def test_snapshot_shape(self):
+        snap = _ingest(WindowedTelemetry(window=1.0)).snapshot()
+        assert snap["responses"] == len(ROWS)
+        assert [w["index"] for w in snap["windows"]] == [0, 1, 3]
+        window0 = snap["windows"][0]
+        assert window0["start"] == 0.0 and window0["end"] == 1.0
+        assert set(window0["endpoints"]) == {"read_feed", "submit_tx"}
