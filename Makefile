@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving parallel-check obs-check serve-check slo-check ci
+.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving bench-columnar parallel-check obs-check serve-check slo-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -63,6 +63,14 @@ bench-serving:
 bench-parallel:
 	$(PYTHON) -m benchmarks.scaling --parallel-only
 
+# Columnar smoke gate: 10k-tier columnar-vs-object kernels with exact
+# equivalence asserts (bitwise balances/nonces/spends), the columnar
+# load run byte-identical to the object-backed run on metrics, and the
+# bytes/agent ceiling.  The full 1M tier lives in the scaling suite:
+#   python -m benchmarks.scaling --smoke --million
+bench-columnar:
+	$(PYTHON) -m benchmarks.scaling --columnar-only
+
 # Population-scale gate (smoke: 1k/10k tiers, <90s): indexed mempool
 # selection, warm reputation writes, vectorized cascade rounds, and
 # batch abuse classification must beat the naive references >=3x at the
@@ -77,5 +85,6 @@ bench-scaling:
 
 # Everything a merge must pass, in one target.  bench-scaling's smoke
 # mode includes the workers tier (10k agents, workers={2,4} equivalence
-# asserts); parallel-check additionally pins trace-level equivalence.
-ci: test bench-smoke bench-scaling parallel-check obs-check serve-check slo-check
+# asserts); parallel-check additionally pins trace-level equivalence;
+# bench-columnar pins the columnar/object byte-equivalence contract.
+ci: test bench-smoke bench-scaling bench-columnar parallel-check obs-check serve-check slo-check

@@ -10,12 +10,15 @@ alongside exactness: coverage is always 100% and every sampled record
 is cryptographically provable.
 
 Table: records/block vs production time, audit query time, proof time.
+Per-record registration wall-times stream into a sketch-backed
+histogram with the suite's ≤1% rank-error contract.
 """
 
 import time as _time
 
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable
 from repro.ledger import (
     Blockchain,
@@ -37,9 +40,10 @@ def build_chain():
     return chain, validator, collector
 
 
-def fill_and_seal(chain, validator, collector, count, start_nonce):
+def fill_and_seal(chain, validator, collector, count, start_nonce, stream=None):
     auditor = DataCollectionAuditor(chain)
     for i in range(count):
+        t0 = _time.perf_counter()
         auditor.register_activity(
             collector,
             subject=f"user-{i % 97}",
@@ -47,6 +51,8 @@ def fill_and_seal(chain, validator, collector, count, start_nonce):
             purpose="personalisation",
             pet_applied="laplace",
         )
+        if stream is not None:
+            stream.observe((_time.perf_counter() - t0) * 1e6)
     t0 = _time.perf_counter()
     chain.propose_block(
         validator.address, timestamp=float(chain.height + 1), max_txs=count + 10
@@ -57,11 +63,12 @@ def fill_and_seal(chain, validator, collector, count, start_nonce):
 
 @pytest.fixture(scope="module")
 def results():
+    stream = SketchStream("e10.register_activity_us")
     rows = []
     for rate in RATES:
         chain, validator, collector = build_chain()
         auditor, seal_seconds = fill_and_seal(
-            chain, validator, collector, rate, start_nonce=0
+            chain, validator, collector, rate, start_nonce=0, stream=stream
         )
         t0 = _time.perf_counter()
         activities = auditor.activities(category="gaze")
@@ -81,10 +88,17 @@ def results():
                 proof_ok=proven,
             )
         )
-    return rows
+    return {"rows": rows, "stream": stream}
+
+
+def test_e10_sketch_rank_contract(results):
+    """Per-record registration wall-times stream through the sketch
+    backend within its ≤1% rank-error contract."""
+    results["stream"].assert_rank_contract()
 
 
 def test_e10_table_and_shape(results):
+    results = results["rows"]
     table = ResultTable(
         "E10: cost of ledger-registering data collection (single block)",
         columns=[

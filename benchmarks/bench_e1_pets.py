@@ -5,11 +5,14 @@ attribute-inference attacks while costing bounded utility; the trade-off
 is tunable via the DP parameter.
 
 Table: attack accuracy and utility loss per channel over an epsilon
-sweep, plus the no-PET baseline.
+sweep, plus the no-PET baseline.  Per-frame relative distortions stream
+into a sketch-backed histogram (bounded memory) with the suite's ≤1%
+rank-error contract asserted against the exact samples.
 """
 
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable, is_monotonic_decreasing
 from repro.privacy import (
     CentroidAttacker,
@@ -24,6 +27,7 @@ EPSILONS = (5.0, 2.0, 1.0, 0.5, 0.2)
 
 @pytest.fixture(scope="module")
 def results(harness_rngs):
+    stream = SketchStream("e1.frame_distortion")
     rows = []
     specs = [
         ("gaze", CentroidAttacker("preference"), "accuracy"),
@@ -50,6 +54,10 @@ def results(harness_rngs):
                 epsilon, harness_rngs.fresh(f"e1-{channel}-{epsilon}")
             )
             protected = [pet.apply(f) for f in corpus.eval_frames]
+            stream.observe_many(
+                utility_loss([raw], [prot])
+                for raw, prot in zip(corpus.eval_frames, protected)
+            )
             rows.append(
                 dict(
                     channel=channel,
@@ -58,10 +66,17 @@ def results(harness_rngs):
                     loss=utility_loss(corpus.eval_frames, protected),
                 )
             )
-    return rows
+    return {"rows": rows, "stream": stream}
+
+
+def test_e1_sketch_rank_contract(results):
+    """Per-frame distortions stream through the sketch backend within
+    its ≤1% rank-error contract."""
+    results["stream"].assert_rank_contract()
 
 
 def test_e1_table_and_shape(results):
+    results = results["rows"]
     table = ResultTable(
         "E1: attribute inference vs PET strength (laplace mechanism)",
         columns=["channel", "epsilon", "attack_metric", "utility_loss"],

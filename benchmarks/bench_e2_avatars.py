@@ -5,11 +5,15 @@ of this secondary avatar and, therefore, cannot infer any behavioural
 information" — re-identification accuracy must fall as clone usage
 rises, approaching chance at full clone usage.
 
-Table: linkage-attack accuracy vs clone-usage rate.
+Table: linkage-attack accuracy vs clone-usage rate.  Per-session
+behaviour-vector magnitudes stream into a sketch-backed histogram with
+the suite's ≤1% rank-error contract.
 """
 
+import numpy as np
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable, is_monotonic_decreasing
 from repro.workloads import evaluate_linkage, linkage_workload
 
@@ -20,18 +24,30 @@ SESSIONS_PER_USER = 4
 
 @pytest.fixture(scope="module")
 def results(harness_rngs):
+    stream = SketchStream("e2.session_behaviour_norm")
     rows = []
     for rate in CLONE_RATES:
         workload = linkage_workload(
             N_USERS, SESSIONS_PER_USER, rate, harness_rngs.fresh(f"e2-{rate}")
         )
+        stream.observe_many(
+            float(np.linalg.norm(session.behaviour))
+            for session in workload.anonymous_sessions
+        )
         rows.append(
             dict(clone_rate=rate, accuracy=evaluate_linkage(workload))
         )
-    return rows
+    return {"rows": rows, "stream": stream}
+
+
+def test_e2_sketch_rank_contract(results):
+    """Session behaviour norms stream through the sketch backend within
+    its ≤1% rank-error contract."""
+    results["stream"].assert_rank_contract()
 
 
 def test_e2_table_and_shape(results):
+    results = results["rows"]
     table = ResultTable(
         f"E2: re-identification accuracy vs clone usage "
         f"({N_USERS} users, {SESSIONS_PER_USER} sessions each; "

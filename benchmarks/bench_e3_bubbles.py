@@ -6,10 +6,13 @@ what harassers can do at all.  Larger bubbles block more hostile
 close-range interactions while leaving ordinary chat untouched.
 
 Table: abusive-delivery rate and benign-delivery rate vs bubble radius.
+Per-epoch delivered-interaction counts stream into a sketch-backed
+histogram with the suite's ≤1% rank-error contract.
 """
 
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable, is_monotonic_decreasing
 from repro.social import Archetype, BehaviorSimulator, standard_mix
 from repro.world import World
@@ -19,7 +22,7 @@ N_AVATARS = 60
 EPOCHS = 8
 
 
-def run_world(rngs, radius):
+def run_world(rngs, radius, stream=None):
     world = World("e3", size=40.0)
     mix = standard_mix(
         N_AVATARS, rngs.stream("mix"), harasser_fraction=0.15
@@ -41,7 +44,12 @@ def run_world(rngs, radius):
     simulator = BehaviorSimulator(world, archetypes, rngs.stream("behavior"))
     interactions = []
     for epoch in range(EPOCHS):
-        interactions.extend(simulator.run_epoch(time=float(epoch)))
+        epoch_interactions = simulator.run_epoch(time=float(epoch))
+        if stream is not None:
+            stream.observe(
+                sum(1 for i in epoch_interactions if i.delivered)
+            )
+        interactions.extend(epoch_interactions)
     abusive = [i for i in interactions if i.abusive]
     benign = [i for i in interactions if not i.abusive]
     return {
@@ -60,13 +68,22 @@ def run_world(rngs, radius):
 
 @pytest.fixture(scope="module")
 def results(harness_rngs):
-    return [
-        run_world(harness_rngs.spawn(f"e3-{radius}"), radius)
+    stream = SketchStream("e3.epoch_delivered")
+    rows = [
+        run_world(harness_rngs.spawn(f"e3-{radius}"), radius, stream)
         for radius in RADII
     ]
+    return {"rows": rows, "stream": stream}
+
+
+def test_e3_sketch_rank_contract(results):
+    """Per-epoch delivered counts stream through the sketch backend
+    within its ≤1% rank-error contract."""
+    results["stream"].assert_rank_contract()
 
 
 def test_e3_table_and_shape(results):
+    results = results["rows"]
     table = ResultTable(
         f"E3: privacy-bubble radius vs interaction delivery "
         f"({N_AVATARS} avatars, 15% harassers, {EPOCHS} epochs)",

@@ -6,15 +6,19 @@ strikes; combining both nearly eliminates collisions at the price of
 immersion disruption.
 
 Table: collision breakdown per safety config across user densities.
+Per-chunk distance-walked deltas stream into a sketch-backed histogram
+with the suite's ≤1% rank-error contract.
 """
 
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable
 from repro.world import Obstacle, RoomSimulation, SafetyConfig
 
 DENSITIES = (2, 4, 8)
 STEPS = 2000
+CHUNK_STEPS = 100
 CONFIGS = (
     SafetyConfig.none(),
     SafetyConfig.shadows_only(),
@@ -26,6 +30,7 @@ CONFIGS = (
 @pytest.fixture(scope="module")
 def results(harness_rngs):
     obstacles = [Obstacle(2.5, 2.5, 0.5)]
+    stream = SketchStream("e4.chunk_distance_walked")
     rows = []
     for n_users in DENSITIES:
         for config in CONFIGS:
@@ -36,7 +41,14 @@ def results(harness_rngs):
                 rng=harness_rngs.fresh(f"e4-{n_users}-{config.label}"),
                 obstacles=obstacles,
             )
-            report = simulation.run(STEPS)
+            # run() is resumable: chunked stepping consumes the same rng
+            # stream as one run(STEPS) call while exposing per-chunk
+            # walked-distance deltas for the sketch stream.
+            walked = 0.0
+            for _ in range(STEPS // CHUNK_STEPS):
+                report = simulation.run(CHUNK_STEPS)
+                stream.observe(report.distance_walked - walked)
+                walked = report.distance_walked
             rows.append(
                 dict(
                     users=n_users,
@@ -48,10 +60,17 @@ def results(harness_rngs):
                     disruption=report.disruption_per_meter,
                 )
             )
-    return rows
+    return {"rows": rows, "stream": stream}
+
+
+def test_e4_sketch_rank_contract(results):
+    """Per-chunk walked distances stream through the sketch backend
+    within its ≤1% rank-error contract."""
+    results["stream"].assert_rank_contract()
 
 
 def test_e4_table_and_shape(results):
+    results = results["rows"]
     table = ResultTable(
         f"E4: collisions by safety config (5m room, 1 obstacle, "
         f"{STEPS} steps)",

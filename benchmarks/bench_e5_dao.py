@@ -13,12 +13,10 @@ Per-proposal turnout samples stream into a sketch-backed
 ≤1% rank-error contract is asserted against the exact sample set.
 """
 
-import bisect
-
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable
-from repro.sim.metrics import MetricsRegistry
 from repro.workloads import (
     build_flat_dao,
     build_modular_federation,
@@ -30,14 +28,11 @@ TOPICS = ["privacy", "moderation", "economy", "safety"]
 SIZES = (50, 200, 800)
 PROPOSALS = 60
 ATTENTION = 4.0
-SKETCH_QUANTILES = (5, 25, 50, 75, 95)
 
 
 @pytest.fixture(scope="module")
 def results(harness_rngs):
-    registry = MetricsRegistry(histogram_backend="sketch")
-    turnout_sketch = registry.histogram("e5.turnout")
-    exact_samples = []
+    stream = SketchStream("e5.turnout")
     rows = []
     for members in SIZES:
         load = dao_proposal_load(
@@ -51,18 +46,16 @@ def results(harness_rngs):
             members, TOPICS, harness_rngs.fresh(f"e5-fed-{members}"),
             attention_budget=ATTENTION,
         )
-        for design, target, stream in (
+        for design, target, rng_name in (
             ("flat", flat, f"e5-run-flat-{members}"),
             ("modular", federation, f"e5-run-fed-{members}"),
         ):
             result = run_governance_stress(
-                target, load, harness_rngs.fresh(stream)
+                target, load, harness_rngs.fresh(rng_name)
             )
             daos = target.all_daos() if hasattr(target, "all_daos") else [target]
             for dao in daos:
-                for turnout in dao.turnout_samples():
-                    turnout_sketch.observe(turnout)
-                    exact_samples.append(turnout)
+                stream.observe_many(dao.turnout_samples())
             rows.append(
                 dict(
                     members=members,
@@ -73,11 +66,7 @@ def results(harness_rngs):
                     ballots=result.ballots_cast,
                 )
             )
-    return {
-        "rows": rows,
-        "sketch": turnout_sketch,
-        "exact": sorted(exact_samples),
-    }
+    return {"rows": rows, "stream": stream}
 
 
 def test_e5_table_and_shape(results):
@@ -109,19 +98,7 @@ def test_e5_sketch_rank_contract(results):
     """The bounded sketch reproduces the turnout distribution within
     its documented ≤1% rank error (plus the empirical CDF's one-sample
     discretisation floor for a finite stream)."""
-    sketch, exact = results["sketch"], results["exact"]
-    n = len(exact)
-    assert sketch.count == n
-    assert sketch.minimum == exact[0] and sketch.maximum == exact[-1]
-    tolerance = 0.01 + 1.0 / n
-    for q in SKETCH_QUANTILES:
-        approx = sketch.percentile(q)
-        # Ties make a value's empirical rank an interval; error is the
-        # distance from the target rank to that interval.
-        lo = bisect.bisect_left(exact, approx) / n
-        hi = bisect.bisect_right(exact, approx) / n
-        rank_error = max(0.0, lo - q / 100.0, q / 100.0 - hi)
-        assert rank_error <= tolerance, (q, rank_error)
+    results["stream"].assert_rank_contract()
 
 
 def test_e5_kernel_stress_run(benchmark, harness_rngs):

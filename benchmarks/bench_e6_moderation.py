@@ -6,10 +6,13 @@ channel suffices alone: automation over-flags (precision), reports
 under-cover (recall).  AI + reports + review gets both.
 
 Table: precision / recall / mean latency / backlog / bans per config.
+Per-case resolution latencies stream into a sketch-backed histogram
+with the suite's ≤1% rank-error contract.
 """
 
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable
 from repro.governance import (
     AbuseClassifier,
@@ -78,7 +81,7 @@ CONFIGS = (
 )
 
 
-def run_config(name):
+def run_config(name, stream=None):
     # Same seed per config so every pipeline faces the same society.
     rngs = RngRegistry(seed=606)
     world, archetypes = build_population(rngs)
@@ -91,6 +94,12 @@ def run_config(name):
         interactions.extend(epoch_interactions)
         service.process_epoch(epoch_interactions, time=float(epoch))
     score = service.score(interactions)
+    if stream is not None:
+        stream.observe_many(
+            case.latency
+            for case in service.cases
+            if case.latency is not None
+        )
     return dict(
         config=name,
         precision=score.precision,
@@ -103,10 +112,19 @@ def run_config(name):
 
 @pytest.fixture(scope="module")
 def results():
-    return [run_config(name) for name in CONFIGS]
+    stream = SketchStream("e6.case_latency")
+    rows = [run_config(name, stream) for name in CONFIGS]
+    return {"rows": rows, "stream": stream}
+
+
+def test_e6_sketch_rank_contract(results):
+    """Per-case resolution latencies stream through the sketch backend
+    within its ≤1% rank-error contract."""
+    results["stream"].assert_rank_contract()
 
 
 def test_e6_table_and_shape(results):
+    results = results["rows"]
     table = ResultTable(
         f"E6: moderation configurations ({N_AVATARS} avatars, 10% "
         f"harassers, {EPOCHS} epochs)",

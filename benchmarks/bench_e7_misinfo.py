@@ -13,20 +13,17 @@ sketch's documented ≤1% rank-error contract is asserted against the
 exact sample set.
 """
 
-import bisect
-
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable
 from repro.reputation import ReputationSystem
-from repro.sim.metrics import MetricsRegistry
 from repro.social import MisinformationModel, SocialGraph
 
 SHARE_PROBS = (0.15, 0.25, 0.4)
 SIZES = (300, 1000)
 REPETITIONS = 15
 N_LIARS = 5
-SKETCH_QUANTILES = (5, 25, 50, 75, 95)
 
 
 def build_reputation(members, liars):
@@ -41,9 +38,7 @@ def build_reputation(members, liars):
 
 @pytest.fixture(scope="module")
 def results(harness_rngs):
-    registry = MetricsRegistry(histogram_backend="sketch")
-    reach_sketch = registry.histogram("e7.reach")
-    exact_samples = []
+    stream = SketchStream("e7.reach")
     rows = []
     for size in SIZES:
         graph = SocialGraph.scale_free(
@@ -66,9 +61,7 @@ def results(harness_rngs):
             )
             samples_off = ungated.reach_samples(liars, repetitions=REPETITIONS)
             samples_on = gated.reach_samples(liars, repetitions=REPETITIONS)
-            for sample in samples_off + samples_on:
-                reach_sketch.observe(sample)
-                exact_samples.append(sample)
+            stream.observe_many(samples_off + samples_on)
             reach_off = sum(samples_off) / len(samples_off)
             reach_on = sum(samples_on) / len(samples_on)
             rows.append(
@@ -82,7 +75,7 @@ def results(harness_rngs):
                     ),
                 )
             )
-    return {"rows": rows, "sketch": reach_sketch, "exact": sorted(exact_samples)}
+    return {"rows": rows, "stream": stream}
 
 
 def test_e7_table_and_shape(results):
@@ -112,19 +105,7 @@ def test_e7_sketch_rank_contract(results):
     """The bounded sketch reproduces the reach distribution within its
     documented ≤1% rank error (plus the empirical CDF's one-sample
     discretisation floor for a finite stream)."""
-    sketch, exact = results["sketch"], results["exact"]
-    n = len(exact)
-    assert sketch.count == n
-    assert sketch.minimum == exact[0] and sketch.maximum == exact[-1]
-    tolerance = 0.01 + 1.0 / n
-    for q in SKETCH_QUANTILES:
-        approx = sketch.percentile(q)
-        # Ties make a value's empirical rank an interval; error is the
-        # distance from the target rank to that interval.
-        lo = bisect.bisect_left(exact, approx) / n
-        hi = bisect.bisect_right(exact, approx) / n
-        rank_error = max(0.0, lo - q / 100.0, q / 100.0 - hi)
-        assert rank_error <= tolerance, (q, rank_error)
+    results["stream"].assert_rank_contract()
 
 
 def test_e7_kernel_cascade(benchmark, harness_rngs):

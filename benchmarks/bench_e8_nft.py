@@ -6,11 +6,13 @@ open-access content creation tool"; DAO/reputation-based vetting gets
 low scam rates without locking honest creators out.
 
 Table: scam-sale fraction, volume, and lockouts per policy across
-scammer prevalence.
+scammer prevalence.  Per-sale prices stream into a sketch-backed
+histogram with the suite's ≤1% rank-error contract.
 """
 
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable
 from repro.workloads import run_market_season
 
@@ -22,6 +24,7 @@ EPOCHS = 12
 
 @pytest.fixture(scope="module")
 def results(harness_rngs):
+    stream = SketchStream("e8.sale_price")
     rows = []
     for fraction in SCAMMER_FRACTIONS:
         for policy in POLICIES:
@@ -32,6 +35,7 @@ def results(harness_rngs):
                 rng=harness_rngs.fresh(f"e8-{policy}-{fraction}"),
                 epochs=EPOCHS,
             )
+            stream.observe_many(season.sale_prices)
             rows.append(
                 dict(
                     scammers=fraction,
@@ -43,10 +47,17 @@ def results(harness_rngs):
                     scammers_locked=season.scammers_locked_out,
                 )
             )
-    return rows
+    return {"rows": rows, "stream": stream}
+
+
+def test_e8_sketch_rank_contract(results):
+    """Per-sale prices stream through the sketch backend within its
+    ≤1% rank-error contract."""
+    results["stream"].assert_rank_contract()
 
 
 def test_e8_table_and_shape(results):
+    results = results["rows"]
     table = ResultTable(
         f"E8: minting policy vs scam exposure ({N_CREATORS} creators, "
         f"{EPOCHS} epochs)",

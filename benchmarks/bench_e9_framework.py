@@ -10,10 +10,13 @@ pipeline).
 
 Table: the three layer scores + overall, per architecture, after the
 same simulated platform life including a stream of change requests.
+Per-epoch overall ethics scores stream into a sketch-backed histogram
+with the suite's ≤1% rank-error contract.
 """
 
 import pytest
 
+from benchmarks.sketch_contract import SketchStream
 from repro.analysis import ResultTable
 from repro.core import FrameworkConfig, MetaverseFramework
 
@@ -33,7 +36,7 @@ ARCHITECTURES = (
 )
 
 
-def drive(framework: MetaverseFramework) -> None:
+def drive(framework: MetaverseFramework, stream=None) -> None:
     """Run platform life with a realistic trickle of change requests."""
     topics = ["privacy", "moderation", "economy", "safety"]
     submitted = 0
@@ -54,14 +57,17 @@ def drive(framework: MetaverseFramework) -> None:
             )
             submitted += 1
         framework.run_epoch()
+        if stream is not None:
+            stream.observe(framework.ethics_scorecard().overall)
 
 
 @pytest.fixture(scope="module")
 def results():
+    stream = SketchStream("e9.epoch_overall_score")
     rows = []
     for label, make_config in ARCHITECTURES:
         framework = MetaverseFramework(make_config(seed=909))
-        drive(framework)
+        drive(framework, stream)
         scorecard = framework.ethics_scorecard()
         rows.append(
             dict(
@@ -72,10 +78,17 @@ def results():
                 overall=scorecard.overall,
             )
         )
-    return rows
+    return {"rows": rows, "stream": stream}
+
+
+def test_e9_sketch_rank_contract(results):
+    """Per-epoch ethics scores stream through the sketch backend within
+    its ≤1% rank-error contract."""
+    results["stream"].assert_rank_contract()
 
 
 def test_e9_table_and_shape(results):
+    results = results["rows"]
     table = ResultTable(
         f"E9: Ethical Hierarchy of Needs by architecture "
         f"({N_USERS} users, {EPOCHS} epochs, {PROPOSALS_PER_RUN} change "

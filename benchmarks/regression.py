@@ -10,6 +10,12 @@ baseline in
 ``benchmarks/baseline.json`` and fails if any tracked op regresses more
 than the gate threshold (default 25%).
 
+Alongside wall-time, every tracked op records the process peak RSS
+high-water mark (``ru_maxrss``) and how much the op grew it.  Like the
+host fingerprint, RSS is compared against the baseline but only ever
+**warns** — memory high-water marks depend on allocator behaviour and
+op ordering, so they inform rather than gate.
+
 Also gates the **observability tax**: the serving request path with full
 tracing, windowed telemetry, and request sampling attached must stay
 within ``OBS_OVERHEAD_THRESHOLD`` (10%) of the same seeded run dark
@@ -41,6 +47,7 @@ import json
 import os
 import platform
 import random
+import resource
 import subprocess
 import sys
 import time
@@ -55,11 +62,19 @@ GATE_THRESHOLD = 1.25  # fail if current > baseline * threshold
 # warmup); gate only on catastrophic blowups there and leave the tight
 # 25% gate to the full multi-rep run.
 SMOKE_GATE_THRESHOLD = 3.0
+# Peak-RSS drift beyond this factor of the baseline prints a warning;
+# memory never fails the gate (allocator and op-ordering dependent).
+RSS_WARN_FACTOR = 1.5
 SEED = 2022
 
 # Each kernel returns (n_ops, seconds) for the timed section only
 # (setup cost is excluded).
 Kernel = Callable[[], Tuple[int, float]]
+
+
+def _peak_rss_kib() -> int:
+    """Process peak-RSS high-water mark in KiB (Linux ``ru_maxrss``)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def _cpu_model() -> str:
@@ -882,9 +897,11 @@ def run_tracked_ops(reps: int) -> Dict[str, Dict[str, float]]:
     for name, kernel in TRACKED_OPS.items():
         best = float("inf")
         ops = 0
+        rss_before = _peak_rss_kib()
         for _ in range(reps):
             ops, seconds = kernel()
             best = min(best, seconds)
+        rss_after = _peak_rss_kib()
         per_op = best / ops if ops else float("inf")
         results[name] = {
             "ops": ops,
@@ -892,8 +909,17 @@ def run_tracked_ops(reps: int) -> Dict[str, Dict[str, float]]:
             "seconds_per_op": per_op,
             "ops_per_second": (1.0 / per_op) if per_op > 0 else float("inf"),
             "reps": reps,
+            # High-water mark after the op, and how much the op raised
+            # it.  Growth 0 means the op fit inside already-charted
+            # memory (ru_maxrss is monotonic, so ordering matters).
+            "peak_rss_kib": rss_after,
+            "rss_growth_kib": rss_after - rss_before,
         }
-        print(f"  {name:<40s} {per_op * 1e6:>10.1f} us/op   ({ops} ops, best of {reps})")
+        print(
+            f"  {name:<40s} {per_op * 1e6:>10.1f} us/op   "
+            f"({ops} ops, best of {reps}, rss {rss_after / 1024:.0f} MiB"
+            f"{f' +{(rss_after - rss_before) / 1024:.0f}' if rss_after > rss_before else ''})"
+        )
     return results
 
 
@@ -901,9 +927,10 @@ def compare(
     current: Dict[str, Dict[str, float]],
     baseline: Dict[str, Dict[str, float]],
     threshold: float,
-) -> Tuple[Dict[str, Dict[str, float]], List[str]]:
+) -> Tuple[Dict[str, Dict[str, float]], List[str], List[str]]:
     comparison: Dict[str, Dict[str, float]] = {}
     regressions: List[str] = []
+    rss_warnings: List[str] = []
     for name, entry in current.items():
         base = baseline.get(name)
         if base is None:
@@ -920,7 +947,19 @@ def compare(
         }
         if regressed:
             regressions.append(name)
-    return comparison, regressions
+        # Peak RSS: warn-only, like the host fingerprint.  Baselines
+        # recorded before RSS tracking simply have no reference point.
+        base_rss = base.get("peak_rss_kib")
+        cur_rss = entry.get("peak_rss_kib")
+        if base_rss and cur_rss:
+            comparison[name]["baseline_peak_rss_kib"] = base_rss
+            comparison[name]["current_peak_rss_kib"] = cur_rss
+            if cur_rss > base_rss * RSS_WARN_FACTOR:
+                rss_warnings.append(
+                    f"{name}: peak RSS {cur_rss / 1024:.0f} MiB vs baseline "
+                    f"{base_rss / 1024:.0f} MiB (>{RSS_WARN_FACTOR:.1f}x)"
+                )
+    return comparison, regressions, rss_warnings
 
 
 def run_smoke_suites() -> int:
@@ -1055,13 +1094,21 @@ def main(argv: List[str] = None) -> int:
                 print(f"  {diff}")
             print("  (gate still applies; re-record with --update-baseline "
                   "if this machine is the new reference)")
-        comparison, regressions = compare(current, baseline, args.threshold)
+        comparison, regressions, rss_warnings = compare(
+            current, baseline, args.threshold
+        )
         report["comparison"] = comparison
         report["regressions"] = regressions
+        report["rss_warnings"] = rss_warnings
         print("\nvs committed baseline:")
         for name, row in comparison.items():
             flag = "  REGRESSED" if row["regressed"] else ""
             print(f"  {name:<40s} {row['speedup_vs_baseline']:>7.2f}x{flag}")
+        if rss_warnings:
+            # Memory drift informs but never gates (see RSS_WARN_FACTOR).
+            print("\nWARNING: peak RSS grew beyond the baseline:")
+            for warning in rss_warnings:
+                print(f"  {warning}")
         if regressions and not args.no_gate:
             print(f"\nFAIL: {len(regressions)} tracked op(s) regressed >"
                   f"{(args.threshold - 1) * 100:.0f}%: {', '.join(regressions)}")

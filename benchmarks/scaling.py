@@ -26,21 +26,48 @@ least 2x faster than serial (on smaller hosts the speedup is recorded
 but the wall-clock gate is reported as skipped — equivalence is always
 enforced).
 
-Results land in ``BENCH_PR5.json`` at the repo root.  Speedup numbers
+The **columnar tier** measures the struct-of-arrays agent-state core
+(:mod:`repro.world.columnar`) against the object/dict society it
+replaces, phase by phase: society build (typed columns + bulk identity
+registration vs dict genesis + per-agent loop), one epoch of ledger
+writes (``AgentTable.apply_transfers`` vs per-tx ``LedgerState.apply``),
+privacy-budget charging (the vectorized ``charge_many`` column kernel
+vs the dict loop), and the per-epoch trust-top readout (solved-vector
+``max`` vs materialising the full trust dict).  At the 10k tier the two
+implementations are asserted **exactly equivalent** — balances, nonces,
+budget accept/refuse decisions, bit-level spent accumulators, trust
+tops — and a columnar-vs-object ``run_load`` pair must produce
+byte-identical metrics; at the 100k tier the combined columnar speedup
+over the recurring epoch phases is gated at >= 3x (society build is
+one-time setup, reported but not gated).  The optional 1,000,000-agent tier (full mode or
+``--million``) runs the whole load workload column-backed at a
+population the object path cannot reasonably host, and reports column
+bytes/agent (gated at <= 64) plus peak RSS.
+
+Results land in ``BENCH_PR8.json`` at the repo root.  Speedup numbers
 are optimised-vs-naive on the same machine and the same data, so they
 are meaningful regardless of host speed.
 
 Usage
 -----
 ``python -m benchmarks.scaling``
-    Full run: all three tiers, 1M-sample sketch check, workers tier.
+    Full run: all three tiers, 1M-sample sketch check, columnar tiers
+    (including the 1M-agent tier), workers tier.
 
 ``python -m benchmarks.scaling --smoke``
     Reduced repetitions and a 200k-sample sketch check; finishes well
     under 90 seconds (the ``make bench-scaling`` target).
 
+``python -m benchmarks.scaling --smoke --million``
+    Smoke plus the 1M-agent columnar tier.
+
 ``python -m benchmarks.scaling --parallel-only``
     Just the workers tier (the ``make bench-parallel`` target).
+
+``python -m benchmarks.scaling --columnar-only``
+    Just the columnar 10k equivalence tier: columnar-vs-object byte
+    equality on load metrics plus the bytes/agent ceiling (the
+    ``make bench-columnar`` target).
 """
 
 from __future__ import annotations
@@ -65,15 +92,23 @@ from repro.governance.moderation import (
 from repro.governance.sanctions import GraduatedSanctionPolicy
 from repro.ledger.mempool import Mempool, _fee_key
 from repro.ledger.state import LedgerState
+from repro.privacy.budget import PrivacyBudget
 from repro.reputation.eigentrust import EigenTrust
+from repro.reputation.system import ReputationSystem
 from repro.sim.metrics import Histogram, SketchHistogram
 from repro.social.graph import SocialGraph
 from repro.social.misinformation import MisinformationModel
 from repro.workloads.generators import synthetic_interaction_batch
-from repro.workloads.load import agent_address, run_load, synthetic_transfer
+from repro.workloads.load import (
+    agent_address,
+    agent_addresses,
+    run_load,
+    synthetic_transfer,
+)
+from repro.world.columnar import AgentTable
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-REPORT_PATH = REPO_ROOT / "BENCH_PR5.json"
+REPORT_PATH = REPO_ROOT / "BENCH_PR8.json"
 SEED = 2022
 TIERS = (1_000, 10_000, 100_000)
 # The acceptance bar: indexed paths at the 10k tier must beat the naive
@@ -85,6 +120,14 @@ BLOCK_PICKS = 200
 REQUIRED_PARALLEL_SPEEDUP = 2.0
 PARALLEL_GATE_CORES = 4
 PARALLEL_GATE_TIER = 100_000
+# The columnar acceptance bar: the struct-of-arrays core must beat the
+# object/dict society >= 3x on the combined load phases at 100k agents,
+# and its hot per-agent state must stay under 64 column bytes (the
+# actual table is 37; the ceiling leaves headroom for future columns).
+REQUIRED_COLUMNAR_SPEEDUP = 3.0
+COLUMNAR_GATE_TIER = 100_000
+COLUMNAR_BYTES_PER_AGENT_CEILING = 64.0
+COLUMNAR_MILLION_TIER = 1_000_000
 
 
 # ----------------------------------------------------------------------
@@ -562,15 +605,334 @@ def bench_sketch(smoke: bool) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Columnar agent-state core: struct-of-arrays vs object/dict society
+# ----------------------------------------------------------------------
+def bench_columnar_kernels(n_agents: int, smoke: bool) -> Dict[str, Any]:
+    """The load phases, columnar vs the object/dict implementations.
+
+    Four phases, each timed best-of-``reps`` on identical pre-generated
+    data: society build, one epoch of ledger writes, one privacy-budget
+    charge batch, and the per-epoch trust-top readout.  At <= 10k agents
+    the two implementations are additionally asserted *exactly*
+    equivalent — every balance, nonce, accept/refuse decision, bit-level
+    spent accumulator, and trust top.  The object ledger loop pays the
+    full per-tx pipeline (``require_valid`` included) because that is
+    what each transaction costs on the dict path; transaction
+    construction is excluded from both sides.
+
+    ``combined_speedup`` covers the three *recurring* load phases — the
+    work an epoch repeats.  Society build is one-time setup, reported
+    with its own speedup but not gated: both sides of it are dominated
+    by building Python dict/set structures over 64-char address strings
+    (the columnar side its interner, the object side its genesis dict
+    and per-agent registration), so it is roughly a wash and says
+    nothing about steady-state throughput.
+    """
+    rng = np.random.default_rng(SEED)
+    addresses = agent_addresses(n_agents)
+    pretrusted = addresses[: max(1, n_agents // 1000)]
+    check = n_agents <= 10_000  # exact-equivalence tier
+    reps = 2 if smoke else 3
+
+    # -- society build: typed columns + bulk registration vs dicts + loop
+    best_col = math.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        table = AgentTable(addresses, initial_balance=1_000_000, privacy_cap=1.0)
+        rep_col = ReputationSystem(pretrusted=pretrusted)
+        rep_col.register_identities(addresses)
+        best_col = min(best_col, time.perf_counter() - t0)
+    best_obj = math.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        balances = {address: 1_000_000 for address in addresses}
+        rep_obj = ReputationSystem(pretrusted=pretrusted)
+        for address in addresses:
+            rep_obj.register_identity(address)
+        best_obj = min(best_obj, time.perf_counter() - t0)
+    society = {"columnar_seconds": best_col, "object_seconds": best_obj}
+    if check:
+        state_view = LedgerState.from_columns(table)
+        step = max(1, n_agents // 256)
+        for address in addresses[::step]:
+            if state_view.balance_of(address) != balances[address]:
+                raise AssertionError("columnar genesis diverged from dict")
+        if rep_col._eigentrust._identities != rep_obj._eigentrust._identities:
+            raise AssertionError("bulk registration diverged from loop")
+
+    # -- one epoch of ledger writes: bulk column kernel vs per-tx apply
+    n_txs = max(500, n_agents // 25)
+    senders_idx = rng.integers(0, n_agents, size=n_txs)
+    recipients_idx = (
+        senders_idx + 1 + rng.integers(0, n_agents - 1, size=n_txs)
+    ) % n_agents
+    amounts = rng.integers(1, 100, size=n_txs)
+    fees = rng.integers(1, 10, size=n_txs)
+    # Consecutive nonces per sender in batch order (base nonces are 0).
+    order = np.argsort(senders_idx, kind="stable")
+    sorted_senders = senders_idx[order]
+    boundary = np.r_[True, sorted_senders[1:] != sorted_senders[:-1]]
+    starts = np.flatnonzero(boundary)
+    ranks = np.empty(n_txs, dtype=np.int64)
+    ranks[order] = np.arange(n_txs, dtype=np.int64) - starts[
+        np.cumsum(boundary) - 1
+    ]
+    nonces = ranks
+    stxs = [
+        synthetic_transfer(
+            addresses[s],
+            addresses[r],
+            amount=int(a),
+            fee=int(f),
+            nonce=int(nn),
+        )
+        for s, r, a, f, nn in zip(senders_idx, recipients_idx, amounts, fees, nonces)
+    ]
+    best_col = math.inf
+    for _ in range(reps):
+        fresh = AgentTable(addresses, initial_balance=1_000_000)
+        sink = np.zeros(1, dtype=np.int64)
+        t0 = time.perf_counter()
+        fresh.apply_transfers(
+            senders_idx, recipients_idx, amounts, fees, nonces=nonces, fee_sink=sink
+        )
+        best_col = min(best_col, time.perf_counter() - t0)
+    obj_reps = 1 if smoke or n_agents >= 100_000 else reps
+    best_obj = math.inf
+    for _ in range(obj_reps):
+        state = LedgerState({address: 1_000_000 for address in addresses})
+        t0 = time.perf_counter()
+        for stx in stxs:
+            state.apply(stx)
+        best_obj = min(best_obj, time.perf_counter() - t0)
+    ledger = {"n_txs": n_txs, "columnar_seconds": best_col, "object_seconds": best_obj}
+    if check:
+        table_eq = AgentTable(addresses, initial_balance=1_000_000)
+        sink = np.zeros(1, dtype=np.int64)
+        table_eq.apply_transfers(
+            senders_idx, recipients_idx, amounts, fees, nonces=nonces, fee_sink=sink
+        )
+        state_eq = LedgerState({address: 1_000_000 for address in addresses})
+        for stx in stxs:
+            state_eq.apply(stx)
+        for i, address in enumerate(addresses):
+            if state_eq.balance_of(address) != int(table_eq.balances[i]) or (
+                state_eq.nonce_of(address) != int(table_eq.nonces[i])
+            ):
+                raise AssertionError("bulk apply diverged from per-tx apply")
+        if int(sink[0]) != int(fees.sum()):
+            raise AssertionError("fee sink diverged from per-tx fee burn")
+
+    # -- privacy-budget charging: vectorized column kernel vs dict loop
+    n_hot = max(8, n_agents // 100)
+    hot_idx = np.arange(n_agents, dtype=np.int64)[:: max(1, n_agents // n_hot)][:n_hot]
+    subjects_idx = np.repeat(hot_idx, 5)
+    rng.shuffle(subjects_idx)
+    eps_list = rng.choice(np.array([0.05, 0.2, 0.45]), size=subjects_idx.size).tolist()
+    subjects = [addresses[i] for i in subjects_idx]
+    best_col = math.inf
+    for _ in range(reps):
+        table.privacy_spent[:] = 0.0
+        budget_col = PrivacyBudget.from_table(table)
+        t0 = time.perf_counter()
+        col_accepted = budget_col.charge_many(subjects, eps_list, record_ledger=False)
+        best_col = min(best_col, time.perf_counter() - t0)
+    best_obj = math.inf
+    for _ in range(reps):
+        budget_obj = PrivacyBudget(default_cap=1.0)
+        t0 = time.perf_counter()
+        obj_accepted = budget_obj.charge_many(subjects, eps_list, record_ledger=False)
+        best_obj = min(best_obj, time.perf_counter() - t0)
+    budget = {
+        "n_charges": len(subjects),
+        "accepted": int(sum(col_accepted)),
+        "columnar_seconds": best_col,
+        "object_seconds": best_obj,
+    }
+    if col_accepted != obj_accepted:
+        raise AssertionError("columnar charge decisions diverged from loop")
+    if check:
+        for i in hot_idx:
+            if budget_obj.spent(addresses[i]) != float(table.privacy_spent[i]):
+                raise AssertionError("columnar spent accumulator diverged")
+
+    # -- per-epoch trust-top readout: solved-vector max vs full dict
+    n_edges = max(200, n_agents // 20)
+    raters = rng.integers(0, n_agents, size=n_edges)
+    targets = (raters + 1 + rng.integers(0, n_agents - 1, size=n_edges)) % n_agents
+    for a, b in zip(raters, targets):
+        rep_col.record(addresses[a], addresses[b], positive=True)
+        rep_obj.record(addresses[a], addresses[b], positive=True)
+    top_col = rep_col.global_trust_top()  # first solve (untimed, both)
+    top_obj = max(rep_obj.global_trust().values())
+    readouts = 3 if smoke else 5
+    t0 = time.perf_counter()
+    for _ in range(readouts):
+        rep_col._global_cache = None
+        top_col = rep_col.global_trust_top()
+    col_readout = (time.perf_counter() - t0) / readouts
+    t0 = time.perf_counter()
+    for _ in range(readouts):
+        rep_obj._global_cache = None
+        top_obj = max(rep_obj.global_trust().values())
+    obj_readout = (time.perf_counter() - t0) / readouts
+    if top_col != top_obj:
+        raise AssertionError("columnar trust top diverged from dict max")
+    trust = {
+        "n_edges": n_edges,
+        "top_trust": top_col,
+        "columnar_seconds": col_readout,
+        "object_seconds": obj_readout,
+    }
+
+    phases = {
+        "society_build": society,
+        "ledger_epoch_apply": ledger,
+        "budget_charge": budget,
+        "trust_readout": trust,
+    }
+    for stats in phases.values():
+        stats["speedup_vs_object"] = stats["object_seconds"] / stats["columnar_seconds"]
+    epoch_phases = ("ledger_epoch_apply", "budget_charge", "trust_readout")
+    col_total = sum(phases[name]["columnar_seconds"] for name in epoch_phases)
+    obj_total = sum(phases[name]["object_seconds"] for name in epoch_phases)
+    return {
+        "n_agents": n_agents,
+        "bytes_per_agent": table.bytes_per_agent,
+        "phases": phases,
+        "epoch_phases": list(epoch_phases),
+        "columnar_seconds": col_total,
+        "object_seconds": obj_total,
+        "combined_speedup": obj_total / col_total,
+        "exact_equivalence_checked": check,
+    }
+
+
+def bench_columnar_load(n_agents: int, smoke: bool) -> Dict[str, Any]:
+    """``run_load`` column-backed vs object-backed, byte for byte.
+
+    The columnar path must reproduce the object path's metrics payload
+    exactly (the property suite and tests pin trace-level equality; this
+    guards the benchmark's own tier) and keep its hot per-agent state
+    under the column-bytes ceiling.
+    """
+    kwargs = dict(
+        n_agents=n_agents,
+        epochs=2,
+        seed=SEED,
+        txs_per_epoch=500 if smoke else 1_000,
+        ratings_per_epoch=250 if smoke else 500,
+        reports_per_epoch=100 if smoke else 200,
+        votes_per_epoch=150 if smoke else 300,
+        interactions_per_epoch=1_000 if smoke else 2_000,
+        frames_per_epoch=1_000 if smoke else 2_000,
+    )
+    t0 = time.perf_counter()
+    columnar = run_load(columnar=True, **kwargs)
+    columnar_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    objback = run_load(columnar=False, **kwargs)
+    object_seconds = time.perf_counter() - t0
+    if json.dumps(columnar.metrics, sort_keys=True) != json.dumps(
+        objback.metrics, sort_keys=True
+    ):
+        raise AssertionError(
+            f"columnar run_load diverged from object path at n_agents={n_agents}"
+        )
+    if columnar.table_bytes_per_agent > COLUMNAR_BYTES_PER_AGENT_CEILING:
+        raise AssertionError(
+            f"column bytes/agent {columnar.table_bytes_per_agent:.1f} exceeds "
+            f"ceiling {COLUMNAR_BYTES_PER_AGENT_CEILING}"
+        )
+    return {
+        "n_agents": n_agents,
+        "epochs": kwargs["epochs"],
+        "columnar_seconds": columnar_seconds,
+        "object_seconds": object_seconds,
+        "speedup_vs_object": object_seconds / columnar_seconds,
+        "table_bytes_per_agent": columnar.table_bytes_per_agent,
+        "chain_height": columnar.chain_height,
+        "frames_offered": columnar.frames_offered,
+        "byte_identical": True,
+    }
+
+
+def bench_columnar_million() -> Dict[str, Any]:
+    """The 1,000,000-agent tier: the full load workload, column-backed.
+
+    No object-path comparison here — at this population the dict society
+    is the thing being retired.  The interesting numbers are that the
+    run *completes*, its column bytes/agent, ops/s, and peak RSS (which
+    is dominated by the interned address strings, not the columns).
+    """
+    import resource
+
+    n_agents = COLUMNAR_MILLION_TIER
+    kwargs = dict(
+        n_agents=n_agents,
+        epochs=2,
+        seed=SEED,
+        txs_per_epoch=2_000,
+        ratings_per_epoch=1_000,
+        reports_per_epoch=400,
+        votes_per_epoch=500,
+        interactions_per_epoch=4_000,
+        frames_per_epoch=4_000,
+        cascade_members=2_000,
+        columnar=True,
+    )
+    t0 = time.perf_counter()
+    result = run_load(**kwargs)
+    seconds = time.perf_counter() - t0
+    peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    total_ops = (
+        result.txs_submitted
+        + result.ratings_recorded
+        + result.reports_filed
+        + result.votes_cast
+        + result.interactions_processed
+        + result.frames_offered
+    )
+    return {
+        "n_agents": n_agents,
+        "epochs": kwargs["epochs"],
+        "seconds": seconds,
+        "total_ops": total_ops,
+        "ops_per_second": total_ops / seconds if seconds > 0 else math.inf,
+        "table_bytes_per_agent": result.table_bytes_per_agent,
+        "peak_rss_mib": peak_rss_kib / 1024.0,
+        "chain_height": result.chain_height,
+        "txs_included": result.txs_included,
+        "frames_offered": result.frames_offered,
+        "cascade_reach": result.cascade_reach,
+        "completed": True,
+    }
+
+
+# ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
-def run_suite(smoke: bool, parallel_only: bool = False) -> Dict[str, Any]:
+def run_suite(
+    smoke: bool,
+    parallel_only: bool = False,
+    columnar_only: bool = False,
+    million: bool = False,
+) -> Dict[str, Any]:
     report: Dict[str, Any] = {
         "suite": "benchmarks/scaling.py",
         "seed": SEED,
         "smoke": smoke,
         "tiers": {},
     }
+    if columnar_only:
+        # The make bench-columnar gate: 10k-tier exact equivalence
+        # (kernels + run_load metrics bytes) and the bytes/agent ceiling.
+        print("columnar kernels tier 10000 ...", flush=True)
+        report["columnar"] = {
+            "kernels": {"10000": bench_columnar_kernels(10_000, smoke=True)},
+            "load_equivalence": bench_columnar_load(10_000, smoke=True),
+        }
+        return report
     if not parallel_only:
         for tier in TIERS:
             print(f"tier {tier} ...", flush=True)
@@ -582,6 +944,15 @@ def run_suite(smoke: bool, parallel_only: bool = False) -> Dict[str, Any]:
                 "load_workload": bench_load(tier, smoke),
             }
         report["sketch"] = bench_sketch(smoke)
+        columnar: Dict[str, Any] = {"kernels": {}}
+        for tier in (10_000, COLUMNAR_GATE_TIER):
+            print(f"columnar kernels tier {tier} ...", flush=True)
+            columnar["kernels"][str(tier)] = bench_columnar_kernels(tier, smoke)
+        columnar["load_equivalence"] = bench_columnar_load(10_000, smoke)
+        if million or not smoke:
+            print(f"columnar tier {COLUMNAR_MILLION_TIER} ...", flush=True)
+            columnar["million"] = bench_columnar_million()
+        report["columnar"] = columnar
     # The workers tier runs at the gate tier (100k agents full mode,
     # 10k in smoke so CI stays fast); equivalence is asserted inside.
     parallel_tier = 10_000 if smoke else PARALLEL_GATE_TIER
@@ -612,6 +983,35 @@ def check_gates(report: Dict[str, Any]) -> List[str]:
                 f"sketch rank error {report['sketch']['worst_rank_error']:.4f} "
                 "exceeds the documented 1% tolerance"
             )
+    columnar = report.get("columnar")
+    if columnar is not None:
+        for tier, kernels in columnar["kernels"].items():
+            if kernels["bytes_per_agent"] > COLUMNAR_BYTES_PER_AGENT_CEILING:
+                failures.append(
+                    f"columnar bytes/agent at {tier}: "
+                    f"{kernels['bytes_per_agent']:.1f} > "
+                    f"{COLUMNAR_BYTES_PER_AGENT_CEILING} ceiling"
+                )
+        gate_kernels = columnar["kernels"].get(str(COLUMNAR_GATE_TIER))
+        if gate_kernels is not None:
+            speedup = gate_kernels["combined_speedup"]
+            if speedup < REQUIRED_COLUMNAR_SPEEDUP:
+                failures.append(
+                    f"columnar combined speedup at {COLUMNAR_GATE_TIER}: "
+                    f"{speedup:.2f}x < {REQUIRED_COLUMNAR_SPEEDUP}x required"
+                )
+        load_eq = columnar.get("load_equivalence")
+        if load_eq is not None and not load_eq["byte_identical"]:
+            failures.append("columnar run_load metrics not byte-identical")
+        million = columnar.get("million")
+        if million is not None:
+            if not million["completed"]:
+                failures.append("1M-agent columnar tier did not complete")
+            if million["table_bytes_per_agent"] > COLUMNAR_BYTES_PER_AGENT_CEILING:
+                failures.append(
+                    f"1M tier bytes/agent {million['table_bytes_per_agent']:.1f} "
+                    f"> {COLUMNAR_BYTES_PER_AGENT_CEILING} ceiling"
+                )
     parallel = report.get("parallel")
     if parallel is not None:
         speedup = parallel["workers"]["4"]["speedup_vs_serial"]
@@ -639,12 +1039,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run only the sharded-workers tier",
     )
     parser.add_argument(
+        "--columnar-only",
+        action="store_true",
+        help="run only the columnar 10k equivalence tier",
+    )
+    parser.add_argument(
+        "--million",
+        action="store_true",
+        help="include the 1M-agent columnar tier (implied by full mode)",
+    )
+    parser.add_argument(
         "--report", type=Path, default=REPORT_PATH, help="output JSON path"
     )
     args = parser.parse_args(argv)
 
     t0 = time.perf_counter()
-    report = run_suite(smoke=args.smoke, parallel_only=args.parallel_only)
+    report = run_suite(
+        smoke=args.smoke,
+        parallel_only=args.parallel_only,
+        columnar_only=args.columnar_only,
+        million=args.million,
+    )
     report["wall_seconds"] = time.perf_counter() - t0
 
     args.report.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -671,16 +1086,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{sk['centroid_count']} centroids, "
             f"worst rank error {sk['worst_rank_error']*100:.3f}%"
         )
-    par = report["parallel"]
-    worker_cols = " | ".join(
-        f"workers={k} {par['workers'][k]['seconds']:6.1f}s "
-        f"({par['workers'][k]['speedup_vs_serial']:.2f}x)"
-        for k in sorted(par["workers"], key=int)
-    )
-    print(
-        f"  parallel {par['n_agents']:>7,} agents, {par['n_shards']} shards: "
-        f"{worker_cols} (byte-identical, {par['cpu_count']} core(s))"
-    )
+    columnar = report.get("columnar")
+    if columnar is not None:
+        for tier, kernels in sorted(
+            columnar["kernels"].items(), key=lambda kv: int(kv[0])
+        ):
+            per_phase = " | ".join(
+                f"{name} {stats['speedup_vs_object']:5.1f}x"
+                for name, stats in kernels["phases"].items()
+            )
+            print(
+                f"  columnar {int(tier):>7,} agents: {per_phase} | "
+                f"combined {kernels['combined_speedup']:.1f}x, "
+                f"{kernels['bytes_per_agent']:.0f} B/agent"
+            )
+        load_eq = columnar.get("load_equivalence")
+        if load_eq is not None:
+            print(
+                f"  columnar load {load_eq['n_agents']:>7,} agents: "
+                f"{load_eq['speedup_vs_object']:.2f}x vs object "
+                f"(byte-identical metrics, "
+                f"{load_eq['table_bytes_per_agent']:.0f} B/agent)"
+            )
+        million = columnar.get("million")
+        if million is not None:
+            print(
+                f"  columnar {million['n_agents']:>9,} agents: "
+                f"{million['seconds']:.1f}s, "
+                f"{million['ops_per_second']:,.0f} ops/s, "
+                f"{million['table_bytes_per_agent']:.0f} B/agent columns, "
+                f"peak RSS {million['peak_rss_mib']:,.0f} MiB"
+            )
+    par = report.get("parallel")
+    if par is not None:
+        worker_cols = " | ".join(
+            f"workers={k} {par['workers'][k]['seconds']:6.1f}s "
+            f"({par['workers'][k]['speedup_vs_serial']:.2f}x)"
+            for k in sorted(par["workers"], key=int)
+        )
+        print(
+            f"  parallel {par['n_agents']:>7,} agents, {par['n_shards']} shards: "
+            f"{worker_cols} (byte-identical, {par['cpu_count']} core(s))"
+        )
 
     failures = check_gates(report)
     for failure in failures:

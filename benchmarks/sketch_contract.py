@@ -1,0 +1,64 @@
+"""Shared sketch-backed streaming contract for the E-bench suite.
+
+Every E-bench streams one of its natural per-item quantities (frame
+distortions, case latencies, sale prices, per-record costs, ...) into a
+sketch-backed :class:`~repro.sim.metrics.MetricsRegistry` histogram —
+bounded memory regardless of stream length — while keeping the exact
+samples on the side, and then asserts the sketch's documented ≤1%
+rank-error contract against the exact empirical distribution.
+
+The tolerance is ``0.01 + 1/n``: the documented 1% rank error plus the
+one-sample discretisation floor of a finite empirical CDF.  Ties make a
+value's empirical rank an interval (``bisect_left .. bisect_right``);
+the error is the distance from the target rank to that interval.
+"""
+
+import bisect
+from typing import Iterable, List, Sequence
+
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["DEFAULT_QUANTILES", "SketchStream"]
+
+DEFAULT_QUANTILES = (5, 25, 50, 75, 95)
+
+
+class SketchStream:
+    """A sketch histogram and its exact reference stream, side by side."""
+
+    def __init__(self, name: str):
+        self._registry = MetricsRegistry(histogram_backend="sketch")
+        self.sketch = self._registry.histogram(name)
+        self.exact: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sketch.observe(value)
+        self.exact.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def assert_rank_contract(
+        self, quantiles: Sequence[float] = DEFAULT_QUANTILES
+    ) -> None:
+        """Sketch quantiles must hit the exact stream within ≤1% rank
+        error (plus the finite-sample floor); counts and extremes must
+        be exact."""
+        exact = sorted(self.exact)
+        n = len(exact)
+        assert n > 0, "no samples streamed into the sketch"
+        assert self.sketch.count == n
+        assert self.sketch.minimum == exact[0]
+        assert self.sketch.maximum == exact[-1]
+        tolerance = 0.01 + 1.0 / n
+        for q in quantiles:
+            approx = self.sketch.percentile(q)
+            lo = bisect.bisect_left(exact, approx) / n
+            hi = bisect.bisect_right(exact, approx) / n
+            rank_error = max(0.0, lo - q / 100.0, q / 100.0 - hi)
+            assert rank_error <= tolerance, (
+                f"q={q}: rank error {rank_error:.4f} exceeds "
+                f"{tolerance:.4f} over {n} samples"
+            )

@@ -40,6 +40,11 @@ class Blockchain:
         Proposer-eligibility strategy (PoA or PoS).
     genesis_balances:
         Initial token allocation.
+    genesis_state:
+        Pre-built genesis :class:`LedgerState` — e.g.
+        :meth:`LedgerState.from_columns` over an ``AgentTable`` so a
+        million-agent genesis never builds a dict.  Mutually exclusive
+        with ``genesis_balances``.
     contracts:
         Registry executing CONTRACT/MINT transactions; a fresh empty
         registry is created if omitted.
@@ -51,10 +56,14 @@ class Blockchain:
         genesis_balances: Optional[Dict[str, int]] = None,
         contracts: Optional[ContractRegistry] = None,
         obs: Optional[Instrumentation] = None,
+        genesis_state: Optional[LedgerState] = None,
     ):
         self.consensus = consensus
         self.contracts = contracts if contracts is not None else ContractRegistry()
-        genesis_state = LedgerState(genesis_balances or {})
+        if genesis_state is None:
+            genesis_state = LedgerState(genesis_balances or {})
+        elif genesis_balances is not None:
+            raise ValueError("pass genesis_balances or genesis_state, not both")
         self._genesis = Block(
             height=0,
             prev_hash=GENESIS_PREV_HASH,

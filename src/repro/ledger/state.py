@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from collections.abc import Mapping, MutableMapping
 from itertools import islice
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.world.columnar import AgentTable
 
 from repro.errors import InvalidTransactionError
 from repro.ledger.transactions import SignedTransaction, TxKind
@@ -47,10 +50,36 @@ class _CowMap(MutableMapping):
 
     def __init__(self, parent: Optional[Mapping] = None):
         if isinstance(parent, _CowMap) and parent._depth >= _FLATTEN_DEPTH:
-            parent = parent._merged()
+            parent = parent._compacted()
         self._parent = parent
         self._local: Dict = {}
         self._depth = parent._depth + 1 if isinstance(parent, _CowMap) else 1
+
+    def _compacted(self):
+        """Collapse the overlay chain to at most one layer.
+
+        A plain-dict (or absent) base is fully materialised, as the
+        original flatten did.  Any other base — e.g. a columnar
+        :class:`~repro.world.columnar.ColumnMap` over a million-agent
+        table — stays the bottom layer untouched and only the overlay
+        deltas fold into a single dict, keeping the flatten O(touched
+        keys) instead of O(population)."""
+        layers = []
+        node: Any = self
+        while isinstance(node, _CowMap):
+            layers.append(node._local)
+            node = node._parent
+        if node is None or type(node) is dict:
+            base = dict(node) if node else {}
+            for local in reversed(layers):
+                base.update(local)
+            return base
+        deltas: Dict = {}
+        for local in reversed(layers):
+            deltas.update(local)
+        folded = type(self)(node)
+        folded._local = deltas
+        return folded
 
     def _merged(self) -> Dict:
         """Materialise the full mapping (newest layer wins)."""
@@ -224,6 +253,30 @@ class LedgerState:
         self.stakes: Dict[str, int] = {}
         self.contract_storage: Dict[str, Dict[str, Any]] = {}
         self.records: list = []  # applied RECORD payloads, in order
+
+    @classmethod
+    def from_columns(cls, table: "AgentTable") -> "LedgerState":
+        """Genesis state whose balances read straight from an
+        :class:`~repro.world.columnar.AgentTable` balance column — no
+        million-entry genesis dict is ever built.
+
+        The table's columns become the frozen copy-on-write base: blocks
+        apply to :meth:`child` overlays exactly as with a dict genesis,
+        so the columns must not be mutated after the chain starts (same
+        contract as any parent snapshot).  Nonces/stakes start empty,
+        matching ``LedgerState({addr: bal, ...})`` semantics where
+        absent keys read as zero.
+        """
+        balances = table.balances
+        if balances.size and int(balances.min()) < 0:
+            raise ValueError("negative initial balance in column")
+        state = cls.__new__(cls)
+        state.balances = table.balance_map()
+        state.nonces = {}
+        state.stakes = {}
+        state.contract_storage = {}
+        state.records = []
+        return state
 
     # ------------------------------------------------------------------
     # Queries

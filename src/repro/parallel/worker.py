@@ -95,9 +95,14 @@ class ShardTask:
     frame_count: int
     # Snapshot state: sender nonce chains (global index -> next nonce;
     # senders never seen on-chain are omitted) and hot-subject spends
-    # (aligned with ``plan.hot_subjects_of(shard)``).
+    # (aligned with ``plan.hot_subjects_of(shard)``).  The columnar load
+    # path ships ``base_nonce_slice`` — the shard's contiguous int32
+    # nonce-column slice, indexed by ``sender - lo`` — instead of the
+    # per-agent dict, and ``hot_spent`` as a float64 array instead of a
+    # tuple; both carry the same values, so results are byte-identical.
     base_nonces: Dict[int, int] = field(default_factory=dict)
-    hot_spent: Tuple[float, ...] = ()
+    base_nonce_slice: Optional[np.ndarray] = None
+    hot_spent: "Tuple[float, ...] | np.ndarray" = ()
     # Privacy-phase constants.
     privacy_cap: float = 4.0
     channels: Tuple[Tuple[str, float], ...] = ()
@@ -163,9 +168,9 @@ def _addresses(n_agents: int) -> List[str]:
     """The agent address table, built once per process per population."""
     table = _ADDRESS_CACHE.get(n_agents)
     if table is None:
-        from repro.workloads.load import agent_address
+        from repro.workloads.load import agent_addresses
 
-        table = [agent_address(i) for i in range(n_agents)]
+        table = agent_addresses(n_agents)
         _ADDRESS_CACHE[n_agents] = table
     return table
 
@@ -288,7 +293,27 @@ def _generate_transactions(
     from repro.workloads.load import SyntheticSignedTransaction
 
     rng = task.plan.rng(task.shard, task.epoch, Phase.TRANSACTIONS)
-    nonces = dict(task.base_nonces)
+    if task.base_nonce_slice is not None:
+        # Columnar shipping: the shard's contiguous nonce-column slice,
+        # indexed by sender - lo.  Same values as the dict snapshot, so
+        # the generated transactions are byte-identical.
+        nonce_slice = np.array(task.base_nonce_slice, dtype=np.int64)
+
+        def nonce_get(sender: int) -> int:
+            return int(nonce_slice[sender - lo])
+
+        def nonce_set(sender: int, value: int) -> None:
+            nonce_slice[sender - lo] = value
+
+    else:
+        nonces = dict(task.base_nonces)
+
+        def nonce_get(sender: int) -> int:
+            return nonces.get(sender, 0)
+
+        def nonce_set(sender: int, value: int) -> None:
+            nonces[sender] = value
+
     for _ in range(task.tx_count):
         sender = lo + int(rng.integers(size))
         recipient = int(rng.integers(task.plan.n_agents))
@@ -296,7 +321,7 @@ def _generate_transactions(
             recipient = (recipient + 1) % task.plan.n_agents
         amount = int(rng.integers(1, 51))
         fee = int(rng.integers(1, 101))
-        nonce = nonces.get(sender, 0)
+        nonce = nonce_get(sender)
         tx = Transaction(
             sender=addresses[sender],
             recipient=addresses[recipient],
@@ -310,10 +335,10 @@ def _generate_transactions(
         # nonce contiguity by construction); a failure is counted and the
         # transaction withheld from the barrier merge.
         stx = SyntheticSignedTransaction(tx)
-        if not stx.verify() or nonce != nonces.get(sender, 0):
+        if not stx.verify() or nonce != nonce_get(sender):
             result.tx_precheck_failures += 1
             continue
-        nonces[sender] = nonce + 1
+        nonce_set(sender, nonce + 1)
         result.tx_senders.append(sender)
         result.tx_recipients.append(recipient)
         result.tx_amounts.append(amount)

@@ -10,9 +10,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import PrivacyBudgetExceeded, PrivacyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.world.columnar import AgentTable
+
+# Below this batch size the vectorized columnar charge path costs more
+# in numpy dispatch than the plain loop saves.
+_VECTOR_MIN_BATCH = 8
 
 __all__ = ["BudgetLedgerEntry", "PrivacyBudget"]
 
@@ -45,6 +54,30 @@ class PrivacyBudget:
         self._caps: Dict[str, float] = {}
         self._spent: Dict[str, float] = {}
         self._ledger: List[BudgetLedgerEntry] = []
+        self._table: Optional["AgentTable"] = None  # columnar backing
+
+    @classmethod
+    def from_table(
+        cls, table: "AgentTable", default_cap: Optional[float] = None
+    ) -> "PrivacyBudget":
+        """Column-backed budget over an
+        :class:`~repro.world.columnar.AgentTable`.
+
+        Spent and cap accounting read and write the table's
+        ``privacy_spent`` / ``privacy_cap`` columns directly (dict views
+        for compatibility, vectorized :meth:`charge_many` straight into
+        the spent column for batches).  The cap column is expected to be
+        pre-filled with the default cap (``AgentTable(privacy_cap=...)``
+        does that); ``default_cap`` only governs subjects outside the
+        table and defaults to the column's fill value.
+        """
+        if default_cap is None:
+            default_cap = float(table.privacy_cap[0]) if len(table) else 10.0
+        budget = cls(default_cap=default_cap)
+        budget._caps = table.cap_map()
+        budget._spent = table.spent_map()
+        budget._table = table
+        return budget
 
     def set_cap(self, subject: str, cap: float) -> None:
         """Give ``subject`` a personal cap (their privacy preference)."""
@@ -121,6 +154,12 @@ class PrivacyBudget:
         keeps only the accumulator updates, for population-scale runs
         where a per-release ledger would dominate memory.
 
+        Column-backed budgets (:meth:`from_table`) route batches whose
+        subjects are all interned through a vectorized kernel writing
+        straight into the spent column; acceptance decisions, skip-not-
+        suffix refusal ordering, and float accumulation are bit-identical
+        to the sequential loop (the property suite pins this).
+
         Raises
         ------
         PrivacyError
@@ -133,6 +172,37 @@ class PrivacyBudget:
             raise PrivacyError(
                 f"subjects length {len(subjects)} != epsilons length {len(epsilons)}"
             )
+        table = self._table
+        if table is not None and len(subjects) >= _VECTOR_MIN_BATCH:
+            indices = table.interner.bulk_indices(subjects)
+            if indices is not None:  # all interned → column fast path
+                eps_arr = np.asarray(epsilons, dtype=np.float64)
+                if not np.isfinite(eps_arr).all() or (
+                    eps_arr.size and eps_arr.min() < 0
+                ):
+                    # Same validation as the loop below, vectorized; on
+                    # failure re-run the scalar checks for the exact
+                    # per-value error message.
+                    for epsilon in epsilons:
+                        self._check_epsilon(epsilon)
+                    raise PrivacyError(  # pragma: no cover - loop raises
+                        "invalid epsilon in batch"
+                    )
+                mask = table.charge_spent(indices, eps_arr)
+                accepted = mask.tolist()
+                if record_ledger:
+                    append = self._ledger.append
+                    for ok, subject, epsilon in zip(accepted, subjects, epsilons):
+                        if ok:
+                            append(
+                                BudgetLedgerEntry(
+                                    subject=subject,
+                                    epsilon=epsilon,
+                                    channel=channel,
+                                    time=time,
+                                )
+                            )
+                return accepted
         for epsilon in epsilons:
             self._check_epsilon(epsilon)
         spent = self._spent
@@ -161,4 +231,7 @@ class PrivacyBudget:
 
     def reset(self, subject: str) -> None:
         """New accounting period for ``subject``."""
-        self._spent.pop(subject, None)
+        if isinstance(self._spent, dict):
+            self._spent.pop(subject, None)
+        else:  # column-backed view: absent and zero read the same
+            self._spent[subject] = 0.0

@@ -157,6 +157,19 @@ class EigenTrust:
             self._dirty = True
             self._invalidate_index()
 
+    def add_identities(self, identities: Iterable[str]) -> None:
+        """Bulk :meth:`add_identity`: one set update and one index
+        invalidation for the whole batch, so registering a million-agent
+        society triggers one sorted-index rebuild instead of one per
+        agent."""
+        new = set(identities)
+        if self._identities:
+            new -= self._identities
+        if new:
+            self._identities.update(new)
+            self._dirty = True
+            self._invalidate_index()
+
     def _invalidate_index(self) -> None:
         """The identity set changed: the sorted index mapping (and every
         array aligned to it) is stale."""
@@ -429,3 +442,20 @@ class EigenTrust:
             return 0.0
         i = self._index(self.identities).get(identity)
         return float(trust[i]) if i is not None else 0.0
+
+    def max_trust(self, **kwargs) -> float:
+        """Largest global-trust value, read off the solved vector.
+
+        Unlike :meth:`compute` this never materialises the per-identity
+        dict — the columnar load path reads it once per epoch, which at
+        1M agents is the difference between an O(1) array max and
+        building a million-entry dict to throw away."""
+        max_iterations = kwargs.pop("max_iterations", 100)
+        tolerance = kwargs.pop("tolerance", 1e-9)
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        self._ensure_solved(max_iterations, tolerance)
+        trust = self._prev_trust_np
+        if trust is None or trust.size == 0:
+            return 0.0
+        return float(trust.max())

@@ -128,6 +128,11 @@ class ReputationSystem:
         """Make an identity visible to EigenTrust before any feedback."""
         self._eigentrust.add_identity(identity)
 
+    def register_identities(self, identities: Iterable[str]) -> None:
+        """Bulk :meth:`register_identity` — one index invalidation for
+        the whole society instead of one per agent."""
+        self._eigentrust.add_identities(identities)
+
     # ------------------------------------------------------------------
     # Scores
     # ------------------------------------------------------------------
@@ -146,6 +151,25 @@ class ReputationSystem:
                     self._eigentrust.last_sweep_count
                 )
         return self._global_cache
+
+    def global_trust_top(self) -> float:
+        """Max of :meth:`global_trust` without materialising the dict.
+
+        Solve-triggering and counter semantics are identical to a
+        :meth:`global_trust` cache miss, so metrics derived from either
+        read are interchangeable — the columnar load path uses this for
+        its per-epoch trust gauge at population scale."""
+        if self._global_cache is not None:
+            values = self._global_cache.values()
+            return max(values) if values else 0.0
+        computes_before = self._eigentrust.compute_count
+        top = self._eigentrust.max_trust()
+        if self._eigentrust.compute_count != computes_before:
+            self._obs.counter("reputation.trust.computes").inc()
+            self._obs.counter("reputation.trust.sweeps").inc(
+                self._eigentrust.last_sweep_count
+            )
+        return top
 
     @property
     def trust_compute_count(self) -> int:

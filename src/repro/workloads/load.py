@@ -69,6 +69,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.dao.dao import DAO
 from repro.dao.members import Member
 from repro.governance.moderation import (
@@ -81,6 +83,7 @@ from repro.governance.sanctions import GraduatedSanctionPolicy
 from repro.ledger.chain import Blockchain
 from repro.ledger.consensus import PoAConsensus
 from repro.ledger.crypto import sha256
+from repro.ledger.state import LedgerState
 from repro.ledger.transactions import Transaction, TxKind
 from repro.obs.exporters import trace_to_jsonl
 from repro.obs.instrument import Instrumentation
@@ -106,11 +109,13 @@ from repro.reputation.system import ReputationSystem
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import TraceLog
+from repro.world.columnar import AgentTable
 
 __all__ = [
     "SyntheticSignedTransaction",
     "synthetic_transfer",
     "agent_address",
+    "agent_addresses",
     "LoadRunResult",
     "run_load",
     "DEFAULT_CHANNELS",
@@ -164,9 +169,34 @@ def synthetic_transfer(
     )
 
 
+# Addresses are pure in the agent index, so one growing process-global
+# table serves every population size.  Hot per-epoch loops used to
+# re-format and re-hash the string on every call; now the first request
+# for a population bulk-generates the prefix once and every later call
+# is a list index.
+_ADDRESS_TABLE: List[str] = []
+
+
+def _extend_address_table(n: int) -> None:
+    start = len(_ADDRESS_TABLE)
+    _ADDRESS_TABLE.extend(
+        sha256(f"load-agent-{i}".encode()).hex() for i in range(start, n)
+    )
+
+
 def agent_address(i: int) -> str:
-    """Deterministic 32-byte hex address for synthetic agent ``i``."""
-    return sha256(f"load-agent-{i}".encode()).hex()
+    """Deterministic 32-byte hex address for synthetic agent ``i``
+    (served from the bulk-generated, memoized address table)."""
+    if i >= len(_ADDRESS_TABLE):
+        _extend_address_table(i + 1)
+    return _ADDRESS_TABLE[i]
+
+
+def agent_addresses(n: int) -> List[str]:
+    """The first ``n`` agent addresses as a list (bulk-generated)."""
+    if n > len(_ADDRESS_TABLE):
+        _extend_address_table(n)
+    return _ADDRESS_TABLE[:n]
 
 
 # Privacy-hot subjects are agent indices 0, HOT_STRIDE, 2*HOT_STRIDE, …
@@ -196,6 +226,7 @@ class LoadRunResult:
     epochs: int
     workers: int
     n_shards: int
+    columnar: bool
     chain_height: int
     txs_submitted: int
     txs_included: int
@@ -217,6 +248,8 @@ class LoadRunResult:
     cascade_cross: int
     metrics: Dict[str, Any]
     trace_jsonl: Optional[str] = None
+    # Column bytes per agent for the run's AgentTable (0.0 in object mode).
+    table_bytes_per_agent: float = 0.0
 
 
 def run_load(
@@ -238,6 +271,7 @@ def run_load(
     workers: int = 1,
     n_shards: Optional[int] = None,
     trace: bool = False,
+    columnar: bool = True,
 ) -> LoadRunResult:
     """Run the population-scale workload; see the module docstring.
 
@@ -252,6 +286,16 @@ def run_load(
     strided hot ~1% of the population so the cap actually binds.
     ``trace=True`` captures the obs-layer trace (parent epoch spans +
     merged worker spans + substrate spans) and returns its JSONL export.
+
+    ``columnar=True`` (the default) backs the society's hot state — the
+    genesis balances, the nonce tracker, and the privacy-budget
+    spent/cap accounting — with a struct-of-arrays
+    :class:`~repro.world.columnar.AgentTable` instead of per-agent dict
+    entries, and ships shard nonce/spend snapshots as array slices
+    instead of per-agent dicts.  This is purely a representation change:
+    metrics and traces are byte-identical to ``columnar=False`` (the
+    object-backed escape hatch, kept for equivalence testing — the
+    scaling bench and ``make bench-columnar`` assert the match).
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -277,19 +321,37 @@ def run_load(
             trace=trace_log, metrics=registry, run_id=f"load-{seed}"
         )
 
-    agents = [agent_address(i) for i in range(n_agents)]
+    agents = agent_addresses(n_agents)
     validator = sha256(b"load-validator").hex()
 
-    chain = Blockchain(
-        PoAConsensus([validator]),
-        genesis_balances={a: 1_000_000 for a in agents},
-    )
+    table: Optional[AgentTable] = None
+    if columnar:
+        # Struct-of-arrays hot state: genesis balances live in an int64
+        # column (the ledger's copy-on-write base), the nonce tracker in
+        # an int32 column shipped to shards as slices, and the privacy
+        # spent/cap accounting in float64 columns the budget charges
+        # directly.  No million-entry dict is ever built.
+        table = AgentTable(
+            agents, initial_balance=1_000_000, privacy_cap=privacy_cap
+        )
+        chain = Blockchain(
+            PoAConsensus([validator]),
+            genesis_state=LedgerState.from_columns(table),
+        )
+    else:
+        chain = Blockchain(
+            PoAConsensus([validator]),
+            genesis_balances={a: 1_000_000 for a in agents},
+        )
     reputation = ReputationSystem(pretrusted=agents[: max(1, n_agents // 1000)])
     # The whole population is known to the reputation layer up front, so
     # the per-epoch trust solve runs at population scale (the point of
     # this workload), not just over the handful of agents sampled so far.
-    for address in agents:
-        reputation.register_identity(address)
+    if columnar:
+        reputation.register_identities(agents)
+    else:
+        for address in agents:
+            reputation.register_identity(address)
 
     dao = DAO(name="load")
     for address in agents[:n_members]:
@@ -314,10 +376,17 @@ def run_load(
     # disclosure).  Workers predict its admissions; the barrier asserts.
     pipeline = PrivacyPipeline(
         consent=ConsentRegistry(),
-        budget=PrivacyBudget(default_cap=privacy_cap),
+        budget=(
+            PrivacyBudget.from_table(table)
+            if table is not None
+            else PrivacyBudget(default_cap=privacy_cap)
+        ),
         obs=obs,
     )
     hot_by_shard = [plan.hot_subjects_of(s) for s in range(plan.n_shards)]
+    hot_index_by_shard = [
+        np.asarray(hot, dtype=np.int64) for hot in hot_by_shard
+    ]
     for channel, epsilon in DEFAULT_CHANNELS:
         pipeline.set_pet(
             channel,
@@ -356,7 +425,12 @@ def run_load(
     ]
     vote_quota = split_weighted(votes_per_epoch, member_sizes)
 
+    # Cross-epoch nonce tracker the shard workers precheck against.
+    # Columnar mode keeps it in the table's int32 column and ships each
+    # shard its contiguous slice; object mode keeps per-shard dicts (and
+    # pays their per-entry pickling).
     shard_nonces: List[Dict[int, int]] = [{} for _ in range(plan.n_shards)]
+    shard_ranges = [plan.range_of(s) for s in range(plan.n_shards)]
     carries = [0] * plan.n_shards
 
     txs_submitted = txs_included = 0
@@ -383,10 +457,26 @@ def run_load(
                     vote_count=vote_quota[shard],
                     interaction_count=interaction_quota[shard],
                     frame_count=frame_quota[shard],
-                    base_nonces=dict(shard_nonces[shard]),
-                    hot_spent=tuple(
-                        pipeline.budget.spent(agents[subject])
-                        for subject in hot_by_shard[shard]
+                    base_nonces=(
+                        {} if table is not None
+                        else dict(shard_nonces[shard])
+                    ),
+                    base_nonce_slice=(
+                        table.nonces[
+                            shard_ranges[shard][0]:shard_ranges[shard][1]
+                        ].copy()
+                        if table is not None
+                        else None
+                    ),
+                    hot_spent=(
+                        # Fancy indexing copies: a frozen snapshot of the
+                        # shard's hot spends, shipped as a float64 array.
+                        table.privacy_spent[hot_index_by_shard[shard]]
+                        if table is not None
+                        else tuple(
+                            pipeline.budget.spent(agents[subject])
+                            for subject in hot_by_shard[shard]
+                        )
                     ),
                     privacy_cap=privacy_cap,
                     channels=DEFAULT_CHANNELS,
@@ -443,7 +533,10 @@ def run_load(
                                 f"worker-admitted tx {tx_id} refused by "
                                 "the authoritative mempool"
                             )
-                        shard_nonces[result.shard][s] = nonce + 1
+                        if table is not None:
+                            table.nonces[s] = nonce + 1
+                        else:
+                            shard_nonces[result.shard][s] = nonce + 1
                         txs_submitted += 1
                         registry.histogram("load.tx.fee").observe(float(fee))
                 while len(chain.mempool) > 0:
@@ -593,8 +686,14 @@ def run_load(
 
                 # Refresh global trust once per epoch: the warm-started
                 # sparse solve is the measured reputation write path.
-                trust = reputation.global_trust()
-                top = max(trust.values()) if trust else 0.0
+                # Columnar mode reads the top value off the solved vector
+                # without materialising the per-identity dict (the same
+                # float, asserted by the equivalence benches).
+                if columnar:
+                    top = reputation.global_trust_top()
+                else:
+                    trust = reputation.global_trust()
+                    top = max(trust.values()) if trust else 0.0
                 registry.gauge("load.trust.top").set(top)
                 registry.counter("load.epochs").inc()
             finally:
@@ -608,6 +707,7 @@ def run_load(
         epochs=epochs,
         workers=max(1, workers),
         n_shards=plan.n_shards,
+        columnar=columnar,
         chain_height=chain.height,
         txs_submitted=txs_submitted,
         txs_included=txs_included,
@@ -630,6 +730,9 @@ def run_load(
         metrics=registry.as_dict(),
         trace_jsonl=(
             trace_to_jsonl(trace_log) if trace_log is not None else None
+        ),
+        table_bytes_per_agent=(
+            table.bytes_per_agent if table is not None else 0.0
         ),
     )
 

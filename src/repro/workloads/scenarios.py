@@ -220,6 +220,7 @@ class MarketSeasonResult:
     stats: Dict[str, float]
     honest_creators_locked_out: int
     scammers_locked_out: int
+    sale_prices: List[float] = field(default_factory=list)
 
 
 def run_market_season(
@@ -294,4 +295,5 @@ def run_market_season(
         stats=dict(market.market_stats()),
         honest_creators_locked_out=len(locked - scammers),
         scammers_locked_out=len(locked & scammers),
+        sale_prices=[sale.price for sale in market.sales],
     )

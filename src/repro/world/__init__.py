@@ -7,6 +7,12 @@ potential-field redirected walking.
 """
 
 from repro.world.avatar import Avatar, AvatarStatus
+from repro.world.columnar import (
+    BYTES_PER_AGENT_COLUMNS,
+    AddressInterner,
+    AgentTable,
+    ColumnMap,
+)
 from repro.world.interactions import (
     Interaction,
     InteractionBatch,
@@ -19,8 +25,12 @@ from repro.world.space import SpatialGrid
 from repro.world.world import World
 
 __all__ = [
+    "AddressInterner",
+    "AgentTable",
     "Avatar",
     "AvatarStatus",
+    "BYTES_PER_AGENT_COLUMNS",
+    "ColumnMap",
     "Interaction",
     "InteractionBatch",
     "InteractionKind",
