@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving bench-columnar parallel-check obs-check serve-check slo-check ci
+.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving bench-columnar parallel-check steal-check obs-check serve-check slo-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,13 @@ bench-baseline:
 parallel-check:
 	$(PYTHON) -m repro.parallel.check
 
+# Work-stealing determinism gate: the weighted-plan load workload across
+# workers={1,2,4} with chunked stealing on and off must produce
+# byte-identical metrics AND traces, with every (shard, chunk) unit
+# executed exactly once.
+steal-check:
+	$(PYTHON) -m repro.parallel.steal_check
+
 # Serving determinism gate: one seeded open-loop scenario (flash crowd
 # included) through the full serving stack twice — metrics and traces
 # byte-identical, every middleware stage live (cache hits, sheds,
@@ -57,9 +64,12 @@ slo-check:
 bench-serving:
 	$(PYTHON) -m benchmarks.serving --smoke
 
-# Sharded-execution wall-clock tier only: serial vs workers={2,4} at the
-# 100k tier, equivalence asserted, >=2x speedup gated where >=4 cores
-# exist (recorded-but-skipped on smaller hosts).  Writes BENCH_PR5.json.
+# Sharded-execution wall-clock tiers only: serial vs workers={2,4} at
+# the 100k tier with equivalence asserted and >=2x speedup gated where
+# >=4 usable cores exist (loudly recorded-but-skipped on smaller
+# hosts), plus the shard-balance tier — equal vs cost-weighted plans
+# with the weighted whole-run imbalance gated <=1.25x at 100k and a
+# steal-on/steal-off wall-clock pair.  Writes BENCH_PR9.json.
 bench-parallel:
 	$(PYTHON) -m benchmarks.scaling --parallel-only
 
@@ -85,6 +95,9 @@ bench-scaling:
 
 # Everything a merge must pass, in one target.  bench-scaling's smoke
 # mode includes the workers tier (10k agents, workers={2,4} equivalence
-# asserts); parallel-check additionally pins trace-level equivalence;
-# bench-columnar pins the columnar/object byte-equivalence contract.
-ci: test bench-smoke bench-scaling bench-columnar parallel-check obs-check serve-check slo-check
+# asserts) and the shard-balance tier (equal vs weighted plans, steal
+# on/off equivalence); parallel-check additionally pins trace-level
+# equivalence; steal-check pins the stealing layer's byte-equivalence
+# and exactly-once accounting; bench-columnar pins the columnar/object
+# byte-equivalence contract.
+ci: test bench-smoke bench-scaling bench-columnar parallel-check steal-check obs-check serve-check slo-check

@@ -559,6 +559,99 @@ def kernel_privacy_batch_charge() -> Tuple[int, float]:
     return n, elapsed
 
 
+def kernel_plan_build_weighted() -> Tuple[int, float]:
+    """200 weighted shard-plan builds over a 50k-agent activity profile.
+
+    The per-epoch replan cost of the elastic sharding layer: blend the
+    heavy-tailed activity prior with an observed cost profile, cut
+    mass-balanced boundaries, and construct the plan.  Planning runs at
+    every epoch barrier, so it must stay far below any phase's actual
+    work.
+    """
+    import numpy as np
+
+    from repro.parallel import (
+        ShardPlan,
+        activity_weights,
+        blend_profile,
+        weighted_boundaries,
+    )
+
+    n_agents, n_shards, reps = 50_000, 16, 200
+    activity = activity_weights(SEED, n_agents)
+    observed = np.random.default_rng(SEED).integers(
+        0, 50, size=n_agents, dtype=np.int64
+    )
+    base = ShardPlan(
+        seed=SEED,
+        n_agents=n_agents,
+        n_shards=n_shards,
+        n_members=5_000,
+        hot_stride=50,
+    )
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        weights = blend_profile(activity, observed)
+        plan = base.with_boundaries(weighted_boundaries(weights, n_shards))
+    elapsed = time.perf_counter() - t0
+    assert plan.boundaries is not None and plan.boundaries[-1] == n_agents
+    return reps, elapsed
+
+
+def kernel_chunked_fold() -> Tuple[int, float]:
+    """Chunk, execute, and fold one 4-shard epoch of the load substrate.
+
+    The work-stealing layer's full overhead path: task slimming and
+    chunk identity, the per-phase chunk executions, exactly-once
+    verification, and the (shard, chunk)-ordered merge back into whole
+    shard results.
+    """
+    from repro.parallel import ShardPlan
+    from repro.parallel.steal import (
+        fold_chunk_results,
+        make_chunk_tasks,
+        run_shard_chunk,
+    )
+    from repro.parallel.worker import ShardTask
+    from repro.workloads.load import CONSENT_DENIED_MOD, DEFAULT_CHANNELS
+
+    n_shards = 4
+    plan = ShardPlan(
+        seed=SEED,
+        n_agents=800,
+        n_shards=n_shards,
+        n_members=200,
+        hot_stride=100,
+    )
+    tasks = [
+        ShardTask(
+            plan=plan,
+            shard=shard,
+            epoch=1,
+            tx_count=20,
+            rating_count=10,
+            report_count=5,
+            vote_count=8,
+            interaction_count=25,
+            frame_count=15,
+            hot_spent=tuple(0.0 for _ in plan.hot_subjects_of(shard)),
+            channels=DEFAULT_CHANNELS,
+            consent_denied_mod=CONSENT_DENIED_MOD,
+            cascade_members=40,
+            cascade_boundary=4,
+            trace=False,
+        )
+        for shard in range(n_shards)
+    ]
+    t0 = time.perf_counter()
+    chunks = make_chunk_tasks(tasks)
+    results = [run_shard_chunk(chunk) for chunk in chunks]
+    folded = fold_chunk_results(tasks, results)
+    elapsed = time.perf_counter() - t0
+    assert len(folded) == n_shards
+    return len(chunks), elapsed
+
+
 def kernel_serving_request_path() -> Tuple[int, float]:
     """A full seeded serving run, timed from the first loop event.
 
@@ -883,6 +976,8 @@ TRACKED_OPS: Dict[str, Kernel] = {
     "cascade_round_vectorized_2k": kernel_cascade_round_vectorized,
     "moderation_batch_classify_20k": kernel_moderation_batch_classify,
     "privacy_batch_charge_20k": kernel_privacy_batch_charge,
+    "plan_build_weighted_200": kernel_plan_build_weighted,
+    "chunked_fold_epoch_28": kernel_chunked_fold,
     "serving_request_path": kernel_serving_request_path,
     "serving_read_cache_50k": kernel_read_cache_lookup,
     "serving_admission_100k": kernel_admission_control,

@@ -44,6 +44,7 @@ from repro.obs.exporters import (
     trace_to_jsonl,
     transparency_report,
 )
+from repro.obs.imbalance import ShardImbalance
 from repro.obs.instrument import NULL_OBS, Instrumentation, NullInstrumentation
 from repro.obs.slo import (
     DEFAULT_SLOS,
@@ -61,6 +62,7 @@ __all__ = [
     "Span",
     "SpanContext",
     "Tracer",
+    "ShardImbalance",
     "Instrumentation",
     "NullInstrumentation",
     "NULL_OBS",

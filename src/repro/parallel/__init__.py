@@ -19,14 +19,34 @@ Determinism is structural, not best-effort:
 * results are consumed in shard order, never completion order.
 """
 
-from repro.parallel.plan import Phase, ShardPlan, shard_phase_rng
+from repro.parallel.plan import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    Phase,
+    ShardPlan,
+    activity_weights,
+    auto_shard_count,
+    blend_profile,
+    shard_phase_rng,
+    split_weighted,
+    weighted_boundaries,
+)
 from repro.parallel.pool import (
     ProcessPool,
     SerialPool,
     make_pool,
     parallel_map,
 )
+from repro.parallel.steal import (
+    ChunkResult,
+    ChunkTask,
+    fold_chunk_results,
+    make_chunk_tasks,
+    run_epoch_chunks,
+    run_shard_chunk,
+)
 from repro.parallel.worker import (
+    CHUNK_PHASES,
     ShardEpochResult,
     ShardTask,
     run_shard_epoch,
@@ -35,7 +55,14 @@ from repro.parallel.worker import (
 __all__ = [
     "Phase",
     "ShardPlan",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
     "shard_phase_rng",
+    "split_weighted",
+    "activity_weights",
+    "weighted_boundaries",
+    "blend_profile",
+    "auto_shard_count",
     "SerialPool",
     "ProcessPool",
     "make_pool",
@@ -43,4 +70,11 @@ __all__ = [
     "ShardTask",
     "ShardEpochResult",
     "run_shard_epoch",
+    "CHUNK_PHASES",
+    "ChunkTask",
+    "ChunkResult",
+    "make_chunk_tasks",
+    "run_shard_chunk",
+    "fold_chunk_results",
+    "run_epoch_chunks",
 ]

@@ -11,8 +11,13 @@ exact same bytes.
 
 Determinism contract
 --------------------
-* The partition is a pure function of ``(n_agents, n_shards)``:
-  contiguous ranges, remainder spread over the lowest shard ids.
+* The partition is a pure function of ``(n_agents, n_shards)`` plus an
+  optional explicit ``boundaries`` tuple.  Without boundaries the
+  ranges are contiguous and equal (remainder spread over the lowest
+  shard ids); with boundaries they are contiguous but *unequal* —
+  cost-weighted plans place the cuts so every shard carries roughly the
+  same work, and because the boundaries are themselves pure functions
+  of ``(seed, epoch, profile)`` the plan stays replay-deterministic.
 * Randomness is rooted in ``numpy.random.SeedSequence(seed)``; each
   shard owns the child sequence ``root.spawn(n_shards)[shard]``, and
   every *(epoch, phase)* of a shard derives a grandchild by extending
@@ -27,12 +32,24 @@ every worker task.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Phase", "ShardPlan", "shard_phase_rng", "split_weighted"]
+__all__ = [
+    "Phase",
+    "ShardPlan",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "shard_phase_rng",
+    "split_weighted",
+    "activity_weights",
+    "weighted_boundaries",
+    "blend_profile",
+    "auto_shard_count",
+]
 
 
 def split_weighted(total: int, weights: List[int]) -> List[int]:
@@ -48,6 +65,13 @@ def split_weighted(total: int, weights: List[int]) -> List[int]:
     produce a negative quota (``split_weighted(10, [-1, 3]) == [-5, 15]``
     before this guard), which downstream load generators would feed into
     range()/array sizing as a nonsense per-shard count.
+
+    An all-zero weight vector falls back to an *even* split (as if every
+    weight were 1): zero total weight means "no information", and the
+    caller still needs the ``total`` units placed somewhere.  The old
+    behaviour — returning ``[0] * len(weights)`` — silently dropped the
+    units, so ``sum(parts) == total`` held for every input *except* this
+    edge.
     """
     if total < 0:
         raise ValueError(f"total must be >= 0, got {total}")
@@ -56,7 +80,10 @@ def split_weighted(total: int, weights: List[int]) -> List[int]:
             raise ValueError(f"weights must be >= 0, got {weight}")
     weight_sum = sum(weights)
     if weight_sum <= 0:
-        return [0] * len(weights)
+        if not weights:
+            return []
+        weights = [1] * len(weights)
+        weight_sum = len(weights)
     parts = [total * w // weight_sum for w in weights]
     remainders = [total * w % weight_sum for w in weights]
     leftover = total - sum(parts)
@@ -104,18 +131,245 @@ def shard_phase_rng(
     return np.random.default_rng(cell)
 
 
+# ----------------------------------------------------------------------
+# Activity model: the heavy-tailed per-agent traffic prior
+# ----------------------------------------------------------------------
+
+# Spawn-key domain for the activity stream — disjoint from the per-shard
+# children that `shard_phase_rng` derives (those use spawn_key (shard,)
+# with shard < n_shards <= n_agents; this uses a large fixed constant).
+_ACTIVITY_DOMAIN = 0x5AC7
+ACTIVITY_BLOCKS = 64
+
+
+def activity_weights(
+    seed: int, n_agents: int, n_blocks: int = ACTIVITY_BLOCKS
+) -> np.ndarray:
+    """Per-agent integer activity weights, heavy-tailed and contiguous.
+
+    Real metaverse traffic is Zipf-shaped — a few communities generate
+    most of the interaction volume — and *spatially correlated*: hot
+    agents cluster (guilds, venues, flash crowds), they are not sprinkled
+    uniformly over the index space.  This model captures both: the agent
+    range splits into ``n_blocks`` contiguous blocks, each block drawing
+    a Zipf-ranked multiplier (``1 + 99 // (1 + rank)``: the hottest block
+    is 100x the coldest) from a seeded permutation.  Equal-range shard
+    plans land unlucky shards on hot blocks and measure real skew;
+    contiguous *weighted* plans can still balance because the weights are
+    blockwise-constant.
+
+    Pure function of ``(seed, n_agents, n_blocks)``.  Returns an int64
+    array of length ``n_agents`` with every entry >= 1.
+    """
+    if n_agents < 1:
+        raise ValueError(f"n_agents must be >= 1, got {n_agents}")
+    blocks = max(1, min(int(n_blocks), n_agents))
+    seq = np.random.SeedSequence(
+        entropy=seed, spawn_key=(_ACTIVITY_DOMAIN,)
+    )
+    rng = np.random.default_rng(seq)
+    ranks = rng.permutation(blocks)
+    multipliers = (1 + 99 // (1 + ranks)).astype(np.int64)
+    sizes = split_weighted(n_agents, [1] * blocks)
+    return np.repeat(multipliers, sizes)
+
+
+def weighted_boundaries(
+    weights: Sequence[int], n_shards: int
+) -> Tuple[int, ...]:
+    """Contiguous cut points giving each shard ~equal total weight.
+
+    Returns an ``n_shards``-tuple of exclusive upper bounds
+    ``(hi_0, hi_1, ..., n_agents)``: shard ``s`` owns
+    ``[hi_{s-1}, hi_s)``.  The cuts are placed where the running weight
+    mass crosses the largest-remainder targets from
+    :func:`split_weighted`, then clamped so every shard keeps at least
+    one agent.  Pure integer arithmetic — a pure function of
+    ``(weights, n_shards)``.
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    n = int(w.shape[0])
+    if n < 1:
+        raise ValueError("weights must be non-empty")
+    if not 1 <= n_shards <= n:
+        raise ValueError(
+            f"n_shards must be in [1, {n}], got {n_shards}"
+        )
+    if (w < 0).any():
+        raise ValueError("weights must be >= 0")
+    total = int(w.sum())
+    if total <= 0:
+        w = np.ones(n, dtype=np.int64)
+        total = n
+    masses = split_weighted(total, [1] * n_shards)
+    targets = np.cumsum(masses[:-1])
+    cum = np.cumsum(w)
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds: List[int] = []
+    prev = 0
+    for k, cut in enumerate(cuts):
+        lo_ok = prev + 1
+        hi_ok = n - (n_shards - 1 - k)
+        c = int(min(max(int(cut), lo_ok), hi_ok))
+        bounds.append(c)
+        prev = c
+    bounds.append(n)
+    return tuple(bounds)
+
+
+# ----------------------------------------------------------------------
+# Cost model: deterministic per-op units for profiling shard cost
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Integer cost units per substrate operation.
+
+    Profiled shard costs must never come from wall-clock measurements —
+    timing noise would leak into the next epoch's boundaries and break
+    byte-identity across worker counts.  Instead the planner charges a
+    fixed unit price per *observed op count* (op counts are themselves
+    deterministic), so the profile is a pure function of the run.  Only
+    the ratios matter; the absolute scale cancels in the apportionment.
+    """
+
+    # Ratios calibrated offline against measured per-op phase seconds
+    # (benchmarks/scaling.py balance tier); deterministic constants, so
+    # every worker count prices an epoch identically.
+    tx: int = 20  # ledger: sig-check + nonce + balance + tx-id hash
+    rating: int = 3  # reputation accumulate
+    report: int = 3  # moderation report row
+    vote: int = 1  # ballot record
+    interaction: int = 1  # moderation classifier row (batched)
+    frame: int = 3  # biometric frame: consent + budget predict
+    cascade: int = 2  # per member reached in cascade rounds
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "tx": self.tx,
+            "rating": self.rating,
+            "report": self.report,
+            "vote": self.vote,
+            "interaction": self.interaction,
+            "frame": self.frame,
+            "cascade": self.cascade,
+        }
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+# Relative blend weights: activity prior vs observed cost profile.  The
+# two live in unrelated units (abstract activity mass vs cost-model
+# units), so the blend cross-normalizes each side by the other's total
+# mass — only this ratio matters, never the absolute scales.  Observed
+# cost dominates 3:1 once available: it is the deterministic ground
+# truth of where last epoch's work landed, the prior only smooths
+# agents that happened to draw nothing.
+PRIOR_WEIGHT = 1
+OBSERVED_WEIGHT = 3
+
+
+def blend_profile(
+    prior: np.ndarray,
+    observed: Optional[np.ndarray],
+    prior_weight: int = PRIOR_WEIGHT,
+    observed_weight: int = OBSERVED_WEIGHT,
+) -> np.ndarray:
+    """Blend the activity prior with last epoch's observed cost units.
+
+    ``prior * (prior_weight * mass(observed)) + observed *
+    (observed_weight * mass(prior))`` — the cross-scaling makes the mix
+    scale-free, so a population change or a cost-model retune cannot
+    silently shift the prior/observed balance.  Degenerate masses fall
+    back to whichever profile carries signal.  Pure function of its
+    arguments (both are deterministic), int64 out.
+    """
+    p = np.asarray(prior, dtype=np.int64)
+    if observed is None:
+        return p.copy()
+    o = np.asarray(observed, dtype=np.int64)
+    p_mass = int(p.sum())
+    o_mass = int(o.sum())
+    if o_mass <= 0:
+        return p.copy()
+    if p_mass <= 0:
+        return o.copy()
+    return p * (int(prior_weight) * o_mass) + o * (int(observed_weight) * p_mass)
+
+
+# ----------------------------------------------------------------------
+# Auto-tuned shard counts
+# ----------------------------------------------------------------------
+
+AUTO_CHUNKS_PER_WORKER = 4  # oversplit factor: stealable slack per worker
+AUTO_MIN_OPS_PER_SHARD = 250  # below this, per-task overhead dominates
+AUTO_MAX_SHARDS = 64
+
+
+def auto_shard_count(
+    n_agents: int, workers: int, ops_per_epoch: int
+) -> Tuple[int, Dict[str, int]]:
+    """Pick ``n_shards`` from worker count and per-epoch op volume.
+
+    Policy: oversplit to ``AUTO_CHUNKS_PER_WORKER`` shards per worker so
+    the stealing layer has slack to rebalance, but never shard so finely
+    that a shard carries fewer than ``AUTO_MIN_OPS_PER_SHARD`` ops
+    (per-task pickling overhead would dominate), never fewer shards than
+    workers (idle cores), and never more than ``AUTO_MAX_SHARDS`` or
+    ``n_agents``.  Returns ``(n_shards, decision)`` where ``decision``
+    records every input and intermediate so the choice is auditable in
+    the run's decision trace.
+
+    Pure function of its arguments.  Note the result *does* depend on
+    ``workers`` — callers opting into ``n_shards="auto"`` trade the
+    cross-worker-count byte-identity of a pinned shard count for a
+    hardware-shaped one (still byte-identical between runs with the same
+    ``(seed, workers)``).
+    """
+    if n_agents < 1:
+        raise ValueError(f"n_agents must be >= 1, got {n_agents}")
+    w = max(1, int(workers))
+    oversplit = AUTO_CHUNKS_PER_WORKER * w
+    by_ops = max(1, int(ops_per_epoch) // AUTO_MIN_OPS_PER_SHARD)
+    chosen = max(w, min(oversplit, by_ops))
+    chosen = max(1, min(chosen, int(n_agents), AUTO_MAX_SHARDS))
+    decision = {
+        "n_agents": int(n_agents),
+        "workers": w,
+        "ops_per_epoch": int(ops_per_epoch),
+        "chunks_per_worker": AUTO_CHUNKS_PER_WORKER,
+        "min_ops_per_shard": AUTO_MIN_OPS_PER_SHARD,
+        "max_shards": AUTO_MAX_SHARDS,
+        "oversplit_target": oversplit,
+        "ops_ceiling": by_ops,
+        "n_shards": chosen,
+    }
+    return chosen, decision
+
+
 @dataclass(frozen=True)
 class ShardPlan:
     """A deterministic partition of ``n_agents`` into ``n_shards``.
 
     Shard ``s`` owns the contiguous agent-index range
-    ``[lo(s), hi(s))``; the first ``n_agents % n_shards`` shards are one
-    agent larger.  ``n_members`` bounds the DAO electorate (member
-    indices are ``[0, n_members)`` — a *prefix* of the population, so a
-    shard's member range is the overlap of its range with that prefix).
-    ``hot_stride`` spaces the privacy-hot subjects (agent indices
-    ``0, stride, 2*stride, ...``) so every shard owns its share of hot
-    subjects — privacy budgets stay shard-local by construction.
+    ``[lo(s), hi(s))``.  With ``boundaries=None`` the ranges are equal
+    (the first ``n_agents % n_shards`` shards one agent larger); with an
+    explicit ``boundaries`` tuple (exclusive upper bounds, strictly
+    increasing, last equal to ``n_agents``) the ranges are cost-weighted
+    cuts from :func:`weighted_boundaries`.  ``n_members`` bounds the DAO
+    electorate (member indices are ``[0, n_members)`` — a *prefix* of
+    the population, so a shard's member range is the overlap of its
+    range with that prefix).  ``hot_stride`` spaces the privacy-hot
+    subjects (agent indices ``0, stride, 2*stride, ...``) so every shard
+    owns its share of hot subjects — privacy budgets stay shard-local by
+    construction.
+
+    ``boundaries`` deliberately does **not** feed the random streams:
+    ``rng(shard, epoch, phase)`` depends only on
+    ``(seed, n_shards, shard, epoch, phase)``, so replanning boundaries
+    between epochs moves *which agents* a stream's ops land on without
+    invalidating the stream derivation itself.
     """
 
     seed: int
@@ -123,6 +377,7 @@ class ShardPlan:
     n_shards: int
     n_members: int
     hot_stride: int
+    boundaries: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_agents < 1:
@@ -137,6 +392,27 @@ class ShardPlan:
             )
         if self.hot_stride < 1:
             raise ValueError(f"hot_stride must be >= 1, got {self.hot_stride}")
+        if self.boundaries is not None:
+            b = tuple(int(x) for x in self.boundaries)
+            if len(b) != self.n_shards:
+                raise ValueError(
+                    f"boundaries must have n_shards={self.n_shards} entries, "
+                    f"got {len(b)}"
+                )
+            if b[-1] != self.n_agents:
+                raise ValueError(
+                    f"last boundary must equal n_agents={self.n_agents}, "
+                    f"got {b[-1]}"
+                )
+            prev = 0
+            for x in b:
+                if x <= prev:
+                    raise ValueError(
+                        f"boundaries must be strictly increasing and leave "
+                        f"every shard non-empty, got {b}"
+                    )
+                prev = x
+            object.__setattr__(self, "boundaries", b)
 
     # ------------------------------------------------------------------
     # Partition geometry
@@ -144,6 +420,9 @@ class ShardPlan:
     def range_of(self, shard: int) -> Tuple[int, int]:
         """Agent-index range ``[lo, hi)`` owned by ``shard``."""
         self._check_shard(shard)
+        if self.boundaries is not None:
+            lo = self.boundaries[shard - 1] if shard > 0 else 0
+            return lo, self.boundaries[shard]
         base, rem = divmod(self.n_agents, self.n_shards)
         lo = shard * base + min(shard, rem)
         hi = lo + base + (1 if shard < rem else 0)
@@ -159,6 +438,8 @@ class ShardPlan:
             raise ValueError(
                 f"agent_index must be in [0, {self.n_agents}), got {agent_index}"
             )
+        if self.boundaries is not None:
+            return bisect.bisect_right(self.boundaries, agent_index)
         base, rem = divmod(self.n_agents, self.n_shards)
         boundary = rem * (base + 1)
         if agent_index < boundary:
@@ -176,14 +457,29 @@ class ShardPlan:
         first = ((lo + self.hot_stride - 1) // self.hot_stride) * self.hot_stride
         return list(range(first, hi, self.hot_stride))
 
+    def with_boundaries(
+        self, boundaries: Optional[Tuple[int, ...]]
+    ) -> "ShardPlan":
+        """This plan with different cut points (streams unchanged)."""
+        return ShardPlan(
+            seed=self.seed,
+            n_agents=self.n_agents,
+            n_shards=self.n_shards,
+            n_members=self.n_members,
+            hot_stride=self.hot_stride,
+            boundaries=boundaries,
+        )
+
     # ------------------------------------------------------------------
     # Work splitting
     # ------------------------------------------------------------------
     def count_for(self, total: int, shard: int) -> int:
         """Shard's slice of ``total`` per-epoch operations.
 
-        Quota split mirrors the agent split: ``total // n_shards`` each,
-        remainder to the lowest shard ids.  Sums to ``total`` exactly.
+        Quota split mirrors an *equal* agent split: ``total // n_shards``
+        each, remainder to the lowest shard ids.  Sums to ``total``
+        exactly.  Weighted plans instead apportion quotas with
+        :func:`split_weighted` over per-shard activity mass.
         """
         if total < 0:
             raise ValueError(f"total must be >= 0, got {total}")

@@ -1,0 +1,112 @@
+"""Steal-equivalence gate: workers x stealing, byte for byte.
+
+``python -m repro.parallel.steal_check`` runs the load workload on a
+small seeded population for every cell of the matrix
+``workers ∈ {1, 2, 4} × stealing ∈ {off, on}`` and asserts that the
+metrics payload **and** the exported trace are byte-identical across
+all six cells — i.e. neither the worker count nor the chunked stealing
+schedule can change a single output byte.  It additionally checks:
+
+* the stolen runs actually went through the chunk layer (the
+  deterministic ``chunk_tasks_run`` counter equals
+  ``epochs × n_shards × n_chunks``);
+* the weighted planner was active (this is the default plan mode), so
+  the gate covers replanned boundaries too;
+* an ``"equal"``-plan run also holds the workers × stealing
+  equivalence (stealing must not depend on how boundaries were cut).
+
+Exits non-zero on any violation (the ``make steal-check`` target).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.parallel.check import CHECK_CONFIG
+from repro.parallel.worker import CHUNK_PHASES
+
+__all__ = ["check_steal", "STEAL_WORKERS"]
+
+STEAL_WORKERS = (1, 2, 4)
+
+
+def _payload(result) -> str:
+    return json.dumps(result.metrics, sort_keys=True)
+
+
+def check_steal() -> Dict[str, object]:
+    """Assert metrics+trace equivalence over workers x stealing.
+
+    Returns a summary dict; raises AssertionError on violation.
+    """
+    from repro.workloads.load import run_load
+
+    baseline = run_load(workers=1, steal=False, trace=True, **CHECK_CONFIG)
+    expected_chunks = (
+        baseline.epochs * baseline.n_shards * len(CHUNK_PHASES)
+    )
+    assert baseline.plan_mode == "weighted", (
+        "steal-check expects the weighted planner to be the default"
+    )
+
+    cells = 0
+    for steal in (False, True):
+        for workers in STEAL_WORKERS:
+            if workers == 1 and not steal:
+                run = baseline
+            else:
+                run = run_load(
+                    workers=workers, steal=steal, trace=True, **CHECK_CONFIG
+                )
+            assert _payload(run) == _payload(baseline), (
+                f"workers={workers} steal={steal} changed the metrics "
+                "payload — chunk scheduling leaked into results"
+            )
+            assert run.trace_jsonl == baseline.trace_jsonl, (
+                f"workers={workers} steal={steal} changed the exported "
+                "trace — span folding is not deterministic"
+            )
+            if steal:
+                assert run.chunk_tasks_run == expected_chunks, (
+                    f"steal run executed {run.chunk_tasks_run} chunks, "
+                    f"expected {expected_chunks}"
+                )
+            else:
+                assert run.chunk_tasks_run == 0
+            cells += 1
+
+    # The equivalence must also hold when boundaries are equal cuts.
+    eq_base = run_load(
+        workers=1, steal=False, plan_mode="equal", trace=True, **CHECK_CONFIG
+    )
+    eq_steal = run_load(
+        workers=2, steal=True, plan_mode="equal", trace=True, **CHECK_CONFIG
+    )
+    assert _payload(eq_base) == _payload(eq_steal), (
+        "equal-plan stealing changed the metrics payload"
+    )
+    assert eq_base.trace_jsonl == eq_steal.trace_jsonl, (
+        "equal-plan stealing changed the exported trace"
+    )
+    cells += 2
+
+    return {
+        "workers_matrix": list(STEAL_WORKERS),
+        "cells_compared": cells,
+        "n_shards": baseline.n_shards,
+        "chunks_per_steal_run": expected_chunks,
+        "txs_included": baseline.txs_included,
+        "trace_bytes": len(baseline.trace_jsonl),
+        "byte_identical": True,
+    }
+
+
+if __name__ == "__main__":
+    summary = check_steal()
+    for key, value in summary.items():
+        print(f"{key:22s} {value}")
+    print(
+        "steal-check: OK (workers x stealing matrix byte-identical, "
+        "every chunk executed exactly once)"
+    )

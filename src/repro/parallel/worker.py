@@ -40,6 +40,7 @@ make two schedules diverge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -47,7 +48,7 @@ import numpy as np
 from repro.governance.moderation import AbuseClassifier, ReportDesk
 from repro.obs.context import derive_trace_id
 from repro.ledger.transactions import Transaction, TxKind
-from repro.parallel.plan import Phase, ShardPlan
+from repro.parallel.plan import DEFAULT_COST_MODEL, Phase, ShardPlan
 from repro.privacy.sensors import SensorFrame
 from repro.social.graph import SocialGraph
 from repro.social.misinformation import MisinformationModel
@@ -62,9 +63,15 @@ __all__ = [
     "ShardTask",
     "ShardEpochResult",
     "run_shard_epoch",
+    "run_phase",
+    "epoch_span_payload",
+    "chunk_span_payloads",
+    "phase_op_counts",
     "shard_graph",
     "warm_caches",
     "channel_of",
+    "CHUNK_PHASES",
+    "PHASE_NAMES",
     "FRAME_VALUE_DIMS",
 ]
 
@@ -155,6 +162,10 @@ class ShardEpochResult:
     boundary_reached: Tuple[bool, ...] = ()
     # Optional span payloads for the parent tracer to merge.
     span_payloads: List[dict] = field(default_factory=list)
+    # Wall seconds spent per phase, keyed by PHASE_NAMES values.  Timing
+    # only — it feeds the shard-imbalance monitor and MUST never enter
+    # metrics, traces, or any compared payload.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -220,53 +231,182 @@ def warm_caches(
 # ----------------------------------------------------------------------
 # The worker entry point
 # ----------------------------------------------------------------------
-def run_shard_epoch(task: ShardTask) -> ShardEpochResult:
-    """Run every shard-local phase of one epoch; see the module docstring."""
+
+# The chunkable phases of one (shard, epoch) cell, in fold order.  A
+# chunk is one phase: phases are the finest split that preserves the
+# stream structure (the transaction phase's nonce chain and the privacy
+# phase's per-subject budget accumulation are sequential within a shard,
+# so sub-phase splits would change results).  Chunk ids are stable:
+# chunk ``c`` of any shard always means ``CHUNK_PHASES[c]``.
+CHUNK_PHASES: Tuple[int, ...] = (
+    Phase.TRANSACTIONS,
+    Phase.RATINGS,
+    Phase.REPORTS,
+    Phase.VOTES,
+    Phase.INTERACTIONS,
+    Phase.FRAMES,
+    Phase.CASCADE,
+)
+
+PHASE_NAMES: Dict[int, str] = {
+    Phase.TRANSACTIONS: "transactions",
+    Phase.RATINGS: "ratings",
+    Phase.REPORTS: "reports",
+    Phase.VOTES: "votes",
+    Phase.INTERACTIONS: "interactions",
+    Phase.FRAMES: "frames",
+    Phase.CASCADE: "cascade",
+}
+
+# Cost-model attribute charged per op of each phase (for span
+# attribution and the planner's profile).
+_PHASE_COST_ATTR: Dict[int, str] = {
+    Phase.TRANSACTIONS: "tx",
+    Phase.RATINGS: "rating",
+    Phase.REPORTS: "report",
+    Phase.VOTES: "vote",
+    Phase.INTERACTIONS: "interaction",
+    Phase.FRAMES: "frame",
+    Phase.CASCADE: "cascade",
+}
+
+
+def run_phase(task: ShardTask, result: ShardEpochResult, phase: int) -> None:
+    """Run one shard-local phase into ``result``.
+
+    Each phase draws only its own ``(shard, epoch, phase)`` stream and
+    writes only its own result fields, so phases are independent units:
+    running them one-per-call (the stealing layer's chunks) or all in
+    sequence (:func:`run_shard_epoch`) produces identical bytes.
+    """
     plan = task.plan
     lo, hi = plan.range_of(task.shard)
     size = hi - lo
-    addresses = _addresses(plan.n_agents)
     now = float(task.epoch)
-    result = ShardEpochResult(shard=task.shard)
+    if phase == Phase.TRANSACTIONS:
+        _generate_transactions(task, result, _addresses(plan.n_agents), lo, size, now)
+    elif phase == Phase.RATINGS:
+        _generate_ratings(task, result, lo, size)
+    elif phase == Phase.REPORTS:
+        _generate_reports(task, result, lo, size)
+    elif phase == Phase.VOTES:
+        _generate_votes(task, result)
+    elif phase == Phase.INTERACTIONS:
+        _moderation_prepass(task, result, lo, size, now)
+    elif phase == Phase.FRAMES:
+        _privacy_prepass(task, result, _addresses(plan.n_agents), now)
+    elif phase == Phase.CASCADE:
+        _cascade_rounds(task, result, size)
+    else:
+        raise ValueError(f"not a chunkable phase: {phase}")
 
-    _generate_transactions(task, result, addresses, lo, size, now)
-    _generate_ratings(task, result, lo, size)
-    _generate_reports(task, result, lo, size)
-    _generate_votes(task, result)
-    _moderation_prepass(task, result, lo, size, now)
-    _privacy_prepass(task, result, addresses, now)
-    _cascade_rounds(task, result, size)
 
-    if task.trace:
-        result.span_payloads.append(
+def phase_op_counts(result: ShardEpochResult) -> Dict[int, int]:
+    """Deterministic op counts per phase, read off a (merged) result."""
+    return {
+        Phase.TRANSACTIONS: len(result.tx_ids) + result.tx_precheck_failures,
+        Phase.RATINGS: len(result.rating_raters),
+        Phase.REPORTS: len(result.report_reporters),
+        Phase.VOTES: len(result.vote_voters),
+        Phase.INTERACTIONS: (
+            len(result.interactions) if result.interactions is not None else 0
+        ),
+        Phase.FRAMES: len(result.frames),
+        Phase.CASCADE: result.cascade_reach,
+    }
+
+
+def epoch_span_payload(task: ShardTask, result: ShardEpochResult) -> dict:
+    """The shard's epoch span, as a payload for the parent tracer.
+
+    A pure function of ``(task, result)`` — both execution modes
+    (monolithic shard tasks and stolen chunks) emit it from the merged
+    result, so traces are byte-identical regardless of scheduling.
+    """
+    now = float(task.epoch)
+    return {
+        "source": "parallel.worker",
+        "name": "shard.epoch",
+        # A pure function of (seed, shard, epoch): the merged
+        # span keeps the same trace id for any worker count.
+        "trace_id": derive_trace_id(
+            "shard", task.plan.seed, task.shard, task.epoch
+        ),
+        "start": now,
+        "end": now + 0.9,
+        "status": "ok",
+        "attributes": {
+            "shard": task.shard,
+            "epoch": task.epoch,
+            "chunks": len(CHUNK_PHASES),
+            "txs": len(result.tx_ids),
+            "ratings": len(result.rating_raters),
+            "reports": len(result.report_reporters),
+            "votes": len(result.vote_voters),
+            "interactions": (
+                len(result.interactions)
+                if result.interactions is not None
+                else 0
+            ),
+            "frames": len(result.frames),
+            "cascade_reach": result.cascade_reach,
+        },
+    }
+
+
+def chunk_span_payloads(
+    task: ShardTask, result: ShardEpochResult
+) -> List[dict]:
+    """Per-chunk attribution spans under the shard's epoch trace.
+
+    One span per ``(shard, chunk)``, carrying the chunk's deterministic
+    op count and cost units (:data:`~repro.parallel.plan.DEFAULT_COST_MODEL`
+    prices).  Start/end are simulated-time offsets — pure functions of
+    the epoch and chunk id, never wall clock — so the emitted trace
+    bytes cannot depend on which worker ran the chunk or whether
+    stealing was on.
+    """
+    now = float(task.epoch)
+    trace_id = derive_trace_id(
+        "shard", task.plan.seed, task.shard, task.epoch
+    )
+    ops = phase_op_counts(result)
+    costs = DEFAULT_COST_MODEL.as_dict()
+    payloads = []
+    for chunk, phase in enumerate(CHUNK_PHASES):
+        start = now + chunk / 10.0
+        payloads.append(
             {
                 "source": "parallel.worker",
-                "name": "shard.epoch",
-                # A pure function of (seed, shard, epoch): the merged
-                # span keeps the same trace id for any worker count.
-                "trace_id": derive_trace_id(
-                    "shard", plan.seed, task.shard, task.epoch
-                ),
-                "start": now,
-                "end": now + 0.9,
+                "name": "shard.chunk",
+                "trace_id": trace_id,
+                "start": start,
+                "end": start + 0.1,
                 "status": "ok",
                 "attributes": {
                     "shard": task.shard,
                     "epoch": task.epoch,
-                    "txs": len(result.tx_ids),
-                    "ratings": len(result.rating_raters),
-                    "reports": len(result.report_reporters),
-                    "votes": len(result.vote_voters),
-                    "interactions": (
-                        len(result.interactions)
-                        if result.interactions is not None
-                        else 0
-                    ),
-                    "frames": len(result.frames),
-                    "cascade_reach": result.cascade_reach,
+                    "chunk": chunk,
+                    "phase": PHASE_NAMES[phase],
+                    "ops": ops[phase],
+                    "cost_units": ops[phase] * costs[_PHASE_COST_ATTR[phase]],
                 },
             }
         )
+    return payloads
+
+
+def run_shard_epoch(task: ShardTask) -> ShardEpochResult:
+    """Run every shard-local phase of one epoch; see the module docstring."""
+    result = ShardEpochResult(shard=task.shard)
+    for phase in CHUNK_PHASES:
+        t0 = perf_counter()
+        run_phase(task, result, phase)
+        result.phase_seconds[PHASE_NAMES[phase]] = perf_counter() - t0
+
+    if task.trace:
+        result.span_payloads.append(epoch_span_payload(task, result))
+        result.span_payloads.extend(chunk_span_payloads(task, result))
     return result
 
 

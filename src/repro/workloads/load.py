@@ -66,8 +66,8 @@ paths at full population scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -86,8 +86,17 @@ from repro.ledger.crypto import sha256
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import Transaction, TxKind
 from repro.obs.exporters import trace_to_jsonl
+from repro.obs.imbalance import ShardImbalance
 from repro.obs.instrument import Instrumentation
-from repro.parallel.plan import ShardPlan, split_weighted
+from repro.parallel.plan import (
+    DEFAULT_COST_MODEL,
+    ShardPlan,
+    activity_weights,
+    auto_shard_count,
+    blend_profile,
+    split_weighted,
+    weighted_boundaries,
+)
 from repro.parallel.pool import make_pool
 from repro.parallel.reduce import (
     check_shard_order,
@@ -95,7 +104,9 @@ from repro.parallel.reduce import (
     merge_interaction_batches,
     sum_predicted_outcomes,
 )
+from repro.parallel.steal import run_epoch_chunks
 from repro.parallel.worker import (
+    CHUNK_PHASES,
     ShardTask,
     channel_of,
     run_shard_epoch,
@@ -250,6 +261,19 @@ class LoadRunResult:
     trace_jsonl: Optional[str] = None
     # Column bytes per agent for the run's AgentTable (0.0 in object mode).
     table_bytes_per_agent: float = 0.0
+    # Elastic-sharding provenance (all deterministic given the config).
+    plan_mode: str = "weighted"
+    steal: bool = False
+    # The n_shards="auto" decision trace (None when pinned/defaulted).
+    shard_decision: Optional[Dict[str, int]] = None
+    # (shard, chunk) units executed via the stealing layer (0 when off).
+    chunk_tasks_run: int = 0
+    # Wall-clock shard-imbalance report (max/mean shard seconds per
+    # phase).  Timing, not semantics: excluded from equality so replay
+    # comparisons never see the clock.
+    imbalance: Optional[Dict[str, Dict[str, float]]] = field(
+        default=None, compare=False
+    )
 
 
 def run_load(
@@ -269,9 +293,11 @@ def run_load(
     cascade_members: int = 250,
     cascade_boundary: int = 8,
     workers: int = 1,
-    n_shards: Optional[int] = None,
+    n_shards: Union[int, str, None] = None,
     trace: bool = False,
     columnar: bool = True,
+    plan_mode: str = "weighted",
+    steal: bool = False,
 ) -> LoadRunResult:
     """Run the population-scale workload; see the module docstring.
 
@@ -279,13 +305,33 @@ def run_load(
     never changes results.  ``n_shards`` fixes the stream structure and
     *does* change results — it defaults to ``min(8, n_agents)``
     independently of ``workers`` precisely so scheduling and semantics
-    stay decoupled.  ``electorate_size`` bounds DAO membership (member
-    objects carry per-member attention state, which at full population
-    size would be setup cost, not load); pass None to enrol every agent.
-    ``privacy_cap`` is the per-subject epsilon cap; frames target the
-    strided hot ~1% of the population so the cap actually binds.
-    ``trace=True`` captures the obs-layer trace (parent epoch spans +
-    merged worker spans + substrate spans) and returns its JSONL export.
+    stay decoupled; pass ``"auto"`` to let
+    :func:`~repro.parallel.plan.auto_shard_count` pick a count from the
+    worker count and per-epoch op volume (the decision trace lands in
+    ``LoadRunResult.shard_decision``; note ``"auto"`` deliberately ties
+    the stream structure to ``workers``).  ``electorate_size`` bounds
+    DAO membership (member objects carry per-member attention state,
+    which at full population size would be setup cost, not load); pass
+    None to enrol every agent.  ``privacy_cap`` is the per-subject
+    epsilon cap; frames target the strided hot ~1% of the population so
+    the cap actually binds.  ``trace=True`` captures the obs-layer trace
+    (parent epoch spans + merged worker spans + substrate spans) and
+    returns its JSONL export.
+
+    ``plan_mode`` selects the shard partition: ``"weighted"`` (the
+    default) cuts contiguous ranges so each shard carries ~equal
+    expected cost under the heavy-tailed activity model — boundaries
+    replan every epoch from the activity prior blended with the
+    previous epoch's profiled per-agent cost units (deterministic op
+    counts priced by :data:`~repro.parallel.plan.DEFAULT_COST_MODEL`,
+    never wall clock) — while ``"equal"`` keeps equal-size ranges (the
+    skew baseline the scaling bench reports).  Both modes draw the same
+    per-agent traffic; only the cut points differ.  ``steal=True`` runs
+    each epoch as oversplit ``(shard, chunk)`` units through the
+    deterministic stealing layer (:mod:`repro.parallel.steal`).  All
+    four knobs preserve the contract that metrics and traces are pure
+    functions of the semantic config: ``workers`` and ``steal`` never
+    change a byte.
 
     ``columnar=True`` (the default) backs the society's hot state — the
     genesis balances, the nonce tracker, and the privacy-budget
@@ -299,7 +345,27 @@ def run_load(
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
-    resolved_shards = min(8, n_agents) if n_shards is None else n_shards
+    if plan_mode not in ("equal", "weighted"):
+        raise ValueError(
+            f"plan_mode must be 'equal' or 'weighted', got {plan_mode!r}"
+        )
+    shard_decision: Optional[Dict[str, int]] = None
+    if n_shards == "auto":
+        ops_per_epoch = (
+            txs_per_epoch
+            + ratings_per_epoch
+            + reports_per_epoch
+            + votes_per_epoch
+            + interactions_per_epoch
+            + frames_per_epoch
+        )
+        resolved_shards, shard_decision = auto_shard_count(
+            n_agents, max(1, workers), ops_per_epoch
+        )
+    elif n_shards is None:
+        resolved_shards = min(8, n_agents)
+    else:
+        resolved_shards = int(n_shards)
     n_members = (
         n_agents if electorate_size is None else min(n_agents, electorate_size)
     )
@@ -309,6 +375,12 @@ def run_load(
         n_shards=resolved_shards,
         n_members=n_members,
         hot_stride=HOT_STRIDE,
+    )
+    # The heavy-tailed per-agent traffic prior: quotas apportion over
+    # its per-shard mass, and weighted plans cut boundaries on it.
+    activity = activity_weights(seed, n_agents)
+    activity_cum = np.concatenate(
+        ([0], np.cumsum(activity, dtype=np.int64))
     )
 
     rngs = RngRegistry(seed=seed)
@@ -383,10 +455,6 @@ def run_load(
         ),
         obs=obs,
     )
-    hot_by_shard = [plan.hot_subjects_of(s) for s in range(plan.n_shards)]
-    hot_index_by_shard = [
-        np.asarray(hot, dtype=np.int64) for hot in hot_by_shard
-    ]
     for channel, epsilon in DEFAULT_CHANNELS:
         pipeline.set_pet(
             channel,
@@ -402,36 +470,110 @@ def run_load(
 
     boundary_rng = rngs.stream("load.cascade.boundary")
 
-    # Per-shard quota splits (deterministic, sum exactly to the totals).
-    tx_quota = [plan.count_for(txs_per_epoch, s) for s in range(plan.n_shards)]
-    rating_quota = [
-        plan.count_for(ratings_per_epoch, s) for s in range(plan.n_shards)
-    ]
-    report_quota = [
-        plan.count_for(reports_per_epoch, s) for s in range(plan.n_shards)
-    ]
-    interaction_quota = [
-        plan.count_for(interactions_per_epoch, s)
-        for s in range(plan.n_shards)
-    ]
-    frame_quota = split_weighted(
-        frames_per_epoch, [len(h) for h in hot_by_shard]
-    )
-    member_sizes = [
-        max(0, mhi - mlo)
-        for mlo, mhi in (
-            plan.member_range_of(s) for s in range(plan.n_shards)
+    def epoch_plan_for(observed: Optional[np.ndarray]) -> ShardPlan:
+        """The epoch's partition: weighted cuts replan on the profile.
+
+        Pure function of ``(seed, plan_mode, observed)`` — ``observed``
+        is deterministic op-count units from the previous epoch's
+        results, so every worker count and steal mode derives the same
+        boundaries.
+        """
+        if plan_mode != "weighted" or plan.n_shards == 1:
+            return plan
+        weights = blend_profile(activity, observed)
+        return plan.with_boundaries(
+            weighted_boundaries(weights, plan.n_shards)
         )
-    ]
-    vote_quota = split_weighted(votes_per_epoch, member_sizes)
+
+    def shard_quotas(epoch_plan: ShardPlan) -> Dict[str, List[int]]:
+        """Per-shard op quotas, apportioned over activity mass.
+
+        Transactions/ratings/reports/interactions follow each shard's
+        share of total activity (the heavy-tailed traffic model); frames
+        follow hot-subject activity; votes follow electorate overlap.
+        Every split sums exactly to its per-epoch total.
+        """
+        ranges = [
+            epoch_plan.range_of(s) for s in range(epoch_plan.n_shards)
+        ]
+        masses = [
+            int(activity_cum[hi] - activity_cum[lo]) for lo, hi in ranges
+        ]
+        hot_by = [
+            epoch_plan.hot_subjects_of(s)
+            for s in range(epoch_plan.n_shards)
+        ]
+        hot_masses = [
+            int(activity[np.asarray(h, dtype=np.int64)].sum()) if h else 0
+            for h in hot_by
+        ]
+        member_sizes = [
+            max(0, mhi - mlo)
+            for mlo, mhi in (
+                epoch_plan.member_range_of(s)
+                for s in range(epoch_plan.n_shards)
+            )
+        ]
+        return {
+            "tx": split_weighted(txs_per_epoch, masses),
+            "rating": split_weighted(ratings_per_epoch, masses),
+            "report": split_weighted(reports_per_epoch, masses),
+            "interaction": split_weighted(interactions_per_epoch, masses),
+            "frame": split_weighted(frames_per_epoch, hot_masses),
+            "vote": split_weighted(votes_per_epoch, member_sizes),
+        }
+
+    def observed_costs(
+        epoch_plan: ShardPlan, results: List
+    ) -> np.ndarray:
+        """Profile one epoch: per-agent cost units from observed ops.
+
+        Op counts come off the result arrays (deterministic); each op is
+        priced by :data:`DEFAULT_COST_MODEL`.  Frame and cascade cost is
+        spread over the subjects/members that phase actually ran on.
+        """
+        cm = DEFAULT_COST_MODEL
+        observed = np.zeros(n_agents, dtype=np.int64)
+
+        def charge(indices: List[int], unit: int) -> None:
+            if len(indices):
+                counts = np.bincount(
+                    np.asarray(indices, dtype=np.int64),
+                    minlength=n_agents,
+                )
+                observed[:] += counts * unit
+
+        for result in results:
+            charge(result.tx_senders, cm.tx)
+            charge(result.rating_raters, cm.rating)
+            charge(result.report_reporters, cm.report)
+            charge(result.vote_voters, cm.vote)
+            if result.interactions is not None:
+                charge(result.interactions.initiators, cm.interaction)
+            lo, hi = epoch_plan.range_of(result.shard)
+            hot = epoch_plan.hot_subjects_of(result.shard)
+            if result.frames and hot:
+                observed[np.asarray(hot, dtype=np.int64)] += (
+                    cm.frame * len(result.frames) // len(hot)
+                )
+            members = min(cascade_members, hi - lo)
+            if members >= 2 and result.cascade_reach:
+                observed[lo : lo + members] += (
+                    cm.cascade * result.cascade_reach
+                ) // members
+        return observed
 
     # Cross-epoch nonce tracker the shard workers precheck against.
     # Columnar mode keeps it in the table's int32 column and ships each
-    # shard its contiguous slice; object mode keeps per-shard dicts (and
-    # pays their per-entry pickling).
-    shard_nonces: List[Dict[int, int]] = [{} for _ in range(plan.n_shards)]
-    shard_ranges = [plan.range_of(s) for s in range(plan.n_shards)]
+    # shard its contiguous slice; object mode keeps ONE global dict,
+    # bucketed per epoch by the epoch plan's boundaries — weighted
+    # replanning moves agents between shards, so per-shard dicts would
+    # strand a migrating sender's chain.
+    nonce_tracker: Dict[int, int] = {}
     carries = [0] * plan.n_shards
+    prev_observed: Optional[np.ndarray] = None
+    imbalance_monitor = ShardImbalance(plan.n_shards)
+    chunk_tasks_run = 0
 
     txs_submitted = txs_included = 0
     ratings = reports = votes_cast = proposals_closed = 0
@@ -440,26 +582,53 @@ def run_load(
 
     # Warm the per-process caches before the pool exists: on fork
     # platforms every worker inherits the address table and shard graphs
-    # for free instead of rebuilding them per process.
-    warm_caches(plan, agents, cascade_members)
+    # for free instead of rebuilding them per process.  Weighted plans
+    # re-cut boundaries each epoch, so warm with the epoch-0 cuts;
+    # later-epoch graphs fill per-process caches lazily (pure functions
+    # of their keys, so identical wherever they are built).
+    warm_caches(epoch_plan_for(None), agents, cascade_members)
     pool = make_pool(workers)
     try:
         for epoch in range(epochs):
             now = float(epoch)
+            epoch_plan = epoch_plan_for(prev_observed)
+            # Weighted replans re-cut boundaries, which changes per-shard
+            # cascade member counts — pre-build the new shard graphs in
+            # the parent so (inline mode especially) the rebuild cost is
+            # plan overhead, not timed cascade-phase work.  No-op when
+            # the cuts did not move; pure cost optimisation either way.
+            warm_caches(epoch_plan, agents, cascade_members)
+            quotas = shard_quotas(epoch_plan)
+            shard_ranges = [
+                epoch_plan.range_of(s) for s in range(epoch_plan.n_shards)
+            ]
+            hot_by_shard = [
+                epoch_plan.hot_subjects_of(s)
+                for s in range(epoch_plan.n_shards)
+            ]
+            hot_index_by_shard = [
+                np.asarray(hot, dtype=np.int64) for hot in hot_by_shard
+            ]
             tasks = [
                 ShardTask(
-                    plan=plan,
+                    plan=epoch_plan,
                     shard=shard,
                     epoch=epoch,
-                    tx_count=tx_quota[shard],
-                    rating_count=rating_quota[shard],
-                    report_count=report_quota[shard],
-                    vote_count=vote_quota[shard],
-                    interaction_count=interaction_quota[shard],
-                    frame_count=frame_quota[shard],
+                    tx_count=quotas["tx"][shard],
+                    rating_count=quotas["rating"][shard],
+                    report_count=quotas["report"][shard],
+                    vote_count=quotas["vote"][shard],
+                    interaction_count=quotas["interaction"][shard],
+                    frame_count=quotas["frame"][shard],
                     base_nonces=(
                         {} if table is not None
-                        else dict(shard_nonces[shard])
+                        else {
+                            sender: nonce
+                            for sender, nonce in nonce_tracker.items()
+                            if shard_ranges[shard][0]
+                            <= sender
+                            < shard_ranges[shard][1]
+                        }
                     ),
                     base_nonce_slice=(
                         table.nonces[
@@ -486,10 +655,17 @@ def run_load(
                     carry_seeds=carries[shard],
                     trace=trace,
                 )
-                for shard in range(plan.n_shards)
+                for shard in range(epoch_plan.n_shards)
             ]
-            results = pool.map_ordered(run_shard_epoch, tasks)
+            if steal:
+                results = run_epoch_chunks(pool, tasks)
+                chunk_tasks_run += len(tasks) * len(CHUNK_PHASES)
+            else:
+                results = pool.map_ordered(run_shard_epoch, tasks)
             check_shard_order(results)
+            imbalance_monitor.record_epoch(results)
+            if plan_mode == "weighted" and epoch + 1 < epochs:
+                prev_observed = observed_costs(epoch_plan, results)
 
             epoch_span = (
                 obs.span("load", "epoch", time=now, epoch=epoch)
@@ -536,7 +712,7 @@ def run_load(
                         if table is not None:
                             table.nonces[s] = nonce + 1
                         else:
-                            shard_nonces[result.shard][s] = nonce + 1
+                            nonce_tracker[s] = nonce + 1
                         txs_submitted += 1
                         registry.histogram("load.tx.fee").observe(float(fee))
                 while len(chain.mempool) > 0:
@@ -734,6 +910,11 @@ def run_load(
         table_bytes_per_agent=(
             table.bytes_per_agent if table is not None else 0.0
         ),
+        plan_mode=plan_mode,
+        steal=steal,
+        shard_decision=shard_decision,
+        chunk_tasks_run=chunk_tasks_run,
+        imbalance=imbalance_monitor.report(),
     )
 
 

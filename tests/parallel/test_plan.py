@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.parallel import Phase, ShardPlan, shard_phase_rng
-from repro.parallel.plan import split_weighted
+from repro.parallel.plan import (
+    activity_weights,
+    auto_shard_count,
+    blend_profile,
+    split_weighted,
+    weighted_boundaries,
+)
 
 
 def make_plan(n_agents=1_000, n_shards=7, n_members=300, hot_stride=100, seed=2022):
@@ -99,7 +105,15 @@ class TestSplitWeighted:
 
     def test_zero_weights_get_nothing(self):
         assert split_weighted(7, [0, 1, 0]) == [0, 7, 0]
-        assert split_weighted(7, [0, 0]) == [0, 0]
+
+    def test_all_zero_weights_fall_back_to_even_split(self):
+        # Zero total weight means "no information", not "drop the
+        # units": the split degrades to even so sum(parts) == total
+        # holds on every input (the old behaviour returned all zeros).
+        assert split_weighted(7, [0, 0]) == [4, 3]
+        assert split_weighted(6, [0, 0, 0]) == [2, 2, 2]
+        assert split_weighted(0, [0, 0]) == [0, 0]
+        assert split_weighted(5, []) == []
 
     def test_deterministic(self):
         weights = [13, 7, 29, 1, 50]
@@ -118,6 +132,150 @@ class TestSplitWeighted:
             split_weighted(10, [-1, 3])
         with pytest.raises(ValueError):
             split_weighted(0, [1, -1])
+
+
+class TestWeightedBoundaries:
+    def test_explicit_boundaries_drive_geometry(self):
+        plan = ShardPlan(
+            seed=1, n_agents=10, n_shards=3, n_members=10, hot_stride=100,
+            boundaries=(2, 5, 10),
+        )
+        assert [plan.range_of(s) for s in range(3)] == [(0, 2), (2, 5), (5, 10)]
+        assert [plan.size_of(s) for s in range(3)] == [2, 3, 5]
+        for agent in range(10):
+            lo, hi = plan.range_of(plan.shard_of(agent))
+            assert lo <= agent < hi
+
+    def test_boundaries_partition_population(self):
+        weights = [100] * 10 + [1] * 90
+        bounds = weighted_boundaries(weights, 4)
+        plan = ShardPlan(
+            seed=1, n_agents=100, n_shards=4, n_members=100, hot_stride=100,
+            boundaries=bounds,
+        )
+        covered = []
+        for shard in range(4):
+            lo, hi = plan.range_of(shard)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(100))
+
+    def test_weighted_cuts_balance_mass(self):
+        # Front-loaded weights: 10 agents at 100x the rest.  Equal cuts
+        # would put all the mass in shard 0; weighted cuts shrink it.
+        weights = np.array([100] * 10 + [1] * 90, dtype=np.int64)
+        bounds = weighted_boundaries(weights, 4)
+        masses = []
+        prev = 0
+        for hi in bounds:
+            masses.append(int(weights[prev:hi].sum()))
+            prev = hi
+        total = int(weights.sum())
+        # Every shard within 2x of the ideal quarter (the hot agents
+        # are indivisible, so perfect balance is impossible).
+        assert all(m <= total / 4 * 2 for m in masses)
+        assert bounds[0] < 25  # the hot prefix was cut short
+
+    def test_invalid_boundaries_rejected(self):
+        kwargs = dict(seed=1, n_agents=10, n_shards=3, n_members=10,
+                      hot_stride=100)
+        for bad in [(2, 5), (2, 5, 9), (5, 2, 10), (0, 5, 10), (2, 2, 10)]:
+            with pytest.raises(ValueError):
+                ShardPlan(boundaries=bad, **kwargs)
+
+    def test_weighted_boundaries_every_shard_nonempty(self):
+        # Degenerate mass distributions must still leave every shard at
+        # least one agent (all mass on one agent, zeros elsewhere).
+        for weights in ([1000, 0, 0, 0], [0, 0, 0, 1000], [0, 0, 0, 0]):
+            bounds = weighted_boundaries(weights, 4)
+            prev = 0
+            for hi in bounds:
+                assert hi > prev
+                prev = hi
+            assert bounds[-1] == 4
+
+    def test_streams_ignore_boundaries(self):
+        # Replanning boundaries must not move any random stream: rng is
+        # pure in (seed, n_shards, shard, epoch, phase).
+        base = ShardPlan(seed=7, n_agents=100, n_shards=4, n_members=50,
+                         hot_stride=10)
+        cut = base.with_boundaries((10, 30, 70, 100))
+        a = base.rng(2, 3, Phase.TRANSACTIONS).integers(0, 1 << 30, 32)
+        b = cut.rng(2, 3, Phase.TRANSACTIONS).integers(0, 1 << 30, 32)
+        assert np.array_equal(a, b)
+
+
+class TestActivityWeights:
+    def test_deterministic_and_heavy_tailed(self):
+        a = activity_weights(2022, 10_000)
+        b = activity_weights(2022, 10_000)
+        assert np.array_equal(a, b)
+        assert a.shape == (10_000,)
+        assert a.min() >= 1
+        # Heavy tail: the hottest block dwarfs the median block.
+        assert a.max() >= 20 * np.median(a)
+        assert a.max() >= 50 * a.min()
+        # Different seed, different placement of the hot blocks.
+        c = activity_weights(2023, 10_000)
+        assert not np.array_equal(a, c)
+
+    def test_blockwise_constant(self):
+        # Contiguity is the point: weights change at most n_blocks times.
+        a = activity_weights(2022, 1_000, n_blocks=16)
+        changes = int(np.count_nonzero(np.diff(a)))
+        assert changes < 16
+
+    def test_blend_profile_cross_normalizes(self):
+        prior = np.array([1, 2, 3], dtype=np.int64)  # mass 6
+        observed = np.array([10, 0, 5], dtype=np.int64)  # mass 15
+        blended = blend_profile(
+            prior, observed, prior_weight=1, observed_weight=2
+        )
+        # prior * (1 * 15) + observed * (2 * 6)
+        assert blended.tolist() == [135, 30, 105]
+        # Scale-free: scaling either input scales the blend, never the mix.
+        scaled = blend_profile(
+            prior, observed * 100, prior_weight=1, observed_weight=2
+        )
+        assert (scaled == blended * 100).all()
+
+    def test_blend_profile_degenerate_masses(self):
+        prior = np.array([1, 2, 3], dtype=np.int64)
+        zeros = np.zeros(3, dtype=np.int64)
+        assert blend_profile(prior, None).tolist() == [1, 2, 3]
+        assert blend_profile(prior, zeros).tolist() == [1, 2, 3]
+        observed = np.array([10, 0, 5], dtype=np.int64)
+        assert blend_profile(zeros, observed).tolist() == [10, 0, 5]
+
+
+class TestAutoShardCount:
+    def test_scales_with_workers_and_records_decision(self):
+        n1, d1 = auto_shard_count(100_000, workers=1, ops_per_epoch=6_000)
+        n4, d4 = auto_shard_count(100_000, workers=4, ops_per_epoch=6_000)
+        assert n4 >= n1
+        assert n4 >= 4  # never fewer shards than workers
+        for d in (d1, d4):
+            assert d["n_shards"] in range(1, d["max_shards"] + 1)
+            assert set(d) >= {
+                "n_agents", "workers", "ops_per_epoch", "oversplit_target",
+                "ops_ceiling", "n_shards",
+            }
+
+    def test_op_floor_caps_shard_count(self):
+        # 400 ops can't justify 16 shards at 250 ops/shard minimum.
+        n, d = auto_shard_count(100_000, workers=4, ops_per_epoch=400)
+        assert n == 4  # clamped up to workers, down from oversplit
+        assert d["ops_ceiling"] == 1
+
+    def test_bounded_by_population_and_cap(self):
+        n, _ = auto_shard_count(3, workers=8, ops_per_epoch=10_000)
+        assert n == 3
+        n, _ = auto_shard_count(10**6, workers=64, ops_per_epoch=10**9)
+        assert n == 64  # AUTO_MAX_SHARDS
+
+    def test_pure_function(self):
+        assert auto_shard_count(50_000, 2, 5_000) == auto_shard_count(
+            50_000, 2, 5_000
+        )
 
 
 class TestStreamDerivation:

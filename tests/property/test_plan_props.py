@@ -19,10 +19,11 @@ class TestSplitWeightedProperties:
         parts = split_weighted(total, weights)
         assert len(parts) == len(weights)
         assert all(part >= 0 for part in parts)
-        if sum(weights) > 0:
-            assert sum(parts) == total
-        else:
-            assert parts == [0] * len(weights)
+        # sum(parts) == total on EVERY input: an all-zero weight vector
+        # falls back to an even split instead of dropping the units.
+        assert sum(parts) == total
+        if sum(weights) == 0:
+            assert parts == split_weighted(total, [1] * len(weights))
 
     @given(total=totals, weights=weight_lists)
     @settings(max_examples=300, deadline=None)

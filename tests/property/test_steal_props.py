@@ -1,0 +1,147 @@
+"""Property-based tests: elastic-sharding determinism.
+
+The elastic layer stacks three scheduling mechanisms — weighted
+replanned boundaries, chunked work stealing, and process pools — on the
+same contract the parallel layer established: none of them may change a
+byte of metrics or traces.  Hypothesis sweeps small randomized
+configurations (the activity model makes every seed a different
+heavy-tailed cost profile) across ``workers ∈ {1, 2, 4}`` with stealing
+on and off, and checks the stealing layer's exactly-once accounting.
+
+Examples are deliberately few — each one runs the full workload six
+times through real process pools.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import ShardPlan
+from repro.parallel.steal import (
+    fold_chunk_results,
+    make_chunk_tasks,
+    run_shard_chunk,
+)
+from repro.parallel.worker import CHUNK_PHASES, ShardTask, run_shard_epoch
+from repro.workloads.load import (
+    CONSENT_DENIED_MOD,
+    DEFAULT_CHANNELS,
+    run_load,
+)
+
+configs = st.fixed_dictionaries(
+    {
+        "n_agents": st.integers(min_value=80, max_value=400),
+        "epochs": st.integers(min_value=1, max_value=2),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "txs_per_epoch": st.integers(min_value=0, max_value=40),
+        "ratings_per_epoch": st.integers(min_value=0, max_value=24),
+        "reports_per_epoch": st.integers(min_value=0, max_value=12),
+        "votes_per_epoch": st.integers(min_value=0, max_value=16),
+        "interactions_per_epoch": st.integers(min_value=0, max_value=40),
+        "frames_per_epoch": st.integers(min_value=0, max_value=30),
+        "cascade_members": st.integers(min_value=0, max_value=60),
+        "n_shards": st.integers(min_value=1, max_value=5),
+        "plan_mode": st.sampled_from(["weighted", "equal"]),
+    }
+)
+
+
+def payload(result) -> str:
+    return json.dumps(result.metrics, sort_keys=True)
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(config=configs)
+def test_workers_and_stealing_never_change_bytes(config):
+    config["electorate_size"] = min(50, config["n_agents"])
+    baseline = run_load(workers=1, steal=False, trace=True, **config)
+    base_payload = payload(baseline)
+    expected_chunks = (
+        config["epochs"] * baseline.n_shards * len(CHUNK_PHASES)
+    )
+    for steal in (False, True):
+        for workers in (1, 2, 4):
+            if workers == 1 and not steal:
+                continue
+            run = run_load(workers=workers, steal=steal, trace=True, **config)
+            assert payload(run) == base_payload, (
+                f"workers={workers} steal={steal} changed the metrics "
+                f"payload for {config}"
+            )
+            assert run.trace_jsonl == baseline.trace_jsonl, (
+                f"workers={workers} steal={steal} changed the exported "
+                f"trace for {config}"
+            )
+            # Exactly-once accounting: every (shard, chunk) unit ran
+            # (the fold raises on duplicates/gaps; the counter pins the
+            # expected total).
+            if steal:
+                assert run.chunk_tasks_run == expected_chunks
+
+
+# Heavy-tailed per-shard quota profiles, built directly (no pools): the
+# fold must match the monolithic path on any profile, including empty
+# and wildly skewed shards.
+heavy_counts = st.sampled_from([0, 1, 3, 7, 40])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_shards=st.integers(min_value=1, max_value=4),
+    epoch=st.integers(min_value=0, max_value=3),
+    tx=heavy_counts,
+    ratings=heavy_counts,
+    votes=heavy_counts,
+    interactions=heavy_counts,
+    frames=heavy_counts,
+    cascade=st.sampled_from([0, 30]),
+)
+def test_fold_equals_monolithic_on_random_profiles(
+    seed, n_shards, epoch, tx, ratings, votes, interactions, frames, cascade
+):
+    n_agents = 80 * n_shards
+    plan = ShardPlan(
+        seed=seed,
+        n_agents=n_agents,
+        n_shards=n_shards,
+        n_members=n_agents // 2,
+        hot_stride=20,
+    )
+    tasks = [
+        ShardTask(
+            plan=plan,
+            shard=shard,
+            epoch=epoch,
+            tx_count=tx,
+            rating_count=ratings,
+            report_count=ratings // 2,
+            vote_count=votes,
+            interaction_count=interactions,
+            frame_count=frames,
+            hot_spent=tuple(0.0 for _ in plan.hot_subjects_of(shard)),
+            channels=DEFAULT_CHANNELS,
+            consent_denied_mod=CONSENT_DENIED_MOD,
+            cascade_members=cascade,
+            cascade_boundary=3,
+            trace=True,
+        )
+        for shard in range(n_shards)
+    ]
+    chunk_results = [run_shard_chunk(c) for c in make_chunk_tasks(tasks)]
+    folded = fold_chunk_results(tasks, chunk_results)
+    mono = [run_shard_epoch(t) for t in tasks]
+    for f, m in zip(folded, mono):
+        # Span payloads summarize every phase's output (op counts, cost
+        # units, trace ids) as plain dicts — equality there pins the
+        # merge without numpy-ambiguity on the raw arrays.
+        assert f.span_payloads == m.span_payloads
+        assert f.tx_ids == m.tx_ids
+        assert f.predicted_outcomes == m.predicted_outcomes
+        assert f.cascade_timeline == m.cascade_timeline

@@ -144,3 +144,53 @@ class TestLoadWorkload:
             result.metrics["histograms"]["load.tx.fee"]["count"]
             == sketch.metrics["histograms"]["load.tx.fee"]["count"]
         )
+
+
+class TestElasticSharding:
+    def test_plan_modes_are_each_deterministic(self):
+        for mode in ("weighted", "equal"):
+            a = run_load(plan_mode=mode, **SMALL)
+            b = run_load(plan_mode=mode, **SMALL)
+            assert a == b
+            assert a.plan_mode == mode
+        with pytest.raises(ValueError):
+            run_load(plan_mode="fair", **SMALL)
+
+    def test_weighted_is_the_default_and_differs_from_equal(self):
+        default = run_load(**SMALL)
+        equal = run_load(plan_mode="equal", **SMALL)
+        assert default.plan_mode == "weighted"
+        # Different boundaries, different streams' landing sites.
+        assert default.metrics != equal.metrics
+
+    def test_stealing_is_a_pure_scheduling_knob(self):
+        base = run_load(workers=1, trace=True, **SMALL)
+        base_payload = json.dumps(base.metrics, sort_keys=True)
+        for workers in (1, 2):
+            stolen = run_load(workers=workers, steal=True, trace=True, **SMALL)
+            assert json.dumps(stolen.metrics, sort_keys=True) == base_payload
+            assert stolen.trace_jsonl == base.trace_jsonl
+            assert stolen.chunk_tasks_run > 0
+        assert base.chunk_tasks_run == 0
+
+    def test_auto_shard_count_records_decision(self):
+        result = run_load(n_shards="auto", workers=2, **SMALL)
+        decision = result.shard_decision
+        assert decision is not None
+        assert decision["n_shards"] == result.n_shards
+        assert decision["workers"] == 2
+        assert result.n_shards >= 2
+        # Pinned/defaulted shard counts carry no decision trace.
+        assert run_load(**SMALL).shard_decision is None
+
+    def test_imbalance_report_is_timing_only(self):
+        a = run_load(**SMALL)
+        b = run_load(**SMALL)
+        # Wall-clock report exists and covers every phase plus "epoch"…
+        assert a.imbalance is not None
+        assert "epoch" in a.imbalance
+        assert a.imbalance["epoch"]["imbalance"] >= 1.0
+        # …but never enters equality (timing differs between runs) nor
+        # the metrics payload (replays must stay byte-identical).
+        assert a == b
+        assert "imbalance" not in json.dumps(a.metrics)
