@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving bench-columnar parallel-check steal-check obs-check serve-check slo-check ci
+.PHONY: test bench bench-smoke bench-regression bench-baseline bench-scaling bench-parallel bench-serving bench-columnar bench-transport parallel-check steal-check shm-check obs-check serve-check slo-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +40,15 @@ parallel-check:
 # executed exactly once.
 steal-check:
 	$(PYTHON) -m repro.parallel.steal_check
+
+# Transport determinism gate: the load workload across transport
+# {pickle, shm, shm-full} x workers {1,2,4} x stealing on/off must
+# produce byte-identical metrics AND traces, shm tasks must actually
+# shrink (descriptors instead of materialized snapshots), delta
+# republishing must beat whole-column republishing, and no /dev/shm
+# plane segment may survive the matrix.
+shm-check:
+	$(PYTHON) -m repro.parallel.shm_check
 
 # Serving determinism gate: one seeded open-loop scenario (flash crowd
 # included) through the full serving stack twice — metrics and traces
@@ -81,6 +90,12 @@ bench-parallel:
 bench-columnar:
 	$(PYTHON) -m benchmarks.scaling --columnar-only
 
+# Transport tier only: per-epoch ship bytes and wall clock for pickle
+# vs shm vs shm-full at the gate tier, with the >=10x ship-bytes
+# reduction gate.  Writes BENCH_PR10.json.
+bench-transport:
+	$(PYTHON) -m benchmarks.scaling --transport-only
+
 # Population-scale gate (smoke: 1k/10k tiers, <90s): indexed mempool
 # selection, warm reputation writes, vectorized cascade rounds, and
 # batch abuse classification must beat the naive references >=3x at the
@@ -98,6 +113,7 @@ bench-scaling:
 # asserts) and the shard-balance tier (equal vs weighted plans, steal
 # on/off equivalence); parallel-check additionally pins trace-level
 # equivalence; steal-check pins the stealing layer's byte-equivalence
-# and exactly-once accounting; bench-columnar pins the columnar/object
-# byte-equivalence contract.
-ci: test bench-smoke bench-scaling bench-columnar parallel-check steal-check obs-check serve-check slo-check
+# and exactly-once accounting; shm-check pins the shared-memory
+# transport's byte-equivalence and segment hygiene; bench-columnar pins
+# the columnar/object byte-equivalence contract.
+ci: test bench-smoke bench-scaling bench-columnar parallel-check steal-check shm-check obs-check serve-check slo-check

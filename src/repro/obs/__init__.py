@@ -46,6 +46,7 @@ from repro.obs.exporters import (
 )
 from repro.obs.imbalance import ShardImbalance
 from repro.obs.instrument import NULL_OBS, Instrumentation, NullInstrumentation
+from repro.obs.shipcost import ShipCost
 from repro.obs.slo import (
     DEFAULT_SLOS,
     AlertEvent,
@@ -63,6 +64,7 @@ __all__ = [
     "SpanContext",
     "Tracer",
     "ShardImbalance",
+    "ShipCost",
     "Instrumentation",
     "NullInstrumentation",
     "NULL_OBS",

@@ -36,6 +36,8 @@ from repro.parallel.pool import (
     SerialPool,
     make_pool,
     parallel_map,
+    shared_pool,
+    shutdown_shared_pools,
 )
 from repro.parallel.steal import (
     ChunkResult,
@@ -44,6 +46,17 @@ from repro.parallel.steal import (
     make_chunk_tasks,
     run_epoch_chunks,
     run_shard_chunk,
+)
+from repro.parallel.transport import (
+    ColumnDescriptor,
+    ColumnPlane,
+    DeltaDescriptor,
+    StaleDescriptorError,
+    TransportError,
+    attach_column,
+    leaked_segments,
+    resolve_descriptor,
+    shm_available,
 )
 from repro.parallel.worker import (
     CHUNK_PHASES,
@@ -66,7 +79,18 @@ __all__ = [
     "SerialPool",
     "ProcessPool",
     "make_pool",
+    "shared_pool",
+    "shutdown_shared_pools",
     "parallel_map",
+    "ColumnPlane",
+    "ColumnDescriptor",
+    "DeltaDescriptor",
+    "TransportError",
+    "StaleDescriptorError",
+    "attach_column",
+    "resolve_descriptor",
+    "shm_available",
+    "leaked_segments",
     "ShardTask",
     "ShardEpochResult",
     "run_shard_epoch",

@@ -1,0 +1,161 @@
+"""Transport-equivalence gate: pickle vs shared memory, byte for byte.
+
+``python -m repro.parallel.shm_check`` runs the load workload on a
+small seeded population across the matrix
+``transport ∈ {pickle, shm} × workers ∈ {1, 2, 4} × stealing ∈ {off,
+on}`` (plus ``shm-full`` republish cells and the ``"auto"`` default)
+and asserts that the metrics payload **and** the exported trace are
+byte-identical in every cell — i.e. how shard state reaches workers
+can never change a single output byte.  It additionally checks:
+
+* ``transport="auto"`` resolves to the shared-memory plane on this
+  platform (the acceptance default) and ``"pickle"`` stays available as
+  the escape hatch;
+* shm runs actually shipped descriptors: their total pickled task bytes
+  (``ShipCost``) are strictly below the pickle path's, and the plane
+  published real bytes (the >=10x *ship-bytes* gate needs population
+  scale for snapshots to dominate task framing — it lives in the
+  scaling suite's transport tier at 100k);
+* delta shipping converged: the ``shm`` cells moved fewer plane bytes
+  than the ``shm-full`` ablation cells;
+* **no leaked segments**: every ``/dev/shm`` plane segment created by
+  the matrix is unlinked by the time the check returns.
+
+Exits non-zero on any violation (the ``make shm-check`` target).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.parallel.check import CHECK_CONFIG
+from repro.parallel.transport import leaked_segments, shm_available
+
+__all__ = ["check_shm", "SHM_WORKERS"]
+
+SHM_WORKERS = (1, 2, 4)
+
+
+def _payload(result) -> str:
+    return json.dumps(result.metrics, sort_keys=True)
+
+
+def check_shm() -> Dict[str, object]:
+    """Assert metrics+trace equivalence over transport x workers x steal.
+
+    Returns a summary dict; raises AssertionError on violation.
+    """
+    from repro.workloads.load import run_load
+
+    assert shm_available(), (
+        "shm-check needs multiprocessing.shared_memory; on platforms "
+        "without it the transport stays 'pickle' and this gate is moot"
+    )
+    leaked_before = set(leaked_segments())
+
+    baseline = run_load(
+        transport="pickle", workers=1, steal=False, trace=True,
+        **CHECK_CONFIG,
+    )
+    assert baseline.transport == "pickle"
+    base_payload = _payload(baseline)
+    pickle_task_bytes = baseline.ship_cost["task_bytes_total"]
+
+    cells = 1
+    shm_task_bytes = None
+    shm_plane_bytes = None
+    full_plane_bytes = None
+    for transport in ("pickle", "shm", "shm-full"):
+        for steal in (False, True):
+            for workers in SHM_WORKERS:
+                if transport == "pickle" and workers == 1 and not steal:
+                    continue  # that cell *is* the baseline
+                if transport == "shm-full" and (steal or workers > 1):
+                    # The full-republish ablation is about plane bytes,
+                    # not scheduling; one cell pins its equivalence.
+                    continue
+                run = run_load(
+                    transport=transport,
+                    workers=workers,
+                    steal=steal,
+                    trace=True,
+                    **CHECK_CONFIG,
+                )
+                assert run.transport == transport
+                assert _payload(run) == base_payload, (
+                    f"transport={transport} workers={workers} "
+                    f"steal={steal} changed the metrics payload"
+                )
+                assert run.trace_jsonl == baseline.trace_jsonl, (
+                    f"transport={transport} workers={workers} "
+                    f"steal={steal} changed the exported trace"
+                )
+                ship = run.ship_cost
+                if transport == "shm":
+                    assert ship["plane_bytes_total"] > 0, (
+                        "shm run published no plane bytes — the "
+                        "descriptor path never engaged"
+                    )
+                    if not steal:
+                        # Monolithic tasks: descriptors must beat the
+                        # materialized snapshots they replace (chunk
+                        # tasks are already slimmed per phase, so their
+                        # framing dominates at this tiny scale).
+                        assert (
+                            ship["task_bytes_total"] < pickle_task_bytes
+                        ), (
+                            "shm tasks did not shrink: "
+                            f"{ship['task_bytes_total']} vs pickle "
+                            f"{pickle_task_bytes}"
+                        )
+                    if workers == 1 and not steal:
+                        shm_task_bytes = ship["task_bytes_total"]
+                        shm_plane_bytes = ship["plane_bytes_total"]
+                elif transport == "shm-full":
+                    full_plane_bytes = ship["plane_bytes_total"]
+                cells += 1
+
+    # Delta shipping must beat whole-column republishing on plane bytes.
+    assert shm_plane_bytes is not None and full_plane_bytes is not None
+    assert shm_plane_bytes < full_plane_bytes, (
+        f"delta republish moved {shm_plane_bytes} plane bytes, the "
+        f"full-republish ablation only {full_plane_bytes}"
+    )
+
+    # The default must resolve to the plane here (and stay identical).
+    auto = run_load(workers=2, trace=True, **CHECK_CONFIG)
+    assert auto.transport == "shm", (
+        f"transport='auto' resolved to {auto.transport!r}; expected "
+        "'shm' on a platform with shared_memory"
+    )
+    assert _payload(auto) == base_payload
+    assert auto.trace_jsonl == baseline.trace_jsonl
+    cells += 1
+
+    leaked = sorted(set(leaked_segments()) - leaked_before)
+    assert not leaked, f"leaked /dev/shm plane segments: {leaked}"
+
+    return {
+        "workers_matrix": list(SHM_WORKERS),
+        "cells_compared": cells,
+        "n_shards": baseline.n_shards,
+        "auto_transport": auto.transport,
+        "pickle_task_bytes": int(pickle_task_bytes),
+        "shm_task_bytes": int(shm_task_bytes),
+        "delta_plane_bytes": int(shm_plane_bytes),
+        "full_plane_bytes": int(full_plane_bytes),
+        "leaked_segments": 0,
+        "trace_bytes": len(baseline.trace_jsonl),
+        "byte_identical": True,
+    }
+
+
+if __name__ == "__main__":
+    summary = check_shm()
+    for key, value in summary.items():
+        print(f"{key:26s} {value}")
+    print(
+        "shm-check: OK (transport x workers x stealing matrix "
+        "byte-identical, no leaked segments)"
+    )

@@ -102,19 +102,25 @@ class ChunkResult:
 
 
 def _slim_task(task: ShardTask, phase: int) -> ShardTask:
-    """Drop snapshot payloads the chunk's phase never reads.
+    """Narrow the task to what the chunk's phase actually reads.
 
-    The nonce snapshot only feeds the transaction phase and the
-    hot-spend snapshot only the frames phase; shipping them with every
-    chunk would multiply pickling cost by the chunk count.  Purely a
+    The nonce state only feeds the transaction phase and the hot-spend
+    state only the frames phase; shipping either with every chunk would
+    multiply pickling cost by the chunk count.  Under the pickle
+    transport that means dropping the materialized snapshot arrays;
+    under the shared-memory transport it is *descriptor narrowing* —
+    the column handles the phase never resolves are nulled, so a chunk
+    task carries only the descriptors its phase attaches.  Purely a
     transport optimisation — the phase sees identical inputs.
     """
     replace: Dict[str, object] = {}
     if phase != Phase.TRANSACTIONS:
         replace["base_nonces"] = {}
         replace["base_nonce_slice"] = None
+        replace["nonce_desc"] = None
     if phase != Phase.FRAMES:
         replace["hot_spent"] = ()
+        replace["spent_desc"] = None
     return dataclasses.replace(task, **replace) if replace else task
 
 

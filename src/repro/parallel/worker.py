@@ -49,6 +49,7 @@ from repro.governance.moderation import AbuseClassifier, ReportDesk
 from repro.obs.context import derive_trace_id
 from repro.ledger.transactions import Transaction, TxKind
 from repro.parallel.plan import DEFAULT_COST_MODEL, Phase, ShardPlan
+from repro.parallel.transport import ColumnDescriptor, resolve_descriptor
 from repro.privacy.sensors import SensorFrame
 from repro.social.graph import SocialGraph
 from repro.social.misinformation import MisinformationModel
@@ -110,6 +111,14 @@ class ShardTask:
     base_nonces: Dict[int, int] = field(default_factory=dict)
     base_nonce_slice: Optional[np.ndarray] = None
     hot_spent: "Tuple[float, ...] | np.ndarray" = ()
+    # Shared-memory transport: descriptors replace the materialized
+    # snapshots above (``transport="shm"``).  ``nonce_desc`` windows the
+    # nonce column on the shard's ``[lo, hi)``; ``spent_desc`` covers the
+    # whole privacy-spent column (hot subjects index into it).  Workers
+    # attach read-only views on demand; the values read are bit-identical
+    # to the arrays the pickle path ships.
+    nonce_desc: Optional[ColumnDescriptor] = None
+    spent_desc: Optional[ColumnDescriptor] = None
     # Privacy-phase constants.
     privacy_cap: float = 4.0
     channels: Tuple[Tuple[str, float], ...] = ()
@@ -433,11 +442,18 @@ def _generate_transactions(
     from repro.workloads.load import SyntheticSignedTransaction
 
     rng = task.plan.rng(task.shard, task.epoch, Phase.TRANSACTIONS)
-    if task.base_nonce_slice is not None:
+    if task.nonce_desc is not None or task.base_nonce_slice is not None:
         # Columnar shipping: the shard's contiguous nonce-column slice,
-        # indexed by sender - lo.  Same values as the dict snapshot, so
-        # the generated transactions are byte-identical.
-        nonce_slice = np.array(task.base_nonce_slice, dtype=np.int64)
+        # indexed by sender - lo — either materialized in the task
+        # (pickle transport) or attached through the shared-memory plane
+        # (a descriptor window on the nonce column).  Same values either
+        # way, so the generated transactions are byte-identical.
+        base_slice = (
+            resolve_descriptor(task.nonce_desc)
+            if task.nonce_desc is not None
+            else task.base_nonce_slice
+        )
+        nonce_slice = np.array(base_slice, dtype=np.int64)
 
         def nonce_get(sender: int) -> int:
             return int(nonce_slice[sender - lo])
@@ -615,9 +631,18 @@ def _privacy_prepass(
     )
 
     # --- local apply: replicate ingest_all's admission, stage by stage.
+    if task.spent_desc is not None:
+        # Shared-memory transport: fancy-index the shard's hot subjects
+        # out of the attached spent column — the same float64 values the
+        # pickle path ships materialized.
+        hot_spent = resolve_descriptor(task.spent_desc)[
+            np.asarray(hot, dtype=np.int64)
+        ]
+    else:
+        hot_spent = task.hot_spent
     spent = {
         agent: float(used)
-        for agent, used in zip(hot, task.hot_spent)
+        for agent, used in zip(hot, hot_spent)
     }
     by_channel: Dict[str, List[int]] = {}
     for i, frame in enumerate(frames):

@@ -66,6 +66,7 @@ paths at full population scale.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -88,6 +89,7 @@ from repro.ledger.transactions import Transaction, TxKind
 from repro.obs.exporters import trace_to_jsonl
 from repro.obs.imbalance import ShardImbalance
 from repro.obs.instrument import Instrumentation
+from repro.obs.shipcost import ShipCost
 from repro.parallel.plan import (
     DEFAULT_COST_MODEL,
     ShardPlan,
@@ -97,16 +99,22 @@ from repro.parallel.plan import (
     split_weighted,
     weighted_boundaries,
 )
-from repro.parallel.pool import make_pool
+from repro.parallel.pool import shared_pool
 from repro.parallel.reduce import (
     check_shard_order,
     merge_boundary_activations,
     merge_interaction_batches,
     sum_predicted_outcomes,
 )
-from repro.parallel.steal import run_epoch_chunks
+from repro.parallel.steal import (
+    fold_chunk_results,
+    make_chunk_tasks,
+    run_shard_chunk,
+)
+from repro.parallel.transport import ColumnPlane, shm_available
 from repro.parallel.worker import (
     CHUNK_PHASES,
+    PHASE_NAMES,
     ShardTask,
     channel_of,
     run_shard_epoch,
@@ -268,12 +276,21 @@ class LoadRunResult:
     shard_decision: Optional[Dict[str, int]] = None
     # (shard, chunk) units executed via the stealing layer (0 when off).
     chunk_tasks_run: int = 0
+    # The resolved shard-state transport: "pickle" (materialized
+    # snapshots in every task) or "shm"/"shm-full" (shared-memory column
+    # plane with delta/full republishing).  Like workers and steal, a
+    # pure transport knob — it never changes a metrics or trace byte.
+    transport: str = "pickle"
     # Wall-clock shard-imbalance report (max/mean shard seconds per
     # phase).  Timing, not semantics: excluded from equality so replay
     # comparisons never see the clock.
     imbalance: Optional[Dict[str, Dict[str, float]]] = field(
         default=None, compare=False
     )
+    # Ship-cost report (bytes per epoch/phase/column crossing — or that
+    # would cross — the process boundary).  Size measurement only, same
+    # compare=False contract as ``imbalance``.
+    ship_cost: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
 
 def run_load(
@@ -298,6 +315,7 @@ def run_load(
     columnar: bool = True,
     plan_mode: str = "weighted",
     steal: bool = False,
+    transport: str = "auto",
 ) -> LoadRunResult:
     """Run the population-scale workload; see the module docstring.
 
@@ -342,6 +360,20 @@ def run_load(
     metrics and traces are byte-identical to ``columnar=False`` (the
     object-backed escape hatch, kept for equivalence testing — the
     scaling bench and ``make bench-columnar`` assert the match).
+
+    ``transport`` selects how shard state reaches workers.  ``"auto"``
+    (the default) resolves to ``"shm"`` — the shared-memory column
+    plane — whenever the run is columnar and the platform has
+    ``multiprocessing.shared_memory``, else to ``"pickle"``.  Under
+    ``"shm"`` the nonce and privacy-spent columns are published into
+    shared segments once, tasks carry small descriptors instead of
+    materialized array snapshots, and each epoch's changed entries are
+    re-published as generation-bumped deltas (``"shm-full"`` republishes
+    whole columns instead — the delta ablation).  ``"pickle"`` is the
+    escape hatch that ships materialized snapshots in every task.  Like
+    ``workers`` and ``steal``, the transport never changes a metrics or
+    trace byte (``make shm-check`` gates it); the measured ship bytes
+    land in ``LoadRunResult.ship_cost``.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -349,6 +381,30 @@ def run_load(
         raise ValueError(
             f"plan_mode must be 'equal' or 'weighted', got {plan_mode!r}"
         )
+    if transport not in ("auto", "pickle", "shm", "shm-full"):
+        raise ValueError(
+            "transport must be 'auto', 'pickle', 'shm', or 'shm-full', "
+            f"got {transport!r}"
+        )
+    if transport == "auto":
+        resolved_transport = (
+            "shm" if (columnar and shm_available()) else "pickle"
+        )
+    elif transport in ("shm", "shm-full"):
+        if not columnar:
+            raise ValueError(
+                f"transport={transport!r} needs the columnar table "
+                "(columnar=True): object mode has no columns to publish"
+            )
+        if not shm_available():
+            raise ValueError(
+                f"transport={transport!r} requested but "
+                "multiprocessing.shared_memory is unavailable here"
+            )
+        resolved_transport = transport
+    else:
+        resolved_transport = "pickle"
+    use_shm = resolved_transport in ("shm", "shm-full")
     shard_decision: Optional[Dict[str, int]] = None
     if n_shards == "auto":
         ops_per_epoch = (
@@ -573,7 +629,56 @@ def run_load(
     carries = [0] * plan.n_shards
     prev_observed: Optional[np.ndarray] = None
     imbalance_monitor = ShardImbalance(plan.n_shards)
+    ship = ShipCost(resolved_transport)
     chunk_tasks_run = 0
+
+    # Shared-memory transport: publish the mutable cross-epoch columns
+    # once (generation 0), keep shadow copies of what was published, and
+    # re-publish only the entries each barrier changed as new-generation
+    # delta segments (or whole columns under "shm-full").  Tasks then
+    # carry descriptors instead of materialized snapshots.
+    plane: Optional[ColumnPlane] = None
+    shadow_nonces: Optional[np.ndarray] = None
+    shadow_spent: Optional[np.ndarray] = None
+    if use_shm:
+        assert table is not None  # guaranteed by the transport checks
+        plane = ColumnPlane()
+        ship.record_plane(
+            0, "nonces", "base", plane.publish("nonces", table.nonces)
+        )
+        ship.record_plane(
+            0,
+            "privacy_spent",
+            "base",
+            plane.publish("privacy_spent", table.privacy_spent),
+        )
+        shadow_nonces = table.nonces.copy()
+        shadow_spent = table.privacy_spent.copy()
+
+    def republish_columns(epoch: int) -> None:
+        """Sync the plane to the table's post-barrier state."""
+        for column, col, shadow in (
+            ("nonces", table.nonces, shadow_nonces),
+            ("privacy_spent", table.privacy_spent, shadow_spent),
+        ):
+            if resolved_transport == "shm-full":
+                ship.record_plane(
+                    epoch, column, "full", plane.republish_full(column, col)
+                )
+                shadow[:] = col
+            else:
+                changed = np.flatnonzero(col != shadow)
+                if changed.size:
+                    ship.record_plane(
+                        epoch,
+                        column,
+                        "delta",
+                        plane.republish_delta(column, changed, col[changed]),
+                    )
+                    shadow[changed] = col[changed]
+
+    def task_pickled_bytes(obj: object) -> int:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
     txs_submitted = txs_included = 0
     ratings = reports = votes_cast = proposals_closed = 0
@@ -587,10 +692,17 @@ def run_load(
     # later-epoch graphs fill per-process caches lazily (pure functions
     # of their keys, so identical wherever they are built).
     warm_caches(epoch_plan_for(None), agents, cascade_members)
-    pool = make_pool(workers)
+    # Persistent worker runtime: shared pools outlive this run, so the
+    # processes (with their warmed caches and plane attachments) are
+    # reused by the next run; close() below is a no-op for them.
+    pool = shared_pool(workers)
     try:
         for epoch in range(epochs):
             now = float(epoch)
+            if plane is not None and epoch > 0:
+                # Ship the previous barrier's changes as deltas before
+                # building this epoch's descriptors.
+                republish_columns(epoch)
             epoch_plan = epoch_plan_for(prev_observed)
             # Weighted replans re-cut boundaries, which changes per-shard
             # cascade member counts — pre-build the new shard graphs in
@@ -634,18 +746,36 @@ def run_load(
                         table.nonces[
                             shard_ranges[shard][0]:shard_ranges[shard][1]
                         ].copy()
-                        if table is not None
+                        if table is not None and plane is None
                         else None
                     ),
                     hot_spent=(
-                        # Fancy indexing copies: a frozen snapshot of the
+                        # Shipped only under the pickle transport (the
+                        # plane replaces it with a descriptor).  Fancy
+                        # indexing copies: a frozen snapshot of the
                         # shard's hot spends, shipped as a float64 array.
-                        table.privacy_spent[hot_index_by_shard[shard]]
+                        ()
+                        if plane is not None
+                        else table.privacy_spent[hot_index_by_shard[shard]]
                         if table is not None
                         else tuple(
                             pipeline.budget.spent(agents[subject])
                             for subject in hot_by_shard[shard]
                         )
+                    ),
+                    nonce_desc=(
+                        plane.descriptor(
+                            "nonces",
+                            shard_ranges[shard][0],
+                            shard_ranges[shard][1],
+                        )
+                        if plane is not None
+                        else None
+                    ),
+                    spent_desc=(
+                        plane.descriptor("privacy_spent")
+                        if plane is not None
+                        else None
                     ),
                     privacy_cap=privacy_cap,
                     channels=DEFAULT_CHANNELS,
@@ -658,9 +788,23 @@ def run_load(
                 for shard in range(epoch_plan.n_shards)
             ]
             if steal:
-                results = run_epoch_chunks(pool, tasks)
-                chunk_tasks_run += len(tasks) * len(CHUNK_PHASES)
+                chunk_tasks = make_chunk_tasks(tasks)
+                for chunk_task in chunk_tasks:
+                    ship.record_task(
+                        epoch,
+                        PHASE_NAMES[CHUNK_PHASES[chunk_task.chunk]],
+                        task_pickled_bytes(chunk_task),
+                    )
+                chunk_results = pool.map_ordered(
+                    run_shard_chunk, chunk_tasks
+                )
+                results = fold_chunk_results(tasks, chunk_results)
+                chunk_tasks_run += len(chunk_tasks)
             else:
+                for task in tasks:
+                    ship.record_task(
+                        epoch, "epoch_task", task_pickled_bytes(task)
+                    )
                 results = pool.map_ordered(run_shard_epoch, tasks)
             check_shard_order(results)
             imbalance_monitor.record_epoch(results)
@@ -877,6 +1021,8 @@ def run_load(
                     epoch_span.__exit__(None, None, None)
     finally:
         pool.close()
+        if plane is not None:
+            plane.close()
 
     return LoadRunResult(
         n_agents=n_agents,
@@ -914,7 +1060,9 @@ def run_load(
         steal=steal,
         shard_decision=shard_decision,
         chunk_tasks_run=chunk_tasks_run,
+        transport=resolved_transport,
         imbalance=imbalance_monitor.report(),
+        ship_cost=ship.report(),
     )
 
 

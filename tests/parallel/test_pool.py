@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.parallel import SerialPool, ProcessPool, make_pool, parallel_map
+from repro.parallel import (
+    ProcessPool,
+    SerialPool,
+    make_pool,
+    parallel_map,
+    shared_pool,
+    shutdown_shared_pools,
+)
 
 
 def square(x):
@@ -12,6 +19,12 @@ def square(x):
 def tag(x):
     # Non-commutative payload: any reordering changes the result list.
     return (x, x % 3)
+
+
+def boom_on_seven(x):
+    if x == 7:
+        raise ValueError("task 7 failed")
+    return x * x
 
 
 class TestMakePool:
@@ -45,6 +58,59 @@ class TestMapOrdered:
         serial = SerialPool().map_ordered(square, items)
         with make_pool(2) as pool:
             assert pool.map_ordered(square, items) == serial
+
+
+class TestBackpressure:
+    def test_default_window_scales_with_workers(self):
+        with make_pool(2) as pool:
+            assert pool.window == 2 * 2 + 2
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProcessPool(2, window=0)
+
+    @pytest.mark.parametrize("window", [1, 3, 100])
+    def test_window_never_changes_results(self, window):
+        items = list(range(25))
+        with ProcessPool(2, window=window) as pool:
+            assert pool.map_ordered(tag, items) == [tag(x) for x in items]
+
+    def test_worker_exception_propagates(self):
+        with make_pool(2) as pool:
+            with pytest.raises(ValueError, match="task 7 failed"):
+                pool.map_ordered(boom_on_seven, list(range(40)))
+            # A task exception must not poison the pool itself.
+            assert pool.map_ordered(square, [3, 4]) == [9, 16]
+            assert not pool.broken
+
+
+class TestSharedPool:
+    def teardown_method(self):
+        shutdown_shared_pools()
+
+    @pytest.mark.parametrize("workers", [None, 0, 1])
+    def test_low_counts_mean_inline(self, workers):
+        assert isinstance(shared_pool(workers), SerialPool)
+
+    def test_same_pool_across_calls(self):
+        first = shared_pool(2)
+        assert shared_pool(2) is first
+        assert isinstance(first, ProcessPool)
+
+    def test_close_is_a_no_op(self):
+        pool = shared_pool(2)
+        pool.close()
+        # Still the registered pool, and still usable.
+        assert shared_pool(2) is pool
+        assert pool.map_ordered(square, [5]) == [25]
+
+    def test_shutdown_clears_registry(self):
+        pool = shared_pool(2)
+        shutdown_shared_pools()
+        assert shared_pool(2) is not pool
+
+    def test_distinct_worker_counts_get_distinct_pools(self):
+        assert shared_pool(2) is not shared_pool(3)
 
 
 class TestParallelMap:

@@ -1,0 +1,248 @@
+"""Shared-memory column plane: publish/attach lifecycle and hygiene."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.parallel import ShardPlan
+from repro.parallel.steal import make_chunk_tasks
+from repro.parallel.transport import (
+    ColumnPlane,
+    StaleDescriptorError,
+    TransportError,
+    attach_cache_stats,
+    attach_column,
+    clear_attach_cache,
+    leaked_segments,
+    resolve_descriptor,
+    shm_available,
+)
+from repro.parallel.plan import Phase
+from repro.parallel.worker import CHUNK_PHASES, ShardTask
+from repro.workloads.load import CONSENT_DENIED_MOD, DEFAULT_CHANNELS
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_attach_cache():
+    clear_attach_cache()
+    yield
+    clear_attach_cache()
+
+
+class TestPublish:
+    def test_roundtrip_window(self):
+        nonces = np.arange(100, dtype=np.int64)
+        with ColumnPlane() as plane:
+            nbytes = plane.publish("nonces", nonces)
+            assert nbytes == nonces.nbytes
+            desc = plane.descriptor("nonces", 10, 40)
+            window = resolve_descriptor(desc)
+            assert np.array_equal(window, nonces[10:40])
+
+    def test_generation_zero_attach_is_zero_copy_and_read_only(self):
+        nonces = np.arange(64, dtype=np.int64)
+        with ColumnPlane() as plane:
+            plane.publish("nonces", nonces)
+            column = attach_column(plane.descriptor("nonces"))
+            assert not column.flags.writeable
+            # A second attach returns the same cached object.
+            assert attach_column(plane.descriptor("nonces")) is column
+
+    def test_empty_column_gets_no_segment(self):
+        with ColumnPlane() as plane:
+            assert plane.publish("empty", np.empty(0, dtype=np.float64)) == 0
+            desc = plane.descriptor("empty")
+            assert desc.segment == ""
+            assert attach_column(desc).size == 0
+
+    def test_duplicate_column_rejected(self):
+        with ColumnPlane() as plane:
+            plane.publish("nonces", np.zeros(4, dtype=np.int64))
+            with pytest.raises(TransportError):
+                plane.publish("nonces", np.zeros(4, dtype=np.int64))
+
+    def test_two_dimensional_rejected(self):
+        with ColumnPlane() as plane:
+            with pytest.raises(TransportError):
+                plane.publish("grid", np.zeros((2, 2)))
+
+    def test_unknown_column_rejected(self):
+        with ColumnPlane() as plane:
+            with pytest.raises(TransportError):
+                plane.descriptor("never-published")
+
+    def test_bad_window_rejected(self):
+        with ColumnPlane() as plane:
+            plane.publish("nonces", np.zeros(10, dtype=np.int64))
+            with pytest.raises(TransportError):
+                plane.descriptor("nonces", 4, 11)
+
+
+class TestGenerations:
+    def test_delta_bumps_generation_and_chain(self):
+        nonces = np.zeros(50, dtype=np.int64)
+        with ColumnPlane() as plane:
+            plane.publish("nonces", nonces)
+            assert plane.generation_of("nonces") == 0
+            nbytes = plane.republish_delta(
+                "nonces", np.array([3, 7]), np.array([1, 2], dtype=np.int64)
+            )
+            assert nbytes == 2 * 8 + 2 * 8  # int64 indices + int64 values
+            assert plane.generation_of("nonces") == 1
+            desc = plane.descriptor("nonces")
+            assert desc.generation == 1
+            assert [d.kind for d in desc.deltas] == ["delta"]
+            column = attach_column(desc)
+            assert column[3] == 1 and column[7] == 2 and column[0] == 0
+
+    def test_empty_delta_is_a_no_op(self):
+        with ColumnPlane() as plane:
+            plane.publish("nonces", np.zeros(8, dtype=np.int64))
+            nbytes = plane.republish_delta(
+                "nonces", np.empty(0, dtype=np.int64), np.empty(0, np.int64)
+            )
+            assert nbytes == 0
+            assert plane.generation_of("nonces") == 0
+
+    def test_delta_catchup_from_cached_generation(self):
+        live = np.zeros(40, dtype=np.float64)
+        with ColumnPlane() as plane:
+            plane.publish("spent", live)
+            attach_column(plane.descriptor("spent"))  # cache generation 0
+            for value in (0.25, 0.5):
+                live[5] += value
+                plane.republish_delta(
+                    "spent", np.array([5]), np.array([live[5]])
+                )
+                column = attach_column(plane.descriptor("spent"))
+                assert column[5] == live[5]
+            assert attach_cache_stats()[(plane.plane_id, "spent")] == 2
+
+    def test_full_republish_resets_chain(self):
+        live = np.zeros(30, dtype=np.int64)
+        with ColumnPlane() as plane:
+            plane.publish("nonces", live)
+            plane.republish_delta("nonces", np.array([1]), np.array([9]))
+            live[:] = 7
+            plane.republish_full("nonces", live)
+            desc = plane.descriptor("nonces")
+            assert desc.generation == 2
+            assert [d.kind for d in desc.deltas] == ["full"]
+            # A fresh process (empty cache) skips the base read entirely.
+            assert np.array_equal(attach_column(desc), live)
+
+    def test_delta_shape_mismatch_rejected(self):
+        with ColumnPlane() as plane:
+            plane.publish("nonces", np.zeros(8, dtype=np.int64))
+            with pytest.raises(TransportError):
+                plane.republish_delta(
+                    "nonces", np.array([1, 2]), np.array([1])
+                )
+
+    def test_delta_indices_out_of_range_rejected(self):
+        with ColumnPlane() as plane:
+            plane.publish("nonces", np.zeros(8, dtype=np.int64))
+            with pytest.raises(TransportError):
+                plane.republish_delta("nonces", np.array([8]), np.array([1]))
+
+
+class TestStaleness:
+    def test_older_descriptor_refused(self):
+        with ColumnPlane() as plane:
+            plane.publish("nonces", np.zeros(16, dtype=np.int64))
+            old = plane.descriptor("nonces")
+            plane.republish_delta("nonces", np.array([0]), np.array([1]))
+            attach_column(plane.descriptor("nonces"))  # now holds gen 1
+            with pytest.raises(StaleDescriptorError):
+                attach_column(old)
+
+    def test_broken_delta_chain_refused(self):
+        with ColumnPlane() as plane:
+            plane.publish("nonces", np.zeros(16, dtype=np.int64))
+            plane.republish_delta("nonces", np.array([0]), np.array([1]))
+            desc = plane.descriptor("nonces")
+            gapped = dataclasses.replace(desc, deltas=())
+            with pytest.raises(TransportError):
+                attach_column(gapped)
+
+
+class TestLifecycle:
+    def test_close_unlinks_and_is_idempotent(self):
+        before = set(leaked_segments())
+        plane = ColumnPlane()
+        plane.publish("nonces", np.zeros(32, dtype=np.int64))
+        assert set(leaked_segments()) - before  # segment visible while open
+        plane.close()
+        plane.close()  # idempotent
+        assert set(leaked_segments()) - before == set()
+        with pytest.raises(TransportError):
+            plane.publish("late", np.zeros(4, dtype=np.int64))
+
+    def test_context_manager_unlinks_on_error(self):
+        before = set(leaked_segments())
+        with pytest.raises(RuntimeError):
+            with ColumnPlane() as plane:
+                plane.publish("nonces", np.zeros(8, dtype=np.int64))
+                raise RuntimeError("mid-run crash")
+        assert set(leaked_segments()) - before == set()
+
+    def test_new_plane_attach_evicts_previous_plane(self):
+        with ColumnPlane() as first:
+            first.publish("nonces", np.zeros(8, dtype=np.int64))
+            attach_column(first.descriptor("nonces"))
+            with ColumnPlane() as second:
+                second.publish("nonces", np.zeros(8, dtype=np.int64))
+                attach_column(second.descriptor("nonces"))
+                cached_planes = {key[0] for key in attach_cache_stats()}
+                assert cached_planes == {second.plane_id}
+
+
+class TestDescriptorNarrowing:
+    def _tasks_with_descriptors(self, plane):
+        shard_plan = ShardPlan(
+            seed=7, n_agents=160, n_shards=2, n_members=80, hot_stride=20
+        )
+        return [
+            ShardTask(
+                plan=shard_plan,
+                shard=shard,
+                epoch=0,
+                tx_count=4,
+                rating_count=2,
+                report_count=1,
+                vote_count=2,
+                interaction_count=4,
+                frame_count=3,
+                hot_spent=(),
+                channels=DEFAULT_CHANNELS,
+                consent_denied_mod=CONSENT_DENIED_MOD,
+                cascade_members=20,
+                cascade_boundary=2,
+                trace=False,
+                nonce_desc=plane.descriptor("nonces", shard * 80, shard * 80 + 80),
+                spent_desc=plane.descriptor("privacy_spent"),
+            )
+            for shard in range(2)
+        ]
+
+    def test_chunks_keep_only_their_phase_descriptor(self):
+        with ColumnPlane() as plane:
+            plane.publish("nonces", np.zeros(160, dtype=np.int64))
+            plane.publish("privacy_spent", np.zeros(160, dtype=np.float64))
+            chunks = make_chunk_tasks(self._tasks_with_descriptors(plane))
+            assert len(chunks) == 2 * len(CHUNK_PHASES)
+            for chunk in chunks:
+                phase = CHUNK_PHASES[chunk.chunk]
+                if phase == Phase.TRANSACTIONS:
+                    assert chunk.task.nonce_desc is not None
+                else:
+                    assert chunk.task.nonce_desc is None
+                if phase == Phase.FRAMES:
+                    assert chunk.task.spent_desc is not None
+                else:
+                    assert chunk.task.spent_desc is None
